@@ -1,0 +1,41 @@
+//! Criterion bench for experiment E8: arbitration throughput as the group
+//! grows — the scalability of the server-side group administration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dmps_floor::{FcmMode, FloorArbiter, FloorRequest};
+
+fn bench_arbiter_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arbiter_throughput");
+    group.sample_size(20);
+    for &members in &[2usize, 16, 64, 256, 512] {
+        for mode in [FcmMode::FreeAccess, FcmMode::EqualControl] {
+            let label = format!("{members}-members/{mode}");
+            group.throughput(Throughput::Elements(members as u64));
+            group.bench_with_input(BenchmarkId::from_parameter(label), &members, |b, &n| {
+                let (mut arbiter, grp, teacher, students) = FloorArbiter::lecture(n - 1, mode);
+                let all: Vec<_> = std::iter::once(teacher).chain(students).collect();
+                b.iter(|| {
+                    // One request per member, then release everything for the
+                    // next iteration so token state does not accumulate.
+                    for &m in &all {
+                        let _ = arbiter.arbitrate(&FloorRequest::speak(grp, m)).unwrap();
+                    }
+                    if mode == FcmMode::EqualControl {
+                        // Drain the token queue.
+                        let mut holder = arbiter.token(grp).unwrap().holder();
+                        while let Some(h) = holder {
+                            let _ = arbiter.arbitrate(&FloorRequest::release_floor(grp, h));
+                            holder = arbiter.token(grp).unwrap().holder();
+                        }
+                    }
+                    arbiter.stats()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arbiter_scaling);
+criterion_main!(benches);

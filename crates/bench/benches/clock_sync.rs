@@ -1,0 +1,35 @@
+//! Criterion bench for experiment E4: end-to-end synchronized playback over
+//! the simulated network, with and without the global-clock admission rule.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dmps::PresentationDriver;
+use dmps_bench::{classroom_session, sequential_document};
+use dmps_floor::FcmMode;
+
+fn bench_clock_sync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clock_sync_playback");
+    group.sample_size(10);
+    for &students in &[2usize, 8, 16] {
+        for &admission in &[true, false] {
+            let label = format!("{students}-students/admission-{admission}");
+            group.bench_with_input(BenchmarkId::from_parameter(label), &students, |b, &n| {
+                b.iter(|| {
+                    let (mut session, ..) =
+                        classroom_session(42, FcmMode::FreeAccess, n, 300.0, 20, admission);
+                    let doc = sequential_document(4, Duration::from_secs(5));
+                    let driver = PresentationDriver::from_document(&doc).unwrap();
+                    let start = session.now() + Duration::from_secs(3);
+                    let report = driver.run(&mut session, start, Duration::from_secs(1));
+                    report.overall.max
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clock_sync);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for experiment E6: replaying a Q&A workload over a live
+//! session under each floor control mode.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dmps::workload::WorkloadAction;
+use dmps::{Workload, WorkloadKind};
+use dmps_bench::classroom_session;
+use dmps_floor::FcmMode;
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fcm_mode_workload");
+    group.sample_size(10);
+    let workload = Workload::generate(
+        WorkloadKind::QuestionAnswer,
+        6,
+        Duration::from_secs(30),
+        3.0,
+        7,
+    );
+    for mode in [FcmMode::FreeAccess, FcmMode::EqualControl] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.to_string()),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let (mut session, teacher, students) =
+                        classroom_session(5, mode, 5, 100.0, 5, true);
+                    let indices: Vec<usize> =
+                        std::iter::once(teacher).chain(students).collect();
+                    for event in &workload.events {
+                        let idx = indices[event.client];
+                        match &event.action {
+                            WorkloadAction::RequestFloor => session.request_floor(idx),
+                            WorkloadAction::ReleaseFloor => session.release_floor(idx),
+                            WorkloadAction::Chat(t) => session.send_chat(idx, t.clone()),
+                            WorkloadAction::Whiteboard(s) => session.send_whiteboard(idx, s.clone()),
+                            WorkloadAction::Annotation(t) => session.send_annotation(idx, t.clone()),
+                        }
+                    }
+                    session.pump();
+                    session.server().arbiter().stats()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

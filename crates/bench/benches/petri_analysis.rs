@@ -1,0 +1,60 @@
+//! Criterion bench for experiment E9: the cost of the structural verification
+//! (reachability, boundedness, invariants) as the compiled presentation net
+//! grows.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dmps_bench::sequential_document;
+use dmps_docpn::{compile, CompileOptions, ModelKind};
+use dmps_petri::analysis::{analyze, IncidenceMatrix};
+use dmps_petri::{ReachabilityGraph, ReachabilityLimits};
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("petri_analysis");
+    group.sample_size(10);
+    for &segments in &[5usize, 20, 60] {
+        let doc = sequential_document(segments, Duration::from_secs(2));
+        let compiled = compile(&doc, &CompileOptions::new(ModelKind::Docpn)).unwrap();
+        let label = format!("{}-places", compiled.net.place_count());
+        group.bench_with_input(
+            BenchmarkId::new("full_analysis", &label),
+            &compiled,
+            |b, compiled| {
+                b.iter(|| {
+                    analyze(
+                        compiled.net.net(),
+                        &compiled.initial,
+                        ReachabilityLimits::default(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reachability_only", &label),
+            &compiled,
+            |b, compiled| {
+                b.iter(|| {
+                    ReachabilityGraph::build(
+                        compiled.net.net(),
+                        &compiled.initial,
+                        ReachabilityLimits::default(),
+                    )
+                    .unwrap()
+                    .state_count()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("incidence_matrix", &label),
+            &compiled,
+            |b, compiled| b.iter(|| IncidenceMatrix::of(compiled.net.net())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for experiment E5: compiling and executing the lecture
+//! presentation under the three models with a late delivery injected.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dmps_bench::{lecture_document, sequential_document};
+use dmps_docpn::{compile, CompileOptions, ModelKind, TimedExecution};
+
+fn bench_models(c: &mut Criterion) {
+    let doc = lecture_document();
+    let slides = doc.objects().find(|(_, o)| o.name == "slides").unwrap().0;
+    let mut group = c.benchmark_group("model_execution_with_late_delivery");
+    group.sample_size(20);
+    for model in ModelKind::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.to_string()),
+            &model,
+            |b, &model| {
+                let options = CompileOptions::new(model)
+                    .with_transfer_delay(slides, Duration::from_secs(10));
+                b.iter(|| {
+                    let compiled = compile(&doc, &options).unwrap();
+                    TimedExecution::run_to_completion(&compiled.net, &compiled.initial).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("compile_scaling");
+    group.sample_size(10);
+    for &segments in &[10usize, 50, 200] {
+        let doc = sequential_document(segments, Duration::from_secs(2));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(segments),
+            &doc,
+            |b, doc| {
+                b.iter(|| compile(doc, &CompileOptions::new(ModelKind::Docpn)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

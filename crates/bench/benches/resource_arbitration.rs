@@ -1,0 +1,46 @@
+//! Criterion bench for experiment E7: the arbitration + suspension path under
+//! resource pressure, including the victim-selection ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dmps_floor::suspend::SuspensionOrder;
+use dmps_floor::{FcmMode, FloorArbiter, FloorRequest, Member, Resource, Role};
+
+fn build(members: usize, order: SuspensionOrder) -> (FloorArbiter, dmps_floor::GroupId, dmps_floor::MemberId) {
+    let mut arbiter = FloorArbiter::with_defaults();
+    arbiter.set_suspension_order(order);
+    let group = arbiter.create_group("class", FcmMode::FreeAccess);
+    let teacher = arbiter
+        .add_member(group, Member::new("teacher", Role::Chair))
+        .unwrap();
+    for i in 0..members {
+        let role = if i % 3 == 0 { Role::Observer } else { Role::Participant };
+        arbiter
+            .add_member(group, Member::new(format!("m{i}"), role))
+            .unwrap();
+    }
+    (arbiter, group, teacher)
+}
+
+fn bench_arbitration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("degraded_arbitration");
+    group.sample_size(30);
+    for &members in &[8usize, 64, 256] {
+        for order in [SuspensionOrder::PriorityAscending, SuspensionOrder::JoinOrder] {
+            let label = format!("{members}-members/{order:?}");
+            group.bench_with_input(BenchmarkId::from_parameter(label), &members, |b, &n| {
+                b.iter(|| {
+                    let (mut arbiter, grp, teacher) = build(n, order);
+                    arbiter.set_resource(Resource::new(0.3, 1.0, 1.0));
+                    arbiter
+                        .arbitrate(&FloorRequest::speak(grp, teacher))
+                        .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arbitration);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Experiment E4: global-clock synchronization.
+//!
+//! Sweeps client clock offset/drift and link latency, and reports the
+//! cross-client playback skew with and without the paper's admission rule.
+//! The paper's claim: the centralized global clock keeps the distributed
+//! presentation synchronous despite clock skew and bounded network delay.
+//!
+//! Run with: `cargo run -p dmps-bench --bin exp_clock_sync --release`
+
+use std::time::Duration;
+
+use dmps::PresentationDriver;
+use dmps_bench::{classroom_session, sequential_document};
+use dmps_floor::FcmMode;
+
+fn run_case(drift_ppm: f64, offset_ms: i64, admission: bool, seed: u64) -> (u128, u128) {
+    let (mut session, _teacher, _students) =
+        classroom_session(seed, FcmMode::FreeAccess, 4, drift_ppm, offset_ms, admission);
+    let doc = sequential_document(4, Duration::from_secs(6));
+    let driver = PresentationDriver::from_document(&doc).unwrap();
+    let start = session.now() + Duration::from_secs(5);
+    let report = driver.run(&mut session, start, Duration::from_secs(2));
+    (report.overall.max.as_micros(), report.overall.spread.as_micros())
+}
+
+fn main() {
+    println!("== E4: cross-client playback skew (microseconds) ==");
+    println!("rows: client clock offset sweep; columns: with / without the global-clock admission rule\n");
+    println!(
+        "{:>12} {:>12} {:>16} {:>16} {:>18} {:>18}",
+        "drift_ppm", "offset_ms", "max_with_us", "spread_with_us", "max_without_us", "spread_without_us"
+    );
+    for &(drift, offset) in &[
+        (0.0, 0i64),
+        (50.0, 5),
+        (100.0, 10),
+        (200.0, 25),
+        (400.0, 50),
+        (500.0, 100),
+    ] {
+        let (max_with, spread_with) = run_case(drift, offset, true, 11);
+        let (max_without, spread_without) = run_case(drift, offset, false, 11);
+        println!(
+            "{drift:>12} {offset:>12} {max_with:>16} {spread_with:>16} {max_without:>18} {spread_without:>18}"
+        );
+    }
+
+    println!("\nrows: link latency sweep (clock offset fixed at 25 ms, drift 200 ppm)\n");
+    println!(
+        "{:>14} {:>16} {:>18}",
+        "latency_ms", "max_with_us", "max_without_us"
+    );
+    for &latency_ms in &[5u64, 20, 50, 100, 200, 400] {
+        let make = |admission: bool| {
+            use dmps::{Session, SessionConfig};
+            use dmps_floor::Role;
+            use dmps_simnet::{Link, LocalClock};
+            let mut config = SessionConfig::new(13, FcmMode::FreeAccess);
+            if !admission {
+                config = config.without_admission_control();
+            }
+            let mut session = Session::new(config);
+            session.add_client("teacher", Role::Chair, Link::lan(), LocalClock::perfect());
+            for i in 0..4 {
+                let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+                session.add_client(
+                    format!("student-{i}"),
+                    Role::Participant,
+                    Link::lan().with_latency(Duration::from_millis(latency_ms)),
+                    LocalClock::new(sign * 200.0, sign as i64 * 25_000_000),
+                );
+            }
+            session.pump();
+            let doc = sequential_document(3, Duration::from_secs(6));
+            let driver = PresentationDriver::from_document(&doc).unwrap();
+            let start = session.now() + Duration::from_secs(5);
+            driver.run(&mut session, start, Duration::from_secs(2))
+        };
+        let with = make(true);
+        let without = make(false);
+        println!(
+            "{:>14} {:>16} {:>18}",
+            latency_ms,
+            with.overall.max.as_micros(),
+            without.overall.max.as_micros()
+        );
+    }
+    println!("\nexpected shape: the `with` columns stay bounded by the clock-sync estimation error");
+    println!("(≈ half the round-trip asymmetry) while the `without` columns grow with both the");
+    println!("clock offset and the broadcast lead time / link latency.");
+}

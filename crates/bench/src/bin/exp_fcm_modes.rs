@@ -1,0 +1,113 @@
+//! Experiment E6: sufficiency of the four floor control modes for the
+//! distance-learning scenarios the paper motivates.
+//!
+//! Each scenario (lecture, Q&A, breakout discussion) is replayed under Free
+//! Access and Equal Control end to end over the simulated session; Group
+//! Discussion and Direct Contact are exercised through invitations on top of
+//! the running session. Reported per cell: delivered content, rejected
+//! deliveries, floor grants/queues, and fairness of speaking opportunities.
+//!
+//! Run with: `cargo run -p dmps-bench --bin exp_fcm_modes --release`
+
+use std::time::Duration;
+
+use dmps::metrics::jain_fairness;
+use dmps::workload::WorkloadAction;
+use dmps::{Workload, WorkloadKind};
+use dmps_bench::classroom_session;
+use dmps_floor::{FcmMode, FloorRequest};
+
+fn run_scenario(kind: WorkloadKind, mode: FcmMode, clients: usize) -> (usize, u64, u64, u64, f64) {
+    let (mut session, teacher, students) =
+        classroom_session(17, mode, clients - 1, 100.0, 5, true);
+    let indices: Vec<usize> = std::iter::once(teacher).chain(students).collect();
+    let workload = Workload::generate(kind, clients, Duration::from_secs(60), 2.0, 23);
+    let mut speaks_per_client = vec![0u64; clients];
+    for event in &workload.events {
+        let idx = indices[event.client];
+        match &event.action {
+            WorkloadAction::RequestFloor => session.request_floor(idx),
+            WorkloadAction::ReleaseFloor => session.release_floor(idx),
+            WorkloadAction::Chat(text) => {
+                session.send_chat(idx, text.clone());
+                speaks_per_client[event.client] += 1;
+            }
+            WorkloadAction::Whiteboard(s) => {
+                session.send_whiteboard(idx, s.clone());
+                speaks_per_client[event.client] += 1;
+            }
+            WorkloadAction::Annotation(t) => {
+                session.send_annotation(idx, t.clone());
+                speaks_per_client[event.client] += 1;
+            }
+        }
+        session.pump();
+    }
+    let delivered = session.server().chat_log().len()
+        + session.server().whiteboard_log().len()
+        + session.server().annotation_log().len();
+    let rejected = session.server().rejected_deliveries();
+    let stats = session.server().arbiter().stats();
+    let fairness = jain_fairness(&speaks_per_client);
+    (delivered, rejected, stats.granted, stats.queued, fairness)
+}
+
+fn main() {
+    let clients = 6;
+    println!("== E6: scenario x mode matrix ({clients} participants, 60 s, 2 events/s) ==\n");
+    println!(
+        "{:<16} {:<16} {:>10} {:>10} {:>8} {:>8} {:>10}",
+        "scenario", "mode", "delivered", "rejected", "grants", "queued", "fairness"
+    );
+    for kind in [
+        WorkloadKind::Lecture,
+        WorkloadKind::QuestionAnswer,
+        WorkloadKind::Discussion,
+    ] {
+        for mode in [FcmMode::FreeAccess, FcmMode::EqualControl] {
+            let (delivered, rejected, grants, queued, fairness) =
+                run_scenario(kind, mode, clients);
+            println!(
+                "{:<16} {:<16} {:>10} {:>10} {:>8} {:>8} {:>10.3}",
+                format!("{kind:?}"),
+                mode.to_string(),
+                delivered,
+                rejected,
+                grants,
+                queued,
+                fairness
+            );
+        }
+    }
+
+    // Group discussion & direct contact: exercised via invitations.
+    println!("\n== breakout (group discussion) and direct contact on a live session ==");
+    let (mut session, _teacher, students) =
+        classroom_session(29, FcmMode::EqualControl, 5, 100.0, 5, true);
+    session.pump();
+    let group = session.server().group();
+    let m: Vec<_> = students
+        .iter()
+        .map(|&s| session.member_of(s).unwrap())
+        .collect();
+    let arbiter = session.server_mut().arbiter_mut();
+    let (sub, inv) = arbiter.invite(group, m[0], m[1], FcmMode::GroupDiscussion).unwrap();
+    arbiter.respond_invitation(inv, m[1], true).unwrap();
+    let (_, inv2) = arbiter.invite(group, m[0], m[2], FcmMode::GroupDiscussion).unwrap();
+    arbiter.respond_invitation(inv2, m[2], true).unwrap();
+    arbiter.join_group(sub, m[2]).unwrap();
+    let breakout_outcome = arbiter.arbitrate(&FloorRequest::speak(sub, m[0])).unwrap();
+    println!("breakout speakers (private, concurrent): {:?}", breakout_outcome);
+    let (pair, inv3) = arbiter.invite(group, m[3], m[4], FcmMode::DirectContact).unwrap();
+    arbiter.respond_invitation(inv3, m[4], true).unwrap();
+    let dc = arbiter
+        .arbitrate(&FloorRequest::direct_contact(pair, m[3], m[4]))
+        .unwrap();
+    println!("direct contact pair: {dc:?}");
+
+    println!("\nexpected shape: Free Access delivers everything (fair but noisy); Equal Control");
+    println!("rejects non-holders (serialized, fairness driven by the token queue); Group");
+    println!("Discussion grants the invited sub-group concurrently; Direct Contact grants exactly");
+    println!("the pair — together covering every interaction pattern of the distance-learning");
+    println!("scenarios, which is the paper's sufficiency claim.");
+}

@@ -1,0 +1,58 @@
+//! Experiment E5: priority firing (DOCPN) vs. the OCPN / XOCPN baselines.
+//!
+//! The same lecture presentation is compiled under all three models while the
+//! network transfer of one object is made increasingly late. The report shows
+//! the paper's qualitative claim: OCPN cannot model the transfer at all,
+//! XOCPN stalls the whole presentation, DOCPN holds the schedule (zero stall)
+//! and confines the damage to the late object.
+//!
+//! Run with: `cargo run -p dmps-bench --bin exp_priority_firing --release`
+
+use std::time::Duration;
+
+use dmps_bench::lecture_document;
+use dmps_docpn::schedule::evaluate;
+use dmps_docpn::{compile, CompileOptions, ModelKind, TimedExecution};
+
+fn main() {
+    let doc = lecture_document();
+    let slides = doc
+        .objects()
+        .find(|(_, o)| o.name == "slides")
+        .expect("lecture has slides")
+        .0;
+    let tolerance = Duration::from_millis(100);
+
+    println!("== E5: late-delivery behaviour per model ==");
+    println!("late object: `slides`; nominal presentation length: {} ms\n",
+        doc.timeline().unwrap().total_duration().as_millis());
+    println!(
+        "{:>14} {:>8} {:>14} {:>14} {:>16} {:>18} {:>14}",
+        "delay_ms", "model", "makespan_ms", "stall_ms", "deadline_misses", "priority_firings", "on_schedule"
+    );
+
+    for &delay_ms in &[0u64, 1_000, 2_000, 5_000, 10_000, 20_000, 40_000] {
+        let delay = Duration::from_millis(delay_ms);
+        for model in ModelKind::all() {
+            let options = CompileOptions::new(model).with_transfer_delay(slides, delay);
+            let compiled = compile(&doc, &options).unwrap();
+            let exec = TimedExecution::run_to_completion(&compiled.net, &compiled.initial).unwrap();
+            let report = evaluate(&compiled, &exec, tolerance).unwrap();
+            println!(
+                "{:>14} {:>8} {:>14} {:>14} {:>16} {:>18} {:>14}",
+                delay_ms,
+                model.to_string(),
+                report.makespan.as_millis(),
+                report.total_stall.as_millis(),
+                report.deadline_misses,
+                report.priority_firings,
+                report.on_schedule()
+            );
+        }
+    }
+
+    println!("\nexpected shape: OCPN ignores transport (always nominal, but meaningless under");
+    println!("distribution); XOCPN's makespan and stall grow linearly with the delay and the miss");
+    println!("cascades to later objects; DOCPN stays on schedule with exactly one miss (the late");
+    println!("object) and at least one priority firing once the delay exceeds the slack.");
+}

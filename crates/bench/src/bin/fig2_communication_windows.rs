@@ -1,0 +1,58 @@
+//! Figure 2 reproduction: the DMPS communication windows for a student (2a)
+//! and the teacher (2b).
+//!
+//! A 1-teacher / 3-student session runs under Free Access, each participant
+//! configures their channels, content flows, then the session switches to
+//! Equal Control so the floor state becomes visible in the windows.
+//!
+//! Run with: `cargo run -p dmps-bench --bin fig2_communication_windows`
+
+use dmps::render::render_communication_window;
+use dmps::{Session, SessionConfig};
+use dmps_floor::{FcmMode, Role};
+use dmps_simnet::{Link, LocalClock};
+
+fn main() {
+    let mut session = Session::new(SessionConfig::new(2002, FcmMode::FreeAccess));
+    let teacher = session.add_client("teacher", Role::Chair, Link::lan(), LocalClock::perfect());
+    let alice = session.add_client("alice", Role::Participant, Link::dsl(), LocalClock::new(150.0, 0));
+    let bob = session.add_client("bob", Role::Participant, Link::dsl(), LocalClock::new(-200.0, 0));
+    let carol = session.add_client("carol", Role::Participant, Link::wan(), LocalClock::perfect());
+    session.pump();
+
+    // Free access phase: everyone contributes.
+    session.send_chat(teacher, "Welcome — today we cover floor control.");
+    session.send_annotation(teacher, "Figure on the board: four control modes.");
+    session.send_whiteboard(teacher, "box(free access | equal control | group discussion | direct contact)");
+    session.send_chat(alice, "Is equal control like a talking stick?");
+    session.send_chat(bob, "Free access seems chaotic for 200 students.");
+    session.pump();
+
+    // Switch to equal control: only the token holder may deliver.
+    let group = session.server().group();
+    session
+        .server_mut()
+        .arbiter_mut()
+        .set_mode(group, FcmMode::EqualControl)
+        .unwrap();
+    session.request_floor(carol);
+    session.pump();
+    session.request_floor(bob);
+    session.pump();
+    session.send_chat(carol, "With the token I can answer: yes, exactly.");
+    session.send_chat(alice, "(this should be rejected — I have no token)");
+    session.pump();
+
+    println!("== Figure 2(a): student communication window (alice) ==");
+    println!("{}", render_communication_window(session.client(alice)));
+    println!("== Figure 2(a'): student communication window (carol, token holder) ==");
+    println!("{}", render_communication_window(session.client(carol)));
+    println!("== Figure 2(b): teacher communication window ==");
+    println!("{}", render_communication_window(session.client(teacher)));
+    println!(
+        "server-side floor stats: {:?}, rejected deliveries: {}",
+        session.server().arbiter().stats(),
+        session.server().rejected_deliveries()
+    );
+    let _ = bob;
+}

@@ -1,0 +1,65 @@
+//! Figure 3 reproduction: the communication stage — annotation broadcast
+//! (3a), connection lights while everything is healthy (3b), and the red
+//! light after a client disconnects (3c).
+//!
+//! Run with: `cargo run -p dmps-bench --bin fig3_connection_status`
+
+use std::time::Duration;
+
+use dmps::render::render_connection_lights;
+use dmps::{Session, SessionConfig};
+use dmps_floor::{FcmMode, Role};
+use dmps_simnet::{DropReason, Link, LocalClock};
+
+fn main() {
+    let mut session = Session::new(SessionConfig::new(2003, FcmMode::FreeAccess));
+    let teacher = session.add_client("teacher", Role::Chair, Link::lan(), LocalClock::perfect());
+    let alice = session.add_client("alice", Role::Participant, Link::dsl(), LocalClock::perfect());
+    let bob = session.add_client("bob", Role::Participant, Link::wan(), LocalClock::perfect());
+    session.pump();
+
+    // --- 3(a): the teacher sends an annotation to every client -------------
+    println!("== Figure 3(a): teacher annotation broadcast ==");
+    session.send_annotation(teacher, "Please annotate exercise 2 on your copies.");
+    session.pump();
+    for (name, idx) in [("alice", alice), ("bob", bob)] {
+        println!(
+            "  {name} received {} annotation(s): {:?}",
+            session.client(idx).annotations().len(),
+            session.client(idx).annotations()
+        );
+    }
+
+    // --- 3(b): all lights green while heartbeats flow -----------------------
+    let until = session.now() + Duration::from_secs(5);
+    session.run_until(until);
+    println!("\n== Figure 3(b): all connections healthy ==");
+    println!("{}", render_connection_lights(session.server(), session.now()));
+
+    // --- 3(c): bob's connection drops; his light turns red ------------------
+    session.set_client_link_up(bob, false);
+    session.send_annotation(teacher, "Second annotation — bob will miss this one.");
+    let until = session.now() + Duration::from_secs(10);
+    session.run_until(until);
+    println!("== Figure 3(c): bob disconnected ==");
+    println!("{}", render_connection_lights(session.server(), session.now()));
+    let drops = session
+        .network()
+        .dropped()
+        .iter()
+        .filter(|d| d.reason == DropReason::LinkDown)
+        .count();
+    println!("messages dropped on the dead link: {drops}");
+    println!(
+        "alice has {} annotations, bob still has {}",
+        session.client(alice).annotations().len(),
+        session.client(bob).annotations().len()
+    );
+
+    // Recovery: the light goes back to green.
+    session.set_client_link_up(bob, true);
+    let until = session.now() + Duration::from_secs(6);
+    session.run_until(until);
+    println!("\n== after reconnection ==");
+    println!("{}", render_connection_lights(session.server(), session.now()));
+}

@@ -1,0 +1,136 @@
+//! Shared builders for the benchmark harness and the figure/experiment
+//! reproduction binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use dmps::{Session, SessionConfig};
+use dmps_floor::{FcmMode, Role};
+use dmps_media::{MediaKind, MediaObject, PresentationDocument, TemporalRelation};
+use dmps_simnet::{Link, LocalClock};
+
+/// The lecture presentation used throughout the experiments: a 40-second
+/// lip-synced video+narration with slides for the first 30 seconds and a
+/// 15-second quiz afterwards — the structure sketched in Figure 1 of the
+/// paper.
+pub fn lecture_document() -> PresentationDocument {
+    let mut doc = PresentationDocument::new("figure-1-lecture");
+    let video = doc.add_object(MediaObject::new(
+        "lecture-video",
+        MediaKind::Video,
+        Duration::from_secs(40),
+    ));
+    let narration = doc.add_object(MediaObject::new(
+        "narration",
+        MediaKind::Audio,
+        Duration::from_secs(40),
+    ));
+    let slides = doc.add_object(MediaObject::new(
+        "slides",
+        MediaKind::Slide,
+        Duration::from_secs(30),
+    ));
+    let quiz = doc.add_object(MediaObject::new(
+        "quiz",
+        MediaKind::Text,
+        Duration::from_secs(15),
+    ));
+    doc.relate(video, TemporalRelation::Equals, narration)
+        .expect("distinct objects");
+    doc.relate(video, TemporalRelation::StartedBy, slides)
+        .expect("distinct objects");
+    doc.relate(video, TemporalRelation::Meets, quiz)
+        .expect("distinct objects");
+    doc.add_interaction("quiz-answers", Duration::from_secs(45), Duration::from_secs(8));
+    doc
+}
+
+/// A sequential presentation of `segments` equal-length video segments, used
+/// for parameter sweeps.
+pub fn sequential_document(segments: usize, segment: Duration) -> PresentationDocument {
+    let mut doc = PresentationDocument::new(format!("sequence-{segments}"));
+    let mut prev = None;
+    for i in 0..segments {
+        let seg = doc.add_object(MediaObject::new(
+            format!("seg-{i}"),
+            MediaKind::Video,
+            segment,
+        ));
+        if let Some(p) = prev {
+            doc.relate(p, TemporalRelation::Meets, seg)
+                .expect("distinct objects");
+        }
+        prev = Some(seg);
+    }
+    doc
+}
+
+/// Builds a session with one teacher on the LAN and `students` students whose
+/// links alternate between DSL and WAN and whose clocks drift by
+/// `±drift_ppm` / `±offset_ms` in an alternating pattern.
+pub fn classroom_session(
+    seed: u64,
+    mode: FcmMode,
+    students: usize,
+    drift_ppm: f64,
+    offset_ms: i64,
+    admission: bool,
+) -> (Session, usize, Vec<usize>) {
+    let mut config = SessionConfig::new(seed, mode);
+    if !admission {
+        config = config.without_admission_control();
+    }
+    let mut session = Session::new(config);
+    let teacher = session.add_client("teacher", Role::Chair, Link::lan(), LocalClock::perfect());
+    let students = (0..students)
+        .map(|i| {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let link = if i % 2 == 0 { Link::dsl() } else { Link::wan() };
+            session.add_client(
+                format!("student-{i}"),
+                Role::Participant,
+                link,
+                LocalClock::new(sign * drift_ppm, sign as i64 * offset_ms * 1_000_000),
+            )
+        })
+        .collect();
+    session.pump();
+    (session, teacher, students)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lecture_document_solves() {
+        let doc = lecture_document();
+        assert_eq!(doc.object_count(), 4);
+        assert_eq!(
+            doc.timeline().unwrap().total_duration(),
+            Duration::from_secs(55)
+        );
+    }
+
+    #[test]
+    fn sequential_document_solves() {
+        let doc = sequential_document(5, Duration::from_secs(4));
+        assert_eq!(
+            doc.timeline().unwrap().total_duration(),
+            Duration::from_secs(20)
+        );
+    }
+
+    #[test]
+    fn classroom_session_joins_everyone() {
+        let (session, teacher, students) =
+            classroom_session(1, FcmMode::FreeAccess, 4, 200.0, 10, true);
+        assert!(session.member_of(teacher).is_ok());
+        assert_eq!(students.len(), 4);
+        for s in students {
+            assert!(session.member_of(s).is_ok());
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! The DMPS client: one participant's communication window, local clock
+//! synchronization state, and floor-control view.
+
+use dmps_floor::{ArbitrationOutcome, GroupId, MemberId, Role};
+use dmps_media::ChannelKind;
+use dmps_simnet::{AdmissionDecision, ClockSyncClient, HostId, SimTime};
+
+use crate::message::DmpsMessage;
+
+/// A media playback the client performed, with the timing the skew
+/// measurement needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlaybackRecord {
+    /// The media object's name.
+    pub media: String,
+    /// The global time the server scheduled for the start.
+    pub scheduled_global: SimTime,
+    /// The client's local clock reading when it started the object.
+    pub started_local: SimTime,
+    /// Whether the start was delayed by the global-clock admission rule.
+    pub delayed_by_admission: bool,
+}
+
+/// The DMPS client.
+#[derive(Debug)]
+pub struct DmpsClient {
+    host: HostId,
+    name: String,
+    role: Role,
+    channels: Vec<ChannelKind>,
+    member: Option<MemberId>,
+    group: Option<GroupId>,
+    sync: ClockSyncClient,
+    use_admission_control: bool,
+    message_window: Vec<String>,
+    whiteboard: Vec<String>,
+    annotations: Vec<String>,
+    may_speak: bool,
+    queued_behind: Option<MemberId>,
+    rejections: u64,
+    playbacks: Vec<PlaybackRecord>,
+}
+
+impl DmpsClient {
+    /// Creates a client bound to a simulated host.
+    pub fn new(host: HostId, name: impl Into<String>, role: Role) -> Self {
+        let channels = match role {
+            Role::Chair => vec![
+                ChannelKind::MessageWindow,
+                ChannelKind::Whiteboard,
+                ChannelKind::Annotation,
+                ChannelKind::AudioStream,
+                ChannelKind::VideoStream,
+                ChannelKind::SlideCast,
+            ],
+            Role::Participant => vec![
+                ChannelKind::MessageWindow,
+                ChannelKind::Whiteboard,
+                ChannelKind::AudioStream,
+            ],
+            Role::Observer => vec![ChannelKind::MessageWindow],
+        };
+        DmpsClient {
+            host,
+            name: name.into(),
+            role,
+            channels,
+            member: None,
+            group: None,
+            sync: ClockSyncClient::new(),
+            use_admission_control: true,
+            message_window: Vec::new(),
+            whiteboard: Vec::new(),
+            annotations: Vec::new(),
+            may_speak: false,
+            queued_behind: None,
+            rejections: 0,
+            playbacks: Vec::new(),
+        }
+    }
+
+    /// Disables the global-clock admission rule (the E4 ablation: clients
+    /// start media the moment the command arrives).
+    pub fn disable_admission_control(&mut self) {
+        self.use_admission_control = false;
+    }
+
+    /// The simulated host the client runs on.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// The client's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The client's role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The channels enabled in the communication window.
+    pub fn channels(&self) -> &[ChannelKind] {
+        &self.channels
+    }
+
+    /// The member id assigned by the server, once joined.
+    pub fn member(&self) -> Option<MemberId> {
+        self.member
+    }
+
+    /// The session group, once joined.
+    pub fn group(&self) -> Option<GroupId> {
+        self.group
+    }
+
+    /// The clock-synchronization state.
+    pub fn sync(&self) -> &ClockSyncClient {
+        &self.sync
+    }
+
+    /// The lines shown in the message window.
+    pub fn message_window(&self) -> &[String] {
+        &self.message_window
+    }
+
+    /// The strokes on the whiteboard.
+    pub fn whiteboard(&self) -> &[String] {
+        &self.whiteboard
+    }
+
+    /// The teacher annotations shown as an overlay.
+    pub fn annotations(&self) -> &[String] {
+        &self.annotations
+    }
+
+    /// Whether the client currently holds the floor (or the mode lets
+    /// everyone speak).
+    pub fn may_speak(&self) -> bool {
+        self.may_speak
+    }
+
+    /// The member the client is queued behind in Equal Control, if any.
+    pub fn queued_behind(&self) -> Option<MemberId> {
+        self.queued_behind
+    }
+
+    /// Number of deliveries floor control rejected.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// The media playbacks the client performed.
+    pub fn playbacks(&self) -> &[PlaybackRecord] {
+        &self.playbacks
+    }
+
+    // ----- outgoing actions --------------------------------------------------
+
+    /// The join message announcing the client to the server.
+    pub fn join_message(&self) -> DmpsMessage {
+        DmpsMessage::Join {
+            name: self.name.clone(),
+            role: self.role,
+            channels: self.channels.clone(),
+        }
+    }
+
+    /// A clock-synchronization request stamped with the given local reading.
+    pub fn clock_sync_message(&mut self, local_now: SimTime) -> DmpsMessage {
+        self.sync.request_sent(local_now);
+        DmpsMessage::ClockSyncRequest {
+            client_local: local_now,
+        }
+    }
+
+    /// A heartbeat, once joined.
+    pub fn heartbeat_message(&self) -> Option<DmpsMessage> {
+        self.member.map(|member| DmpsMessage::Heartbeat { member })
+    }
+
+    // ----- incoming handling -------------------------------------------------
+
+    /// Handles a message delivered to this client. `local_now` is the
+    /// client's local clock reading at the moment of delivery. Returns the
+    /// messages to send back to the server.
+    pub fn handle(&mut self, local_now: SimTime, msg: DmpsMessage) -> Vec<DmpsMessage> {
+        match msg {
+            DmpsMessage::JoinAccepted { member, group } => {
+                self.member = Some(member);
+                self.group = Some(group);
+                Vec::new()
+            }
+            DmpsMessage::ClockSyncResponse { server_global } => {
+                self.sync.response_received(server_global, local_now);
+                Vec::new()
+            }
+            DmpsMessage::FloorDecision { member, outcome } => {
+                if Some(member) == self.member {
+                    match outcome {
+                        ArbitrationOutcome::Granted { .. } => {
+                            self.may_speak = true;
+                            self.queued_behind = None;
+                        }
+                        ArbitrationOutcome::Queued { current_holder, .. } => {
+                            self.queued_behind = Some(current_holder);
+                        }
+                        ArbitrationOutcome::Denied { .. } | ArbitrationOutcome::Aborted { .. } => {
+                            self.may_speak = false;
+                        }
+                    }
+                }
+                Vec::new()
+            }
+            DmpsMessage::Chat { from, text } => {
+                self.message_window.push(format!("{from}: {text}"));
+                Vec::new()
+            }
+            DmpsMessage::Whiteboard { from, stroke } => {
+                self.whiteboard.push(format!("{from}: {stroke}"));
+                Vec::new()
+            }
+            DmpsMessage::Annotation { from, text } => {
+                self.annotations.push(format!("{from}: {text}"));
+                Vec::new()
+            }
+            DmpsMessage::DeliveryRejected { .. } => {
+                self.rejections += 1;
+                self.may_speak = false;
+                Vec::new()
+            }
+            DmpsMessage::MediaStart {
+                media,
+                scheduled_global,
+            } => {
+                // The paper's admission rule: a client whose clock is ahead of
+                // the global clock waits; one whose clock lags fires at once.
+                let (started_local, delayed) = if self.use_admission_control {
+                    match self.sync.admission(scheduled_global, local_now) {
+                        AdmissionDecision::FireNow => (local_now, false),
+                        AdmissionDecision::DelayUntilLocal(at) => (at, true),
+                    }
+                } else {
+                    (local_now, false)
+                };
+                self.playbacks.push(PlaybackRecord {
+                    media: media.clone(),
+                    scheduled_global,
+                    started_local,
+                    delayed_by_admission: delayed,
+                });
+                let report = self.member.map(|member| DmpsMessage::MediaStarted {
+                    member,
+                    media,
+                    estimated_global: self.sync.estimate_global(started_local),
+                });
+                report.into_iter().collect()
+            }
+            // Server-bound messages are ignored if they somehow reach a client.
+            DmpsMessage::ClockSyncRequest { .. }
+            | DmpsMessage::Join { .. }
+            | DmpsMessage::Floor(_)
+            | DmpsMessage::Heartbeat { .. }
+            | DmpsMessage::MediaStarted { .. } => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmps_floor::FloorRequest;
+
+    #[test]
+    fn role_determines_default_channels() {
+        let teacher = DmpsClient::new(HostId(1), "teacher", Role::Chair);
+        assert!(teacher.channels().contains(&ChannelKind::Annotation));
+        assert!(teacher.channels().contains(&ChannelKind::VideoStream));
+        let student = DmpsClient::new(HostId(2), "alice", Role::Participant);
+        assert!(!student.channels().contains(&ChannelKind::Annotation));
+        let observer = DmpsClient::new(HostId(3), "guest", Role::Observer);
+        assert_eq!(observer.channels(), &[ChannelKind::MessageWindow]);
+        assert_eq!(student.name(), "alice");
+        assert_eq!(student.role(), Role::Participant);
+        assert_eq!(student.host(), HostId(2));
+    }
+
+    #[test]
+    fn join_handshake_sets_identity() {
+        let mut c = DmpsClient::new(HostId(1), "alice", Role::Participant);
+        assert!(c.member().is_none());
+        assert!(matches!(c.join_message(), DmpsMessage::Join { .. }));
+        c.handle(
+            SimTime::ZERO,
+            DmpsMessage::JoinAccepted {
+                member: MemberId(4),
+                group: GroupId(0),
+            },
+        );
+        assert_eq!(c.member(), Some(MemberId(4)));
+        assert_eq!(c.group(), Some(GroupId(0)));
+        assert!(c.heartbeat_message().is_some());
+    }
+
+    #[test]
+    fn clock_sync_round_updates_offset() {
+        let mut c = DmpsClient::new(HostId(1), "alice", Role::Participant);
+        let req = c.clock_sync_message(SimTime::from_millis(1_000));
+        assert!(matches!(req, DmpsMessage::ClockSyncRequest { .. }));
+        c.handle(
+            SimTime::from_millis(1_040),
+            DmpsMessage::ClockSyncResponse {
+                server_global: SimTime::from_millis(1_120),
+            },
+        );
+        assert!(c.sync().is_synchronized());
+        assert_eq!(c.sync().estimated_offset_nanos(), 100_000_000);
+    }
+
+    #[test]
+    fn content_lands_in_the_right_window() {
+        let mut c = DmpsClient::new(HostId(1), "alice", Role::Participant);
+        c.handle(SimTime::ZERO, DmpsMessage::Chat { from: MemberId(0), text: "hi".into() });
+        c.handle(SimTime::ZERO, DmpsMessage::Whiteboard { from: MemberId(0), stroke: "rect".into() });
+        c.handle(SimTime::ZERO, DmpsMessage::Annotation { from: MemberId(0), text: "note".into() });
+        assert_eq!(c.message_window().len(), 1);
+        assert_eq!(c.whiteboard().len(), 1);
+        assert_eq!(c.annotations().len(), 1);
+        assert!(c.message_window()[0].contains("hi"));
+    }
+
+    #[test]
+    fn floor_decisions_update_speaking_state() {
+        let mut c = DmpsClient::new(HostId(1), "alice", Role::Participant);
+        c.handle(
+            SimTime::ZERO,
+            DmpsMessage::JoinAccepted {
+                member: MemberId(2),
+                group: GroupId(0),
+            },
+        );
+        c.handle(
+            SimTime::ZERO,
+            DmpsMessage::FloorDecision {
+                member: MemberId(2),
+                outcome: ArbitrationOutcome::Queued {
+                    current_holder: MemberId(1),
+                    position: 1,
+                },
+            },
+        );
+        assert_eq!(c.queued_behind(), Some(MemberId(1)));
+        assert!(!c.may_speak());
+        c.handle(
+            SimTime::ZERO,
+            DmpsMessage::FloorDecision {
+                member: MemberId(2),
+                outcome: ArbitrationOutcome::Granted {
+                    speakers: vec![MemberId(2)],
+                    suspensions: vec![],
+                },
+            },
+        );
+        assert!(c.may_speak());
+        assert_eq!(c.queued_behind(), None);
+        // Decisions for other members are ignored.
+        c.handle(
+            SimTime::ZERO,
+            DmpsMessage::FloorDecision {
+                member: MemberId(9),
+                outcome: ArbitrationOutcome::Denied {
+                    reason: dmps_floor::arbiter::DenialReason::InsufficientPriority,
+                },
+            },
+        );
+        assert!(c.may_speak());
+        let _ = DmpsMessage::Floor(FloorRequest::speak(GroupId(0), MemberId(2)));
+    }
+
+    #[test]
+    fn rejected_delivery_is_counted() {
+        let mut c = DmpsClient::new(HostId(1), "alice", Role::Participant);
+        c.handle(
+            SimTime::ZERO,
+            DmpsMessage::DeliveryRejected {
+                member: MemberId(2),
+                reason: "no floor".into(),
+            },
+        );
+        assert_eq!(c.rejections(), 1);
+        assert!(!c.may_speak());
+    }
+
+    #[test]
+    fn media_start_applies_the_admission_rule() {
+        let mut c = DmpsClient::new(HostId(1), "alice", Role::Participant);
+        c.handle(
+            SimTime::ZERO,
+            DmpsMessage::JoinAccepted {
+                member: MemberId(1),
+                group: GroupId(0),
+            },
+        );
+        // Synchronize with a clock that is 50 ms ahead of global (offset −50 ms).
+        c.clock_sync_message(SimTime::from_millis(1_050));
+        c.handle(
+            SimTime::from_millis(1_050),
+            DmpsMessage::ClockSyncResponse {
+                server_global: SimTime::from_millis(1_000),
+            },
+        );
+        // The command arrives "early" by the client's fast clock: it delays.
+        let replies = c.handle(
+            SimTime::from_millis(2_000),
+            DmpsMessage::MediaStart {
+                media: "intro".into(),
+                scheduled_global: SimTime::from_millis(2_000),
+            },
+        );
+        assert_eq!(c.playbacks().len(), 1);
+        let p = &c.playbacks()[0];
+        assert!(p.delayed_by_admission);
+        assert_eq!(p.started_local, SimTime::from_millis(2_050));
+        assert!(matches!(replies[0], DmpsMessage::MediaStarted { .. }));
+        // With admission control disabled the client starts immediately.
+        let mut c2 = DmpsClient::new(HostId(2), "bob", Role::Participant);
+        c2.disable_admission_control();
+        c2.handle(
+            SimTime::from_millis(2_000),
+            DmpsMessage::MediaStart {
+                media: "intro".into(),
+                scheduled_global: SimTime::from_millis(2_500),
+            },
+        );
+        assert!(!c2.playbacks()[0].delayed_by_admission);
+        assert_eq!(c2.playbacks()[0].started_local, SimTime::from_millis(2_000));
+    }
+}

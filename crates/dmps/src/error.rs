@@ -1,0 +1,97 @@
+//! Error type of the DMPS application layer.
+
+use std::fmt;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, DmpsError>;
+
+/// Errors raised by the DMPS application layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DmpsError {
+    /// An error from the floor control mechanism.
+    Floor(dmps_floor::FloorError),
+    /// An error from the network simulator.
+    Sim(dmps_simnet::SimError),
+    /// An error from the presentation models.
+    Docpn(dmps_docpn::DocpnError),
+    /// An error from the media model.
+    Media(dmps_media::MediaError),
+    /// A client index does not exist in the session.
+    UnknownClient(usize),
+    /// A client has not completed the join handshake yet.
+    NotJoined(usize),
+}
+
+impl fmt::Display for DmpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmpsError::Floor(e) => write!(f, "floor control error: {e}"),
+            DmpsError::Sim(e) => write!(f, "network simulator error: {e}"),
+            DmpsError::Docpn(e) => write!(f, "presentation model error: {e}"),
+            DmpsError::Media(e) => write!(f, "media model error: {e}"),
+            DmpsError::UnknownClient(i) => write!(f, "unknown client index {i}"),
+            DmpsError::NotJoined(i) => write!(f, "client {i} has not joined the session"),
+        }
+    }
+}
+
+impl std::error::Error for DmpsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DmpsError::Floor(e) => Some(e),
+            DmpsError::Sim(e) => Some(e),
+            DmpsError::Docpn(e) => Some(e),
+            DmpsError::Media(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dmps_floor::FloorError> for DmpsError {
+    fn from(e: dmps_floor::FloorError) -> Self {
+        DmpsError::Floor(e)
+    }
+}
+
+impl From<dmps_simnet::SimError> for DmpsError {
+    fn from(e: dmps_simnet::SimError) -> Self {
+        DmpsError::Sim(e)
+    }
+}
+
+impl From<dmps_docpn::DocpnError> for DmpsError {
+    fn from(e: dmps_docpn::DocpnError) -> Self {
+        DmpsError::Docpn(e)
+    }
+}
+
+impl From<dmps_media::MediaError> for DmpsError {
+    fn from(e: dmps_media::MediaError) -> Self {
+        DmpsError::Media(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        use std::error::Error as _;
+        let e = DmpsError::from(dmps_simnet::SimError::TimeWentBackwards);
+        assert!(e.to_string().contains("network simulator"));
+        assert!(e.source().is_some());
+        let e = DmpsError::UnknownClient(3);
+        assert!(e.to_string().contains('3'));
+        assert!(e.source().is_none());
+        let e = DmpsError::from(dmps_floor::FloorError::MissingDestination);
+        assert!(e.to_string().contains("floor control"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<DmpsError>();
+    }
+}

@@ -1,0 +1,53 @@
+//! # dmps
+//!
+//! The Distributed Multimedia Presentation System of the paper, assembled
+//! from the substrate crates: a **server** hosting the group administration,
+//! the global clock and the floor control arbiter; **clients** with their
+//! communication windows (message window, whiteboard, annotation overlay) and
+//! drifting local clocks; and a **session** that wires them together over the
+//! deterministic network simulator.
+//!
+//! The crate also contains the pieces the experiments need: the presentation
+//! driver that broadcasts DOCPN schedules and measures cross-client skew
+//! (experiment E4), workload generators for floor-control request traces
+//! (E6/E8), textual renderers reproducing the communication windows of
+//! Figure 2 and the connection lights of Figure 3, and the metrics used in
+//! `EXPERIMENTS.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use dmps::{Session, SessionConfig};
+//! use dmps_floor::{FcmMode, Role};
+//! use dmps_simnet::Link;
+//!
+//! let mut session = Session::new(SessionConfig::new(42, FcmMode::FreeAccess));
+//! let teacher = session.add_client("teacher", Role::Chair, Link::lan(), Default::default());
+//! let alice = session.add_client("alice", Role::Participant, Link::dsl(), Default::default());
+//! session.pump();
+//! session.send_chat(teacher, "welcome to the lecture");
+//! session.pump();
+//! assert!(session.client(alice).message_window().iter().any(|l| l.contains("welcome")));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod message;
+pub mod metrics;
+pub mod presentation;
+pub mod render;
+pub mod server;
+pub mod session;
+pub mod workload;
+
+pub use client::DmpsClient;
+pub use error::{DmpsError, Result};
+pub use message::DmpsMessage;
+pub use metrics::{GrantLatencyStats, SkewStats};
+pub use presentation::{PresentationDriver, PlaybackSkewReport};
+pub use server::DmpsServer;
+pub use session::{Session, SessionConfig};
+pub use workload::{Workload, WorkloadEvent, WorkloadKind};

@@ -1,0 +1,186 @@
+//! The DMPS wire protocol carried over the simulated network.
+
+use serde::{Deserialize, Serialize};
+
+use dmps_floor::{ArbitrationOutcome, FloorRequest, GroupId, MemberId, Role};
+use dmps_media::ChannelKind;
+use dmps_simnet::SimTime;
+
+/// Messages exchanged between the DMPS server and its clients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DmpsMessage {
+    /// Client → server: request the current global clock.
+    ClockSyncRequest {
+        /// The client's local clock reading when it sent the request.
+        client_local: SimTime,
+    },
+    /// Server → client: the global clock at the moment the request was
+    /// handled.
+    ClockSyncResponse {
+        /// The global time.
+        server_global: SimTime,
+    },
+    /// Client → server: join the session.
+    Join {
+        /// Display name.
+        name: String,
+        /// Session role (teacher = chair, student = participant).
+        role: Role,
+        /// The channels the client enabled in its communication window.
+        channels: Vec<ChannelKind>,
+    },
+    /// Server → client: the join was accepted.
+    JoinAccepted {
+        /// The member id assigned by the group administration.
+        member: MemberId,
+        /// The main session group.
+        group: GroupId,
+    },
+    /// Client → server: a floor control request.
+    Floor(FloorRequest),
+    /// Server → client: the arbitration outcome for a request the client
+    /// made.
+    FloorDecision {
+        /// The member whose request was arbitrated.
+        member: MemberId,
+        /// The outcome.
+        outcome: ArbitrationOutcome,
+    },
+    /// A text message for the message window.
+    Chat {
+        /// Sender.
+        from: MemberId,
+        /// The text.
+        text: String,
+    },
+    /// A whiteboard stroke batch.
+    Whiteboard {
+        /// Sender.
+        from: MemberId,
+        /// Encoded stroke data.
+        stroke: String,
+    },
+    /// A teacher annotation (Figure 3a).
+    Annotation {
+        /// Sender.
+        from: MemberId,
+        /// The annotation text.
+        text: String,
+    },
+    /// Server → clients: start presenting a media object at the given global
+    /// time (the DOCPN schedule broadcast).
+    MediaStart {
+        /// Name of the media object.
+        media: String,
+        /// The global time at which every client should start it.
+        scheduled_global: SimTime,
+    },
+    /// Client → server: report that a media object was started (used by the
+    /// skew measurement).
+    MediaStarted {
+        /// The reporting member.
+        member: MemberId,
+        /// Name of the media object.
+        media: String,
+        /// The client's estimate of global time when it started the object.
+        estimated_global: SimTime,
+    },
+    /// Client → server: periodic liveness heartbeat (drives the connection
+    /// lights of Figure 3).
+    Heartbeat {
+        /// The reporting member.
+        member: MemberId,
+    },
+    /// A denial notice for a delivery attempt that floor control rejected.
+    DeliveryRejected {
+        /// The member whose delivery was rejected.
+        member: MemberId,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl DmpsMessage {
+    /// The approximate wire size of the message in bytes, used by the
+    /// simulator to compute transmission delays.
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            DmpsMessage::ClockSyncRequest { .. } | DmpsMessage::ClockSyncResponse { .. } => 48,
+            DmpsMessage::Join { name, channels, .. } => 64 + name.len() as u64 + channels.len() as u64 * 4,
+            DmpsMessage::JoinAccepted { .. } => 32,
+            DmpsMessage::Floor(_) => 64,
+            DmpsMessage::FloorDecision { outcome, .. } => {
+                48 + outcome.suspensions().len() as u64 * 16
+            }
+            DmpsMessage::Chat { text, .. } => 32 + text.len() as u64,
+            DmpsMessage::Whiteboard { stroke, .. } => 32 + stroke.len() as u64,
+            DmpsMessage::Annotation { text, .. } => 32 + text.len() as u64,
+            DmpsMessage::MediaStart { media, .. } => 48 + media.len() as u64,
+            DmpsMessage::MediaStarted { media, .. } => 48 + media.len() as u64,
+            DmpsMessage::Heartbeat { .. } => 16,
+            DmpsMessage::DeliveryRejected { reason, .. } => 32 + reason.len() as u64,
+        }
+    }
+
+    /// Whether this message is part of the control plane (clock sync, floor
+    /// control, membership) rather than user content.
+    pub fn is_control(&self) -> bool {
+        !matches!(
+            self,
+            DmpsMessage::Chat { .. }
+                | DmpsMessage::Whiteboard { .. }
+                | DmpsMessage::Annotation { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_positive_and_scale_with_content() {
+        let short = DmpsMessage::Chat {
+            from: MemberId(0),
+            text: "hi".into(),
+        };
+        let long = DmpsMessage::Chat {
+            from: MemberId(0),
+            text: "a much longer chat message with plenty of text".into(),
+        };
+        assert!(short.size_bytes() > 0);
+        assert!(long.size_bytes() > short.size_bytes());
+        assert!(DmpsMessage::Heartbeat { member: MemberId(0) }.size_bytes() < 32);
+    }
+
+    #[test]
+    fn control_plane_classification() {
+        assert!(DmpsMessage::ClockSyncRequest {
+            client_local: SimTime::ZERO
+        }
+        .is_control());
+        assert!(DmpsMessage::Heartbeat { member: MemberId(1) }.is_control());
+        assert!(!DmpsMessage::Chat {
+            from: MemberId(1),
+            text: "x".into()
+        }
+        .is_control());
+        assert!(!DmpsMessage::Annotation {
+            from: MemberId(1),
+            text: "x".into()
+        }
+        .is_control());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let msg = DmpsMessage::MediaStart {
+            media: "intro-video".into(),
+            scheduled_global: SimTime::from_secs(5),
+        };
+        let json = serde_json::to_string(&msg).unwrap();
+        let back: DmpsMessage = serde_json::from_str(&json).unwrap();
+        assert_eq!(msg, back);
+    }
+}

@@ -1,0 +1,127 @@
+//! Metrics used by the experiment harness.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of cross-client presentation skew (experiment E4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SkewStats {
+    /// Largest absolute deviation from the scheduled global start.
+    pub max: Duration,
+    /// Mean absolute deviation.
+    pub mean: Duration,
+    /// Largest pairwise difference between any two clients' actual starts
+    /// (the skew a viewer would perceive between two screens side by side).
+    pub spread: Duration,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+impl SkewStats {
+    /// Computes skew statistics from per-client signed deviations
+    /// (actual − scheduled) expressed in nanoseconds.
+    pub fn from_deviations(deviations_nanos: &[i64]) -> Self {
+        if deviations_nanos.is_empty() {
+            return SkewStats::default();
+        }
+        let max = deviations_nanos
+            .iter()
+            .map(|d| d.unsigned_abs())
+            .max()
+            .unwrap_or(0);
+        let mean =
+            deviations_nanos.iter().map(|d| d.unsigned_abs()).sum::<u64>() / deviations_nanos.len() as u64;
+        let spread = (deviations_nanos.iter().max().unwrap_or(&0)
+            - deviations_nanos.iter().min().unwrap_or(&0))
+            .unsigned_abs();
+        SkewStats {
+            max: Duration::from_nanos(max),
+            mean: Duration::from_nanos(mean),
+            spread: Duration::from_nanos(spread),
+            samples: deviations_nanos.len(),
+        }
+    }
+}
+
+/// Summary statistics of floor-grant latency (experiments E6/E8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct GrantLatencyStats {
+    /// Mean request-to-decision latency.
+    pub mean: Duration,
+    /// Maximum latency.
+    pub max: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+impl GrantLatencyStats {
+    /// Computes latency statistics from individual samples.
+    pub fn from_samples(samples: &[Duration]) -> Self {
+        if samples.is_empty() {
+            return GrantLatencyStats::default();
+        }
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort();
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        let max = *sorted.last().expect("non-empty");
+        let p95 = sorted[((sorted.len() as f64 * 0.95).ceil() as usize - 1).min(sorted.len() - 1)];
+        GrantLatencyStats {
+            mean,
+            max,
+            p95,
+            samples: sorted.len(),
+        }
+    }
+}
+
+/// Jain's fairness index over per-member counts (1.0 = perfectly fair).
+pub fn jain_fairness(counts: &[u64]) -> f64 {
+    if counts.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = counts.iter().map(|&c| c as f64).sum();
+    let sum_sq: f64 = counts.iter().map(|&c| (c as f64) * (c as f64)).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (counts.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_stats_from_deviations() {
+        let stats = SkewStats::from_deviations(&[-2_000_000, 1_000_000, 3_000_000]);
+        assert_eq!(stats.max, Duration::from_millis(3));
+        assert_eq!(stats.mean, Duration::from_millis(2));
+        assert_eq!(stats.spread, Duration::from_millis(5));
+        assert_eq!(stats.samples, 3);
+        assert_eq!(SkewStats::from_deviations(&[]), SkewStats::default());
+    }
+
+    #[test]
+    fn grant_latency_stats() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let stats = GrantLatencyStats::from_samples(&samples);
+        assert_eq!(stats.max, Duration::from_millis(100));
+        assert_eq!(stats.p95, Duration::from_millis(95));
+        assert_eq!(stats.samples, 100);
+        assert!(stats.mean >= Duration::from_millis(50));
+        assert_eq!(GrantLatencyStats::from_samples(&[]), GrantLatencyStats::default());
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert!((jain_fairness(&[5, 5, 5, 5]) - 1.0).abs() < 1e-12);
+        let skewed = jain_fairness(&[10, 0, 0, 0]);
+        assert!((skewed - 0.25).abs() < 1e-12);
+        assert!((jain_fairness(&[]) - 1.0).abs() < 1e-12);
+        assert!((jain_fairness(&[0, 0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,272 @@
+//! The presentation driver: broadcasting a DOCPN schedule to every client of
+//! a session and measuring the cross-client skew (experiment E4).
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use dmps_docpn::CompiledPresentation;
+use dmps_media::PresentationDocument;
+use dmps_simnet::SimTime;
+
+use crate::error::Result;
+use crate::metrics::SkewStats;
+use crate::session::Session;
+
+/// One media object's measured playback across clients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MediaSkewEntry {
+    /// The media object's name.
+    pub media: String,
+    /// The scheduled global start.
+    pub scheduled_global: SimTime,
+    /// Per-client signed deviation (actual true-global start − scheduled), in
+    /// nanoseconds, indexed by client.
+    pub deviations_nanos: Vec<i64>,
+}
+
+/// The skew report of one presentation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlaybackSkewReport {
+    /// Per-media entries in schedule order.
+    pub media: Vec<MediaSkewEntry>,
+    /// Aggregate statistics over every (media, client) sample.
+    pub overall: SkewStats,
+    /// Whether clients applied the global-clock admission rule.
+    pub admission_control: bool,
+}
+
+impl PlaybackSkewReport {
+    /// Renders the report as a text table (one row per media object).
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "admission_control={} max_skew_us={} mean_skew_us={} spread_us={}\n",
+            self.admission_control,
+            self.overall.max.as_micros(),
+            self.overall.mean.as_micros(),
+            self.overall.spread.as_micros()
+        );
+        out.push_str("media\tscheduled_ms\tper_client_deviation_us\n");
+        for m in &self.media {
+            let devs: Vec<String> = m
+                .deviations_nanos
+                .iter()
+                .map(|d| format!("{}", d / 1_000))
+                .collect();
+            out.push_str(&format!(
+                "{}\t{}\t{}\n",
+                m.media,
+                m.scheduled_global.as_millis(),
+                devs.join(",")
+            ));
+        }
+        out
+    }
+}
+
+/// Drives a compiled presentation over a session.
+#[derive(Debug)]
+pub struct PresentationDriver {
+    /// `(media name, offset from presentation start)` in schedule order.
+    schedule: Vec<(String, Duration)>,
+}
+
+impl PresentationDriver {
+    /// Builds a driver from a presentation document: every media object is
+    /// broadcast at its solved timeline start.
+    ///
+    /// # Errors
+    ///
+    /// Returns timeline-solving errors from the media crate.
+    pub fn from_document(doc: &PresentationDocument) -> Result<Self> {
+        let timeline = doc.timeline()?;
+        let mut schedule: Vec<(String, Duration)> = doc
+            .objects()
+            .map(|(id, obj)| {
+                let start = timeline.interval(id).expect("object is on the timeline").start;
+                (obj.name.clone(), start)
+            })
+            .collect();
+        schedule.sort_by_key(|(_, start)| *start);
+        Ok(PresentationDriver { schedule })
+    }
+
+    /// Builds a driver from an already-compiled presentation (uses the same
+    /// nominal timeline).
+    pub fn from_compiled(compiled: &CompiledPresentation) -> Self {
+        let mut schedule: Vec<(String, Duration)> = compiled
+            .media_playout_place
+            .keys()
+            .map(|&id| {
+                let start = compiled
+                    .ideal_start(id)
+                    .expect("compiled media is on the timeline");
+                let name = compiled
+                    .net
+                    .net()
+                    .place(compiled.media_playout_place[&id])
+                    .expect("playout place exists")
+                    .name
+                    .trim_start_matches("play:")
+                    .to_string();
+                (name, start)
+            })
+            .collect();
+        schedule.sort_by_key(|(_, start)| *start);
+        PresentationDriver { schedule }
+    }
+
+    /// The broadcast schedule.
+    pub fn schedule(&self) -> &[(String, Duration)] {
+        &self.schedule
+    }
+
+    /// Runs the presentation over the session: the server broadcasts every
+    /// media start `lead_time` before its scheduled global time, the session
+    /// is pumped to completion, and the per-client skew is measured using the
+    /// true host clocks.
+    pub fn run(
+        &self,
+        session: &mut Session,
+        presentation_start: SimTime,
+        lead_time: Duration,
+    ) -> PlaybackSkewReport {
+        for (media, offset) in &self.schedule {
+            let scheduled_global = presentation_start + *offset;
+            let broadcast_at = scheduled_global.saturating_sub(lead_time).max(session.now());
+            session.schedule_media_start(broadcast_at, media.clone(), scheduled_global);
+        }
+        session.pump();
+
+        // Measure: for every media object and every client, the true global
+        // time of the client's start is its local start converted through the
+        // host's true clock.
+        let client_count = session.client_count();
+        let admission_control = session.admission_control();
+        let mut media_entries = Vec::new();
+        let mut all_deviations = Vec::new();
+        for (media, offset) in &self.schedule {
+            let scheduled_global = presentation_start + *offset;
+            let mut deviations = Vec::new();
+            for idx in 0..client_count {
+                let client = session.client(idx);
+                let Some(record) = client.playbacks().iter().find(|p| &p.media == media) else {
+                    continue;
+                };
+                let host = client.host();
+                let true_clock = *session
+                    .network()
+                    .clock(host)
+                    .expect("client host exists");
+                let actual_global = true_clock.global_at(record.started_local);
+                let deviation = actual_global.signed_offset_from(scheduled_global);
+                deviations.push(deviation);
+                all_deviations.push(deviation);
+            }
+            media_entries.push(MediaSkewEntry {
+                media: media.clone(),
+                scheduled_global,
+                deviations_nanos: deviations,
+            });
+        }
+        PlaybackSkewReport {
+            media: media_entries,
+            overall: SkewStats::from_deviations(&all_deviations),
+            admission_control,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionConfig;
+    use dmps_floor::{FcmMode, Role};
+    use dmps_media::{MediaKind, MediaObject, TemporalRelation};
+    use dmps_simnet::{Link, LocalClock};
+
+    fn doc() -> PresentationDocument {
+        let mut doc = PresentationDocument::new("lecture");
+        let intro = doc.add_object(MediaObject::new("intro", MediaKind::Video, Duration::from_secs(5)));
+        let body = doc.add_object(MediaObject::new("body", MediaKind::Video, Duration::from_secs(10)));
+        doc.relate(intro, TemporalRelation::Meets, body).unwrap();
+        doc
+    }
+
+    fn session_with_drifting_clients(admission: bool) -> Session {
+        let mut config = SessionConfig::new(11, FcmMode::FreeAccess);
+        if !admission {
+            config = config.without_admission_control();
+        }
+        let mut session = Session::new(config);
+        session.add_client("teacher", Role::Chair, Link::lan(), LocalClock::perfect());
+        session.add_client(
+            "fast-student",
+            Role::Participant,
+            Link::dsl(),
+            LocalClock::new(400.0, 5_000_000),
+        );
+        session.add_client(
+            "slow-student",
+            Role::Participant,
+            Link::wan(),
+            LocalClock::new(-400.0, -5_000_000),
+        );
+        session.pump();
+        session
+    }
+
+    #[test]
+    fn driver_schedule_follows_the_timeline() {
+        let driver = PresentationDriver::from_document(&doc()).unwrap();
+        assert_eq!(driver.schedule().len(), 2);
+        assert_eq!(driver.schedule()[0], ("intro".to_string(), Duration::ZERO));
+        assert_eq!(driver.schedule()[1], ("body".to_string(), Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn admission_control_bounds_skew() {
+        let driver = PresentationDriver::from_document(&doc()).unwrap();
+        let mut session = session_with_drifting_clients(true);
+        let start = session.now() + Duration::from_secs(5);
+        let report = driver.run(&mut session, start, Duration::from_secs(2));
+        assert_eq!(report.media.len(), 2);
+        assert_eq!(report.overall.samples, 6, "2 media × 3 clients");
+        // With admission control the spread stays within the clock-estimate
+        // error (sub-50 ms for these links), far below the ±100 ms drift
+        // offsets the clients were given.
+        assert!(
+            report.overall.max < Duration::from_millis(60),
+            "max skew {:?}",
+            report.overall.max
+        );
+        let table = report.to_table();
+        assert!(table.contains("intro"));
+        assert!(table.contains("admission_control=true"));
+    }
+
+    #[test]
+    fn without_admission_control_skew_tracks_clock_offsets() {
+        let driver = PresentationDriver::from_document(&doc()).unwrap();
+        let mut session = session_with_drifting_clients(false);
+        let start = session.now() + Duration::from_secs(5);
+        let report = driver.run(&mut session, start, Duration::from_secs(2));
+        // Clients start as soon as the broadcast arrives (2 s early minus
+        // network latency), so the deviation is dominated by the lead time.
+        assert!(
+            report.overall.max > Duration::from_millis(500),
+            "expected large skew without admission control, got {:?}",
+            report.overall.max
+        );
+    }
+
+    #[test]
+    fn from_compiled_matches_document_schedule() {
+        use dmps_docpn::{compile, CompileOptions, ModelKind};
+        let d = doc();
+        let compiled = compile(&d, &CompileOptions::new(ModelKind::Docpn)).unwrap();
+        let driver = PresentationDriver::from_compiled(&compiled);
+        let names: Vec<&str> = driver.schedule().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["intro", "body"]);
+    }
+}

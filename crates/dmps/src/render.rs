@@ -1,0 +1,136 @@
+//! Textual renderers reproducing the paper's screenshots.
+//!
+//! * [`render_communication_window`] — the student/teacher communication
+//!   windows of Figure 2 (message window, whiteboard, annotation overlay,
+//!   channel selection, floor state);
+//! * [`render_connection_lights`] — the connection-status lights of Figure 3
+//!   (green = messages flowing, red = client unreachable).
+
+use dmps_simnet::SimTime;
+
+use crate::client::DmpsClient;
+use crate::server::DmpsServer;
+use crate::session::Session;
+
+/// Renders one participant's communication window as text (Figure 2a/2b).
+pub fn render_communication_window(client: &DmpsClient) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "+==== DMPS communication window — {} ({:?}) ====+\n",
+        client.name(),
+        client.role()
+    ));
+    out.push_str("| channels: ");
+    let channels: Vec<String> = client.channels().iter().map(|c| c.to_string()).collect();
+    out.push_str(&channels.join(", "));
+    out.push('\n');
+    out.push_str(&format!(
+        "| floor: {}\n",
+        if client.may_speak() {
+            "may deliver".to_string()
+        } else if let Some(holder) = client.queued_behind() {
+            format!("waiting behind {holder}")
+        } else {
+            "listening".to_string()
+        }
+    ));
+    out.push_str("|---- message window ----\n");
+    if client.message_window().is_empty() {
+        out.push_str("| (empty)\n");
+    }
+    for line in client.message_window() {
+        out.push_str(&format!("| {line}\n"));
+    }
+    out.push_str("|---- whiteboard ----\n");
+    for line in client.whiteboard() {
+        out.push_str(&format!("| {line}\n"));
+    }
+    out.push_str("|---- teacher annotations ----\n");
+    for line in client.annotations() {
+        out.push_str(&format!("| {line}\n"));
+    }
+    out.push_str("+================================================+\n");
+    out
+}
+
+/// Renders the server's connection-status panel (Figure 3b/3c): one light per
+/// member, green when the member was heard from recently, red otherwise.
+pub fn render_connection_lights(server: &DmpsServer, now: SimTime) -> String {
+    let mut out = String::from("connection status:\n");
+    for (member, green) in server.connection_lights(now) {
+        out.push_str(&format!(
+            "  {} [{}] {}\n",
+            member,
+            if green { "GREEN" } else { "RED" },
+            if green {
+                "connected, messages acknowledged"
+            } else {
+                "no recent traffic — move the mouse to this light to check the problem"
+            }
+        ));
+    }
+    out
+}
+
+/// Renders every participant's window plus the server panel — the composite
+/// view the figure-reproduction binaries print.
+pub fn render_session(session: &Session) -> String {
+    let mut out = String::new();
+    for idx in 0..session.client_count() {
+        out.push_str(&render_communication_window(session.client(idx)));
+        out.push('\n');
+    }
+    out.push_str(&render_connection_lights(session.server(), session.now()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionConfig;
+    use dmps_floor::{FcmMode, Role};
+    use dmps_simnet::{Link, LocalClock};
+
+    #[test]
+    fn window_render_contains_channels_and_content() {
+        let mut session = Session::new(SessionConfig::new(1, FcmMode::FreeAccess));
+        let teacher = session.add_client("teacher", Role::Chair, Link::lan(), LocalClock::perfect());
+        let alice = session.add_client("alice", Role::Participant, Link::lan(), LocalClock::perfect());
+        session.pump();
+        session.send_annotation(teacher, "look at slide 3");
+        session.send_chat(alice, "question about slide 3");
+        session.pump();
+        let teacher_window = render_communication_window(session.client(teacher));
+        assert!(teacher_window.contains("teacher"));
+        assert!(teacher_window.contains("annotation"));
+        assert!(teacher_window.contains("question about slide 3"));
+        let alice_window = render_communication_window(session.client(alice));
+        assert!(alice_window.contains("look at slide 3"));
+        assert!(alice_window.contains("message window"));
+    }
+
+    #[test]
+    fn lights_render_green_and_red() {
+        let mut session = Session::new(SessionConfig::new(1, FcmMode::FreeAccess));
+        let _teacher = session.add_client("teacher", Role::Chair, Link::lan(), LocalClock::perfect());
+        let bob = session.add_client("bob", Role::Participant, Link::dsl(), LocalClock::perfect());
+        session.pump();
+        session.set_client_link_up(bob, false);
+        let until = session.now() + std::time::Duration::from_secs(10);
+        session.run_until(until);
+        let panel = render_connection_lights(session.server(), session.now());
+        assert!(panel.contains("GREEN"));
+        assert!(panel.contains("RED"));
+        let composite = render_session(&session);
+        assert!(composite.contains("connection status"));
+        assert!(composite.contains("DMPS communication window"));
+    }
+
+    #[test]
+    fn empty_window_renders_placeholder() {
+        let client = DmpsClient::new(dmps_simnet::HostId(5), "lonely", Role::Observer);
+        let window = render_communication_window(&client);
+        assert!(window.contains("(empty)"));
+        assert!(window.contains("listening"));
+    }
+}

@@ -1,0 +1,495 @@
+//! The DMPS server: group administration, global clock master, floor control
+//! arbitration, and content fan-out.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use dmps_floor::{ArbitrationOutcome, FcmMode, FloorArbiter, GroupId, Member, MemberId};
+use dmps_simnet::{ClockSyncServer, HostId, SimTime};
+
+use crate::message::DmpsMessage;
+
+/// How long a client may stay silent before its connection light turns red
+/// (Figure 3c).
+pub const DEFAULT_LIVENESS_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The DMPS server.
+#[derive(Debug)]
+pub struct DmpsServer {
+    host: HostId,
+    group: GroupId,
+    arbiter: FloorArbiter,
+    clock: ClockSyncServer,
+    member_host: BTreeMap<MemberId, HostId>,
+    host_member: BTreeMap<HostId, MemberId>,
+    last_seen: BTreeMap<MemberId, SimTime>,
+    liveness_timeout: Duration,
+    chat_log: Vec<(MemberId, String)>,
+    annotation_log: Vec<(MemberId, String)>,
+    whiteboard_log: Vec<(MemberId, String)>,
+    rejected_deliveries: u64,
+}
+
+impl DmpsServer {
+    /// Creates a server bound to a simulated host, with a main session group
+    /// in the given floor control mode.
+    pub fn new(host: HostId, mode: FcmMode) -> Self {
+        let mut arbiter = FloorArbiter::with_defaults();
+        let group = arbiter.create_group("session", mode);
+        DmpsServer {
+            host,
+            group,
+            arbiter,
+            clock: ClockSyncServer::new(),
+            member_host: BTreeMap::new(),
+            host_member: BTreeMap::new(),
+            last_seen: BTreeMap::new(),
+            liveness_timeout: DEFAULT_LIVENESS_TIMEOUT,
+            chat_log: Vec::new(),
+            annotation_log: Vec::new(),
+            whiteboard_log: Vec::new(),
+            rejected_deliveries: 0,
+        }
+    }
+
+    /// The simulated host the server runs on.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// The main session group.
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// Immutable access to the floor arbiter (for inspection in tests and
+    /// experiments).
+    pub fn arbiter(&self) -> &FloorArbiter {
+        &self.arbiter
+    }
+
+    /// Mutable access to the floor arbiter (mode switches, resource updates).
+    pub fn arbiter_mut(&mut self) -> &mut FloorArbiter {
+        &mut self.arbiter
+    }
+
+    /// The member connected from a host, if any.
+    pub fn member_at(&self, host: HostId) -> Option<MemberId> {
+        self.host_member.get(&host).copied()
+    }
+
+    /// The host a member is connected from, if known.
+    pub fn host_of(&self, member: MemberId) -> Option<HostId> {
+        self.member_host.get(&member).copied()
+    }
+
+    /// All registered members and their hosts.
+    pub fn members(&self) -> impl Iterator<Item = (MemberId, HostId)> + '_ {
+        self.member_host.iter().map(|(&m, &h)| (m, h))
+    }
+
+    /// The chat log accumulated by the message window channel.
+    pub fn chat_log(&self) -> &[(MemberId, String)] {
+        &self.chat_log
+    }
+
+    /// The teacher-annotation log.
+    pub fn annotation_log(&self) -> &[(MemberId, String)] {
+        &self.annotation_log
+    }
+
+    /// The whiteboard log.
+    pub fn whiteboard_log(&self) -> &[(MemberId, String)] {
+        &self.whiteboard_log
+    }
+
+    /// Number of content deliveries rejected by floor control.
+    pub fn rejected_deliveries(&self) -> u64 {
+        self.rejected_deliveries
+    }
+
+    /// Sets the heartbeat timeout after which a client's light turns red.
+    pub fn set_liveness_timeout(&mut self, timeout: Duration) {
+        self.liveness_timeout = timeout;
+    }
+
+    /// The connection status of every member at global time `now`: `true`
+    /// means the light is green (a heartbeat or any message was seen within
+    /// the liveness timeout).
+    pub fn connection_lights(&self, now: SimTime) -> Vec<(MemberId, bool)> {
+        self.member_host
+            .keys()
+            .map(|&m| {
+                let green = self
+                    .last_seen
+                    .get(&m)
+                    .map(|&seen| now.duration_since(seen) <= self.liveness_timeout)
+                    .unwrap_or(false);
+                (m, green)
+            })
+            .collect()
+    }
+
+    /// Whether a member may currently deliver content under the group's
+    /// floor control mode (without changing any arbitration state).
+    fn may_deliver(&self, member: MemberId) -> bool {
+        let Ok(group) = self.arbiter.group(self.group) else {
+            return false;
+        };
+        if !group.contains(member) {
+            return false;
+        }
+        match group.mode {
+            FcmMode::FreeAccess => true,
+            FcmMode::EqualControl => self
+                .arbiter
+                .token(self.group)
+                .map(|t| t.may_speak(member))
+                .unwrap_or(false),
+            // Deliveries in the main group while it is in a sub-group mode
+            // follow the free-access rule; private traffic goes through the
+            // sub-group.
+            FcmMode::GroupDiscussion | FcmMode::DirectContact => true,
+        }
+    }
+
+    /// Handles one delivered message and returns the messages to send in
+    /// response, each addressed to a destination host.
+    pub fn handle(
+        &mut self,
+        now: SimTime,
+        from: HostId,
+        msg: DmpsMessage,
+    ) -> Vec<(HostId, DmpsMessage)> {
+        // Any message from a registered member refreshes its liveness.
+        if let Some(member) = self.host_member.get(&from).copied() {
+            self.last_seen.insert(member, now);
+        }
+        match msg {
+            DmpsMessage::ClockSyncRequest { .. } => {
+                let global = self.clock.handle_request(now);
+                vec![(
+                    from,
+                    DmpsMessage::ClockSyncResponse {
+                        server_global: global,
+                    },
+                )]
+            }
+            DmpsMessage::Join {
+                name,
+                role,
+                channels,
+            } => {
+                let member = Member::new(name, role).with_channels(channels);
+                let id = self
+                    .arbiter
+                    .add_member(self.group, member)
+                    .expect("session group exists");
+                self.member_host.insert(id, from);
+                self.host_member.insert(from, id);
+                self.last_seen.insert(id, now);
+                vec![(
+                    from,
+                    DmpsMessage::JoinAccepted {
+                        member: id,
+                        group: self.group,
+                    },
+                )]
+            }
+            DmpsMessage::Floor(request) => {
+                let member = request.member;
+                let outcome = self
+                    .arbiter
+                    .arbitrate(&request)
+                    .unwrap_or(ArbitrationOutcome::Denied {
+                        reason: dmps_floor::arbiter::DenialReason::InsufficientPriority,
+                    });
+                let mut out = Vec::new();
+                // The requester always learns the outcome; granted speakers
+                // are notified too so their windows unlock.
+                if let Some(&host) = self.member_host.get(&member) {
+                    out.push((
+                        host,
+                        DmpsMessage::FloorDecision {
+                            member,
+                            outcome: outcome.clone(),
+                        },
+                    ));
+                }
+                if let ArbitrationOutcome::Granted { ref speakers, .. } = outcome {
+                    for &s in speakers {
+                        if s == member {
+                            continue;
+                        }
+                        if let Some(&host) = self.member_host.get(&s) {
+                            out.push((
+                                host,
+                                DmpsMessage::FloorDecision {
+                                    member: s,
+                                    outcome: outcome.clone(),
+                                },
+                            ));
+                        }
+                    }
+                }
+                out
+            }
+            DmpsMessage::Chat { from: member, text } => {
+                self.fanout_content(member, DmpsMessage::Chat { from: member, text: text.clone() }, |s| {
+                    s.chat_log.push((member, text.clone()))
+                })
+            }
+            DmpsMessage::Whiteboard { from: member, stroke } => self.fanout_content(
+                member,
+                DmpsMessage::Whiteboard {
+                    from: member,
+                    stroke: stroke.clone(),
+                },
+                |s| s.whiteboard_log.push((member, stroke.clone())),
+            ),
+            DmpsMessage::Annotation { from: member, text } => self.fanout_content(
+                member,
+                DmpsMessage::Annotation {
+                    from: member,
+                    text: text.clone(),
+                },
+                |s| s.annotation_log.push((member, text.clone())),
+            ),
+            DmpsMessage::Heartbeat { member } => {
+                self.last_seen.insert(member, now);
+                Vec::new()
+            }
+            DmpsMessage::MediaStart {
+                media,
+                scheduled_global,
+            } => {
+                // A self-scheduled broadcast timer: fan the command out to
+                // every connected client.
+                self.member_host
+                    .values()
+                    .map(|&host| {
+                        (
+                            host,
+                            DmpsMessage::MediaStart {
+                                media: media.clone(),
+                                scheduled_global,
+                            },
+                        )
+                    })
+                    .collect()
+            }
+            DmpsMessage::MediaStarted { .. } => Vec::new(),
+            DmpsMessage::ClockSyncResponse { .. }
+            | DmpsMessage::JoinAccepted { .. }
+            | DmpsMessage::FloorDecision { .. }
+            | DmpsMessage::DeliveryRejected { .. } => Vec::new(),
+        }
+    }
+
+    /// Fans user content out to every other member if floor control permits,
+    /// or rejects it back to the sender.
+    fn fanout_content(
+        &mut self,
+        member: MemberId,
+        msg: DmpsMessage,
+        log: impl FnOnce(&mut Self),
+    ) -> Vec<(HostId, DmpsMessage)> {
+        if !self.may_deliver(member) {
+            self.rejected_deliveries += 1;
+            let Some(&host) = self.member_host.get(&member) else {
+                return Vec::new();
+            };
+            return vec![(
+                host,
+                DmpsMessage::DeliveryRejected {
+                    member,
+                    reason: "floor control denied the delivery".into(),
+                },
+            )];
+        }
+        log(self);
+        self.member_host
+            .iter()
+            .filter(|(&m, _)| m != member)
+            .map(|(_, &host)| (host, msg.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmps_floor::{FloorRequest, Role};
+    use dmps_media::ChannelKind;
+
+    fn server() -> DmpsServer {
+        DmpsServer::new(HostId(0), FcmMode::FreeAccess)
+    }
+
+    fn join(server: &mut DmpsServer, host: HostId, name: &str, role: Role) -> MemberId {
+        let replies = server.handle(
+            SimTime::ZERO,
+            host,
+            DmpsMessage::Join {
+                name: name.into(),
+                role,
+                channels: vec![ChannelKind::MessageWindow],
+            },
+        );
+        match &replies[0].1 {
+            DmpsMessage::JoinAccepted { member, .. } => *member,
+            other => panic!("expected JoinAccepted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_registers_member_and_host() {
+        let mut s = server();
+        let teacher = join(&mut s, HostId(1), "teacher", Role::Chair);
+        let student = join(&mut s, HostId(2), "alice", Role::Participant);
+        assert_eq!(s.member_at(HostId(1)), Some(teacher));
+        assert_eq!(s.host_of(student), Some(HostId(2)));
+        assert_eq!(s.members().count(), 2);
+        assert_eq!(s.arbiter().group(s.group()).unwrap().chair, Some(teacher));
+    }
+
+    #[test]
+    fn clock_sync_reports_server_time() {
+        let mut s = server();
+        let replies = s.handle(
+            SimTime::from_millis(1_234),
+            HostId(1),
+            DmpsMessage::ClockSyncRequest {
+                client_local: SimTime::from_millis(1_000),
+            },
+        );
+        assert_eq!(
+            replies,
+            vec![(
+                HostId(1),
+                DmpsMessage::ClockSyncResponse {
+                    server_global: SimTime::from_millis(1_234)
+                }
+            )]
+        );
+    }
+
+    #[test]
+    fn chat_is_fanned_out_to_other_members_only() {
+        let mut s = server();
+        let teacher = join(&mut s, HostId(1), "teacher", Role::Chair);
+        let _alice = join(&mut s, HostId(2), "alice", Role::Participant);
+        let _bob = join(&mut s, HostId(3), "bob", Role::Participant);
+        let out = s.handle(
+            SimTime::from_secs(1),
+            HostId(1),
+            DmpsMessage::Chat {
+                from: teacher,
+                text: "hello class".into(),
+            },
+        );
+        let hosts: Vec<HostId> = out.iter().map(|(h, _)| *h).collect();
+        assert_eq!(hosts, vec![HostId(2), HostId(3)]);
+        assert_eq!(s.chat_log().len(), 1);
+    }
+
+    #[test]
+    fn equal_control_blocks_non_holders() {
+        let mut s = DmpsServer::new(HostId(0), FcmMode::EqualControl);
+        let teacher = join(&mut s, HostId(1), "teacher", Role::Chair);
+        let alice = join(&mut s, HostId(2), "alice", Role::Participant);
+        // Teacher requests and receives the floor.
+        let out = s.handle(
+            SimTime::from_secs(1),
+            HostId(1),
+            DmpsMessage::Floor(FloorRequest::speak(s.group(), teacher)),
+        );
+        assert!(matches!(
+            out[0].1,
+            DmpsMessage::FloorDecision {
+                outcome: ArbitrationOutcome::Granted { .. },
+                ..
+            }
+        ));
+        // Alice's chat is rejected; the teacher's goes through.
+        let out = s.handle(
+            SimTime::from_secs(2),
+            HostId(2),
+            DmpsMessage::Chat {
+                from: alice,
+                text: "can I say something?".into(),
+            },
+        );
+        assert!(matches!(out[0].1, DmpsMessage::DeliveryRejected { .. }));
+        assert_eq!(s.rejected_deliveries(), 1);
+        let out = s.handle(
+            SimTime::from_secs(3),
+            HostId(1),
+            DmpsMessage::Chat {
+                from: teacher,
+                text: "go ahead after the token".into(),
+            },
+        );
+        assert!(matches!(out[0].1, DmpsMessage::Chat { .. }));
+    }
+
+    #[test]
+    fn connection_lights_follow_heartbeats() {
+        let mut s = server();
+        let teacher = join(&mut s, HostId(1), "teacher", Role::Chair);
+        let alice = join(&mut s, HostId(2), "alice", Role::Participant);
+        s.set_liveness_timeout(Duration::from_secs(5));
+        // Heartbeat from the teacher at t = 8 s; alice stays silent.
+        s.handle(
+            SimTime::from_secs(8),
+            HostId(1),
+            DmpsMessage::Heartbeat { member: teacher },
+        );
+        let lights = s.connection_lights(SimTime::from_secs(10));
+        let get = |m: MemberId| lights.iter().find(|(x, _)| *x == m).unwrap().1;
+        assert!(get(teacher), "teacher stayed green");
+        assert!(!get(alice), "alice went red after 10 s of silence");
+    }
+
+    #[test]
+    fn media_start_timer_is_broadcast_to_all_members() {
+        let mut s = server();
+        join(&mut s, HostId(1), "teacher", Role::Chair);
+        join(&mut s, HostId(2), "alice", Role::Participant);
+        let out = s.handle(
+            SimTime::from_secs(1),
+            s.host(),
+            DmpsMessage::MediaStart {
+                media: "intro".into(),
+                scheduled_global: SimTime::from_secs(2),
+            },
+        );
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|(_, m)| matches!(m, DmpsMessage::MediaStart { .. })));
+    }
+
+    #[test]
+    fn annotation_and_whiteboard_are_logged() {
+        let mut s = server();
+        let teacher = join(&mut s, HostId(1), "teacher", Role::Chair);
+        join(&mut s, HostId(2), "alice", Role::Participant);
+        s.handle(
+            SimTime::from_secs(1),
+            HostId(1),
+            DmpsMessage::Annotation {
+                from: teacher,
+                text: "see equation 3".into(),
+            },
+        );
+        s.handle(
+            SimTime::from_secs(2),
+            HostId(1),
+            DmpsMessage::Whiteboard {
+                from: teacher,
+                stroke: "line(0,0,10,10)".into(),
+            },
+        );
+        assert_eq!(s.annotation_log().len(), 1);
+        assert_eq!(s.whiteboard_log().len(), 1);
+    }
+}

@@ -1,0 +1,486 @@
+//! The session: server + clients wired together over the simulated network.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use dmps_floor::{FcmMode, FloorRequest, MemberId, Role};
+use dmps_simnet::{Delivery, HostId, Link, LocalClock, Network, SimTime, Trace};
+
+use crate::client::DmpsClient;
+use crate::error::{DmpsError, Result};
+use crate::message::DmpsMessage;
+use crate::server::DmpsServer;
+
+/// Configuration of a session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// Seed of the deterministic network simulator.
+    pub seed: u64,
+    /// The floor control mode of the main session group.
+    pub mode: FcmMode,
+    /// How often clients send heartbeats (drives the Figure 3 connection
+    /// lights).
+    pub heartbeat_interval: Duration,
+    /// Whether clients apply the global-clock admission rule to media starts.
+    pub admission_control: bool,
+}
+
+impl SessionConfig {
+    /// Creates a configuration with the given seed and mode, 1-second
+    /// heartbeats, and admission control enabled.
+    pub fn new(seed: u64, mode: FcmMode) -> Self {
+        SessionConfig {
+            seed,
+            mode,
+            heartbeat_interval: Duration::from_secs(1),
+            admission_control: true,
+        }
+    }
+
+    /// Disables the global-clock admission rule (E4 ablation).
+    pub fn without_admission_control(mut self) -> Self {
+        self.admission_control = false;
+        self
+    }
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig::new(0, FcmMode::FreeAccess)
+    }
+}
+
+/// A running DMPS session: the server, its clients, and the network between
+/// them.
+#[derive(Debug)]
+pub struct Session {
+    net: Network<DmpsMessage>,
+    server: DmpsServer,
+    clients: Vec<DmpsClient>,
+    host_client: BTreeMap<HostId, usize>,
+    config: SessionConfig,
+    trace: Trace,
+    /// The next heartbeat instant of each client, injected lazily by
+    /// [`Session::run_until`].
+    next_heartbeat: Vec<SimTime>,
+}
+
+impl Session {
+    /// Creates a session with a server host and no clients.
+    pub fn new(config: SessionConfig) -> Self {
+        let mut net = Network::new(config.seed);
+        let server_host = net.add_host("dmps-server");
+        let server = DmpsServer::new(server_host, config.mode);
+        Session {
+            net,
+            server,
+            clients: Vec::new(),
+            host_client: BTreeMap::new(),
+            config,
+            trace: Trace::new(),
+            next_heartbeat: Vec::new(),
+        }
+    }
+
+    /// The current global simulation time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// Whether clients of this session apply the global-clock admission rule.
+    pub fn admission_control(&self) -> bool {
+        self.config.admission_control
+    }
+
+    /// The server.
+    pub fn server(&self) -> &DmpsServer {
+        &self.server
+    }
+
+    /// Mutable access to the server (mode switches, resource updates).
+    pub fn server_mut(&mut self) -> &mut DmpsServer {
+        &mut self.server
+    }
+
+    /// The underlying network (read-only: clocks, drop records, counters).
+    pub fn network(&self) -> &Network<DmpsMessage> {
+        &self.net
+    }
+
+    /// The underlying network (for link manipulation and fault injection).
+    pub fn network_mut(&mut self) -> &mut Network<DmpsMessage> {
+        &mut self.net
+    }
+
+    /// The event trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Number of clients.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The client with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range (client indices are returned by
+    /// [`Session::add_client`], so this is a programming error).
+    pub fn client(&self, index: usize) -> &DmpsClient {
+        &self.clients[index]
+    }
+
+    /// The member id of a client, once it has joined.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmpsError::UnknownClient`] / [`DmpsError::NotJoined`].
+    pub fn member_of(&self, index: usize) -> Result<MemberId> {
+        let client = self
+            .clients
+            .get(index)
+            .ok_or(DmpsError::UnknownClient(index))?;
+        client.member().ok_or(DmpsError::NotJoined(index))
+    }
+
+    /// Adds a client connected to the server over `link`, with the given
+    /// local clock, and immediately queues its join handshake, a first clock
+    /// synchronization round, and its periodic heartbeats for the first
+    /// minute of the session. Returns the client's index.
+    pub fn add_client(
+        &mut self,
+        name: impl Into<String>,
+        role: Role,
+        link: Link,
+        clock: LocalClock,
+    ) -> usize {
+        let name = name.into();
+        let host = self.net.add_host_with_clock(&name, clock);
+        self.net
+            .connect(self.server.host(), host, link)
+            .expect("fresh host connects to the server");
+        let mut client = DmpsClient::new(host, name, role);
+        if !self.config.admission_control {
+            client.disable_admission_control();
+        }
+        // Join handshake.
+        let join = client.join_message();
+        let size = join.size_bytes();
+        self.net
+            .send(host, self.server.host(), join, size)
+            .expect("connected host can send");
+        // First clock sync round.
+        let local = self.net.local_time(host).expect("host exists");
+        let sync = client.clock_sync_message(local);
+        let size = sync.size_bytes();
+        self.net
+            .send(host, self.server.host(), sync, size)
+            .expect("connected host can send");
+        let index = self.clients.len();
+        self.host_client.insert(host, index);
+        self.clients.push(client);
+        self.next_heartbeat
+            .push(self.net.now() + self.config.heartbeat_interval);
+        index
+    }
+
+    // ----- client-initiated actions -----------------------------------------
+
+    fn send_from_client(&mut self, index: usize, msg: DmpsMessage) {
+        let host = self.clients[index].host();
+        let size = msg.size_bytes();
+        // Ignore send failures caused by a link that was taken down: the
+        // drop is recorded by the network and surfaces as a red light.
+        let _ = self.net.send(host, self.server.host(), msg, size);
+    }
+
+    /// Client `index` sends a chat line.
+    pub fn send_chat(&mut self, index: usize, text: impl Into<String>) {
+        if let Some(member) = self.clients[index].member() {
+            self.send_from_client(
+                index,
+                DmpsMessage::Chat {
+                    from: member,
+                    text: text.into(),
+                },
+            );
+        }
+    }
+
+    /// Client `index` draws on the whiteboard.
+    pub fn send_whiteboard(&mut self, index: usize, stroke: impl Into<String>) {
+        if let Some(member) = self.clients[index].member() {
+            self.send_from_client(
+                index,
+                DmpsMessage::Whiteboard {
+                    from: member,
+                    stroke: stroke.into(),
+                },
+            );
+        }
+    }
+
+    /// Client `index` sends a teacher annotation.
+    pub fn send_annotation(&mut self, index: usize, text: impl Into<String>) {
+        if let Some(member) = self.clients[index].member() {
+            self.send_from_client(
+                index,
+                DmpsMessage::Annotation {
+                    from: member,
+                    text: text.into(),
+                },
+            );
+        }
+    }
+
+    /// Client `index` requests the floor.
+    pub fn request_floor(&mut self, index: usize) {
+        if let (Some(member), Some(group)) =
+            (self.clients[index].member(), self.clients[index].group())
+        {
+            self.send_from_client(index, DmpsMessage::Floor(FloorRequest::speak(group, member)));
+        }
+    }
+
+    /// Client `index` releases the floor (Equal Control).
+    pub fn release_floor(&mut self, index: usize) {
+        if let (Some(member), Some(group)) =
+            (self.clients[index].member(), self.clients[index].group())
+        {
+            self.send_from_client(
+                index,
+                DmpsMessage::Floor(FloorRequest::release_floor(group, member)),
+            );
+        }
+    }
+
+    /// Client `index` runs another clock-synchronization round now.
+    pub fn sync_clock(&mut self, index: usize) {
+        let host = self.clients[index].host();
+        let local = self.net.local_time(host).expect("host exists");
+        let msg = self.clients[index].clock_sync_message(local);
+        self.send_from_client(index, msg);
+    }
+
+    /// Schedules a media-start broadcast: at global time `broadcast_at` the
+    /// server tells every client to start `media` at `scheduled_global`.
+    pub fn schedule_media_start(
+        &mut self,
+        broadcast_at: SimTime,
+        media: impl Into<String>,
+        scheduled_global: SimTime,
+    ) {
+        self.net
+            .schedule(
+                self.server.host(),
+                broadcast_at,
+                DmpsMessage::MediaStart {
+                    media: media.into(),
+                    scheduled_global,
+                },
+            )
+            .expect("future timer");
+    }
+
+    /// Takes the link between a client and the server down (Figure 3c) or
+    /// back up.
+    pub fn set_client_link_up(&mut self, index: usize, up: bool) {
+        let host = self.clients[index].host();
+        self.net
+            .set_link_up(self.server.host(), host, up)
+            .expect("client is connected");
+    }
+
+    // ----- event loop --------------------------------------------------------
+
+    fn dispatch(&mut self, delivery: Delivery<DmpsMessage>) {
+        let Delivery {
+            at,
+            from,
+            to,
+            payload,
+            ..
+        } = delivery;
+        if to == self.server.host() {
+            let out = self.server.handle(at, from, payload);
+            for (dest, msg) in out {
+                let size = msg.size_bytes();
+                let _ = self.net.send(self.server.host(), dest, msg, size);
+            }
+        } else if let Some(&index) = self.host_client.get(&to) {
+            // A self-delivery is a timer: the payload is an action the client
+            // wants to send to the server (heartbeats use a placeholder
+            // member id that is patched here).
+            if from == to {
+                let msg = match payload {
+                    DmpsMessage::Heartbeat { .. } => {
+                        match self.clients[index].member() {
+                            Some(member) => DmpsMessage::Heartbeat { member },
+                            None => return,
+                        }
+                    }
+                    other => other,
+                };
+                let size = msg.size_bytes();
+                let _ = self.net.send(to, self.server.host(), msg, size);
+                return;
+            }
+            let local = self.net.local_time(to).expect("client host exists");
+            let replies = self.clients[index].handle(local, payload);
+            for msg in replies {
+                let size = msg.size_bytes();
+                let _ = self.net.send(to, self.server.host(), msg, size);
+            }
+        } else if from == to && to == self.server.host() {
+            // Server timer handled in the first branch.
+        }
+        self.trace
+            .record(at, Some(to), "deliver", "message dispatched");
+    }
+
+    /// Processes every queued event until the network is idle.
+    pub fn pump(&mut self) {
+        while let Some(delivery) = self.net.next_delivery() {
+            self.dispatch(delivery);
+        }
+    }
+
+    /// Processes events up to and including global time `until`, generating
+    /// each client's periodic heartbeats along the way (so the connection
+    /// lights of Figure 3 reflect real traffic over the links).
+    pub fn run_until(&mut self, until: SimTime) {
+        // Inject heartbeat timers for the window we are about to simulate.
+        for idx in 0..self.clients.len() {
+            let host = self.clients[idx].host();
+            let mut at = self.next_heartbeat[idx];
+            while at <= until {
+                // A timer may fall slightly in the past if run_until windows
+                // do not align with the interval; clamp to "now".
+                let fire_at = at.max(self.net.now());
+                let _ = self.net.schedule(
+                    host,
+                    fire_at,
+                    DmpsMessage::Heartbeat {
+                        member: MemberId(usize::MAX),
+                    },
+                );
+                at += self.config.heartbeat_interval;
+            }
+            self.next_heartbeat[idx] = at;
+        }
+        while let Some(at) = self.net.peek_time() {
+            if at > until {
+                break;
+            }
+            let delivery = self.net.next_delivery().expect("peeked event exists");
+            self.dispatch(delivery);
+        }
+        let _ = self.net.advance_to(until);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lecture_session(mode: FcmMode) -> (Session, usize, usize, usize) {
+        let mut session = Session::new(SessionConfig::new(7, mode));
+        let teacher = session.add_client("teacher", Role::Chair, Link::lan(), LocalClock::perfect());
+        let alice = session.add_client("alice", Role::Participant, Link::dsl(), LocalClock::new(200.0, 0));
+        let bob = session.add_client(
+            "bob",
+            Role::Participant,
+            Link::wan(),
+            LocalClock::new(-300.0, 2_000_000),
+        );
+        session.pump();
+        (session, teacher, alice, bob)
+    }
+
+    #[test]
+    fn clients_join_and_synchronize() {
+        let (session, teacher, alice, bob) = lecture_session(FcmMode::FreeAccess);
+        for idx in [teacher, alice, bob] {
+            assert!(session.member_of(idx).is_ok(), "client {idx} joined");
+            assert!(session.client(idx).sync().is_synchronized());
+        }
+        assert_eq!(session.client_count(), 3);
+        assert_eq!(session.server().members().count(), 3);
+        assert!(session.member_of(99).is_err());
+    }
+
+    #[test]
+    fn chat_reaches_every_other_client() {
+        let (mut session, teacher, alice, bob) = lecture_session(FcmMode::FreeAccess);
+        session.send_chat(teacher, "welcome everyone");
+        session.pump();
+        assert!(session.client(alice).message_window()[0].contains("welcome"));
+        assert!(session.client(bob).message_window()[0].contains("welcome"));
+        assert!(session.client(teacher).message_window().is_empty());
+        assert_eq!(session.server().chat_log().len(), 1);
+    }
+
+    #[test]
+    fn equal_control_round_trip() {
+        let (mut session, teacher, alice, _bob) = lecture_session(FcmMode::EqualControl);
+        session.request_floor(teacher);
+        session.pump();
+        assert!(session.client(teacher).may_speak());
+        session.request_floor(alice);
+        session.pump();
+        assert!(session.client(alice).queued_behind().is_some());
+        // Alice's chat is rejected while the teacher holds the floor.
+        session.send_chat(alice, "premature");
+        session.pump();
+        assert_eq!(session.client(alice).rejections(), 1);
+        // After the teacher releases, alice is granted and may chat.
+        session.release_floor(teacher);
+        session.pump();
+        assert!(session.client(alice).may_speak());
+        session.send_chat(alice, "my turn now");
+        session.pump();
+        assert!(session
+            .client(teacher)
+            .message_window()
+            .iter()
+            .any(|l| l.contains("my turn")));
+    }
+
+    #[test]
+    fn media_start_produces_playback_records_on_every_client() {
+        let (mut session, teacher, alice, bob) = lecture_session(FcmMode::FreeAccess);
+        let start = session.now() + Duration::from_secs(2);
+        session.schedule_media_start(session.now() + Duration::from_secs(1), "intro-video", start);
+        session.pump();
+        for idx in [teacher, alice, bob] {
+            assert_eq!(session.client(idx).playbacks().len(), 1, "client {idx}");
+            assert_eq!(session.client(idx).playbacks()[0].media, "intro-video");
+        }
+    }
+
+    #[test]
+    fn link_failure_turns_the_light_red() {
+        let (mut session, _teacher, alice, _bob) = lecture_session(FcmMode::FreeAccess);
+        let alice_member = session.member_of(alice).unwrap();
+        // Cut alice's link and advance 10 seconds: heartbeats stop arriving.
+        session.set_client_link_up(alice, false);
+        let until = session.now() + Duration::from_secs(10);
+        session.run_until(until);
+        let lights = session.server().connection_lights(session.now());
+        let alice_light = lights.iter().find(|(m, _)| *m == alice_member).unwrap().1;
+        assert!(!alice_light, "alice's light must be red after the link went down");
+        // At least one other member is still green.
+        assert!(lights.iter().any(|&(m, green)| m != alice_member && green));
+    }
+
+    #[test]
+    fn run_until_stops_at_the_requested_time() {
+        let (mut session, ..) = lecture_session(FcmMode::FreeAccess);
+        let target = session.now() + Duration::from_secs(3);
+        session.run_until(target);
+        assert_eq!(session.now(), target);
+        assert!(!session.trace().is_empty());
+    }
+}

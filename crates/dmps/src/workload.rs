@@ -1,0 +1,213 @@
+//! Workload generators: scripted and randomized request traces for the
+//! floor-control experiments (E6, E8).
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One event of a workload trace, relative to the trace start.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadEvent {
+    /// Offset from the start of the trace.
+    pub at: Duration,
+    /// The client index performing the action.
+    pub client: usize,
+    /// The action.
+    pub action: WorkloadAction,
+}
+
+/// Actions a workload can issue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadAction {
+    /// Request the floor.
+    RequestFloor,
+    /// Release the floor.
+    ReleaseFloor,
+    /// Send a chat line.
+    Chat(String),
+    /// Draw a whiteboard stroke.
+    Whiteboard(String),
+    /// Send a teacher annotation.
+    Annotation(String),
+}
+
+/// The distance-learning scenarios of experiment E6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// The teacher lectures: mostly teacher annotations and chats, sparse
+    /// student questions.
+    Lecture,
+    /// Question-and-answer: students take turns requesting the floor.
+    QuestionAnswer,
+    /// Breakout discussion: every student chats frequently.
+    Discussion,
+    /// Uniform random mix of all actions (stress / scaling runs).
+    Random,
+}
+
+/// A generated workload trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// The scenario that produced the trace.
+    pub kind: WorkloadKind,
+    /// The events in time order.
+    pub events: Vec<WorkloadEvent>,
+}
+
+impl Workload {
+    /// Generates a workload trace.
+    ///
+    /// * `kind` — the scenario;
+    /// * `clients` — number of clients (client 0 is the teacher);
+    /// * `duration` — length of the trace;
+    /// * `events_per_second` — average event rate across all clients;
+    /// * `seed` — RNG seed (the trace is deterministic in the seed).
+    pub fn generate(
+        kind: WorkloadKind,
+        clients: usize,
+        duration: Duration,
+        events_per_second: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(clients > 0, "a workload needs at least one client");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total_events = (duration.as_secs_f64() * events_per_second).round() as usize;
+        let mut events = Vec::with_capacity(total_events);
+        for i in 0..total_events {
+            let at = Duration::from_secs_f64(
+                duration.as_secs_f64() * (i as f64 + rng.gen::<f64>()) / total_events.max(1) as f64,
+            );
+            let (client, action) = match kind {
+                WorkloadKind::Lecture => {
+                    if rng.gen_bool(0.7) {
+                        // The teacher annotates or chats.
+                        let action = if rng.gen_bool(0.5) {
+                            WorkloadAction::Annotation(format!("annotation-{i}"))
+                        } else {
+                            WorkloadAction::Chat(format!("lecture-point-{i}"))
+                        };
+                        (0, action)
+                    } else {
+                        // A student asks a question in chat.
+                        (
+                            1 + rng.gen_range(0..clients.max(2) - 1),
+                            WorkloadAction::Chat(format!("question-{i}")),
+                        )
+                    }
+                }
+                WorkloadKind::QuestionAnswer => {
+                    let client = rng.gen_range(0..clients);
+                    let action = match rng.gen_range(0..3) {
+                        0 => WorkloadAction::RequestFloor,
+                        1 => WorkloadAction::Chat(format!("answer-{i}")),
+                        _ => WorkloadAction::ReleaseFloor,
+                    };
+                    (client, action)
+                }
+                WorkloadKind::Discussion => {
+                    let client = rng.gen_range(0..clients);
+                    let action = if rng.gen_bool(0.6) {
+                        WorkloadAction::Chat(format!("idea-{i}"))
+                    } else {
+                        WorkloadAction::Whiteboard(format!("sketch-{i}"))
+                    };
+                    (client, action)
+                }
+                WorkloadKind::Random => {
+                    let client = rng.gen_range(0..clients);
+                    let action = match rng.gen_range(0..5) {
+                        0 => WorkloadAction::RequestFloor,
+                        1 => WorkloadAction::ReleaseFloor,
+                        2 => WorkloadAction::Chat(format!("msg-{i}")),
+                        3 => WorkloadAction::Whiteboard(format!("stroke-{i}")),
+                        _ => WorkloadAction::Annotation(format!("note-{i}")),
+                    };
+                    (client, action)
+                }
+            };
+            events.push(WorkloadEvent {
+                at,
+                client: client.min(clients - 1),
+                action,
+            });
+        }
+        events.sort_by_key(|e| e.at);
+        Workload { kind, events }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of floor requests in the trace.
+    pub fn floor_requests(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.action, WorkloadAction::RequestFloor))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let a = Workload::generate(WorkloadKind::Random, 5, Duration::from_secs(30), 2.0, 9);
+        let b = Workload::generate(WorkloadKind::Random, 5, Duration::from_secs(30), 2.0, 9);
+        let c = Workload::generate(WorkloadKind::Random, 5, Duration::from_secs(30), 2.0, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 60);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_clients_in_range() {
+        for kind in [
+            WorkloadKind::Lecture,
+            WorkloadKind::QuestionAnswer,
+            WorkloadKind::Discussion,
+            WorkloadKind::Random,
+        ] {
+            let w = Workload::generate(kind, 4, Duration::from_secs(60), 3.0, 1);
+            for pair in w.events.windows(2) {
+                assert!(pair[0].at <= pair[1].at);
+            }
+            assert!(w.events.iter().all(|e| e.client < 4));
+            assert!(w.events.iter().all(|e| e.at <= Duration::from_secs(61)));
+        }
+    }
+
+    #[test]
+    fn lecture_workload_is_teacher_heavy() {
+        let w = Workload::generate(WorkloadKind::Lecture, 6, Duration::from_secs(120), 4.0, 3);
+        let teacher_events = w.events.iter().filter(|e| e.client == 0).count();
+        assert!(
+            teacher_events * 2 > w.len(),
+            "teacher should produce the majority of lecture events"
+        );
+    }
+
+    #[test]
+    fn question_answer_contains_floor_requests() {
+        let w = Workload::generate(WorkloadKind::QuestionAnswer, 4, Duration::from_secs(60), 5.0, 7);
+        assert!(w.floor_requests() > 0);
+        assert!(w.floor_requests() < w.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_panics() {
+        let _ = Workload::generate(WorkloadKind::Random, 0, Duration::from_secs(1), 1.0, 0);
+    }
+}

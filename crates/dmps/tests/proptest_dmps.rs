@@ -1,0 +1,164 @@
+//! Property-based tests over the DMPS session layer.
+
+use std::time::Duration;
+
+use dmps::workload::WorkloadAction;
+use dmps::{Session, SessionConfig, Workload, WorkloadKind};
+use dmps_floor::{FcmMode, Role};
+use dmps_simnet::{Link, LocalClock};
+use proptest::prelude::*;
+
+fn build_session(seed: u64, mode: FcmMode, students: usize) -> (Session, Vec<usize>) {
+    let mut session = Session::new(SessionConfig::new(seed, mode));
+    let teacher = session.add_client("teacher", Role::Chair, Link::lan(), LocalClock::perfect());
+    let mut indices = vec![teacher];
+    for i in 0..students {
+        let link = if i % 2 == 0 { Link::dsl() } else { Link::wan() };
+        let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+        indices.push(session.add_client(
+            format!("student-{i}"),
+            Role::Participant,
+            link,
+            LocalClock::new(sign * 200.0, sign as i64 * 10_000_000),
+        ));
+    }
+    session.pump();
+    (session, indices)
+}
+
+fn apply(session: &mut Session, idx: usize, action: &WorkloadAction) {
+    match action {
+        WorkloadAction::RequestFloor => session.request_floor(idx),
+        WorkloadAction::ReleaseFloor => session.release_floor(idx),
+        WorkloadAction::Chat(t) => session.send_chat(idx, t.clone()),
+        WorkloadAction::Whiteboard(s) => session.send_whiteboard(idx, s.clone()),
+        WorkloadAction::Annotation(t) => session.send_annotation(idx, t.clone()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Replaying the same workload on the same seed produces identical server
+    /// state (the determinism every experiment relies on).
+    #[test]
+    fn sessions_are_deterministic(seed in 0u64..200, students in 1usize..5) {
+        let workload = Workload::generate(WorkloadKind::Random, students + 1, Duration::from_secs(15), 2.0, seed);
+        let run = || {
+            let (mut session, indices) = build_session(seed, FcmMode::FreeAccess, students);
+            for event in &workload.events {
+                apply(&mut session, indices[event.client], &event.action);
+            }
+            session.pump();
+            (
+                session.server().chat_log().to_vec(),
+                session.server().whiteboard_log().to_vec(),
+                session.server().annotation_log().to_vec(),
+                session.server().arbiter().stats(),
+                session.network().delivered_count(),
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Under Free Access every content message a joined client sends is
+    /// eventually logged by the server or recorded as a network drop — no
+    /// message silently disappears.
+    #[test]
+    fn free_access_conserves_content(seed in 0u64..200, lines in 1usize..30) {
+        let (mut session, indices) = build_session(seed, FcmMode::FreeAccess, 3);
+        for i in 0..lines {
+            let idx = indices[i % indices.len()];
+            session.send_chat(idx, format!("line-{i}"));
+        }
+        session.pump();
+        let logged = session.server().chat_log().len();
+        let dropped = session
+            .network()
+            .dropped()
+            .iter()
+            .filter(|d| !d.payload.is_control())
+            .count();
+        prop_assert_eq!(logged + dropped, lines);
+        prop_assert_eq!(session.server().rejected_deliveries(), 0);
+    }
+
+    /// Under Equal Control, at most one client believes it may speak once the
+    /// network is quiescent, and the believer matches the server's token
+    /// holder.
+    #[test]
+    fn equal_control_single_speaker_invariant(
+        seed in 0u64..200,
+        ops in proptest::collection::vec((0usize..5, proptest::bool::ANY), 1..40),
+    ) {
+        let (mut session, indices) = build_session(seed, FcmMode::EqualControl, 4);
+        for (raw, release) in ops {
+            let idx = indices[raw % indices.len()];
+            if release {
+                session.release_floor(idx);
+            } else {
+                session.request_floor(idx);
+            }
+            session.pump();
+            let speakers: Vec<usize> = (0..session.client_count())
+                .filter(|&i| session.client(i).may_speak())
+                .collect();
+            prop_assert!(speakers.len() <= 1, "multiple clients believe they hold the floor");
+            if let Some(&holder_idx) = speakers.first() {
+                let holder_member = session.member_of(holder_idx).unwrap();
+                let token_holder = session
+                    .server()
+                    .arbiter()
+                    .token(session.server().group())
+                    .unwrap()
+                    .holder();
+                prop_assert_eq!(Some(holder_member), token_holder);
+            }
+        }
+    }
+
+    /// Connection lights: a client whose link stays up is green after any
+    /// simulated quiet period shorter than the liveness timeout multiple, and
+    /// a client whose link is cut is red after the timeout passes.
+    #[test]
+    fn connection_lights_track_link_state(seed in 0u64..100, quiet_secs in 6u64..30) {
+        let (mut session, indices) = build_session(seed, FcmMode::FreeAccess, 2);
+        let victim = indices[1];
+        let victim_member = session.member_of(victim).unwrap();
+        session.set_client_link_up(victim, false);
+        let until = session.now() + Duration::from_secs(quiet_secs);
+        session.run_until(until);
+        let lights = session.server().connection_lights(session.now());
+        for (member, green) in lights {
+            if member == victim_member {
+                prop_assert!(!green, "cut client must be red after {quiet_secs}s");
+            } else {
+                prop_assert!(green, "healthy client must stay green");
+            }
+        }
+    }
+
+    /// Floor-control arbitration statistics only ever grow, and granted plus
+    /// queued plus denied plus aborted equals the number of floor requests
+    /// the server actually received.
+    #[test]
+    fn arbiter_stats_are_consistent(seed in 0u64..100, requests in 1usize..25) {
+        let (mut session, indices) = build_session(seed, FcmMode::EqualControl, 3);
+        for i in 0..requests {
+            session.request_floor(indices[i % indices.len()]);
+        }
+        session.pump();
+        let stats = session.server().arbiter().stats();
+        let total = stats.granted + stats.queued + stats.denied + stats.aborted;
+        // Some requests may be lost on lossy links, so the total is at most
+        // the number sent, and every delivered request is accounted for.
+        prop_assert!(total <= requests as u64);
+        let dropped_floor = session
+            .network()
+            .dropped()
+            .iter()
+            .filter(|d| matches!(d.payload, dmps::DmpsMessage::Floor(_)))
+            .count() as u64;
+        prop_assert_eq!(total + dropped_floor, requests as u64);
+    }
+}

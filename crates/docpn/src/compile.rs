@@ -1,0 +1,516 @@
+//! Compilation of a [`PresentationDocument`] into an executable timed net
+//! under one of the three models (OCPN, XOCPN, DOCPN).
+//!
+//! The construction follows the standard OCPN encoding of a solved timeline:
+//!
+//! * one **synchronization transition** per distinct event time (any media
+//!   start or end),
+//! * one **playout place** per media object (duration = its presentation
+//!   length) between its start and end transitions,
+//! * **timer places** chaining consecutive synchronization transitions so the
+//!   nominal schedule is carried even across gaps.
+//!
+//! The XOCPN variant adds one **delivery place** per object (duration = the
+//! object's network transfer time, channels set up at presentation start) as
+//! an extra input to the object's start transition. The DOCPN variant
+//! additionally marks every timer-chain arc as a **priority arc** (the global
+//! clock dominates) and compiles the document's interaction points into
+//! user/timeout transition pairs.
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use dmps_media::{MediaId, PresentationDocument, Timeline};
+use dmps_petri::{Marking, PlaceId, TransitionId};
+
+use crate::error::{DocpnError, Result};
+use crate::interaction::InteractionBehavior;
+use crate::timed::{TimedNet, TimedNetBuilder};
+
+/// Which of the three presentation models to compile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Object Composition Petri Net (Little & Ghafoor): local media, no
+    /// priority, no user interaction.
+    Ocpn,
+    /// Extended OCPN (Woo, Qazi & Ghafoor): adds per-object delivery places
+    /// representing QoS-provisioned channels.
+    Xocpn,
+    /// Distributed OCPN (this paper): XOCPN plus global-clock priority arcs
+    /// and user-interaction transitions.
+    Docpn,
+}
+
+impl ModelKind {
+    /// All three models, in historical order.
+    pub fn all() -> [ModelKind; 3] {
+        [ModelKind::Ocpn, ModelKind::Xocpn, ModelKind::Docpn]
+    }
+
+    /// Whether the model includes delivery (network transfer) places.
+    pub fn models_transport(self) -> bool {
+        matches!(self, ModelKind::Xocpn | ModelKind::Docpn)
+    }
+
+    /// Whether the model uses the global-clock priority arcs.
+    pub fn has_priority_clock(self) -> bool {
+        matches!(self, ModelKind::Docpn)
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ModelKind::Ocpn => "OCPN",
+            ModelKind::Xocpn => "XOCPN",
+            ModelKind::Docpn => "DOCPN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Options controlling compilation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompileOptions {
+    /// The model to compile.
+    pub model: Option<ModelKind>,
+    /// Per-object network transfer delay (used by XOCPN/DOCPN delivery
+    /// places). Objects not listed get [`CompileOptions::default_transfer`].
+    pub transfer_delays: HashMap<MediaId, Duration>,
+    /// Transfer delay for objects not listed in `transfer_delays`.
+    pub default_transfer: Duration,
+    /// Behaviour of each interaction point, keyed by label (DOCPN only).
+    pub interaction_behaviors: HashMap<String, InteractionBehavior>,
+}
+
+impl CompileOptions {
+    /// Creates options for the given model with no transfer delays and all
+    /// interactions timing out.
+    pub fn new(model: ModelKind) -> Self {
+        CompileOptions {
+            model: Some(model),
+            ..Default::default()
+        }
+    }
+
+    /// The selected model (defaults to DOCPN).
+    pub fn model(&self) -> ModelKind {
+        self.model.unwrap_or(ModelKind::Docpn)
+    }
+
+    /// Sets the transfer delay of one object.
+    pub fn with_transfer_delay(mut self, media: MediaId, delay: Duration) -> Self {
+        self.transfer_delays.insert(media, delay);
+        self
+    }
+
+    /// Sets the default transfer delay for unlisted objects.
+    pub fn with_default_transfer(mut self, delay: Duration) -> Self {
+        self.default_transfer = delay;
+        self
+    }
+
+    /// Sets the behaviour of one interaction point.
+    pub fn with_interaction(
+        mut self,
+        label: impl Into<String>,
+        behavior: InteractionBehavior,
+    ) -> Self {
+        self.interaction_behaviors.insert(label.into(), behavior);
+        self
+    }
+
+    /// The transfer delay to use for an object.
+    pub fn transfer_delay(&self, media: MediaId) -> Duration {
+        self.transfer_delays
+            .get(&media)
+            .copied()
+            .unwrap_or(self.default_transfer)
+    }
+}
+
+/// One synchronization point of the compiled net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncPoint {
+    /// The transition implementing the synchronization point.
+    pub transition: TransitionId,
+    /// The nominal (ideal) time of the point on the presentation timeline.
+    pub ideal: Duration,
+}
+
+/// The output of [`compile`]: the timed net plus the metadata needed to map
+/// executions back onto media objects and the nominal schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPresentation {
+    /// The executable timed net.
+    pub net: TimedNet,
+    /// The initial marking (a single token in the source place, plus any
+    /// delivery / clock / interaction tokens the model needs).
+    pub initial: Marking,
+    /// Which model was compiled.
+    pub model: ModelKind,
+    /// The solved nominal timeline of the document.
+    pub timeline: Timeline,
+    /// Playout place of each media object.
+    pub media_playout_place: BTreeMap<MediaId, PlaceId>,
+    /// Delivery place of each media object (XOCPN/DOCPN only).
+    pub media_delivery_place: BTreeMap<MediaId, PlaceId>,
+    /// The synchronization transition at which each media object starts.
+    pub media_start_transition: BTreeMap<MediaId, TransitionId>,
+    /// Every synchronization point with its nominal time, in timeline order.
+    pub sync_points: Vec<SyncPoint>,
+    /// The user/timeout transition pair of each interaction point
+    /// (DOCPN only), keyed by label.
+    pub interaction_transitions: BTreeMap<String, (TransitionId, TransitionId)>,
+    /// The final "presentation complete" place.
+    pub done_place: PlaceId,
+}
+
+impl CompiledPresentation {
+    /// The nominal start time of a media object.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the media id is not part of the document.
+    pub fn ideal_start(&self, media: MediaId) -> Result<Duration> {
+        Ok(self.timeline.interval(media)?.start)
+    }
+
+    /// The synchronization transition scheduled at the given nominal time, if
+    /// any.
+    pub fn sync_at(&self, ideal: Duration) -> Option<TransitionId> {
+        self.sync_points
+            .iter()
+            .find(|sp| sp.ideal == ideal)
+            .map(|sp| sp.transition)
+    }
+}
+
+/// Compiles a presentation document into a timed net under the given model.
+///
+/// # Errors
+///
+/// Returns [`DocpnError::EmptyPresentation`] for a document with no objects,
+/// timeline-solving errors from the media crate, and structural errors from
+/// the Petri net builder.
+pub fn compile(doc: &PresentationDocument, options: &CompileOptions) -> Result<CompiledPresentation> {
+    if doc.object_count() == 0 {
+        return Err(DocpnError::EmptyPresentation);
+    }
+    let model = options.model();
+    let timeline = doc.timeline()?;
+
+    // 1. Distinct event times.
+    let mut event_times: Vec<Duration> = vec![Duration::ZERO];
+    for (id, _) in doc.objects() {
+        let iv = timeline.interval(id)?;
+        event_times.push(iv.start);
+        event_times.push(iv.end());
+    }
+    event_times.sort();
+    event_times.dedup();
+
+    let mut b = TimedNetBuilder::new(format!("{model}:{}", doc.name()));
+
+    // 2. Synchronization transitions.
+    let sync_transitions: Vec<TransitionId> = event_times
+        .iter()
+        .map(|t| b.transition(format!("sync@{}ms", t.as_millis())))
+        .collect();
+
+    // 3. Source and done places.
+    let source = b.place("source");
+    let done_place = b.place("done");
+    b.arc_in(source, sync_transitions[0], 1);
+    b.arc_out(*sync_transitions.last().expect("at least one event time"), done_place, 1);
+
+    let mut initial_tokens: Vec<(PlaceId, u64)> = vec![(source, 1)];
+
+    // Under DOCPN the very first synchronization transition is also clock
+    // driven: an initially marked clock place with a priority arc lets the
+    // presentation start on time even if some delivery has not completed.
+    if model.has_priority_clock() {
+        let clock0 = b.place("clock@0ms");
+        b.arc_in_priority(clock0, sync_transitions[0], 1);
+        initial_tokens.push((clock0, 1));
+    }
+
+    // 4. Timer chain carrying the nominal schedule between consecutive
+    //    synchronization transitions. Under DOCPN these are the global-clock
+    //    places and their arcs into the next transition are priority arcs.
+    for w in 0..event_times.len() - 1 {
+        let gap = event_times[w + 1] - event_times[w];
+        let timer = b.timed_place(
+            format!(
+                "{}@{}ms",
+                if model.has_priority_clock() { "clock" } else { "timer" },
+                event_times[w + 1].as_millis()
+            ),
+            gap,
+        );
+        b.arc_out(sync_transitions[w], timer, 1);
+        if model.has_priority_clock() {
+            b.arc_in_priority(timer, sync_transitions[w + 1], 1);
+        } else {
+            b.arc_in(timer, sync_transitions[w + 1], 1);
+        }
+    }
+
+    // 5. Media playout places between their start and end transitions.
+    let index_of = |t: Duration| -> usize {
+        event_times
+            .binary_search(&t)
+            .expect("event time collected above")
+    };
+    let mut media_playout_place = BTreeMap::new();
+    let mut media_delivery_place = BTreeMap::new();
+    let mut media_start_transition = BTreeMap::new();
+    for (id, obj) in doc.objects() {
+        let iv = timeline.interval(id)?;
+        let start_t = sync_transitions[index_of(iv.start)];
+        let end_t = sync_transitions[index_of(iv.end())];
+        let playout = b.timed_place(format!("play:{}", obj.name), obj.duration);
+        b.arc_out(start_t, playout, 1);
+        b.arc_in(playout, end_t, 1);
+        media_playout_place.insert(id, playout);
+        media_start_transition.insert(id, start_t);
+
+        if model.models_transport() {
+            // Delivery place: the channel is set up at presentation start, so
+            // the token is initially marked and becomes available after the
+            // transfer delay.
+            let delivery = b.timed_place(
+                format!("deliver:{}", obj.name),
+                options.transfer_delay(id),
+            );
+            b.arc_in(delivery, start_t, 1);
+            media_delivery_place.insert(id, delivery);
+            initial_tokens.push((delivery, 1));
+        }
+    }
+
+    // 6. Interaction points (DOCPN only): a user transition and a timeout
+    //    transition racing for a shared pending token; whichever fires
+    //    produces the response place consumed by the next synchronization
+    //    transition after the interaction instant.
+    let mut interaction_transitions = BTreeMap::new();
+    if model == ModelKind::Docpn {
+        for ip in doc.interactions() {
+            let behavior = options
+                .interaction_behaviors
+                .get(&ip.label)
+                .copied()
+                .unwrap_or_default();
+            let pending = b.place(format!("pending:{}", ip.label));
+            let response = b.place(format!("response:{}", ip.label));
+            // The user's action: a timed place whose token becomes available
+            // when the user acts. When the behaviour is `TimesOut` the place
+            // is never marked.
+            let user_input = match behavior.action_time() {
+                Some(at) => {
+                    let p = b.timed_place(format!("user:{}", ip.label), at);
+                    initial_tokens.push((p, 1));
+                    p
+                }
+                None => b.place(format!("user:{}", ip.label)),
+            };
+            let timeout_clock =
+                b.timed_place(format!("timeout:{}", ip.label), ip.at + ip.timeout);
+            initial_tokens.push((timeout_clock, 1));
+            initial_tokens.push((pending, 1));
+
+            let t_user = b.transition(format!("interact:{}", ip.label));
+            let t_timeout = b.transition(format!("interact-timeout:{}", ip.label));
+            b.arc_in(pending, t_user, 1);
+            b.arc_in(user_input, t_user, 1);
+            b.arc_out(t_user, response, 1);
+            // Both arcs of the timeout path are priority arcs (the paper's
+            // "AND" rule for same-priority events): the timeout only fires
+            // when the pending token is still there, i.e. the user has not
+            // already answered.
+            b.arc_in_priority(pending, t_timeout, 1);
+            b.arc_in_priority(timeout_clock, t_timeout, 1);
+            b.arc_out(t_timeout, response, 1);
+
+            // The response gates the first synchronization transition at or
+            // after the interaction instant (excluding the very first).
+            let gate_index = event_times
+                .iter()
+                .position(|&t| t >= ip.at && t > Duration::ZERO)
+                .unwrap_or(event_times.len() - 1);
+            b.arc_in(response, sync_transitions[gate_index], 1);
+            interaction_transitions.insert(ip.label.clone(), (t_user, t_timeout));
+        }
+    }
+
+    let net = b.build()?;
+    let initial = Marking::from_pairs(net.place_count(), &initial_tokens);
+    let sync_points = event_times
+        .iter()
+        .zip(&sync_transitions)
+        .map(|(&ideal, &transition)| SyncPoint { transition, ideal })
+        .collect();
+
+    Ok(CompiledPresentation {
+        net,
+        initial,
+        model,
+        timeline,
+        media_playout_place,
+        media_delivery_place,
+        media_start_transition,
+        sync_points,
+        interaction_transitions,
+        done_place,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timed::TimedExecution;
+    use dmps_media::{MediaKind, MediaObject, TemporalRelation};
+
+    fn lecture() -> PresentationDocument {
+        let mut doc = PresentationDocument::new("lecture");
+        let video = doc.add_object(MediaObject::new("video", MediaKind::Video, Duration::from_secs(30)));
+        let audio = doc.add_object(MediaObject::new("audio", MediaKind::Audio, Duration::from_secs(30)));
+        let slides = doc.add_object(MediaObject::new("slides", MediaKind::Slide, Duration::from_secs(20)));
+        let quiz = doc.add_object(MediaObject::new("quiz", MediaKind::Text, Duration::from_secs(10)));
+        doc.relate(video, TemporalRelation::Equals, audio).unwrap();
+        doc.relate(video, TemporalRelation::StartedBy, slides).unwrap();
+        doc.relate(video, TemporalRelation::Meets, quiz).unwrap();
+        doc
+    }
+
+    #[test]
+    fn empty_document_rejected() {
+        let doc = PresentationDocument::new("empty");
+        assert_eq!(
+            compile(&doc, &CompileOptions::new(ModelKind::Ocpn)).unwrap_err(),
+            DocpnError::EmptyPresentation
+        );
+    }
+
+    #[test]
+    fn ocpn_compiles_and_runs_on_nominal_schedule() {
+        let doc = lecture();
+        let compiled = compile(&doc, &CompileOptions::new(ModelKind::Ocpn)).unwrap();
+        assert_eq!(compiled.model, ModelKind::Ocpn);
+        assert!(compiled.media_delivery_place.is_empty());
+        assert!(compiled.interaction_transitions.is_empty());
+        let exec = TimedExecution::run_to_completion(&compiled.net, &compiled.initial).unwrap();
+        // The presentation ends at 40 s (30 s lecture + 10 s quiz).
+        assert_eq!(exec.makespan(), Duration::from_secs(40));
+        assert_eq!(exec.priority_firing_count(), 0);
+        // Every sync transition fired exactly at its ideal time.
+        for sp in &compiled.sync_points {
+            assert_eq!(exec.firing_of(sp.transition).unwrap().at, sp.ideal);
+        }
+    }
+
+    #[test]
+    fn xocpn_adds_delivery_places() {
+        let doc = lecture();
+        let options = CompileOptions::new(ModelKind::Xocpn)
+            .with_default_transfer(Duration::from_secs(1));
+        let compiled = compile(&doc, &options).unwrap();
+        assert_eq!(compiled.media_delivery_place.len(), doc.object_count());
+        let exec = TimedExecution::run_to_completion(&compiled.net, &compiled.initial).unwrap();
+        // 1 s of delivery delay on the first objects pushes the whole
+        // presentation back by 1 s under XOCPN (no priority clock).
+        assert_eq!(exec.makespan(), Duration::from_secs(41));
+        assert_eq!(exec.priority_firing_count(), 0);
+    }
+
+    #[test]
+    fn docpn_priority_clock_holds_the_schedule_despite_late_media() {
+        let doc = lecture();
+        let slides_id = doc.objects().find(|(_, o)| o.name == "slides").unwrap().0;
+        let options = CompileOptions::new(ModelKind::Docpn)
+            .with_transfer_delay(slides_id, Duration::from_secs(90));
+        let compiled = compile(&doc, &options).unwrap();
+        let exec = TimedExecution::run_to_completion(&compiled.net, &compiled.initial).unwrap();
+        // The clock keeps every sync transition on its nominal time.
+        for sp in &compiled.sync_points {
+            assert_eq!(
+                exec.firing_of(sp.transition).unwrap().at,
+                sp.ideal,
+                "sync point at {:?}",
+                sp.ideal
+            );
+        }
+        assert_eq!(exec.makespan(), Duration::from_secs(40));
+        // At least one firing had to use the priority rule because the slides
+        // never arrived in time.
+        assert!(exec.priority_firing_count() >= 1);
+        let start_t = compiled.media_start_transition[&slides_id];
+        let firing = exec.firing_of(start_t).unwrap();
+        assert!(firing.fired_by_priority);
+        assert!(firing
+            .missing_inputs
+            .contains(&compiled.media_delivery_place[&slides_id]));
+    }
+
+    #[test]
+    fn docpn_compiles_interactions_with_user_and_timeout_paths() {
+        let mut doc = lecture();
+        doc.add_interaction("poll", Duration::from_secs(30), Duration::from_secs(5));
+
+        // Case 1: the user never answers; the timeout transition fires at 35 s.
+        let compiled = compile(&doc, &CompileOptions::new(ModelKind::Docpn)).unwrap();
+        assert_eq!(compiled.interaction_transitions.len(), 1);
+        let (t_user, t_timeout) = compiled.interaction_transitions["poll"];
+        let exec = TimedExecution::run_to_completion(&compiled.net, &compiled.initial).unwrap();
+        assert!(exec.firing_of(t_user).is_none());
+        assert_eq!(
+            exec.firing_of(t_timeout).unwrap().at,
+            Duration::from_secs(35)
+        );
+
+        // Case 2: the user answers at 31 s; the user transition fires and the
+        // timeout path never does.
+        let options = CompileOptions::new(ModelKind::Docpn)
+            .with_interaction("poll", InteractionBehavior::ActedAt(Duration::from_secs(31)));
+        let compiled = compile(&doc, &options).unwrap();
+        let (t_user, t_timeout) = compiled.interaction_transitions["poll"];
+        let exec = TimedExecution::run_to_completion(&compiled.net, &compiled.initial).unwrap();
+        assert_eq!(exec.firing_of(t_user).unwrap().at, Duration::from_secs(31));
+        assert!(exec.firing_of(t_timeout).is_none());
+    }
+
+    #[test]
+    fn sync_points_and_lookup_helpers() {
+        let doc = lecture();
+        let compiled = compile(&doc, &CompileOptions::new(ModelKind::Docpn)).unwrap();
+        // Event times: 0, 20 (slides end), 30 (video/audio end), 40 (quiz end).
+        let ideals: Vec<Duration> = compiled.sync_points.iter().map(|s| s.ideal).collect();
+        assert_eq!(
+            ideals,
+            vec![
+                Duration::ZERO,
+                Duration::from_secs(20),
+                Duration::from_secs(30),
+                Duration::from_secs(40)
+            ]
+        );
+        assert!(compiled.sync_at(Duration::from_secs(30)).is_some());
+        assert!(compiled.sync_at(Duration::from_secs(31)).is_none());
+        let video_id = doc.objects().find(|(_, o)| o.name == "video").unwrap().0;
+        assert_eq!(compiled.ideal_start(video_id).unwrap(), Duration::ZERO);
+    }
+
+    #[test]
+    fn model_kind_helpers() {
+        assert_eq!(ModelKind::all().len(), 3);
+        assert!(!ModelKind::Ocpn.models_transport());
+        assert!(ModelKind::Xocpn.models_transport());
+        assert!(ModelKind::Docpn.models_transport());
+        assert!(ModelKind::Docpn.has_priority_clock());
+        assert!(!ModelKind::Xocpn.has_priority_clock());
+        assert_eq!(ModelKind::Docpn.to_string(), "DOCPN");
+        assert_eq!(CompileOptions::default().model(), ModelKind::Docpn);
+    }
+}

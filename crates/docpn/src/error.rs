@@ -1,0 +1,98 @@
+//! Error types for the DOCPN models.
+
+use std::fmt;
+
+use dmps_media::MediaError;
+use dmps_petri::NetError;
+
+/// Convenience result alias for the crate.
+pub type Result<T> = std::result::Result<T, DocpnError>;
+
+/// Errors raised while building, compiling, or executing presentation nets.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DocpnError {
+    /// An underlying Petri net error.
+    Net(NetError),
+    /// An underlying media-model error.
+    Media(MediaError),
+    /// The timed execution did not terminate within the configured bounds.
+    ExecutionBudgetExceeded {
+        /// Number of firings performed before giving up.
+        firings: usize,
+    },
+    /// A priority arc references a place that is not an input of the
+    /// transition.
+    PriorityArcWithoutInput,
+    /// The compiled presentation is empty (no media objects).
+    EmptyPresentation,
+    /// An interaction label used by the caller does not exist in the
+    /// document.
+    UnknownInteraction(String),
+}
+
+impl fmt::Display for DocpnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DocpnError::Net(e) => write!(f, "petri net error: {e}"),
+            DocpnError::Media(e) => write!(f, "media model error: {e}"),
+            DocpnError::ExecutionBudgetExceeded { firings } => {
+                write!(f, "timed execution exceeded its budget after {firings} firings")
+            }
+            DocpnError::PriorityArcWithoutInput => {
+                write!(f, "priority arc declared on a place that is not an input")
+            }
+            DocpnError::EmptyPresentation => write!(f, "presentation document has no objects"),
+            DocpnError::UnknownInteraction(label) => {
+                write!(f, "unknown interaction point `{label}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DocpnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DocpnError::Net(e) => Some(e),
+            DocpnError::Media(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for DocpnError {
+    fn from(e: NetError) -> Self {
+        DocpnError::Net(e)
+    }
+}
+
+impl From<MediaError> for DocpnError {
+    fn from(e: MediaError) -> Self {
+        DocpnError::Media(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmps_petri::PlaceId;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = DocpnError::from(NetError::UnknownPlace(PlaceId(1)));
+        assert!(e.to_string().contains("petri net error"));
+        assert!(e.source().is_some());
+        let e = DocpnError::ExecutionBudgetExceeded { firings: 10 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.source().is_none());
+        let e = DocpnError::UnknownInteraction("quiz".into());
+        assert!(e.to_string().contains("quiz"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<DocpnError>();
+    }
+}

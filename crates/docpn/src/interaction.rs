@@ -1,0 +1,74 @@
+//! User interaction modelling.
+//!
+//! The DOCPN model "adds user interaction control into OCPN, thus user
+//! interaction can be a new important factor in synchronization". Each
+//! interaction point of a presentation document becomes a pair of
+//! transitions in the compiled DOCPN net: one fired by the user's action, one
+//! fired by the timeout clock (through a priority arc), guarded by a mutual
+//! exclusion place so exactly one of them responds.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// How a given interaction point behaves during one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum InteractionBehavior {
+    /// The user never responds; the timeout transition fires.
+    #[default]
+    TimesOut,
+    /// The user responds this long after presentation start.
+    ActedAt(Duration),
+}
+
+impl InteractionBehavior {
+    /// The user's action time, if any.
+    pub fn action_time(self) -> Option<Duration> {
+        match self {
+            InteractionBehavior::TimesOut => None,
+            InteractionBehavior::ActedAt(t) => Some(t),
+        }
+    }
+}
+
+/// A user action observed during a live session (used by the `dmps` layer to
+/// feed interactions back into a running presentation).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserAction {
+    /// The interaction point label this action answers.
+    pub label: String,
+    /// When the user acted, measured from presentation start.
+    pub at: Duration,
+}
+
+impl UserAction {
+    /// Creates a user action.
+    pub fn new(label: impl Into<String>, at: Duration) -> Self {
+        UserAction {
+            label: label.into(),
+            at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behavior_action_time() {
+        assert_eq!(InteractionBehavior::TimesOut.action_time(), None);
+        assert_eq!(
+            InteractionBehavior::ActedAt(Duration::from_secs(3)).action_time(),
+            Some(Duration::from_secs(3))
+        );
+        assert_eq!(InteractionBehavior::default(), InteractionBehavior::TimesOut);
+    }
+
+    #[test]
+    fn user_action_constructor() {
+        let a = UserAction::new("quiz", Duration::from_secs(5));
+        assert_eq!(a.label, "quiz");
+        assert_eq!(a.at, Duration::from_secs(5));
+    }
+}

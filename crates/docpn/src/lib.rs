@@ -1,0 +1,57 @@
+//! # dmps-docpn
+//!
+//! The Petri-net presentation models of the DMPS paper: timed nets,
+//! prioritized (DOCPN-style) firing, the OCPN / XOCPN / DOCPN compilers that
+//! turn a [`dmps_media::PresentationDocument`] into an executable net, and
+//! the scheduler that produces the synchronous presentation schedule.
+//!
+//! The three models reproduce the lineage the paper describes in Sections 2
+//! and 3:
+//!
+//! * **OCPN** (Little & Ghafoor) — places carry media playout durations,
+//!   transitions are synchronization points; every input must arrive before a
+//!   transition fires.
+//! * **XOCPN** (Woo, Qazi & Ghafoor) — adds per-object communication places
+//!   so network transfer time is part of the model and channels are set up
+//!   according to each object's QoS.
+//! * **DOCPN** (this paper, after Yang et al.'s prioritized Petri nets) —
+//!   adds a **global-clock chain with priority arcs** into every
+//!   synchronization transition and **user-interaction transitions**, so a
+//!   transition whose schedule is due fires even if some non-priority input
+//!   (a late medium, a silent user) has not arrived.
+//!
+//! # Example
+//!
+//! ```
+//! use dmps_docpn::{compile, CompileOptions, ModelKind, TimedExecution};
+//! use dmps_media::{MediaKind, MediaObject, PresentationDocument, TemporalRelation};
+//! use std::time::Duration;
+//!
+//! let mut doc = PresentationDocument::new("demo");
+//! let v = doc.add_object(MediaObject::new("video", MediaKind::Video, Duration::from_secs(10)));
+//! let a = doc.add_object(MediaObject::new("audio", MediaKind::Audio, Duration::from_secs(10)));
+//! doc.relate(v, TemporalRelation::Equals, a).unwrap();
+//!
+//! let compiled = compile(&doc, &CompileOptions::new(ModelKind::Docpn)).unwrap();
+//! let execution = TimedExecution::run_to_completion(&compiled.net, &compiled.initial).unwrap();
+//! assert!(execution.completed());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod error;
+pub mod interaction;
+pub mod priority;
+pub mod schedule;
+pub mod timed;
+pub mod verify;
+
+pub use compile::{compile, CompiledPresentation, CompileOptions, ModelKind};
+pub use error::{DocpnError, Result};
+pub use interaction::{InteractionBehavior, UserAction};
+pub use priority::PriorityPolicy;
+pub use schedule::{MediaScheduleEntry, ScheduleReport};
+pub use timed::{FiringEvent, TimedExecution, TimedNet, TimedNetBuilder};
+pub use verify::{verify_presentation, VerificationReport};

@@ -1,0 +1,252 @@
+//! The untimed prioritized Petri net of Yang et al. (Section 2.2 of the
+//! paper), kept separate from the timed machinery so the fire rules can be
+//! studied and tested in isolation.
+//!
+//! A prioritized net is `C = (P, T, I, I_p, O)`: a classical net plus a
+//! priority input function `I_p`. The fire rules:
+//!
+//! * a transition with only non-priority inputs fires when **all** inputs are
+//!   marked (classical rule);
+//! * a transition with priority inputs fires as soon as **all priority
+//!   inputs** are marked, without waiting for the others ("AND" over the
+//!   priority inputs);
+//! * when one place enables several transitions, the transition reached by a
+//!   priority arc from that place is chosen first.
+
+use serde::{Deserialize, Serialize};
+
+use dmps_petri::{Marking, NetBuilder, PetriNet, PlaceId, TransitionId};
+
+use crate::error::{DocpnError, Result};
+
+/// Conflict-resolution policy when several transitions are enabled at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PriorityPolicy {
+    /// Transitions enabled through a priority arc are chosen before
+    /// transitions enabled only through normal arcs (the paper's rule).
+    #[default]
+    PriorityFirst,
+    /// Ignore priority when resolving conflicts (ablation baseline): pick the
+    /// lowest-indexed enabled transition.
+    IndexOrder,
+}
+
+/// An untimed prioritized Petri net.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrioritizedNet {
+    net: PetriNet,
+    priority_inputs: Vec<Vec<PlaceId>>,
+}
+
+impl PrioritizedNet {
+    /// Wraps a structural net with a priority-input relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DocpnError::PriorityArcWithoutInput`] if a `(transition,
+    /// place)` pair names a place that is not an input of that transition.
+    pub fn new(net: PetriNet, priority: &[(TransitionId, PlaceId)]) -> Result<Self> {
+        let mut priority_inputs = vec![Vec::new(); net.transition_count()];
+        for &(t, p) in priority {
+            if !net.input_arcs(t).iter().any(|a| a.place == p) {
+                return Err(DocpnError::PriorityArcWithoutInput);
+            }
+            if !priority_inputs[t.0].contains(&p) {
+                priority_inputs[t.0].push(p);
+            }
+        }
+        Ok(PrioritizedNet {
+            net,
+            priority_inputs,
+        })
+    }
+
+    /// The underlying structural net.
+    pub fn net(&self) -> &PetriNet {
+        &self.net
+    }
+
+    /// The priority input places of a transition.
+    pub fn priority_inputs(&self, t: TransitionId) -> &[PlaceId] {
+        &self.priority_inputs[t.0]
+    }
+
+    /// Whether the transition is enabled under the prioritized fire rule:
+    /// either classically enabled, or all of its priority inputs are marked.
+    pub fn enabled(&self, m: &Marking, t: TransitionId) -> bool {
+        if self.net.enabled(m, t) {
+            return true;
+        }
+        let prio = &self.priority_inputs[t.0];
+        if prio.is_empty() {
+            return false;
+        }
+        self.net
+            .input_arcs(t)
+            .iter()
+            .filter(|a| prio.contains(&a.place))
+            .all(|a| m.tokens(a.place) >= a.weight)
+    }
+
+    /// Whether the transition would fire *by priority* (priority inputs
+    /// marked but at least one non-priority input unmarked).
+    pub fn enabled_by_priority_only(&self, m: &Marking, t: TransitionId) -> bool {
+        self.enabled(m, t) && !self.net.enabled(m, t)
+    }
+
+    /// Fires `t` under the prioritized rule: required (priority) tokens are
+    /// consumed; non-priority input tokens are consumed only as far as they
+    /// are present. Returns the successor marking and the list of input
+    /// places that were short of tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`dmps_petri::NetError::NotEnabled`] (wrapped) when the
+    /// transition is not enabled under the prioritized rule.
+    pub fn fire(&self, m: &Marking, t: TransitionId) -> Result<(Marking, Vec<PlaceId>)> {
+        if !self.enabled(m, t) {
+            return Err(DocpnError::Net(dmps_petri::NetError::NotEnabled(t)));
+        }
+        if self.net.enabled(m, t) {
+            return Ok((self.net.fire(m, t)?, Vec::new()));
+        }
+        // Priority firing with partial consumption of non-priority inputs.
+        let mut next = m.clone();
+        let mut missing = Vec::new();
+        let prio = &self.priority_inputs[t.0];
+        for arc in self.net.input_arcs(t) {
+            let have = next.tokens(arc.place);
+            let want = arc.weight;
+            if prio.contains(&arc.place) {
+                next.remove_tokens(arc.place, want)
+                    .expect("priority inputs checked by enabled()");
+            } else {
+                let take = have.min(want);
+                if take < want {
+                    missing.push(arc.place);
+                }
+                if take > 0 {
+                    next.remove_tokens(arc.place, take)
+                        .expect("taking at most the tokens present");
+                }
+            }
+        }
+        for arc in self.net.output_arcs(t) {
+            next.add_tokens(arc.place, arc.weight);
+        }
+        Ok((next, missing))
+    }
+
+    /// All transitions enabled under the prioritized rule, ordered according
+    /// to `policy`.
+    pub fn enabled_transitions(&self, m: &Marking, policy: PriorityPolicy) -> Vec<TransitionId> {
+        let mut enabled: Vec<TransitionId> = self
+            .net
+            .transitions()
+            .filter(|&t| self.enabled(m, t))
+            .collect();
+        if policy == PriorityPolicy::PriorityFirst {
+            enabled.sort_by_key(|&t| (self.priority_inputs[t.0].is_empty(), t));
+        }
+        enabled
+    }
+}
+
+/// Builds the small prioritized net of the paper's Section 2.2 discussion: a
+/// time-schedule place drives an event transition through a priority arc so
+/// the event occurs "when its time schedule is due" even if a non-priority
+/// resource has not arrived. Exposed for tests, examples and benches.
+pub fn example_priority_net() -> (PrioritizedNet, Marking, TransitionId) {
+    let mut b = NetBuilder::new("yang-priority-example");
+    let schedule = b.place("time-schedule-due");
+    let resource = b.place("optional-resource");
+    let fired = b.place("event-occurred");
+    let event = b.transition("event");
+    b.arc_in(schedule, event, 1);
+    b.arc_in(resource, event, 1);
+    b.arc_out(event, fired, 1);
+    let net = b.build().expect("example net is valid");
+    let prioritized =
+        PrioritizedNet::new(net, &[(event, schedule)]).expect("schedule is an input of event");
+    let m0 = Marking::from_pairs(prioritized.net().place_count(), &[(schedule, 1)]);
+    (prioritized, m0, event)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_fires_on_schedule_without_resource() {
+        let (net, m0, event) = example_priority_net();
+        assert!(net.enabled(&m0, event));
+        assert!(net.enabled_by_priority_only(&m0, event));
+        let (next, missing) = net.fire(&m0, event).unwrap();
+        assert_eq!(missing.len(), 1);
+        let fired_place = net.net().place_by_name("event-occurred").unwrap();
+        assert_eq!(next.tokens(fired_place), 1);
+    }
+
+    #[test]
+    fn classical_firing_when_all_inputs_present() {
+        let (net, _m0, event) = example_priority_net();
+        let schedule = net.net().place_by_name("time-schedule-due").unwrap();
+        let resource = net.net().place_by_name("optional-resource").unwrap();
+        let m = Marking::from_pairs(net.net().place_count(), &[(schedule, 1), (resource, 1)]);
+        assert!(net.enabled(&m, event));
+        assert!(!net.enabled_by_priority_only(&m, event));
+        let (next, missing) = net.fire(&m, event).unwrap();
+        assert!(missing.is_empty());
+        assert_eq!(next.tokens(resource), 0);
+    }
+
+    #[test]
+    fn not_enabled_without_priority_input() {
+        let (net, _m0, event) = example_priority_net();
+        let resource = net.net().place_by_name("optional-resource").unwrap();
+        let m = Marking::from_pairs(net.net().place_count(), &[(resource, 1)]);
+        assert!(!net.enabled(&m, event));
+        assert!(net.fire(&m, event).is_err());
+    }
+
+    #[test]
+    fn priority_first_policy_orders_priority_transitions_first() {
+        // One place enables two transitions; the one with a priority arc from
+        // that place is listed first under PriorityFirst.
+        let mut b = NetBuilder::new("conflict");
+        let p = b.place("p");
+        let out = b.place("out");
+        let plain = b.transition("plain");
+        let prioritized = b.transition("prioritized");
+        b.arc_in(p, plain, 1);
+        b.arc_out(plain, out, 1);
+        b.arc_in(p, prioritized, 1);
+        b.arc_out(prioritized, out, 1);
+        let net = PrioritizedNet::new(b.build().unwrap(), &[(prioritized, p)]).unwrap();
+        let m = Marking::from_pairs(net.net().place_count(), &[(p, 1)]);
+        let order = net.enabled_transitions(&m, PriorityPolicy::PriorityFirst);
+        assert_eq!(order, vec![prioritized, plain]);
+        let order = net.enabled_transitions(&m, PriorityPolicy::IndexOrder);
+        assert_eq!(order, vec![plain, prioritized]);
+    }
+
+    #[test]
+    fn invalid_priority_pair_rejected() {
+        let mut b = NetBuilder::new("bad");
+        let p = b.place("p");
+        let q = b.place("q");
+        let t = b.transition("t");
+        b.arc_in(p, t, 1);
+        b.arc_out(t, q, 1);
+        let net = b.build().unwrap();
+        assert_eq!(
+            PrioritizedNet::new(net, &[(t, q)]).unwrap_err(),
+            DocpnError::PriorityArcWithoutInput
+        );
+    }
+
+    #[test]
+    fn default_policy_is_priority_first() {
+        assert_eq!(PriorityPolicy::default(), PriorityPolicy::PriorityFirst);
+    }
+}

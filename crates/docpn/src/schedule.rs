@@ -1,0 +1,279 @@
+//! Schedule evaluation: comparing an execution of a compiled presentation
+//! against its nominal timeline.
+//!
+//! This is the measurement layer behind experiment **E5** (priority firing
+//! vs. the OCPN/XOCPN baselines): per-object lateness and deadline misses,
+//! per-synchronization-point drift, total and maximum stall, and the number
+//! of priority firings that kept the schedule on time.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use dmps_media::MediaId;
+use dmps_petri::TransitionId;
+
+use crate::compile::CompiledPresentation;
+use crate::error::Result;
+use crate::timed::TimedExecution;
+
+/// Schedule outcome for one media object.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MediaScheduleEntry {
+    /// The media object.
+    pub media: MediaId,
+    /// Its nominal start time.
+    pub ideal_start: Duration,
+    /// When its start synchronization transition actually fired (`None` when
+    /// the presentation never reached it).
+    pub sync_fired_at: Option<Duration>,
+    /// When the object was actually ready to render: the later of the sync
+    /// firing and the delivery availability (equal to the sync firing when
+    /// the model does not include delivery places).
+    pub effective_start: Option<Duration>,
+    /// `effective_start − ideal_start`, saturating at zero.
+    pub lateness: Duration,
+    /// Whether the lateness exceeded the report's tolerance.
+    pub missed_deadline: bool,
+}
+
+/// Schedule outcome for one synchronization point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncScheduleEntry {
+    /// The transition implementing the synchronization point.
+    pub transition: TransitionId,
+    /// Its nominal time.
+    pub ideal: Duration,
+    /// When it actually fired.
+    pub fired_at: Option<Duration>,
+    /// `fired_at − ideal`, saturating at zero (the stall introduced at this
+    /// point).
+    pub stall: Duration,
+}
+
+/// The complete evaluation of one execution against the nominal schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleReport {
+    /// Which model produced the execution.
+    pub model: String,
+    /// Per-object outcomes, in media-id order.
+    pub media: Vec<MediaScheduleEntry>,
+    /// Per-synchronization-point outcomes, in timeline order.
+    pub sync_points: Vec<SyncScheduleEntry>,
+    /// Sum of the per-point stalls.
+    pub total_stall: Duration,
+    /// Largest single-point stall.
+    pub max_stall: Duration,
+    /// Number of media objects whose lateness exceeded the tolerance.
+    pub deadline_misses: usize,
+    /// Number of firings that used the priority rule.
+    pub priority_firings: usize,
+    /// Time of the last firing.
+    pub makespan: Duration,
+    /// The nominal end of the presentation.
+    pub nominal_makespan: Duration,
+    /// The tolerance used to count deadline misses.
+    pub tolerance: Duration,
+}
+
+impl ScheduleReport {
+    /// Whether the presentation stayed fully on schedule (no stall anywhere).
+    pub fn on_schedule(&self) -> bool {
+        self.total_stall.is_zero()
+    }
+
+    /// The mean lateness across media objects.
+    pub fn mean_lateness(&self) -> Duration {
+        if self.media.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.media.iter().map(|m| m.lateness).sum();
+        total / self.media.len() as u32
+    }
+
+    /// Renders the report as a small text table (one row per media object),
+    /// the format printed by the experiment binaries.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "model={} makespan={}ms nominal={}ms stall={}ms priority_firings={} misses={}\n",
+            self.model,
+            self.makespan.as_millis(),
+            self.nominal_makespan.as_millis(),
+            self.total_stall.as_millis(),
+            self.priority_firings,
+            self.deadline_misses
+        );
+        out.push_str("media\tideal_ms\teffective_ms\tlateness_ms\tmissed\n");
+        for m in &self.media {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\n",
+                m.media,
+                m.ideal_start.as_millis(),
+                m.effective_start.map(|d| d.as_millis() as i64).unwrap_or(-1),
+                m.lateness.as_millis(),
+                m.missed_deadline
+            ));
+        }
+        out
+    }
+}
+
+/// Evaluates an execution of a compiled presentation against its nominal
+/// timeline. `tolerance` is how late a media object may start before it is
+/// counted as a deadline miss.
+///
+/// # Errors
+///
+/// Returns media-model errors when the compiled metadata is inconsistent with
+/// the document timeline (which cannot happen for values produced by
+/// [`crate::compile`]).
+pub fn evaluate(
+    compiled: &CompiledPresentation,
+    execution: &TimedExecution,
+    tolerance: Duration,
+) -> Result<ScheduleReport> {
+    let mut media = Vec::new();
+    for (&id, &start_t) in &compiled.media_start_transition {
+        let ideal_start = compiled.ideal_start(id)?;
+        let sync_fired_at = execution.firing_of(start_t).map(|f| f.at);
+        let delivery_ready = compiled.media_delivery_place.get(&id).map(|&p| {
+            // Delivery tokens are initially marked, so their availability is
+            // exactly the place duration.
+            compiled.net.place_duration(p)
+        });
+        let effective_start = sync_fired_at.map(|fired| match delivery_ready {
+            Some(ready) => fired.max(ready),
+            None => fired,
+        });
+        let lateness = effective_start
+            .map(|e| e.saturating_sub(ideal_start))
+            .unwrap_or(Duration::MAX);
+        let missed_deadline = lateness > tolerance;
+        media.push(MediaScheduleEntry {
+            media: id,
+            ideal_start,
+            sync_fired_at,
+            effective_start,
+            lateness: if effective_start.is_some() { lateness } else { Duration::ZERO },
+            missed_deadline,
+        });
+    }
+
+    let mut sync_points = Vec::new();
+    let mut total_stall = Duration::ZERO;
+    let mut max_stall = Duration::ZERO;
+    for sp in &compiled.sync_points {
+        let fired_at = execution.firing_of(sp.transition).map(|f| f.at);
+        let stall = fired_at
+            .map(|f| f.saturating_sub(sp.ideal))
+            .unwrap_or(Duration::ZERO);
+        total_stall += stall;
+        max_stall = max_stall.max(stall);
+        sync_points.push(SyncScheduleEntry {
+            transition: sp.transition,
+            ideal: sp.ideal,
+            fired_at,
+            stall,
+        });
+    }
+
+    let deadline_misses = media.iter().filter(|m| m.missed_deadline).count();
+    Ok(ScheduleReport {
+        model: compiled.model.to_string(),
+        media,
+        sync_points,
+        total_stall,
+        max_stall,
+        deadline_misses,
+        priority_firings: execution.priority_firing_count(),
+        makespan: execution.makespan(),
+        nominal_makespan: compiled.timeline.total_duration(),
+        tolerance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CompileOptions, ModelKind};
+    use crate::timed::TimedExecution;
+    use dmps_media::{MediaKind, MediaObject, PresentationDocument, TemporalRelation};
+
+    fn doc_with_two_segments() -> (PresentationDocument, MediaId, MediaId) {
+        let mut doc = PresentationDocument::new("two-segments");
+        let intro = doc.add_object(MediaObject::new("intro", MediaKind::Video, Duration::from_secs(10)));
+        let body = doc.add_object(MediaObject::new("body", MediaKind::Video, Duration::from_secs(20)));
+        doc.relate(intro, TemporalRelation::Meets, body).unwrap();
+        (doc, intro, body)
+    }
+
+    #[test]
+    fn on_time_execution_has_no_stall_or_misses() {
+        let (doc, intro, body) = doc_with_two_segments();
+        let compiled = compile(&doc, &CompileOptions::new(ModelKind::Ocpn)).unwrap();
+        let exec = TimedExecution::run_to_completion(&compiled.net, &compiled.initial).unwrap();
+        let report = evaluate(&compiled, &exec, Duration::from_millis(100)).unwrap();
+        assert!(report.on_schedule());
+        assert_eq!(report.deadline_misses, 0);
+        assert_eq!(report.total_stall, Duration::ZERO);
+        assert_eq!(report.makespan, Duration::from_secs(30));
+        assert_eq!(report.nominal_makespan, Duration::from_secs(30));
+        assert_eq!(report.mean_lateness(), Duration::ZERO);
+        let intro_entry = report.media.iter().find(|m| m.media == intro).unwrap();
+        assert_eq!(intro_entry.ideal_start, Duration::ZERO);
+        assert_eq!(intro_entry.effective_start, Some(Duration::ZERO));
+        let body_entry = report.media.iter().find(|m| m.media == body).unwrap();
+        assert_eq!(body_entry.ideal_start, Duration::from_secs(10));
+    }
+
+    #[test]
+    fn xocpn_late_delivery_stalls_and_misses() {
+        let (doc, intro, body) = doc_with_two_segments();
+        let options = CompileOptions::new(ModelKind::Xocpn)
+            .with_transfer_delay(intro, Duration::from_secs(5));
+        let compiled = compile(&doc, &options).unwrap();
+        let exec = TimedExecution::run_to_completion(&compiled.net, &compiled.initial).unwrap();
+        let report = evaluate(&compiled, &exec, Duration::from_millis(100)).unwrap();
+        assert!(!report.on_schedule());
+        // The intro could not start until its delivery finished at 5 s, so
+        // every later point shifted by 5 s.
+        assert_eq!(report.max_stall, Duration::from_secs(5));
+        assert_eq!(report.makespan, Duration::from_secs(35));
+        assert_eq!(report.deadline_misses, 2, "both objects started late");
+        let body_entry = report.media.iter().find(|m| m.media == body).unwrap();
+        assert_eq!(body_entry.lateness, Duration::from_secs(5));
+    }
+
+    #[test]
+    fn docpn_late_delivery_keeps_schedule_but_marks_the_late_object() {
+        let (doc, intro, body) = doc_with_two_segments();
+        let options = CompileOptions::new(ModelKind::Docpn)
+            .with_transfer_delay(intro, Duration::from_secs(5));
+        let compiled = compile(&doc, &options).unwrap();
+        let exec = TimedExecution::run_to_completion(&compiled.net, &compiled.initial).unwrap();
+        let report = evaluate(&compiled, &exec, Duration::from_millis(100)).unwrap();
+        // The clock keeps sync points on time: no stall.
+        assert!(report.on_schedule());
+        assert_eq!(report.makespan, Duration::from_secs(30));
+        assert!(report.priority_firings >= 1);
+        // But the intro itself was effectively 5 s late (it could only render
+        // once delivered), so exactly one deadline miss is recorded.
+        assert_eq!(report.deadline_misses, 1);
+        let intro_entry = report.media.iter().find(|m| m.media == intro).unwrap();
+        assert_eq!(intro_entry.lateness, Duration::from_secs(5));
+        let body_entry = report.media.iter().find(|m| m.media == body).unwrap();
+        assert_eq!(body_entry.lateness, Duration::ZERO);
+    }
+
+    #[test]
+    fn table_rendering_contains_headline_numbers() {
+        let (doc, ..) = doc_with_two_segments();
+        let compiled = compile(&doc, &CompileOptions::new(ModelKind::Docpn)).unwrap();
+        let exec = TimedExecution::run_to_completion(&compiled.net, &compiled.initial).unwrap();
+        let report = evaluate(&compiled, &exec, Duration::from_millis(100)).unwrap();
+        let table = report.to_table();
+        assert!(table.contains("model=DOCPN"));
+        assert!(table.contains("media\tideal_ms"));
+        assert!(table.lines().count() >= 4);
+    }
+}

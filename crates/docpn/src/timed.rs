@@ -1,0 +1,596 @@
+//! Timed Petri nets with prioritized firing and their deterministic
+//! earliest-firing-time execution.
+//!
+//! The model follows the paper's DOCPN firing rules (Section 2.2, after Yang
+//! et al.):
+//!
+//! 1. a transition with only non-priority inputs fires when **all** its input
+//!    tokens are present and their place durations have elapsed;
+//! 2. a transition with priority inputs fires as soon as **all its priority
+//!    inputs** are available, *without waiting* for the non-priority inputs;
+//! 3. among simultaneously enabled transitions the earliest scheduled one
+//!    fires first (ties broken by transition index, which keeps executions
+//!    deterministic).
+//!
+//! A token entering a place `p` at time `t` becomes *available* to output
+//! transitions at `t + duration(p)` — the OCPN convention where a place is a
+//! medium being played out for its duration.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use dmps_petri::{Marking, NetBuilder, PetriNet, PlaceId, TransitionId};
+
+use crate::error::{DocpnError, Result};
+
+/// A timed Petri net: a structural net plus place durations and a set of
+/// priority input arcs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedNet {
+    net: PetriNet,
+    place_durations: Vec<Duration>,
+    /// For each transition, the subset of its input places whose arcs are
+    /// priority arcs.
+    priority_inputs: Vec<Vec<PlaceId>>,
+}
+
+impl TimedNet {
+    /// The underlying structural net.
+    pub fn net(&self) -> &PetriNet {
+        &self.net
+    }
+
+    /// The playout duration of a place.
+    pub fn place_duration(&self, p: PlaceId) -> Duration {
+        self.place_durations.get(p.0).copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// The priority input places of a transition.
+    pub fn priority_inputs(&self, t: TransitionId) -> &[PlaceId] {
+        &self.priority_inputs[t.0]
+    }
+
+    /// Whether the transition has at least one priority input arc.
+    pub fn has_priority_inputs(&self, t: TransitionId) -> bool {
+        !self.priority_inputs[t.0].is_empty()
+    }
+
+    /// Number of places.
+    pub fn place_count(&self) -> usize {
+        self.net.place_count()
+    }
+
+    /// Number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.net.transition_count()
+    }
+}
+
+/// Builder for [`TimedNet`], wrapping [`NetBuilder`] with durations and
+/// priority arcs.
+#[derive(Debug, Clone, Default)]
+pub struct TimedNetBuilder {
+    inner: NetBuilder,
+    durations: Vec<Duration>,
+    priority: Vec<(TransitionId, PlaceId)>,
+}
+
+impl TimedNetBuilder {
+    /// Creates a builder for a timed net with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimedNetBuilder {
+            inner: NetBuilder::new(name),
+            durations: Vec::new(),
+            priority: Vec::new(),
+        }
+    }
+
+    /// Adds a place with zero duration (an instantaneous condition).
+    pub fn place(&mut self, name: impl Into<String>) -> PlaceId {
+        self.timed_place(name, Duration::ZERO)
+    }
+
+    /// Adds a place whose tokens become available `duration` after arrival
+    /// (a media playout or timer place).
+    pub fn timed_place(&mut self, name: impl Into<String>, duration: Duration) -> PlaceId {
+        let id = self.inner.place(name);
+        self.durations.push(duration);
+        id
+    }
+
+    /// Adds a transition.
+    pub fn transition(&mut self, name: impl Into<String>) -> TransitionId {
+        self.inner.transition(name)
+    }
+
+    /// Adds a normal (non-priority) input arc.
+    pub fn arc_in(&mut self, place: PlaceId, transition: TransitionId, weight: u64) -> &mut Self {
+        self.inner.arc_in(place, transition, weight);
+        self
+    }
+
+    /// Adds a **priority** input arc. Per the DOCPN fire rule, availability
+    /// of all priority inputs lets the transition fire without waiting for
+    /// its non-priority inputs.
+    pub fn arc_in_priority(
+        &mut self,
+        place: PlaceId,
+        transition: TransitionId,
+        weight: u64,
+    ) -> &mut Self {
+        self.inner.arc_in(place, transition, weight);
+        self.priority.push((transition, place));
+        self
+    }
+
+    /// Adds an output arc.
+    pub fn arc_out(&mut self, transition: TransitionId, place: PlaceId, weight: u64) -> &mut Self {
+        self.inner.arc_out(transition, place, weight);
+        self
+    }
+
+    /// Builds and validates the timed net.
+    ///
+    /// # Errors
+    ///
+    /// Returns structural errors from the underlying [`NetBuilder`] and
+    /// [`DocpnError::PriorityArcWithoutInput`] if a priority arc was declared
+    /// for a place that is not an input of its transition.
+    pub fn build(&self) -> Result<TimedNet> {
+        let net = self.inner.build()?;
+        let mut priority_inputs = vec![Vec::new(); net.transition_count()];
+        for &(t, p) in &self.priority {
+            if !net.input_arcs(t).iter().any(|a| a.place == p) {
+                return Err(DocpnError::PriorityArcWithoutInput);
+            }
+            if !priority_inputs[t.0].contains(&p) {
+                priority_inputs[t.0].push(p);
+            }
+        }
+        Ok(TimedNet {
+            net,
+            place_durations: self.durations.clone(),
+            priority_inputs,
+        })
+    }
+}
+
+/// One firing recorded by a timed execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FiringEvent {
+    /// The transition that fired.
+    pub transition: TransitionId,
+    /// The absolute time (offset from execution start) of the firing.
+    pub at: Duration,
+    /// Whether the firing used the priority rule (fired on priority inputs
+    /// while at least one non-priority input was missing or not yet
+    /// available).
+    pub fired_by_priority: bool,
+    /// The non-priority input places that were missing or unavailable at the
+    /// moment of a priority firing.
+    pub missing_inputs: Vec<PlaceId>,
+}
+
+/// The result of executing a timed net: the firing sequence plus, for every
+/// place, the times at which tokens entered it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedExecution {
+    firings: Vec<FiringEvent>,
+    token_entries: Vec<Vec<Duration>>,
+    completed: bool,
+}
+
+/// Default bound on the number of firings in a single execution.
+pub const DEFAULT_MAX_FIRINGS: usize = 100_000;
+
+impl TimedExecution {
+    /// Runs the net from an initial marking whose tokens are all available at
+    /// time zero, until no transition can fire any more.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DocpnError::ExecutionBudgetExceeded`] when more than
+    /// [`DEFAULT_MAX_FIRINGS`] firings occur (a cyclic presentation net), and
+    /// marking-shape errors from the structural net.
+    pub fn run_to_completion(net: &TimedNet, initial: &Marking) -> Result<Self> {
+        Self::run_with_injections(net, initial, &HashMap::new(), DEFAULT_MAX_FIRINGS)
+    }
+
+    /// Runs the net with *injected token availabilities*: for each listed
+    /// place, the `k`-th initial token in that place becomes available at the
+    /// `k`-th listed time instead of at time zero. This is how late media
+    /// deliveries and user actions are modelled without changing the net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DocpnError::ExecutionBudgetExceeded`] when `max_firings` is
+    /// exceeded and marking-shape errors from the structural net.
+    pub fn run_with_injections(
+        net: &TimedNet,
+        initial: &Marking,
+        injected_availability: &HashMap<PlaceId, Vec<Duration>>,
+        max_firings: usize,
+    ) -> Result<Self> {
+        net.net().check_marking(initial)?;
+        let places = net.place_count();
+        // Token pool per place: availability times, kept sorted ascending.
+        let mut tokens: Vec<Vec<Duration>> = vec![Vec::new(); places];
+        let mut token_entries: Vec<Vec<Duration>> = vec![Vec::new(); places];
+        for p in 0..places {
+            let count = initial.tokens(PlaceId(p));
+            let inject = injected_availability.get(&PlaceId(p));
+            for k in 0..count {
+                let entry = inject
+                    .and_then(|v| v.get(k as usize).copied())
+                    .unwrap_or(Duration::ZERO);
+                let avail = entry + net.place_duration(PlaceId(p));
+                tokens[p].push(avail);
+                token_entries[p].push(entry);
+            }
+            tokens[p].sort();
+        }
+
+        let mut firings: Vec<FiringEvent> = Vec::new();
+        let mut now = Duration::ZERO;
+
+        loop {
+            if firings.len() >= max_firings {
+                return Err(DocpnError::ExecutionBudgetExceeded {
+                    firings: firings.len(),
+                });
+            }
+            // Find the transition that can fire earliest.
+            let mut best: Option<(Duration, TransitionId, bool)> = None;
+            for t in net.net().transitions() {
+                let (normal_time, priority_time) = enable_times(net, &tokens, t);
+                let candidate = match (normal_time, priority_time) {
+                    (Some(n), Some(p)) => Some((n.min(p), n > p)),
+                    (Some(n), None) => Some((n, false)),
+                    (None, Some(p)) => Some((p, true)),
+                    (None, None) => None,
+                };
+                if let Some((time, by_priority)) = candidate {
+                    let time = time.max(now);
+                    let better = match &best {
+                        None => true,
+                        Some((bt, bid, _)) => time < *bt || (time == *bt && t < *bid),
+                    };
+                    if better {
+                        best = Some((time, t, by_priority));
+                    }
+                }
+            }
+            let Some((fire_time, t, by_priority)) = best else {
+                break;
+            };
+            now = fire_time;
+
+            // Consume tokens.
+            let mut missing = Vec::new();
+            let priority_places = net.priority_inputs(t);
+            for arc in net.net().input_arcs(t) {
+                let pool = &mut tokens[arc.place.0];
+                let is_priority = priority_places.contains(&arc.place);
+                if by_priority && !is_priority {
+                    // Best effort: consume up to `weight` tokens that are
+                    // already available; record the shortfall.
+                    let mut consumed = 0;
+                    while consumed < arc.weight {
+                        match pool.first() {
+                            Some(&avail) if avail <= fire_time => {
+                                pool.remove(0);
+                                consumed += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    if consumed < arc.weight {
+                        missing.push(arc.place);
+                    }
+                } else {
+                    // Required input: the enable-time computation guarantees
+                    // enough available tokens exist.
+                    for _ in 0..arc.weight {
+                        debug_assert!(
+                            pool.first().map(|&a| a <= fire_time).unwrap_or(false),
+                            "required token must be available at fire time"
+                        );
+                        pool.remove(0);
+                    }
+                }
+            }
+            // Produce tokens.
+            for arc in net.net().output_arcs(t) {
+                for _ in 0..arc.weight {
+                    let avail = fire_time + net.place_duration(arc.place);
+                    let pool = &mut tokens[arc.place.0];
+                    let pos = pool.partition_point(|&x| x <= avail);
+                    pool.insert(pos, avail);
+                    token_entries[arc.place.0].push(fire_time);
+                }
+            }
+            firings.push(FiringEvent {
+                transition: t,
+                at: fire_time,
+                fired_by_priority: by_priority,
+                missing_inputs: missing,
+            });
+        }
+
+        Ok(TimedExecution {
+            firings,
+            token_entries,
+            completed: true,
+        })
+    }
+
+    /// The recorded firings in time order.
+    pub fn firings(&self) -> &[FiringEvent] {
+        &self.firings
+    }
+
+    /// The times at which tokens entered each place.
+    pub fn token_entries(&self, p: PlaceId) -> &[Duration] {
+        &self.token_entries[p.0]
+    }
+
+    /// The first firing of a given transition, if it fired at all.
+    pub fn firing_of(&self, t: TransitionId) -> Option<&FiringEvent> {
+        self.firings.iter().find(|f| f.transition == t)
+    }
+
+    /// The time of the last firing (the makespan of the presentation).
+    pub fn makespan(&self) -> Duration {
+        self.firings.last().map(|f| f.at).unwrap_or(Duration::ZERO)
+    }
+
+    /// Whether the execution ran to quiescence (it always does unless the
+    /// firing budget was exceeded, in which case an error is returned
+    /// instead).
+    pub fn completed(&self) -> bool {
+        self.completed
+    }
+
+    /// Total number of firings that used the priority rule.
+    pub fn priority_firing_count(&self) -> usize {
+        self.firings.iter().filter(|f| f.fired_by_priority).count()
+    }
+}
+
+/// Computes the earliest time at which transition `t` could fire in normal
+/// mode (all inputs) and in priority mode (priority inputs only), given the
+/// current token pools. `None` means that mode cannot fire with the tokens
+/// currently present.
+fn enable_times(
+    net: &TimedNet,
+    tokens: &[Vec<Duration>],
+    t: TransitionId,
+) -> (Option<Duration>, Option<Duration>) {
+    let priority_places = net.priority_inputs(t);
+    let mut normal_ready: Option<Duration> = Some(Duration::ZERO);
+    for arc in net.net().input_arcs(t) {
+        let pool = &tokens[arc.place.0];
+        if (pool.len() as u64) < arc.weight {
+            normal_ready = None;
+            break;
+        }
+        let kth = pool[arc.weight as usize - 1];
+        normal_ready = normal_ready.map(|r| r.max(kth));
+    }
+    let priority_ready = if priority_places.is_empty() {
+        None
+    } else {
+        let mut ready: Option<Duration> = Some(Duration::ZERO);
+        for arc in net.net().input_arcs(t) {
+            if !priority_places.contains(&arc.place) {
+                continue;
+            }
+            let pool = &tokens[arc.place.0];
+            if (pool.len() as u64) < arc.weight {
+                ready = None;
+                break;
+            }
+            let kth = pool[arc.weight as usize - 1];
+            ready = ready.map(|r| r.max(kth));
+        }
+        ready
+    };
+    (normal_ready, priority_ready)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-segment sequential presentation:
+    /// source -> t_start -> [video 10s] -> t_mid -> [quiz 5s] -> t_end -> done
+    fn sequential_net() -> (TimedNet, Marking, Vec<TransitionId>, Vec<PlaceId>) {
+        let mut b = TimedNetBuilder::new("sequential");
+        let source = b.place("source");
+        let video = b.timed_place("video", Duration::from_secs(10));
+        let quiz = b.timed_place("quiz", Duration::from_secs(5));
+        let done = b.place("done");
+        let t_start = b.transition("start");
+        let t_mid = b.transition("mid");
+        let t_end = b.transition("end");
+        b.arc_in(source, t_start, 1);
+        b.arc_out(t_start, video, 1);
+        b.arc_in(video, t_mid, 1);
+        b.arc_out(t_mid, quiz, 1);
+        b.arc_in(quiz, t_end, 1);
+        b.arc_out(t_end, done, 1);
+        let net = b.build().unwrap();
+        let m0 = Marking::from_pairs(net.place_count(), &[(source, 1)]);
+        (net, m0, vec![t_start, t_mid, t_end], vec![source, video, quiz, done])
+    }
+
+    #[test]
+    fn sequential_presentation_fires_on_schedule() {
+        let (net, m0, ts, places) = sequential_net();
+        let exec = TimedExecution::run_to_completion(&net, &m0).unwrap();
+        assert!(exec.completed());
+        assert_eq!(exec.firings().len(), 3);
+        assert_eq!(exec.firing_of(ts[0]).unwrap().at, Duration::ZERO);
+        assert_eq!(exec.firing_of(ts[1]).unwrap().at, Duration::from_secs(10));
+        assert_eq!(exec.firing_of(ts[2]).unwrap().at, Duration::from_secs(15));
+        assert_eq!(exec.makespan(), Duration::from_secs(15));
+        assert_eq!(exec.priority_firing_count(), 0);
+        // The done place received its token at 15 s.
+        assert_eq!(exec.token_entries(places[3]), &[Duration::from_secs(15)]);
+    }
+
+    #[test]
+    fn parallel_media_synchronize_at_the_later_one() {
+        // t0 -> [video 10s] -\
+        //    -> [audio  8s] --> t_sync -> done
+        let mut b = TimedNetBuilder::new("sync");
+        let source = b.place("source");
+        let video = b.timed_place("video", Duration::from_secs(10));
+        let audio = b.timed_place("audio", Duration::from_secs(8));
+        let done = b.place("done");
+        let t0 = b.transition("start");
+        let t_sync = b.transition("sync");
+        b.arc_in(source, t0, 1);
+        b.arc_out(t0, video, 1);
+        b.arc_out(t0, audio, 1);
+        b.arc_in(video, t_sync, 1);
+        b.arc_in(audio, t_sync, 1);
+        b.arc_out(t_sync, done, 1);
+        let net = b.build().unwrap();
+        let m0 = Marking::from_pairs(net.place_count(), &[(source, 1)]);
+        let exec = TimedExecution::run_to_completion(&net, &m0).unwrap();
+        // The sync transition waits for the longer medium: OCPN semantics.
+        assert_eq!(exec.firing_of(t_sync).unwrap().at, Duration::from_secs(10));
+    }
+
+    #[test]
+    fn priority_arc_fires_without_waiting() {
+        // Clock chain guarantees the sync transition fires at 10 s even though
+        // the (late) medium is only available at 30 s.
+        let mut b = TimedNetBuilder::new("priority");
+        let source = b.place("source");
+        let late_media = b.timed_place("late-media", Duration::from_secs(30));
+        let clock = b.timed_place("clock", Duration::from_secs(10));
+        let done = b.place("done");
+        let t0 = b.transition("start");
+        let t_sync = b.transition("sync");
+        b.arc_in(source, t0, 1);
+        b.arc_out(t0, late_media, 1);
+        b.arc_out(t0, clock, 1);
+        b.arc_in(late_media, t_sync, 1);
+        b.arc_in_priority(clock, t_sync, 1);
+        b.arc_out(t_sync, done, 1);
+        let net = b.build().unwrap();
+        let m0 = Marking::from_pairs(net.place_count(), &[(source, 1)]);
+        let exec = TimedExecution::run_to_completion(&net, &m0).unwrap();
+        let sync = exec.firing_of(t_sync).unwrap();
+        assert_eq!(sync.at, Duration::from_secs(10));
+        assert!(sync.fired_by_priority);
+        assert_eq!(sync.missing_inputs, vec![late_media]);
+        assert_eq!(exec.priority_firing_count(), 1);
+    }
+
+    #[test]
+    fn priority_arc_does_not_fire_early_when_normal_inputs_are_ready() {
+        // Medium available at 5 s, clock at 10 s: normal firing at 5 s wins…
+        // no: the DOCPN rule is the transition needs *either* all inputs
+        // (normal mode, ready at max(5,10)=10 because the clock is also an
+        // input) or all priority inputs (ready at 10). Both give 10 s, and the
+        // firing is *not* flagged as priority because nothing was missing.
+        let mut b = TimedNetBuilder::new("not-early");
+        let source = b.place("source");
+        let media = b.timed_place("media", Duration::from_secs(5));
+        let clock = b.timed_place("clock", Duration::from_secs(10));
+        let done = b.place("done");
+        let t0 = b.transition("start");
+        let t_sync = b.transition("sync");
+        b.arc_in(source, t0, 1);
+        b.arc_out(t0, media, 1);
+        b.arc_out(t0, clock, 1);
+        b.arc_in(media, t_sync, 1);
+        b.arc_in_priority(clock, t_sync, 1);
+        b.arc_out(t_sync, done, 1);
+        let net = b.build().unwrap();
+        let m0 = Marking::from_pairs(net.place_count(), &[(source, 1)]);
+        let exec = TimedExecution::run_to_completion(&net, &m0).unwrap();
+        let sync = exec.firing_of(t_sync).unwrap();
+        assert_eq!(sync.at, Duration::from_secs(10));
+        assert!(!sync.fired_by_priority);
+        assert!(sync.missing_inputs.is_empty());
+    }
+
+    #[test]
+    fn injections_delay_token_availability() {
+        let (net, m0, ts, places) = sequential_net();
+        let source = places[0];
+        let mut injections = HashMap::new();
+        injections.insert(source, vec![Duration::from_secs(3)]);
+        let exec =
+            TimedExecution::run_with_injections(&net, &m0, &injections, DEFAULT_MAX_FIRINGS)
+                .unwrap();
+        assert_eq!(exec.firing_of(ts[0]).unwrap().at, Duration::from_secs(3));
+        assert_eq!(exec.makespan(), Duration::from_secs(18));
+    }
+
+    #[test]
+    fn cyclic_net_exceeds_budget() {
+        let mut b = TimedNetBuilder::new("cycle");
+        let p = b.timed_place("p", Duration::from_millis(1));
+        let q = b.place("q");
+        let t0 = b.transition("t0");
+        let t1 = b.transition("t1");
+        b.arc_in(p, t0, 1);
+        b.arc_out(t0, q, 1);
+        b.arc_in(q, t1, 1);
+        b.arc_out(t1, p, 1);
+        let net = b.build().unwrap();
+        let m0 = Marking::from_pairs(net.place_count(), &[(p, 1)]);
+        let err = TimedExecution::run_with_injections(&net, &m0, &HashMap::new(), 100).unwrap_err();
+        assert!(matches!(err, DocpnError::ExecutionBudgetExceeded { firings: 100 }));
+    }
+
+    #[test]
+    fn priority_arc_on_non_input_rejected() {
+        let mut b = TimedNetBuilder::new("bad");
+        let p = b.place("p");
+        let q = b.place("q");
+        let t = b.transition("t");
+        b.arc_in(p, t, 1);
+        // q is not an input of t, so a priority arc on it is invalid.
+        b.priority.push((t, q));
+        assert_eq!(b.build().unwrap_err(), DocpnError::PriorityArcWithoutInput);
+    }
+
+    #[test]
+    fn weighted_timed_arcs_wait_for_kth_token() {
+        let mut b = TimedNetBuilder::new("weighted");
+        let pool = b.timed_place("pool", Duration::from_secs(2));
+        let out = b.place("out");
+        let t = b.transition("take2");
+        b.arc_in(pool, t, 2);
+        b.arc_out(t, out, 1);
+        let net = b.build().unwrap();
+        let m0 = Marking::from_pairs(net.place_count(), &[(pool, 2)]);
+        let exec = TimedExecution::run_to_completion(&net, &m0).unwrap();
+        assert_eq!(exec.firing_of(t).unwrap().at, Duration::from_secs(2));
+        // With only one token the transition never fires.
+        let m1 = Marking::from_pairs(net.place_count(), &[(pool, 1)]);
+        let exec = TimedExecution::run_to_completion(&net, &m1).unwrap();
+        assert!(exec.firing_of(t).is_none());
+        assert_eq!(exec.makespan(), Duration::ZERO);
+    }
+
+    #[test]
+    fn accessors_expose_structure() {
+        let (net, _m0, ts, places) = sequential_net();
+        assert_eq!(net.place_count(), 4);
+        assert_eq!(net.transition_count(), 3);
+        assert_eq!(net.place_duration(places[1]), Duration::from_secs(10));
+        assert_eq!(net.place_duration(PlaceId(99)), Duration::ZERO);
+        assert!(!net.has_priority_inputs(ts[0]));
+        assert!(net.priority_inputs(ts[0]).is_empty());
+        assert_eq!(net.net().name(), "sequential");
+    }
+}

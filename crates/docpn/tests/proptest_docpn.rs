@@ -1,0 +1,117 @@
+//! Property-based tests over the compiler and the timed execution.
+
+use std::time::Duration;
+
+use dmps_docpn::{compile, CompileOptions, ModelKind, TimedExecution};
+use dmps_docpn::schedule::evaluate;
+use dmps_docpn::verify::verify_presentation;
+use dmps_media::{MediaKind, MediaObject, PresentationDocument, TemporalRelation};
+use proptest::prelude::*;
+
+/// Builds a random but well-formed presentation: a sequential backbone of
+/// segments (Meets chains), each optionally accompanied by a lip-synced
+/// overlay (Equals).
+fn arb_presentation() -> impl Strategy<Value = PresentationDocument> {
+    proptest::collection::vec((1u64..60, proptest::bool::ANY), 1..8).prop_map(|segments| {
+        let mut doc = PresentationDocument::new("prop-presentation");
+        let mut prev = None;
+        for (i, (secs, with_overlay)) in segments.into_iter().enumerate() {
+            let seg = doc.add_object(MediaObject::new(
+                format!("segment-{i}"),
+                MediaKind::Video,
+                Duration::from_secs(secs),
+            ));
+            if let Some(p) = prev {
+                doc.relate(p, TemporalRelation::Meets, seg).unwrap();
+            }
+            if with_overlay {
+                let overlay = doc.add_object(MediaObject::new(
+                    format!("narration-{i}"),
+                    MediaKind::Audio,
+                    Duration::from_secs(secs),
+                ));
+                doc.relate(seg, TemporalRelation::Equals, overlay).unwrap();
+            }
+            prev = Some(seg);
+        }
+        doc
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every model compiles any well-formed presentation, the nominal
+    /// execution reaches completion, and its makespan equals the solved
+    /// timeline's total duration.
+    #[test]
+    fn nominal_execution_matches_timeline(doc in arb_presentation(), model_idx in 0usize..3) {
+        let model = ModelKind::all()[model_idx];
+        let compiled = compile(&doc, &CompileOptions::new(model)).unwrap();
+        let exec = TimedExecution::run_to_completion(&compiled.net, &compiled.initial).unwrap();
+        let nominal = doc.timeline().unwrap().total_duration();
+        prop_assert_eq!(exec.makespan(), nominal);
+        prop_assert!(!exec.token_entries(compiled.done_place).is_empty());
+        // Every media start transition fires exactly at its ideal time.
+        for (&media, &t) in &compiled.media_start_transition {
+            let ideal = compiled.ideal_start(media).unwrap();
+            prop_assert_eq!(exec.firing_of(t).unwrap().at, ideal);
+        }
+    }
+
+    /// Verification passes for every model on nominal input.
+    #[test]
+    fn verification_passes_on_nominal_input(doc in arb_presentation(), model_idx in 0usize..3) {
+        let model = ModelKind::all()[model_idx];
+        let compiled = compile(&doc, &CompileOptions::new(model)).unwrap();
+        let report = verify_presentation(&compiled).unwrap();
+        prop_assert!(report.is_valid());
+        prop_assert!(report.bounded);
+    }
+
+    /// Under DOCPN, no matter how late deliveries are, the synchronization
+    /// points stay on the nominal schedule (zero stall), while under XOCPN
+    /// the total stall grows at least as large as the worst delivery overrun.
+    #[test]
+    fn docpn_never_stalls_xocpn_does(
+        doc in arb_presentation(),
+        delay_secs in 1u64..120,
+    ) {
+        // Delay the delivery of the *first* object.
+        let first = doc.objects().next().unwrap().0;
+        let delay = Duration::from_secs(delay_secs);
+
+        let docpn = compile(
+            &doc,
+            &CompileOptions::new(ModelKind::Docpn).with_transfer_delay(first, delay),
+        ).unwrap();
+        let exec = TimedExecution::run_to_completion(&docpn.net, &docpn.initial).unwrap();
+        let report = evaluate(&docpn, &exec, Duration::from_millis(1)).unwrap();
+        prop_assert!(report.on_schedule(), "DOCPN stalled: {:?}", report.total_stall);
+
+        let xocpn = compile(
+            &doc,
+            &CompileOptions::new(ModelKind::Xocpn).with_transfer_delay(first, delay),
+        ).unwrap();
+        let exec = TimedExecution::run_to_completion(&xocpn.net, &xocpn.initial).unwrap();
+        let report = evaluate(&xocpn, &exec, Duration::from_millis(1)).unwrap();
+        prop_assert!(report.max_stall >= delay, "XOCPN stall {:?} < delay {:?}", report.max_stall, delay);
+    }
+
+    /// Firings of a timed execution are non-decreasing in time and every
+    /// transition of the compiled presentation fires at most once (the nets
+    /// are acyclic by construction).
+    #[test]
+    fn firings_are_ordered_and_unique(doc in arb_presentation()) {
+        let compiled = compile(&doc, &CompileOptions::new(ModelKind::Docpn)).unwrap();
+        let exec = TimedExecution::run_to_completion(&compiled.net, &compiled.initial).unwrap();
+        let firings = exec.firings();
+        for pair in firings.windows(2) {
+            prop_assert!(pair[0].at <= pair[1].at);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for f in firings {
+            prop_assert!(seen.insert(f.transition), "transition fired twice");
+        }
+    }
+}

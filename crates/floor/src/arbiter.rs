@@ -1,0 +1,914 @@
+//! `FCM-Arbitrate`: the floor control arbiter of the DMPS server.
+//!
+//! The arbiter owns the groups, members, per-group floor tokens, pending
+//! invitations, the resource snapshot and the α/β thresholds, and implements
+//! the paper's Z-notation arbitration algorithm:
+//!
+//! * resource availability **≥ α** — the request is handled according to the
+//!   group's floor control mode (`Media-Available`);
+//! * **β ≤ availability < α** — the request may still be granted, but the
+//!   media of lower-priority members are suspended first (`Media-Suspend`);
+//! * availability **< β** — the arbitration aborts (`Abort-Arbitrate`);
+//! * in every regime, a request from a member who has not joined the group
+//!   aborts.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{FloorError, Result};
+use crate::group::{Group, GroupId};
+use crate::invite::{Invitation, InvitationId, InvitationStatus};
+use crate::member::{Member, MemberId, Role};
+use crate::mode::FcmMode;
+use crate::resource::{Resource, ResourceLevel, ResourceThresholds};
+use crate::suspend::{plan_suspensions, Suspension, SuspensionOrder};
+use crate::token::FloorToken;
+
+/// A floor control request sent to the server.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FloorRequest {
+    /// The group the request concerns.
+    pub group: GroupId,
+    /// The requesting member.
+    pub member: MemberId,
+    /// What the member wants to do.
+    pub kind: RequestKind,
+}
+
+impl FloorRequest {
+    /// A request to deliver (speak / write / stream) in the group under its
+    /// current mode.
+    pub fn speak(group: GroupId, member: MemberId) -> Self {
+        FloorRequest {
+            group,
+            member,
+            kind: RequestKind::Speak,
+        }
+    }
+
+    /// A request to open a direct-contact channel to another member.
+    pub fn direct_contact(group: GroupId, member: MemberId, to: MemberId) -> Self {
+        FloorRequest {
+            group,
+            member,
+            kind: RequestKind::DirectContact { to },
+        }
+    }
+
+    /// Release the equal-control floor token.
+    pub fn release_floor(group: GroupId, member: MemberId) -> Self {
+        FloorRequest {
+            group,
+            member,
+            kind: RequestKind::ReleaseFloor,
+        }
+    }
+
+    /// Pass the equal-control floor token to a specific member.
+    pub fn pass_floor(group: GroupId, member: MemberId, to: MemberId) -> Self {
+        FloorRequest {
+            group,
+            member,
+            kind: RequestKind::PassFloor { to },
+        }
+    }
+}
+
+/// The kinds of floor control requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// Deliver on the group's channels under the current mode.
+    Speak,
+    /// Open a private direct-contact channel with another member.
+    DirectContact {
+        /// The destination member.
+        to: MemberId,
+    },
+    /// Release the floor token (Equal Control).
+    ReleaseFloor,
+    /// Pass the floor token to a specific member (Equal Control).
+    PassFloor {
+        /// The member to pass the token to.
+        to: MemberId,
+    },
+}
+
+/// Why a request was denied without aborting the session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DenialReason {
+    /// The member's priority is below the mode's minimum (the Z `Priority ≥ 2`).
+    InsufficientPriority,
+    /// Another member holds the floor token; the request was queued.
+    FloorBusy,
+    /// The member does not hold the floor token they tried to release/pass.
+    NotTokenHolder,
+}
+
+/// Why an arbitration aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbortReason {
+    /// The requester has not joined the group (`G ∉ Joined-Groups(G, X)`).
+    NotJoined,
+    /// Resource availability fell below the minimal level β.
+    ResourceCritical,
+}
+
+/// The outcome of one arbitration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArbitrationOutcome {
+    /// Media are available to the listed members (for Free Access this is
+    /// everyone in the group; for Equal Control the single token holder; for
+    /// Group Discussion the sub-group members; for Direct Contact the pair).
+    Granted {
+        /// The members who may deliver.
+        speakers: Vec<MemberId>,
+        /// Members whose media were suspended to make room (non-empty only in
+        /// the degraded regime).
+        suspensions: Vec<Suspension>,
+    },
+    /// The request was queued behind the current floor holder (Equal
+    /// Control).
+    Queued {
+        /// The member currently holding the floor.
+        current_holder: MemberId,
+        /// Position in the waiting queue (1 = next).
+        position: usize,
+    },
+    /// The request was denied.
+    Denied {
+        /// Why.
+        reason: DenialReason,
+    },
+    /// The arbitration aborted.
+    Aborted {
+        /// Why.
+        reason: AbortReason,
+    },
+}
+
+impl ArbitrationOutcome {
+    /// Whether the outcome granted the floor to the requester (possibly with
+    /// suspensions).
+    pub fn is_granted(&self) -> bool {
+        matches!(self, ArbitrationOutcome::Granted { .. })
+    }
+
+    /// The suspensions carried by a granted outcome.
+    pub fn suspensions(&self) -> &[Suspension] {
+        match self {
+            ArbitrationOutcome::Granted { suspensions, .. } => suspensions,
+            _ => &[],
+        }
+    }
+}
+
+/// Aggregate counters kept by the arbiter (experiment E6/E8 output).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArbiterStats {
+    /// Requests granted.
+    pub granted: u64,
+    /// Requests queued behind the token holder.
+    pub queued: u64,
+    /// Requests denied.
+    pub denied: u64,
+    /// Arbitrations aborted.
+    pub aborted: u64,
+    /// Individual member-media suspensions performed.
+    pub suspensions: u64,
+}
+
+/// The floor control arbiter (the "group administration of the DMPS server").
+#[derive(Debug, Clone, Default)]
+pub struct FloorArbiter {
+    members: Vec<Member>,
+    groups: Vec<Group>,
+    tokens: BTreeMap<GroupId, FloorToken>,
+    invitations: Vec<Invitation>,
+    resource: Resource,
+    thresholds: ResourceThresholds,
+    suspension_order: SuspensionOrder,
+    suspended: BTreeSet<MemberId>,
+    stats: ArbiterStats,
+}
+
+impl FloorArbiter {
+    /// Creates an arbiter with full resources and the default α/β thresholds.
+    pub fn with_defaults() -> Self {
+        FloorArbiter::default()
+    }
+
+    /// Creates an arbiter with explicit thresholds.
+    pub fn new(thresholds: ResourceThresholds) -> Self {
+        FloorArbiter {
+            thresholds,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the victim-selection order used in the degraded regime
+    /// (the E7 ablation switch).
+    pub fn set_suspension_order(&mut self, order: SuspensionOrder) {
+        self.suspension_order = order;
+    }
+
+    /// Updates the resource snapshot. When availability recovers to the
+    /// sufficient level, previously suspended members are resumed.
+    pub fn set_resource(&mut self, resource: Resource) {
+        self.resource = resource;
+        if self.thresholds.classify(&self.resource) == ResourceLevel::Sufficient {
+            self.suspended.clear();
+        }
+    }
+
+    /// The current resource snapshot.
+    pub fn resource(&self) -> Resource {
+        self.resource
+    }
+
+    /// The α/β thresholds in force.
+    pub fn thresholds(&self) -> ResourceThresholds {
+        self.thresholds
+    }
+
+    /// The aggregate counters.
+    pub fn stats(&self) -> ArbiterStats {
+        self.stats
+    }
+
+    /// The members whose media are currently suspended.
+    pub fn suspended_members(&self) -> impl Iterator<Item = MemberId> + '_ {
+        self.suspended.iter().copied()
+    }
+
+    // ----- membership ------------------------------------------------------
+
+    /// Creates a new top-level group and returns its id.
+    pub fn create_group(&mut self, name: impl Into<String>, mode: FcmMode) -> GroupId {
+        self.groups.push(Group::new(name, mode));
+        let id = GroupId(self.groups.len() - 1);
+        self.tokens.insert(id, FloorToken::new());
+        id
+    }
+
+    /// Adds a member to a group; the first chair-role member to join becomes
+    /// the group's chair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorError::UnknownGroup`] for an unknown group.
+    pub fn add_member(&mut self, group: GroupId, member: Member) -> Result<MemberId> {
+        let is_chair = member.is_chair();
+        self.members.push(member);
+        let id = MemberId(self.members.len() - 1);
+        let g = self
+            .groups
+            .get_mut(group.0)
+            .ok_or(FloorError::UnknownGroup(group))?;
+        g.join(id);
+        if is_chair && g.chair.is_none() {
+            g.chair = Some(id);
+        }
+        Ok(id)
+    }
+
+    /// Adds an existing member to another (sub-)group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorError::UnknownGroup`] / [`FloorError::UnknownMember`]
+    /// for unknown identifiers.
+    pub fn join_group(&mut self, group: GroupId, member: MemberId) -> Result<()> {
+        if member.0 >= self.members.len() {
+            return Err(FloorError::UnknownMember(member));
+        }
+        let g = self
+            .groups
+            .get_mut(group.0)
+            .ok_or(FloorError::UnknownGroup(group))?;
+        g.join(member);
+        Ok(())
+    }
+
+    /// Removes a member from a group (and from its floor token).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorError::UnknownGroup`] for an unknown group.
+    pub fn leave_group(&mut self, group: GroupId, member: MemberId) -> Result<()> {
+        let g = self
+            .groups
+            .get_mut(group.0)
+            .ok_or(FloorError::UnknownGroup(group))?;
+        g.leave(member);
+        if let Some(token) = self.tokens.get_mut(&group) {
+            token.remove_member(member);
+        }
+        Ok(())
+    }
+
+    /// The member with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorError::UnknownMember`] for an unknown id.
+    pub fn member(&self, id: MemberId) -> Result<&Member> {
+        self.members.get(id.0).ok_or(FloorError::UnknownMember(id))
+    }
+
+    /// The group with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorError::UnknownGroup`] for an unknown id.
+    pub fn group(&self, id: GroupId) -> Result<&Group> {
+        self.groups.get(id.0).ok_or(FloorError::UnknownGroup(id))
+    }
+
+    /// Changes the floor control mode of a group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorError::UnknownGroup`] for an unknown group.
+    pub fn set_mode(&mut self, group: GroupId, mode: FcmMode) -> Result<()> {
+        let g = self
+            .groups
+            .get_mut(group.0)
+            .ok_or(FloorError::UnknownGroup(group))?;
+        g.mode = mode;
+        Ok(())
+    }
+
+    /// The floor token of an Equal Control group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorError::UnknownGroup`] for an unknown group.
+    pub fn token(&self, group: GroupId) -> Result<&FloorToken> {
+        self.group(group)?;
+        Ok(self.tokens.get(&group).expect("every group has a token"))
+    }
+
+    /// Number of groups (including sub-groups).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of members across all groups.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    // ----- invitations ------------------------------------------------------
+
+    /// A member invites another into a new private sub-group (Group
+    /// Discussion) or a two-person direct-contact window. Returns the new
+    /// sub-group and the pending invitation.
+    ///
+    /// # Errors
+    ///
+    /// Returns unknown-identifier errors, and
+    /// [`FloorError::NotAMember`] when either party is not in the parent
+    /// group.
+    pub fn invite(
+        &mut self,
+        parent: GroupId,
+        from: MemberId,
+        to: MemberId,
+        mode: FcmMode,
+    ) -> Result<(GroupId, InvitationId)> {
+        let parent_group = self.group(parent)?;
+        if !parent_group.contains(from) {
+            return Err(FloorError::NotAMember {
+                member: from,
+                group: parent,
+            });
+        }
+        if !parent_group.contains(to) {
+            return Err(FloorError::NotAMember {
+                member: to,
+                group: parent,
+            });
+        }
+        let from_name = self.member(from)?.name.clone();
+        let name = format!("{}-{}", from_name, mode);
+        self.groups.push(Group::subgroup(name, mode, parent, from));
+        let sub = GroupId(self.groups.len() - 1);
+        self.tokens.insert(sub, FloorToken::new());
+        self.invitations.push(Invitation::new(from, to, sub));
+        Ok((sub, InvitationId(self.invitations.len() - 1)))
+    }
+
+    /// The invitee answers an invitation. Accepting joins them to the
+    /// sub-group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorError::UnknownInvitation`],
+    /// [`FloorError::NotTheInvitee`] when somebody else answers, and
+    /// [`FloorError::AlreadyAnswered`] when the invitation is not pending.
+    pub fn respond_invitation(
+        &mut self,
+        invitation: InvitationId,
+        responder: MemberId,
+        accept: bool,
+    ) -> Result<InvitationStatus> {
+        let inv = self
+            .invitations
+            .get_mut(invitation.0)
+            .ok_or(FloorError::UnknownInvitation(invitation))?;
+        if inv.to != responder {
+            return Err(FloorError::NotTheInvitee(responder));
+        }
+        if !inv.is_pending() {
+            return Err(FloorError::AlreadyAnswered(invitation));
+        }
+        inv.status = if accept {
+            InvitationStatus::Accepted
+        } else {
+            InvitationStatus::Declined
+        };
+        let status = inv.status;
+        let subgroup = inv.subgroup;
+        if accept {
+            self.join_group(subgroup, responder)?;
+        }
+        Ok(status)
+    }
+
+    /// The invitation with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorError::UnknownInvitation`] for an unknown id.
+    pub fn invitation(&self, id: InvitationId) -> Result<&Invitation> {
+        self.invitations
+            .get(id.0)
+            .ok_or(FloorError::UnknownInvitation(id))
+    }
+
+    // ----- arbitration ------------------------------------------------------
+
+    /// Runs `FCM-Arbitrate` for one request.
+    ///
+    /// # Errors
+    ///
+    /// Returns unknown-identifier errors and
+    /// [`FloorError::MissingDestination`] for a direct-contact request with
+    /// no destination. Policy outcomes (denied, queued, aborted) are returned
+    /// inside [`ArbitrationOutcome`], not as errors.
+    pub fn arbitrate(&mut self, request: &FloorRequest) -> Result<ArbitrationOutcome> {
+        let group = self.group(request.group)?.clone();
+        let member = self.member(request.member)?.clone();
+
+        // Membership check comes first in the Z specification: a request from
+        // outside the group aborts regardless of resources.
+        if !group.contains(request.member) {
+            self.stats.aborted += 1;
+            return Ok(ArbitrationOutcome::Aborted {
+                reason: AbortReason::NotJoined,
+            });
+        }
+
+        // Resource regime.
+        let level = self.thresholds.classify(&self.resource);
+        if level == ResourceLevel::Critical {
+            self.stats.aborted += 1;
+            return Ok(ArbitrationOutcome::Aborted {
+                reason: AbortReason::ResourceCritical,
+            });
+        }
+
+        // Token bookkeeping requests are handled before the mode dispatch.
+        match request.kind {
+            RequestKind::ReleaseFloor => {
+                let token = self.tokens.get_mut(&request.group).expect("token exists");
+                return match token.release(request.member) {
+                    Ok(next) => {
+                        self.stats.granted += 1;
+                        Ok(ArbitrationOutcome::Granted {
+                            speakers: next.into_iter().collect(),
+                            suspensions: Vec::new(),
+                        })
+                    }
+                    Err(_) => {
+                        self.stats.denied += 1;
+                        Ok(ArbitrationOutcome::Denied {
+                            reason: DenialReason::NotTokenHolder,
+                        })
+                    }
+                };
+            }
+            RequestKind::PassFloor { to } => {
+                let token = self.tokens.get_mut(&request.group).expect("token exists");
+                return match token.pass(request.member, to) {
+                    Ok(()) => {
+                        self.stats.granted += 1;
+                        Ok(ArbitrationOutcome::Granted {
+                            speakers: vec![to],
+                            suspensions: Vec::new(),
+                        })
+                    }
+                    Err(_) => {
+                        self.stats.denied += 1;
+                        Ok(ArbitrationOutcome::Denied {
+                            reason: DenialReason::NotTokenHolder,
+                        })
+                    }
+                };
+            }
+            RequestKind::Speak | RequestKind::DirectContact { .. } => {}
+        }
+
+        // Priority predicate: every mode except Free Access requires the
+        // minimum priority.
+        if group.mode.requires_priority() && !member.meets_minimum_priority() {
+            self.stats.denied += 1;
+            return Ok(ArbitrationOutcome::Denied {
+                reason: DenialReason::InsufficientPriority,
+            });
+        }
+
+        // Mode dispatch (Media-Available).
+        let speakers: Vec<MemberId> = match (group.mode, request.kind) {
+            (FcmMode::FreeAccess, _) => group.members().collect(),
+            (FcmMode::EqualControl, _) => {
+                let token = self.tokens.get_mut(&request.group).expect("token exists");
+                if token.request(request.member) {
+                    vec![request.member]
+                } else {
+                    let holder = token.holder().expect("busy token has a holder");
+                    let position = token
+                        .queue()
+                        .position(|m| m == request.member)
+                        .map(|p| p + 1)
+                        .unwrap_or(0);
+                    self.stats.queued += 1;
+                    return Ok(ArbitrationOutcome::Queued {
+                        current_holder: holder,
+                        position,
+                    });
+                }
+            }
+            (FcmMode::GroupDiscussion, _) => {
+                // Every member of the (private) group with sufficient
+                // priority may deliver together.
+                let mut speakers = Vec::new();
+                for m in group.members() {
+                    if self.member(m)?.meets_minimum_priority() {
+                        speakers.push(m);
+                    }
+                }
+                speakers
+            }
+            (FcmMode::DirectContact, RequestKind::DirectContact { to }) => {
+                if !group.contains(to) {
+                    self.stats.aborted += 1;
+                    return Ok(ArbitrationOutcome::Aborted {
+                        reason: AbortReason::NotJoined,
+                    });
+                }
+                vec![request.member, to]
+            }
+            (FcmMode::DirectContact, RequestKind::Speak) => {
+                return Err(FloorError::MissingDestination);
+            }
+            (_, RequestKind::ReleaseFloor | RequestKind::PassFloor { .. }) => unreachable!(),
+        };
+
+        // Degraded regime: suspend lower-priority members' media first.
+        let suspensions = if level == ResourceLevel::Degraded {
+            let demand = Self::member_demand_kbps(&member);
+            let candidates: Vec<(MemberId, &Member, u32)> = group
+                .members()
+                .filter(|&m| m != request.member && !self.suspended.contains(&m))
+                .filter_map(|m| self.members.get(m.0).map(|mm| (m, mm, Self::member_demand_kbps(mm))))
+                .collect();
+            let plan = plan_suspensions(&candidates, member.priority, demand, self.suspension_order);
+            for s in &plan {
+                self.suspended.insert(s.member);
+            }
+            self.stats.suspensions += plan.len() as u64;
+            plan
+        } else {
+            Vec::new()
+        };
+
+        self.stats.granted += 1;
+        Ok(ArbitrationOutcome::Granted {
+            speakers,
+            suspensions,
+        })
+    }
+
+    /// The aggregate bandwidth demand (kbps) of a member's enabled channels.
+    fn member_demand_kbps(member: &Member) -> u32 {
+        member
+            .channels
+            .iter()
+            .flat_map(|c| c.carries())
+            .map(|k| k.default_qos().bandwidth_kbps)
+            .sum()
+    }
+
+    /// Convenience constructor used by benches and examples: a lecture group
+    /// with one teacher (chair) and `students` participants.
+    pub fn lecture(students: usize, mode: FcmMode) -> (Self, GroupId, MemberId, Vec<MemberId>) {
+        let mut arbiter = FloorArbiter::with_defaults();
+        let group = arbiter.create_group("lecture", mode);
+        let teacher = arbiter
+            .add_member(group, Member::new("teacher", Role::Chair))
+            .expect("group exists");
+        let student_ids = (0..students)
+            .map(|i| {
+                arbiter
+                    .add_member(group, Member::new(format!("student-{i}"), Role::Participant))
+                    .expect("group exists")
+            })
+            .collect();
+        (arbiter, group, teacher, student_ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_access_grants_everyone() {
+        let (mut arbiter, group, teacher, students) = FloorArbiter::lecture(3, FcmMode::FreeAccess);
+        let outcome = arbiter.arbitrate(&FloorRequest::speak(group, students[0])).unwrap();
+        match outcome {
+            ArbitrationOutcome::Granted { speakers, suspensions } => {
+                assert_eq!(speakers.len(), 4, "teacher + 3 students may all deliver");
+                assert!(speakers.contains(&teacher));
+                assert!(suspensions.is_empty());
+            }
+            other => panic!("expected grant, got {other:?}"),
+        }
+        assert_eq!(arbiter.stats().granted, 1);
+    }
+
+    #[test]
+    fn equal_control_serializes_speakers_through_the_token() {
+        let (mut arbiter, group, _teacher, students) =
+            FloorArbiter::lecture(3, FcmMode::EqualControl);
+        let first = arbiter.arbitrate(&FloorRequest::speak(group, students[0])).unwrap();
+        assert!(first.is_granted());
+        // Second student queues behind the first.
+        let second = arbiter.arbitrate(&FloorRequest::speak(group, students[1])).unwrap();
+        match second {
+            ArbitrationOutcome::Queued { current_holder, position } => {
+                assert_eq!(current_holder, students[0]);
+                assert_eq!(position, 1);
+            }
+            other => panic!("expected queue, got {other:?}"),
+        }
+        // Releasing hands the floor to the queued student.
+        let release = arbiter
+            .arbitrate(&FloorRequest::release_floor(group, students[0]))
+            .unwrap();
+        match release {
+            ArbitrationOutcome::Granted { speakers, .. } => assert_eq!(speakers, vec![students[1]]),
+            other => panic!("expected grant, got {other:?}"),
+        }
+        assert!(arbiter.token(group).unwrap().may_speak(students[1]));
+        assert_eq!(arbiter.stats().queued, 1);
+    }
+
+    #[test]
+    fn pass_floor_jumps_to_named_member() {
+        let (mut arbiter, group, teacher, students) =
+            FloorArbiter::lecture(2, FcmMode::EqualControl);
+        arbiter.arbitrate(&FloorRequest::speak(group, teacher)).unwrap();
+        arbiter.arbitrate(&FloorRequest::speak(group, students[0])).unwrap();
+        let outcome = arbiter
+            .arbitrate(&FloorRequest::pass_floor(group, teacher, students[1]))
+            .unwrap();
+        assert!(outcome.is_granted());
+        assert!(arbiter.token(group).unwrap().may_speak(students[1]));
+        // A non-holder cannot pass.
+        let bad = arbiter
+            .arbitrate(&FloorRequest::pass_floor(group, students[0], teacher))
+            .unwrap();
+        assert_eq!(
+            bad,
+            ArbitrationOutcome::Denied {
+                reason: DenialReason::NotTokenHolder
+            }
+        );
+    }
+
+    #[test]
+    fn observers_are_denied_in_controlled_modes_but_not_free_access() {
+        let mut arbiter = FloorArbiter::with_defaults();
+        let group = arbiter.create_group("lecture", FcmMode::EqualControl);
+        let observer = arbiter
+            .add_member(group, Member::new("guest", Role::Observer))
+            .unwrap();
+        let outcome = arbiter.arbitrate(&FloorRequest::speak(group, observer)).unwrap();
+        assert_eq!(
+            outcome,
+            ArbitrationOutcome::Denied {
+                reason: DenialReason::InsufficientPriority
+            }
+        );
+        arbiter.set_mode(group, FcmMode::FreeAccess).unwrap();
+        let outcome = arbiter.arbitrate(&FloorRequest::speak(group, observer)).unwrap();
+        assert!(outcome.is_granted());
+    }
+
+    #[test]
+    fn non_member_request_aborts() {
+        let (mut arbiter, group, ..) = FloorArbiter::lecture(1, FcmMode::FreeAccess);
+        let other_group = arbiter.create_group("other", FcmMode::FreeAccess);
+        let outsider = arbiter
+            .add_member(other_group, Member::new("outsider", Role::Participant))
+            .unwrap();
+        let outcome = arbiter.arbitrate(&FloorRequest::speak(group, outsider)).unwrap();
+        assert_eq!(
+            outcome,
+            ArbitrationOutcome::Aborted {
+                reason: AbortReason::NotJoined
+            }
+        );
+        assert_eq!(arbiter.stats().aborted, 1);
+    }
+
+    #[test]
+    fn critical_resources_abort_everything() {
+        let (mut arbiter, group, teacher, _) = FloorArbiter::lecture(2, FcmMode::FreeAccess);
+        arbiter.set_resource(Resource::new(0.05, 1.0, 1.0));
+        let outcome = arbiter.arbitrate(&FloorRequest::speak(group, teacher)).unwrap();
+        assert_eq!(
+            outcome,
+            ArbitrationOutcome::Aborted {
+                reason: AbortReason::ResourceCritical
+            }
+        );
+    }
+
+    #[test]
+    fn degraded_resources_suspend_lower_priority_members() {
+        let (mut arbiter, group, teacher, students) =
+            FloorArbiter::lecture(3, FcmMode::FreeAccess);
+        arbiter.set_resource(Resource::new(0.3, 1.0, 1.0));
+        let outcome = arbiter.arbitrate(&FloorRequest::speak(group, teacher)).unwrap();
+        assert!(outcome.is_granted());
+        let suspensions = outcome.suspensions();
+        assert!(!suspensions.is_empty(), "students should be suspended to make room");
+        assert!(suspensions.iter().all(|s| s.priority < 3));
+        assert!(suspensions.iter().all(|s| students.contains(&s.member)));
+        let suspended: Vec<_> = arbiter.suspended_members().collect();
+        assert_eq!(suspended.len(), suspensions.len());
+        // Recovery clears the suspensions.
+        arbiter.set_resource(Resource::full());
+        assert_eq!(arbiter.suspended_members().count(), 0);
+    }
+
+    #[test]
+    fn student_request_in_degraded_mode_cannot_suspend_the_teacher() {
+        let (mut arbiter, group, teacher, students) =
+            FloorArbiter::lecture(2, FcmMode::FreeAccess);
+        arbiter.set_resource(Resource::new(0.3, 1.0, 1.0));
+        let outcome = arbiter
+            .arbitrate(&FloorRequest::speak(group, students[0]))
+            .unwrap();
+        assert!(outcome.is_granted());
+        assert!(outcome
+            .suspensions()
+            .iter()
+            .all(|s| s.member != teacher), "the chair outranks participants");
+    }
+
+    #[test]
+    fn group_discussion_grants_all_qualified_subgroup_members() {
+        let (mut arbiter, group, teacher, students) =
+            FloorArbiter::lecture(3, FcmMode::FreeAccess);
+        let (sub, inv) = arbiter
+            .invite(group, students[0], students[1], FcmMode::GroupDiscussion)
+            .unwrap();
+        assert_eq!(
+            arbiter.respond_invitation(inv, students[1], true).unwrap(),
+            InvitationStatus::Accepted
+        );
+        let outcome = arbiter.arbitrate(&FloorRequest::speak(sub, students[0])).unwrap();
+        match outcome {
+            ArbitrationOutcome::Granted { speakers, .. } => {
+                assert_eq!(speakers.len(), 2);
+                assert!(speakers.contains(&students[0]));
+                assert!(speakers.contains(&students[1]));
+                assert!(!speakers.contains(&teacher));
+            }
+            other => panic!("expected grant, got {other:?}"),
+        }
+        assert!(arbiter.group(sub).unwrap().is_subgroup());
+        assert_eq!(arbiter.group(sub).unwrap().chair, Some(students[0]));
+    }
+
+    #[test]
+    fn declined_invitation_does_not_join() {
+        let (mut arbiter, group, _teacher, students) =
+            FloorArbiter::lecture(2, FcmMode::FreeAccess);
+        let (sub, inv) = arbiter
+            .invite(group, students[0], students[1], FcmMode::GroupDiscussion)
+            .unwrap();
+        assert_eq!(
+            arbiter.respond_invitation(inv, students[1], false).unwrap(),
+            InvitationStatus::Declined
+        );
+        assert!(!arbiter.group(sub).unwrap().contains(students[1]));
+        // Answering twice is an error, as is answering someone else's invite.
+        assert_eq!(
+            arbiter.respond_invitation(inv, students[1], true).unwrap_err(),
+            FloorError::AlreadyAnswered(inv)
+        );
+        let (_, inv2) = arbiter
+            .invite(group, students[0], students[1], FcmMode::GroupDiscussion)
+            .unwrap();
+        assert_eq!(
+            arbiter.respond_invitation(inv2, students[0], true).unwrap_err(),
+            FloorError::NotTheInvitee(students[0])
+        );
+        assert!(arbiter.invitation(inv2).unwrap().is_pending());
+    }
+
+    #[test]
+    fn direct_contact_grants_exactly_the_pair() {
+        let (mut arbiter, group, _teacher, students) =
+            FloorArbiter::lecture(3, FcmMode::FreeAccess);
+        let (sub, inv) = arbiter
+            .invite(group, students[0], students[2], FcmMode::DirectContact)
+            .unwrap();
+        arbiter.respond_invitation(inv, students[2], true).unwrap();
+        let outcome = arbiter
+            .arbitrate(&FloorRequest::direct_contact(sub, students[0], students[2]))
+            .unwrap();
+        match outcome {
+            ArbitrationOutcome::Granted { speakers, .. } => {
+                assert_eq!(speakers, vec![students[0], students[2]]);
+            }
+            other => panic!("expected grant, got {other:?}"),
+        }
+        // Speak without a destination is an API misuse error.
+        assert_eq!(
+            arbiter
+                .arbitrate(&FloorRequest::speak(sub, students[0]))
+                .unwrap_err(),
+            FloorError::MissingDestination
+        );
+        // Direct contact with somebody outside the sub-group aborts.
+        let outcome = arbiter
+            .arbitrate(&FloorRequest::direct_contact(sub, students[0], students[1]))
+            .unwrap();
+        assert_eq!(
+            outcome,
+            ArbitrationOutcome::Aborted {
+                reason: AbortReason::NotJoined
+            }
+        );
+    }
+
+    #[test]
+    fn invite_requires_both_parties_in_parent_group() {
+        let (mut arbiter, group, _teacher, students) =
+            FloorArbiter::lecture(1, FcmMode::FreeAccess);
+        let other = arbiter.create_group("other", FcmMode::FreeAccess);
+        let stranger = arbiter
+            .add_member(other, Member::new("stranger", Role::Participant))
+            .unwrap();
+        assert!(matches!(
+            arbiter.invite(group, students[0], stranger, FcmMode::GroupDiscussion),
+            Err(FloorError::NotAMember { .. })
+        ));
+        assert!(matches!(
+            arbiter.invite(group, stranger, students[0], FcmMode::GroupDiscussion),
+            Err(FloorError::NotAMember { .. })
+        ));
+    }
+
+    #[test]
+    fn leaving_a_group_releases_the_token() {
+        let (mut arbiter, group, _teacher, students) =
+            FloorArbiter::lecture(2, FcmMode::EqualControl);
+        arbiter.arbitrate(&FloorRequest::speak(group, students[0])).unwrap();
+        arbiter.arbitrate(&FloorRequest::speak(group, students[1])).unwrap();
+        arbiter.leave_group(group, students[0]).unwrap();
+        assert!(!arbiter.group(group).unwrap().contains(students[0]));
+        assert!(arbiter.token(group).unwrap().may_speak(students[1]));
+    }
+
+    #[test]
+    fn counts_and_accessors() {
+        let (arbiter, group, teacher, students) = FloorArbiter::lecture(5, FcmMode::FreeAccess);
+        assert_eq!(arbiter.group_count(), 1);
+        assert_eq!(arbiter.member_count(), 6);
+        assert_eq!(arbiter.group(group).unwrap().len(), 6);
+        assert_eq!(arbiter.group(group).unwrap().chair, Some(teacher));
+        assert_eq!(arbiter.member(students[4]).unwrap().name, "student-4");
+        assert!(arbiter.member(MemberId(99)).is_err());
+        assert!(arbiter.group(GroupId(99)).is_err());
+        assert!(arbiter.thresholds().alpha() > arbiter.thresholds().beta());
+        assert_eq!(arbiter.resource(), Resource::full());
+    }
+}

@@ -1,0 +1,104 @@
+//! Error types for the floor control mechanism.
+
+use std::fmt;
+
+use crate::group::GroupId;
+use crate::invite::InvitationId;
+use crate::member::MemberId;
+
+/// Convenience result alias for the crate.
+pub type Result<T> = std::result::Result<T, FloorError>;
+
+/// Errors raised by the floor control mechanism.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FloorError {
+    /// A group identifier is unknown.
+    UnknownGroup(GroupId),
+    /// A member identifier is unknown.
+    UnknownMember(MemberId),
+    /// The member is not part of the group the request names.
+    NotAMember {
+        /// The member making the request.
+        member: MemberId,
+        /// The group the request names.
+        group: GroupId,
+    },
+    /// An invitation identifier is unknown.
+    UnknownInvitation(InvitationId),
+    /// An invitation was answered by somebody other than its recipient.
+    NotTheInvitee(MemberId),
+    /// An invitation was already answered.
+    AlreadyAnswered(InvitationId),
+    /// A direct-contact request did not name a destination member.
+    MissingDestination,
+    /// The thresholds are invalid (α must exceed β and both must be
+    /// non-negative).
+    InvalidThresholds {
+        /// The basic availability level α.
+        alpha: f64,
+        /// The minimal availability level β.
+        beta: f64,
+    },
+    /// A member attempted to pass or release a token they do not hold.
+    NotTokenHolder(MemberId),
+}
+
+impl fmt::Display for FloorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloorError::UnknownGroup(g) => write!(f, "unknown group {g}"),
+            FloorError::UnknownMember(m) => write!(f, "unknown member {m}"),
+            FloorError::NotAMember { member, group } => {
+                write!(f, "member {member} has not joined group {group}")
+            }
+            FloorError::UnknownInvitation(i) => write!(f, "unknown invitation {i}"),
+            FloorError::NotTheInvitee(m) => write!(f, "member {m} is not the invitee"),
+            FloorError::AlreadyAnswered(i) => write!(f, "invitation {i} was already answered"),
+            FloorError::MissingDestination => {
+                write!(f, "direct contact requires a destination member")
+            }
+            FloorError::InvalidThresholds { alpha, beta } => {
+                write!(f, "invalid thresholds: alpha {alpha} must exceed beta {beta} and both must be non-negative")
+            }
+            FloorError::NotTokenHolder(m) => write!(f, "member {m} does not hold the floor token"),
+        }
+    }
+}
+
+impl std::error::Error for FloorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errors = [
+            FloorError::UnknownGroup(GroupId(1)),
+            FloorError::UnknownMember(MemberId(2)),
+            FloorError::NotAMember {
+                member: MemberId(1),
+                group: GroupId(0),
+            },
+            FloorError::UnknownInvitation(InvitationId(3)),
+            FloorError::NotTheInvitee(MemberId(4)),
+            FloorError::AlreadyAnswered(InvitationId(5)),
+            FloorError::MissingDestination,
+            FloorError::InvalidThresholds {
+                alpha: 0.1,
+                beta: 0.5,
+            },
+            FloorError::NotTokenHolder(MemberId(6)),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<FloorError>();
+    }
+}

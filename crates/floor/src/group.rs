@@ -1,0 +1,179 @@
+//! Communication groups and sub-groups.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::member::MemberId;
+use crate::mode::FcmMode;
+
+/// Identifier of a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GroupId(pub usize);
+
+impl GroupId {
+    /// The dense index of the group.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// A communication group: the main session group or a private sub-group
+/// created by invitation (group discussion / direct contact).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Group {
+    /// Display name.
+    pub name: String,
+    /// The group's current floor control mode.
+    pub mode: FcmMode,
+    /// The members that have joined.
+    members: BTreeSet<MemberId>,
+    /// The session chair of the group, if any (the inviter for sub-groups).
+    pub chair: Option<MemberId>,
+    /// The parent group for sub-groups created by invitation.
+    pub parent: Option<GroupId>,
+}
+
+impl Group {
+    /// Creates an empty group.
+    pub fn new(name: impl Into<String>, mode: FcmMode) -> Self {
+        Group {
+            name: name.into(),
+            mode,
+            members: BTreeSet::new(),
+            chair: None,
+            parent: None,
+        }
+    }
+
+    /// Creates a sub-group of `parent` chaired by `chair`.
+    pub fn subgroup(
+        name: impl Into<String>,
+        mode: FcmMode,
+        parent: GroupId,
+        chair: MemberId,
+    ) -> Self {
+        let mut g = Group::new(name, mode);
+        g.parent = Some(parent);
+        g.chair = Some(chair);
+        g.members.insert(chair);
+        g
+    }
+
+    /// Adds a member; the first chair-less member to join a main group does
+    /// not automatically become chair (that is decided by role at the
+    /// arbiter level).
+    pub fn join(&mut self, member: MemberId) {
+        self.members.insert(member);
+    }
+
+    /// Removes a member. Clears the chair if the chair left.
+    pub fn leave(&mut self, member: MemberId) {
+        self.members.remove(&member);
+        if self.chair == Some(member) {
+            self.chair = None;
+        }
+    }
+
+    /// Whether the member has joined this group.
+    pub fn contains(&self, member: MemberId) -> bool {
+        self.members.contains(&member)
+    }
+
+    /// The members of the group in id order.
+    pub fn members(&self) -> impl Iterator<Item = MemberId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether this is a private sub-group.
+    pub fn is_subgroup(&self) -> bool {
+        self.parent.is_some()
+    }
+}
+
+impl fmt::Display for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "group `{}` ({}, {} members{})",
+            self.name,
+            self.mode,
+            self.members.len(),
+            if self.is_subgroup() { ", private" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_leave() {
+        let mut g = Group::new("lecture", FcmMode::FreeAccess);
+        assert!(g.is_empty());
+        g.join(MemberId(0));
+        g.join(MemberId(1));
+        g.join(MemberId(1));
+        assert_eq!(g.len(), 2);
+        assert!(g.contains(MemberId(0)));
+        g.leave(MemberId(0));
+        assert!(!g.contains(MemberId(0)));
+        assert_eq!(g.len(), 1);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn subgroup_contains_its_chair() {
+        let g = Group::subgroup("breakout", FcmMode::GroupDiscussion, GroupId(0), MemberId(3));
+        assert!(g.is_subgroup());
+        assert_eq!(g.chair, Some(MemberId(3)));
+        assert_eq!(g.parent, Some(GroupId(0)));
+        assert!(g.contains(MemberId(3)));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn chair_leaving_clears_chair() {
+        let mut g = Group::subgroup("breakout", FcmMode::GroupDiscussion, GroupId(0), MemberId(3));
+        g.leave(MemberId(3));
+        assert_eq!(g.chair, None);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn members_iterate_in_id_order() {
+        let mut g = Group::new("x", FcmMode::EqualControl);
+        g.join(MemberId(5));
+        g.join(MemberId(1));
+        g.join(MemberId(3));
+        let ids: Vec<_> = g.members().collect();
+        assert_eq!(ids, vec![MemberId(1), MemberId(3), MemberId(5)]);
+    }
+
+    #[test]
+    fn display_mentions_mode_and_size() {
+        let g = Group::subgroup("pair", FcmMode::DirectContact, GroupId(1), MemberId(0));
+        let s = g.to_string();
+        assert!(s.contains("direct-contact"));
+        assert!(s.contains("private"));
+        assert_eq!(GroupId(2).to_string(), "g2");
+    }
+}

@@ -1,0 +1,101 @@
+//! Invitations: how the private sub-groups of Group Discussion and Direct
+//! Contact come into being.
+//!
+//! *"A user can create a new group to invite others. For example, user A
+//! wants user B receiving his invitation, he can send an inviting message.
+//! User B can make a decision to accept or not. If yes, user B will be chosen
+//! as [the] listen group of user A, and user A will be the session chair in
+//! his small group."*
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::group::GroupId;
+use crate::member::MemberId;
+
+/// Identifier of an invitation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InvitationId(pub usize);
+
+impl fmt::Display for InvitationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// The lifecycle state of an invitation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InvitationStatus {
+    /// Sent, awaiting the invitee's decision.
+    Pending,
+    /// Accepted; the invitee joined the sub-group.
+    Accepted,
+    /// Declined by the invitee.
+    Declined,
+}
+
+/// An invitation from a sub-group chair to another member.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Invitation {
+    /// The inviting member (chair of the sub-group).
+    pub from: MemberId,
+    /// The invited member.
+    pub to: MemberId,
+    /// The private sub-group the invitee would join.
+    pub subgroup: GroupId,
+    /// Current status.
+    pub status: InvitationStatus,
+}
+
+impl Invitation {
+    /// Creates a pending invitation.
+    pub fn new(from: MemberId, to: MemberId, subgroup: GroupId) -> Self {
+        Invitation {
+            from,
+            to,
+            subgroup,
+            status: InvitationStatus::Pending,
+        }
+    }
+
+    /// Whether the invitation is still awaiting an answer.
+    pub fn is_pending(&self) -> bool {
+        self.status == InvitationStatus::Pending
+    }
+}
+
+impl fmt::Display for Invitation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invitation from {} to {} for {} ({:?})",
+            self.from, self.to, self.subgroup, self.status
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_invitation_is_pending() {
+        let inv = Invitation::new(MemberId(0), MemberId(1), GroupId(2));
+        assert!(inv.is_pending());
+        assert_eq!(inv.status, InvitationStatus::Pending);
+        assert_eq!(inv.from, MemberId(0));
+        assert_eq!(inv.to, MemberId(1));
+        assert_eq!(inv.subgroup, GroupId(2));
+    }
+
+    #[test]
+    fn display_mentions_parties() {
+        let inv = Invitation::new(MemberId(0), MemberId(1), GroupId(2));
+        let s = inv.to_string();
+        assert!(s.contains("u0"));
+        assert!(s.contains("u1"));
+        assert!(s.contains("g2"));
+        assert_eq!(InvitationId(7).to_string(), "i7");
+    }
+}

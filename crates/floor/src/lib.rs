@@ -1,0 +1,60 @@
+//! # dmps-floor
+//!
+//! The floor control mechanism (FCM) of the DMPS paper: four floor control
+//! modes, the Z-notation arbitration algorithm, resource-threshold admission
+//! with the α/β levels, priority-ordered media suspension, floor-token
+//! passing for equal control, and invitation handling for group discussion.
+//!
+//! The paper's Section 3 specifies the mechanism in Z; this crate implements
+//! that specification executably:
+//!
+//! * [`FcmMode`] — Free Access, Equal Control, Group Discussion, Direct
+//!   Contact,
+//! * [`Resource`] / [`ResourceThresholds`] — `Network × CPU × Memory` with
+//!   the basic level α and the minimal level β (`α > β`),
+//! * [`FloorArbiter`] — `FCM-Arbitrate`: grants media, suspends
+//!   lowest-priority members when resources dip below α, aborts below β,
+//! * [`suspend::plan_suspensions`] — `Media-Suspend`: the priority-ordered
+//!   victim selection,
+//! * [`FloorToken`] — the speaking token of Equal Control,
+//! * [`invite`] — invitations that spawn the private sub-groups of Group
+//!   Discussion and Direct Contact.
+//!
+//! # Example
+//!
+//! ```
+//! use dmps_floor::{FcmMode, FloorArbiter, FloorRequest, Member, Resource, Role};
+//!
+//! let mut arbiter = FloorArbiter::with_defaults();
+//! let group = arbiter.create_group("lecture", FcmMode::FreeAccess);
+//! let teacher = arbiter.add_member(group, Member::new("teacher", Role::Chair)).unwrap();
+//! let student = arbiter.add_member(group, Member::new("alice", Role::Participant)).unwrap();
+//!
+//! arbiter.set_resource(Resource::new(1.0, 1.0, 1.0));
+//! let outcome = arbiter.arbitrate(&FloorRequest::speak(group, student)).unwrap();
+//! assert!(outcome.is_granted());
+//! # let _ = teacher;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbiter;
+pub mod error;
+pub mod group;
+pub mod invite;
+pub mod member;
+pub mod mode;
+pub mod resource;
+pub mod suspend;
+pub mod token;
+
+pub use arbiter::{ArbitrationOutcome, FloorArbiter, FloorRequest, RequestKind};
+pub use error::{FloorError, Result};
+pub use group::{Group, GroupId};
+pub use invite::{Invitation, InvitationId, InvitationStatus};
+pub use member::{Member, MemberId, Role};
+pub use mode::{FcmMode, PolicyFactor};
+pub use resource::{Resource, ResourceThresholds};
+pub use suspend::{plan_suspensions, Suspension};
+pub use token::FloorToken;

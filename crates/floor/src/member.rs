@@ -1,0 +1,169 @@
+//! Members (participants) of a DMPS session.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dmps_media::ChannelKind;
+
+/// Identifier of a member within a [`crate::FloorArbiter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MemberId(pub usize);
+
+impl MemberId {
+    /// The dense index of the member.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for MemberId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// The role of a member in the distance-learning session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// The session chair (the teacher in the paper's scenario).
+    Chair,
+    /// A regular participant (student).
+    Participant,
+    /// A passive observer who may watch but never holds the floor.
+    Observer,
+}
+
+impl Role {
+    /// The default priority of the role. The Z predicates require priority
+    /// ≥ 2 for every controlled mode, so observers (priority 1) can never
+    /// claim the floor while chairs outrank participants.
+    pub fn default_priority(self) -> i32 {
+        match self {
+            Role::Chair => 3,
+            Role::Participant => 2,
+            Role::Observer => 1,
+        }
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Role::Chair => "chair",
+            Role::Participant => "participant",
+            Role::Observer => "observer",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One participant of a session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Member {
+    /// Display name.
+    pub name: String,
+    /// The member's role.
+    pub role: Role,
+    /// The member's floor priority (the Z `Priority : INTEGER`).
+    pub priority: i32,
+    /// The media channels the member enabled in their communication window.
+    pub channels: Vec<ChannelKind>,
+    /// The host station identifier the member is connected from (the Z
+    /// `Host-Station`).
+    pub station: usize,
+}
+
+impl Member {
+    /// Creates a member with the role's default priority, a default channel
+    /// set (message window, whiteboard, audio) and station 0.
+    pub fn new(name: impl Into<String>, role: Role) -> Self {
+        Member {
+            name: name.into(),
+            role,
+            priority: role.default_priority(),
+            channels: vec![
+                ChannelKind::MessageWindow,
+                ChannelKind::Whiteboard,
+                ChannelKind::AudioStream,
+            ],
+            station: 0,
+        }
+    }
+
+    /// Overrides the member's priority.
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Overrides the member's channel selection.
+    pub fn with_channels(mut self, channels: Vec<ChannelKind>) -> Self {
+        self.channels = channels;
+        self
+    }
+
+    /// Sets the host station the member connects from.
+    pub fn with_station(mut self, station: usize) -> Self {
+        self.station = station;
+        self
+    }
+
+    /// Whether the member satisfies the Z predicates' minimum priority.
+    pub fn meets_minimum_priority(&self) -> bool {
+        self.priority >= crate::mode::FcmMode::MIN_PRIORITY
+    }
+
+    /// Whether the member is the session chair.
+    pub fn is_chair(&self) -> bool {
+        self.role == Role::Chair
+    }
+}
+
+impl fmt::Display for Member {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, priority {})", self.name, self.role, self.priority)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_priorities_are_ordered() {
+        assert!(Role::Chair.default_priority() > Role::Participant.default_priority());
+        assert!(Role::Participant.default_priority() > Role::Observer.default_priority());
+    }
+
+    #[test]
+    fn default_member_meets_minimum_unless_observer() {
+        assert!(Member::new("t", Role::Chair).meets_minimum_priority());
+        assert!(Member::new("s", Role::Participant).meets_minimum_priority());
+        assert!(!Member::new("o", Role::Observer).meets_minimum_priority());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let m = Member::new("alice", Role::Participant)
+            .with_priority(5)
+            .with_station(3)
+            .with_channels(vec![ChannelKind::VideoStream]);
+        assert_eq!(m.priority, 5);
+        assert_eq!(m.station, 3);
+        assert_eq!(m.channels, vec![ChannelKind::VideoStream]);
+        assert!(!m.is_chair());
+        assert!(Member::new("t", Role::Chair).is_chair());
+    }
+
+    #[test]
+    fn display_mentions_name_role_priority() {
+        let m = Member::new("bob", Role::Observer);
+        let s = m.to_string();
+        assert!(s.contains("bob"));
+        assert!(s.contains("observer"));
+        assert!(s.contains('1'));
+        assert_eq!(MemberId(4).to_string(), "u4");
+        assert_eq!(Role::Chair.to_string(), "chair");
+    }
+}

@@ -1,0 +1,135 @@
+//! The four floor control modes and the policy factors of the Z
+//! specification.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's four floor control modes (Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FcmMode {
+    /// *"Everyone (session chair and participants) can send the message to
+    /// the message-window or whiteboard. This mode is like general discussion
+    /// with no privacy and priority."*
+    FreeAccess,
+    /// *"There is only one (session chair or participant) [who] can deliver
+    /// at the same time until the floor control token [is] passed by the
+    /// holder."*
+    EqualControl,
+    /// *"A user can create a new group to invite others [...] all
+    /// participants in the same group can send message together; we regard it
+    /// as [a] private communication group."*
+    GroupDiscussion,
+    /// *"Two people can communicate directly in a private window and
+    /// communicate with others via free access, equal control, and direct
+    /// contact at the same time."*
+    DirectContact,
+}
+
+impl FcmMode {
+    /// All four modes, in the paper's order.
+    pub fn all() -> [FcmMode; 4] {
+        [
+            FcmMode::FreeAccess,
+            FcmMode::EqualControl,
+            FcmMode::GroupDiscussion,
+            FcmMode::DirectContact,
+        ]
+    }
+
+    /// Whether the mode requires the requesting member to hold at least the
+    /// paper's minimum priority (the Z predicates add `Priority ≥ 2` to every
+    /// mode except Free Access).
+    pub fn requires_priority(self) -> bool {
+        !matches!(self, FcmMode::FreeAccess)
+    }
+
+    /// Whether the mode serializes speakers with a token.
+    pub fn uses_token(self) -> bool {
+        matches!(self, FcmMode::EqualControl)
+    }
+
+    /// Whether the mode operates on a private sub-group created by
+    /// invitation.
+    pub fn uses_subgroup(self) -> bool {
+        matches!(self, FcmMode::GroupDiscussion | FcmMode::DirectContact)
+    }
+
+    /// The minimum priority required by the Z predicates (2 for every mode
+    /// that checks priority).
+    pub const MIN_PRIORITY: i32 = 2;
+}
+
+impl fmt::Display for FcmMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FcmMode::FreeAccess => "free-access",
+            FcmMode::EqualControl => "equal-control",
+            FcmMode::GroupDiscussion => "group-discussion",
+            FcmMode::DirectContact => "direct-contact",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The policy factors of the Z specification: which resource dimension is the
+/// current bottleneck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyFactor {
+    /// The network is the bottleneck (`NETWORK_BOUND`).
+    NetworkBound,
+    /// The CPU is the bottleneck (`CPU_BOUND`).
+    CpuBound,
+    /// Memory is the bottleneck (`MEMORY_BOUND`).
+    MemoryBound,
+}
+
+impl fmt::Display for PolicyFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PolicyFactor::NetworkBound => "network-bound",
+            PolicyFactor::CpuBound => "cpu-bound",
+            PolicyFactor::MemoryBound => "memory-bound",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_distinct_modes() {
+        let all = FcmMode::all();
+        assert_eq!(all.len(), 4);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn mode_properties_follow_the_paper() {
+        assert!(!FcmMode::FreeAccess.requires_priority());
+        assert!(FcmMode::EqualControl.requires_priority());
+        assert!(FcmMode::GroupDiscussion.requires_priority());
+        assert!(FcmMode::DirectContact.requires_priority());
+        assert!(FcmMode::EqualControl.uses_token());
+        assert!(!FcmMode::FreeAccess.uses_token());
+        assert!(FcmMode::GroupDiscussion.uses_subgroup());
+        assert!(FcmMode::DirectContact.uses_subgroup());
+        assert!(!FcmMode::EqualControl.uses_subgroup());
+        assert_eq!(FcmMode::MIN_PRIORITY, 2);
+    }
+
+    #[test]
+    fn display_names_and_serde() {
+        assert_eq!(FcmMode::FreeAccess.to_string(), "free-access");
+        assert_eq!(PolicyFactor::CpuBound.to_string(), "cpu-bound");
+        let json = serde_json::to_string(&FcmMode::DirectContact).unwrap();
+        let back: FcmMode = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, FcmMode::DirectContact);
+    }
+}

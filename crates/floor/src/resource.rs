@@ -1,0 +1,199 @@
+//! The resource model of the Z specification:
+//! `Resource == Network × CPU × Memory`, with the basic availability level α
+//! and the minimal availability level β (`α > β`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{FloorError, Result};
+use crate::mode::PolicyFactor;
+
+/// A snapshot of resource availability. Each component is a fraction in
+/// `[0, 1]`: 1.0 means the resource is fully available, 0.0 means exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Resource {
+    /// Available network capacity.
+    pub network: f64,
+    /// Available CPU capacity.
+    pub cpu: f64,
+    /// Available memory.
+    pub memory: f64,
+}
+
+impl Resource {
+    /// Creates a snapshot, clamping each component into `[0, 1]`.
+    pub fn new(network: f64, cpu: f64, memory: f64) -> Self {
+        Resource {
+            network: network.clamp(0.0, 1.0),
+            cpu: cpu.clamp(0.0, 1.0),
+            memory: memory.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Full availability on every dimension.
+    pub fn full() -> Self {
+        Resource::new(1.0, 1.0, 1.0)
+    }
+
+    /// The scalar availability used by the arbiter: the *scarcest* dimension,
+    /// because any exhausted dimension blocks media delivery.
+    pub fn availability(&self) -> f64 {
+        self.network.min(self.cpu).min(self.memory)
+    }
+
+    /// The bottleneck dimension (the Z policy factor).
+    pub fn bottleneck(&self) -> PolicyFactor {
+        if self.network <= self.cpu && self.network <= self.memory {
+            PolicyFactor::NetworkBound
+        } else if self.cpu <= self.memory {
+            PolicyFactor::CpuBound
+        } else {
+            PolicyFactor::MemoryBound
+        }
+    }
+
+    /// Returns a copy with the network component replaced.
+    pub fn with_network(mut self, network: f64) -> Self {
+        self.network = network.clamp(0.0, 1.0);
+        self
+    }
+}
+
+impl Default for Resource {
+    fn default() -> Self {
+        Resource::full()
+    }
+}
+
+/// The α (basic) and β (minimal) availability thresholds of the Z
+/// specification, with `α > β ≥ 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceThresholds {
+    alpha: f64,
+    beta: f64,
+}
+
+impl ResourceThresholds {
+    /// Creates thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorError::InvalidThresholds`] unless `α > β ≥ 0`.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self> {
+        if !(alpha > beta && beta >= 0.0) || alpha.is_nan() || beta.is_nan() {
+            return Err(FloorError::InvalidThresholds { alpha, beta });
+        }
+        Ok(ResourceThresholds { alpha, beta })
+    }
+
+    /// The paper does not give concrete numbers; the defaults used throughout
+    /// the reproduction are α = 0.5 (enough headroom to admit new media) and
+    /// β = 0.1 (below this the session cannot continue).
+    pub fn defaults() -> Self {
+        ResourceThresholds {
+            alpha: 0.5,
+            beta: 0.1,
+        }
+    }
+
+    /// The basic availability level α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The minimal availability level β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Classifies a resource snapshot against the thresholds.
+    pub fn classify(&self, resource: &Resource) -> ResourceLevel {
+        let a = resource.availability();
+        if a >= self.alpha {
+            ResourceLevel::Sufficient
+        } else if a >= self.beta {
+            ResourceLevel::Degraded
+        } else {
+            ResourceLevel::Critical
+        }
+    }
+}
+
+impl Default for ResourceThresholds {
+    fn default() -> Self {
+        ResourceThresholds::defaults()
+    }
+}
+
+/// The three regimes of the Z specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResourceLevel {
+    /// `Resource-Available ≥ α`: grant requests normally.
+    Sufficient,
+    /// `β ≤ Resource-Available < α`: keep the session alive but suspend the
+    /// media of lower-priority members.
+    Degraded,
+    /// `Resource-Available < β`: abort the arbitration.
+    Critical,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_is_the_minimum_component() {
+        let r = Resource::new(0.9, 0.4, 0.7);
+        assert!((r.availability() - 0.4).abs() < f64::EPSILON);
+        assert_eq!(r.bottleneck(), PolicyFactor::CpuBound);
+        let r = Resource::new(0.2, 0.4, 0.7);
+        assert_eq!(r.bottleneck(), PolicyFactor::NetworkBound);
+        let r = Resource::new(0.9, 0.8, 0.1);
+        assert_eq!(r.bottleneck(), PolicyFactor::MemoryBound);
+    }
+
+    #[test]
+    fn components_are_clamped() {
+        let r = Resource::new(1.5, -0.2, 0.5);
+        assert!((r.network - 1.0).abs() < f64::EPSILON);
+        assert!((r.cpu - 0.0).abs() < f64::EPSILON);
+        let r = Resource::full().with_network(2.0);
+        assert!((r.network - 1.0).abs() < f64::EPSILON);
+        assert_eq!(Resource::default(), Resource::full());
+    }
+
+    #[test]
+    fn thresholds_validate_alpha_greater_than_beta() {
+        assert!(ResourceThresholds::new(0.5, 0.1).is_ok());
+        assert!(ResourceThresholds::new(0.1, 0.5).is_err());
+        assert!(ResourceThresholds::new(0.5, -0.1).is_err());
+        assert!(ResourceThresholds::new(f64::NAN, 0.1).is_err());
+        assert!(ResourceThresholds::new(0.5, 0.5).is_err());
+        let d = ResourceThresholds::defaults();
+        assert!(d.alpha() > d.beta());
+        assert_eq!(ResourceThresholds::default(), d);
+    }
+
+    #[test]
+    fn classification_matches_the_z_regimes() {
+        let t = ResourceThresholds::defaults();
+        assert_eq!(t.classify(&Resource::full()), ResourceLevel::Sufficient);
+        assert_eq!(
+            t.classify(&Resource::new(0.5, 1.0, 1.0)),
+            ResourceLevel::Sufficient,
+            "exactly alpha counts as sufficient"
+        );
+        assert_eq!(
+            t.classify(&Resource::new(0.3, 1.0, 1.0)),
+            ResourceLevel::Degraded
+        );
+        assert_eq!(
+            t.classify(&Resource::new(0.1, 1.0, 1.0)),
+            ResourceLevel::Degraded,
+            "exactly beta is still degraded"
+        );
+        assert_eq!(
+            t.classify(&Resource::new(0.05, 1.0, 1.0)),
+            ResourceLevel::Critical
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! `Media-Suspend`: priority-ordered victim selection when resources dip
+//! below the basic level α.
+//!
+//! The Z specification selects a member set `MS` such that every member of
+//! `MS` has lower priority than the member whose request triggered the check,
+//! and suspends their media until resource availability recovers. This module
+//! implements that selection as a pure function so it can be property-tested
+//! and ablated (priority order vs. FIFO order, experiment E7).
+
+use serde::{Deserialize, Serialize};
+
+use crate::member::{Member, MemberId};
+
+/// One planned suspension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Suspension {
+    /// The member whose media are suspended.
+    pub member: MemberId,
+    /// The member's priority at the time of suspension.
+    pub priority: i32,
+    /// The bandwidth (kbps) freed by suspending this member's media.
+    pub freed_kbps: u32,
+}
+
+/// The victim-selection order (the ablation axis of experiment E7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SuspensionOrder {
+    /// Suspend the lowest-priority members first (the paper's rule).
+    #[default]
+    PriorityAscending,
+    /// Suspend members in join order regardless of priority (baseline).
+    JoinOrder,
+}
+
+/// Plans which members to suspend so that at least `required_kbps` of
+/// bandwidth is freed.
+///
+/// * Only members with priority strictly below `requester_priority` are
+///   eligible (the Z constraint `∀M' ∈ MS • M'.Priority < M.Priority`).
+/// * Victims are taken in the given order until enough bandwidth is freed or
+///   no eligible member remains.
+///
+/// The returned plan may free less than `required_kbps` when there are not
+/// enough eligible victims; the caller (the arbiter) decides whether that is
+/// acceptable or the arbitration must abort.
+pub fn plan_suspensions(
+    members: &[(MemberId, &Member, u32)],
+    requester_priority: i32,
+    required_kbps: u32,
+    order: SuspensionOrder,
+) -> Vec<Suspension> {
+    let mut eligible: Vec<&(MemberId, &Member, u32)> = members
+        .iter()
+        .filter(|(_, m, _)| m.priority < requester_priority)
+        .collect();
+    match order {
+        SuspensionOrder::PriorityAscending => {
+            eligible.sort_by_key(|(id, m, _)| (m.priority, *id));
+        }
+        SuspensionOrder::JoinOrder => {
+            eligible.sort_by_key(|(id, _, _)| *id);
+        }
+    }
+    let mut plan = Vec::new();
+    let mut freed: u32 = 0;
+    for (id, member, kbps) in eligible {
+        if freed >= required_kbps {
+            break;
+        }
+        plan.push(Suspension {
+            member: *id,
+            priority: member.priority,
+            freed_kbps: *kbps,
+        });
+        freed = freed.saturating_add(*kbps);
+    }
+    plan
+}
+
+/// The total bandwidth a suspension plan frees.
+pub fn total_freed_kbps(plan: &[Suspension]) -> u32 {
+    plan.iter().map(|s| s.freed_kbps).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::member::Role;
+
+    fn members() -> Vec<(MemberId, Member, u32)> {
+        vec![
+            (MemberId(0), Member::new("teacher", Role::Chair), 1_500),
+            (MemberId(1), Member::new("alice", Role::Participant), 800),
+            (MemberId(2), Member::new("bob", Role::Participant).with_priority(2), 600),
+            (MemberId(3), Member::new("carol", Role::Observer), 400),
+            (MemberId(4), Member::new("dave", Role::Observer), 300),
+        ]
+    }
+
+    fn views(list: &[(MemberId, Member, u32)]) -> Vec<(MemberId, &Member, u32)> {
+        list.iter().map(|(id, m, k)| (*id, m, *k)).collect()
+    }
+
+    #[test]
+    fn lowest_priority_members_are_suspended_first() {
+        let list = members();
+        let plan = plan_suspensions(&views(&list), 3, 500, SuspensionOrder::PriorityAscending);
+        // Observers (priority 1) go first; a single observer frees 400 < 500,
+        // so two are suspended.
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].member, MemberId(3));
+        assert_eq!(plan[1].member, MemberId(4));
+        assert_eq!(total_freed_kbps(&plan), 700);
+        assert!(plan.iter().all(|s| s.priority < 3));
+    }
+
+    #[test]
+    fn only_lower_priority_members_are_eligible() {
+        let list = members();
+        // Requester priority 2: only the observers (priority 1) are eligible,
+        // even if they cannot free enough bandwidth.
+        let plan = plan_suspensions(&views(&list), 2, 10_000, SuspensionOrder::PriorityAscending);
+        assert_eq!(plan.len(), 2);
+        assert!(plan.iter().all(|s| s.priority < 2));
+        assert_eq!(total_freed_kbps(&plan), 700);
+    }
+
+    #[test]
+    fn no_eligible_members_yields_empty_plan() {
+        let list = members();
+        let plan = plan_suspensions(&views(&list), 1, 100, SuspensionOrder::PriorityAscending);
+        assert!(plan.is_empty());
+        assert_eq!(total_freed_kbps(&plan), 0);
+    }
+
+    #[test]
+    fn stops_once_enough_bandwidth_is_freed() {
+        let list = members();
+        let plan = plan_suspensions(&views(&list), 4, 300, SuspensionOrder::PriorityAscending);
+        assert_eq!(plan.len(), 1, "one observer already frees 400 >= 300");
+        assert_eq!(plan[0].member, MemberId(3));
+    }
+
+    #[test]
+    fn join_order_ablation_ignores_priority() {
+        let list = members();
+        let plan = plan_suspensions(&views(&list), 4, 500, SuspensionOrder::JoinOrder);
+        // Join order: the teacher (1500 kbps, priority 3) is suspended first
+        // even though observers have lower priority — the behaviour the
+        // paper's rule avoids.
+        assert_eq!(plan[0].member, MemberId(0));
+        assert_eq!(total_freed_kbps(&plan), 1_500);
+        assert_eq!(SuspensionOrder::default(), SuspensionOrder::PriorityAscending);
+    }
+}

@@ -1,0 +1,202 @@
+//! The speaking token of the Equal Control mode.
+//!
+//! *"In this mode, there is only one (session chair or participant) [who] can
+//! deliver at the same time until the floor control token [is] passed by the
+//! holder."* The token keeps a FIFO queue of pending requests so passing the
+//! floor is fair; the holder may also pass it to a specific member directly.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{FloorError, Result};
+use crate::member::MemberId;
+
+/// The floor token of one Equal Control group.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FloorToken {
+    holder: Option<MemberId>,
+    queue: VecDeque<MemberId>,
+    grants: u64,
+}
+
+impl FloorToken {
+    /// Creates a free token with no holder.
+    pub fn new() -> Self {
+        FloorToken::default()
+    }
+
+    /// The current holder.
+    pub fn holder(&self) -> Option<MemberId> {
+        self.holder
+    }
+
+    /// The pending requesters in arrival order.
+    pub fn queue(&self) -> impl Iterator<Item = MemberId> + '_ {
+        self.queue.iter().copied()
+    }
+
+    /// Number of members waiting.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total number of grants handed out so far (fairness accounting).
+    pub fn grant_count(&self) -> u64 {
+        self.grants
+    }
+
+    /// A member requests the floor. If the token is free it is granted
+    /// immediately (returns `true`); otherwise the member is queued (returns
+    /// `false`). Requests from the current holder or from members already in
+    /// the queue are idempotent.
+    pub fn request(&mut self, member: MemberId) -> bool {
+        if self.holder == Some(member) {
+            return true;
+        }
+        if self.holder.is_none() {
+            self.holder = Some(member);
+            self.grants += 1;
+            return true;
+        }
+        if !self.queue.contains(&member) {
+            self.queue.push_back(member);
+        }
+        false
+    }
+
+    /// The holder releases the floor; the next queued member (if any) becomes
+    /// the holder. Returns the new holder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorError::NotTokenHolder`] when `member` does not hold the
+    /// token.
+    pub fn release(&mut self, member: MemberId) -> Result<Option<MemberId>> {
+        if self.holder != Some(member) {
+            return Err(FloorError::NotTokenHolder(member));
+        }
+        self.holder = self.queue.pop_front();
+        if self.holder.is_some() {
+            self.grants += 1;
+        }
+        Ok(self.holder)
+    }
+
+    /// The holder passes the token directly to another member, jumping the
+    /// queue (the paper lets the holder choose whom to pass to). The
+    /// recipient is removed from the queue if they were waiting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorError::NotTokenHolder`] when `from` does not hold the
+    /// token.
+    pub fn pass(&mut self, from: MemberId, to: MemberId) -> Result<()> {
+        if self.holder != Some(from) {
+            return Err(FloorError::NotTokenHolder(from));
+        }
+        self.queue.retain(|&m| m != to);
+        self.holder = Some(to);
+        self.grants += 1;
+        Ok(())
+    }
+
+    /// Removes a member entirely (they left the session). If they held the
+    /// token it moves on to the next queued member.
+    pub fn remove_member(&mut self, member: MemberId) {
+        self.queue.retain(|&m| m != member);
+        if self.holder == Some(member) {
+            self.holder = self.queue.pop_front();
+            if self.holder.is_some() {
+                self.grants += 1;
+            }
+        }
+    }
+
+    /// Whether a member may currently deliver (holds the token).
+    pub fn may_speak(&self, member: MemberId) -> bool {
+        self.holder == Some(member)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_token_is_granted_immediately() {
+        let mut token = FloorToken::new();
+        assert_eq!(token.holder(), None);
+        assert!(token.request(MemberId(1)));
+        assert!(token.may_speak(MemberId(1)));
+        assert!(!token.may_speak(MemberId(2)));
+        assert_eq!(token.grant_count(), 1);
+    }
+
+    #[test]
+    fn busy_token_queues_requests_fifo() {
+        let mut token = FloorToken::new();
+        token.request(MemberId(1));
+        assert!(!token.request(MemberId(2)));
+        assert!(!token.request(MemberId(3)));
+        assert!(!token.request(MemberId(2)), "duplicate request is idempotent");
+        assert_eq!(token.queue_len(), 2);
+        assert_eq!(token.release(MemberId(1)).unwrap(), Some(MemberId(2)));
+        assert_eq!(token.release(MemberId(2)).unwrap(), Some(MemberId(3)));
+        assert_eq!(token.release(MemberId(3)).unwrap(), None);
+        assert_eq!(token.grant_count(), 3);
+    }
+
+    #[test]
+    fn holder_request_is_idempotent() {
+        let mut token = FloorToken::new();
+        token.request(MemberId(1));
+        assert!(token.request(MemberId(1)));
+        assert_eq!(token.queue_len(), 0);
+        assert_eq!(token.grant_count(), 1);
+    }
+
+    #[test]
+    fn only_the_holder_may_release_or_pass() {
+        let mut token = FloorToken::new();
+        token.request(MemberId(1));
+        assert_eq!(
+            token.release(MemberId(2)).unwrap_err(),
+            FloorError::NotTokenHolder(MemberId(2))
+        );
+        assert_eq!(
+            token.pass(MemberId(2), MemberId(3)).unwrap_err(),
+            FloorError::NotTokenHolder(MemberId(2))
+        );
+    }
+
+    #[test]
+    fn pass_jumps_the_queue_and_dedups() {
+        let mut token = FloorToken::new();
+        token.request(MemberId(1));
+        token.request(MemberId(2));
+        token.request(MemberId(3));
+        token.pass(MemberId(1), MemberId(3)).unwrap();
+        assert!(token.may_speak(MemberId(3)));
+        // Member 3 is no longer queued; member 2 is next.
+        assert_eq!(token.queue().collect::<Vec<_>>(), vec![MemberId(2)]);
+        assert_eq!(token.release(MemberId(3)).unwrap(), Some(MemberId(2)));
+    }
+
+    #[test]
+    fn removing_the_holder_promotes_the_next_requester() {
+        let mut token = FloorToken::new();
+        token.request(MemberId(1));
+        token.request(MemberId(2));
+        token.remove_member(MemberId(1));
+        assert!(token.may_speak(MemberId(2)));
+        token.remove_member(MemberId(2));
+        assert_eq!(token.holder(), None);
+        // Removing a queued (non-holder) member just drops them.
+        token.request(MemberId(5));
+        token.request(MemberId(6));
+        token.remove_member(MemberId(6));
+        assert_eq!(token.queue_len(), 0);
+        assert!(token.may_speak(MemberId(5)));
+    }
+}

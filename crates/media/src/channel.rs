@@ -1,0 +1,197 @@
+//! Logical channels of the DMPS communication window.
+//!
+//! Figure 2 of the paper shows the communication windows each participant
+//! configures: a message window, a shared whiteboard, the teacher's
+//! annotation stream, plus audio/video media channels. Each channel carries
+//! objects of particular [`MediaKind`]s and implies a QoS class.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::object::MediaKind;
+use crate::qos::{QosClass, QosRequirement};
+
+/// The kinds of logical channels a DMPS session exposes to each participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ChannelKind {
+    /// Text chat shown in the message window.
+    MessageWindow,
+    /// The shared whiteboard.
+    Whiteboard,
+    /// The teacher's annotation overlay (Figure 3a).
+    Annotation,
+    /// Continuous audio.
+    AudioStream,
+    /// Continuous video.
+    VideoStream,
+    /// Slide / image distribution.
+    SlideCast,
+    /// Floor-control and clock signalling (always present, lowest bandwidth,
+    /// highest priority).
+    Control,
+}
+
+impl ChannelKind {
+    /// All channel kinds.
+    pub fn all() -> [ChannelKind; 7] {
+        [
+            ChannelKind::MessageWindow,
+            ChannelKind::Whiteboard,
+            ChannelKind::Annotation,
+            ChannelKind::AudioStream,
+            ChannelKind::VideoStream,
+            ChannelKind::SlideCast,
+            ChannelKind::Control,
+        ]
+    }
+
+    /// The media kinds a channel of this kind carries.
+    pub fn carries(self) -> &'static [MediaKind] {
+        match self {
+            ChannelKind::MessageWindow => &[MediaKind::Text],
+            ChannelKind::Whiteboard => &[MediaKind::Whiteboard],
+            ChannelKind::Annotation => &[MediaKind::Annotation],
+            ChannelKind::AudioStream => &[MediaKind::Audio],
+            ChannelKind::VideoStream => &[MediaKind::Video],
+            ChannelKind::SlideCast => &[MediaKind::Slide, MediaKind::Image],
+            ChannelKind::Control => &[],
+        }
+    }
+
+    /// The channel kind that carries a given media kind.
+    pub fn for_media(kind: MediaKind) -> ChannelKind {
+        match kind {
+            MediaKind::Text => ChannelKind::MessageWindow,
+            MediaKind::Whiteboard => ChannelKind::Whiteboard,
+            MediaKind::Annotation => ChannelKind::Annotation,
+            MediaKind::Audio => ChannelKind::AudioStream,
+            MediaKind::Video => ChannelKind::VideoStream,
+            MediaKind::Slide | MediaKind::Image => ChannelKind::SlideCast,
+        }
+    }
+
+    /// The QoS class a channel of this kind needs.
+    pub fn qos_class(self) -> QosClass {
+        match self {
+            ChannelKind::AudioStream | ChannelKind::VideoStream => QosClass::Streaming,
+            ChannelKind::Whiteboard | ChannelKind::Annotation | ChannelKind::Control => {
+                QosClass::Interactive
+            }
+            ChannelKind::MessageWindow | ChannelKind::SlideCast => QosClass::BestEffort,
+        }
+    }
+}
+
+impl fmt::Display for ChannelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ChannelKind::MessageWindow => "message-window",
+            ChannelKind::Whiteboard => "whiteboard",
+            ChannelKind::Annotation => "annotation",
+            ChannelKind::AudioStream => "audio-stream",
+            ChannelKind::VideoStream => "video-stream",
+            ChannelKind::SlideCast => "slide-cast",
+            ChannelKind::Control => "control",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A configured channel belonging to one participant of a session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Channel {
+    /// The kind of channel.
+    pub kind: ChannelKind,
+    /// Whether the participant enabled the channel in their communication
+    /// window (Figure 2 shows students and teachers selecting "their
+    /// communication medias of what they needed").
+    pub enabled: bool,
+    /// The negotiated QoS for the channel.
+    pub qos: QosRequirement,
+}
+
+impl Channel {
+    /// Creates an enabled channel with the default QoS for the most
+    /// demanding media kind it carries.
+    pub fn new(kind: ChannelKind) -> Self {
+        let qos = kind
+            .carries()
+            .iter()
+            .map(|k| k.default_qos())
+            .reduce(|a, b| if a.bandwidth_kbps >= b.bandwidth_kbps { a } else { b })
+            .unwrap_or_default();
+        Channel {
+            kind,
+            enabled: true,
+            qos,
+        }
+    }
+
+    /// Disables the channel (the participant deselected it).
+    pub fn disabled(mut self) -> Self {
+        self.enabled = false;
+        self
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] ({})",
+            self.kind,
+            if self.enabled { "on" } else { "off" },
+            self.qos
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_media_kind_has_a_channel() {
+        for kind in MediaKind::all() {
+            let ch = ChannelKind::for_media(kind);
+            assert!(
+                ch.carries().contains(&kind),
+                "channel {ch} must carry {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn control_channel_carries_no_media() {
+        assert!(ChannelKind::Control.carries().is_empty());
+        assert_eq!(ChannelKind::Control.qos_class(), QosClass::Interactive);
+    }
+
+    #[test]
+    fn streaming_channels_are_streaming_class() {
+        assert_eq!(ChannelKind::VideoStream.qos_class(), QosClass::Streaming);
+        assert_eq!(ChannelKind::AudioStream.qos_class(), QosClass::Streaming);
+        assert_eq!(ChannelKind::MessageWindow.qos_class(), QosClass::BestEffort);
+    }
+
+    #[test]
+    fn channel_new_picks_most_demanding_default() {
+        let slidecast = Channel::new(ChannelKind::SlideCast);
+        // SlideCast carries slide (512 kbps) and image (256 kbps): picks slide.
+        assert_eq!(slidecast.qos.bandwidth_kbps, 512);
+        assert!(slidecast.enabled);
+        let off = slidecast.clone().disabled();
+        assert!(!off.enabled);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let ch = Channel::new(ChannelKind::Whiteboard);
+        let s = ch.to_string();
+        assert!(s.contains("whiteboard"));
+        assert!(s.contains("on"));
+        assert_eq!(ChannelKind::all().len(), 7);
+    }
+}

@@ -1,0 +1,526 @@
+//! Pre-orchestrated presentation documents and their solved timelines.
+//!
+//! A [`PresentationDocument`] collects media objects, the temporal relations
+//! between them, and the user-interaction points (the "dynamical operations
+//! of users" the paper adds on top of OCPN). [`PresentationDocument::timeline`]
+//! solves the relation graph into concrete [`TimeInterval`]s — the input the
+//! DOCPN compiler turns into a Petri net and the scheduler turns into a
+//! synchronous firing schedule.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{MediaError, Result};
+use crate::object::{MediaId, MediaObject};
+use crate::temporal::{resolve_offset, TemporalRelation, TimeInterval};
+
+/// A declared temporal relation `a R b` between two objects of a document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relation {
+    /// Left-hand object.
+    pub a: MediaId,
+    /// The relation from `a` to `b`.
+    pub relation: TemporalRelation,
+    /// Right-hand object.
+    pub b: MediaId,
+}
+
+/// A point during the presentation where user interaction is solicited
+/// (question break, poll, floor handover). The DOCPN compiler turns each
+/// point into a user-interaction transition with a priority arc.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InteractionPoint {
+    /// Human-readable label.
+    pub label: String,
+    /// Offset from presentation start.
+    pub at: Duration,
+    /// Maximum time the presentation waits for the interaction before the
+    /// priority (timeout) firing proceeds without it.
+    pub timeout: Duration,
+}
+
+/// A pre-orchestrated multimedia presentation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PresentationDocument {
+    name: String,
+    objects: Vec<MediaObject>,
+    relations: Vec<Relation>,
+    interactions: Vec<InteractionPoint>,
+}
+
+impl PresentationDocument {
+    /// Creates an empty document.
+    pub fn new(name: impl Into<String>) -> Self {
+        PresentationDocument {
+            name: name.into(),
+            objects: Vec::new(),
+            relations: Vec::new(),
+            interactions: Vec::new(),
+        }
+    }
+
+    /// The document name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a media object and returns its identifier.
+    pub fn add_object(&mut self, object: MediaObject) -> MediaId {
+        self.objects.push(object);
+        MediaId(self.objects.len() - 1)
+    }
+
+    /// Returns an object by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MediaError::UnknownMedia`] for an id outside the document.
+    pub fn object(&self, id: MediaId) -> Result<&MediaObject> {
+        self.objects.get(id.0).ok_or(MediaError::UnknownMedia(id))
+    }
+
+    /// Number of objects in the document.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Iterates over `(id, object)` pairs.
+    pub fn objects(&self) -> impl Iterator<Item = (MediaId, &MediaObject)> {
+        self.objects.iter().enumerate().map(|(i, o)| (MediaId(i), o))
+    }
+
+    /// Declares a temporal relation `a R b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MediaError::UnknownMedia`] when either id is unknown and
+    /// [`MediaError::SelfRelation`] when `a == b`.
+    pub fn relate(&mut self, a: MediaId, relation: TemporalRelation, b: MediaId) -> Result<()> {
+        if a == b {
+            return Err(MediaError::SelfRelation(a));
+        }
+        self.object(a)?;
+        self.object(b)?;
+        self.relations.push(Relation { a, relation, b });
+        Ok(())
+    }
+
+    /// The declared relations.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// Adds a user-interaction point.
+    pub fn add_interaction(&mut self, label: impl Into<String>, at: Duration, timeout: Duration) {
+        self.interactions.push(InteractionPoint {
+            label: label.into(),
+            at,
+            timeout,
+        });
+    }
+
+    /// The declared interaction points.
+    pub fn interactions(&self) -> &[InteractionPoint] {
+        &self.interactions
+    }
+
+    /// Solves the temporal relation graph into a concrete [`Timeline`].
+    ///
+    /// Objects not constrained (directly or transitively) relative to the
+    /// first object start at offset zero. The solver propagates offsets
+    /// breadth-first over the relation graph and verifies every declared
+    /// relation against the solved intervals.
+    ///
+    /// # Errors
+    ///
+    /// * [`MediaError::DurationMismatch`] when a relation cannot hold for the
+    ///   objects' durations (e.g. `Equals` with different lengths),
+    /// * [`MediaError::InconsistentTimeline`] when two relation chains give
+    ///   an object contradictory start times or a solved interval violates a
+    ///   declared relation,
+    /// * [`MediaError::InteractionOutOfRange`] when an interaction point lies
+    ///   beyond the end of the solved timeline.
+    pub fn timeline(&self) -> Result<Timeline> {
+        // Signed start offsets (nanoseconds) during propagation; each
+        // connected component is shifted afterwards so its earliest start is
+        // zero.
+        let mut starts: HashMap<MediaId, i128> = HashMap::new();
+        // Constraint edges: (from, to, signed offset of `to` relative to `from`).
+        let mut edges: Vec<(MediaId, MediaId, i128)> = Vec::new();
+        for rel in &self.relations {
+            let dur_a = self.object(rel.a)?.duration;
+            let dur_b = self.object(rel.b)?.duration;
+            if let Some(offset) = resolve_offset(dur_a, rel.relation, dur_b) {
+                edges.push((rel.a, rel.b, offset.as_nanos() as i128));
+            } else if let Some(offset) = resolve_offset(dur_b, rel.relation.inverse(), dur_a) {
+                edges.push((rel.b, rel.a, offset.as_nanos() as i128));
+            } else {
+                return Err(MediaError::DurationMismatch {
+                    a: rel.a,
+                    b: rel.b,
+                    relation: rel.relation.to_string(),
+                });
+            }
+        }
+
+        // Propagate offsets over connected components.
+        for seed in 0..self.objects.len() {
+            let seed = MediaId(seed);
+            if starts.contains_key(&seed) {
+                continue;
+            }
+            starts.insert(seed, 0);
+            let mut component = vec![seed];
+            let mut queue = VecDeque::new();
+            queue.push_back(seed);
+            while let Some(cur) = queue.pop_front() {
+                let cur_start = starts[&cur];
+                for &(from, to, offset) in &edges {
+                    let (next, next_start) = if from == cur {
+                        (to, cur_start + offset)
+                    } else if to == cur {
+                        (from, cur_start - offset)
+                    } else {
+                        continue;
+                    };
+                    match starts.get(&next) {
+                        Some(&existing) => {
+                            if existing != next_start {
+                                return Err(MediaError::InconsistentTimeline {
+                                    between: (cur, next),
+                                    reason: format!(
+                                        "start {}ns vs {}ns",
+                                        existing, next_start
+                                    ),
+                                });
+                            }
+                        }
+                        None => {
+                            starts.insert(next, next_start);
+                            component.push(next);
+                            queue.push_back(next);
+                        }
+                    }
+                }
+            }
+            // Shift this component so its earliest start is zero.
+            let min = component
+                .iter()
+                .map(|id| starts[id])
+                .min()
+                .unwrap_or(0);
+            if min != 0 {
+                for id in component {
+                    *starts.get_mut(&id).expect("component member has a start") -= min;
+                }
+            }
+        }
+
+        let intervals: Vec<TimeInterval> = self
+            .objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| {
+                let start_nanos = starts[&MediaId(i)].max(0) as u128;
+                TimeInterval::new(
+                    Duration::new(
+                        (start_nanos / 1_000_000_000) as u64,
+                        (start_nanos % 1_000_000_000) as u32,
+                    ),
+                    o.duration,
+                )
+            })
+            .collect();
+
+        // Verify every declared relation against the solved intervals.
+        for rel in &self.relations {
+            let ia = intervals[rel.a.0];
+            let ib = intervals[rel.b.0];
+            if !rel.relation.holds(&ia, &ib) {
+                return Err(MediaError::InconsistentTimeline {
+                    between: (rel.a, rel.b),
+                    reason: format!(
+                        "declared `{}` but solved intervals give `{}`",
+                        rel.relation,
+                        ia.relation_to(&ib)
+                    ),
+                });
+            }
+        }
+
+        let timeline = Timeline { intervals };
+        for ip in &self.interactions {
+            if ip.at > timeline.total_duration() {
+                return Err(MediaError::InteractionOutOfRange {
+                    label: ip.label.clone(),
+                });
+            }
+        }
+        Ok(timeline)
+    }
+
+    /// Groups the objects into *synchronous sets*: maximal groups of objects
+    /// whose intervals mutually intersect at some instant, i.e. objects that
+    /// must be presented together. This is the "synchronous set of multimedia
+    /// objects with respect to time duration" the paper's algorithm produces.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timeline solving errors.
+    pub fn synchronous_sets(&self) -> Result<Vec<Vec<MediaId>>> {
+        let timeline = self.timeline()?;
+        // Sweep event points; at every interval start collect everything
+        // active, dedupe identical sets, keep maximal ones.
+        let mut sets: Vec<Vec<MediaId>> = Vec::new();
+        let mut points: Vec<Duration> = timeline
+            .intervals
+            .iter()
+            .map(|iv| iv.start)
+            .collect();
+        points.sort();
+        points.dedup();
+        for point in points {
+            let mut active: Vec<MediaId> = timeline
+                .intervals
+                .iter()
+                .enumerate()
+                .filter(|(_, iv)| iv.contains(point))
+                .map(|(i, _)| MediaId(i))
+                .collect();
+            active.sort();
+            if active.is_empty() || sets.contains(&active) {
+                continue;
+            }
+            sets.push(active);
+        }
+        // Remove sets strictly contained in another set.
+        let maximal: Vec<Vec<MediaId>> = sets
+            .iter()
+            .filter(|s| {
+                !sets
+                    .iter()
+                    .any(|other| other != *s && s.iter().all(|x| other.contains(x)))
+            })
+            .cloned()
+            .collect();
+        Ok(maximal)
+    }
+}
+
+/// A solved timeline: one concrete interval per object of the document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timeline {
+    intervals: Vec<TimeInterval>,
+}
+
+impl Timeline {
+    /// The interval assigned to an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MediaError::UnknownMedia`] for an id outside the timeline.
+    pub fn interval(&self, id: MediaId) -> Result<TimeInterval> {
+        self.intervals
+            .get(id.0)
+            .copied()
+            .ok_or(MediaError::UnknownMedia(id))
+    }
+
+    /// All intervals in object order.
+    pub fn intervals(&self) -> &[TimeInterval] {
+        &self.intervals
+    }
+
+    /// The instant the last object finishes.
+    pub fn total_duration(&self) -> Duration {
+        self.intervals
+            .iter()
+            .map(TimeInterval::end)
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// The objects active at a given instant.
+    pub fn active_at(&self, t: Duration) -> Vec<MediaId> {
+        self.intervals
+            .iter()
+            .enumerate()
+            .filter(|(_, iv)| iv.contains(t))
+            .map(|(i, _)| MediaId(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::MediaKind;
+
+    fn obj(name: &str, kind: MediaKind, secs: u64) -> MediaObject {
+        MediaObject::new(name, kind, Duration::from_secs(secs))
+    }
+
+    #[test]
+    fn empty_document_solves_to_empty_timeline() {
+        let doc = PresentationDocument::new("empty");
+        let tl = doc.timeline().unwrap();
+        assert_eq!(tl.total_duration(), Duration::ZERO);
+        assert!(tl.intervals().is_empty());
+    }
+
+    #[test]
+    fn equals_relation_aligns_objects() {
+        let mut doc = PresentationDocument::new("lipsync");
+        let v = doc.add_object(obj("video", MediaKind::Video, 30));
+        let a = doc.add_object(obj("audio", MediaKind::Audio, 30));
+        doc.relate(v, TemporalRelation::Equals, a).unwrap();
+        let tl = doc.timeline().unwrap();
+        assert_eq!(tl.interval(v).unwrap(), tl.interval(a).unwrap());
+        assert_eq!(tl.total_duration(), Duration::from_secs(30));
+    }
+
+    #[test]
+    fn meets_relation_sequences_objects() {
+        let mut doc = PresentationDocument::new("sequence");
+        let s1 = doc.add_object(obj("slide-1", MediaKind::Slide, 10));
+        let s2 = doc.add_object(obj("slide-2", MediaKind::Slide, 10));
+        doc.relate(s1, TemporalRelation::Meets, s2).unwrap();
+        let tl = doc.timeline().unwrap();
+        assert_eq!(tl.interval(s2).unwrap().start, Duration::from_secs(10));
+        assert_eq!(tl.total_duration(), Duration::from_secs(20));
+    }
+
+    #[test]
+    fn inverse_relations_are_resolved_by_flipping() {
+        let mut doc = PresentationDocument::new("flip");
+        let long = doc.add_object(obj("video", MediaKind::Video, 20));
+        let short = doc.add_object(obj("caption", MediaKind::Text, 10));
+        // `caption during video` cannot be resolved directly but the inverse
+        // `video contains caption` can.
+        doc.relate(short, TemporalRelation::During, long).unwrap();
+        let tl = doc.timeline().unwrap();
+        let iv_long = tl.interval(long).unwrap();
+        let iv_short = tl.interval(short).unwrap();
+        assert!(iv_short.start > iv_long.start);
+        assert!(iv_short.end() < iv_long.end());
+    }
+
+    #[test]
+    fn equals_with_unequal_durations_is_rejected() {
+        let mut doc = PresentationDocument::new("bad");
+        let v = doc.add_object(obj("video", MediaKind::Video, 30));
+        let a = doc.add_object(obj("audio", MediaKind::Audio, 10));
+        doc.relate(v, TemporalRelation::Equals, a).unwrap();
+        assert!(matches!(
+            doc.timeline().unwrap_err(),
+            MediaError::DurationMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn contradictory_chains_are_rejected() {
+        let mut doc = PresentationDocument::new("contradiction");
+        let a = doc.add_object(obj("a", MediaKind::Slide, 10));
+        let b = doc.add_object(obj("b", MediaKind::Slide, 10));
+        doc.relate(a, TemporalRelation::Meets, b).unwrap();
+        doc.relate(a, TemporalRelation::Equals, b).unwrap();
+        assert!(matches!(
+            doc.timeline().unwrap_err(),
+            MediaError::InconsistentTimeline { .. }
+        ));
+    }
+
+    #[test]
+    fn self_relation_rejected() {
+        let mut doc = PresentationDocument::new("self");
+        let a = doc.add_object(obj("a", MediaKind::Slide, 10));
+        assert_eq!(
+            doc.relate(a, TemporalRelation::Meets, a).unwrap_err(),
+            MediaError::SelfRelation(a)
+        );
+    }
+
+    #[test]
+    fn unknown_media_rejected() {
+        let mut doc = PresentationDocument::new("unknown");
+        let a = doc.add_object(obj("a", MediaKind::Slide, 10));
+        assert!(doc.relate(a, TemporalRelation::Meets, MediaId(99)).is_err());
+        assert!(doc.object(MediaId(99)).is_err());
+    }
+
+    #[test]
+    fn unrelated_components_anchor_at_zero() {
+        let mut doc = PresentationDocument::new("parallel");
+        let a = doc.add_object(obj("a", MediaKind::Slide, 10));
+        let b = doc.add_object(obj("b", MediaKind::Audio, 20));
+        let tl = doc.timeline().unwrap();
+        assert_eq!(tl.interval(a).unwrap().start, Duration::ZERO);
+        assert_eq!(tl.interval(b).unwrap().start, Duration::ZERO);
+        assert_eq!(tl.total_duration(), Duration::from_secs(20));
+    }
+
+    #[test]
+    fn interaction_beyond_timeline_is_rejected() {
+        let mut doc = PresentationDocument::new("interact");
+        doc.add_object(obj("a", MediaKind::Slide, 10));
+        doc.add_interaction("q&a", Duration::from_secs(60), Duration::from_secs(5));
+        assert!(matches!(
+            doc.timeline().unwrap_err(),
+            MediaError::InteractionOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn interaction_within_timeline_is_accepted() {
+        let mut doc = PresentationDocument::new("interact-ok");
+        doc.add_object(obj("a", MediaKind::Slide, 100));
+        doc.add_interaction("q&a", Duration::from_secs(60), Duration::from_secs(5));
+        assert!(doc.timeline().is_ok());
+        assert_eq!(doc.interactions().len(), 1);
+        assert_eq!(doc.interactions()[0].label, "q&a");
+    }
+
+    #[test]
+    fn synchronous_sets_group_overlapping_objects() {
+        let mut doc = PresentationDocument::new("lecture");
+        let video = doc.add_object(obj("video", MediaKind::Video, 30));
+        let audio = doc.add_object(obj("audio", MediaKind::Audio, 30));
+        let slides = doc.add_object(obj("slides", MediaKind::Slide, 20));
+        let quiz = doc.add_object(obj("quiz", MediaKind::Text, 10));
+        doc.relate(video, TemporalRelation::Equals, audio).unwrap();
+        doc.relate(video, TemporalRelation::StartedBy, slides).unwrap();
+        // quiz comes after the video.
+        doc.relate(video, TemporalRelation::Before, quiz).unwrap();
+        let sets = doc.synchronous_sets().unwrap();
+        // First set: the three concurrent objects; second: the quiz alone.
+        assert!(sets.contains(&vec![video, audio, slides]));
+        assert!(sets.contains(&vec![quiz]));
+        assert_eq!(sets.len(), 2);
+    }
+
+    #[test]
+    fn active_at_reports_running_objects() {
+        let mut doc = PresentationDocument::new("active");
+        let a = doc.add_object(obj("a", MediaKind::Slide, 10));
+        let b = doc.add_object(obj("b", MediaKind::Slide, 10));
+        doc.relate(a, TemporalRelation::Meets, b).unwrap();
+        let tl = doc.timeline().unwrap();
+        assert_eq!(tl.active_at(Duration::from_secs(5)), vec![a]);
+        assert_eq!(tl.active_at(Duration::from_secs(15)), vec![b]);
+        assert!(tl.active_at(Duration::from_secs(25)).is_empty());
+    }
+
+    #[test]
+    fn objects_iterator_and_count() {
+        let mut doc = PresentationDocument::new("iter");
+        doc.add_object(obj("a", MediaKind::Slide, 10));
+        doc.add_object(obj("b", MediaKind::Audio, 10));
+        assert_eq!(doc.object_count(), 2);
+        let names: Vec<&str> = doc.objects().map(|(_, o)| o.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(doc.name(), "iter");
+        assert_eq!(doc.relations().len(), 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Error types for the media model.
+
+use std::fmt;
+
+use crate::object::MediaId;
+
+/// Convenience result alias for the media crate.
+pub type Result<T> = std::result::Result<T, MediaError>;
+
+/// Errors produced while assembling or solving presentation documents.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MediaError {
+    /// A media identifier does not belong to the document.
+    UnknownMedia(MediaId),
+    /// A temporal relation was declared between an object and itself.
+    SelfRelation(MediaId),
+    /// The temporal constraints contradict each other (no consistent
+    /// timeline exists).
+    InconsistentTimeline {
+        /// The pair of objects whose constraints clashed.
+        between: (MediaId, MediaId),
+        /// Human-readable explanation of the clash.
+        reason: String,
+    },
+    /// A relation requires specific durations which the two objects do not
+    /// satisfy (e.g. `Equals` between objects of different length).
+    DurationMismatch {
+        /// First object.
+        a: MediaId,
+        /// Second object.
+        b: MediaId,
+        /// The relation that could not be satisfied.
+        relation: String,
+    },
+    /// An interaction point refers to a time beyond the end of the timeline.
+    InteractionOutOfRange {
+        /// The offending interaction label.
+        label: String,
+    },
+    /// A QoS requirement is internally inconsistent (e.g. zero bandwidth for
+    /// a streaming medium).
+    InvalidQos(String),
+}
+
+impl fmt::Display for MediaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MediaError::UnknownMedia(id) => write!(f, "unknown media object {id}"),
+            MediaError::SelfRelation(id) => {
+                write!(f, "temporal relation declared between {id} and itself")
+            }
+            MediaError::InconsistentTimeline { between, reason } => write!(
+                f,
+                "inconsistent timeline between {} and {}: {reason}",
+                between.0, between.1
+            ),
+            MediaError::DurationMismatch { a, b, relation } => write!(
+                f,
+                "durations of {a} and {b} do not admit relation {relation}"
+            ),
+            MediaError::InteractionOutOfRange { label } => {
+                write!(f, "interaction point `{label}` lies beyond the timeline end")
+            }
+            MediaError::InvalidQos(msg) => write!(f, "invalid qos requirement: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MediaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = MediaError::UnknownMedia(MediaId(7));
+        assert!(e.to_string().contains("m7"));
+        let e = MediaError::InconsistentTimeline {
+            between: (MediaId(0), MediaId(1)),
+            reason: "cycle".into(),
+        };
+        assert!(e.to_string().contains("cycle"));
+        let e = MediaError::InvalidQos("zero bandwidth".into());
+        assert!(e.to_string().contains("zero bandwidth"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<MediaError>();
+    }
+}

@@ -1,0 +1,52 @@
+//! # dmps-media
+//!
+//! Multimedia object model for the DMPS reproduction of *"Using the Floor
+//! Control Mechanism in Distributed Multimedia Presentation System"*
+//! (Shih et al., ICDCS 2001 Workshops).
+//!
+//! The paper presents "different multimedia objects on a web presentation
+//! system": video, audio, slides, text messages, whiteboard strokes and
+//! teacher annotations, each with a playback duration and quality-of-service
+//! needs, arranged by temporal relationships (in the tradition of OCPN /
+//! Little & Ghafoor). This crate models those objects independently of any
+//! Petri net or network so that the `dmps-docpn` compiler and the `dmps`
+//! application layer can share one vocabulary.
+//!
+//! * [`MediaObject`] / [`MediaKind`] — the objects themselves,
+//! * [`QosRequirement`] — per-object bandwidth / latency / jitter / loss needs,
+//! * [`temporal`] — the thirteen interval relations and timeline computation,
+//! * [`PresentationDocument`] — a pre-orchestrated presentation: objects,
+//!   temporal constraints, and user-interaction points,
+//! * [`channel`] — the logical channels of the DMPS communication window
+//!   (message window, whiteboard, annotation, audio/video streams).
+//!
+//! # Example
+//!
+//! ```
+//! use dmps_media::{MediaKind, MediaObject, PresentationDocument, temporal::TemporalRelation};
+//! use std::time::Duration;
+//!
+//! let mut doc = PresentationDocument::new("lecture-1");
+//! let video = doc.add_object(MediaObject::new("intro-video", MediaKind::Video, Duration::from_secs(30)));
+//! let audio = doc.add_object(MediaObject::new("narration", MediaKind::Audio, Duration::from_secs(30)));
+//! doc.relate(video, TemporalRelation::Equals, audio).unwrap();
+//! let timeline = doc.timeline().unwrap();
+//! assert_eq!(timeline.interval(video).unwrap().start, timeline.interval(audio).unwrap().start);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod document;
+pub mod error;
+pub mod object;
+pub mod qos;
+pub mod temporal;
+
+pub use channel::{Channel, ChannelKind};
+pub use document::{InteractionPoint, PresentationDocument, Timeline};
+pub use error::{MediaError, Result};
+pub use object::{MediaId, MediaKind, MediaObject};
+pub use qos::{QosClass, QosRequirement};
+pub use temporal::{TemporalRelation, TimeInterval};

@@ -1,0 +1,222 @@
+//! Multimedia objects: the units the presentation schedules and transmits.
+
+use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::qos::QosRequirement;
+
+/// Identifier of a media object within a [`crate::PresentationDocument`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MediaId(pub usize);
+
+impl MediaId {
+    /// The dense index of the object inside its document.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for MediaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// The kind of a multimedia object.
+///
+/// The variants cover every object the paper's DMPS prototype presents:
+/// continuous media (video, audio), discrete media (image, text, slide), and
+/// the interactive channels of the communication window (whiteboard strokes
+/// and teacher annotations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum MediaKind {
+    /// A video clip (continuous, high bandwidth).
+    Video,
+    /// An audio clip or live narration (continuous).
+    Audio,
+    /// A still image.
+    Image,
+    /// A plain text block shown in the message window.
+    Text,
+    /// A presentation slide.
+    Slide,
+    /// A whiteboard stroke batch.
+    Whiteboard,
+    /// A teacher annotation overlayed on shared content (Figure 3a of the
+    /// paper shows the annotation broadcast).
+    Annotation,
+}
+
+impl MediaKind {
+    /// Whether the medium is continuous (time-based playback) rather than
+    /// discrete (shown instantaneously and then persists).
+    pub fn is_continuous(self) -> bool {
+        matches!(self, MediaKind::Video | MediaKind::Audio)
+    }
+
+    /// A reasonable default QoS requirement for the kind, used when a
+    /// document author does not specify one explicitly.
+    pub fn default_qos(self) -> QosRequirement {
+        match self {
+            MediaKind::Video => QosRequirement::new(1_500, Duration::from_millis(250), Duration::from_millis(60), 0.01),
+            MediaKind::Audio => QosRequirement::new(128, Duration::from_millis(150), Duration::from_millis(30), 0.01),
+            MediaKind::Image => QosRequirement::new(256, Duration::from_millis(2_000), Duration::from_millis(500), 0.0),
+            MediaKind::Text => QosRequirement::new(8, Duration::from_millis(1_000), Duration::from_millis(500), 0.0),
+            MediaKind::Slide => QosRequirement::new(512, Duration::from_millis(1_500), Duration::from_millis(500), 0.0),
+            MediaKind::Whiteboard => QosRequirement::new(32, Duration::from_millis(300), Duration::from_millis(100), 0.0),
+            MediaKind::Annotation => QosRequirement::new(16, Duration::from_millis(300), Duration::from_millis(100), 0.0),
+        }
+    }
+
+    /// All kinds, useful for exhaustive sweeps in benches and tests.
+    pub fn all() -> [MediaKind; 7] {
+        [
+            MediaKind::Video,
+            MediaKind::Audio,
+            MediaKind::Image,
+            MediaKind::Text,
+            MediaKind::Slide,
+            MediaKind::Whiteboard,
+            MediaKind::Annotation,
+        ]
+    }
+}
+
+impl fmt::Display for MediaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MediaKind::Video => "video",
+            MediaKind::Audio => "audio",
+            MediaKind::Image => "image",
+            MediaKind::Text => "text",
+            MediaKind::Slide => "slide",
+            MediaKind::Whiteboard => "whiteboard",
+            MediaKind::Annotation => "annotation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single multimedia object with a presentation duration and QoS needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MediaObject {
+    /// Human-readable name (unique within a document by convention, not
+    /// enforced).
+    pub name: String,
+    /// The kind of medium.
+    pub kind: MediaKind,
+    /// How long the object is presented. Discrete media use their display
+    /// dwell time.
+    pub duration: Duration,
+    /// Approximate payload size in bytes (drives simulated transfer time).
+    pub size_bytes: u64,
+    /// The object's QoS requirement.
+    pub qos: QosRequirement,
+}
+
+impl MediaObject {
+    /// Creates an object with the kind's default QoS and a size estimated
+    /// from the kind's default bandwidth and the duration.
+    pub fn new(name: impl Into<String>, kind: MediaKind, duration: Duration) -> Self {
+        let qos = kind.default_qos();
+        let size_bytes = (qos.bandwidth_kbps as u128 * duration.as_millis() / 8).max(1) as u64;
+        MediaObject {
+            name: name.into(),
+            kind,
+            duration,
+            size_bytes,
+            qos,
+        }
+    }
+
+    /// Sets an explicit payload size.
+    pub fn with_size(mut self, size_bytes: u64) -> Self {
+        self.size_bytes = size_bytes;
+        self
+    }
+
+    /// Sets an explicit QoS requirement.
+    pub fn with_qos(mut self, qos: QosRequirement) -> Self {
+        self.qos = qos;
+        self
+    }
+
+    /// Whether the object is continuous media.
+    pub fn is_continuous(&self) -> bool {
+        self.kind.is_continuous()
+    }
+}
+
+impl fmt::Display for MediaObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} `{}` ({} ms, {} bytes)",
+            self.kind,
+            self.name,
+            self.duration.as_millis(),
+            self.size_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_kinds() {
+        assert!(MediaKind::Video.is_continuous());
+        assert!(MediaKind::Audio.is_continuous());
+        assert!(!MediaKind::Slide.is_continuous());
+        assert!(!MediaKind::Annotation.is_continuous());
+    }
+
+    #[test]
+    fn all_kinds_has_no_duplicates() {
+        let all = MediaKind::all();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn default_size_scales_with_duration() {
+        let short = MediaObject::new("s", MediaKind::Video, Duration::from_secs(1));
+        let long = MediaObject::new("l", MediaKind::Video, Duration::from_secs(10));
+        assert!(long.size_bytes > short.size_bytes);
+        assert!(short.size_bytes > 0);
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let obj = MediaObject::new("x", MediaKind::Text, Duration::from_secs(5))
+            .with_size(42)
+            .with_qos(QosRequirement::new(1, Duration::from_secs(1), Duration::from_secs(1), 0.5));
+        assert_eq!(obj.size_bytes, 42);
+        assert_eq!(obj.qos.bandwidth_kbps, 1);
+        assert!((obj.qos.loss_tolerance - 0.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn display_mentions_name_kind_and_duration() {
+        let obj = MediaObject::new("intro", MediaKind::Audio, Duration::from_millis(1500));
+        let s = obj.to_string();
+        assert!(s.contains("audio"));
+        assert!(s.contains("intro"));
+        assert!(s.contains("1500"));
+        assert_eq!(MediaId(3).to_string(), "m3");
+    }
+
+    #[test]
+    fn default_qos_is_valid_for_every_kind() {
+        for kind in MediaKind::all() {
+            assert!(kind.default_qos().validate().is_ok(), "kind {kind}");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Quality-of-service requirements attached to media objects and channels.
+//!
+//! The XOCPN lineage the paper builds on (Woo, Qazi & Ghafoor) sets up
+//! channels "according to the required QoS of the data"; the floor control
+//! arbiter consumes the aggregate of these requirements as its
+//! `Resource = Network × CPU × Memory` availability check.
+
+use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{MediaError, Result};
+
+/// Coarse service classes used when mapping objects onto simulated channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum QosClass {
+    /// Best effort: discrete media, no timing guarantee needed.
+    BestEffort,
+    /// Interactive: low latency matters more than bandwidth (whiteboard,
+    /// annotation, floor-control signalling).
+    Interactive,
+    /// Streaming: sustained bandwidth and bounded jitter (audio/video).
+    Streaming,
+}
+
+impl fmt::Display for QosClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            QosClass::BestEffort => "best-effort",
+            QosClass::Interactive => "interactive",
+            QosClass::Streaming => "streaming",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A per-object quality-of-service requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosRequirement {
+    /// Sustained bandwidth needed, in kilobits per second.
+    pub bandwidth_kbps: u32,
+    /// Maximum tolerable one-way latency.
+    pub max_latency: Duration,
+    /// Maximum tolerable jitter (delay variation).
+    pub max_jitter: Duration,
+    /// Fraction of packets that may be lost without failing the object
+    /// (0.0 ..= 1.0).
+    pub loss_tolerance: f64,
+}
+
+impl QosRequirement {
+    /// Creates a requirement from its four components.
+    pub fn new(
+        bandwidth_kbps: u32,
+        max_latency: Duration,
+        max_jitter: Duration,
+        loss_tolerance: f64,
+    ) -> Self {
+        QosRequirement {
+            bandwidth_kbps,
+            max_latency,
+            max_jitter,
+            loss_tolerance,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MediaError::InvalidQos`] when the loss tolerance is outside
+    /// `[0, 1]`, the bandwidth is zero, or the jitter bound exceeds the
+    /// latency bound.
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.loss_tolerance) || self.loss_tolerance.is_nan() {
+            return Err(MediaError::InvalidQos(format!(
+                "loss tolerance {} outside [0, 1]",
+                self.loss_tolerance
+            )));
+        }
+        if self.bandwidth_kbps == 0 {
+            return Err(MediaError::InvalidQos("zero bandwidth".into()));
+        }
+        if self.max_jitter > self.max_latency {
+            return Err(MediaError::InvalidQos(
+                "jitter bound exceeds latency bound".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The service class implied by the requirement.
+    pub fn class(&self) -> QosClass {
+        if self.bandwidth_kbps >= 96 && self.max_jitter <= Duration::from_millis(100) {
+            QosClass::Streaming
+        } else if self.max_latency <= Duration::from_millis(500) {
+            QosClass::Interactive
+        } else {
+            QosClass::BestEffort
+        }
+    }
+
+    /// Component-wise "at least as demanding as" comparison. Used to check
+    /// whether an admitted channel can carry a new object without
+    /// renegotiation.
+    pub fn dominates(&self, other: &QosRequirement) -> bool {
+        self.bandwidth_kbps >= other.bandwidth_kbps
+            && self.max_latency <= other.max_latency
+            && self.max_jitter <= other.max_jitter
+            && self.loss_tolerance <= other.loss_tolerance
+    }
+
+    /// The sum of two requirements (bandwidth adds; latency/jitter take the
+    /// stricter bound; loss takes the stricter tolerance). Used to aggregate
+    /// a member's media set when the arbiter checks resource availability.
+    pub fn combine(&self, other: &QosRequirement) -> QosRequirement {
+        QosRequirement {
+            bandwidth_kbps: self.bandwidth_kbps.saturating_add(other.bandwidth_kbps),
+            max_latency: self.max_latency.min(other.max_latency),
+            max_jitter: self.max_jitter.min(other.max_jitter),
+            loss_tolerance: self.loss_tolerance.min(other.loss_tolerance),
+        }
+    }
+}
+
+impl Default for QosRequirement {
+    fn default() -> Self {
+        QosRequirement::new(64, Duration::from_millis(500), Duration::from_millis(200), 0.01)
+    }
+}
+
+impl fmt::Display for QosRequirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} kbps, ≤{} ms latency, ≤{} ms jitter, ≤{:.1}% loss",
+            self.bandwidth_kbps,
+            self.max_latency.as_millis(),
+            self.max_jitter.as_millis(),
+            self.loss_tolerance * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(QosRequirement::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_loss_tolerance_rejected() {
+        let q = QosRequirement::new(100, Duration::from_millis(100), Duration::from_millis(10), 1.5);
+        assert!(q.validate().is_err());
+        let q = QosRequirement::new(100, Duration::from_millis(100), Duration::from_millis(10), f64::NAN);
+        assert!(q.validate().is_err());
+    }
+
+    #[test]
+    fn zero_bandwidth_rejected() {
+        let q = QosRequirement::new(0, Duration::from_millis(100), Duration::from_millis(10), 0.0);
+        assert!(q.validate().is_err());
+    }
+
+    #[test]
+    fn jitter_above_latency_rejected() {
+        let q = QosRequirement::new(10, Duration::from_millis(10), Duration::from_millis(100), 0.0);
+        assert!(q.validate().is_err());
+    }
+
+    #[test]
+    fn classes_follow_thresholds() {
+        let streaming = QosRequirement::new(1500, Duration::from_millis(250), Duration::from_millis(60), 0.01);
+        assert_eq!(streaming.class(), QosClass::Streaming);
+        let interactive = QosRequirement::new(16, Duration::from_millis(300), Duration::from_millis(100), 0.0);
+        assert_eq!(interactive.class(), QosClass::Interactive);
+        let best_effort = QosRequirement::new(8, Duration::from_secs(5), Duration::from_secs(1), 0.0);
+        assert_eq!(best_effort.class(), QosClass::BestEffort);
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_directional() {
+        let strong = QosRequirement::new(1000, Duration::from_millis(50), Duration::from_millis(5), 0.0);
+        let weak = QosRequirement::new(100, Duration::from_millis(500), Duration::from_millis(50), 0.1);
+        assert!(strong.dominates(&strong));
+        assert!(strong.dominates(&weak));
+        assert!(!weak.dominates(&strong));
+    }
+
+    #[test]
+    fn combine_adds_bandwidth_and_tightens_bounds() {
+        let a = QosRequirement::new(100, Duration::from_millis(200), Duration::from_millis(50), 0.02);
+        let b = QosRequirement::new(200, Duration::from_millis(100), Duration::from_millis(80), 0.01);
+        let c = a.combine(&b);
+        assert_eq!(c.bandwidth_kbps, 300);
+        assert_eq!(c.max_latency, Duration::from_millis(100));
+        assert_eq!(c.max_jitter, Duration::from_millis(50));
+        assert!((c.loss_tolerance - 0.01).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn display_formats_all_fields() {
+        let q = QosRequirement::new(128, Duration::from_millis(150), Duration::from_millis(30), 0.01);
+        let s = q.to_string();
+        assert!(s.contains("128 kbps"));
+        assert!(s.contains("150 ms"));
+        assert!(s.contains("30 ms"));
+        assert_eq!(QosClass::Streaming.to_string(), "streaming");
+    }
+}

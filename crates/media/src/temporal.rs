@@ -1,0 +1,338 @@
+//! Temporal interval relations between media objects.
+//!
+//! The OCPN model the paper extends (Little & Ghafoor, 1990) specifies the
+//! timing of pre-orchestrated multimedia with the thirteen binary interval
+//! relations of Allen's interval algebra (seven base relations and six
+//! inverses). This module provides those relations, concrete
+//! [`TimeInterval`]s, and the checks used by the timeline solver.
+
+use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// A closed-open time interval `[start, start + length)` on the presentation
+/// timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeInterval {
+    /// Start offset from the beginning of the presentation.
+    pub start: Duration,
+    /// Length of the interval.
+    pub length: Duration,
+}
+
+impl TimeInterval {
+    /// Creates an interval from a start offset and a length.
+    pub fn new(start: Duration, length: Duration) -> Self {
+        TimeInterval { start, length }
+    }
+
+    /// The exclusive end of the interval.
+    pub fn end(&self) -> Duration {
+        self.start + self.length
+    }
+
+    /// Whether the given instant falls inside the interval.
+    pub fn contains(&self, t: Duration) -> bool {
+        t >= self.start && t < self.end()
+    }
+
+    /// Whether two intervals share at least one instant.
+    pub fn intersects(&self, other: &TimeInterval) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+
+    /// Identifies which of the thirteen relations holds from `self` to
+    /// `other`.
+    pub fn relation_to(&self, other: &TimeInterval) -> TemporalRelation {
+        use std::cmp::Ordering::*;
+        let (s1, e1, s2, e2) = (self.start, self.end(), other.start, other.end());
+        match (s1.cmp(&s2), e1.cmp(&e2)) {
+            (Equal, Equal) => TemporalRelation::Equals,
+            (Equal, Less) => TemporalRelation::Starts,
+            (Equal, Greater) => TemporalRelation::StartedBy,
+            (Greater, Equal) => TemporalRelation::Finishes,
+            (Less, Equal) => TemporalRelation::FinishedBy,
+            (Less, Less) => {
+                if e1 < s2 {
+                    TemporalRelation::Before
+                } else if e1 == s2 {
+                    TemporalRelation::Meets
+                } else {
+                    TemporalRelation::Overlaps
+                }
+            }
+            (Greater, Greater) => {
+                if s1 > e2 {
+                    TemporalRelation::After
+                } else if s1 == e2 {
+                    TemporalRelation::MetBy
+                } else {
+                    TemporalRelation::OverlappedBy
+                }
+            }
+            (Less, Greater) => TemporalRelation::Contains,
+            (Greater, Less) => TemporalRelation::During,
+        }
+    }
+}
+
+/// The thirteen interval relations of Allen's algebra, named from the
+/// perspective of the first (left) object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TemporalRelation {
+    /// `a` ends strictly before `b` starts.
+    Before,
+    /// `a` starts strictly after `b` ends (inverse of [`Before`](Self::Before)).
+    After,
+    /// `a` ends exactly where `b` starts.
+    Meets,
+    /// `a` starts exactly where `b` ends.
+    MetBy,
+    /// `a` starts first and they overlap, `a` ending inside `b`.
+    Overlaps,
+    /// Inverse of [`Overlaps`](Self::Overlaps).
+    OverlappedBy,
+    /// `a` lies strictly inside `b`.
+    During,
+    /// `b` lies strictly inside `a`.
+    Contains,
+    /// Both start together, `a` ends first.
+    Starts,
+    /// Both start together, `a` ends last.
+    StartedBy,
+    /// Both end together, `a` starts last.
+    Finishes,
+    /// Both end together, `a` starts first.
+    FinishedBy,
+    /// Identical intervals — the lip-sync relation used for video+audio.
+    Equals,
+}
+
+impl TemporalRelation {
+    /// The inverse relation (`a R b` iff `b R.inverse() a`).
+    pub fn inverse(self) -> TemporalRelation {
+        use TemporalRelation::*;
+        match self {
+            Before => After,
+            After => Before,
+            Meets => MetBy,
+            MetBy => Meets,
+            Overlaps => OverlappedBy,
+            OverlappedBy => Overlaps,
+            During => Contains,
+            Contains => During,
+            Starts => StartedBy,
+            StartedBy => Starts,
+            Finishes => FinishedBy,
+            FinishedBy => Finishes,
+            Equals => Equals,
+        }
+    }
+
+    /// All thirteen relations.
+    pub fn all() -> [TemporalRelation; 13] {
+        use TemporalRelation::*;
+        [
+            Before, After, Meets, MetBy, Overlaps, OverlappedBy, During, Contains, Starts,
+            StartedBy, Finishes, FinishedBy, Equals,
+        ]
+    }
+
+    /// Whether the relation constrains the two objects to play concurrently
+    /// for at least one instant.
+    pub fn implies_overlap(self) -> bool {
+        !matches!(
+            self,
+            TemporalRelation::Before
+                | TemporalRelation::After
+                | TemporalRelation::Meets
+                | TemporalRelation::MetBy
+        )
+    }
+
+    /// Checks that the relation holds between two concrete intervals.
+    pub fn holds(self, a: &TimeInterval, b: &TimeInterval) -> bool {
+        a.relation_to(b) == self
+    }
+}
+
+impl fmt::Display for TemporalRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TemporalRelation::Before => "before",
+            TemporalRelation::After => "after",
+            TemporalRelation::Meets => "meets",
+            TemporalRelation::MetBy => "met-by",
+            TemporalRelation::Overlaps => "overlaps",
+            TemporalRelation::OverlappedBy => "overlapped-by",
+            TemporalRelation::During => "during",
+            TemporalRelation::Contains => "contains",
+            TemporalRelation::Starts => "starts",
+            TemporalRelation::StartedBy => "started-by",
+            TemporalRelation::Finishes => "finishes",
+            TemporalRelation::FinishedBy => "finished-by",
+            TemporalRelation::Equals => "equals",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Given the duration of the two objects and the relation `a R b`, computes
+/// the start offset of `b` relative to the start of `a`, when the relation
+/// pins it down exactly.
+///
+/// Relations that only constrain the offset to a range (`Before`, `After`,
+/// `Overlaps`, `OverlappedBy`, `During`, `Contains`) are resolved with the
+/// smallest non-negative gap / a centred placement, which matches how the
+/// paper's pre-orchestrated examples lay objects out. Returns `None` when the
+/// durations cannot satisfy the relation at all (e.g. `Equals` with unequal
+/// durations).
+pub fn resolve_offset(
+    dur_a: Duration,
+    relation: TemporalRelation,
+    dur_b: Duration,
+) -> Option<Duration> {
+    use TemporalRelation::*;
+    let zero = Duration::ZERO;
+    match relation {
+        Equals => (dur_a == dur_b).then_some(zero),
+        Starts => (dur_a < dur_b).then_some(zero),
+        StartedBy => (dur_a > dur_b).then_some(zero),
+        Finishes => None, // caller should express as `b finished-by a`
+        FinishedBy => (dur_a > dur_b).then(|| dur_a - dur_b),
+        Meets => Some(dur_a),
+        MetBy => None, // caller should express as `b meets a`
+        Before => Some(dur_a + Duration::from_millis(1)),
+        After => None, // caller should express as `b before a`
+        Overlaps => {
+            // Need 0 < offset < dur_a and offset + dur_b > dur_a.
+            if dur_a == zero || dur_b == zero {
+                return None;
+            }
+            let offset = dur_a - dur_a.min(dur_b) / 2;
+            (offset > zero && offset < dur_a && offset + dur_b > dur_a).then_some(offset)
+        }
+        OverlappedBy => None,
+        During => None, // caller should express as `b contains a`
+        Contains => {
+            // Need 0 < offset and offset + dur_b < dur_a.
+            if dur_a <= dur_b {
+                return None;
+            }
+            let offset = (dur_a - dur_b) / 2;
+            (offset > zero && offset + dur_b < dur_a).then_some(offset)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(start_ms: u64, len_ms: u64) -> TimeInterval {
+        TimeInterval::new(Duration::from_millis(start_ms), Duration::from_millis(len_ms))
+    }
+
+    #[test]
+    fn classify_all_thirteen_relations() {
+        use TemporalRelation::*;
+        assert_eq!(iv(0, 10).relation_to(&iv(20, 10)), Before);
+        assert_eq!(iv(20, 10).relation_to(&iv(0, 10)), After);
+        assert_eq!(iv(0, 10).relation_to(&iv(10, 10)), Meets);
+        assert_eq!(iv(10, 10).relation_to(&iv(0, 10)), MetBy);
+        assert_eq!(iv(0, 10).relation_to(&iv(5, 10)), Overlaps);
+        assert_eq!(iv(5, 10).relation_to(&iv(0, 10)), OverlappedBy);
+        assert_eq!(iv(5, 5).relation_to(&iv(0, 20)), During);
+        assert_eq!(iv(0, 20).relation_to(&iv(5, 5)), Contains);
+        assert_eq!(iv(0, 5).relation_to(&iv(0, 10)), Starts);
+        assert_eq!(iv(0, 10).relation_to(&iv(0, 5)), StartedBy);
+        assert_eq!(iv(5, 5).relation_to(&iv(0, 10)), Finishes);
+        assert_eq!(iv(0, 10).relation_to(&iv(5, 5)), FinishedBy);
+        assert_eq!(iv(3, 7).relation_to(&iv(3, 7)), Equals);
+    }
+
+    #[test]
+    fn inverse_is_an_involution_and_consistent_with_classification() {
+        for r in TemporalRelation::all() {
+            assert_eq!(r.inverse().inverse(), r);
+        }
+        let a = iv(0, 10);
+        let b = iv(5, 10);
+        assert_eq!(a.relation_to(&b).inverse(), b.relation_to(&a));
+    }
+
+    #[test]
+    fn interval_queries() {
+        let a = iv(10, 5);
+        assert_eq!(a.end(), Duration::from_millis(15));
+        assert!(a.contains(Duration::from_millis(10)));
+        assert!(a.contains(Duration::from_millis(14)));
+        assert!(!a.contains(Duration::from_millis(15)));
+        assert!(a.intersects(&iv(14, 10)));
+        assert!(!a.intersects(&iv(15, 10)));
+    }
+
+    #[test]
+    fn implies_overlap_matches_intersection() {
+        // For every pair of intervals, relation.implies_overlap() must agree
+        // with geometric intersection.
+        let samples = [iv(0, 10), iv(0, 5), iv(5, 5), iv(3, 3), iv(10, 4), iv(12, 2)];
+        for a in &samples {
+            for b in &samples {
+                let rel = a.relation_to(b);
+                assert_eq!(
+                    rel.implies_overlap(),
+                    a.intersects(b),
+                    "relation {rel} between {a:?} and {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn holds_checks_concrete_intervals() {
+        assert!(TemporalRelation::Meets.holds(&iv(0, 10), &iv(10, 5)));
+        assert!(!TemporalRelation::Meets.holds(&iv(0, 10), &iv(11, 5)));
+    }
+
+    #[test]
+    fn resolve_offset_pins_down_exact_relations() {
+        let d10 = Duration::from_millis(10);
+        let d20 = Duration::from_millis(20);
+        assert_eq!(resolve_offset(d10, TemporalRelation::Equals, d10), Some(Duration::ZERO));
+        assert_eq!(resolve_offset(d10, TemporalRelation::Equals, d20), None);
+        assert_eq!(resolve_offset(d10, TemporalRelation::Meets, d20), Some(d10));
+        assert_eq!(resolve_offset(d10, TemporalRelation::Starts, d20), Some(Duration::ZERO));
+        assert_eq!(resolve_offset(d20, TemporalRelation::StartedBy, d10), Some(Duration::ZERO));
+        assert_eq!(
+            resolve_offset(d20, TemporalRelation::FinishedBy, d10),
+            Some(Duration::from_millis(10))
+        );
+        assert_eq!(
+            resolve_offset(d20, TemporalRelation::Contains, d10),
+            Some(Duration::from_millis(5))
+        );
+        assert_eq!(resolve_offset(d10, TemporalRelation::Contains, d20), None);
+        assert!(resolve_offset(d10, TemporalRelation::Before, d20).unwrap() > d10);
+    }
+
+    #[test]
+    fn display_names_are_unique() {
+        use std::collections::HashSet;
+        let names: HashSet<String> = TemporalRelation::all().iter().map(|r| r.to_string()).collect();
+        assert_eq!(names.len(), 13);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = TemporalRelation::Overlaps;
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TemporalRelation = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+        let i = iv(3, 9);
+        let json = serde_json::to_string(&i).unwrap();
+        let back: TimeInterval = serde_json::from_str(&json).unwrap();
+        assert_eq!(i, back);
+    }
+}

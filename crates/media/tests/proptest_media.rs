@@ -1,0 +1,128 @@
+//! Property-based tests for the media model: interval relations and the
+//! timeline solver.
+
+use std::time::Duration;
+
+use dmps_media::temporal::{resolve_offset, TemporalRelation, TimeInterval};
+use dmps_media::{MediaKind, MediaObject, PresentationDocument};
+use proptest::prelude::*;
+
+fn arb_interval() -> impl Strategy<Value = TimeInterval> {
+    (0u64..10_000, 1u64..10_000).prop_map(|(start, len)| {
+        TimeInterval::new(Duration::from_millis(start), Duration::from_millis(len))
+    })
+}
+
+proptest! {
+    /// Exactly one of the thirteen relations holds between any two intervals,
+    /// and the inverse relation holds in the other direction.
+    #[test]
+    fn relation_classification_is_total_and_invertible(a in arb_interval(), b in arb_interval()) {
+        let r = a.relation_to(&b);
+        prop_assert!(r.holds(&a, &b));
+        prop_assert!(r.inverse().holds(&b, &a));
+        // No other relation may hold.
+        for other in TemporalRelation::all() {
+            if other != r {
+                prop_assert!(!other.holds(&a, &b));
+            }
+        }
+    }
+
+    /// `implies_overlap` agrees with geometric intersection.
+    #[test]
+    fn overlap_agrees_with_intersection(a in arb_interval(), b in arb_interval()) {
+        prop_assert_eq!(a.relation_to(&b).implies_overlap(), a.intersects(&b));
+    }
+
+    /// When `resolve_offset` produces an offset for durations (da, R, db),
+    /// placing `b` at that offset really does satisfy the relation.
+    #[test]
+    fn resolved_offsets_satisfy_the_relation(
+        da_ms in 1u64..5_000,
+        db_ms in 1u64..5_000,
+        rel_idx in 0usize..13,
+    ) {
+        let rel = TemporalRelation::all()[rel_idx];
+        let da = Duration::from_millis(da_ms);
+        let db = Duration::from_millis(db_ms);
+        if let Some(offset) = resolve_offset(da, rel, db) {
+            let a = TimeInterval::new(Duration::ZERO, da);
+            let b = TimeInterval::new(offset, db);
+            prop_assert_eq!(a.relation_to(&b), rel,
+                "offset {:?} for {} between {}ms and {}ms", offset, rel, da_ms, db_ms);
+        }
+    }
+
+    /// A chain of `Meets` relations always solves, the total duration equals
+    /// the sum of the parts, and every declared relation holds on the solved
+    /// timeline.
+    #[test]
+    fn meets_chains_always_solve(durations in proptest::collection::vec(1u64..300, 1..12)) {
+        let mut doc = PresentationDocument::new("chain");
+        let ids: Vec<_> = durations
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| doc.add_object(MediaObject::new(
+                format!("seg{i}"), MediaKind::Slide, Duration::from_millis(d))))
+            .collect();
+        for pair in ids.windows(2) {
+            doc.relate(pair[0], TemporalRelation::Meets, pair[1]).unwrap();
+        }
+        let tl = doc.timeline().unwrap();
+        let total: u64 = durations.iter().sum();
+        prop_assert_eq!(tl.total_duration(), Duration::from_millis(total));
+        for (i, pair) in ids.windows(2).enumerate() {
+            let a = tl.interval(pair[0]).unwrap();
+            let b = tl.interval(pair[1]).unwrap();
+            prop_assert_eq!(a.relation_to(&b), TemporalRelation::Meets, "segment {}", i);
+        }
+    }
+
+    /// Synchronous sets cover every object exactly when objects are active at
+    /// some instant, and objects inside one set pairwise intersect.
+    #[test]
+    fn synchronous_sets_members_pairwise_intersect(durations in proptest::collection::vec(1u64..200, 2..8)) {
+        let mut doc = PresentationDocument::new("sync");
+        let ids: Vec<_> = durations
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| doc.add_object(MediaObject::new(
+                format!("o{i}"), MediaKind::Audio, Duration::from_millis(d))))
+            .collect();
+        // Alternate: even objects start together; odd objects follow the previous even one.
+        for pair in ids.windows(2) {
+            doc.relate(pair[0], TemporalRelation::Meets, pair[1]).unwrap();
+        }
+        let tl = doc.timeline().unwrap();
+        let sets = doc.synchronous_sets().unwrap();
+        for set in &sets {
+            for x in set {
+                for y in set {
+                    if x != y {
+                        let ix = tl.interval(*x).unwrap();
+                        let iy = tl.interval(*y).unwrap();
+                        prop_assert!(ix.intersects(&iy));
+                    }
+                }
+            }
+        }
+        // Every object appears in at least one set (every object is active at
+        // its own start instant).
+        for id in &ids {
+            prop_assert!(sets.iter().any(|s| s.contains(id)));
+        }
+    }
+
+    /// Documents round-trip through serde JSON.
+    #[test]
+    fn document_serde_roundtrip(durations in proptest::collection::vec(1u64..100, 1..5)) {
+        let mut doc = PresentationDocument::new("roundtrip");
+        for (i, &d) in durations.iter().enumerate() {
+            doc.add_object(MediaObject::new(format!("o{i}"), MediaKind::Video, Duration::from_millis(d)));
+        }
+        let json = serde_json::to_string(&doc).unwrap();
+        let back: PresentationDocument = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(doc, back);
+    }
+}

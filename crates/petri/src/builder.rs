@@ -1,0 +1,216 @@
+//! Ergonomic construction of [`PetriNet`] values.
+
+use crate::error::Result;
+use crate::net::{Arc, PetriNet, Place, PlaceId, Transition, TransitionId};
+
+/// A non-consuming builder for [`PetriNet`].
+///
+/// Places and transitions are registered first and identified by the returned
+/// ids; arcs are added afterwards. Validation (duplicate names, dangling ids,
+/// zero weights) happens in [`NetBuilder::build`].
+///
+/// # Example
+///
+/// ```
+/// use dmps_petri::NetBuilder;
+///
+/// let mut b = NetBuilder::new("handshake");
+/// let ready = b.place("ready");
+/// let done = b.place("done");
+/// let ack = b.transition("ack");
+/// b.arc_in(ready, ack, 1);
+/// b.arc_out(ack, done, 1);
+/// let net = b.build().expect("valid net");
+/// assert_eq!(net.place_count(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NetBuilder {
+    name: String,
+    places: Vec<Place>,
+    transitions: Vec<Transition>,
+    inputs: Vec<Vec<Arc>>,
+    outputs: Vec<Vec<Arc>>,
+}
+
+impl NetBuilder {
+    /// Creates a builder for a net with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds an unbounded place and returns its identifier.
+    pub fn place(&mut self, name: impl Into<String>) -> PlaceId {
+        self.places.push(Place {
+            name: name.into(),
+            capacity: None,
+        });
+        PlaceId(self.places.len() - 1)
+    }
+
+    /// Adds a place with a token capacity and returns its identifier.
+    pub fn place_with_capacity(&mut self, name: impl Into<String>, capacity: u64) -> PlaceId {
+        self.places.push(Place {
+            name: name.into(),
+            capacity: Some(capacity),
+        });
+        PlaceId(self.places.len() - 1)
+    }
+
+    /// Adds a transition and returns its identifier.
+    pub fn transition(&mut self, name: impl Into<String>) -> TransitionId {
+        self.transitions.push(Transition { name: name.into() });
+        self.inputs.push(Vec::new());
+        self.outputs.push(Vec::new());
+        TransitionId(self.transitions.len() - 1)
+    }
+
+    /// Adds an input arc `place -> transition` with the given weight.
+    pub fn arc_in(&mut self, place: PlaceId, transition: TransitionId, weight: u64) -> &mut Self {
+        self.inputs[transition.0].push(Arc { place, weight });
+        self
+    }
+
+    /// Adds an output arc `transition -> place` with the given weight.
+    pub fn arc_out(&mut self, transition: TransitionId, place: PlaceId, weight: u64) -> &mut Self {
+        self.outputs[transition.0].push(Arc { place, weight });
+        self
+    }
+
+    /// Adds a self-loop: `place -> transition -> place` with weight 1 in both
+    /// directions. Used to model read-only conditions (such as the global
+    /// clock tick place of the DOCPN model) that enable a transition without
+    /// being consumed.
+    pub fn read_arc(&mut self, place: PlaceId, transition: TransitionId) -> &mut Self {
+        self.arc_in(place, transition, 1);
+        self.arc_out(transition, place, 1);
+        self
+    }
+
+    /// Number of places added so far.
+    pub fn place_count(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of transitions added so far.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Validates and produces the immutable net.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::NetError`] when the net is empty, names collide,
+    /// an arc references a missing node, or an arc has zero weight.
+    pub fn build(&self) -> Result<PetriNet> {
+        PetriNet::from_parts(
+            self.name.clone(),
+            self.places.clone(),
+            self.transitions.clone(),
+            self.inputs.clone(),
+            self.outputs.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::NetError;
+
+    #[test]
+    fn builds_a_valid_net() {
+        let mut b = NetBuilder::new("n");
+        let p = b.place("p");
+        let t = b.transition("t");
+        b.arc_in(p, t, 1);
+        let net = b.build().unwrap();
+        assert_eq!(net.name(), "n");
+        assert_eq!(net.place_count(), 1);
+        assert_eq!(net.transition_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_place_names_rejected() {
+        let mut b = NetBuilder::new("dup");
+        b.place("x");
+        b.place("x");
+        b.transition("t");
+        assert_eq!(b.build().unwrap_err(), NetError::DuplicateName("x".into()));
+    }
+
+    #[test]
+    fn duplicate_transition_names_rejected() {
+        let mut b = NetBuilder::new("dup");
+        b.place("p");
+        b.transition("t");
+        b.transition("t");
+        assert_eq!(b.build().unwrap_err(), NetError::DuplicateName("t".into()));
+    }
+
+    #[test]
+    fn empty_net_rejected() {
+        let b = NetBuilder::new("empty");
+        assert_eq!(b.build().unwrap_err(), NetError::EmptyNet);
+        let mut only_places = NetBuilder::new("p-only");
+        only_places.place("p");
+        assert_eq!(only_places.build().unwrap_err(), NetError::EmptyNet);
+    }
+
+    #[test]
+    fn zero_weight_arc_rejected() {
+        let mut b = NetBuilder::new("zero");
+        let p = b.place("p");
+        let t = b.transition("t");
+        b.arc_in(p, t, 0);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            NetError::ZeroWeightArc { .. }
+        ));
+    }
+
+    #[test]
+    fn read_arc_preserves_tokens() {
+        use crate::marking::Marking;
+        let mut b = NetBuilder::new("read");
+        let clock = b.place("clock");
+        let out = b.place("out");
+        let t = b.transition("tick-gated");
+        b.read_arc(clock, t);
+        b.arc_out(t, out, 1);
+        let net = b.build().unwrap();
+        let m = Marking::from_pairs(net.place_count(), &[(clock, 1)]);
+        let m2 = net.fire(&m, t).unwrap();
+        assert_eq!(m2.tokens(clock), 1, "read arc must not consume the token");
+        assert_eq!(m2.tokens(out), 1);
+    }
+
+    #[test]
+    fn builder_counts_track_additions() {
+        let mut b = NetBuilder::new("counts");
+        assert_eq!(b.place_count(), 0);
+        b.place("a");
+        b.place_with_capacity("b", 4);
+        b.transition("t");
+        assert_eq!(b.place_count(), 2);
+        assert_eq!(b.transition_count(), 1);
+    }
+
+    #[test]
+    fn builder_is_reusable_after_build() {
+        let mut b = NetBuilder::new("reuse");
+        let p = b.place("p");
+        let t = b.transition("t");
+        b.arc_in(p, t, 1);
+        let first = b.build().unwrap();
+        // Extend the builder and build again; the first net is unaffected.
+        let q = b.place("q");
+        b.arc_out(t, q, 1);
+        let second = b.build().unwrap();
+        assert_eq!(first.place_count(), 1);
+        assert_eq!(second.place_count(), 2);
+    }
+}

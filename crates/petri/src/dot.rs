@@ -1,0 +1,146 @@
+//! Graphviz DOT export of Petri nets, used to regenerate Figure 1 of the
+//! paper (the overview DOCPN of a distributed multimedia presentation).
+
+use std::fmt::Write as _;
+
+use crate::marking::Marking;
+use crate::net::PetriNet;
+
+/// Options controlling [`to_dot`] output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DotOptions {
+    /// Graph title rendered as a label.
+    pub title: Option<String>,
+    /// Render left-to-right instead of top-to-bottom.
+    pub horizontal: bool,
+    /// Show token counts of this marking inside the places.
+    pub marking: Option<Marking>,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            title: None,
+            horizontal: true,
+            marking: None,
+        }
+    }
+}
+
+/// Renders a net as a Graphviz `digraph`. Places are ellipses, transitions are
+/// boxes, arc weights greater than one are shown as edge labels.
+pub fn to_dot(net: &PetriNet, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(net.name()));
+    if options.horizontal {
+        let _ = writeln!(out, "  rankdir=LR;");
+    }
+    if let Some(title) = &options.title {
+        let _ = writeln!(out, "  label=\"{}\";", escape(title));
+        let _ = writeln!(out, "  labelloc=top;");
+    }
+    for p in net.places() {
+        let place = net.place(p).expect("iterating net's own places");
+        let tokens = options
+            .marking
+            .as_ref()
+            .map(|m| m.tokens(p))
+            .unwrap_or(0);
+        let token_suffix = if tokens > 0 {
+            format!("\\n({tokens})")
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "  \"{p}\" [shape=ellipse, label=\"{}{}\"];",
+            escape(&place.name),
+            token_suffix
+        );
+    }
+    for t in net.transitions() {
+        let tr = net.transition(t).expect("iterating net's own transitions");
+        let _ = writeln!(
+            out,
+            "  \"{t}\" [shape=box, style=filled, fillcolor=lightgray, label=\"{}\"];",
+            escape(&tr.name)
+        );
+    }
+    for t in net.transitions() {
+        for arc in net.input_arcs(t) {
+            let label = if arc.weight > 1 {
+                format!(" [label=\"{}\"]", arc.weight)
+            } else {
+                String::new()
+            };
+            let _ = writeln!(out, "  \"{}\" -> \"{t}\"{label};", arc.place);
+        }
+        for arc in net.output_arcs(t) {
+            let label = if arc.weight > 1 {
+                format!(" [label=\"{}\"]", arc.weight)
+            } else {
+                String::new()
+            };
+            let _ = writeln!(out, "  \"{t}\" -> \"{}\"{label};", arc.place);
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetBuilder;
+
+    fn tiny() -> PetriNet {
+        let mut b = NetBuilder::new("tiny \"net\"");
+        let p = b.place("video ready");
+        let q = b.place("played");
+        let t = b.transition("play");
+        b.arc_in(p, t, 2);
+        b.arc_out(t, q, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let net = tiny();
+        let dot = to_dot(&net, &DotOptions::default());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("video ready"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=ellipse"));
+        assert!(dot.contains("\"p0\" -> \"t0\" [label=\"2\"];"));
+        assert!(dot.contains("\"t0\" -> \"p1\";"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let net = tiny();
+        let dot = to_dot(&net, &DotOptions::default());
+        assert!(dot.contains("tiny \\\"net\\\""));
+    }
+
+    #[test]
+    fn dot_renders_marking_and_title() {
+        let net = tiny();
+        let m = Marking::from_pairs(net.place_count(), &[(net.place_by_name("video ready").unwrap(), 3)]);
+        let dot = to_dot(
+            &net,
+            &DotOptions {
+                title: Some("Figure 1".into()),
+                horizontal: false,
+                marking: Some(m),
+            },
+        );
+        assert!(dot.contains("label=\"Figure 1\""));
+        assert!(dot.contains("(3)"));
+        assert!(!dot.contains("rankdir=LR"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Error types for Petri net construction and execution.
+
+use std::fmt;
+
+use crate::net::{PlaceId, TransitionId};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NetError>;
+
+/// Errors produced while building, analysing, or executing a Petri net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A place identifier referred to a place that does not exist in the net.
+    UnknownPlace(PlaceId),
+    /// A transition identifier referred to a transition that does not exist.
+    UnknownTransition(TransitionId),
+    /// An arc was declared with weight zero, which is meaningless.
+    ZeroWeightArc {
+        /// The place side of the offending arc.
+        place: PlaceId,
+        /// The transition side of the offending arc.
+        transition: TransitionId,
+    },
+    /// Two places or two transitions share the same name within one net.
+    DuplicateName(String),
+    /// A transition was fired while not enabled in the given marking.
+    NotEnabled(TransitionId),
+    /// A marking has a different number of places than the net it is used with.
+    MarkingSizeMismatch {
+        /// Number of places in the net.
+        expected: usize,
+        /// Number of places in the supplied marking.
+        actual: usize,
+    },
+    /// A place capacity would be exceeded by firing a transition.
+    CapacityExceeded {
+        /// The place whose capacity would be exceeded.
+        place: PlaceId,
+        /// The declared capacity.
+        capacity: u64,
+        /// The token count that the firing would have produced.
+        attempted: u64,
+    },
+    /// A state-space exploration exceeded its configured limits.
+    ExplorationLimit {
+        /// Number of states explored before giving up.
+        states: usize,
+    },
+    /// The net is structurally empty (no places or no transitions) where a
+    /// non-empty net is required.
+    EmptyNet,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownPlace(p) => write!(f, "unknown place {p}"),
+            NetError::UnknownTransition(t) => write!(f, "unknown transition {t}"),
+            NetError::ZeroWeightArc { place, transition } => {
+                write!(f, "arc between {place} and {transition} has zero weight")
+            }
+            NetError::DuplicateName(name) => write!(f, "duplicate node name `{name}`"),
+            NetError::NotEnabled(t) => write!(f, "transition {t} is not enabled"),
+            NetError::MarkingSizeMismatch { expected, actual } => write!(
+                f,
+                "marking has {actual} places but the net has {expected}"
+            ),
+            NetError::CapacityExceeded {
+                place,
+                capacity,
+                attempted,
+            } => write!(
+                f,
+                "place {place} capacity {capacity} exceeded (attempted {attempted})"
+            ),
+            NetError::ExplorationLimit { states } => {
+                write!(f, "state-space exploration limit reached after {states} states")
+            }
+            NetError::EmptyNet => write!(f, "net has no places or no transitions"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors: Vec<NetError> = vec![
+            NetError::UnknownPlace(PlaceId(3)),
+            NetError::UnknownTransition(TransitionId(1)),
+            NetError::ZeroWeightArc {
+                place: PlaceId(0),
+                transition: TransitionId(0),
+            },
+            NetError::DuplicateName("video".into()),
+            NetError::NotEnabled(TransitionId(7)),
+            NetError::MarkingSizeMismatch {
+                expected: 4,
+                actual: 2,
+            },
+            NetError::CapacityExceeded {
+                place: PlaceId(2),
+                capacity: 1,
+                attempted: 2,
+            },
+            NetError::ExplorationLimit { states: 100 },
+            NetError::EmptyNet,
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("arc"));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetError>();
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            NetError::UnknownPlace(PlaceId(1)),
+            NetError::UnknownPlace(PlaceId(1))
+        );
+        assert_ne!(
+            NetError::UnknownPlace(PlaceId(1)),
+            NetError::UnknownPlace(PlaceId(2))
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Firing sequences: recorded executions of a net.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+use crate::marking::Marking;
+use crate::net::{PetriNet, TransitionId};
+
+/// One step of a firing sequence: the transition fired and the marking
+/// reached afterwards.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FiringStep {
+    /// The transition that fired.
+    pub transition: TransitionId,
+    /// The marking after the firing.
+    pub marking: Marking,
+}
+
+/// A recorded execution `M0 [t1> M1 [t2> ... [tn> Mn` of a net.
+///
+/// Firing sequences are the raw material of the DOCPN scheduler: the
+/// synchronization schedule of a presentation is a timed firing sequence of
+/// the compiled net.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FiringSequence {
+    initial: Marking,
+    steps: Vec<FiringStep>,
+}
+
+impl FiringSequence {
+    /// Starts an empty sequence at the given initial marking.
+    pub fn new(initial: Marking) -> Self {
+        FiringSequence {
+            initial,
+            steps: Vec::new(),
+        }
+    }
+
+    /// The initial marking `M0`.
+    pub fn initial(&self) -> &Marking {
+        &self.initial
+    }
+
+    /// The marking reached after the last recorded firing (or the initial
+    /// marking when no step has been recorded).
+    pub fn current(&self) -> &Marking {
+        self.steps
+            .last()
+            .map(|s| &s.marking)
+            .unwrap_or(&self.initial)
+    }
+
+    /// The recorded steps in firing order.
+    pub fn steps(&self) -> &[FiringStep] {
+        &self.steps
+    }
+
+    /// Number of firings recorded.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` when no firing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Fires `t` in the net from the current marking and records the step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::NetError::NotEnabled`] (and marking-shape errors)
+    /// from [`PetriNet::fire`]; the sequence is left unchanged on error.
+    pub fn fire(&mut self, net: &PetriNet, t: TransitionId) -> Result<&Marking> {
+        let next = net.fire(self.current(), t)?;
+        self.steps.push(FiringStep {
+            transition: t,
+            marking: next,
+        });
+        Ok(&self.steps.last().expect("step just pushed").marking)
+    }
+
+    /// Replays the sequence against a net, verifying every step is a legal
+    /// firing. Returns the final marking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first firing error encountered during the replay.
+    pub fn replay(&self, net: &PetriNet) -> Result<Marking> {
+        let mut m = self.initial.clone();
+        for step in &self.steps {
+            m = net.fire(&m, step.transition)?;
+            debug_assert_eq!(m, step.marking, "recorded marking must match replay");
+        }
+        Ok(m)
+    }
+
+    /// The transitions fired, in order.
+    pub fn word(&self) -> Vec<TransitionId> {
+        self.steps.iter().map(|s| s.transition).collect()
+    }
+
+    /// Counts how many times each transition index fired.
+    pub fn firing_counts(&self, transition_count: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; transition_count];
+        for step in &self.steps {
+            if step.transition.0 < transition_count {
+                counts[step.transition.0] += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetBuilder;
+    use crate::net::PlaceId;
+
+    fn cycle_net() -> (PetriNet, PlaceId, PlaceId, TransitionId, TransitionId) {
+        let mut b = NetBuilder::new("cycle");
+        let a = b.place("a");
+        let c = b.place("c");
+        let fwd = b.transition("fwd");
+        let back = b.transition("back");
+        b.arc_in(a, fwd, 1);
+        b.arc_out(fwd, c, 1);
+        b.arc_in(c, back, 1);
+        b.arc_out(back, a, 1);
+        (b.build().unwrap(), a, c, fwd, back)
+    }
+
+    #[test]
+    fn sequence_records_and_replays() {
+        let (net, a, c, fwd, back) = cycle_net();
+        let m0 = Marking::from_pairs(net.place_count(), &[(a, 1)]);
+        let mut seq = FiringSequence::new(m0.clone());
+        assert!(seq.is_empty());
+        seq.fire(&net, fwd).unwrap();
+        seq.fire(&net, back).unwrap();
+        seq.fire(&net, fwd).unwrap();
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq.word(), vec![fwd, back, fwd]);
+        assert_eq!(seq.current().tokens(c), 1);
+        assert_eq!(seq.current().tokens(a), 0);
+        let final_marking = seq.replay(&net).unwrap();
+        assert_eq!(&final_marking, seq.current());
+        assert_eq!(seq.initial(), &m0);
+    }
+
+    #[test]
+    fn failed_fire_leaves_sequence_unchanged() {
+        let (net, a, _c, _fwd, back) = cycle_net();
+        let m0 = Marking::from_pairs(net.place_count(), &[(a, 1)]);
+        let mut seq = FiringSequence::new(m0);
+        assert!(seq.fire(&net, back).is_err());
+        assert!(seq.is_empty());
+    }
+
+    #[test]
+    fn firing_counts_tally_transitions() {
+        let (net, a, _c, fwd, back) = cycle_net();
+        let m0 = Marking::from_pairs(net.place_count(), &[(a, 1)]);
+        let mut seq = FiringSequence::new(m0);
+        for _ in 0..3 {
+            seq.fire(&net, fwd).unwrap();
+            seq.fire(&net, back).unwrap();
+        }
+        assert_eq!(seq.firing_counts(net.transition_count()), vec![3, 3]);
+    }
+}

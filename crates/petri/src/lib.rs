@@ -1,0 +1,59 @@
+//! # dmps-petri
+//!
+//! Place/transition Petri net substrate used by the DMPS reproduction of
+//! *"Using the Floor Control Mechanism in Distributed Multimedia Presentation
+//! System"* (Shih et al., ICDCS 2001 Workshops).
+//!
+//! The paper builds its presentation model (DOCPN) as an extension of the
+//! classical Petri net `C = (P, T, I, O)` of Peterson/Murata. This crate
+//! provides that classical substrate:
+//!
+//! * [`PetriNet`] — the structure `(P, T, I, O)` with weighted arcs and
+//!   optional place capacities,
+//! * [`Marking`] — token distributions and the firing rule,
+//! * [`NetBuilder`] — an ergonomic way to assemble nets,
+//! * [`reachability`] — explicit reachability-graph construction and the
+//!   Karp–Miller coverability tree,
+//! * [`analysis`] — incidence matrix, P/T-invariants, structural and
+//!   behavioural boundedness, liveness, conservation and deadlock checks,
+//! * [`dot`] — Graphviz export used to regenerate Figure 1 of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use dmps_petri::{NetBuilder, Marking};
+//!
+//! // A tiny producer/consumer net.
+//! let mut b = NetBuilder::new("producer-consumer");
+//! let buffer = b.place("buffer");
+//! let produce = b.transition("produce");
+//! let consume = b.transition("consume");
+//! b.arc_out(produce, buffer, 1);
+//! b.arc_in(buffer, consume, 1);
+//! let net = b.build().expect("valid net");
+//!
+//! let m0 = Marking::empty(net.place_count());
+//! assert!(net.enabled(&m0, produce));
+//! assert!(!net.enabled(&m0, consume));
+//! let m1 = net.fire(&m0, produce).expect("produce is enabled");
+//! assert!(net.enabled(&m1, consume));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod builder;
+pub mod dot;
+pub mod error;
+pub mod firing;
+pub mod marking;
+pub mod net;
+pub mod reachability;
+
+pub use builder::NetBuilder;
+pub use error::{NetError, Result};
+pub use firing::{FiringSequence, FiringStep};
+pub use marking::Marking;
+pub use net::{Arc, PetriNet, Place, PlaceId, Transition, TransitionId};
+pub use reachability::{CoverabilityTree, ReachabilityGraph, ReachabilityLimits};

@@ -1,0 +1,271 @@
+//! Token distributions over the places of a net.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{NetError, Result};
+use crate::net::PlaceId;
+
+/// A marking `M : P -> N` assigning a token count to every place.
+///
+/// Markings are dense vectors indexed by [`PlaceId`]; they are intentionally
+/// decoupled from any particular [`crate::PetriNet`] so that schedulers and
+/// reachability analyses can store millions of them compactly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct Marking(Vec<u64>);
+
+impl Marking {
+    /// Creates a marking of `places` places, all empty.
+    pub fn empty(places: usize) -> Self {
+        Marking(vec![0; places])
+    }
+
+    /// Creates a marking from an explicit token vector.
+    pub fn new(tokens: Vec<u64>) -> Self {
+        Marking(tokens)
+    }
+
+    /// Creates a marking of `places` places with the given `(place, tokens)`
+    /// pairs set and every other place empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pair refers to a place index `>= places`.
+    pub fn from_pairs(places: usize, pairs: &[(PlaceId, u64)]) -> Self {
+        let mut m = Marking::empty(places);
+        for &(p, n) in pairs {
+            assert!(p.0 < places, "place {p} out of range for {places} places");
+            m.0[p.0] = n;
+        }
+        m
+    }
+
+    /// Number of places covered by this marking.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` when the marking covers zero places.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Tokens currently in place `p` (zero when out of range).
+    pub fn tokens(&self, p: PlaceId) -> u64 {
+        self.0.get(p.0).copied().unwrap_or(0)
+    }
+
+    /// Sets the token count of place `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn set_tokens(&mut self, p: PlaceId, n: u64) {
+        self.0[p.0] = n;
+    }
+
+    /// Adds `n` tokens to place `p`, saturating at `u64::MAX`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn add_tokens(&mut self, p: PlaceId, n: u64) {
+        self.0[p.0] = self.0[p.0].saturating_add(n);
+    }
+
+    /// Removes `n` tokens from place `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NotEnabled`]-adjacent failure as
+    /// [`NetError::UnknownPlace`] if `p` is out of range, or an error when
+    /// the place holds fewer than `n` tokens.
+    pub fn remove_tokens(&mut self, p: PlaceId, n: u64) -> Result<()> {
+        let slot = self.0.get_mut(p.0).ok_or(NetError::UnknownPlace(p))?;
+        if *slot < n {
+            return Err(NetError::CapacityExceeded {
+                place: p,
+                capacity: *slot,
+                attempted: n,
+            });
+        }
+        *slot -= n;
+        Ok(())
+    }
+
+    /// Total number of tokens in the marking.
+    pub fn total_tokens(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Returns `true` when every component of `self` is `>=` the matching
+    /// component of `other` (the covering relation used by the Karp–Miller
+    /// coverability construction).
+    pub fn covers(&self, other: &Marking) -> bool {
+        self.0.len() == other.0.len()
+            && self.0.iter().zip(other.0.iter()).all(|(a, b)| a >= b)
+    }
+
+    /// Returns the places where `self` strictly exceeds `other`.
+    pub fn strictly_greater_places(&self, other: &Marking) -> Vec<PlaceId> {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .enumerate()
+            .filter(|(_, (a, b))| a > b)
+            .map(|(i, _)| PlaceId(i))
+            .collect()
+    }
+
+    /// Immutable view of the raw token vector.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Consumes the marking and returns the raw token vector.
+    pub fn into_vec(self) -> Vec<u64> {
+        self.0
+    }
+
+    /// Iterates over `(PlaceId, tokens)` pairs for non-empty places.
+    pub fn iter_nonempty(&self) -> impl Iterator<Item = (PlaceId, u64)> + '_ {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (PlaceId(i), n))
+    }
+}
+
+impl fmt::Display for Marking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut first = true;
+        for (p, n) in self.iter_nonempty() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}:{n}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "empty")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<u64> for Marking {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        Marking(iter.into_iter().collect())
+    }
+}
+
+impl From<Vec<u64>> for Marking {
+    fn from(v: Vec<u64>) -> Self {
+        Marking(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_marking_has_no_tokens() {
+        let m = Marking::empty(5);
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.total_tokens(), 0);
+        assert!(!m.is_empty());
+        assert!(Marking::empty(0).is_empty());
+    }
+
+    #[test]
+    fn from_pairs_sets_only_given_places() {
+        let m = Marking::from_pairs(4, &[(PlaceId(1), 3), (PlaceId(3), 1)]);
+        assert_eq!(m.tokens(PlaceId(0)), 0);
+        assert_eq!(m.tokens(PlaceId(1)), 3);
+        assert_eq!(m.tokens(PlaceId(2)), 0);
+        assert_eq!(m.tokens(PlaceId(3)), 1);
+        assert_eq!(m.total_tokens(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_pairs_panics_out_of_range() {
+        let _ = Marking::from_pairs(2, &[(PlaceId(5), 1)]);
+    }
+
+    #[test]
+    fn add_remove_tokens() {
+        let mut m = Marking::empty(2);
+        m.add_tokens(PlaceId(0), 2);
+        assert_eq!(m.tokens(PlaceId(0)), 2);
+        m.remove_tokens(PlaceId(0), 1).unwrap();
+        assert_eq!(m.tokens(PlaceId(0)), 1);
+        assert!(m.remove_tokens(PlaceId(0), 5).is_err());
+        assert!(m.remove_tokens(PlaceId(9), 1).is_err());
+    }
+
+    #[test]
+    fn add_saturates() {
+        let mut m = Marking::empty(1);
+        m.add_tokens(PlaceId(0), u64::MAX);
+        m.add_tokens(PlaceId(0), 10);
+        assert_eq!(m.tokens(PlaceId(0)), u64::MAX);
+    }
+
+    #[test]
+    fn covering_relation() {
+        let a = Marking::new(vec![2, 1, 0]);
+        let b = Marking::new(vec![1, 1, 0]);
+        assert!(a.covers(&b));
+        assert!(!b.covers(&a));
+        assert!(a.covers(&a));
+        assert_eq!(a.strictly_greater_places(&b), vec![PlaceId(0)]);
+        // Different lengths never cover each other.
+        assert!(!a.covers(&Marking::new(vec![0, 0])));
+    }
+
+    #[test]
+    fn display_formats_nonempty_places() {
+        let m = Marking::from_pairs(3, &[(PlaceId(2), 4)]);
+        assert_eq!(m.to_string(), "[p2:4]");
+        assert_eq!(Marking::empty(3).to_string(), "[empty]");
+    }
+
+    #[test]
+    fn out_of_range_tokens_is_zero() {
+        let m = Marking::empty(1);
+        assert_eq!(m.tokens(PlaceId(10)), 0);
+    }
+
+    #[test]
+    fn iter_nonempty_skips_zero_places() {
+        let m = Marking::new(vec![0, 2, 0, 1]);
+        let pairs: Vec<_> = m.iter_nonempty().collect();
+        assert_eq!(pairs, vec![(PlaceId(1), 2), (PlaceId(3), 1)]);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let m: Marking = vec![1u64, 2, 3].into_iter().collect();
+        assert_eq!(m.as_slice(), &[1, 2, 3]);
+        let v: Vec<u64> = m.clone().into_vec();
+        assert_eq!(v, vec![1, 2, 3]);
+        let m2: Marking = Marking::from(vec![1, 2, 3]);
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn markings_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Marking::new(vec![1, 0]));
+        set.insert(Marking::new(vec![1, 0]));
+        set.insert(Marking::new(vec![0, 1]));
+        assert_eq!(set.len(), 2);
+        assert!(Marking::new(vec![0, 1]) < Marking::new(vec![1, 0]));
+    }
+}

@@ -1,0 +1,506 @@
+//! The Petri net structure `C = (P, T, I, O)`.
+//!
+//! This module follows the classical definition quoted in Section 2.1 of the
+//! paper: a finite set of places `P`, a finite set of transitions `T`
+//! (disjoint from `P`), an input function `I : T -> bag(P)` and an output
+//! function `O : T -> bag(P)`. Bags (multisets) of places are represented as
+//! weighted arcs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{NetError, Result};
+use crate::marking::Marking;
+
+/// Identifier of a place within a [`PetriNet`].
+///
+/// Place identifiers are dense indices assigned in creation order by
+/// [`crate::NetBuilder`]; they index directly into [`Marking`] vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PlaceId(pub usize);
+
+/// Identifier of a transition within a [`PetriNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TransitionId(pub usize);
+
+impl PlaceId {
+    /// Returns the underlying dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl TransitionId {
+    /// Returns the underlying dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for TransitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A place (condition / media-resource holder) of the net.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Place {
+    /// Human-readable name, unique within the net.
+    pub name: String,
+    /// Optional capacity bound; `None` means unbounded.
+    pub capacity: Option<u64>,
+}
+
+/// A transition (event / synchronization point) of the net.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Human-readable name, unique within the net.
+    pub name: String,
+}
+
+/// A weighted arc between a place and a transition.
+///
+/// The direction is implied by which collection the arc is stored in:
+/// input arcs go from a place to a transition, output arcs from a transition
+/// to a place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arc {
+    /// The place endpoint.
+    pub place: PlaceId,
+    /// The arc weight (multiplicity in the bag); always ≥ 1.
+    pub weight: u64,
+}
+
+/// An immutable place/transition net with weighted arcs.
+///
+/// Construct nets through [`crate::NetBuilder`]; the structure is validated
+/// once at build time so the exposed query and firing methods never need to
+/// re-validate identifiers originating from the same net.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PetriNet {
+    name: String,
+    places: Vec<Place>,
+    transitions: Vec<Transition>,
+    /// `inputs[t]` is the bag `I(t)` as weighted arcs.
+    inputs: Vec<Vec<Arc>>,
+    /// `outputs[t]` is the bag `O(t)` as weighted arcs.
+    outputs: Vec<Vec<Arc>>,
+    place_index: HashMap<String, PlaceId>,
+    transition_index: HashMap<String, TransitionId>,
+}
+
+impl PetriNet {
+    /// Assembles a net from raw parts. Used by [`crate::NetBuilder::build`].
+    pub(crate) fn from_parts(
+        name: String,
+        places: Vec<Place>,
+        transitions: Vec<Transition>,
+        inputs: Vec<Vec<Arc>>,
+        outputs: Vec<Vec<Arc>>,
+    ) -> Result<Self> {
+        if places.is_empty() || transitions.is_empty() {
+            return Err(NetError::EmptyNet);
+        }
+        let mut place_index = HashMap::with_capacity(places.len());
+        for (i, p) in places.iter().enumerate() {
+            if place_index.insert(p.name.clone(), PlaceId(i)).is_some() {
+                return Err(NetError::DuplicateName(p.name.clone()));
+            }
+        }
+        let mut transition_index = HashMap::with_capacity(transitions.len());
+        for (i, t) in transitions.iter().enumerate() {
+            if transition_index
+                .insert(t.name.clone(), TransitionId(i))
+                .is_some()
+            {
+                return Err(NetError::DuplicateName(t.name.clone()));
+            }
+        }
+        for (ti, arcs) in inputs.iter().chain(outputs.iter()).enumerate() {
+            for arc in arcs {
+                if arc.place.0 >= places.len() {
+                    return Err(NetError::UnknownPlace(arc.place));
+                }
+                if arc.weight == 0 {
+                    return Err(NetError::ZeroWeightArc {
+                        place: arc.place,
+                        transition: TransitionId(ti % transitions.len()),
+                    });
+                }
+            }
+        }
+        // Normalize the bag representation: merge duplicate arcs touching the
+        // same place by summing their weights, so enabledness checks can look
+        // at each place exactly once.
+        let merge = |arcs: Vec<Vec<Arc>>| -> Vec<Vec<Arc>> {
+            arcs.into_iter()
+                .map(|list| {
+                    let mut merged: Vec<Arc> = Vec::with_capacity(list.len());
+                    for arc in list {
+                        match merged.iter_mut().find(|a| a.place == arc.place) {
+                            Some(existing) => {
+                                existing.weight = existing.weight.saturating_add(arc.weight)
+                            }
+                            None => merged.push(arc),
+                        }
+                    }
+                    merged
+                })
+                .collect()
+        };
+        let inputs = merge(inputs);
+        let outputs = merge(outputs);
+        Ok(PetriNet {
+            name,
+            places,
+            transitions,
+            inputs,
+            outputs,
+            place_index,
+            transition_index,
+        })
+    }
+
+    /// Returns the net's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the number of places `|P|`.
+    pub fn place_count(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Returns the number of transitions `|T|`.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Returns the place with the given identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownPlace`] if the identifier is out of range.
+    pub fn place(&self, id: PlaceId) -> Result<&Place> {
+        self.places.get(id.0).ok_or(NetError::UnknownPlace(id))
+    }
+
+    /// Returns the transition with the given identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownTransition`] if the identifier is out of range.
+    pub fn transition(&self, id: TransitionId) -> Result<&Transition> {
+        self.transitions
+            .get(id.0)
+            .ok_or(NetError::UnknownTransition(id))
+    }
+
+    /// Looks up a place by name.
+    pub fn place_by_name(&self, name: &str) -> Option<PlaceId> {
+        self.place_index.get(name).copied()
+    }
+
+    /// Looks up a transition by name.
+    pub fn transition_by_name(&self, name: &str) -> Option<TransitionId> {
+        self.transition_index.get(name).copied()
+    }
+
+    /// Iterates over all place identifiers in index order.
+    pub fn places(&self) -> impl Iterator<Item = PlaceId> + '_ {
+        (0..self.places.len()).map(PlaceId)
+    }
+
+    /// Iterates over all transition identifiers in index order.
+    pub fn transitions(&self) -> impl Iterator<Item = TransitionId> + '_ {
+        (0..self.transitions.len()).map(TransitionId)
+    }
+
+    /// Returns the input bag `I(t)` of a transition as weighted arcs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` does not belong to this net.
+    pub fn input_arcs(&self, t: TransitionId) -> &[Arc] {
+        &self.inputs[t.0]
+    }
+
+    /// Returns the output bag `O(t)` of a transition as weighted arcs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` does not belong to this net.
+    pub fn output_arcs(&self, t: TransitionId) -> &[Arc] {
+        &self.outputs[t.0]
+    }
+
+    /// Returns the preset `•t` (places with an arc into `t`).
+    pub fn preset(&self, t: TransitionId) -> Vec<PlaceId> {
+        self.inputs[t.0].iter().map(|a| a.place).collect()
+    }
+
+    /// Returns the postset `t•` (places with an arc out of `t`).
+    pub fn postset(&self, t: TransitionId) -> Vec<PlaceId> {
+        self.outputs[t.0].iter().map(|a| a.place).collect()
+    }
+
+    /// Returns the transitions that consume from place `p` (the postset `p•`).
+    pub fn place_postset(&self, p: PlaceId) -> Vec<TransitionId> {
+        self.transitions()
+            .filter(|&t| self.inputs[t.0].iter().any(|a| a.place == p))
+            .collect()
+    }
+
+    /// Returns the transitions that produce into place `p` (the preset `•p`).
+    pub fn place_preset(&self, p: PlaceId) -> Vec<TransitionId> {
+        self.transitions()
+            .filter(|&t| self.outputs[t.0].iter().any(|a| a.place == p))
+            .collect()
+    }
+
+    /// Returns `true` when transition `t` is enabled in marking `m`:
+    /// every input place holds at least the arc weight, and firing would not
+    /// exceed any output place capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the marking size does not match the net (use
+    /// [`PetriNet::check_marking`] for a fallible check first when the
+    /// marking comes from an untrusted source).
+    pub fn enabled(&self, m: &Marking, t: TransitionId) -> bool {
+        assert_eq!(
+            m.len(),
+            self.places.len(),
+            "marking size must match the net"
+        );
+        let tokens_ok = self.inputs[t.0]
+            .iter()
+            .all(|a| m.tokens(a.place) >= a.weight);
+        if !tokens_ok {
+            return false;
+        }
+        // Capacity check: net tokens after firing must respect capacities.
+        for arc in &self.outputs[t.0] {
+            if let Some(cap) = self.places[arc.place.0].capacity {
+                let consumed: u64 = self.inputs[t.0]
+                    .iter()
+                    .filter(|a| a.place == arc.place)
+                    .map(|a| a.weight)
+                    .sum();
+                let after = m.tokens(arc.place) - consumed.min(m.tokens(arc.place)) + arc.weight;
+                if after > cap {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Validates that a marking has the right dimension for this net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::MarkingSizeMismatch`] when the sizes differ.
+    pub fn check_marking(&self, m: &Marking) -> Result<()> {
+        if m.len() != self.places.len() {
+            return Err(NetError::MarkingSizeMismatch {
+                expected: self.places.len(),
+                actual: m.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns all transitions enabled in `m`, in index order.
+    pub fn enabled_transitions(&self, m: &Marking) -> Vec<TransitionId> {
+        self.transitions().filter(|&t| self.enabled(m, t)).collect()
+    }
+
+    /// Fires transition `t` in marking `m`, returning the successor marking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NotEnabled`] if `t` is not enabled in `m`, and
+    /// [`NetError::MarkingSizeMismatch`] if the marking does not belong to a
+    /// net of this shape.
+    pub fn fire(&self, m: &Marking, t: TransitionId) -> Result<Marking> {
+        self.check_marking(m)?;
+        if t.0 >= self.transitions.len() {
+            return Err(NetError::UnknownTransition(t));
+        }
+        if !self.enabled(m, t) {
+            return Err(NetError::NotEnabled(t));
+        }
+        let mut next = m.clone();
+        for arc in &self.inputs[t.0] {
+            next.remove_tokens(arc.place, arc.weight)
+                .expect("enabled transition must have sufficient input tokens");
+        }
+        for arc in &self.outputs[t.0] {
+            next.add_tokens(arc.place, arc.weight);
+        }
+        Ok(next)
+    }
+
+    /// Returns `true` when `m` is a dead marking (no transition is enabled).
+    pub fn is_deadlocked(&self, m: &Marking) -> bool {
+        self.transitions().all(|t| !self.enabled(m, t))
+    }
+
+    /// Total arc count (input plus output arcs).
+    pub fn arc_count(&self) -> usize {
+        self.inputs.iter().map(Vec::len).sum::<usize>()
+            + self.outputs.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+impl fmt::Display for PetriNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PetriNet `{}` ({} places, {} transitions, {} arcs)",
+            self.name,
+            self.place_count(),
+            self.transition_count(),
+            self.arc_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetBuilder;
+
+    fn simple_net() -> (PetriNet, PlaceId, PlaceId, TransitionId) {
+        let mut b = NetBuilder::new("simple");
+        let p0 = b.place("src");
+        let p1 = b.place("dst");
+        let t = b.transition("move");
+        b.arc_in(p0, t, 1);
+        b.arc_out(t, p1, 1);
+        (b.build().unwrap(), p0, p1, t)
+    }
+
+    #[test]
+    fn firing_moves_tokens() {
+        let (net, p0, p1, t) = simple_net();
+        let m0 = Marking::from_pairs(net.place_count(), &[(p0, 1)]);
+        assert!(net.enabled(&m0, t));
+        let m1 = net.fire(&m0, t).unwrap();
+        assert_eq!(m1.tokens(p0), 0);
+        assert_eq!(m1.tokens(p1), 1);
+    }
+
+    #[test]
+    fn firing_disabled_transition_fails() {
+        let (net, _p0, _p1, t) = simple_net();
+        let m0 = Marking::empty(net.place_count());
+        assert_eq!(net.fire(&m0, t), Err(NetError::NotEnabled(t)));
+    }
+
+    #[test]
+    fn weighted_arcs_require_enough_tokens() {
+        let mut b = NetBuilder::new("weighted");
+        let p = b.place("pool");
+        let q = b.place("out");
+        let t = b.transition("take3");
+        b.arc_in(p, t, 3);
+        b.arc_out(t, q, 2);
+        let net = b.build().unwrap();
+        let m2 = Marking::from_pairs(net.place_count(), &[(p, 2)]);
+        assert!(!net.enabled(&m2, t));
+        let m3 = Marking::from_pairs(net.place_count(), &[(p, 3)]);
+        assert!(net.enabled(&m3, t));
+        let m = net.fire(&m3, t).unwrap();
+        assert_eq!(m.tokens(p), 0);
+        assert_eq!(m.tokens(q), 2);
+    }
+
+    #[test]
+    fn capacity_disables_transition() {
+        let mut b = NetBuilder::new("cap");
+        let p = b.place("src");
+        let q = b.place_with_capacity("bounded", 1);
+        let t = b.transition("fill");
+        b.arc_in(p, t, 1);
+        b.arc_out(t, q, 1);
+        let net = b.build().unwrap();
+        let m = Marking::from_pairs(net.place_count(), &[(p, 2), (q, 1)]);
+        // q already holds 1 token with capacity 1, firing would exceed it.
+        assert!(!net.enabled(&m, t));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (net, p0, _p1, t) = simple_net();
+        assert_eq!(net.place_by_name("src"), Some(p0));
+        assert_eq!(net.transition_by_name("move"), Some(t));
+        assert_eq!(net.place_by_name("missing"), None);
+    }
+
+    #[test]
+    fn preset_postset() {
+        let (net, p0, p1, t) = simple_net();
+        assert_eq!(net.preset(t), vec![p0]);
+        assert_eq!(net.postset(t), vec![p1]);
+        assert_eq!(net.place_postset(p0), vec![t]);
+        assert_eq!(net.place_preset(p1), vec![t]);
+        assert!(net.place_preset(p0).is_empty());
+    }
+
+    #[test]
+    fn deadlock_detection() {
+        let (net, p0, _p1, _t) = simple_net();
+        let dead = Marking::empty(net.place_count());
+        assert!(net.is_deadlocked(&dead));
+        let live = Marking::from_pairs(net.place_count(), &[(p0, 1)]);
+        assert!(!net.is_deadlocked(&live));
+    }
+
+    #[test]
+    fn marking_size_mismatch_rejected() {
+        let (net, _p0, _p1, t) = simple_net();
+        let wrong = Marking::empty(net.place_count() + 1);
+        assert!(matches!(
+            net.fire(&wrong, t),
+            Err(NetError::MarkingSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let (net, ..) = simple_net();
+        let s = net.to_string();
+        assert!(s.contains("2 places"));
+        assert!(s.contains("1 transitions"));
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(PlaceId(4).to_string(), "p4");
+        assert_eq!(TransitionId(2).to_string(), "t2");
+    }
+
+    #[test]
+    fn enabled_transitions_order() {
+        let mut b = NetBuilder::new("two");
+        let p = b.place("p");
+        let t0 = b.transition("a");
+        let t1 = b.transition("b");
+        b.arc_in(p, t0, 1);
+        b.arc_in(p, t1, 1);
+        let net = b.build().unwrap();
+        let m = Marking::from_pairs(net.place_count(), &[(p, 1)]);
+        assert_eq!(net.enabled_transitions(&m), vec![t0, t1]);
+    }
+}

@@ -1,0 +1,494 @@
+//! Reachability graph and Karp–Miller coverability tree construction.
+//!
+//! The paper (Section 4) verifies the structural mechanism of its DOCPN model
+//! by "analyzing the model by time schedule of multimedia objects"; the
+//! underlying state-space machinery is the classical reachability analysis
+//! provided here. Experiment **E9** benchmarks its cost as net size grows.
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{NetError, Result};
+use crate::marking::Marking;
+use crate::net::{PetriNet, PlaceId, TransitionId};
+
+/// Bounds on explicit state-space exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReachabilityLimits {
+    /// Maximum number of distinct markings to explore.
+    pub max_states: usize,
+    /// Maximum number of edges (firings) to record.
+    pub max_edges: usize,
+}
+
+impl Default for ReachabilityLimits {
+    fn default() -> Self {
+        ReachabilityLimits {
+            max_states: 100_000,
+            max_edges: 1_000_000,
+        }
+    }
+}
+
+/// An edge of the reachability graph: `from --t--> to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReachEdge {
+    /// Index of the source marking.
+    pub from: usize,
+    /// The transition fired.
+    pub transition: TransitionId,
+    /// Index of the destination marking.
+    pub to: usize,
+}
+
+/// The explicit reachability graph of a bounded net (or a bounded prefix of
+/// an unbounded one, when limits are hit).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReachabilityGraph {
+    markings: Vec<Marking>,
+    edges: Vec<ReachEdge>,
+    complete: bool,
+}
+
+impl ReachabilityGraph {
+    /// Builds the reachability graph from `initial` by breadth-first search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::MarkingSizeMismatch`] when the initial marking does
+    /// not match the net. Exploration that exceeds `limits` does **not**
+    /// error: it returns a graph with [`ReachabilityGraph::is_complete`] set
+    /// to `false` so callers can distinguish a truncated result.
+    pub fn build(
+        net: &PetriNet,
+        initial: &Marking,
+        limits: ReachabilityLimits,
+    ) -> Result<Self> {
+        net.check_marking(initial)?;
+        let mut index: HashMap<Marking, usize> = HashMap::new();
+        let mut markings = vec![initial.clone()];
+        index.insert(initial.clone(), 0);
+        let mut edges = Vec::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(0usize);
+        let mut complete = true;
+
+        while let Some(cur) = queue.pop_front() {
+            let m = markings[cur].clone();
+            for t in net.enabled_transitions(&m) {
+                if edges.len() >= limits.max_edges {
+                    complete = false;
+                    break;
+                }
+                let next = net.fire(&m, t).expect("enabled transition fires");
+                let to = match index.get(&next) {
+                    Some(&i) => i,
+                    None => {
+                        if markings.len() >= limits.max_states {
+                            complete = false;
+                            continue;
+                        }
+                        let i = markings.len();
+                        markings.push(next.clone());
+                        index.insert(next, i);
+                        queue.push_back(i);
+                        i
+                    }
+                };
+                edges.push(ReachEdge {
+                    from: cur,
+                    transition: t,
+                    to,
+                });
+            }
+            if !complete && markings.len() >= limits.max_states {
+                break;
+            }
+        }
+
+        Ok(ReachabilityGraph {
+            markings,
+            edges,
+            complete,
+        })
+    }
+
+    /// The distinct markings discovered, index 0 being the initial marking.
+    pub fn markings(&self) -> &[Marking] {
+        &self.markings
+    }
+
+    /// The firing edges discovered.
+    pub fn edges(&self) -> &[ReachEdge] {
+        &self.edges
+    }
+
+    /// Number of distinct markings.
+    pub fn state_count(&self) -> usize {
+        self.markings.len()
+    }
+
+    /// `true` when the whole reachability set was explored within limits.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Returns `true` when the given marking is reachable.
+    pub fn contains(&self, m: &Marking) -> bool {
+        self.markings.iter().any(|x| x == m)
+    }
+
+    /// The reachable dead markings (no outgoing edge).
+    pub fn deadlocks(&self, net: &PetriNet) -> Vec<&Marking> {
+        self.markings
+            .iter()
+            .filter(|m| net.is_deadlocked(m))
+            .collect()
+    }
+
+    /// The maximum token count observed in each place across all reachable
+    /// markings — the behavioural bound of each place.
+    pub fn place_bounds(&self) -> Vec<u64> {
+        if self.markings.is_empty() {
+            return Vec::new();
+        }
+        let places = self.markings[0].len();
+        let mut bounds = vec![0u64; places];
+        for m in &self.markings {
+            for (i, bound) in bounds.iter_mut().enumerate() {
+                *bound = (*bound).max(m.tokens(PlaceId(i)));
+            }
+        }
+        bounds
+    }
+
+    /// Returns, for every transition, whether it appears on at least one edge
+    /// (i.e. is L1-live / potentially fireable from the initial marking).
+    pub fn fireable_transitions(&self, transition_count: usize) -> Vec<bool> {
+        let mut fireable = vec![false; transition_count];
+        for e in &self.edges {
+            if e.transition.0 < transition_count {
+                fireable[e.transition.0] = true;
+            }
+        }
+        fireable
+    }
+}
+
+/// The ω-symbol marking used by the Karp–Miller construction: any place may
+/// hold either a finite count or ω (unbounded).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OmegaMarking(Vec<OmegaCount>);
+
+/// A token count that may be the symbolic ω.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OmegaCount {
+    /// A finite token count.
+    Finite(u64),
+    /// Unbounded (ω).
+    Omega,
+}
+
+impl OmegaCount {
+    fn at_least(self, w: u64) -> bool {
+        match self {
+            OmegaCount::Finite(n) => n >= w,
+            OmegaCount::Omega => true,
+        }
+    }
+
+    fn checked_sub(self, w: u64) -> OmegaCount {
+        match self {
+            OmegaCount::Finite(n) => OmegaCount::Finite(n.saturating_sub(w)),
+            OmegaCount::Omega => OmegaCount::Omega,
+        }
+    }
+
+    fn add(self, w: u64) -> OmegaCount {
+        match self {
+            OmegaCount::Finite(n) => OmegaCount::Finite(n.saturating_add(w)),
+            OmegaCount::Omega => OmegaCount::Omega,
+        }
+    }
+}
+
+impl OmegaMarking {
+    /// Lifts a concrete marking into an ω-marking with no ω components.
+    pub fn from_marking(m: &Marking) -> Self {
+        OmegaMarking(m.as_slice().iter().map(|&n| OmegaCount::Finite(n)).collect())
+    }
+
+    /// Returns `true` when any component is ω.
+    pub fn has_omega(&self) -> bool {
+        self.0.iter().any(|c| matches!(c, OmegaCount::Omega))
+    }
+
+    /// Component-wise ≥ comparison, treating ω as larger than any finite count.
+    pub fn covers(&self, other: &OmegaMarking) -> bool {
+        self.0.len() == other.0.len()
+            && self.0.iter().zip(other.0.iter()).all(|(a, b)| match (a, b) {
+                (OmegaCount::Omega, _) => true,
+                (OmegaCount::Finite(_), OmegaCount::Omega) => false,
+                (OmegaCount::Finite(x), OmegaCount::Finite(y)) => x >= y,
+            })
+    }
+
+    /// The per-place counts.
+    pub fn counts(&self) -> &[OmegaCount] {
+        &self.0
+    }
+}
+
+/// The Karp–Miller coverability tree, used to decide boundedness of a net.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverabilityTree {
+    nodes: Vec<OmegaMarking>,
+    edges: Vec<(usize, TransitionId, usize)>,
+}
+
+impl CoverabilityTree {
+    /// Builds the coverability tree from the initial marking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::MarkingSizeMismatch`] for a mis-sized marking and
+    /// [`NetError::ExplorationLimit`] when more than `max_nodes` tree nodes
+    /// are produced (coverability trees can be very large even for small
+    /// nets).
+    pub fn build(net: &PetriNet, initial: &Marking, max_nodes: usize) -> Result<Self> {
+        net.check_marking(initial)?;
+        let root = OmegaMarking::from_marking(initial);
+        let mut nodes = vec![root];
+        let mut parents: Vec<Option<usize>> = vec![None];
+        let mut edges = Vec::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(0usize);
+
+        while let Some(cur) = queue.pop_front() {
+            let m = nodes[cur].clone();
+            // A node identical to an ancestor is a leaf ("old" node).
+            let mut ancestor = parents[cur];
+            let mut is_old = false;
+            while let Some(a) = ancestor {
+                if nodes[a] == m {
+                    is_old = true;
+                    break;
+                }
+                ancestor = parents[a];
+            }
+            if is_old {
+                continue;
+            }
+            for t in net.transitions() {
+                let enabled = net
+                    .input_arcs(t)
+                    .iter()
+                    .all(|a| m.0[a.place.0].at_least(a.weight));
+                if !enabled {
+                    continue;
+                }
+                let mut next: Vec<OmegaCount> = m.0.clone();
+                for a in net.input_arcs(t) {
+                    next[a.place.0] = next[a.place.0].checked_sub(a.weight);
+                }
+                for a in net.output_arcs(t) {
+                    next[a.place.0] = next[a.place.0].add(a.weight);
+                }
+                let mut next = OmegaMarking(next);
+                // ω-acceleration: if an ancestor is strictly covered, set the
+                // strictly-larger places to ω.
+                let mut anc = Some(cur);
+                while let Some(a) = anc {
+                    if next.covers(&nodes[a]) && next != nodes[a] {
+                        for (i, (n, o)) in
+                            next.0.clone().iter().zip(nodes[a].0.iter()).enumerate()
+                        {
+                            let strictly_greater = match (n, o) {
+                                (OmegaCount::Finite(x), OmegaCount::Finite(y)) => x > y,
+                                (OmegaCount::Omega, OmegaCount::Finite(_)) => true,
+                                _ => false,
+                            };
+                            if strictly_greater {
+                                next.0[i] = OmegaCount::Omega;
+                            }
+                        }
+                    }
+                    anc = parents[a];
+                }
+                if nodes.len() >= max_nodes {
+                    return Err(NetError::ExplorationLimit { states: nodes.len() });
+                }
+                let idx = nodes.len();
+                nodes.push(next);
+                parents.push(Some(cur));
+                edges.push((cur, t, idx));
+                queue.push_back(idx);
+            }
+        }
+        Ok(CoverabilityTree { nodes, edges })
+    }
+
+    /// Returns `true` when no node contains an ω component: the net is
+    /// bounded for the given initial marking.
+    pub fn is_bounded(&self) -> bool {
+        !self.nodes.iter().any(OmegaMarking::has_omega)
+    }
+
+    /// The places that are unbounded (hold ω in some node).
+    pub fn unbounded_places(&self) -> Vec<PlaceId> {
+        let Some(first) = self.nodes.first() else {
+            return Vec::new();
+        };
+        (0..first.0.len())
+            .filter(|&i| {
+                self.nodes
+                    .iter()
+                    .any(|n| matches!(n.0[i], OmegaCount::Omega))
+            })
+            .map(PlaceId)
+            .collect()
+    }
+
+    /// Number of tree nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The tree nodes.
+    pub fn nodes(&self) -> &[OmegaMarking] {
+        &self.nodes
+    }
+
+    /// The tree edges as `(parent, transition, child)` triples.
+    pub fn edges(&self) -> &[(usize, TransitionId, usize)] {
+        &self.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetBuilder;
+
+    fn bounded_cycle() -> (PetriNet, Marking) {
+        let mut b = NetBuilder::new("cycle");
+        let a = b.place("a");
+        let c = b.place("c");
+        let t0 = b.transition("fwd");
+        let t1 = b.transition("back");
+        b.arc_in(a, t0, 1);
+        b.arc_out(t0, c, 1);
+        b.arc_in(c, t1, 1);
+        b.arc_out(t1, a, 1);
+        let net = b.build().unwrap();
+        let m = Marking::from_pairs(net.place_count(), &[(a, 1)]);
+        (net, m)
+    }
+
+    fn unbounded_generator() -> (PetriNet, Marking) {
+        let mut b = NetBuilder::new("gen");
+        let seed = b.place("seed");
+        let sink = b.place("sink");
+        let t = b.transition("spawn");
+        b.read_arc(seed, t);
+        b.arc_out(t, sink, 1);
+        let net = b.build().unwrap();
+        let m = Marking::from_pairs(net.place_count(), &[(seed, 1)]);
+        (net, m)
+    }
+
+    #[test]
+    fn reachability_of_bounded_cycle() {
+        let (net, m0) = bounded_cycle();
+        let g = ReachabilityGraph::build(&net, &m0, ReachabilityLimits::default()).unwrap();
+        assert!(g.is_complete());
+        assert_eq!(g.state_count(), 2);
+        assert_eq!(g.edges().len(), 2);
+        assert_eq!(g.place_bounds(), vec![1, 1]);
+        assert!(g.deadlocks(&net).is_empty());
+        assert_eq!(g.fireable_transitions(net.transition_count()), vec![true, true]);
+        assert!(g.contains(&m0));
+    }
+
+    #[test]
+    fn reachability_detects_deadlock() {
+        let mut b = NetBuilder::new("dead");
+        let p = b.place("p");
+        let q = b.place("q");
+        let t = b.transition("consume");
+        b.arc_in(p, t, 1);
+        b.arc_out(t, q, 1);
+        let net = b.build().unwrap();
+        let m0 = Marking::from_pairs(net.place_count(), &[(p, 1)]);
+        let g = ReachabilityGraph::build(&net, &m0, ReachabilityLimits::default()).unwrap();
+        assert_eq!(g.state_count(), 2);
+        assert_eq!(g.deadlocks(&net).len(), 1);
+    }
+
+    #[test]
+    fn reachability_truncates_at_limits() {
+        let (net, m0) = unbounded_generator();
+        let limits = ReachabilityLimits {
+            max_states: 10,
+            max_edges: 100,
+        };
+        let g = ReachabilityGraph::build(&net, &m0, limits).unwrap();
+        assert!(!g.is_complete());
+        assert!(g.state_count() <= 10);
+    }
+
+    #[test]
+    fn coverability_finds_bounded_net_bounded() {
+        let (net, m0) = bounded_cycle();
+        let tree = CoverabilityTree::build(&net, &m0, 10_000).unwrap();
+        assert!(tree.is_bounded());
+        assert!(tree.unbounded_places().is_empty());
+        assert!(tree.node_count() >= 2);
+    }
+
+    #[test]
+    fn coverability_detects_unbounded_place() {
+        let (net, m0) = unbounded_generator();
+        let tree = CoverabilityTree::build(&net, &m0, 10_000).unwrap();
+        assert!(!tree.is_bounded());
+        let unbounded = tree.unbounded_places();
+        assert_eq!(unbounded, vec![net.place_by_name("sink").unwrap()]);
+    }
+
+    #[test]
+    fn coverability_respects_node_limit() {
+        let (net, m0) = unbounded_generator();
+        let err = CoverabilityTree::build(&net, &m0, 2).unwrap_err();
+        assert!(matches!(err, NetError::ExplorationLimit { .. }));
+    }
+
+    #[test]
+    fn mismatched_marking_rejected() {
+        let (net, _m0) = bounded_cycle();
+        let bad = Marking::empty(9);
+        assert!(ReachabilityGraph::build(&net, &bad, ReachabilityLimits::default()).is_err());
+        assert!(CoverabilityTree::build(&net, &bad, 100).is_err());
+    }
+
+    #[test]
+    fn omega_count_arithmetic() {
+        assert!(OmegaCount::Omega.at_least(1_000_000));
+        assert!(OmegaCount::Finite(3).at_least(3));
+        assert!(!OmegaCount::Finite(2).at_least(3));
+        assert_eq!(OmegaCount::Omega.checked_sub(5), OmegaCount::Omega);
+        assert_eq!(OmegaCount::Finite(5).checked_sub(2), OmegaCount::Finite(3));
+        assert_eq!(OmegaCount::Finite(5).add(2), OmegaCount::Finite(7));
+        assert_eq!(OmegaCount::Omega.add(2), OmegaCount::Omega);
+    }
+
+    #[test]
+    fn omega_marking_cover() {
+        let a = OmegaMarking(vec![OmegaCount::Omega, OmegaCount::Finite(2)]);
+        let b = OmegaMarking(vec![OmegaCount::Finite(7), OmegaCount::Finite(2)]);
+        assert!(a.covers(&b));
+        assert!(!b.covers(&a));
+        assert!(a.has_omega());
+        assert!(!b.has_omega());
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests over the base Petri net substrate.
+
+use dmps_petri::analysis::IncidenceMatrix;
+use dmps_petri::{Marking, NetBuilder, PetriNet, PlaceId, ReachabilityGraph, ReachabilityLimits};
+use proptest::prelude::*;
+
+/// Strategy: a random connected-ish net with `np` places, `nt` transitions and
+/// random unit/weighted arcs, plus a random initial marking.
+fn arb_net() -> impl Strategy<Value = (PetriNet, Marking)> {
+    (2usize..6, 1usize..5).prop_flat_map(|(np, nt)| {
+        let arcs = proptest::collection::vec(
+            (0..np, 0..nt, 1u64..3, proptest::bool::ANY),
+            1..(np * nt).max(2),
+        );
+        let tokens = proptest::collection::vec(0u64..3, np);
+        (arcs, tokens).prop_map(move |(arcs, tokens)| {
+            let mut b = NetBuilder::new("prop");
+            let places: Vec<_> = (0..np).map(|i| b.place(format!("p{i}"))).collect();
+            let transitions: Vec<_> = (0..nt).map(|i| b.transition(format!("t{i}"))).collect();
+            for (p, t, w, input) in arcs {
+                if input {
+                    b.arc_in(places[p], transitions[t], w);
+                } else {
+                    b.arc_out(transitions[t], places[p], w);
+                }
+            }
+            let net = b.build().expect("generated net is structurally valid");
+            let marking = Marking::new(tokens);
+            (net, marking)
+        })
+    })
+}
+
+proptest! {
+    /// Firing conserves the state equation: M' = M + C·e_t.
+    #[test]
+    fn firing_respects_state_equation((net, m0) in arb_net()) {
+        let inc = IncidenceMatrix::of(&net);
+        for t in net.enabled_transitions(&m0) {
+            let fired = net.fire(&m0, t).unwrap();
+            let mut counts = vec![0u64; net.transition_count()];
+            counts[t.index()] = 1;
+            let predicted = inc.apply(&m0, &counts).expect("enabled firing is realizable");
+            prop_assert_eq!(fired, predicted);
+        }
+    }
+
+    /// A transition reported enabled always fires successfully, and one
+    /// reported disabled always fails.
+    #[test]
+    fn enabledness_is_consistent_with_fire((net, m0) in arb_net()) {
+        for t in net.transitions() {
+            let fired = net.fire(&m0, t);
+            prop_assert_eq!(net.enabled(&m0, t), fired.is_ok());
+        }
+    }
+
+    /// Firing never creates negative token counts and changes only places
+    /// adjacent to the fired transition.
+    #[test]
+    fn firing_only_touches_adjacent_places((net, m0) in arb_net()) {
+        for t in net.enabled_transitions(&m0) {
+            let fired = net.fire(&m0, t).unwrap();
+            let adjacent: std::collections::HashSet<_> = net
+                .preset(t)
+                .into_iter()
+                .chain(net.postset(t))
+                .collect();
+            for p in net.places() {
+                if !adjacent.contains(&p) {
+                    prop_assert_eq!(fired.tokens(p), m0.tokens(p));
+                }
+            }
+        }
+    }
+
+    /// Every marking in the reachability graph is actually reachable by
+    /// replaying edges, and the initial marking is node 0.
+    #[test]
+    fn reachability_graph_nodes_are_reachable((net, m0) in arb_net()) {
+        let limits = ReachabilityLimits { max_states: 200, max_edges: 2000 };
+        let g = ReachabilityGraph::build(&net, &m0, limits).unwrap();
+        prop_assert_eq!(&g.markings()[0], &m0);
+        for e in g.edges() {
+            let from = &g.markings()[e.from];
+            let to = &g.markings()[e.to];
+            let fired = net.fire(from, e.transition).unwrap();
+            prop_assert_eq!(&fired, to);
+        }
+    }
+
+    /// P-invariants hold over every reachable marking: yᵀ·M is constant.
+    #[test]
+    fn p_invariants_hold_over_reachable_markings((net, m0) in arb_net()) {
+        let inc = IncidenceMatrix::of(&net);
+        let invariants = inc.nonnegative_kernel();
+        let limits = ReachabilityLimits { max_states: 100, max_edges: 1000 };
+        let g = ReachabilityGraph::build(&net, &m0, limits).unwrap();
+        for weights in invariants {
+            let value = |m: &Marking| -> u128 {
+                weights
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| w as u128 * m.tokens(PlaceId(i)) as u128)
+                    .sum()
+            };
+            let v0 = value(&m0);
+            for m in g.markings() {
+                prop_assert_eq!(value(m), v0);
+            }
+        }
+    }
+
+    /// Markings round-trip through serde JSON (used by the trace writer).
+    #[test]
+    fn marking_serde_roundtrip(tokens in proptest::collection::vec(0u64..100, 0..8)) {
+        let m = Marking::new(tokens);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Marking = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(m, back);
+    }
+}

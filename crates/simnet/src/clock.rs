@@ -1,0 +1,153 @@
+//! Per-host local clocks with drift and offset.
+//!
+//! The paper's synchronization argument hinges on clients whose local clocks
+//! run fast or slow relative to the server's global clock. [`LocalClock`]
+//! models a client clock as an affine function of true (global) simulation
+//! time: `local = global · (1 + drift_ppm·10⁻⁶) + offset`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// A drifting local clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalClock {
+    /// Frequency error in parts per million. Positive means the clock runs
+    /// fast (gains time), negative means it runs slow.
+    drift_ppm: f64,
+    /// Constant offset in nanoseconds added to the local reading.
+    offset_nanos: i64,
+}
+
+impl LocalClock {
+    /// A perfect clock with no drift and no offset.
+    pub fn perfect() -> Self {
+        LocalClock {
+            drift_ppm: 0.0,
+            offset_nanos: 0,
+        }
+    }
+
+    /// Creates a clock with the given drift (ppm) and initial offset (ns).
+    pub fn new(drift_ppm: f64, offset_nanos: i64) -> Self {
+        LocalClock {
+            drift_ppm,
+            offset_nanos,
+        }
+    }
+
+    /// The drift in parts per million.
+    pub fn drift_ppm(&self) -> f64 {
+        self.drift_ppm
+    }
+
+    /// The constant offset in nanoseconds.
+    pub fn offset_nanos(&self) -> i64 {
+        self.offset_nanos
+    }
+
+    /// The local reading at a given true (global) time.
+    pub fn local_at(&self, global: SimTime) -> SimTime {
+        let drifted = global.as_nanos() as f64 * (1.0 + self.drift_ppm * 1e-6);
+        let nanos = drifted as i64 + self.offset_nanos;
+        SimTime::from_nanos(nanos.max(0) as u64)
+    }
+
+    /// The true (global) time at which the clock shows a given local reading
+    /// — the inverse of [`LocalClock::local_at`].
+    pub fn global_at(&self, local: SimTime) -> SimTime {
+        let nanos = (local.as_nanos() as i64 - self.offset_nanos) as f64
+            / (1.0 + self.drift_ppm * 1e-6);
+        SimTime::from_nanos(nanos.max(0.0) as u64)
+    }
+
+    /// The signed skew (local − global) in nanoseconds at a given true time.
+    pub fn skew_nanos_at(&self, global: SimTime) -> i64 {
+        self.local_at(global).signed_offset_from(global)
+    }
+
+    /// Slews the clock by adding a correction to its offset (what a client
+    /// does after a global-clock synchronization round).
+    pub fn adjust(&mut self, correction_nanos: i64) {
+        self.offset_nanos += correction_nanos;
+    }
+}
+
+impl Default for LocalClock {
+    fn default() -> Self {
+        LocalClock::perfect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clock_is_identity() {
+        let c = LocalClock::perfect();
+        let t = SimTime::from_millis(1234);
+        assert_eq!(c.local_at(t), t);
+        assert_eq!(c.global_at(t), t);
+        assert_eq!(c.skew_nanos_at(t), 0);
+    }
+
+    #[test]
+    fn fast_clock_runs_ahead() {
+        let c = LocalClock::new(500.0, 0); // +500 ppm
+        let t = SimTime::from_secs(100);
+        let local = c.local_at(t);
+        assert!(local > t);
+        // 500 ppm over 100 s = 50 ms ahead.
+        let skew = c.skew_nanos_at(t);
+        assert!((skew - 50_000_000).abs() < 1_000, "skew was {skew}");
+    }
+
+    #[test]
+    fn slow_clock_lags() {
+        let c = LocalClock::new(-200.0, 0);
+        let t = SimTime::from_secs(50);
+        assert!(c.local_at(t) < t);
+        assert!(c.skew_nanos_at(t) < 0);
+    }
+
+    #[test]
+    fn offset_shifts_reading() {
+        let c = LocalClock::new(0.0, 3_000_000); // +3 ms
+        let t = SimTime::from_millis(10);
+        assert_eq!(c.local_at(t), SimTime::from_millis(13));
+        assert_eq!(c.global_at(SimTime::from_millis(13)), t);
+    }
+
+    #[test]
+    fn global_at_inverts_local_at() {
+        let c = LocalClock::new(350.0, -2_500_000);
+        for ms in [10u64, 500, 10_000, 3_600_000] {
+            let g = SimTime::from_millis(ms);
+            let local = c.local_at(g);
+            // Skip instants where the local reading saturated at zero; the
+            // affine map is not invertible there.
+            if local == SimTime::ZERO {
+                continue;
+            }
+            let round_trip = c.global_at(local);
+            let err = round_trip.signed_offset_from(g).abs();
+            assert!(err < 1_000, "round trip error {err} ns at {ms} ms");
+        }
+    }
+
+    #[test]
+    fn adjust_slews_offset() {
+        let mut c = LocalClock::new(0.0, 1_000_000);
+        c.adjust(-1_000_000);
+        assert_eq!(c.offset_nanos(), 0);
+        assert_eq!(c.local_at(SimTime::from_secs(1)), SimTime::from_secs(1));
+        assert_eq!(c.drift_ppm(), 0.0);
+    }
+
+    #[test]
+    fn negative_local_saturates_to_zero() {
+        let c = LocalClock::new(0.0, -5_000_000_000);
+        assert_eq!(c.local_at(SimTime::from_secs(1)), SimTime::ZERO);
+    }
+}

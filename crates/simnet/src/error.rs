@@ -1,0 +1,72 @@
+//! Error types for the network simulator.
+
+use std::fmt;
+
+use crate::network::HostId;
+
+/// Convenience result alias for the simulator.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+/// Errors raised by the simulator API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A host identifier does not belong to this network.
+    UnknownHost(HostId),
+    /// Two hosts are not connected by any link.
+    NotConnected {
+        /// Sender.
+        from: HostId,
+        /// Receiver.
+        to: HostId,
+    },
+    /// A link was declared between a host and itself.
+    SelfLink(HostId),
+    /// A link parameter is invalid (e.g. zero bandwidth).
+    InvalidLink(String),
+    /// An operation required simulated time to move backwards.
+    TimeWentBackwards,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownHost(h) => write!(f, "unknown host {h}"),
+            SimError::NotConnected { from, to } => {
+                write!(f, "hosts {from} and {to} are not connected")
+            }
+            SimError::SelfLink(h) => write!(f, "host {h} cannot be linked to itself"),
+            SimError::InvalidLink(msg) => write!(f, "invalid link: {msg}"),
+            SimError::TimeWentBackwards => write!(f, "simulated time cannot move backwards"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            SimError::UnknownHost(HostId(1)),
+            SimError::NotConnected {
+                from: HostId(0),
+                to: HostId(1),
+            },
+            SimError::SelfLink(HostId(2)),
+            SimError::InvalidLink("zero bandwidth".into()),
+            SimError::TimeWentBackwards,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<SimError>();
+    }
+}

@@ -1,0 +1,276 @@
+//! The centralized global clock of the DMPS server and its admission rule.
+//!
+//! Section 3 of the paper: *"The DMPS server build a communication group and
+//! initial a global clock [...] The global clock admission control is
+//! centralized mode. It has the highest priority to handle the transition
+//! enforced to fire immediately or not. If the clock in client side is faster
+//! than global clock, the current transition will not fire until global clock
+//! arrives. On the other hand, if the local clock in client side is slower
+//! than global clock, the transition will be fire without delay."*
+//!
+//! Two pieces implement that paragraph:
+//!
+//! * [`ClockSyncServer`] / [`ClockSyncClient`] — a Cristian-style
+//!   request/response synchronization protocol the clients run over the
+//!   simulated network to estimate the server's global clock,
+//! * [`AdmissionDecision`] — the admission rule itself, applied by a client
+//!   when its presentation schedule says a transition is due.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// The server side of the clock synchronization protocol. It simply reports
+/// the global clock (the server's own clock is the reference, so its local
+/// time *is* the global time).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClockSyncServer {
+    rounds_served: u64,
+}
+
+impl ClockSyncServer {
+    /// Creates a new server-side synchronizer.
+    pub fn new() -> Self {
+        ClockSyncServer::default()
+    }
+
+    /// Handles a synchronization request, returning the global time to embed
+    /// in the response message.
+    pub fn handle_request(&mut self, global_now: SimTime) -> SimTime {
+        self.rounds_served += 1;
+        global_now
+    }
+
+    /// Number of synchronization rounds served.
+    pub fn rounds_served(&self) -> u64 {
+        self.rounds_served
+    }
+}
+
+/// The client side of the clock synchronization protocol: tracks the
+/// estimated offset between the client's local clock and the server's global
+/// clock.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClockSyncClient {
+    /// Estimated `global − local` offset in nanoseconds.
+    estimated_offset_nanos: i64,
+    /// Whether at least one round has completed.
+    synchronized: bool,
+    rounds_completed: u64,
+    /// The local send time of the round in flight, if any.
+    outstanding_request_local: Option<SimTime>,
+    /// Estimated round-trip time of the last completed round.
+    last_rtt_nanos: u64,
+}
+
+impl ClockSyncClient {
+    /// Creates an unsynchronized client.
+    pub fn new() -> Self {
+        ClockSyncClient::default()
+    }
+
+    /// Records that a synchronization request was sent at the given *local*
+    /// time.
+    pub fn request_sent(&mut self, local_send_time: SimTime) {
+        self.outstanding_request_local = Some(local_send_time);
+    }
+
+    /// Completes a round: the response carrying `server_global_time` arrived
+    /// at `local_receive_time`. Uses Cristian's estimate
+    /// `global ≈ server_time + rtt/2` to update the offset. Returns the new
+    /// offset estimate in nanoseconds, or `None` when no request was
+    /// outstanding.
+    pub fn response_received(
+        &mut self,
+        server_global_time: SimTime,
+        local_receive_time: SimTime,
+    ) -> Option<i64> {
+        let sent = self.outstanding_request_local.take()?;
+        let rtt = local_receive_time.duration_since(sent);
+        let estimated_global_now = server_global_time + rtt / 2;
+        self.estimated_offset_nanos =
+            estimated_global_now.signed_offset_from(local_receive_time);
+        self.synchronized = true;
+        self.rounds_completed += 1;
+        self.last_rtt_nanos = rtt.as_nanos().min(u64::MAX as u128) as u64;
+        Some(self.estimated_offset_nanos)
+    }
+
+    /// Whether at least one synchronization round has completed.
+    pub fn is_synchronized(&self) -> bool {
+        self.synchronized
+    }
+
+    /// The estimated `global − local` offset in nanoseconds.
+    pub fn estimated_offset_nanos(&self) -> i64 {
+        self.estimated_offset_nanos
+    }
+
+    /// The round-trip time measured by the last completed round.
+    pub fn last_rtt_nanos(&self) -> u64 {
+        self.last_rtt_nanos
+    }
+
+    /// Number of completed rounds.
+    pub fn rounds_completed(&self) -> u64 {
+        self.rounds_completed
+    }
+
+    /// Converts a local clock reading into the client's best estimate of
+    /// global time.
+    pub fn estimate_global(&self, local: SimTime) -> SimTime {
+        local.offset_by(self.estimated_offset_nanos)
+    }
+
+    /// Converts a global deadline into the local clock reading at which it is
+    /// estimated to occur.
+    pub fn local_for_global(&self, global: SimTime) -> SimTime {
+        global.offset_by(-self.estimated_offset_nanos)
+    }
+
+    /// Applies the paper's admission rule for a transition scheduled at
+    /// `scheduled_global` when the client's clock currently reads
+    /// `local_now`:
+    ///
+    /// * the client's estimate of global time is **ahead of** the schedule
+    ///   (client clock faster) → the transition must **wait** until the
+    ///   global clock arrives, i.e. until the local clock reads
+    ///   [`ClockSyncClient::local_for_global`]` (scheduled_global)`;
+    /// * the estimate is **at or behind** the schedule (client clock slower
+    ///   or exactly on time) → **fire immediately**.
+    pub fn admission(&self, scheduled_global: SimTime, local_now: SimTime) -> AdmissionDecision {
+        let estimated_global_now = self.estimate_global(local_now);
+        if estimated_global_now < scheduled_global {
+            AdmissionDecision::DelayUntilLocal(self.local_for_global(scheduled_global))
+        } else {
+            AdmissionDecision::FireNow
+        }
+    }
+}
+
+/// The outcome of the global-clock admission rule for one scheduled
+/// transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionDecision {
+    /// The local clock has not yet reached the scheduled global instant:
+    /// delay firing until the local clock reads the embedded value.
+    DelayUntilLocal(SimTime),
+    /// The scheduled instant has already passed (or is now) according to the
+    /// global clock estimate: fire immediately.
+    FireNow,
+}
+
+impl AdmissionDecision {
+    /// Whether the decision is to fire immediately.
+    pub fn is_fire_now(self) -> bool {
+        matches!(self, AdmissionDecision::FireNow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn server_reports_global_time() {
+        let mut server = ClockSyncServer::new();
+        let t = SimTime::from_secs(10);
+        assert_eq!(server.handle_request(t), t);
+        assert_eq!(server.rounds_served(), 1);
+    }
+
+    #[test]
+    fn client_estimates_offset_with_symmetric_delay() {
+        let mut client = ClockSyncClient::new();
+        assert!(!client.is_synchronized());
+        // Local clock is 100 ms behind global. Request sent at local 1.000 s
+        // (global 1.100), 20 ms each way; server replies with global 1.120;
+        // response arrives at local 1.040.
+        client.request_sent(SimTime::from_millis(1_000));
+        let offset = client
+            .response_received(SimTime::from_millis(1_120), SimTime::from_millis(1_040))
+            .unwrap();
+        assert!(client.is_synchronized());
+        assert_eq!(client.rounds_completed(), 1);
+        assert_eq!(client.last_rtt_nanos(), Duration::from_millis(40).as_nanos() as u64);
+        // Estimated global at local 1.040 = 1.120 + 0.020 = 1.140 → offset 100 ms.
+        assert_eq!(offset, 100_000_000);
+        assert_eq!(
+            client.estimate_global(SimTime::from_millis(2_000)),
+            SimTime::from_millis(2_100)
+        );
+        assert_eq!(
+            client.local_for_global(SimTime::from_millis(2_100)),
+            SimTime::from_millis(2_000)
+        );
+    }
+
+    #[test]
+    fn response_without_request_is_ignored() {
+        let mut client = ClockSyncClient::new();
+        assert!(client
+            .response_received(SimTime::from_secs(1), SimTime::from_secs(1))
+            .is_none());
+        assert!(!client.is_synchronized());
+    }
+
+    #[test]
+    fn fast_client_is_delayed() {
+        // Client clock runs 50 ms ahead of global: offset = global - local = -50 ms.
+        let mut client = ClockSyncClient::new();
+        client.request_sent(SimTime::from_millis(1_050));
+        client
+            .response_received(SimTime::from_millis(1_000), SimTime::from_millis(1_050))
+            .unwrap();
+        assert_eq!(client.estimated_offset_nanos(), -50_000_000);
+        // A transition scheduled at global 2.000; local clock reads 2.000 → the
+        // client *thinks* it is 1.950 globally, so it must wait.
+        let decision = client.admission(SimTime::from_millis(2_000), SimTime::from_millis(2_000));
+        assert_eq!(
+            decision,
+            AdmissionDecision::DelayUntilLocal(SimTime::from_millis(2_050))
+        );
+        assert!(!decision.is_fire_now());
+    }
+
+    #[test]
+    fn slow_client_fires_immediately() {
+        // Client clock runs 80 ms behind global: offset = +80 ms.
+        let mut client = ClockSyncClient::new();
+        client.request_sent(SimTime::from_millis(920));
+        client
+            .response_received(SimTime::from_millis(1_000), SimTime::from_millis(920))
+            .unwrap();
+        assert_eq!(client.estimated_offset_nanos(), 80_000_000);
+        // A transition scheduled at global 1.000: local clock reads 0.940 →
+        // estimated global 1.020 ≥ 1.000 → fire now.
+        let decision = client.admission(SimTime::from_millis(1_000), SimTime::from_millis(940));
+        assert_eq!(decision, AdmissionDecision::FireNow);
+        assert!(decision.is_fire_now());
+    }
+
+    #[test]
+    fn exactly_on_time_fires_now() {
+        let client = ClockSyncClient::new(); // offset 0
+        let decision = client.admission(SimTime::from_secs(5), SimTime::from_secs(5));
+        assert_eq!(decision, AdmissionDecision::FireNow);
+    }
+
+    #[test]
+    fn repeated_rounds_refine_the_estimate() {
+        let mut client = ClockSyncClient::new();
+        client.request_sent(SimTime::from_millis(100));
+        client
+            .response_received(SimTime::from_millis(400), SimTime::from_millis(140))
+            .unwrap();
+        let first = client.estimated_offset_nanos();
+        client.request_sent(SimTime::from_millis(1_000));
+        client
+            .response_received(SimTime::from_millis(1_305), SimTime::from_millis(1_010))
+            .unwrap();
+        let second = client.estimated_offset_nanos();
+        assert_ne!(first, second);
+        assert_eq!(client.rounds_completed(), 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! # dmps-simnet
+//!
+//! Deterministic discrete-event network simulator used as the distributed
+//! substrate of the DMPS reproduction of *"Using the Floor Control Mechanism
+//! in Distributed Multimedia Presentation System"* (Shih et al., ICDCS 2001
+//! Workshops).
+//!
+//! The paper's prototype ran between real Windows machines on a campus
+//! network; the claims it makes, however, only depend on two properties of
+//! that substrate — **bounded message delay** and **bounded clock skew** —
+//! plus the centralized global-clock admission rule of Section 3. This crate
+//! substitutes a simulator that exposes exactly those knobs:
+//!
+//! * [`SimTime`] — nanosecond-resolution simulation time,
+//! * [`LocalClock`] — per-host clocks with drift (ppm) and offset,
+//! * [`Link`] — latency, jitter, bandwidth, loss and up/down state,
+//! * [`Network`] — the event queue: send messages, advance time, observe
+//!   deliveries and drops deterministically from a seed,
+//! * [`globalclock`] — the centralized global-clock synchronization protocol
+//!   and the admission rule ("if the client clock is faster than the global
+//!   clock, the transition does not fire until the global clock arrives;
+//!   if slower, it fires without delay"),
+//! * [`trace`] — structured event traces for the experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use dmps_simnet::{Link, Network, SimTime};
+//! use std::time::Duration;
+//!
+//! let mut net: Network<&'static str> = Network::new(42);
+//! let server = net.add_host("server");
+//! let client = net.add_host("client");
+//! net.connect(server, client, Link::lan());
+//! net.send(server, client, "hello", 100);
+//! let delivery = net.run_until_idle().pop().expect("one delivery");
+//! assert_eq!(delivery.payload, "hello");
+//! assert!(delivery.at > SimTime::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod error;
+pub mod globalclock;
+pub mod link;
+pub mod network;
+pub mod time;
+pub mod trace;
+
+pub use clock::LocalClock;
+pub use error::{Result, SimError};
+pub use globalclock::{AdmissionDecision, ClockSyncClient, ClockSyncServer};
+pub use link::Link;
+pub use network::{Delivery, DropReason, Dropped, HostId, Network};
+pub use time::SimTime;
+pub use trace::{Trace, TraceEvent};

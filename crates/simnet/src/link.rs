@@ -1,0 +1,161 @@
+//! Link models: latency, jitter, bandwidth, loss and up/down state.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SimError};
+
+/// A bidirectional link between two hosts.
+///
+/// Message delivery time over a link is
+/// `queueing + size·8/bandwidth + latency ± jitter`, and each message is
+/// dropped independently with probability `loss_rate` (or always, when the
+/// link is down — the red "connection light" state of Figure 3c).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// One-way propagation latency.
+    pub latency: Duration,
+    /// Maximum random jitter added to (or subtracted from) the latency.
+    pub jitter: Duration,
+    /// Bandwidth in kilobits per second.
+    pub bandwidth_kbps: u32,
+    /// Independent per-message loss probability in `[0, 1]`.
+    pub loss_rate: f64,
+    /// Whether the link is currently up.
+    pub up: bool,
+}
+
+impl Link {
+    /// A campus LAN link: 1 ms latency, 0.2 ms jitter, 100 Mbps, no loss.
+    pub fn lan() -> Self {
+        Link {
+            latency: Duration::from_millis(1),
+            jitter: Duration::from_micros(200),
+            bandwidth_kbps: 100_000,
+            loss_rate: 0.0,
+            up: true,
+        }
+    }
+
+    /// A year-2001 consumer DSL/modem link: 40 ms latency, 10 ms jitter,
+    /// 512 kbps, 0.1 % loss. This approximates the dial-in students of the
+    /// paper's distance-learning scenario.
+    pub fn dsl() -> Self {
+        Link {
+            latency: Duration::from_millis(40),
+            jitter: Duration::from_millis(10),
+            bandwidth_kbps: 512,
+            loss_rate: 0.001,
+            up: true,
+        }
+    }
+
+    /// A long-haul WAN link: 120 ms latency, 30 ms jitter, 2 Mbps, 0.5 % loss.
+    pub fn wan() -> Self {
+        Link {
+            latency: Duration::from_millis(120),
+            jitter: Duration::from_millis(30),
+            bandwidth_kbps: 2_000,
+            loss_rate: 0.005,
+            up: true,
+        }
+    }
+
+    /// Builder-style latency override.
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Builder-style jitter override.
+    pub fn with_jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Builder-style bandwidth override.
+    pub fn with_bandwidth_kbps(mut self, kbps: u32) -> Self {
+        self.bandwidth_kbps = kbps;
+        self
+    }
+
+    /// Builder-style loss override.
+    pub fn with_loss_rate(mut self, loss_rate: f64) -> Self {
+        self.loss_rate = loss_rate;
+        self
+    }
+
+    /// Validates the link parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidLink`] on zero bandwidth or a loss rate
+    /// outside `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        if self.bandwidth_kbps == 0 {
+            return Err(SimError::InvalidLink("zero bandwidth".into()));
+        }
+        if !(0.0..=1.0).contains(&self.loss_rate) || self.loss_rate.is_nan() {
+            return Err(SimError::InvalidLink(format!(
+                "loss rate {} outside [0, 1]",
+                self.loss_rate
+            )));
+        }
+        Ok(())
+    }
+
+    /// The serialization (transmission) delay of a message of `size_bytes`.
+    pub fn transmission_delay(&self, size_bytes: u64) -> Duration {
+        let bits = size_bytes.saturating_mul(8);
+        let nanos = bits as u128 * 1_000_000 / self.bandwidth_kbps as u128;
+        Duration::from_nanos(nanos.min(u64::MAX as u128) as u64)
+    }
+}
+
+impl Default for Link {
+    fn default() -> Self {
+        Link::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        for link in [Link::lan(), Link::dsl(), Link::wan(), Link::default()] {
+            assert!(link.validate().is_ok());
+            assert!(link.up);
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Link::lan().with_bandwidth_kbps(0).validate().is_err());
+        assert!(Link::lan().with_loss_rate(1.5).validate().is_err());
+        assert!(Link::lan().with_loss_rate(f64::NAN).validate().is_err());
+        assert!(Link::lan().with_loss_rate(1.0).validate().is_ok());
+    }
+
+    #[test]
+    fn transmission_delay_scales_with_size_and_bandwidth() {
+        let link = Link::lan().with_bandwidth_kbps(8); // 8 kbps = 1 kB/s
+        assert_eq!(link.transmission_delay(1_000), Duration::from_secs(1));
+        let fast = Link::lan().with_bandwidth_kbps(8_000);
+        assert_eq!(fast.transmission_delay(1_000), Duration::from_millis(1));
+        assert_eq!(fast.transmission_delay(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let link = Link::lan()
+            .with_latency(Duration::from_millis(7))
+            .with_jitter(Duration::from_millis(2))
+            .with_loss_rate(0.25);
+        assert_eq!(link.latency, Duration::from_millis(7));
+        assert_eq!(link.jitter, Duration::from_millis(2));
+        assert!((link.loss_rate - 0.25).abs() < f64::EPSILON);
+    }
+}

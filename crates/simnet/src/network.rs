@@ -1,0 +1,626 @@
+//! The discrete-event network: hosts, links, message delivery and drops.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::clock::LocalClock;
+use crate::error::{Result, SimError};
+use crate::link::Link;
+use crate::time::SimTime;
+
+/// Identifier of a simulated host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HostId(pub usize);
+
+impl HostId {
+    /// The dense index of the host.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// A message delivered to a host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Delivery<M> {
+    /// Global simulation time of the delivery.
+    pub at: SimTime,
+    /// Sending host (equal to `to` for self-scheduled timers).
+    pub from: HostId,
+    /// Receiving host.
+    pub to: HostId,
+    /// The payload.
+    pub payload: M,
+    /// Monotonically increasing send sequence number (global).
+    pub seq: u64,
+}
+
+/// Why a message was not delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// Random loss on the link.
+    Loss,
+    /// The link was administratively down (Figure 3c red light).
+    LinkDown,
+}
+
+/// A message that was dropped instead of delivered.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dropped<M> {
+    /// Global simulation time of the send attempt.
+    pub at: SimTime,
+    /// Sending host.
+    pub from: HostId,
+    /// Intended receiver.
+    pub to: HostId,
+    /// The payload that was lost.
+    pub payload: M,
+    /// Why it was dropped.
+    pub reason: DropReason,
+}
+
+#[derive(Debug)]
+struct Host {
+    name: String,
+    clock: LocalClock,
+}
+
+#[derive(Debug)]
+struct LinkState {
+    link: Link,
+    /// The earliest time the link can start serializing the next message in
+    /// each direction, keyed by the sending side.
+    busy_until: HashMap<HostId, SimTime>,
+}
+
+#[derive(Debug)]
+struct Queued<M> {
+    at: SimTime,
+    seq: u64,
+    delivery: Delivery<M>,
+}
+
+impl<M> PartialEq for Queued<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Queued<M> {}
+impl<M> PartialOrd for Queued<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Queued<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: reverse so the earliest event pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic discrete-event network connecting hosts with links.
+///
+/// All randomness (jitter, loss) comes from a single seeded RNG, so two runs
+/// with the same seed and the same sequence of calls produce identical
+/// deliveries — the property every experiment in `EXPERIMENTS.md` relies on.
+#[derive(Debug)]
+pub struct Network<M> {
+    now: SimTime,
+    hosts: Vec<Host>,
+    links: HashMap<(HostId, HostId), LinkState>,
+    queue: BinaryHeap<Queued<M>>,
+    rng: StdRng,
+    seq: u64,
+    dropped: Vec<Dropped<M>>,
+    delivered_count: u64,
+}
+
+impl<M> Network<M> {
+    /// Creates an empty network with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Network {
+            now: SimTime::ZERO,
+            hosts: Vec::new(),
+            links: HashMap::new(),
+            queue: BinaryHeap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            seq: 0,
+            dropped: Vec::new(),
+            delivered_count: 0,
+        }
+    }
+
+    /// Adds a host with a perfect local clock.
+    pub fn add_host(&mut self, name: impl Into<String>) -> HostId {
+        self.hosts.push(Host {
+            name: name.into(),
+            clock: LocalClock::perfect(),
+        });
+        HostId(self.hosts.len() - 1)
+    }
+
+    /// Adds a host with the given local clock.
+    pub fn add_host_with_clock(&mut self, name: impl Into<String>, clock: LocalClock) -> HostId {
+        let id = self.add_host(name);
+        self.hosts[id.0].clock = clock;
+        id
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// The name of a host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownHost`] for an unknown id.
+    pub fn host_name(&self, id: HostId) -> Result<&str> {
+        self.hosts
+            .get(id.0)
+            .map(|h| h.name.as_str())
+            .ok_or(SimError::UnknownHost(id))
+    }
+
+    /// The local clock of a host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownHost`] for an unknown id.
+    pub fn clock(&self, id: HostId) -> Result<&LocalClock> {
+        self.hosts
+            .get(id.0)
+            .map(|h| &h.clock)
+            .ok_or(SimError::UnknownHost(id))
+    }
+
+    /// Mutable access to the local clock of a host (used by the global-clock
+    /// synchronization client to slew its offset).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownHost`] for an unknown id.
+    pub fn clock_mut(&mut self, id: HostId) -> Result<&mut LocalClock> {
+        self.hosts
+            .get_mut(id.0)
+            .map(|h| &mut h.clock)
+            .ok_or(SimError::UnknownHost(id))
+    }
+
+    /// The local time a host's clock currently shows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownHost`] for an unknown id.
+    pub fn local_time(&self, id: HostId) -> Result<SimTime> {
+        Ok(self.clock(id)?.local_at(self.now))
+    }
+
+    /// Connects two hosts with a link (bidirectional).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SelfLink`] when `a == b`,
+    /// [`SimError::UnknownHost`] for unknown ids, and
+    /// [`SimError::InvalidLink`] when the link fails validation.
+    pub fn connect(&mut self, a: HostId, b: HostId, link: Link) -> Result<()> {
+        if a == b {
+            return Err(SimError::SelfLink(a));
+        }
+        if a.0 >= self.hosts.len() {
+            return Err(SimError::UnknownHost(a));
+        }
+        if b.0 >= self.hosts.len() {
+            return Err(SimError::UnknownHost(b));
+        }
+        link.validate()?;
+        self.links.insert(
+            Self::key(a, b),
+            LinkState {
+                link,
+                busy_until: HashMap::new(),
+            },
+        );
+        Ok(())
+    }
+
+    fn key(a: HostId, b: HostId) -> (HostId, HostId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// The link between two hosts, if any.
+    pub fn link(&self, a: HostId, b: HostId) -> Option<&Link> {
+        self.links.get(&Self::key(a, b)).map(|s| &s.link)
+    }
+
+    /// Marks the link between two hosts up or down.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotConnected`] when no link exists.
+    pub fn set_link_up(&mut self, a: HostId, b: HostId, up: bool) -> Result<()> {
+        let state = self
+            .links
+            .get_mut(&Self::key(a, b))
+            .ok_or(SimError::NotConnected { from: a, to: b })?;
+        state.link.up = up;
+        Ok(())
+    }
+
+    /// Whether two hosts are connected and the link is up.
+    pub fn is_reachable(&self, a: HostId, b: HostId) -> bool {
+        self.link(a, b).map(|l| l.up).unwrap_or(false)
+    }
+
+    /// The current global simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Sends a message of `size_bytes` from `from` to `to`. Returns the
+    /// global sequence number of the send attempt; the message may still be
+    /// dropped (recorded in [`Network::dropped`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotConnected`] when the hosts have no link and
+    /// [`SimError::UnknownHost`] for unknown ids.
+    pub fn send(&mut self, from: HostId, to: HostId, payload: M, size_bytes: u64) -> Result<u64> {
+        if from.0 >= self.hosts.len() {
+            return Err(SimError::UnknownHost(from));
+        }
+        if to.0 >= self.hosts.len() {
+            return Err(SimError::UnknownHost(to));
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        let state = self
+            .links
+            .get_mut(&Self::key(from, to))
+            .ok_or(SimError::NotConnected { from, to })?;
+        if !state.link.up {
+            self.dropped.push(Dropped {
+                at: self.now,
+                from,
+                to,
+                payload,
+                reason: DropReason::LinkDown,
+            });
+            return Ok(seq);
+        }
+        if state.link.loss_rate > 0.0 && self.rng.gen::<f64>() < state.link.loss_rate {
+            self.dropped.push(Dropped {
+                at: self.now,
+                from,
+                to,
+                payload,
+                reason: DropReason::Loss,
+            });
+            return Ok(seq);
+        }
+        let start = (*state.busy_until.get(&from).unwrap_or(&SimTime::ZERO)).max(self.now);
+        let transmission = state.link.transmission_delay(size_bytes);
+        let serialized_at = start + transmission;
+        state.busy_until.insert(from, serialized_at);
+        let jitter_nanos = if state.link.jitter.is_zero() {
+            0
+        } else {
+            self.rng.gen_range(0..=state.link.jitter.as_nanos() as u64)
+        };
+        let arrival = serialized_at + state.link.latency + std::time::Duration::from_nanos(jitter_nanos);
+        self.queue.push(Queued {
+            at: arrival,
+            seq,
+            delivery: Delivery {
+                at: arrival,
+                from,
+                to,
+                payload,
+                seq,
+            },
+        });
+        Ok(seq)
+    }
+
+    /// Schedules a payload to be delivered back to `host` at an absolute
+    /// global time — a timer. Timers are never dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownHost`] for an unknown host and
+    /// [`SimError::TimeWentBackwards`] when `at` is in the past.
+    pub fn schedule(&mut self, host: HostId, at: SimTime, payload: M) -> Result<u64> {
+        if host.0 >= self.hosts.len() {
+            return Err(SimError::UnknownHost(host));
+        }
+        if at < self.now {
+            return Err(SimError::TimeWentBackwards);
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Queued {
+            at,
+            seq,
+            delivery: Delivery {
+                at,
+                from: host,
+                to: host,
+                payload,
+                seq,
+            },
+        });
+        Ok(seq)
+    }
+
+    /// The time of the next queued event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|q| q.at)
+    }
+
+    /// Pops the next delivery, advancing global time to its timestamp.
+    pub fn next_delivery(&mut self) -> Option<Delivery<M>> {
+        let q = self.queue.pop()?;
+        debug_assert!(q.at >= self.now, "event queue must be monotone");
+        self.now = q.at;
+        self.delivered_count += 1;
+        Some(q.delivery)
+    }
+
+    /// Runs the network until no events remain, collecting every delivery in
+    /// timestamp order.
+    pub fn run_until_idle(&mut self) -> Vec<Delivery<M>> {
+        let mut out = Vec::new();
+        while let Some(d) = self.next_delivery() {
+            out.push(d);
+        }
+        out
+    }
+
+    /// Advances global time to `t` without processing events scheduled after
+    /// `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TimeWentBackwards`] when `t` is before the current
+    /// time, and refuses (same error) to jump over pending events.
+    pub fn advance_to(&mut self, t: SimTime) -> Result<()> {
+        if t < self.now {
+            return Err(SimError::TimeWentBackwards);
+        }
+        if let Some(next) = self.peek_time() {
+            if next < t {
+                return Err(SimError::TimeWentBackwards);
+            }
+        }
+        self.now = t;
+        Ok(())
+    }
+
+    /// Messages dropped so far.
+    pub fn dropped(&self) -> &[Dropped<M>] {
+        &self.dropped
+    }
+
+    /// Number of messages delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+
+    /// Number of send attempts so far (delivered + in flight + dropped).
+    pub fn send_count(&self) -> u64 {
+        self.seq
+    }
+
+    /// Number of events still queued.
+    pub fn pending_count(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn two_host_net(link: Link) -> (Network<u32>, HostId, HostId) {
+        let mut net = Network::new(7);
+        let a = net.add_host("a");
+        let b = net.add_host("b");
+        net.connect(a, b, link).unwrap();
+        (net, a, b)
+    }
+
+    #[test]
+    fn message_arrives_after_latency_and_transmission() {
+        let link = Link {
+            latency: Duration::from_millis(10),
+            jitter: Duration::ZERO,
+            bandwidth_kbps: 8, // 1 kB/s
+            loss_rate: 0.0,
+            up: true,
+        };
+        let (mut net, a, b) = two_host_net(link);
+        net.send(a, b, 1, 1_000).unwrap(); // 1 s transmission
+        let d = net.next_delivery().unwrap();
+        assert_eq!(d.to, b);
+        assert_eq!(d.at, SimTime::from_millis(1_010));
+        assert_eq!(net.now(), d.at);
+    }
+
+    #[test]
+    fn queueing_serializes_back_to_back_sends() {
+        let link = Link {
+            latency: Duration::from_millis(5),
+            jitter: Duration::ZERO,
+            bandwidth_kbps: 8,
+            loss_rate: 0.0,
+            up: true,
+        };
+        let (mut net, a, b) = two_host_net(link);
+        net.send(a, b, 1, 1_000).unwrap();
+        net.send(a, b, 2, 1_000).unwrap();
+        let d1 = net.next_delivery().unwrap();
+        let d2 = net.next_delivery().unwrap();
+        assert_eq!(d1.at, SimTime::from_millis(1_005));
+        assert_eq!(d2.at, SimTime::from_millis(2_005), "second message queues behind the first");
+        assert_eq!(d1.payload, 1);
+        assert_eq!(d2.payload, 2);
+    }
+
+    #[test]
+    fn deliveries_come_out_in_time_order() {
+        let (mut net, a, b) = two_host_net(Link::lan());
+        for i in 0..50u32 {
+            net.send(a, b, i, 100).unwrap();
+        }
+        let deliveries = net.run_until_idle();
+        assert_eq!(deliveries.len(), 50);
+        for pair in deliveries.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let run = |seed: u64| -> Vec<(u64, u32)> {
+            let mut net = Network::new(seed);
+            let a = net.add_host("a");
+            let b = net.add_host("b");
+            net.connect(a, b, Link::wan()).unwrap();
+            for i in 0..200u32 {
+                net.send(a, b, i, 500).unwrap();
+            }
+            net.run_until_idle()
+                .into_iter()
+                .map(|d| (d.at.as_nanos(), d.payload))
+                .collect()
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100), "different seeds should differ (jitter)");
+    }
+
+    #[test]
+    fn down_link_drops_messages() {
+        let (mut net, a, b) = two_host_net(Link::lan());
+        net.set_link_up(a, b, false).unwrap();
+        assert!(!net.is_reachable(a, b));
+        net.send(a, b, 42, 10).unwrap();
+        assert!(net.next_delivery().is_none());
+        assert_eq!(net.dropped().len(), 1);
+        assert_eq!(net.dropped()[0].reason, DropReason::LinkDown);
+        net.set_link_up(a, b, true).unwrap();
+        assert!(net.is_reachable(a, b));
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_at_rate() {
+        let link = Link::lan().with_loss_rate(0.5);
+        let (mut net, a, b) = two_host_net(link);
+        for i in 0..1_000u32 {
+            net.send(a, b, i, 10).unwrap();
+        }
+        let delivered = net.run_until_idle().len();
+        let dropped = net.dropped().len();
+        assert_eq!(delivered + dropped, 1_000);
+        assert!((300..700).contains(&dropped), "dropped {dropped} of 1000 at 50% loss");
+        assert!(net
+            .dropped()
+            .iter()
+            .all(|d| d.reason == DropReason::Loss));
+    }
+
+    #[test]
+    fn unconnected_hosts_cannot_send() {
+        let mut net: Network<u8> = Network::new(1);
+        let a = net.add_host("a");
+        let b = net.add_host("b");
+        assert_eq!(
+            net.send(a, b, 0, 1).unwrap_err(),
+            SimError::NotConnected { from: a, to: b }
+        );
+        assert!(net.link(a, b).is_none());
+    }
+
+    #[test]
+    fn self_link_and_unknown_host_rejected() {
+        let mut net: Network<u8> = Network::new(1);
+        let a = net.add_host("a");
+        assert_eq!(net.connect(a, a, Link::lan()).unwrap_err(), SimError::SelfLink(a));
+        assert!(net.connect(a, HostId(5), Link::lan()).is_err());
+        assert!(net.host_name(HostId(5)).is_err());
+        assert_eq!(net.host_name(a).unwrap(), "a");
+    }
+
+    #[test]
+    fn timers_fire_at_the_requested_time() {
+        let mut net: Network<&str> = Network::new(1);
+        let a = net.add_host("a");
+        net.schedule(a, SimTime::from_secs(5), "tick").unwrap();
+        net.schedule(a, SimTime::from_secs(2), "early").unwrap();
+        let d1 = net.next_delivery().unwrap();
+        assert_eq!(d1.payload, "early");
+        assert_eq!(d1.at, SimTime::from_secs(2));
+        let d2 = net.next_delivery().unwrap();
+        assert_eq!(d2.payload, "tick");
+        assert_eq!(net.now(), SimTime::from_secs(5));
+        // Scheduling in the past is rejected.
+        assert_eq!(
+            net.schedule(a, SimTime::from_secs(1), "late").unwrap_err(),
+            SimError::TimeWentBackwards
+        );
+    }
+
+    #[test]
+    fn advance_to_moves_time_but_not_over_events() {
+        let mut net: Network<&str> = Network::new(1);
+        let a = net.add_host("a");
+        net.advance_to(SimTime::from_secs(1)).unwrap();
+        assert_eq!(net.now(), SimTime::from_secs(1));
+        assert!(net.advance_to(SimTime::from_millis(500)).is_err());
+        net.schedule(a, SimTime::from_secs(3), "t").unwrap();
+        assert!(net.advance_to(SimTime::from_secs(10)).is_err());
+        net.advance_to(SimTime::from_secs(2)).unwrap();
+    }
+
+    #[test]
+    fn drifting_clock_reports_local_time() {
+        let mut net: Network<&str> = Network::new(1);
+        let a = net.add_host_with_clock("a", LocalClock::new(1_000.0, 0));
+        let b = net.add_host("b");
+        net.connect(a, b, Link::lan()).unwrap();
+        net.schedule(a, SimTime::from_secs(100), "t").unwrap();
+        net.next_delivery();
+        let local = net.local_time(a).unwrap();
+        assert!(local > net.now());
+        assert_eq!(net.local_time(b).unwrap(), net.now());
+        assert!(net.local_time(HostId(9)).is_err());
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let (mut net, a, b) = two_host_net(Link::lan());
+        net.send(a, b, 1, 10).unwrap();
+        net.send(a, b, 2, 10).unwrap();
+        assert_eq!(net.send_count(), 2);
+        assert_eq!(net.pending_count(), 2);
+        net.run_until_idle();
+        assert_eq!(net.delivered_count(), 2);
+        assert_eq!(net.pending_count(), 0);
+        assert_eq!(net.host_count(), 2);
+    }
+}

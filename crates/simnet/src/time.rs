@@ -1,0 +1,178 @@
+//! Simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// An absolute instant on the simulated global timeline, with nanosecond
+/// resolution. `SimTime::ZERO` is the start of the simulation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from nanoseconds since simulation start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates an instant from microseconds since simulation start.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros * 1_000)
+    }
+
+    /// Creates an instant from milliseconds since simulation start.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000_000)
+    }
+
+    /// Creates an instant from seconds since simulation start.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since simulation start (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Whole seconds since simulation start (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+
+    /// Seconds since simulation start as a float (for metrics output).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The elapsed duration since an earlier instant, saturating to zero when
+    /// `earlier` is actually later.
+    pub fn duration_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(d.as_nanos().min(u64::MAX as u128) as u64))
+    }
+
+    /// Saturating subtraction of a duration.
+    pub fn saturating_sub(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.as_nanos().min(u64::MAX as u128) as u64))
+    }
+
+    /// Signed offset (in nanoseconds) from `other` to `self`.
+    pub fn signed_offset_from(self, other: SimTime) -> i64 {
+        self.0 as i64 - other.0 as i64
+    }
+
+    /// Applies a signed nanosecond offset, saturating at the timeline bounds.
+    pub fn offset_by(self, nanos: i64) -> SimTime {
+        if nanos >= 0 {
+            SimTime(self.0.saturating_add(nanos as u64))
+        } else {
+            SimTime(self.0.saturating_sub(nanos.unsigned_abs()))
+        }
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: Duration) -> SimTime {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_are_consistent() {
+        let t = SimTime::from_millis(1_500);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert_eq!(t.as_millis(), 1_500);
+        assert_eq!(t.as_secs(), 1);
+        assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2_000));
+        assert_eq!(SimTime::from_micros(5), SimTime::from_nanos(5_000));
+        assert!((SimTime::from_millis(250).as_secs_f64() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_with_durations() {
+        let t = SimTime::from_millis(100);
+        let later = t + Duration::from_millis(50);
+        assert_eq!(later.as_millis(), 150);
+        assert_eq!(later - t, Duration::from_millis(50));
+        assert_eq!(t - later, Duration::ZERO, "saturating");
+        let mut acc = SimTime::ZERO;
+        acc += Duration::from_secs(1);
+        assert_eq!(acc, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn signed_offsets() {
+        let a = SimTime::from_millis(100);
+        let b = SimTime::from_millis(150);
+        assert_eq!(b.signed_offset_from(a), 50_000_000);
+        assert_eq!(a.signed_offset_from(b), -50_000_000);
+        assert_eq!(a.offset_by(50_000_000), b);
+        assert_eq!(b.offset_by(-50_000_000), a);
+        assert_eq!(SimTime::ZERO.offset_by(-10), SimTime::ZERO, "saturates");
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::ZERO < SimTime::from_nanos(1));
+        assert!(SimTime::MAX > SimTime::from_secs(1_000_000));
+        assert_eq!(SimTime::from_millis(250).to_string(), "0.250000s");
+    }
+
+    #[test]
+    fn saturating_edges() {
+        assert_eq!(
+            SimTime::MAX.saturating_add(Duration::from_secs(1)),
+            SimTime::MAX
+        );
+        assert_eq!(
+            SimTime::ZERO.saturating_sub(Duration::from_secs(1)),
+            SimTime::ZERO
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Structured event traces for the experiment harness.
+//!
+//! Every experiment binary in `dmps-bench` records a [`Trace`] so that
+//! `EXPERIMENTS.md` entries can point at reproducible, diffable evidence.
+
+use serde::{Deserialize, Serialize};
+
+use crate::network::HostId;
+use crate::time::SimTime;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Global simulation time of the event.
+    pub at: SimTime,
+    /// The host the event concerns, if any.
+    pub host: Option<HostId>,
+    /// Event category (free-form, e.g. `"fire"`, `"grant"`, `"suspend"`).
+    pub category: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// An append-only, time-ordered event trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Records an event.
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        host: Option<HostId>,
+        category: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        self.events.push(TraceEvent {
+            at,
+            host,
+            category: category.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// All events in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of a given category.
+    pub fn of_category<'a>(&'a self, category: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.category == category)
+    }
+
+    /// Events concerning a given host.
+    pub fn of_host(&self, host: HostId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.host == Some(host))
+    }
+
+    /// Renders the trace as a simple tab-separated text table, one event per
+    /// line — the format the experiment binaries print.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from("time\thost\tcategory\tdetail\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\n",
+                e.at,
+                e.host.map(|h| h.to_string()).unwrap_or_else(|| "-".into()),
+                e.category,
+                e.detail
+            ));
+        }
+        out
+    }
+}
+
+impl Extend<TraceEvent> for Trace {
+    fn extend<T: IntoIterator<Item = TraceEvent>>(&mut self, iter: T) {
+        self.events.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_filter() {
+        let mut trace = Trace::new();
+        assert!(trace.is_empty());
+        trace.record(SimTime::from_millis(1), Some(HostId(0)), "fire", "t0");
+        trace.record(SimTime::from_millis(2), Some(HostId(1)), "grant", "floor to h1");
+        trace.record(SimTime::from_millis(3), None, "fire", "t1");
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.of_category("fire").count(), 2);
+        assert_eq!(trace.of_host(HostId(1)).count(), 1);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn table_renders_every_event() {
+        let mut trace = Trace::new();
+        trace.record(SimTime::from_millis(5), Some(HostId(2)), "suspend", "member 3");
+        let table = trace.to_table();
+        assert!(table.starts_with("time\thost\tcategory\tdetail\n"));
+        assert!(table.contains("h2"));
+        assert!(table.contains("suspend"));
+        assert!(table.contains("member 3"));
+    }
+
+    #[test]
+    fn extend_appends_events() {
+        let mut trace = Trace::new();
+        trace.extend(vec![TraceEvent {
+            at: SimTime::ZERO,
+            host: None,
+            category: "x".into(),
+            detail: "y".into(),
+        }]);
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.events()[0].category, "x");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut trace = Trace::new();
+        trace.record(SimTime::from_secs(1), Some(HostId(0)), "fire", "a");
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(trace, back);
+    }
+}

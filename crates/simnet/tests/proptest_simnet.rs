@@ -1,0 +1,112 @@
+//! Property-based tests for the network simulator.
+
+use std::time::Duration;
+
+use dmps_simnet::{Link, LocalClock, Network, SimTime};
+use proptest::prelude::*;
+
+fn arb_link() -> impl Strategy<Value = Link> {
+    (1u64..200, 0u64..50, 64u32..100_000, 0.0f64..0.2).prop_map(
+        |(latency_ms, jitter_ms, bw, loss)| Link {
+            latency: Duration::from_millis(latency_ms),
+            jitter: Duration::from_millis(jitter_ms),
+            bandwidth_kbps: bw,
+            loss_rate: loss,
+            up: true,
+        },
+    )
+}
+
+proptest! {
+    /// Deliveries always come out in non-decreasing time order, time never
+    /// runs backwards, and delivered + dropped equals the number of sends.
+    #[test]
+    fn conservation_and_monotonicity(
+        link in arb_link(),
+        sizes in proptest::collection::vec(1u64..10_000, 1..100),
+        seed in 0u64..1_000,
+    ) {
+        let mut net = Network::new(seed);
+        let a = net.add_host("a");
+        let b = net.add_host("b");
+        net.connect(a, b, link).unwrap();
+        for (i, &size) in sizes.iter().enumerate() {
+            net.send(a, b, i, size).unwrap();
+        }
+        let mut last = SimTime::ZERO;
+        let mut delivered = 0usize;
+        while let Some(d) = net.next_delivery() {
+            prop_assert!(d.at >= last);
+            prop_assert_eq!(net.now(), d.at);
+            last = d.at;
+            delivered += 1;
+        }
+        prop_assert_eq!(delivered + net.dropped().len(), sizes.len());
+    }
+
+    /// Every delivery over a link arrives no earlier than the link's minimum
+    /// possible delay (latency + transmission).
+    #[test]
+    fn deliveries_respect_minimum_delay(
+        link in arb_link(),
+        size in 1u64..100_000,
+        seed in 0u64..1_000,
+    ) {
+        let mut net = Network::new(seed);
+        let a = net.add_host("a");
+        let b = net.add_host("b");
+        let lossless = Link { loss_rate: 0.0, ..link };
+        net.connect(a, b, lossless).unwrap();
+        net.send(a, b, 0u8, size).unwrap();
+        let d = net.next_delivery().unwrap();
+        let min = lossless.latency + lossless.transmission_delay(size);
+        prop_assert!(d.at.duration_since(SimTime::ZERO) >= min);
+        // And no later than min + jitter.
+        prop_assert!(d.at.duration_since(SimTime::ZERO) <= min + lossless.jitter);
+    }
+
+    /// The same seed reproduces the exact same delivery schedule.
+    #[test]
+    fn determinism(seed in 0u64..500, n in 1usize..80) {
+        let run = || {
+            let mut net = Network::new(seed);
+            let a = net.add_host("a");
+            let b = net.add_host("b");
+            net.connect(a, b, Link::wan()).unwrap();
+            for i in 0..n {
+                net.send(a, b, i, (i as u64 + 1) * 10).unwrap();
+            }
+            net.run_until_idle()
+                .into_iter()
+                .map(|d| (d.seq, d.at.as_nanos()))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Local clock conversion functions are mutual inverses within rounding
+    /// error for realistic drifts.
+    #[test]
+    fn clock_roundtrip(drift_ppm in -1_000.0f64..1_000.0, offset_ms in -10_000i64..10_000, at_s in 0u64..100_000) {
+        let clock = LocalClock::new(drift_ppm, offset_ms * 1_000_000);
+        let global = SimTime::from_secs(at_s);
+        let local = clock.local_at(global);
+        if local > SimTime::ZERO {
+            let back = clock.global_at(local);
+            let err = back.signed_offset_from(global).abs();
+            prop_assert!(err < 1_000, "round-trip error {err} ns");
+        }
+    }
+
+    /// Clock skew grows linearly with drift: doubling elapsed time roughly
+    /// doubles the skew for a pure-drift clock.
+    #[test]
+    fn skew_grows_with_time(drift_ppm in 1.0f64..1_000.0, at_s in 10u64..10_000) {
+        let clock = LocalClock::new(drift_ppm, 0);
+        let skew1 = clock.skew_nanos_at(SimTime::from_secs(at_s));
+        let skew2 = clock.skew_nanos_at(SimTime::from_secs(at_s * 2));
+        prop_assert!(skew1 > 0);
+        let ratio = skew2 as f64 / skew1 as f64;
+        prop_assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+}

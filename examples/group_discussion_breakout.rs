@@ -1,0 +1,95 @@
+//! Group discussion and direct contact: the paper's third and fourth floor
+//! control modes, exercised directly against the floor control arbiter.
+//!
+//! A student creates a breakout sub-group by invitation, the invitees accept
+//! or decline, the sub-group chats privately, and two students open a
+//! direct-contact window — all while the main session stays in equal control
+//! with the teacher holding the floor.
+//!
+//! Run with: `cargo run -p dmps --example group_discussion_breakout`
+
+use dmps_floor::{
+    ArbitrationOutcome, FcmMode, FloorArbiter, FloorRequest, Member, Resource, Role,
+};
+
+fn main() {
+    let mut arbiter = FloorArbiter::with_defaults();
+    let session = arbiter.create_group("seminar", FcmMode::EqualControl);
+    let teacher = arbiter
+        .add_member(session, Member::new("teacher", Role::Chair))
+        .unwrap();
+    let alice = arbiter
+        .add_member(session, Member::new("alice", Role::Participant))
+        .unwrap();
+    let bob = arbiter
+        .add_member(session, Member::new("bob", Role::Participant))
+        .unwrap();
+    let carol = arbiter
+        .add_member(session, Member::new("carol", Role::Participant))
+        .unwrap();
+
+    // The teacher takes the floor in the main group.
+    let outcome = arbiter.arbitrate(&FloorRequest::speak(session, teacher)).unwrap();
+    println!("teacher floor request: granted={}", outcome.is_granted());
+    let queued = arbiter.arbitrate(&FloorRequest::speak(session, alice)).unwrap();
+    println!("alice floor request while teacher holds the floor: {queued:?}");
+
+    // Alice starts a breakout discussion and invites bob and carol.
+    let (breakout, invite_bob) = arbiter
+        .invite(session, alice, bob, FcmMode::GroupDiscussion)
+        .unwrap();
+    arbiter.respond_invitation(invite_bob, bob, true).unwrap();
+    let (_, invite_carol) = arbiter
+        .invite(session, alice, carol, FcmMode::GroupDiscussion)
+        .unwrap();
+    // Carol declines; she stays only in the main session.
+    arbiter.respond_invitation(invite_carol, carol, false).unwrap();
+    // Bob also joins alice's original breakout group explicitly.
+    arbiter.join_group(breakout, bob).unwrap();
+
+    println!(
+        "breakout group: {} (chair {:?})",
+        arbiter.group(breakout).unwrap(),
+        arbiter.group(breakout).unwrap().chair
+    );
+
+    // Inside the breakout everyone qualified may deliver together.
+    let outcome = arbiter.arbitrate(&FloorRequest::speak(breakout, alice)).unwrap();
+    match &outcome {
+        ArbitrationOutcome::Granted { speakers, .. } => {
+            println!("breakout speakers: {speakers:?}");
+        }
+        other => println!("unexpected breakout outcome: {other:?}"),
+    }
+
+    // Bob and carol open a direct-contact window within the main session.
+    let (pair, invite) = arbiter
+        .invite(session, bob, carol, FcmMode::DirectContact)
+        .unwrap();
+    arbiter.respond_invitation(invite, carol, true).unwrap();
+    let outcome = arbiter
+        .arbitrate(&FloorRequest::direct_contact(pair, bob, carol))
+        .unwrap();
+    println!("direct contact bob↔carol: {outcome:?}");
+
+    // Resource pressure: the session drops into the degraded regime, so a
+    // teacher grant suspends lower-priority members' media first.
+    arbiter.set_resource(Resource::new(0.35, 0.9, 0.9));
+    let outcome = arbiter.arbitrate(&FloorRequest::speak(session, teacher)).unwrap();
+    println!(
+        "teacher grant under resource pressure: suspensions={:?}",
+        outcome.suspensions()
+    );
+    println!(
+        "currently suspended members: {:?}",
+        arbiter.suspended_members().collect::<Vec<_>>()
+    );
+
+    // Recovery lifts the suspensions.
+    arbiter.set_resource(Resource::full());
+    println!(
+        "after recovery, suspended members: {:?}",
+        arbiter.suspended_members().collect::<Vec<_>>()
+    );
+    println!("final arbitration stats: {:?}", arbiter.stats());
+}

@@ -1,0 +1,133 @@
+//! Integration: the centralized global clock keeps distributed playback
+//! synchronous across clients with drifting clocks and asymmetric links —
+//! the paper's Section 3 claim, measured end to end.
+
+use std::time::Duration;
+
+use dmps::{PresentationDriver, Session, SessionConfig};
+use dmps_floor::{FcmMode, Role};
+use dmps_media::{MediaKind, MediaObject, PresentationDocument, TemporalRelation};
+use dmps_simnet::{Link, LocalClock};
+
+fn presentation(segments: usize) -> PresentationDocument {
+    let mut doc = PresentationDocument::new("clock-sync-presentation");
+    let mut prev = None;
+    for i in 0..segments {
+        let seg = doc.add_object(MediaObject::new(
+            format!("seg-{i}"),
+            MediaKind::Video,
+            Duration::from_secs(6),
+        ));
+        if let Some(p) = prev {
+            doc.relate(p, TemporalRelation::Meets, seg).unwrap();
+        }
+        prev = Some(seg);
+    }
+    doc
+}
+
+fn run(admission: bool, drift_offsets_ms: &[i64], seed: u64) -> dmps::PlaybackSkewReport {
+    let mut config = SessionConfig::new(seed, FcmMode::FreeAccess);
+    if !admission {
+        config = config.without_admission_control();
+    }
+    let mut session = Session::new(config);
+    session.add_client("reference", Role::Chair, Link::lan(), LocalClock::perfect());
+    for (i, &offset_ms) in drift_offsets_ms.iter().enumerate() {
+        let link = if i % 2 == 0 { Link::dsl() } else { Link::wan() };
+        session.add_client(
+            format!("client-{i}"),
+            Role::Participant,
+            link,
+            LocalClock::new(offset_ms as f64 * 5.0, offset_ms * 1_000_000),
+        );
+    }
+    session.pump();
+    let driver = PresentationDriver::from_document(&presentation(4)).unwrap();
+    let start = session.now() + Duration::from_secs(5);
+    driver.run(&mut session, start, Duration::from_secs(2))
+}
+
+#[test]
+fn admission_control_bounds_skew_despite_large_clock_offsets() {
+    let offsets = [40i64, -35, 25, -50];
+    let report = run(true, &offsets, 100);
+    assert_eq!(report.overall.samples, 4 * 5, "4 segments x 5 clients");
+    // The admission rule bounds skew by the clock-sync estimation error
+    // (≈ rtt/2 asymmetry), far below the tens-of-milliseconds clock offsets.
+    assert!(
+        report.overall.max < Duration::from_millis(60),
+        "max skew {:?} should be bounded by the sync error",
+        report.overall.max
+    );
+    assert!(report.admission_control);
+}
+
+#[test]
+fn without_admission_control_skew_is_dominated_by_lead_time_and_offsets() {
+    let offsets = [40i64, -35, 25, -50];
+    let with = run(true, &offsets, 200);
+    let without = run(false, &offsets, 200);
+    assert!(
+        without.overall.max > with.overall.max * 4,
+        "without admission ({:?}) should be much worse than with ({:?})",
+        without.overall.max,
+        with.overall.max
+    );
+}
+
+#[test]
+fn skew_grows_with_link_latency_when_uncontrolled_but_not_when_controlled() {
+    // One client on a fast link, one on a very slow link.
+    let build = |admission: bool, slow_latency_ms: u64| {
+        let mut config = SessionConfig::new(7, FcmMode::FreeAccess);
+        if !admission {
+            config = config.without_admission_control();
+        }
+        let mut session = Session::new(config);
+        session.add_client("near", Role::Chair, Link::lan(), LocalClock::perfect());
+        session.add_client(
+            "far",
+            Role::Participant,
+            Link::lan().with_latency(Duration::from_millis(slow_latency_ms)),
+            LocalClock::perfect(),
+        );
+        session.pump();
+        let driver = PresentationDriver::from_document(&presentation(2)).unwrap();
+        let start = session.now() + Duration::from_secs(5);
+        driver.run(&mut session, start, Duration::from_secs(2))
+    };
+    let uncontrolled_fast = build(false, 20);
+    let uncontrolled_slow = build(false, 400);
+    assert!(
+        uncontrolled_slow.overall.spread > uncontrolled_fast.overall.spread,
+        "without the rule, skew tracks the link asymmetry"
+    );
+    let controlled_slow = build(true, 400);
+    assert!(
+        controlled_slow.overall.max < Duration::from_millis(60),
+        "with the rule, even a 400 ms link stays synchronous: {:?}",
+        controlled_slow.overall.max
+    );
+}
+
+#[test]
+fn repeated_sync_rounds_keep_clients_synchronized() {
+    let mut session = Session::new(SessionConfig::new(3, FcmMode::FreeAccess));
+    let drifty = session.add_client(
+        "drifty",
+        Role::Participant,
+        Link::dsl(),
+        LocalClock::new(800.0, 10_000_000),
+    );
+    session.pump();
+    let first_offset = session.client(drifty).sync().estimated_offset_nanos();
+    // Let time pass so the drift accumulates, then re-synchronize.
+    let later = session.now() + Duration::from_secs(120);
+    session.run_until(later);
+    session.sync_clock(drifty);
+    session.pump();
+    let second_offset = session.client(drifty).sync().estimated_offset_nanos();
+    assert_ne!(first_offset, second_offset, "the new round must re-estimate the offset");
+    assert!(session.client(drifty).sync().rounds_completed() >= 2);
+}

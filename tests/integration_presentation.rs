@@ -1,0 +1,133 @@
+//! Integration: authoring a presentation, compiling it under all three
+//! models, verifying it, and checking the schedule evaluation end to end.
+
+use std::time::Duration;
+
+use dmps_docpn::schedule::evaluate;
+use dmps_docpn::{
+    compile, verify_presentation, CompileOptions, InteractionBehavior, ModelKind, TimedExecution,
+};
+use dmps_media::{MediaKind, MediaObject, PresentationDocument, TemporalRelation};
+use dmps_petri::dot::{to_dot, DotOptions};
+
+fn lecture() -> PresentationDocument {
+    let mut doc = PresentationDocument::new("integration-lecture");
+    let video = doc.add_object(MediaObject::new("video", MediaKind::Video, Duration::from_secs(60)));
+    let audio = doc.add_object(MediaObject::new("audio", MediaKind::Audio, Duration::from_secs(60)));
+    let slides = doc.add_object(MediaObject::new("slides", MediaKind::Slide, Duration::from_secs(45)));
+    let demo = doc.add_object(MediaObject::new("demo", MediaKind::Image, Duration::from_secs(15)));
+    let quiz = doc.add_object(MediaObject::new("quiz", MediaKind::Text, Duration::from_secs(20)));
+    doc.relate(video, TemporalRelation::Equals, audio).unwrap();
+    doc.relate(video, TemporalRelation::StartedBy, slides).unwrap();
+    doc.relate(slides, TemporalRelation::Meets, demo).unwrap();
+    doc.relate(video, TemporalRelation::Meets, quiz).unwrap();
+    doc.add_interaction("mid-lecture-poll", Duration::from_secs(30), Duration::from_secs(10));
+    doc
+}
+
+#[test]
+fn every_model_compiles_verifies_and_completes() {
+    let doc = lecture();
+    for model in ModelKind::all() {
+        let compiled = compile(&doc, &CompileOptions::new(model)).unwrap();
+        let verification = verify_presentation(&compiled).unwrap();
+        assert!(verification.is_valid(), "{model} failed verification: {verification:?}");
+        let exec = TimedExecution::run_to_completion(&compiled.net, &compiled.initial).unwrap();
+        assert_eq!(exec.makespan(), Duration::from_secs(80), "{model} nominal makespan");
+        let report = evaluate(&compiled, &exec, Duration::from_millis(50)).unwrap();
+        assert!(report.on_schedule(), "{model} must be on schedule nominally");
+        assert_eq!(report.deadline_misses, 0);
+    }
+}
+
+#[test]
+fn the_figure_1_net_exports_to_dot() {
+    let doc = lecture();
+    let compiled = compile(&doc, &CompileOptions::new(ModelKind::Docpn)).unwrap();
+    let dot = to_dot(
+        compiled.net.net(),
+        &DotOptions {
+            title: Some("Figure 1: DOCPN of a distributed multimedia presentation".into()),
+            horizontal: true,
+            marking: Some(compiled.initial.clone()),
+        },
+    );
+    assert!(dot.contains("digraph"));
+    assert!(dot.contains("play:video"));
+    assert!(dot.contains("clock@"));
+    assert!(dot.contains("Figure 1"));
+}
+
+#[test]
+fn late_delivery_comparison_matches_the_papers_claim() {
+    // The paper's argument: OCPN/XOCPN stall on late media, DOCPN holds the
+    // schedule via the priority global clock.
+    let doc = lecture();
+    let slides = doc.objects().find(|(_, o)| o.name == "slides").unwrap().0;
+    let delay = Duration::from_secs(7);
+
+    let xocpn = compile(
+        &doc,
+        &CompileOptions::new(ModelKind::Xocpn).with_transfer_delay(slides, delay),
+    )
+    .unwrap();
+    let exec = TimedExecution::run_to_completion(&xocpn.net, &xocpn.initial).unwrap();
+    let xocpn_report = evaluate(&xocpn, &exec, Duration::from_millis(50)).unwrap();
+
+    let docpn = compile(
+        &doc,
+        &CompileOptions::new(ModelKind::Docpn).with_transfer_delay(slides, delay),
+    )
+    .unwrap();
+    let exec = TimedExecution::run_to_completion(&docpn.net, &docpn.initial).unwrap();
+    let docpn_report = evaluate(&docpn, &exec, Duration::from_millis(50)).unwrap();
+
+    assert!(xocpn_report.max_stall >= delay, "XOCPN stalls at least as long as the delay");
+    assert!(xocpn_report.deadline_misses >= 2, "the stall cascades to later objects");
+    assert!(docpn_report.on_schedule(), "DOCPN never stalls");
+    assert_eq!(docpn_report.deadline_misses, 1, "only the late object misses under DOCPN");
+    assert!(docpn_report.priority_firings >= 1);
+    assert!(docpn_report.makespan < xocpn_report.makespan);
+}
+
+#[test]
+fn interaction_points_follow_user_or_timeout() {
+    let doc = lecture();
+    // Timeout path.
+    let compiled = compile(&doc, &CompileOptions::new(ModelKind::Docpn)).unwrap();
+    let exec = TimedExecution::run_to_completion(&compiled.net, &compiled.initial).unwrap();
+    let (t_user, t_timeout) = compiled.interaction_transitions["mid-lecture-poll"];
+    assert!(exec.firing_of(t_user).is_none());
+    assert_eq!(exec.firing_of(t_timeout).unwrap().at, Duration::from_secs(40));
+
+    // User path.
+    let options = CompileOptions::new(ModelKind::Docpn).with_interaction(
+        "mid-lecture-poll",
+        InteractionBehavior::ActedAt(Duration::from_secs(33)),
+    );
+    let compiled = compile(&doc, &options).unwrap();
+    let exec = TimedExecution::run_to_completion(&compiled.net, &compiled.initial).unwrap();
+    let (t_user, t_timeout) = compiled.interaction_transitions["mid-lecture-poll"];
+    assert_eq!(exec.firing_of(t_user).unwrap().at, Duration::from_secs(33));
+    assert!(exec.firing_of(t_timeout).is_none());
+}
+
+#[test]
+fn synchronous_sets_match_active_objects_on_the_timeline() {
+    let doc = lecture();
+    let timeline = doc.timeline().unwrap();
+    let sets = doc.synchronous_sets().unwrap();
+    // Every synchronous set is exactly the active set at some instant — its
+    // witness instant is the latest start time among its members.
+    for set in &sets {
+        let probe = set
+            .iter()
+            .map(|&id| timeline.interval(id).unwrap().start)
+            .max()
+            .unwrap();
+        let mut active = timeline.active_at(probe);
+        active.sort();
+        assert_eq!(&active, set);
+    }
+    assert!(sets.len() >= 2);
+}
