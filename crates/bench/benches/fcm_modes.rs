@@ -28,16 +28,19 @@ fn bench_modes(c: &mut Criterion) {
                 b.iter(|| {
                     let (mut session, teacher, students) =
                         classroom_session(5, mode, 5, 100.0, 5, true);
-                    let indices: Vec<usize> =
-                        std::iter::once(teacher).chain(students).collect();
+                    let indices: Vec<usize> = std::iter::once(teacher).chain(students).collect();
                     for event in &workload.events {
                         let idx = indices[event.client];
                         match &event.action {
                             WorkloadAction::RequestFloor => session.request_floor(idx),
                             WorkloadAction::ReleaseFloor => session.release_floor(idx),
                             WorkloadAction::Chat(t) => session.send_chat(idx, t.clone()),
-                            WorkloadAction::Whiteboard(s) => session.send_whiteboard(idx, s.clone()),
-                            WorkloadAction::Annotation(t) => session.send_annotation(idx, t.clone()),
+                            WorkloadAction::Whiteboard(s) => {
+                                session.send_whiteboard(idx, s.clone())
+                            }
+                            WorkloadAction::Annotation(t) => {
+                                session.send_annotation(idx, t.clone())
+                            }
                         }
                     }
                     session.pump();

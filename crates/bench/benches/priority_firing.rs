@@ -18,8 +18,8 @@ fn bench_models(c: &mut Criterion) {
             BenchmarkId::from_parameter(model.to_string()),
             &model,
             |b, &model| {
-                let options = CompileOptions::new(model)
-                    .with_transfer_delay(slides, Duration::from_secs(10));
+                let options =
+                    CompileOptions::new(model).with_transfer_delay(slides, Duration::from_secs(10));
                 b.iter(|| {
                     let compiled = compile(&doc, &options).unwrap();
                     TimedExecution::run_to_completion(&compiled.net, &compiled.initial).unwrap()
@@ -33,13 +33,9 @@ fn bench_models(c: &mut Criterion) {
     group.sample_size(10);
     for &segments in &[10usize, 50, 200] {
         let doc = sequential_document(segments, Duration::from_secs(2));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(segments),
-            &doc,
-            |b, doc| {
-                b.iter(|| compile(doc, &CompileOptions::new(ModelKind::Docpn)).unwrap())
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(segments), &doc, |b, doc| {
+            b.iter(|| compile(doc, &CompileOptions::new(ModelKind::Docpn)).unwrap())
+        });
     }
     group.finish();
 }

@@ -6,7 +6,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dmps_floor::suspend::SuspensionOrder;
 use dmps_floor::{FcmMode, FloorArbiter, FloorRequest, Member, Resource, Role};
 
-fn build(members: usize, order: SuspensionOrder) -> (FloorArbiter, dmps_floor::GroupId, dmps_floor::MemberId) {
+fn build(
+    members: usize,
+    order: SuspensionOrder,
+) -> (FloorArbiter, dmps_floor::GroupId, dmps_floor::MemberId) {
     let mut arbiter = FloorArbiter::with_defaults();
     arbiter.set_suspension_order(order);
     let group = arbiter.create_group("class", FcmMode::FreeAccess);
@@ -14,7 +17,11 @@ fn build(members: usize, order: SuspensionOrder) -> (FloorArbiter, dmps_floor::G
         .add_member(group, Member::new("teacher", Role::Chair))
         .unwrap();
     for i in 0..members {
-        let role = if i % 3 == 0 { Role::Observer } else { Role::Participant };
+        let role = if i % 3 == 0 {
+            Role::Observer
+        } else {
+            Role::Participant
+        };
         arbiter
             .add_member(group, Member::new(format!("m{i}"), role))
             .unwrap();
@@ -26,7 +33,10 @@ fn bench_arbitration(c: &mut Criterion) {
     let mut group = c.benchmark_group("degraded_arbitration");
     group.sample_size(30);
     for &members in &[8usize, 64, 256] {
-        for order in [SuspensionOrder::PriorityAscending, SuspensionOrder::JoinOrder] {
+        for order in [
+            SuspensionOrder::PriorityAscending,
+            SuspensionOrder::JoinOrder,
+        ] {
             let label = format!("{members}-members/{order:?}");
             group.bench_with_input(BenchmarkId::from_parameter(label), &members, |b, &n| {
                 b.iter(|| {

@@ -1,0 +1,88 @@
+//! Bench: floor-request throughput of the sharded control plane as the shard
+//! count grows.
+//!
+//! A fixed campus (192 Equal Control groups × 3 members) is served by 1, 2,
+//! 4 and 8 shards with the production snapshot cadence. Each iteration
+//! pushes one speak wave plus a release wave through every group via the
+//! batched [`dmps_cluster::Cluster::flush_parallel`] path. Throughput rises
+//! with the shard count for two stacked reasons: per-shard state (and
+//! therefore the cadence snapshot + log-compaction work) shrinks ~1/shards,
+//! and on multi-core hosts the per-shard workers run in parallel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dmps_cluster::{Cluster, ClusterConfig, GlobalGroupId, GlobalMemberId, GlobalRequest};
+use dmps_floor::{FcmMode, Member, Role};
+
+const GROUPS: usize = 192;
+const MEMBERS: usize = 3;
+
+fn campus(shards: usize) -> (Cluster, Vec<(GlobalGroupId, Vec<GlobalMemberId>)>) {
+    let mut cluster = Cluster::new(ClusterConfig {
+        shards,
+        vnodes: 64,
+        snapshot_every: 128,
+    });
+    let mut lectures = Vec::new();
+    for g in 0..GROUPS {
+        let gid = cluster
+            .create_group(format!("lecture-{g}"), FcmMode::EqualControl)
+            .expect("all shards active");
+        let roster: Vec<GlobalMemberId> = (0..MEMBERS)
+            .map(|m| {
+                let role = if m == 0 {
+                    Role::Chair
+                } else {
+                    Role::Participant
+                };
+                let member = cluster.register_member(Member::new(format!("u{g}-{m}"), role));
+                cluster.join_group(gid, member).expect("fresh group");
+                member
+            })
+            .collect();
+        lectures.push((gid, roster));
+    }
+    (cluster, lectures)
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_scaling");
+    group.sample_size(10);
+    let requests_per_iter = (GROUPS * 2 * MEMBERS) as u64;
+    for &shards in &[1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements(requests_per_iter));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{shards}-shards")),
+            &shards,
+            |b, &shards| {
+                let (mut cluster, lectures) = campus(shards);
+                b.iter(|| {
+                    for (gid, roster) in &lectures {
+                        for &member in roster {
+                            cluster
+                                .submit(GlobalRequest::speak(*gid, member))
+                                .expect("routable");
+                        }
+                    }
+                    let decisions = cluster.flush_parallel();
+                    // Drain every token so state does not accumulate across
+                    // iterations: each member releases in turn, emptying the
+                    // queue the speak wave built.
+                    for (gid, roster) in &lectures {
+                        for &member in roster {
+                            cluster
+                                .submit(GlobalRequest::release_floor(*gid, member))
+                                .expect("routable");
+                        }
+                    }
+                    let releases = cluster.flush_parallel();
+                    (decisions.len(), releases.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

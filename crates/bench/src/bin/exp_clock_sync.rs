@@ -14,13 +14,22 @@ use dmps_bench::{classroom_session, sequential_document};
 use dmps_floor::FcmMode;
 
 fn run_case(drift_ppm: f64, offset_ms: i64, admission: bool, seed: u64) -> (u128, u128) {
-    let (mut session, _teacher, _students) =
-        classroom_session(seed, FcmMode::FreeAccess, 4, drift_ppm, offset_ms, admission);
+    let (mut session, _teacher, _students) = classroom_session(
+        seed,
+        FcmMode::FreeAccess,
+        4,
+        drift_ppm,
+        offset_ms,
+        admission,
+    );
     let doc = sequential_document(4, Duration::from_secs(6));
     let driver = PresentationDriver::from_document(&doc).unwrap();
     let start = session.now() + Duration::from_secs(5);
     let report = driver.run(&mut session, start, Duration::from_secs(2));
-    (report.overall.max.as_micros(), report.overall.spread.as_micros())
+    (
+        report.overall.max.as_micros(),
+        report.overall.spread.as_micros(),
+    )
 }
 
 fn main() {
@@ -28,7 +37,12 @@ fn main() {
     println!("rows: client clock offset sweep; columns: with / without the global-clock admission rule\n");
     println!(
         "{:>12} {:>12} {:>16} {:>16} {:>18} {:>18}",
-        "drift_ppm", "offset_ms", "max_with_us", "spread_with_us", "max_without_us", "spread_without_us"
+        "drift_ppm",
+        "offset_ms",
+        "max_with_us",
+        "spread_with_us",
+        "max_without_us",
+        "spread_without_us"
     );
     for &(drift, offset) in &[
         (0.0, 0i64),
@@ -85,7 +99,9 @@ fn main() {
             without.overall.max.as_micros()
         );
     }
-    println!("\nexpected shape: the `with` columns stay bounded by the clock-sync estimation error");
+    println!(
+        "\nexpected shape: the `with` columns stay bounded by the clock-sync estimation error"
+    );
     println!("(≈ half the round-trip asymmetry) while the `without` columns grow with both the");
     println!("clock offset and the broadcast lead time / link latency.");
 }

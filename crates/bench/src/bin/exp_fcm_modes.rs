@@ -18,8 +18,7 @@ use dmps_bench::classroom_session;
 use dmps_floor::{FcmMode, FloorRequest};
 
 fn run_scenario(kind: WorkloadKind, mode: FcmMode, clients: usize) -> (usize, u64, u64, u64, f64) {
-    let (mut session, teacher, students) =
-        classroom_session(17, mode, clients - 1, 100.0, 5, true);
+    let (mut session, teacher, students) = classroom_session(17, mode, clients - 1, 100.0, 5, true);
     let indices: Vec<usize> = std::iter::once(teacher).chain(students).collect();
     let workload = Workload::generate(kind, clients, Duration::from_secs(60), 2.0, 23);
     let mut speaks_per_client = vec![0u64; clients];
@@ -65,8 +64,7 @@ fn main() {
         WorkloadKind::Discussion,
     ] {
         for mode in [FcmMode::FreeAccess, FcmMode::EqualControl] {
-            let (delivered, rejected, grants, queued, fairness) =
-                run_scenario(kind, mode, clients);
+            let (delivered, rejected, grants, queued, fairness) = run_scenario(kind, mode, clients);
             println!(
                 "{:<16} {:<16} {:>10} {:>10} {:>8} {:>8} {:>10.3}",
                 format!("{kind:?}"),
@@ -91,14 +89,23 @@ fn main() {
         .map(|&s| session.member_of(s).unwrap())
         .collect();
     let arbiter = session.server_mut().arbiter_mut();
-    let (sub, inv) = arbiter.invite(group, m[0], m[1], FcmMode::GroupDiscussion).unwrap();
+    let (sub, inv) = arbiter
+        .invite(group, m[0], m[1], FcmMode::GroupDiscussion)
+        .unwrap();
     arbiter.respond_invitation(inv, m[1], true).unwrap();
-    let (_, inv2) = arbiter.invite(group, m[0], m[2], FcmMode::GroupDiscussion).unwrap();
+    let (_, inv2) = arbiter
+        .invite(group, m[0], m[2], FcmMode::GroupDiscussion)
+        .unwrap();
     arbiter.respond_invitation(inv2, m[2], true).unwrap();
     arbiter.join_group(sub, m[2]).unwrap();
     let breakout_outcome = arbiter.arbitrate(&FloorRequest::speak(sub, m[0])).unwrap();
-    println!("breakout speakers (private, concurrent): {:?}", breakout_outcome);
-    let (pair, inv3) = arbiter.invite(group, m[3], m[4], FcmMode::DirectContact).unwrap();
+    println!(
+        "breakout speakers (private, concurrent): {:?}",
+        breakout_outcome
+    );
+    let (pair, inv3) = arbiter
+        .invite(group, m[3], m[4], FcmMode::DirectContact)
+        .unwrap();
     arbiter.respond_invitation(inv3, m[4], true).unwrap();
     let dc = arbiter
         .arbitrate(&FloorRequest::direct_contact(pair, m[3], m[4]))

@@ -24,11 +24,19 @@ fn main() {
     let tolerance = Duration::from_millis(100);
 
     println!("== E5: late-delivery behaviour per model ==");
-    println!("late object: `slides`; nominal presentation length: {} ms\n",
-        doc.timeline().unwrap().total_duration().as_millis());
+    println!(
+        "late object: `slides`; nominal presentation length: {} ms\n",
+        doc.timeline().unwrap().total_duration().as_millis()
+    );
     println!(
         "{:>14} {:>8} {:>14} {:>14} {:>16} {:>18} {:>14}",
-        "delay_ms", "model", "makespan_ms", "stall_ms", "deadline_misses", "priority_firings", "on_schedule"
+        "delay_ms",
+        "model",
+        "makespan_ms",
+        "stall_ms",
+        "deadline_misses",
+        "priority_firings",
+        "on_schedule"
     );
 
     for &delay_ms in &[0u64, 1_000, 2_000, 5_000, 10_000, 20_000, 40_000] {

@@ -21,7 +21,10 @@ fn class(order: SuspensionOrder) -> (FloorArbiter, dmps_floor::GroupId, dmps_flo
         .unwrap();
     for i in 0..8 {
         arbiter
-            .add_member(group, Member::new(format!("student-{i}"), Role::Participant))
+            .add_member(
+                group,
+                Member::new(format!("student-{i}"), Role::Participant),
+            )
             .unwrap();
     }
     for i in 0..3 {
@@ -43,14 +46,21 @@ fn main() {
         "{:>14} {:>12} {:>14} {:>22} {:>22}",
         "availability", "regime", "granted", "suspensions(priority)", "suspensions(join-order)"
     );
-    for &availability in &[1.0f64, 0.8, 0.6, 0.5, 0.45, 0.35, 0.25, 0.15, 0.1, 0.05, 0.0] {
+    for &availability in &[
+        1.0f64, 0.8, 0.6, 0.5, 0.45, 0.35, 0.25, 0.15, 0.1, 0.05, 0.0,
+    ] {
         let mut row: Vec<String> = Vec::new();
         let mut granted = false;
         let mut regime = String::new();
-        for order in [SuspensionOrder::PriorityAscending, SuspensionOrder::JoinOrder] {
+        for order in [
+            SuspensionOrder::PriorityAscending,
+            SuspensionOrder::JoinOrder,
+        ] {
             let (mut arbiter, group, teacher) = class(order);
             arbiter.set_resource(Resource::new(availability, 1.0, 1.0));
-            let outcome = arbiter.arbitrate(&FloorRequest::speak(group, teacher)).unwrap();
+            let outcome = arbiter
+                .arbitrate(&FloorRequest::speak(group, teacher))
+                .unwrap();
             granted = outcome.is_granted();
             regime = if availability >= thresholds.alpha() {
                 "sufficient".into()

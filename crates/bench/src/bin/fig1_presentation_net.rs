@@ -21,7 +21,9 @@ fn main() {
     println!("== Figure 1: DOCPN of `{}` ==", doc.name());
     println!(
         "objects: {:?}",
-        doc.objects().map(|(_, o)| o.name.clone()).collect::<Vec<_>>()
+        doc.objects()
+            .map(|(_, o)| o.name.clone())
+            .collect::<Vec<_>>()
     );
     println!("synchronous sets: {:?}", doc.synchronous_sets().unwrap());
 

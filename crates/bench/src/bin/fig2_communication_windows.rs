@@ -15,15 +15,33 @@ use dmps_simnet::{Link, LocalClock};
 fn main() {
     let mut session = Session::new(SessionConfig::new(2002, FcmMode::FreeAccess));
     let teacher = session.add_client("teacher", Role::Chair, Link::lan(), LocalClock::perfect());
-    let alice = session.add_client("alice", Role::Participant, Link::dsl(), LocalClock::new(150.0, 0));
-    let bob = session.add_client("bob", Role::Participant, Link::dsl(), LocalClock::new(-200.0, 0));
-    let carol = session.add_client("carol", Role::Participant, Link::wan(), LocalClock::perfect());
+    let alice = session.add_client(
+        "alice",
+        Role::Participant,
+        Link::dsl(),
+        LocalClock::new(150.0, 0),
+    );
+    let bob = session.add_client(
+        "bob",
+        Role::Participant,
+        Link::dsl(),
+        LocalClock::new(-200.0, 0),
+    );
+    let carol = session.add_client(
+        "carol",
+        Role::Participant,
+        Link::wan(),
+        LocalClock::perfect(),
+    );
     session.pump();
 
     // Free access phase: everyone contributes.
     session.send_chat(teacher, "Welcome — today we cover floor control.");
     session.send_annotation(teacher, "Figure on the board: four control modes.");
-    session.send_whiteboard(teacher, "box(free access | equal control | group discussion | direct contact)");
+    session.send_whiteboard(
+        teacher,
+        "box(free access | equal control | group discussion | direct contact)",
+    );
     session.send_chat(alice, "Is equal control like a talking stick?");
     session.send_chat(bob, "Free access seems chaotic for 200 students.");
     session.pump();

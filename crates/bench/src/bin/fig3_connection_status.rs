@@ -14,7 +14,12 @@ use dmps_simnet::{DropReason, Link, LocalClock};
 fn main() {
     let mut session = Session::new(SessionConfig::new(2003, FcmMode::FreeAccess));
     let teacher = session.add_client("teacher", Role::Chair, Link::lan(), LocalClock::perfect());
-    let alice = session.add_client("alice", Role::Participant, Link::dsl(), LocalClock::perfect());
+    let alice = session.add_client(
+        "alice",
+        Role::Participant,
+        Link::dsl(),
+        LocalClock::perfect(),
+    );
     let bob = session.add_client("bob", Role::Participant, Link::wan(), LocalClock::perfect());
     session.pump();
 
@@ -34,7 +39,10 @@ fn main() {
     let until = session.now() + Duration::from_secs(5);
     session.run_until(until);
     println!("\n== Figure 3(b): all connections healthy ==");
-    println!("{}", render_connection_lights(session.server(), session.now()));
+    println!(
+        "{}",
+        render_connection_lights(session.server(), session.now())
+    );
 
     // --- 3(c): bob's connection drops; his light turns red ------------------
     session.set_client_link_up(bob, false);
@@ -42,7 +50,10 @@ fn main() {
     let until = session.now() + Duration::from_secs(10);
     session.run_until(until);
     println!("== Figure 3(c): bob disconnected ==");
-    println!("{}", render_connection_lights(session.server(), session.now()));
+    println!(
+        "{}",
+        render_connection_lights(session.server(), session.now())
+    );
     let drops = session
         .network()
         .dropped()
@@ -61,5 +72,8 @@ fn main() {
     let until = session.now() + Duration::from_secs(6);
     session.run_until(until);
     println!("\n== after reconnection ==");
-    println!("{}", render_connection_lights(session.server(), session.now()));
+    println!(
+        "{}",
+        render_connection_lights(session.server(), session.now())
+    );
 }

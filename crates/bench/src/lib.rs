@@ -43,7 +43,11 @@ pub fn lecture_document() -> PresentationDocument {
         .expect("distinct objects");
     doc.relate(video, TemporalRelation::Meets, quiz)
         .expect("distinct objects");
-    doc.add_interaction("quiz-answers", Duration::from_secs(45), Duration::from_secs(8));
+    doc.add_interaction(
+        "quiz-answers",
+        Duration::from_secs(45),
+        Duration::from_secs(8),
+    );
     doc
 }
 

@@ -1,0 +1,1005 @@
+//! The federation: a consistent-hash router over many shards.
+//!
+//! The [`Cluster`] owns the shard set, the group/member directory, and the
+//! per-shard request batches. Groups are placed by consistent hashing on
+//! their [`GlobalGroupId`]; requests are translated to the owning shard's
+//! dense local ids, batched per shard, and applied in submission order —
+//! either sequentially ([`Cluster::flush`]) or with one worker per shard
+//! ([`Cluster::flush_parallel`], the scaling path the `shard_scaling` bench
+//! measures).
+
+use std::collections::BTreeMap;
+
+use dmps_floor::arbiter::ArbiterStats;
+use dmps_floor::snapshot::EventOutcome;
+use dmps_floor::{
+    ArbiterEvent, ArbitrationOutcome, FcmMode, FloorRequest, GroupId, InvitationStatus, Member,
+    MemberId, RequestKind, Resource,
+};
+
+use crate::error::{ClusterError, Result};
+use crate::ring::{HashRing, ShardId};
+use crate::shard::{GlobalGroupId, GlobalMemberId, Shard};
+
+/// Sizing and durability knobs of a cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of shards.
+    pub shards: usize,
+    /// Virtual nodes per shard on the consistent-hash ring.
+    pub vnodes: usize,
+    /// Snapshot cadence per shard (events between snapshots; 0 disables).
+    pub snapshot_every: u64,
+}
+
+impl ClusterConfig {
+    /// A config with `shards` shards and the default ring/durability knobs.
+    pub fn with_shards(shards: usize) -> Self {
+        ClusterConfig {
+            shards,
+            vnodes: 64,
+            snapshot_every: 256,
+        }
+    }
+}
+
+/// Where a group currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupPlacement {
+    /// The owning shard.
+    pub shard: ShardId,
+    /// The group's dense id inside that shard's arbiter.
+    pub local: GroupId,
+    /// The parent group for sub-groups spawned by invitation (may live on a
+    /// different shard — that is the point of cross-shard invitations).
+    pub parent: Option<GlobalGroupId>,
+}
+
+#[derive(Debug, Clone)]
+struct MemberRecord {
+    template: Member,
+    /// The member's dense id on every shard it has been instantiated on.
+    locals: BTreeMap<ShardId, MemberId>,
+}
+
+/// A cluster-level invitation (parent and sub-group may be on different
+/// shards).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterInvitation {
+    /// The inviting member.
+    pub from: GlobalMemberId,
+    /// The invited member.
+    pub to: GlobalMemberId,
+    /// The sub-group spawned for the invitation.
+    pub subgroup: GlobalGroupId,
+    /// Current status.
+    pub status: InvitationStatus,
+}
+
+/// A floor request addressed with cluster-wide ids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalRequest {
+    /// The group the request concerns.
+    pub group: GlobalGroupId,
+    /// The requesting member.
+    pub member: GlobalMemberId,
+    /// What the member wants to do.
+    pub kind: GlobalRequestKind,
+}
+
+impl GlobalRequest {
+    /// A speak request.
+    pub fn speak(group: GlobalGroupId, member: GlobalMemberId) -> Self {
+        GlobalRequest {
+            group,
+            member,
+            kind: GlobalRequestKind::Speak,
+        }
+    }
+
+    /// A release-floor request.
+    pub fn release_floor(group: GlobalGroupId, member: GlobalMemberId) -> Self {
+        GlobalRequest {
+            group,
+            member,
+            kind: GlobalRequestKind::ReleaseFloor,
+        }
+    }
+
+    /// A pass-floor request.
+    pub fn pass_floor(group: GlobalGroupId, member: GlobalMemberId, to: GlobalMemberId) -> Self {
+        GlobalRequest {
+            group,
+            member,
+            kind: GlobalRequestKind::PassFloor { to },
+        }
+    }
+
+    /// A direct-contact request.
+    pub fn direct_contact(
+        group: GlobalGroupId,
+        member: GlobalMemberId,
+        to: GlobalMemberId,
+    ) -> Self {
+        GlobalRequest {
+            group,
+            member,
+            kind: GlobalRequestKind::DirectContact { to },
+        }
+    }
+}
+
+/// The request kinds, addressed with cluster-wide member ids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GlobalRequestKind {
+    /// Deliver under the group's mode.
+    Speak,
+    /// Open a direct-contact channel.
+    DirectContact {
+        /// The destination member.
+        to: GlobalMemberId,
+    },
+    /// Release the floor token.
+    ReleaseFloor,
+    /// Pass the floor token.
+    PassFloor {
+        /// The member to pass to.
+        to: GlobalMemberId,
+    },
+}
+
+/// The arbitration decision for one submitted request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Submission sequence number (from [`Cluster::submit`]).
+    pub seq: u64,
+    /// The group the request addressed.
+    pub group: GlobalGroupId,
+    /// The outcome, or the routing/shard error that prevented arbitration.
+    pub outcome: Result<ArbitrationOutcome>,
+}
+
+/// The sharded multi-arbiter control plane.
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    ring: HashRing,
+    shards: Vec<Shard>,
+    groups: BTreeMap<GlobalGroupId, GroupPlacement>,
+    members: BTreeMap<GlobalMemberId, MemberRecord>,
+    /// Reverse directory: which global member a shard-local id belongs to.
+    locals: BTreeMap<(ShardId, MemberId), GlobalMemberId>,
+    invitations: Vec<ClusterInvitation>,
+    batches: Vec<Vec<(u64, GlobalGroupId, FloorRequest)>>,
+    next_group: u64,
+    next_member: u64,
+    next_seq: u64,
+}
+
+impl Cluster {
+    /// Builds a cluster of `config.shards` active shards.
+    pub fn new(config: ClusterConfig) -> Self {
+        let ring = HashRing::new(config.shards, config.vnodes);
+        let shards = (0..config.shards)
+            .map(|i| Shard::new(ShardId(i), config.snapshot_every))
+            .collect::<Vec<_>>();
+        let batches = (0..config.shards).map(|_| Vec::new()).collect();
+        Cluster {
+            config,
+            ring,
+            shards,
+            groups: BTreeMap::new(),
+            members: BTreeMap::new(),
+            locals: BTreeMap::new(),
+            invitations: Vec::new(),
+            batches,
+            next_group: 0,
+            next_member: 0,
+            next_seq: 0,
+        }
+    }
+
+    // ----- introspection ----------------------------------------------------
+
+    /// Number of shards (active or failed).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of groups in the directory.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of registered members.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The shard with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range id (shard ids come from this cluster).
+    pub fn shard(&self, id: ShardId) -> &Shard {
+        &self.shards[id.0]
+    }
+
+    /// Where a group currently lives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownGroup`] for an unknown id.
+    pub fn placement(&self, group: GlobalGroupId) -> Result<GroupPlacement> {
+        self.groups
+            .get(&group)
+            .copied()
+            .ok_or(ClusterError::UnknownGroup(group))
+    }
+
+    /// Aggregate floor statistics per shard.
+    pub fn shard_stats(&self) -> Vec<(ShardId, ArbiterStats)> {
+        self.shards
+            .iter()
+            .map(|s| (s.id(), s.arbiter().stats()))
+            .collect()
+    }
+
+    /// Every group owned by a shard.
+    pub fn groups_on(&self, shard: ShardId) -> Vec<GlobalGroupId> {
+        self.groups
+            .iter()
+            .filter(|(_, p)| p.shard == shard)
+            .map(|(&g, _)| g)
+            .collect()
+    }
+
+    /// The cluster-level invitation with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownInvitation`] for an unknown id.
+    pub fn invitation(&self, id: u64) -> Result<&ClusterInvitation> {
+        self.invitations
+            .get(id as usize)
+            .ok_or(ClusterError::UnknownInvitation(id))
+    }
+
+    // ----- membership and groups -------------------------------------------
+
+    /// Registers a member with the cluster directory. The member is
+    /// instantiated on shards lazily, the first time it joins a group there.
+    pub fn register_member(&mut self, template: Member) -> GlobalMemberId {
+        let id = GlobalMemberId(self.next_member);
+        self.next_member += 1;
+        self.members.insert(
+            id,
+            MemberRecord {
+                template,
+                locals: BTreeMap::new(),
+            },
+        );
+        id
+    }
+
+    /// Creates a top-level group, placed by consistent hashing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::ShardDown`] when the owning shard is failed.
+    pub fn create_group(
+        &mut self,
+        name: impl Into<String>,
+        mode: FcmMode,
+    ) -> Result<GlobalGroupId> {
+        let id = GlobalGroupId(self.next_group);
+        let shard = self.ring.shard_for(id.0);
+        self.create_group_on(id, shard, name, mode, None)?;
+        self.next_group += 1;
+        Ok(id)
+    }
+
+    fn create_group_on(
+        &mut self,
+        id: GlobalGroupId,
+        shard: ShardId,
+        name: impl Into<String>,
+        mode: FcmMode,
+        parent: Option<GlobalGroupId>,
+    ) -> Result<()> {
+        let outcome = self.shards[shard.0].apply(ArbiterEvent::CreateGroup {
+            name: name.into(),
+            mode,
+        })?;
+        let EventOutcome::GroupCreated(local) = outcome else {
+            unreachable!("CreateGroup yields GroupCreated");
+        };
+        self.groups.insert(
+            id,
+            GroupPlacement {
+                shard,
+                local,
+                parent,
+            },
+        );
+        Ok(())
+    }
+
+    /// Ensures the member exists on the shard (instantiating it into `group`
+    /// if it is new there) and returns its local id.
+    fn ensure_on_shard(
+        &mut self,
+        member: GlobalMemberId,
+        shard: ShardId,
+        group: GroupId,
+    ) -> Result<MemberId> {
+        let record = self
+            .members
+            .get(&member)
+            .ok_or(ClusterError::UnknownMember(member))?;
+        if let Some(&local) = record.locals.get(&shard) {
+            self.shards[shard.0].apply(ArbiterEvent::JoinGroup {
+                group,
+                member: local,
+            })?;
+            return Ok(local);
+        }
+        let template = record.template.clone();
+        let outcome = self.shards[shard.0].apply(ArbiterEvent::AddMember {
+            group,
+            member: template,
+        })?;
+        let EventOutcome::MemberAdded(local) = outcome else {
+            unreachable!("AddMember yields MemberAdded");
+        };
+        self.members
+            .get_mut(&member)
+            .expect("checked above")
+            .locals
+            .insert(shard, local);
+        self.locals.insert((shard, local), member);
+        Ok(local)
+    }
+
+    /// Adds a member to a group (instantiating it on the owning shard if
+    /// needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns unknown-id and shard-down errors.
+    pub fn join_group(&mut self, group: GlobalGroupId, member: GlobalMemberId) -> Result<()> {
+        let placement = self.placement(group)?;
+        self.ensure_on_shard(member, placement.shard, placement.local)?;
+        Ok(())
+    }
+
+    /// Removes a member from a group.
+    ///
+    /// # Errors
+    ///
+    /// Returns unknown-id and shard-down errors.
+    pub fn leave_group(&mut self, group: GlobalGroupId, member: GlobalMemberId) -> Result<()> {
+        let placement = self.placement(group)?;
+        let local = self.local_member(member, placement.shard)?;
+        self.shards[placement.shard.0].apply(ArbiterEvent::LeaveGroup {
+            group: placement.local,
+            member: local,
+        })?;
+        Ok(())
+    }
+
+    fn local_member(&self, member: GlobalMemberId, shard: ShardId) -> Result<MemberId> {
+        self.members
+            .get(&member)
+            .ok_or(ClusterError::UnknownMember(member))?
+            .locals
+            .get(&shard)
+            .copied()
+            .ok_or(ClusterError::NotOnShard { member, shard })
+    }
+
+    /// Updates the resource snapshot of one shard (each shard host measures
+    /// its own Network × CPU × Memory availability).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::ShardDown`] when the shard is failed.
+    pub fn set_shard_resource(&mut self, shard: ShardId, resource: Resource) -> Result<()> {
+        self.shards[shard.0].apply(ArbiterEvent::SetResource { resource })?;
+        Ok(())
+    }
+
+    // ----- cross-shard invitations -----------------------------------------
+
+    /// A member invites another into a new private sub-group (Group
+    /// Discussion / Direct Contact). The sub-group is placed by consistent
+    /// hashing — typically on a *different* shard than the parent, which is
+    /// what lets breakout load spread across the cluster. Pass `target` to
+    /// pin the placement explicitly.
+    ///
+    /// Both parties must be members of the parent group.
+    ///
+    /// # Errors
+    ///
+    /// Returns unknown-id errors, [`ClusterError::Floor`] wrapping
+    /// [`dmps_floor::FloorError::NotAMember`] when either party is not in the
+    /// parent group, and shard-down errors.
+    pub fn invite(
+        &mut self,
+        parent: GlobalGroupId,
+        from: GlobalMemberId,
+        to: GlobalMemberId,
+        mode: FcmMode,
+        target: Option<ShardId>,
+    ) -> Result<(GlobalGroupId, u64)> {
+        let parent_placement = self.placement(parent)?;
+        // Membership checks against the parent shard's arbiter.
+        let parent_group = self.shards[parent_placement.shard.0]
+            .arbiter()
+            .group(parent_placement.local)?;
+        for party in [from, to] {
+            let local = self.local_member(party, parent_placement.shard)?;
+            if !parent_group.contains(local) {
+                return Err(ClusterError::Floor(dmps_floor::FloorError::NotAMember {
+                    member: local,
+                    group: parent_placement.local,
+                }));
+            }
+        }
+        let sub = GlobalGroupId(self.next_group);
+        let shard = target.unwrap_or_else(|| self.ring.shard_for(sub.0));
+        let from_name = self
+            .members
+            .get(&from)
+            .expect("membership checked")
+            .template
+            .name
+            .clone();
+        self.create_group_on(
+            sub,
+            shard,
+            format!("{from_name}-{mode}"),
+            mode,
+            Some(parent),
+        )?;
+        self.next_group += 1;
+        // The inviter joins (and chairs, by first-join convention) the
+        // sub-group immediately; the invitee joins on acceptance.
+        let placement = self.groups[&sub];
+        self.ensure_on_shard(from, placement.shard, placement.local)?;
+        let invitation = self.invitations.len() as u64;
+        self.invitations.push(ClusterInvitation {
+            from,
+            to,
+            subgroup: sub,
+            status: InvitationStatus::Pending,
+        });
+        Ok((sub, invitation))
+    }
+
+    /// The invitee answers a cluster-level invitation; accepting joins them
+    /// to the sub-group on its (possibly remote) shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownInvitation`],
+    /// [`ClusterError::NotTheInvitee`], [`ClusterError::AlreadyAnswered`] and
+    /// shard-down errors.
+    pub fn respond_invitation(
+        &mut self,
+        invitation: u64,
+        responder: GlobalMemberId,
+        accept: bool,
+    ) -> Result<InvitationStatus> {
+        let inv = self
+            .invitations
+            .get(invitation as usize)
+            .cloned()
+            .ok_or(ClusterError::UnknownInvitation(invitation))?;
+        if inv.to != responder {
+            return Err(ClusterError::NotTheInvitee(responder));
+        }
+        if inv.status != InvitationStatus::Pending {
+            return Err(ClusterError::AlreadyAnswered(invitation));
+        }
+        let status = if accept {
+            self.join_group(inv.subgroup, responder)?;
+            InvitationStatus::Accepted
+        } else {
+            InvitationStatus::Declined
+        };
+        self.invitations[invitation as usize].status = status;
+        Ok(status)
+    }
+
+    // ----- request routing and batching ------------------------------------
+
+    /// Translates a global request to the owning shard's local ids.
+    fn translate(&self, request: &GlobalRequest) -> Result<(GroupPlacement, FloorRequest)> {
+        let placement = self.placement(request.group)?;
+        let member = self.local_member(request.member, placement.shard)?;
+        let kind = match request.kind {
+            GlobalRequestKind::Speak => RequestKind::Speak,
+            GlobalRequestKind::ReleaseFloor => RequestKind::ReleaseFloor,
+            GlobalRequestKind::PassFloor { to } => RequestKind::PassFloor {
+                to: self.local_member(to, placement.shard)?,
+            },
+            GlobalRequestKind::DirectContact { to } => RequestKind::DirectContact {
+                to: self.local_member(to, placement.shard)?,
+            },
+        };
+        Ok((
+            placement,
+            FloorRequest {
+                group: placement.local,
+                member,
+                kind,
+            },
+        ))
+    }
+
+    /// Enqueues a request into the owning shard's batch and returns its
+    /// submission sequence number. Nothing is arbitrated until
+    /// [`Cluster::flush`] / [`Cluster::flush_parallel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns unknown-id errors when the request cannot be routed.
+    pub fn submit(&mut self, request: GlobalRequest) -> Result<u64> {
+        let (placement, local) = self.translate(&request)?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.batches[placement.shard.0].push((seq, request.group, local));
+        Ok(seq)
+    }
+
+    /// Submits and immediately arbitrates one request (convenience wrapper
+    /// for interactive paths; batched traffic should use [`Cluster::submit`]
+    /// + flush).
+    ///
+    /// # Errors
+    ///
+    /// Returns routing and shard errors.
+    pub fn request(&mut self, request: GlobalRequest) -> Result<ArbitrationOutcome> {
+        let (placement, local) = self.translate(&request)?;
+        let outcome =
+            self.shards[placement.shard.0].apply(ArbiterEvent::Arbitrate { request: local })?;
+        let EventOutcome::Arbitrated(outcome) = outcome else {
+            unreachable!("Arbitrate yields Arbitrated");
+        };
+        Ok(outcome)
+    }
+
+    /// Number of requests waiting in shard batches.
+    pub fn pending_requests(&self) -> usize {
+        self.batches.iter().map(Vec::len).sum()
+    }
+
+    fn drain_batches(&mut self) -> Vec<Vec<(u64, GlobalGroupId, FloorRequest)>> {
+        self.batches.iter_mut().map(std::mem::take).collect()
+    }
+
+    /// Applies every batched request shard by shard, returning the decisions
+    /// sorted by submission order.
+    pub fn flush(&mut self) -> Vec<Decision> {
+        let batches = self.drain_batches();
+        let mut decisions = Vec::new();
+        for (shard, batch) in self.shards.iter_mut().zip(batches) {
+            for (seq, group, request) in batch {
+                decisions.push(Decision {
+                    seq,
+                    group,
+                    outcome: shard
+                        .apply(ArbiterEvent::Arbitrate { request })
+                        .map(|o| match o {
+                            EventOutcome::Arbitrated(outcome) => outcome,
+                            _ => unreachable!("Arbitrate yields Arbitrated"),
+                        }),
+                });
+            }
+        }
+        decisions.sort_by_key(|d| d.seq);
+        decisions
+    }
+
+    /// Applies every batched request with one worker thread per shard —
+    /// shards share nothing, so this is the linear-scaling path. Decisions
+    /// come back sorted by submission order.
+    pub fn flush_parallel(&mut self) -> Vec<Decision> {
+        let batches = self.drain_batches();
+        let mut decisions: Vec<Decision> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (shard, batch) in self.shards.iter_mut().zip(batches) {
+                if batch.is_empty() {
+                    continue;
+                }
+                handles.push(scope.spawn(move || {
+                    batch
+                        .into_iter()
+                        .map(|(seq, group, request)| Decision {
+                            seq,
+                            group,
+                            outcome: shard.apply(ArbiterEvent::Arbitrate { request }).map(|o| {
+                                match o {
+                                    EventOutcome::Arbitrated(outcome) => outcome,
+                                    _ => unreachable!("Arbitrate yields Arbitrated"),
+                                }
+                            }),
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for handle in handles {
+                decisions.extend(handle.join().expect("shard worker panicked"));
+            }
+        });
+        decisions.sort_by_key(|d| d.seq);
+        decisions
+    }
+
+    // ----- failure and recovery --------------------------------------------
+
+    /// Crashes a shard's primary process. Batched requests for the shard stay
+    /// queued and fail with [`ClusterError::ShardDown`] if flushed before
+    /// recovery.
+    pub fn crash_shard(&mut self, shard: ShardId) {
+        self.shards[shard.0].crash();
+    }
+
+    /// A standby recovers the shard from its snapshot + log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates durable-state corruption as [`ClusterError::Floor`].
+    pub fn recover_shard(&mut self, shard: ShardId) -> Result<()> {
+        self.shards[shard.0].recover()
+    }
+
+    /// Whether a shard is serving.
+    pub fn is_shard_active(&self, shard: ShardId) -> bool {
+        self.shards[shard.0].is_active()
+    }
+
+    // ----- scale-out --------------------------------------------------------
+
+    /// Adds a new shard to the ring and returns its id. Existing groups stay
+    /// where they are until [`Cluster::rebalance_idle`] migrates the movable
+    /// ones; new groups hash across the enlarged ring immediately.
+    pub fn add_shard(&mut self) -> ShardId {
+        let id = self.ring.add_shard();
+        debug_assert_eq!(id.0, self.shards.len());
+        self.shards.push(Shard::new(id, self.config.snapshot_every));
+        self.batches.push(Vec::new());
+        id
+    }
+
+    /// Migrates every group whose ring placement changed **and** whose floor
+    /// state is idle (no token holder, no queued requesters) to its new
+    /// shard. Active groups are pinned until they quiesce — moving a held
+    /// token between arbiters would risk the very double-grant anomaly the
+    /// failover machinery exists to prevent. Returns the migrated groups.
+    ///
+    /// Requests still batched for a migrated group keep routing to the old
+    /// shard, where the group is left empty; they fail closed (aborted as
+    /// not-joined) rather than double-granting. Flush before rebalancing to
+    /// avoid that.
+    ///
+    /// # Errors
+    ///
+    /// Returns shard errors; on error, already-migrated groups stay migrated.
+    pub fn rebalance_idle(&mut self) -> Result<Vec<GlobalGroupId>> {
+        let candidates: Vec<(GlobalGroupId, GroupPlacement, ShardId)> = self
+            .groups
+            .iter()
+            .filter_map(|(&g, &p)| {
+                let target = self.ring.shard_for(g.0);
+                (target != p.shard).then_some((g, p, target))
+            })
+            .collect();
+        let mut migrated = Vec::new();
+        for (group, placement, target) in candidates {
+            if !self.shards[placement.shard.0].is_active() || !self.shards[target.0].is_active() {
+                continue;
+            }
+            let arbiter = self.shards[placement.shard.0].arbiter();
+            let token = arbiter.token(placement.local)?;
+            if token.holder().is_some() || token.queue_len() > 0 {
+                continue; // pinned: active floor state
+            }
+            let old = arbiter.group(placement.local)?.clone();
+            // Map the group's local members back to global ids.
+            let roster: Vec<GlobalMemberId> = old
+                .members()
+                .filter_map(|m| self.locals.get(&(placement.shard, m)).copied())
+                .collect();
+            // Re-create on the target shard and move the roster over.
+            self.create_group_on(group, target, old.name.clone(), old.mode, placement.parent)?;
+            let new_local = self.groups[&group].local;
+            for member in &roster {
+                self.ensure_on_shard(*member, target, new_local)?;
+            }
+            // Empty the husk on the old shard so stale routing fails closed.
+            for member in &roster {
+                let local = self.local_member(*member, placement.shard)?;
+                self.shards[placement.shard.0].apply(ArbiterEvent::LeaveGroup {
+                    group: placement.local,
+                    member: local,
+                })?;
+            }
+            migrated.push(group);
+        }
+        Ok(migrated)
+    }
+
+    // ----- invariants -------------------------------------------------------
+
+    /// Checks the floor-state invariants on every active shard, plus the
+    /// cluster-level ones: every directory entry points at an existing local
+    /// group, and every global member maps to distinct local ids per shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        for shard in &self.shards {
+            if shard.is_active() {
+                shard
+                    .arbiter()
+                    .check_invariants()
+                    .map_err(|e| format!("{}: {e}", shard.id()))?;
+            }
+        }
+        for (&g, &p) in &self.groups {
+            if self.shards[p.shard.0].is_active()
+                && self.shards[p.shard.0].arbiter().group(p.local).is_err()
+            {
+                return Err(format!(
+                    "directory entry {g} points at missing {:?}",
+                    p.local
+                ));
+            }
+        }
+        for (&m, record) in &self.members {
+            for (&shard, &local) in &record.locals {
+                if self.locals.get(&(shard, local)) != Some(&m) {
+                    return Err(format!("reverse directory mismatch for {m} on {shard}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmps_floor::Role;
+
+    fn cluster_with_groups(
+        shards: usize,
+        groups: usize,
+        members_per_group: usize,
+        mode: FcmMode,
+    ) -> (Cluster, Vec<GlobalGroupId>, Vec<Vec<GlobalMemberId>>) {
+        let mut cluster = Cluster::new(ClusterConfig::with_shards(shards));
+        let mut gids = Vec::new();
+        let mut rosters = Vec::new();
+        for g in 0..groups {
+            let gid = cluster.create_group(format!("lecture-{g}"), mode).unwrap();
+            let mut roster = Vec::new();
+            for m in 0..members_per_group {
+                let role = if m == 0 {
+                    Role::Chair
+                } else {
+                    Role::Participant
+                };
+                let member = cluster.register_member(Member::new(format!("u{g}-{m}"), role));
+                cluster.join_group(gid, member).unwrap();
+                roster.push(member);
+            }
+            gids.push(gid);
+            rosters.push(roster);
+        }
+        (cluster, gids, rosters)
+    }
+
+    #[test]
+    fn groups_spread_across_shards() {
+        let (cluster, gids, _) = cluster_with_groups(4, 120, 2, FcmMode::FreeAccess);
+        assert_eq!(cluster.group_count(), 120);
+        let mut used = std::collections::BTreeSet::new();
+        for &g in &gids {
+            used.insert(cluster.placement(g).unwrap().shard);
+        }
+        assert_eq!(used.len(), 4, "120 groups must hit all 4 shards");
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn batched_flush_matches_direct_requests() {
+        let (mut cluster, gids, rosters) = cluster_with_groups(3, 12, 3, FcmMode::EqualControl);
+        let mut seqs = Vec::new();
+        for (g, roster) in gids.iter().zip(&rosters) {
+            for &m in roster {
+                seqs.push(cluster.submit(GlobalRequest::speak(*g, m)).unwrap());
+            }
+        }
+        assert_eq!(cluster.pending_requests(), 36);
+        let decisions = cluster.flush();
+        assert_eq!(cluster.pending_requests(), 0);
+        assert_eq!(decisions.len(), 36);
+        let seq_order: Vec<u64> = decisions.iter().map(|d| d.seq).collect();
+        assert_eq!(seq_order, seqs, "decisions come back in submission order");
+        // First requester per group granted, the rest queued.
+        for (g, roster) in gids.iter().zip(&rosters) {
+            let of_group: Vec<&Decision> = decisions.iter().filter(|d| d.group == *g).collect();
+            assert!(matches!(
+                of_group[0].outcome,
+                Ok(ArbitrationOutcome::Granted { .. })
+            ));
+            for d in &of_group[1..] {
+                assert!(matches!(d.outcome, Ok(ArbitrationOutcome::Queued { .. })));
+            }
+            let placement = cluster.placement(*g).unwrap();
+            let token = cluster
+                .shard(placement.shard)
+                .arbiter()
+                .token(placement.local)
+                .unwrap();
+            assert_eq!(token.queue_len(), roster.len() - 1);
+        }
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn parallel_flush_is_equivalent_to_sequential() {
+        let build = || cluster_with_groups(4, 40, 3, FcmMode::EqualControl);
+        let submit_all =
+            |cluster: &mut Cluster, gids: &[GlobalGroupId], rosters: &[Vec<GlobalMemberId>]| {
+                for (g, roster) in gids.iter().zip(rosters) {
+                    for &m in roster {
+                        cluster.submit(GlobalRequest::speak(*g, m)).unwrap();
+                    }
+                    cluster
+                        .submit(GlobalRequest::release_floor(*g, roster[0]))
+                        .unwrap();
+                }
+            };
+        let (mut sequential, gids, rosters) = build();
+        submit_all(&mut sequential, &gids, &rosters);
+        let seq_decisions = sequential.flush();
+        let (mut parallel, gids, rosters) = build();
+        submit_all(&mut parallel, &gids, &rosters);
+        let par_decisions = parallel.flush_parallel();
+        assert_eq!(seq_decisions, par_decisions);
+        for (a, b) in sequential.shard_stats().iter().zip(parallel.shard_stats()) {
+            assert_eq!(*a, b);
+        }
+        parallel.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cross_shard_invitation_spawns_subgroup_elsewhere() {
+        let (mut cluster, gids, rosters) = cluster_with_groups(4, 8, 4, FcmMode::FreeAccess);
+        let parent = gids[0];
+        let parent_shard = cluster.placement(parent).unwrap().shard;
+        // Pin the sub-group to a different shard explicitly.
+        let other = ShardId((parent_shard.0 + 1) % 4);
+        let (sub, inv) = cluster
+            .invite(
+                parent,
+                rosters[0][1],
+                rosters[0][2],
+                FcmMode::GroupDiscussion,
+                Some(other),
+            )
+            .unwrap();
+        let sub_placement = cluster.placement(sub).unwrap();
+        assert_eq!(sub_placement.shard, other);
+        assert_eq!(sub_placement.parent, Some(parent));
+        assert_eq!(
+            cluster
+                .respond_invitation(inv, rosters[0][2], true)
+                .unwrap(),
+            InvitationStatus::Accepted
+        );
+        // Both parties can now speak in the sub-group on the remote shard.
+        let outcome = cluster
+            .request(GlobalRequest::speak(sub, rosters[0][1]))
+            .unwrap();
+        match outcome {
+            ArbitrationOutcome::Granted { speakers, .. } => assert_eq!(speakers.len(), 2),
+            other => panic!("expected grant, got {other:?}"),
+        }
+        // Answering twice fails; a stranger cannot answer.
+        assert!(matches!(
+            cluster.respond_invitation(inv, rosters[0][2], true),
+            Err(ClusterError::AlreadyAnswered(_))
+        ));
+        // A non-member of the parent cannot be invited.
+        let stranger = cluster.register_member(Member::new("x", Role::Participant));
+        assert!(cluster
+            .invite(
+                parent,
+                rosters[0][1],
+                stranger,
+                FcmMode::DirectContact,
+                None
+            )
+            .is_err());
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn crash_and_recovery_preserve_floor_invariants() {
+        let (mut cluster, gids, rosters) = cluster_with_groups(4, 24, 4, FcmMode::EqualControl);
+        // Build up token state everywhere.
+        for (g, roster) in gids.iter().zip(&rosters) {
+            for &m in roster {
+                cluster.submit(GlobalRequest::speak(*g, m)).unwrap();
+            }
+        }
+        cluster.flush();
+        let victim = cluster.placement(gids[0]).unwrap().shard;
+        let reference = cluster.shard(victim).arbiter().clone();
+        cluster.crash_shard(victim);
+        assert!(!cluster.is_shard_active(victim));
+        // Requests to the dead shard fail closed.
+        let d = cluster
+            .submit(GlobalRequest::release_floor(gids[0], rosters[0][0]))
+            .unwrap();
+        let decisions = cluster.flush();
+        assert_eq!(decisions[0].seq, d);
+        assert!(matches!(
+            decisions[0].outcome,
+            Err(ClusterError::ShardDown(_))
+        ));
+        // Standby takeover reconstructs the exact pre-crash state.
+        cluster.recover_shard(victim).unwrap();
+        assert_eq!(cluster.shard(victim).arbiter(), &reference);
+        cluster.check_invariants().unwrap();
+        // The recovered shard serves again.
+        let outcome = cluster
+            .request(GlobalRequest::release_floor(gids[0], rosters[0][0]))
+            .unwrap();
+        assert!(outcome.is_granted());
+    }
+
+    #[test]
+    fn scale_out_migrates_only_idle_groups() {
+        let (mut cluster, gids, rosters) = cluster_with_groups(3, 60, 2, FcmMode::EqualControl);
+        // Make one third of the groups floor-active so they are pinned.
+        for (g, roster) in gids.iter().zip(&rosters).take(20) {
+            cluster
+                .request(GlobalRequest::speak(*g, roster[0]))
+                .unwrap();
+        }
+        let new = cluster.add_shard();
+        assert_eq!(cluster.shard_count(), 4);
+        let migrated = cluster.rebalance_idle().unwrap();
+        assert!(!migrated.is_empty(), "some idle groups must move");
+        for g in &migrated {
+            assert_eq!(cluster.placement(*g).unwrap().shard, new);
+            let roster = &rosters[g.0 as usize];
+            // Members remain functional on the new shard.
+            let outcome = cluster
+                .request(GlobalRequest::speak(*g, roster[0]))
+                .unwrap();
+            assert!(outcome.is_granted());
+        }
+        // Active groups stayed put with their token state intact.
+        for (g, roster) in gids.iter().zip(&rosters).take(20) {
+            assert!(!migrated.contains(g), "active group {g} must be pinned");
+            let placement = cluster.placement(*g).unwrap();
+            let token = cluster
+                .shard(placement.shard)
+                .arbiter()
+                .token(placement.local)
+                .unwrap();
+            let local = cluster.members[&roster[0]].locals[&placement.shard];
+            assert_eq!(token.holder(), Some(local));
+        }
+        cluster.check_invariants().unwrap();
+    }
+}

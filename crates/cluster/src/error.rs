@@ -1,0 +1,103 @@
+//! Error types of the sharded control plane.
+
+use std::fmt;
+
+use dmps_floor::FloorError;
+
+use crate::ring::ShardId;
+use crate::shard::{GlobalGroupId, GlobalMemberId};
+
+/// Convenience result alias for the crate.
+pub type Result<T> = std::result::Result<T, ClusterError>;
+
+/// Errors raised by the sharded control plane.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// A global group identifier is unknown to the directory.
+    UnknownGroup(GlobalGroupId),
+    /// A global member identifier is unknown to the directory.
+    UnknownMember(GlobalMemberId),
+    /// The shard owning the addressed group is down (crashed and not yet
+    /// recovered).
+    ShardDown(ShardId),
+    /// A member is not registered on the shard the operation addresses.
+    NotOnShard {
+        /// The member.
+        member: GlobalMemberId,
+        /// The shard.
+        shard: ShardId,
+    },
+    /// A cluster-level invitation identifier is unknown.
+    UnknownInvitation(u64),
+    /// An invitation was answered by somebody other than its recipient.
+    NotTheInvitee(GlobalMemberId),
+    /// An invitation was already answered.
+    AlreadyAnswered(u64),
+    /// A group could not be migrated because its floor state is active
+    /// (token held or queued members).
+    GroupNotIdle(GlobalGroupId),
+    /// An error surfaced from the underlying floor arbiter.
+    Floor(FloorError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::UnknownGroup(g) => write!(f, "unknown cluster group {g}"),
+            ClusterError::UnknownMember(m) => write!(f, "unknown cluster member {m}"),
+            ClusterError::ShardDown(s) => write!(f, "shard {s} is down"),
+            ClusterError::NotOnShard { member, shard } => {
+                write!(f, "member {member} is not registered on shard {shard}")
+            }
+            ClusterError::UnknownInvitation(i) => write!(f, "unknown cluster invitation {i}"),
+            ClusterError::NotTheInvitee(m) => write!(f, "member {m} is not the invitee"),
+            ClusterError::AlreadyAnswered(i) => write!(f, "invitation {i} was already answered"),
+            ClusterError::GroupNotIdle(g) => {
+                write!(f, "group {g} has active floor state and cannot be migrated")
+            }
+            ClusterError::Floor(e) => write!(f, "floor control error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Floor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FloorError> for ClusterError {
+    fn from(e: FloorError) -> Self {
+        ClusterError::Floor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errors = [
+            ClusterError::UnknownGroup(GlobalGroupId(1)),
+            ClusterError::UnknownMember(GlobalMemberId(2)),
+            ClusterError::ShardDown(ShardId(3)),
+            ClusterError::NotOnShard {
+                member: GlobalMemberId(4),
+                shard: ShardId(0),
+            },
+            ClusterError::UnknownInvitation(5),
+            ClusterError::NotTheInvitee(GlobalMemberId(6)),
+            ClusterError::AlreadyAnswered(7),
+            ClusterError::GroupNotIdle(GlobalGroupId(8)),
+            ClusterError::Floor(FloorError::MissingDestination),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

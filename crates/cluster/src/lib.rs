@@ -1,0 +1,77 @@
+//! # dmps-cluster
+//!
+//! A sharded, failure-tolerant federation of floor-control arbiters — the
+//! scale-out control plane the ROADMAP's "millions of concurrent users"
+//! target needs, built on the paper's single-arbiter `FCM-Arbitrate`
+//! semantics without weakening them.
+//!
+//! ## Architecture
+//!
+//! * **Sharding** ([`ring`]) — groups are partitioned across shards by
+//!   consistent hashing on their [`GlobalGroupId`]; each shard is an
+//!   independent [`dmps_floor::FloorArbiter`] so shards share nothing and
+//!   scale linearly.
+//! * **Routing & batching** ([`cluster`]) — the [`Cluster`] router translates
+//!   cluster-wide ids to shard-local dense ids, batches requests per shard,
+//!   and applies batches either sequentially or with one worker per shard
+//!   ([`Cluster::flush_parallel`]).
+//! * **Cross-shard invitations** — Group Discussion / Direct Contact
+//!   sub-groups spawn on whatever shard the ring (or the caller) picks, so a
+//!   popular lecture's breakouts spread over the cluster instead of
+//!   hot-spotting their parent's shard.
+//! * **Durability & failover** ([`shard`]) — every state mutation is an
+//!   [`dmps_floor::ArbiterEvent`] appended to the shard's replicated log;
+//!   snapshots ([`dmps_floor::ArbiterSnapshot`]) are taken on a cadence and
+//!   compact the log. When a shard host crashes, a standby restores
+//!   snapshot-plus-log-suffix and takes over with *exactly* the pre-crash
+//!   floor state: no double grants, token uniqueness, suspension order — the
+//!   invariants [`dmps_floor::FloorArbiter::check_invariants`] verifies.
+//! * **Failure injection** ([`sim`]) — [`ClusterSim`] deploys the cluster
+//!   over `dmps-simnet` hosts and crashes them mid-traffic on a seeded
+//!   schedule, which is how the failover integration tests and the
+//!   `sharded_campus_lectures` example exercise the recovery path
+//!   deterministically.
+//! * **Scale-out** — [`Cluster::add_shard`] grows the ring and
+//!   [`Cluster::rebalance_idle`] migrates idle groups to it; groups with live
+//!   token state stay pinned until they quiesce, because moving a held token
+//!   between arbiters is exactly the double-grant risk failover avoids.
+//!
+//! ## Example
+//!
+//! ```
+//! use dmps_cluster::{Cluster, ClusterConfig, GlobalRequest};
+//! use dmps_floor::{FcmMode, Member, Role};
+//!
+//! let mut cluster = Cluster::new(ClusterConfig::with_shards(4));
+//! let group = cluster.create_group("lecture", FcmMode::EqualControl).unwrap();
+//! let teacher = cluster.register_member(Member::new("teacher", Role::Chair));
+//! cluster.join_group(group, teacher).unwrap();
+//!
+//! cluster.submit(GlobalRequest::speak(group, teacher)).unwrap();
+//! let decisions = cluster.flush_parallel();
+//! assert!(decisions[0].outcome.as_ref().unwrap().is_granted());
+//!
+//! // Crash the shard owning the group; the standby recovers it exactly.
+//! let shard = cluster.placement(group).unwrap().shard;
+//! cluster.crash_shard(shard);
+//! cluster.recover_shard(shard).unwrap();
+//! cluster.check_invariants().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod error;
+pub mod ring;
+pub mod shard;
+pub mod sim;
+
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterInvitation, Decision, GlobalRequest, GlobalRequestKind,
+    GroupPlacement,
+};
+pub use error::{ClusterError, Result};
+pub use ring::{HashRing, ShardId};
+pub use shard::{EventLog, GlobalGroupId, GlobalMemberId, Shard, ShardState};
+pub use sim::{ClusterMsg, ClusterSim};

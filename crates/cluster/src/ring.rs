@@ -1,0 +1,160 @@
+//! Consistent hashing: placing groups onto shards.
+//!
+//! Each shard owns `vnodes` points on a 64-bit ring; a group key is placed on
+//! the first shard point at or after its hash. Adding or removing one shard
+//! therefore moves only `~1/n` of the keyspace — the property that makes
+//! scale-out rebalancing cheap.
+
+use std::fmt;
+
+/// Identifier of a shard (dense index into the cluster's shard vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub usize);
+
+impl ShardId {
+    /// The dense index of the shard.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Deterministic 64-bit mix (splitmix64 finalizer) used for ring points and
+/// key placement.
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring over shards with virtual nodes.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted ring points `(hash, shard)`.
+    points: Vec<(u64, ShardId)>,
+    vnodes: usize,
+    shards: usize,
+}
+
+impl HashRing {
+    /// Builds a ring of `shards` shards with `vnodes` virtual nodes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` or `vnodes` is zero.
+    pub fn new(shards: usize, vnodes: usize) -> Self {
+        assert!(shards > 0, "a ring needs at least one shard");
+        assert!(
+            vnodes > 0,
+            "a ring needs at least one virtual node per shard"
+        );
+        let mut ring = HashRing {
+            points: Vec::with_capacity(shards * vnodes),
+            vnodes,
+            shards: 0,
+        };
+        for _ in 0..shards {
+            ring.add_shard();
+        }
+        ring
+    }
+
+    /// Number of shards on the ring.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Adds the next shard (id = current count) to the ring and returns its
+    /// id.
+    pub fn add_shard(&mut self) -> ShardId {
+        let id = ShardId(self.shards);
+        self.shards += 1;
+        for v in 0..self.vnodes {
+            // Distinct namespaces for shard and vnode so rings of different
+            // sizes share most points.
+            let h = mix64(
+                mix64(0xC1A5_7E5E ^ id.0 as u64) ^ (v as u64).wrapping_mul(0x5851_F42D_4C95_7F2D),
+            );
+            self.points.push((h, id));
+        }
+        self.points.sort_unstable();
+        id
+    }
+
+    /// The shard owning a key.
+    pub fn shard_for(&self, key: u64) -> ShardId {
+        let h = mix64(key);
+        match self.points.binary_search_by(|&(p, _)| p.cmp(&h)) {
+            Ok(i) => self.points[i].1,
+            Err(i) if i == self.points.len() => self.points[0].1,
+            Err(i) => self.points[i].1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn placement_is_deterministic_and_total() {
+        let ring = HashRing::new(4, 64);
+        for key in 0..1_000u64 {
+            let a = ring.shard_for(key);
+            let b = ring.shard_for(key);
+            assert_eq!(a, b);
+            assert!(a.index() < 4);
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_balanced() {
+        let ring = HashRing::new(4, 128);
+        let mut counts: BTreeMap<ShardId, usize> = BTreeMap::new();
+        for key in 0..8_000u64 {
+            *counts.entry(ring.shard_for(key)).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 4, "every shard owns part of the keyspace");
+        for (&shard, &n) in &counts {
+            // Perfect balance would be 2000 per shard; accept a generous
+            // band since vnode placement is random-ish.
+            assert!(
+                (1_000..3_200).contains(&n),
+                "shard {shard} got {n} of 8000 keys"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_moves_a_minority_of_keys() {
+        let before = HashRing::new(4, 128);
+        let mut after = before.clone();
+        after.add_shard();
+        let moved = (0..8_000u64)
+            .filter(|&k| before.shard_for(k) != after.shard_for(k))
+            .count();
+        // Ideal movement is 1/5 of keys (1600); anything under half shows
+        // the ring is consistent rather than rehash-everything.
+        assert!(moved > 0, "a new shard must take over some keys");
+        assert!(moved < 4_000, "only a minority may move, moved {moved}");
+        // Every moved key lands on the new shard.
+        for k in 0..8_000u64 {
+            if before.shard_for(k) != after.shard_for(k) {
+                assert_eq!(after.shard_for(k), ShardId(4));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = HashRing::new(0, 8);
+    }
+}

@@ -1,0 +1,357 @@
+//! One shard: a [`FloorArbiter`] behind an append-only event log with
+//! periodic snapshots.
+//!
+//! The log models the shard's replicated durable state (in a real deployment
+//! it would live on a quorum of log servers); the arbiter is the volatile
+//! in-memory state of the shard's primary process. A crash discards the
+//! arbiter; recovery restores the latest [`ArbiterSnapshot`] and replays the
+//! log suffix, which — because [`FloorArbiter::apply`] is deterministic —
+//! reconstructs the pre-crash state exactly.
+
+use std::fmt;
+
+use dmps_floor::snapshot::EventOutcome;
+use dmps_floor::{ArbiterEvent, ArbiterSnapshot, FloorArbiter};
+
+use crate::error::{ClusterError, Result};
+use crate::ring::ShardId;
+
+/// Cluster-wide identifier of a group (stable across shard moves, unlike the
+/// dense per-arbiter [`dmps_floor::GroupId`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalGroupId(pub u64);
+
+impl fmt::Display for GlobalGroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+/// Cluster-wide identifier of a member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalMemberId(pub u64);
+
+impl fmt::Display for GlobalMemberId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U{}", self.0)
+    }
+}
+
+/// The append-only event log of one shard, with prefix compaction.
+///
+/// Event `i` of the shard's history has sequence number `i`; after
+/// compaction the log keeps only events `base..`, the rest being covered by
+/// a snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    base: u64,
+    events: Vec<ArbiterEvent>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Sequence number the next appended event receives.
+    pub fn next_seq(&self) -> u64 {
+        self.base + self.events.len() as u64
+    }
+
+    /// Sequence number of the oldest retained event.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Number of retained events.
+    pub fn retained(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Appends an event, returning its sequence number.
+    pub fn append(&mut self, event: ArbiterEvent) -> u64 {
+        let seq = self.next_seq();
+        self.events.push(event);
+        seq
+    }
+
+    /// The retained events starting at `from_seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `from_seq` precedes the compaction base — those events no
+    /// longer exist and the caller should have used a newer snapshot.
+    pub fn suffix(&self, from_seq: u64) -> &[ArbiterEvent] {
+        assert!(
+            from_seq >= self.base,
+            "log suffix from {} requested but events before {} were compacted",
+            from_seq,
+            self.base
+        );
+        let start = (from_seq - self.base) as usize;
+        &self.events[start.min(self.events.len())..]
+    }
+
+    /// Drops every event before `seq` (they are covered by a snapshot).
+    pub fn compact_to(&mut self, seq: u64) {
+        if seq <= self.base {
+            return;
+        }
+        let drop = ((seq - self.base) as usize).min(self.events.len());
+        self.events.drain(..drop);
+        self.base += drop as u64;
+    }
+}
+
+/// Liveness of a shard's primary process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// The primary is serving requests.
+    Active,
+    /// The primary crashed; the log and snapshot survive but no requests are
+    /// served until a standby recovers.
+    Failed,
+}
+
+/// A shard: the unit of horizontal scale of the control plane.
+#[derive(Debug)]
+pub struct Shard {
+    id: ShardId,
+    state: ShardState,
+    arbiter: FloorArbiter,
+    log: EventLog,
+    snapshot: Option<ArbiterSnapshot>,
+    snapshot_every: u64,
+    recoveries: u64,
+}
+
+impl Shard {
+    /// Creates an active shard that snapshots every `snapshot_every` events
+    /// (0 disables automatic snapshots).
+    pub fn new(id: ShardId, snapshot_every: u64) -> Self {
+        Shard {
+            id,
+            state: ShardState::Active,
+            arbiter: FloorArbiter::with_defaults(),
+            log: EventLog::new(),
+            snapshot: None,
+            snapshot_every,
+            recoveries: 0,
+        }
+    }
+
+    /// The shard id.
+    pub fn id(&self) -> ShardId {
+        self.id
+    }
+
+    /// Current liveness.
+    pub fn state(&self) -> ShardState {
+        self.state
+    }
+
+    /// Whether the shard is serving.
+    pub fn is_active(&self) -> bool {
+        self.state == ShardState::Active
+    }
+
+    /// Read access to the arbiter (inspection only).
+    pub fn arbiter(&self) -> &FloorArbiter {
+        &self.arbiter
+    }
+
+    /// The event log.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// The latest snapshot, if one was taken.
+    pub fn latest_snapshot(&self) -> Option<&ArbiterSnapshot> {
+        self.snapshot.as_ref()
+    }
+
+    /// How many times a standby recovered this shard.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Applies an event through the log: the event is validated against the
+    /// live arbiter, appended to the durable log, and a snapshot is taken on
+    /// the configured cadence.
+    ///
+    /// Events that *fail* (unknown ids, policy misuse) are **not** logged —
+    /// they did not mutate state, so replaying them is unnecessary; this also
+    /// keeps replay infallible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::ShardDown`] when the shard is failed, or the
+    /// underlying floor error.
+    pub fn apply(&mut self, event: ArbiterEvent) -> Result<EventOutcome> {
+        if self.state != ShardState::Active {
+            return Err(ClusterError::ShardDown(self.id));
+        }
+        let outcome = self.arbiter.apply(&event)?;
+        let seq = self.log.append(event) + 1;
+        if self.snapshot_every > 0 && seq.is_multiple_of(self.snapshot_every) {
+            self.take_snapshot();
+        }
+        Ok(outcome)
+    }
+
+    /// Takes a snapshot of the current state now and compacts the log up to
+    /// it.
+    pub fn take_snapshot(&mut self) -> &ArbiterSnapshot {
+        let snap = self.arbiter.snapshot(self.log.next_seq());
+        self.log.compact_to(snap.applied_seq);
+        self.snapshot = Some(snap);
+        self.snapshot.as_ref().expect("just stored")
+    }
+
+    /// Crashes the primary: volatile arbiter state is lost; log and snapshot
+    /// (durable, replicated) survive.
+    pub fn crash(&mut self) {
+        self.state = ShardState::Failed;
+        self.arbiter = FloorArbiter::with_defaults();
+    }
+
+    /// A standby takes over: restore the latest snapshot, replay the log
+    /// suffix, resume serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Floor`] when the snapshot is corrupt or a
+    /// logged event fails to re-apply (either indicates durable-state
+    /// corruption, not a recoverable condition).
+    pub fn recover(&mut self) -> Result<()> {
+        let (mut arbiter, from_seq) = match &self.snapshot {
+            Some(snap) => (FloorArbiter::restore(snap)?, snap.applied_seq),
+            None => (FloorArbiter::with_defaults(), 0),
+        };
+        for event in self.log.suffix(from_seq) {
+            arbiter.apply(event)?;
+        }
+        self.arbiter = arbiter;
+        self.state = ShardState::Active;
+        self.recoveries += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmps_floor::{FcmMode, FloorRequest, GroupId, Member, MemberId, Role};
+
+    fn scripted(shard: &mut Shard, requests: usize) {
+        shard
+            .apply(ArbiterEvent::CreateGroup {
+                name: "g".into(),
+                mode: FcmMode::EqualControl,
+            })
+            .unwrap();
+        for i in 0..4 {
+            shard
+                .apply(ArbiterEvent::AddMember {
+                    group: GroupId(0),
+                    member: Member::new(format!("m{i}"), Role::Participant),
+                })
+                .unwrap();
+        }
+        for i in 0..requests {
+            shard
+                .apply(ArbiterEvent::Arbitrate {
+                    request: FloorRequest::speak(GroupId(0), MemberId(i % 4)),
+                })
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn crash_and_recover_reconstructs_state_exactly() {
+        let mut shard = Shard::new(ShardId(0), 8);
+        scripted(&mut shard, 20);
+        let reference = shard.arbiter().clone();
+        assert!(shard.latest_snapshot().is_some(), "cadence snapshots taken");
+        shard.crash();
+        assert!(!shard.is_active());
+        assert!(matches!(
+            shard.apply(ArbiterEvent::CreateGroup {
+                name: "x".into(),
+                mode: FcmMode::FreeAccess
+            }),
+            Err(ClusterError::ShardDown(_))
+        ));
+        shard.recover().unwrap();
+        assert!(shard.is_active());
+        assert_eq!(shard.arbiter(), &reference);
+        assert_eq!(shard.recoveries(), 1);
+        shard.arbiter().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn recovery_works_without_any_snapshot() {
+        let mut shard = Shard::new(ShardId(1), 0);
+        scripted(&mut shard, 5);
+        let reference = shard.arbiter().clone();
+        assert!(shard.latest_snapshot().is_none());
+        shard.crash();
+        shard.recover().unwrap();
+        assert_eq!(shard.arbiter(), &reference);
+    }
+
+    #[test]
+    fn failed_events_are_not_logged() {
+        let mut shard = Shard::new(ShardId(0), 0);
+        scripted(&mut shard, 1);
+        let retained = shard.log().retained();
+        // Unknown group: the arbiter rejects it, so the log must not grow —
+        // replay would otherwise fail.
+        let err = shard
+            .apply(ArbiterEvent::Arbitrate {
+                request: FloorRequest::speak(GroupId(99), MemberId(0)),
+            })
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Floor(_)));
+        assert_eq!(shard.log().retained(), retained);
+        let reference = shard.arbiter().clone();
+        shard.crash();
+        shard.recover().unwrap();
+        assert_eq!(shard.arbiter(), &reference);
+    }
+
+    #[test]
+    fn log_compaction_keeps_recovery_correct() {
+        let mut shard = Shard::new(ShardId(2), 4);
+        scripted(&mut shard, 30);
+        // Compaction happened: the log no longer starts at zero.
+        assert!(shard.log().base() > 0);
+        assert!(shard.log().retained() < 35);
+        let reference = shard.arbiter().clone();
+        shard.crash();
+        shard.recover().unwrap();
+        assert_eq!(shard.arbiter(), &reference);
+    }
+
+    #[test]
+    fn event_log_suffix_and_compaction_bounds() {
+        let mut log = EventLog::new();
+        for i in 0..6 {
+            log.append(ArbiterEvent::CreateGroup {
+                name: format!("g{i}"),
+                mode: FcmMode::FreeAccess,
+            });
+        }
+        assert_eq!(log.next_seq(), 6);
+        assert_eq!(log.suffix(4).len(), 2);
+        log.compact_to(4);
+        assert_eq!(log.base(), 4);
+        assert_eq!(log.retained(), 2);
+        assert_eq!(log.suffix(4).len(), 2);
+        assert_eq!(log.suffix(6).len(), 0);
+        // Compacting backwards is a no-op.
+        log.compact_to(2);
+        assert_eq!(log.base(), 4);
+    }
+}

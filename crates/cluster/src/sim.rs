@@ -1,0 +1,405 @@
+//! Driving a [`Cluster`] over the deterministic network simulator.
+//!
+//! [`ClusterSim`] deploys each shard's primary (and a cold standby) on its
+//! own simulated host, a gateway host that routes client floor requests to
+//! the owning shard, and a failure schedule that crashes shard hosts
+//! mid-traffic — the harness behind the failover integration tests and the
+//! `sharded_campus_lectures` example. Request→decision latencies are
+//! recorded per shard so grant-latency statistics can be computed with
+//! `dmps::metrics::GrantLatencyStats`.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use dmps_floor::ArbitrationOutcome;
+use dmps_simnet::{HostId, Link, Network, SimTime};
+
+use crate::cluster::{Cluster, ClusterConfig, GlobalRequest};
+use crate::error::Result;
+use crate::ring::ShardId;
+use crate::shard::GlobalGroupId;
+
+/// Messages on the cluster's simulated control network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterMsg {
+    /// Gateway → shard: arbitrate this request.
+    Request {
+        /// Submission sequence number.
+        seq: u64,
+        /// The request.
+        request: GlobalRequest,
+    },
+    /// Shard → gateway: the arbitration decision.
+    Decision {
+        /// Submission sequence number.
+        seq: u64,
+        /// The group the request addressed.
+        group: GlobalGroupId,
+        /// The outcome.
+        outcome: ArbitrationOutcome,
+    },
+}
+
+impl ClusterMsg {
+    fn size_bytes(&self) -> u64 {
+        match self {
+            ClusterMsg::Request { .. } => 64,
+            ClusterMsg::Decision { outcome, .. } => 64 + outcome.suspensions().len() as u64 * 16,
+        }
+    }
+}
+
+/// A scheduled failure-plan entry.
+#[derive(Debug, Clone, Copy)]
+enum FailureAction {
+    Crash(ShardId),
+    Failover(ShardId),
+}
+
+/// The hosts backing one shard.
+#[derive(Debug, Clone, Copy)]
+struct ShardHosts {
+    primary: HostId,
+    standby: HostId,
+    /// Which of the two currently serves.
+    serving: HostId,
+}
+
+/// A sharded cluster deployed over `dmps-simnet`.
+#[derive(Debug)]
+pub struct ClusterSim {
+    net: Network<ClusterMsg>,
+    cluster: Cluster,
+    gateway: HostId,
+    hosts: Vec<ShardHosts>,
+    plan: Vec<(SimTime, FailureAction)>,
+    sent_at: BTreeMap<u64, (SimTime, ShardId)>,
+    latencies: Vec<Vec<Duration>>,
+    decisions: Vec<(u64, GlobalGroupId, ArbitrationOutcome)>,
+    failovers: u64,
+    next_seq: u64,
+}
+
+impl ClusterSim {
+    /// Deploys a cluster: one gateway host, and a primary + standby host per
+    /// shard, all connected to the gateway over `link`. `seed` drives every
+    /// random network effect (jitter, loss), so runs are reproducible.
+    pub fn new(config: ClusterConfig, seed: u64, link: Link) -> Self {
+        let cluster = Cluster::new(config);
+        let mut net: Network<ClusterMsg> = Network::new(seed);
+        let gateway = net.add_host("gateway");
+        let mut hosts = Vec::new();
+        for i in 0..config.shards {
+            let primary = net.add_host(format!("shard-{i}"));
+            let standby = net.add_host(format!("shard-{i}-standby"));
+            net.connect(gateway, primary, link).expect("fresh hosts");
+            net.connect(gateway, standby, link).expect("fresh hosts");
+            hosts.push(ShardHosts {
+                primary,
+                standby,
+                serving: primary,
+            });
+        }
+        ClusterSim {
+            net,
+            cluster,
+            gateway,
+            hosts,
+            plan: Vec::new(),
+            sent_at: BTreeMap::new(),
+            latencies: vec![Vec::new(); config.shards],
+            decisions: Vec::new(),
+            failovers: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Control-plane access: set up groups and members directly (membership
+    /// changes are an out-of-band administrative path in this harness; only
+    /// floor requests travel the simulated network).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// Read access to the cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Read access to the network (drop records, counters).
+    pub fn network(&self) -> &Network<ClusterMsg> {
+        &self.net
+    }
+
+    /// The host currently serving a shard.
+    pub fn serving_host(&self, shard: ShardId) -> HostId {
+        self.hosts[shard.0].serving
+    }
+
+    /// Number of failovers performed so far.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Schedules a client floor request to be sent at global time `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns routing errors for unknown ids (the request must address an
+    /// existing group/member so the gateway can resolve the owning shard).
+    pub fn submit_at(&mut self, at: SimTime, request: GlobalRequest) -> Result<u64> {
+        // Resolve now to surface routing errors early; the serving host is
+        // resolved again at send time so failovers redirect traffic.
+        let _ = self.cluster.placement(request.group)?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.net
+            .schedule(self.gateway, at, ClusterMsg::Request { seq, request })
+            .expect("gateway timers are always schedulable");
+        Ok(seq)
+    }
+
+    /// Schedules a crash of the shard's serving host at `at`, with the
+    /// standby completing snapshot-plus-log-replay recovery `downtime`
+    /// later.
+    pub fn schedule_crash(&mut self, at: SimTime, shard: ShardId, downtime: Duration) {
+        self.plan.push((at, FailureAction::Crash(shard)));
+        self.plan
+            .push((at + downtime, FailureAction::Failover(shard)));
+        self.plan.sort_by_key(|&(t, _)| t);
+    }
+
+    fn apply_failure(&mut self, action: FailureAction) {
+        match action {
+            FailureAction::Crash(shard) => {
+                let serving = self.hosts[shard.0].serving;
+                // The process dies: volatile arbiter state and all in-flight
+                // traffic to/from the host are gone.
+                self.net.crash_host(serving).expect("host exists");
+                self.cluster.crash_shard(shard);
+            }
+            FailureAction::Failover(shard) => {
+                let hosts = self.hosts[shard.0];
+                let standby = if hosts.serving == hosts.primary {
+                    hosts.standby
+                } else {
+                    hosts.primary
+                };
+                self.cluster
+                    .recover_shard(shard)
+                    .expect("durable snapshot+log must recover");
+                // The crashed station may later be repaired and become the
+                // new standby.
+                let _ = self.net.set_host_up(hosts.serving, true);
+                self.hosts[shard.0].serving = standby;
+                self.failovers += 1;
+            }
+        }
+    }
+
+    fn shard_of_host(&self, host: HostId) -> Option<ShardId> {
+        self.hosts
+            .iter()
+            .position(|h| h.primary == host || h.standby == host)
+            .map(ShardId)
+    }
+
+    /// Runs the simulation — deliveries and scheduled failures in global
+    /// time order — until the network is idle and the failure plan is
+    /// exhausted.
+    pub fn run_to_idle(&mut self) {
+        loop {
+            let next_delivery = self.net.peek_time();
+            let next_failure = self.plan.first().map(|&(t, _)| t);
+            match (next_delivery, next_failure) {
+                (None, None) => break,
+                (Some(d), Some(f)) if f <= d => {
+                    let (_, action) = self.plan.remove(0);
+                    self.apply_failure(action);
+                }
+                (None, Some(_)) => {
+                    let (_, action) = self.plan.remove(0);
+                    self.apply_failure(action);
+                }
+                _ => {
+                    let delivery = self.net.next_delivery().expect("peeked");
+                    self.dispatch(delivery.at, delivery.from, delivery.to, delivery.payload);
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, at: SimTime, from: HostId, to: HostId, msg: ClusterMsg) {
+        if to == self.gateway {
+            match msg {
+                // A gateway timer: route the client request to the shard
+                // currently serving the group.
+                ClusterMsg::Request { seq, request } if from == to => {
+                    let Ok(placement) = self.cluster.placement(request.group) else {
+                        return;
+                    };
+                    let serving = self.hosts[placement.shard.0].serving;
+                    self.sent_at.insert(seq, (at, placement.shard));
+                    let msg = ClusterMsg::Request { seq, request };
+                    let size = msg.size_bytes();
+                    let _ = self.net.send(self.gateway, serving, msg, size);
+                }
+                ClusterMsg::Decision {
+                    seq,
+                    group,
+                    outcome,
+                } => {
+                    if let Some((sent, shard)) = self.sent_at.get(&seq).copied() {
+                        self.latencies[shard.0].push(at.duration_since(sent));
+                    }
+                    self.decisions.push((seq, group, outcome));
+                }
+                ClusterMsg::Request { .. } => {}
+            }
+        } else if self.shard_of_host(to).is_some() {
+            if let ClusterMsg::Request { seq, request } = msg {
+                // The shard primary arbitrates and replies to the gateway.
+                let Ok(outcome) = self.cluster.request(request) else {
+                    return;
+                };
+                let reply = ClusterMsg::Decision {
+                    seq,
+                    group: request.group,
+                    outcome,
+                };
+                let size = reply.size_bytes();
+                let _ = self.net.send(to, self.gateway, reply, size);
+            }
+        }
+    }
+
+    /// Request→decision latency samples observed for one shard.
+    pub fn latencies(&self, shard: ShardId) -> &[Duration] {
+        &self.latencies[shard.0]
+    }
+
+    /// Every decision received by the gateway, in arrival order as
+    /// `(submission seq, group, outcome)`.
+    pub fn decisions(&self) -> &[(u64, GlobalGroupId, ArbitrationOutcome)] {
+        &self.decisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmps_floor::{FcmMode, Member, Role};
+
+    #[test]
+    fn requests_flow_and_latencies_are_recorded() {
+        let mut sim = ClusterSim::new(ClusterConfig::with_shards(2), 11, Link::lan());
+        let g = sim
+            .cluster_mut()
+            .create_group("lecture", FcmMode::FreeAccess)
+            .unwrap();
+        let m = sim
+            .cluster_mut()
+            .register_member(Member::new("t", Role::Chair));
+        sim.cluster_mut().join_group(g, m).unwrap();
+        for i in 0..10u64 {
+            sim.submit_at(SimTime::from_millis(i * 10), GlobalRequest::speak(g, m))
+                .unwrap();
+        }
+        sim.run_to_idle();
+        assert_eq!(sim.decisions().len(), 10);
+        // Every submission got a distinct sequence number, so decisions
+        // correlate one-to-one with submissions.
+        let mut seqs: Vec<u64> = sim.decisions().iter().map(|(s, ..)| *s).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..10).collect::<Vec<u64>>());
+        let shard = sim.cluster().placement(g).unwrap().shard;
+        assert_eq!(sim.latencies(shard).len(), 10);
+        assert!(sim.latencies(shard).iter().all(|&l| l > Duration::ZERO));
+    }
+
+    #[test]
+    fn crash_during_traffic_fails_over_to_standby() {
+        let mut sim = ClusterSim::new(ClusterConfig::with_shards(2), 5, Link::lan());
+        let g = sim
+            .cluster_mut()
+            .create_group("lecture", FcmMode::EqualControl)
+            .unwrap();
+        let shard = sim.cluster().placement(g).unwrap().shard;
+        let speakers: Vec<_> = (0..3)
+            .map(|i| {
+                let m = sim
+                    .cluster_mut()
+                    .register_member(Member::new(format!("m{i}"), Role::Participant));
+                sim.cluster_mut().join_group(g, m).unwrap();
+                m
+            })
+            .collect();
+        let primary = sim.serving_host(shard);
+        for i in 0..40u64 {
+            sim.submit_at(
+                SimTime::from_millis(50 * i),
+                GlobalRequest::speak(g, speakers[(i % 3) as usize]),
+            )
+            .unwrap();
+        }
+        sim.schedule_crash(SimTime::from_millis(900), shard, Duration::from_millis(300));
+        sim.run_to_idle();
+        assert_eq!(sim.failovers(), 1);
+        assert_ne!(sim.serving_host(shard), primary, "standby serves now");
+        // Some requests were answered, some died with the host.
+        assert!(!sim.decisions().is_empty());
+        assert!(sim.decisions().len() < 40);
+        assert!(sim
+            .network()
+            .dropped()
+            .iter()
+            .any(|d| d.reason == dmps_simnet::DropReason::HostDown));
+        sim.cluster().check_invariants().unwrap();
+        // Exactly one token holder after recovery.
+        let placement = sim.cluster().placement(g).unwrap();
+        let token = sim
+            .cluster()
+            .shard(placement.shard)
+            .arbiter()
+            .token(placement.local)
+            .unwrap();
+        assert!(token.holder().is_some());
+    }
+
+    #[test]
+    fn same_seed_same_failover_same_state() {
+        let run = |seed: u64| {
+            let mut sim = ClusterSim::new(ClusterConfig::with_shards(3), seed, Link::dsl());
+            let g = sim
+                .cluster_mut()
+                .create_group("lecture", FcmMode::EqualControl)
+                .unwrap();
+            let shard = sim.cluster().placement(g).unwrap().shard;
+            let ms: Vec<_> = (0..4)
+                .map(|i| {
+                    let m = sim
+                        .cluster_mut()
+                        .register_member(Member::new(format!("m{i}"), Role::Participant));
+                    sim.cluster_mut().join_group(g, m).unwrap();
+                    m
+                })
+                .collect();
+            for i in 0..60u64 {
+                sim.submit_at(
+                    SimTime::from_millis(20 * i),
+                    GlobalRequest::speak(g, ms[(i % 4) as usize]),
+                )
+                .unwrap();
+            }
+            sim.schedule_crash(SimTime::from_millis(600), shard, Duration::from_millis(200));
+            sim.run_to_idle();
+            let placement = sim.cluster().placement(g).unwrap();
+            (
+                dmps_wire::to_string(sim.cluster().shard(placement.shard).arbiter()),
+                sim.decisions().len(),
+                sim.network().dropped().len(),
+            )
+        };
+        assert_eq!(run(77), run(77), "identical seeds reproduce exactly");
+    }
+}

@@ -199,8 +199,14 @@ impl DmpsClient {
             DmpsMessage::FloorDecision { member, outcome } => {
                 if Some(member) == self.member {
                     match outcome {
-                        ArbitrationOutcome::Granted { .. } => {
-                            self.may_speak = true;
+                        ArbitrationOutcome::Granted { ref speakers, .. } => {
+                            // A grant names the members who may now deliver.
+                            // After a release or pass the *requester* also
+                            // receives a grant naming the new holder, so
+                            // membership in `speakers` — not the mere arrival
+                            // of a grant — decides whether this client holds
+                            // the floor.
+                            self.may_speak = speakers.contains(&member);
                             self.queued_behind = None;
                         }
                         ArbitrationOutcome::Queued { current_holder, .. } => {
@@ -321,9 +327,27 @@ mod tests {
     #[test]
     fn content_lands_in_the_right_window() {
         let mut c = DmpsClient::new(HostId(1), "alice", Role::Participant);
-        c.handle(SimTime::ZERO, DmpsMessage::Chat { from: MemberId(0), text: "hi".into() });
-        c.handle(SimTime::ZERO, DmpsMessage::Whiteboard { from: MemberId(0), stroke: "rect".into() });
-        c.handle(SimTime::ZERO, DmpsMessage::Annotation { from: MemberId(0), text: "note".into() });
+        c.handle(
+            SimTime::ZERO,
+            DmpsMessage::Chat {
+                from: MemberId(0),
+                text: "hi".into(),
+            },
+        );
+        c.handle(
+            SimTime::ZERO,
+            DmpsMessage::Whiteboard {
+                from: MemberId(0),
+                stroke: "rect".into(),
+            },
+        );
+        c.handle(
+            SimTime::ZERO,
+            DmpsMessage::Annotation {
+                from: MemberId(0),
+                text: "note".into(),
+            },
+        );
         assert_eq!(c.message_window().len(), 1);
         assert_eq!(c.whiteboard().len(), 1);
         assert_eq!(c.annotations().len(), 1);
@@ -375,6 +399,19 @@ mod tests {
             },
         );
         assert!(c.may_speak());
+        // A grant naming only another member (the decision a releaser
+        // receives after the token moved on) clears the speaking state.
+        c.handle(
+            SimTime::ZERO,
+            DmpsMessage::FloorDecision {
+                member: MemberId(2),
+                outcome: ArbitrationOutcome::Granted {
+                    speakers: vec![MemberId(5)],
+                    suspensions: vec![],
+                },
+            },
+        );
+        assert!(!c.may_speak(), "releaser no longer holds the floor");
         let _ = DmpsMessage::Floor(FloorRequest::speak(GroupId(0), MemberId(2)));
     }
 

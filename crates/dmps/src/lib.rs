@@ -47,7 +47,7 @@ pub use client::DmpsClient;
 pub use error::{DmpsError, Result};
 pub use message::DmpsMessage;
 pub use metrics::{GrantLatencyStats, SkewStats};
-pub use presentation::{PresentationDriver, PlaybackSkewReport};
+pub use presentation::{PlaybackSkewReport, PresentationDriver};
 pub use server::DmpsServer;
 pub use session::{Session, SessionConfig};
 pub use workload::{Workload, WorkloadEvent, WorkloadKind};

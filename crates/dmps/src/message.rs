@@ -107,7 +107,9 @@ impl DmpsMessage {
     pub fn size_bytes(&self) -> u64 {
         match self {
             DmpsMessage::ClockSyncRequest { .. } | DmpsMessage::ClockSyncResponse { .. } => 48,
-            DmpsMessage::Join { name, channels, .. } => 64 + name.len() as u64 + channels.len() as u64 * 4,
+            DmpsMessage::Join { name, channels, .. } => {
+                64 + name.len() as u64 + channels.len() as u64 * 4
+            }
             DmpsMessage::JoinAccepted { .. } => 32,
             DmpsMessage::Floor(_) => 64,
             DmpsMessage::FloorDecision { outcome, .. } => {
@@ -135,6 +137,147 @@ impl DmpsMessage {
     }
 }
 
+impl dmps_wire::Wire for DmpsMessage {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        match self {
+            DmpsMessage::ClockSyncRequest { client_local } => {
+                0u8.encode(w);
+                client_local.encode(w);
+            }
+            DmpsMessage::ClockSyncResponse { server_global } => {
+                1u8.encode(w);
+                server_global.encode(w);
+            }
+            DmpsMessage::Join {
+                name,
+                role,
+                channels,
+            } => {
+                2u8.encode(w);
+                name.encode(w);
+                role.encode(w);
+                channels.encode(w);
+            }
+            DmpsMessage::JoinAccepted { member, group } => {
+                3u8.encode(w);
+                member.encode(w);
+                group.encode(w);
+            }
+            DmpsMessage::Floor(request) => {
+                4u8.encode(w);
+                request.encode(w);
+            }
+            DmpsMessage::FloorDecision { member, outcome } => {
+                5u8.encode(w);
+                member.encode(w);
+                outcome.encode(w);
+            }
+            DmpsMessage::Chat { from, text } => {
+                6u8.encode(w);
+                from.encode(w);
+                text.encode(w);
+            }
+            DmpsMessage::Whiteboard { from, stroke } => {
+                7u8.encode(w);
+                from.encode(w);
+                stroke.encode(w);
+            }
+            DmpsMessage::Annotation { from, text } => {
+                8u8.encode(w);
+                from.encode(w);
+                text.encode(w);
+            }
+            DmpsMessage::MediaStart {
+                media,
+                scheduled_global,
+            } => {
+                9u8.encode(w);
+                media.encode(w);
+                scheduled_global.encode(w);
+            }
+            DmpsMessage::MediaStarted {
+                member,
+                media,
+                estimated_global,
+            } => {
+                10u8.encode(w);
+                member.encode(w);
+                media.encode(w);
+                estimated_global.encode(w);
+            }
+            DmpsMessage::Heartbeat { member } => {
+                11u8.encode(w);
+                member.encode(w);
+            }
+            DmpsMessage::DeliveryRejected { member, reason } => {
+                12u8.encode(w);
+                member.encode(w);
+                reason.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        let tag = u8::decode(r)?;
+        Ok(match tag {
+            0 => DmpsMessage::ClockSyncRequest {
+                client_local: SimTime::decode(r)?,
+            },
+            1 => DmpsMessage::ClockSyncResponse {
+                server_global: SimTime::decode(r)?,
+            },
+            2 => DmpsMessage::Join {
+                name: String::decode(r)?,
+                role: Role::decode(r)?,
+                channels: Vec::<ChannelKind>::decode(r)?,
+            },
+            3 => DmpsMessage::JoinAccepted {
+                member: MemberId::decode(r)?,
+                group: GroupId::decode(r)?,
+            },
+            4 => DmpsMessage::Floor(FloorRequest::decode(r)?),
+            5 => DmpsMessage::FloorDecision {
+                member: MemberId::decode(r)?,
+                outcome: ArbitrationOutcome::decode(r)?,
+            },
+            6 => DmpsMessage::Chat {
+                from: MemberId::decode(r)?,
+                text: String::decode(r)?,
+            },
+            7 => DmpsMessage::Whiteboard {
+                from: MemberId::decode(r)?,
+                stroke: String::decode(r)?,
+            },
+            8 => DmpsMessage::Annotation {
+                from: MemberId::decode(r)?,
+                text: String::decode(r)?,
+            },
+            9 => DmpsMessage::MediaStart {
+                media: String::decode(r)?,
+                scheduled_global: SimTime::decode(r)?,
+            },
+            10 => DmpsMessage::MediaStarted {
+                member: MemberId::decode(r)?,
+                media: String::decode(r)?,
+                estimated_global: SimTime::decode(r)?,
+            },
+            11 => DmpsMessage::Heartbeat {
+                member: MemberId::decode(r)?,
+            },
+            12 => DmpsMessage::DeliveryRejected {
+                member: MemberId::decode(r)?,
+                reason: String::decode(r)?,
+            },
+            other => {
+                return Err(dmps_wire::WireError::BadToken {
+                    expected: "DmpsMessage tag",
+                    token: other.to_string(),
+                })
+            }
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,7 +294,13 @@ mod tests {
         };
         assert!(short.size_bytes() > 0);
         assert!(long.size_bytes() > short.size_bytes());
-        assert!(DmpsMessage::Heartbeat { member: MemberId(0) }.size_bytes() < 32);
+        assert!(
+            DmpsMessage::Heartbeat {
+                member: MemberId(0)
+            }
+            .size_bytes()
+                < 32
+        );
     }
 
     #[test]
@@ -160,7 +309,10 @@ mod tests {
             client_local: SimTime::ZERO
         }
         .is_control());
-        assert!(DmpsMessage::Heartbeat { member: MemberId(1) }.is_control());
+        assert!(DmpsMessage::Heartbeat {
+            member: MemberId(1)
+        }
+        .is_control());
         assert!(!DmpsMessage::Chat {
             from: MemberId(1),
             text: "x".into()
@@ -179,8 +331,18 @@ mod tests {
             media: "intro-video".into(),
             scheduled_global: SimTime::from_secs(5),
         };
-        let json = serde_json::to_string(&msg).unwrap();
-        let back: DmpsMessage = serde_json::from_str(&json).unwrap();
+        let encoded = dmps_wire::to_string(&msg);
+        let back: DmpsMessage = dmps_wire::from_str(&encoded).unwrap();
         assert_eq!(msg, back);
+        // Every variant kind round-trips, including nested outcomes.
+        let complex = DmpsMessage::FloorDecision {
+            member: MemberId(3),
+            outcome: ArbitrationOutcome::Granted {
+                speakers: vec![MemberId(3), MemberId(4)],
+                suspensions: Vec::new(),
+            },
+        };
+        let back: DmpsMessage = dmps_wire::from_str(&dmps_wire::to_string(&complex)).unwrap();
+        assert_eq!(complex, back);
     }
 }

@@ -30,11 +30,14 @@ impl SkewStats {
             .map(|d| d.unsigned_abs())
             .max()
             .unwrap_or(0);
-        let mean =
-            deviations_nanos.iter().map(|d| d.unsigned_abs()).sum::<u64>() / deviations_nanos.len() as u64;
+        let mean = deviations_nanos
+            .iter()
+            .map(|d| d.unsigned_abs())
+            .sum::<u64>()
+            / deviations_nanos.len() as u64;
         let spread = (deviations_nanos.iter().max().unwrap_or(&0)
             - deviations_nanos.iter().min().unwrap_or(&0))
-            .unsigned_abs();
+        .unsigned_abs();
         SkewStats {
             max: Duration::from_nanos(max),
             mean: Duration::from_nanos(mean),
@@ -113,7 +116,10 @@ mod tests {
         assert_eq!(stats.p95, Duration::from_millis(95));
         assert_eq!(stats.samples, 100);
         assert!(stats.mean >= Duration::from_millis(50));
-        assert_eq!(GrantLatencyStats::from_samples(&[]), GrantLatencyStats::default());
+        assert_eq!(
+            GrantLatencyStats::from_samples(&[]),
+            GrantLatencyStats::default()
+        );
     }
 
     #[test]

@@ -83,7 +83,10 @@ impl PresentationDriver {
         let mut schedule: Vec<(String, Duration)> = doc
             .objects()
             .map(|(id, obj)| {
-                let start = timeline.interval(id).expect("object is on the timeline").start;
+                let start = timeline
+                    .interval(id)
+                    .expect("object is on the timeline")
+                    .start;
                 (obj.name.clone(), start)
             })
             .collect();
@@ -133,7 +136,9 @@ impl PresentationDriver {
     ) -> PlaybackSkewReport {
         for (media, offset) in &self.schedule {
             let scheduled_global = presentation_start + *offset;
-            let broadcast_at = scheduled_global.saturating_sub(lead_time).max(session.now());
+            let broadcast_at = scheduled_global
+                .saturating_sub(lead_time)
+                .max(session.now());
             session.schedule_media_start(broadcast_at, media.clone(), scheduled_global);
         }
         session.pump();
@@ -154,10 +159,7 @@ impl PresentationDriver {
                     continue;
                 };
                 let host = client.host();
-                let true_clock = *session
-                    .network()
-                    .clock(host)
-                    .expect("client host exists");
+                let true_clock = *session.network().clock(host).expect("client host exists");
                 let actual_global = true_clock.global_at(record.started_local);
                 let deviation = actual_global.signed_offset_from(scheduled_global);
                 deviations.push(deviation);
@@ -187,8 +189,16 @@ mod tests {
 
     fn doc() -> PresentationDocument {
         let mut doc = PresentationDocument::new("lecture");
-        let intro = doc.add_object(MediaObject::new("intro", MediaKind::Video, Duration::from_secs(5)));
-        let body = doc.add_object(MediaObject::new("body", MediaKind::Video, Duration::from_secs(10)));
+        let intro = doc.add_object(MediaObject::new(
+            "intro",
+            MediaKind::Video,
+            Duration::from_secs(5),
+        ));
+        let body = doc.add_object(MediaObject::new(
+            "body",
+            MediaKind::Video,
+            Duration::from_secs(10),
+        ));
         doc.relate(intro, TemporalRelation::Meets, body).unwrap();
         doc
     }
@@ -221,7 +231,10 @@ mod tests {
         let driver = PresentationDriver::from_document(&doc()).unwrap();
         assert_eq!(driver.schedule().len(), 2);
         assert_eq!(driver.schedule()[0], ("intro".to_string(), Duration::ZERO));
-        assert_eq!(driver.schedule()[1], ("body".to_string(), Duration::from_secs(5)));
+        assert_eq!(
+            driver.schedule()[1],
+            ("body".to_string(), Duration::from_secs(5))
+        );
     }
 
     #[test]

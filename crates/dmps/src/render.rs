@@ -94,8 +94,14 @@ mod tests {
     #[test]
     fn window_render_contains_channels_and_content() {
         let mut session = Session::new(SessionConfig::new(1, FcmMode::FreeAccess));
-        let teacher = session.add_client("teacher", Role::Chair, Link::lan(), LocalClock::perfect());
-        let alice = session.add_client("alice", Role::Participant, Link::lan(), LocalClock::perfect());
+        let teacher =
+            session.add_client("teacher", Role::Chair, Link::lan(), LocalClock::perfect());
+        let alice = session.add_client(
+            "alice",
+            Role::Participant,
+            Link::lan(),
+            LocalClock::perfect(),
+        );
         session.pump();
         session.send_annotation(teacher, "look at slide 3");
         session.send_chat(alice, "question about slide 3");
@@ -112,7 +118,8 @@ mod tests {
     #[test]
     fn lights_render_green_and_red() {
         let mut session = Session::new(SessionConfig::new(1, FcmMode::FreeAccess));
-        let _teacher = session.add_client("teacher", Role::Chair, Link::lan(), LocalClock::perfect());
+        let _teacher =
+            session.add_client("teacher", Role::Chair, Link::lan(), LocalClock::perfect());
         let bob = session.add_client("bob", Role::Participant, Link::dsl(), LocalClock::perfect());
         session.pump();
         session.set_client_link_up(bob, false);

@@ -73,6 +73,30 @@ impl DmpsServer {
         &mut self.arbiter
     }
 
+    /// Exports the complete floor-control state for rebalancing or failover.
+    /// `applied_seq` tags the snapshot with the caller's event-log position
+    /// (pass 0 when no log is kept).
+    pub fn export_arbiter(&self, applied_seq: u64) -> dmps_floor::ArbiterSnapshot {
+        self.arbiter.snapshot(applied_seq)
+    }
+
+    /// Replaces the floor-control state from a snapshot — the hook a standby
+    /// server (or a rebalancer moving the group administration to another
+    /// station) uses to take over without losing grants, queues or
+    /// suspensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`dmps_floor::FloorError::CorruptSnapshot`] when the snapshot
+    /// does not decode; the current state is left untouched in that case.
+    pub fn import_arbiter(
+        &mut self,
+        snapshot: &dmps_floor::ArbiterSnapshot,
+    ) -> dmps_floor::Result<()> {
+        self.arbiter = FloorArbiter::restore(snapshot)?;
+        Ok(())
+    }
+
     /// The member connected from a host, if any.
     pub fn member_at(&self, host: HostId) -> Option<MemberId> {
         self.host_member.get(&host).copied()
@@ -180,13 +204,22 @@ impl DmpsServer {
                 role,
                 channels,
             } => {
-                let member = Member::new(name, role).with_channels(channels);
-                let id = self
-                    .arbiter
-                    .add_member(self.group, member)
-                    .expect("session group exists");
-                self.member_host.insert(id, from);
-                self.host_member.insert(from, id);
+                // Idempotent per host: a client that lost the JoinAccepted
+                // reply re-sends its handshake, and must get its existing
+                // member id back rather than a duplicate registration.
+                let id = match self.host_member.get(&from) {
+                    Some(&existing) => existing,
+                    None => {
+                        let member = Member::new(name, role).with_channels(channels);
+                        let id = self
+                            .arbiter
+                            .add_member(self.group, member)
+                            .expect("session group exists");
+                        self.member_host.insert(id, from);
+                        self.host_member.insert(from, id);
+                        id
+                    }
+                };
                 self.last_seen.insert(id, now);
                 vec![(
                     from,
@@ -198,12 +231,12 @@ impl DmpsServer {
             }
             DmpsMessage::Floor(request) => {
                 let member = request.member;
-                let outcome = self
-                    .arbiter
-                    .arbitrate(&request)
-                    .unwrap_or(ArbitrationOutcome::Denied {
-                        reason: dmps_floor::arbiter::DenialReason::InsufficientPriority,
-                    });
+                let outcome =
+                    self.arbiter
+                        .arbitrate(&request)
+                        .unwrap_or(ArbitrationOutcome::Denied {
+                            reason: dmps_floor::arbiter::DenialReason::InsufficientPriority,
+                        });
                 let mut out = Vec::new();
                 // The requester always learns the outcome; granted speakers
                 // are notified too so their windows unlock.
@@ -234,12 +267,18 @@ impl DmpsServer {
                 }
                 out
             }
-            DmpsMessage::Chat { from: member, text } => {
-                self.fanout_content(member, DmpsMessage::Chat { from: member, text: text.clone() }, |s| {
-                    s.chat_log.push((member, text.clone()))
-                })
-            }
-            DmpsMessage::Whiteboard { from: member, stroke } => self.fanout_content(
+            DmpsMessage::Chat { from: member, text } => self.fanout_content(
+                member,
+                DmpsMessage::Chat {
+                    from: member,
+                    text: text.clone(),
+                },
+                |s| s.chat_log.push((member, text.clone())),
+            ),
+            DmpsMessage::Whiteboard {
+                from: member,
+                stroke,
+            } => self.fanout_content(
                 member,
                 DmpsMessage::Whiteboard {
                     from: member,
@@ -465,7 +504,9 @@ mod tests {
             },
         );
         assert_eq!(out.len(), 2);
-        assert!(out.iter().all(|(_, m)| matches!(m, DmpsMessage::MediaStart { .. })));
+        assert!(out
+            .iter()
+            .all(|(_, m)| matches!(m, DmpsMessage::MediaStart { .. })));
     }
 
     #[test]

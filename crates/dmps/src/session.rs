@@ -186,6 +186,24 @@ impl Session {
         index
     }
 
+    /// Snapshot of the server's floor-control state (rebalancing hook; see
+    /// [`DmpsServer::export_arbiter`]).
+    pub fn snapshot_arbiter(&self) -> dmps_floor::ArbiterSnapshot {
+        self.server.export_arbiter(0)
+    }
+
+    /// Restores the server's floor-control state from a snapshot — models a
+    /// standby server process taking over the session's station mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmpsError::Floor`] when the snapshot does not decode.
+    pub fn restore_arbiter(&mut self, snapshot: &dmps_floor::ArbiterSnapshot) -> Result<()> {
+        self.server
+            .import_arbiter(snapshot)
+            .map_err(DmpsError::Floor)
+    }
+
     // ----- client-initiated actions -----------------------------------------
 
     fn send_from_client(&mut self, index: usize, msg: DmpsMessage) {
@@ -240,7 +258,10 @@ impl Session {
         if let (Some(member), Some(group)) =
             (self.clients[index].member(), self.clients[index].group())
         {
-            self.send_from_client(index, DmpsMessage::Floor(FloorRequest::speak(group, member)));
+            self.send_from_client(
+                index,
+                DmpsMessage::Floor(FloorRequest::speak(group, member)),
+            );
         }
     }
 
@@ -315,12 +336,10 @@ impl Session {
             // member id that is patched here).
             if from == to {
                 let msg = match payload {
-                    DmpsMessage::Heartbeat { .. } => {
-                        match self.clients[index].member() {
-                            Some(member) => DmpsMessage::Heartbeat { member },
-                            None => return,
-                        }
-                    }
+                    DmpsMessage::Heartbeat { .. } => match self.clients[index].member() {
+                        Some(member) => DmpsMessage::Heartbeat { member },
+                        None => return,
+                    },
                     other => other,
                 };
                 let size = msg.size_bytes();
@@ -387,8 +406,14 @@ mod tests {
 
     fn lecture_session(mode: FcmMode) -> (Session, usize, usize, usize) {
         let mut session = Session::new(SessionConfig::new(7, mode));
-        let teacher = session.add_client("teacher", Role::Chair, Link::lan(), LocalClock::perfect());
-        let alice = session.add_client("alice", Role::Participant, Link::dsl(), LocalClock::new(200.0, 0));
+        let teacher =
+            session.add_client("teacher", Role::Chair, Link::lan(), LocalClock::perfect());
+        let alice = session.add_client(
+            "alice",
+            Role::Participant,
+            Link::dsl(),
+            LocalClock::new(200.0, 0),
+        );
         let bob = session.add_client(
             "bob",
             Role::Participant,
@@ -470,7 +495,10 @@ mod tests {
         session.run_until(until);
         let lights = session.server().connection_lights(session.now());
         let alice_light = lights.iter().find(|(m, _)| *m == alice_member).unwrap().1;
-        assert!(!alice_light, "alice's light must be red after the link went down");
+        assert!(
+            !alice_light,
+            "alice's light must be red after the link went down"
+        );
         // At least one other member is still green.
         assert!(lights.iter().any(|&(m, green)| m != alice_member && green));
     }

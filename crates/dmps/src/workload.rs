@@ -200,7 +200,13 @@ mod tests {
 
     #[test]
     fn question_answer_contains_floor_requests() {
-        let w = Workload::generate(WorkloadKind::QuestionAnswer, 4, Duration::from_secs(60), 5.0, 7);
+        let w = Workload::generate(
+            WorkloadKind::QuestionAnswer,
+            4,
+            Duration::from_secs(60),
+            5.0,
+            7,
+        );
         assert!(w.floor_requests() > 0);
         assert!(w.floor_requests() < w.len());
     }

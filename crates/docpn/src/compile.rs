@@ -195,7 +195,10 @@ impl CompiledPresentation {
 /// Returns [`DocpnError::EmptyPresentation`] for a document with no objects,
 /// timeline-solving errors from the media crate, and structural errors from
 /// the Petri net builder.
-pub fn compile(doc: &PresentationDocument, options: &CompileOptions) -> Result<CompiledPresentation> {
+pub fn compile(
+    doc: &PresentationDocument,
+    options: &CompileOptions,
+) -> Result<CompiledPresentation> {
     if doc.object_count() == 0 {
         return Err(DocpnError::EmptyPresentation);
     }
@@ -224,7 +227,11 @@ pub fn compile(doc: &PresentationDocument, options: &CompileOptions) -> Result<C
     let source = b.place("source");
     let done_place = b.place("done");
     b.arc_in(source, sync_transitions[0], 1);
-    b.arc_out(*sync_transitions.last().expect("at least one event time"), done_place, 1);
+    b.arc_out(
+        *sync_transitions.last().expect("at least one event time"),
+        done_place,
+        1,
+    );
 
     let mut initial_tokens: Vec<(PlaceId, u64)> = vec![(source, 1)];
 
@@ -245,7 +252,11 @@ pub fn compile(doc: &PresentationDocument, options: &CompileOptions) -> Result<C
         let timer = b.timed_place(
             format!(
                 "{}@{}ms",
-                if model.has_priority_clock() { "clock" } else { "timer" },
+                if model.has_priority_clock() {
+                    "clock"
+                } else {
+                    "timer"
+                },
                 event_times[w + 1].as_millis()
             ),
             gap,
@@ -281,10 +292,8 @@ pub fn compile(doc: &PresentationDocument, options: &CompileOptions) -> Result<C
             // Delivery place: the channel is set up at presentation start, so
             // the token is initially marked and becomes available after the
             // transfer delay.
-            let delivery = b.timed_place(
-                format!("deliver:{}", obj.name),
-                options.transfer_delay(id),
-            );
+            let delivery =
+                b.timed_place(format!("deliver:{}", obj.name), options.transfer_delay(id));
             b.arc_in(delivery, start_t, 1);
             media_delivery_place.insert(id, delivery);
             initial_tokens.push((delivery, 1));
@@ -316,8 +325,7 @@ pub fn compile(doc: &PresentationDocument, options: &CompileOptions) -> Result<C
                 }
                 None => b.place(format!("user:{}", ip.label)),
             };
-            let timeout_clock =
-                b.timed_place(format!("timeout:{}", ip.label), ip.at + ip.timeout);
+            let timeout_clock = b.timed_place(format!("timeout:{}", ip.label), ip.at + ip.timeout);
             initial_tokens.push((timeout_clock, 1));
             initial_tokens.push((pending, 1));
 
@@ -375,12 +383,29 @@ mod tests {
 
     fn lecture() -> PresentationDocument {
         let mut doc = PresentationDocument::new("lecture");
-        let video = doc.add_object(MediaObject::new("video", MediaKind::Video, Duration::from_secs(30)));
-        let audio = doc.add_object(MediaObject::new("audio", MediaKind::Audio, Duration::from_secs(30)));
-        let slides = doc.add_object(MediaObject::new("slides", MediaKind::Slide, Duration::from_secs(20)));
-        let quiz = doc.add_object(MediaObject::new("quiz", MediaKind::Text, Duration::from_secs(10)));
+        let video = doc.add_object(MediaObject::new(
+            "video",
+            MediaKind::Video,
+            Duration::from_secs(30),
+        ));
+        let audio = doc.add_object(MediaObject::new(
+            "audio",
+            MediaKind::Audio,
+            Duration::from_secs(30),
+        ));
+        let slides = doc.add_object(MediaObject::new(
+            "slides",
+            MediaKind::Slide,
+            Duration::from_secs(20),
+        ));
+        let quiz = doc.add_object(MediaObject::new(
+            "quiz",
+            MediaKind::Text,
+            Duration::from_secs(10),
+        ));
         doc.relate(video, TemporalRelation::Equals, audio).unwrap();
-        doc.relate(video, TemporalRelation::StartedBy, slides).unwrap();
+        doc.relate(video, TemporalRelation::StartedBy, slides)
+            .unwrap();
         doc.relate(video, TemporalRelation::Meets, quiz).unwrap();
         doc
     }
@@ -414,8 +439,8 @@ mod tests {
     #[test]
     fn xocpn_adds_delivery_places() {
         let doc = lecture();
-        let options = CompileOptions::new(ModelKind::Xocpn)
-            .with_default_transfer(Duration::from_secs(1));
+        let options =
+            CompileOptions::new(ModelKind::Xocpn).with_default_transfer(Duration::from_secs(1));
         let compiled = compile(&doc, &options).unwrap();
         assert_eq!(compiled.media_delivery_place.len(), doc.object_count());
         let exec = TimedExecution::run_to_completion(&compiled.net, &compiled.initial).unwrap();
@@ -472,8 +497,10 @@ mod tests {
 
         // Case 2: the user answers at 31 s; the user transition fires and the
         // timeout path never does.
-        let options = CompileOptions::new(ModelKind::Docpn)
-            .with_interaction("poll", InteractionBehavior::ActedAt(Duration::from_secs(31)));
+        let options = CompileOptions::new(ModelKind::Docpn).with_interaction(
+            "poll",
+            InteractionBehavior::ActedAt(Duration::from_secs(31)),
+        );
         let compiled = compile(&doc, &options).unwrap();
         let (t_user, t_timeout) = compiled.interaction_transitions["poll"];
         let exec = TimedExecution::run_to_completion(&compiled.net, &compiled.initial).unwrap();

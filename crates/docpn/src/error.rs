@@ -37,7 +37,10 @@ impl fmt::Display for DocpnError {
             DocpnError::Net(e) => write!(f, "petri net error: {e}"),
             DocpnError::Media(e) => write!(f, "media model error: {e}"),
             DocpnError::ExecutionBudgetExceeded { firings } => {
-                write!(f, "timed execution exceeded its budget after {firings} firings")
+                write!(
+                    f,
+                    "timed execution exceeded its budget after {firings} firings"
+                )
             }
             DocpnError::PriorityArcWithoutInput => {
                 write!(f, "priority arc declared on a place that is not an input")

@@ -62,7 +62,10 @@ mod tests {
             InteractionBehavior::ActedAt(Duration::from_secs(3)).action_time(),
             Some(Duration::from_secs(3))
         );
-        assert_eq!(InteractionBehavior::default(), InteractionBehavior::TimesOut);
+        assert_eq!(
+            InteractionBehavior::default(),
+            InteractionBehavior::TimesOut
+        );
     }
 
     #[test]

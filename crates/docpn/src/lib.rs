@@ -48,7 +48,7 @@ pub mod schedule;
 pub mod timed;
 pub mod verify;
 
-pub use compile::{compile, CompiledPresentation, CompileOptions, ModelKind};
+pub use compile::{compile, CompileOptions, CompiledPresentation, ModelKind};
 pub use error::{DocpnError, Result};
 pub use interaction::{InteractionBehavior, UserAction};
 pub use priority::PriorityPolicy;

@@ -109,7 +109,9 @@ impl ScheduleReport {
                 "{}\t{}\t{}\t{}\t{}\n",
                 m.media,
                 m.ideal_start.as_millis(),
-                m.effective_start.map(|d| d.as_millis() as i64).unwrap_or(-1),
+                m.effective_start
+                    .map(|d| d.as_millis() as i64)
+                    .unwrap_or(-1),
                 m.lateness.as_millis(),
                 m.missed_deadline
             ));
@@ -154,7 +156,11 @@ pub fn evaluate(
             ideal_start,
             sync_fired_at,
             effective_start,
-            lateness: if effective_start.is_some() { lateness } else { Duration::ZERO },
+            lateness: if effective_start.is_some() {
+                lateness
+            } else {
+                Duration::ZERO
+            },
             missed_deadline,
         });
     }
@@ -201,8 +207,16 @@ mod tests {
 
     fn doc_with_two_segments() -> (PresentationDocument, MediaId, MediaId) {
         let mut doc = PresentationDocument::new("two-segments");
-        let intro = doc.add_object(MediaObject::new("intro", MediaKind::Video, Duration::from_secs(10)));
-        let body = doc.add_object(MediaObject::new("body", MediaKind::Video, Duration::from_secs(20)));
+        let intro = doc.add_object(MediaObject::new(
+            "intro",
+            MediaKind::Video,
+            Duration::from_secs(10),
+        ));
+        let body = doc.add_object(MediaObject::new(
+            "body",
+            MediaKind::Video,
+            Duration::from_secs(20),
+        ));
         doc.relate(intro, TemporalRelation::Meets, body).unwrap();
         (doc, intro, body)
     }

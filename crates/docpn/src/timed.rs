@@ -44,7 +44,10 @@ impl TimedNet {
 
     /// The playout duration of a place.
     pub fn place_duration(&self, p: PlaceId) -> Duration {
-        self.place_durations.get(p.0).copied().unwrap_or(Duration::ZERO)
+        self.place_durations
+            .get(p.0)
+            .copied()
+            .unwrap_or(Duration::ZERO)
     }
 
     /// The priority input places of a transition.
@@ -423,7 +426,12 @@ mod tests {
         b.arc_out(t_end, done, 1);
         let net = b.build().unwrap();
         let m0 = Marking::from_pairs(net.place_count(), &[(source, 1)]);
-        (net, m0, vec![t_start, t_mid, t_end], vec![source, video, quiz, done])
+        (
+            net,
+            m0,
+            vec![t_start, t_mid, t_end],
+            vec![source, video, quiz, done],
+        )
     }
 
     #[test]
@@ -527,9 +535,8 @@ mod tests {
         let source = places[0];
         let mut injections = HashMap::new();
         injections.insert(source, vec![Duration::from_secs(3)]);
-        let exec =
-            TimedExecution::run_with_injections(&net, &m0, &injections, DEFAULT_MAX_FIRINGS)
-                .unwrap();
+        let exec = TimedExecution::run_with_injections(&net, &m0, &injections, DEFAULT_MAX_FIRINGS)
+            .unwrap();
         assert_eq!(exec.firing_of(ts[0]).unwrap().at, Duration::from_secs(3));
         assert_eq!(exec.makespan(), Duration::from_secs(18));
     }
@@ -548,7 +555,10 @@ mod tests {
         let net = b.build().unwrap();
         let m0 = Marking::from_pairs(net.place_count(), &[(p, 1)]);
         let err = TimedExecution::run_with_injections(&net, &m0, &HashMap::new(), 100).unwrap_err();
-        assert!(matches!(err, DocpnError::ExecutionBudgetExceeded { firings: 100 }));
+        assert!(matches!(
+            err,
+            DocpnError::ExecutionBudgetExceeded { firings: 100 }
+        ));
     }
 
     #[test]

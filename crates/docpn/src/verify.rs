@@ -118,9 +118,21 @@ mod tests {
 
     fn doc() -> PresentationDocument {
         let mut doc = PresentationDocument::new("verify-me");
-        let v = doc.add_object(MediaObject::new("video", MediaKind::Video, Duration::from_secs(12)));
-        let a = doc.add_object(MediaObject::new("audio", MediaKind::Audio, Duration::from_secs(12)));
-        let s = doc.add_object(MediaObject::new("summary", MediaKind::Slide, Duration::from_secs(6)));
+        let v = doc.add_object(MediaObject::new(
+            "video",
+            MediaKind::Video,
+            Duration::from_secs(12),
+        ));
+        let a = doc.add_object(MediaObject::new(
+            "audio",
+            MediaKind::Audio,
+            Duration::from_secs(12),
+        ));
+        let s = doc.add_object(MediaObject::new(
+            "summary",
+            MediaKind::Slide,
+            Duration::from_secs(6),
+        ));
         doc.relate(v, TemporalRelation::Equals, a).unwrap();
         doc.relate(v, TemporalRelation::Meets, s).unwrap();
         doc
@@ -133,7 +145,10 @@ mod tests {
             let report = verify_presentation(&compiled).unwrap();
             assert!(report.is_valid(), "model {model} failed: {report:?}");
             assert!(report.bounded, "model {model} must be bounded");
-            assert!(report.safe, "compiled presentation nets are 1-safe ({model})");
+            assert!(
+                report.safe,
+                "compiled presentation nets are 1-safe ({model})"
+            );
             assert_eq!(report.max_deviation, Duration::ZERO);
             assert!(!report.analysis.has_deadlock || report.reaches_completion);
         }

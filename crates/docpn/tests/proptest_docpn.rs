@@ -2,9 +2,9 @@
 
 use std::time::Duration;
 
-use dmps_docpn::{compile, CompileOptions, ModelKind, TimedExecution};
 use dmps_docpn::schedule::evaluate;
 use dmps_docpn::verify::verify_presentation;
+use dmps_docpn::{compile, CompileOptions, ModelKind, TimedExecution};
 use dmps_media::{MediaKind, MediaObject, PresentationDocument, TemporalRelation};
 use proptest::prelude::*;
 

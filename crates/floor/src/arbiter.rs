@@ -179,7 +179,7 @@ pub struct ArbiterStats {
 }
 
 /// The floor control arbiter (the "group administration of the DMPS server").
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FloorArbiter {
     members: Vec<Member>,
     groups: Vec<Group>,
@@ -210,6 +210,11 @@ impl FloorArbiter {
     /// (the E7 ablation switch).
     pub fn set_suspension_order(&mut self, order: SuspensionOrder) {
         self.suspension_order = order;
+    }
+
+    /// The victim-selection order in force.
+    pub fn suspension_order(&self) -> SuspensionOrder {
+        self.suspension_order
     }
 
     /// Updates the resource snapshot. When availability recovers to the
@@ -259,12 +264,15 @@ impl FloorArbiter {
     /// Returns [`FloorError::UnknownGroup`] for an unknown group.
     pub fn add_member(&mut self, group: GroupId, member: Member) -> Result<MemberId> {
         let is_chair = member.is_chair();
+        // Validate before mutating: a failed add must leave the member list
+        // untouched, or event-log replay (which skips failed events) would
+        // assign different dense ids than the live arbiter did.
+        if group.0 >= self.groups.len() {
+            return Err(FloorError::UnknownGroup(group));
+        }
         self.members.push(member);
         let id = MemberId(self.members.len() - 1);
-        let g = self
-            .groups
-            .get_mut(group.0)
-            .ok_or(FloorError::UnknownGroup(group))?;
+        let g = &mut self.groups[group.0];
         g.join(id);
         if is_chair && g.chair.is_none() {
             g.chair = Some(id);
@@ -347,6 +355,11 @@ impl FloorArbiter {
     pub fn token(&self, group: GroupId) -> Result<&FloorToken> {
         self.group(group)?;
         Ok(self.tokens.get(&group).expect("every group has a token"))
+    }
+
+    /// Every group's floor token, in group-id order.
+    pub fn tokens_iter(&self) -> impl Iterator<Item = (GroupId, &FloorToken)> {
+        self.tokens.iter().map(|(&g, t)| (g, t))
     }
 
     /// Number of groups (including sub-groups).
@@ -582,9 +595,14 @@ impl FloorArbiter {
             let candidates: Vec<(MemberId, &Member, u32)> = group
                 .members()
                 .filter(|&m| m != request.member && !self.suspended.contains(&m))
-                .filter_map(|m| self.members.get(m.0).map(|mm| (m, mm, Self::member_demand_kbps(mm))))
+                .filter_map(|m| {
+                    self.members
+                        .get(m.0)
+                        .map(|mm| (m, mm, Self::member_demand_kbps(mm)))
+                })
                 .collect();
-            let plan = plan_suspensions(&candidates, member.priority, demand, self.suspension_order);
+            let plan =
+                plan_suspensions(&candidates, member.priority, demand, self.suspension_order);
             for s in &plan {
                 self.suspended.insert(s.member);
             }
@@ -622,11 +640,205 @@ impl FloorArbiter {
         let student_ids = (0..students)
             .map(|i| {
                 arbiter
-                    .add_member(group, Member::new(format!("student-{i}"), Role::Participant))
+                    .add_member(
+                        group,
+                        Member::new(format!("student-{i}"), Role::Participant),
+                    )
                     .expect("group exists")
             })
             .collect();
         (arbiter, group, teacher, student_ids)
+    }
+}
+
+fn bad_tag(expected: &'static str, tag: u8) -> dmps_wire::WireError {
+    dmps_wire::WireError::BadToken {
+        expected,
+        token: tag.to_string(),
+    }
+}
+
+impl dmps_wire::Wire for RequestKind {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        match self {
+            RequestKind::Speak => 0u8.encode(w),
+            RequestKind::DirectContact { to } => {
+                1u8.encode(w);
+                to.encode(w);
+            }
+            RequestKind::ReleaseFloor => 2u8.encode(w),
+            RequestKind::PassFloor { to } => {
+                3u8.encode(w);
+                to.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        match u8::decode(r)? {
+            0 => Ok(RequestKind::Speak),
+            1 => Ok(RequestKind::DirectContact {
+                to: MemberId::decode(r)?,
+            }),
+            2 => Ok(RequestKind::ReleaseFloor),
+            3 => Ok(RequestKind::PassFloor {
+                to: MemberId::decode(r)?,
+            }),
+            other => Err(bad_tag("RequestKind tag", other)),
+        }
+    }
+}
+
+impl dmps_wire::Wire for FloorRequest {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.group.encode(w);
+        self.member.encode(w);
+        self.kind.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(FloorRequest {
+            group: GroupId::decode(r)?,
+            member: MemberId::decode(r)?,
+            kind: RequestKind::decode(r)?,
+        })
+    }
+}
+
+impl dmps_wire::Wire for DenialReason {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        let tag: u8 = match self {
+            DenialReason::InsufficientPriority => 0,
+            DenialReason::FloorBusy => 1,
+            DenialReason::NotTokenHolder => 2,
+        };
+        tag.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        match u8::decode(r)? {
+            0 => Ok(DenialReason::InsufficientPriority),
+            1 => Ok(DenialReason::FloorBusy),
+            2 => Ok(DenialReason::NotTokenHolder),
+            other => Err(bad_tag("DenialReason tag", other)),
+        }
+    }
+}
+
+impl dmps_wire::Wire for AbortReason {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        let tag: u8 = match self {
+            AbortReason::NotJoined => 0,
+            AbortReason::ResourceCritical => 1,
+        };
+        tag.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        match u8::decode(r)? {
+            0 => Ok(AbortReason::NotJoined),
+            1 => Ok(AbortReason::ResourceCritical),
+            other => Err(bad_tag("AbortReason tag", other)),
+        }
+    }
+}
+
+impl dmps_wire::Wire for ArbitrationOutcome {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        match self {
+            ArbitrationOutcome::Granted {
+                speakers,
+                suspensions,
+            } => {
+                0u8.encode(w);
+                speakers.encode(w);
+                suspensions.encode(w);
+            }
+            ArbitrationOutcome::Queued {
+                current_holder,
+                position,
+            } => {
+                1u8.encode(w);
+                current_holder.encode(w);
+                position.encode(w);
+            }
+            ArbitrationOutcome::Denied { reason } => {
+                2u8.encode(w);
+                reason.encode(w);
+            }
+            ArbitrationOutcome::Aborted { reason } => {
+                3u8.encode(w);
+                reason.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        match u8::decode(r)? {
+            0 => Ok(ArbitrationOutcome::Granted {
+                speakers: Vec::<MemberId>::decode(r)?,
+                suspensions: Vec::<Suspension>::decode(r)?,
+            }),
+            1 => Ok(ArbitrationOutcome::Queued {
+                current_holder: MemberId::decode(r)?,
+                position: usize::decode(r)?,
+            }),
+            2 => Ok(ArbitrationOutcome::Denied {
+                reason: DenialReason::decode(r)?,
+            }),
+            3 => Ok(ArbitrationOutcome::Aborted {
+                reason: AbortReason::decode(r)?,
+            }),
+            other => Err(bad_tag("ArbitrationOutcome tag", other)),
+        }
+    }
+}
+
+impl dmps_wire::Wire for ArbiterStats {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.granted.encode(w);
+        self.queued.encode(w);
+        self.denied.encode(w);
+        self.aborted.encode(w);
+        self.suspensions.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(ArbiterStats {
+            granted: u64::decode(r)?,
+            queued: u64::decode(r)?,
+            denied: u64::decode(r)?,
+            aborted: u64::decode(r)?,
+            suspensions: u64::decode(r)?,
+        })
+    }
+}
+
+impl dmps_wire::Wire for FloorArbiter {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.members.encode(w);
+        self.groups.encode(w);
+        self.tokens.encode(w);
+        self.invitations.encode(w);
+        self.resource.encode(w);
+        self.thresholds.encode(w);
+        self.suspension_order.encode(w);
+        self.suspended.encode(w);
+        self.stats.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(FloorArbiter {
+            members: Vec::<Member>::decode(r)?,
+            groups: Vec::<Group>::decode(r)?,
+            tokens: BTreeMap::<GroupId, FloorToken>::decode(r)?,
+            invitations: Vec::<Invitation>::decode(r)?,
+            resource: Resource::decode(r)?,
+            thresholds: ResourceThresholds::decode(r)?,
+            suspension_order: SuspensionOrder::decode(r)?,
+            suspended: BTreeSet::<MemberId>::decode(r)?,
+            stats: ArbiterStats::decode(r)?,
+        })
     }
 }
 
@@ -637,9 +849,14 @@ mod tests {
     #[test]
     fn free_access_grants_everyone() {
         let (mut arbiter, group, teacher, students) = FloorArbiter::lecture(3, FcmMode::FreeAccess);
-        let outcome = arbiter.arbitrate(&FloorRequest::speak(group, students[0])).unwrap();
+        let outcome = arbiter
+            .arbitrate(&FloorRequest::speak(group, students[0]))
+            .unwrap();
         match outcome {
-            ArbitrationOutcome::Granted { speakers, suspensions } => {
+            ArbitrationOutcome::Granted {
+                speakers,
+                suspensions,
+            } => {
                 assert_eq!(speakers.len(), 4, "teacher + 3 students may all deliver");
                 assert!(speakers.contains(&teacher));
                 assert!(suspensions.is_empty());
@@ -653,12 +870,19 @@ mod tests {
     fn equal_control_serializes_speakers_through_the_token() {
         let (mut arbiter, group, _teacher, students) =
             FloorArbiter::lecture(3, FcmMode::EqualControl);
-        let first = arbiter.arbitrate(&FloorRequest::speak(group, students[0])).unwrap();
+        let first = arbiter
+            .arbitrate(&FloorRequest::speak(group, students[0]))
+            .unwrap();
         assert!(first.is_granted());
         // Second student queues behind the first.
-        let second = arbiter.arbitrate(&FloorRequest::speak(group, students[1])).unwrap();
+        let second = arbiter
+            .arbitrate(&FloorRequest::speak(group, students[1]))
+            .unwrap();
         match second {
-            ArbitrationOutcome::Queued { current_holder, position } => {
+            ArbitrationOutcome::Queued {
+                current_holder,
+                position,
+            } => {
                 assert_eq!(current_holder, students[0]);
                 assert_eq!(position, 1);
             }
@@ -680,8 +904,12 @@ mod tests {
     fn pass_floor_jumps_to_named_member() {
         let (mut arbiter, group, teacher, students) =
             FloorArbiter::lecture(2, FcmMode::EqualControl);
-        arbiter.arbitrate(&FloorRequest::speak(group, teacher)).unwrap();
-        arbiter.arbitrate(&FloorRequest::speak(group, students[0])).unwrap();
+        arbiter
+            .arbitrate(&FloorRequest::speak(group, teacher))
+            .unwrap();
+        arbiter
+            .arbitrate(&FloorRequest::speak(group, students[0]))
+            .unwrap();
         let outcome = arbiter
             .arbitrate(&FloorRequest::pass_floor(group, teacher, students[1]))
             .unwrap();
@@ -706,7 +934,9 @@ mod tests {
         let observer = arbiter
             .add_member(group, Member::new("guest", Role::Observer))
             .unwrap();
-        let outcome = arbiter.arbitrate(&FloorRequest::speak(group, observer)).unwrap();
+        let outcome = arbiter
+            .arbitrate(&FloorRequest::speak(group, observer))
+            .unwrap();
         assert_eq!(
             outcome,
             ArbitrationOutcome::Denied {
@@ -714,7 +944,9 @@ mod tests {
             }
         );
         arbiter.set_mode(group, FcmMode::FreeAccess).unwrap();
-        let outcome = arbiter.arbitrate(&FloorRequest::speak(group, observer)).unwrap();
+        let outcome = arbiter
+            .arbitrate(&FloorRequest::speak(group, observer))
+            .unwrap();
         assert!(outcome.is_granted());
     }
 
@@ -725,7 +957,9 @@ mod tests {
         let outsider = arbiter
             .add_member(other_group, Member::new("outsider", Role::Participant))
             .unwrap();
-        let outcome = arbiter.arbitrate(&FloorRequest::speak(group, outsider)).unwrap();
+        let outcome = arbiter
+            .arbitrate(&FloorRequest::speak(group, outsider))
+            .unwrap();
         assert_eq!(
             outcome,
             ArbitrationOutcome::Aborted {
@@ -739,7 +973,9 @@ mod tests {
     fn critical_resources_abort_everything() {
         let (mut arbiter, group, teacher, _) = FloorArbiter::lecture(2, FcmMode::FreeAccess);
         arbiter.set_resource(Resource::new(0.05, 1.0, 1.0));
-        let outcome = arbiter.arbitrate(&FloorRequest::speak(group, teacher)).unwrap();
+        let outcome = arbiter
+            .arbitrate(&FloorRequest::speak(group, teacher))
+            .unwrap();
         assert_eq!(
             outcome,
             ArbitrationOutcome::Aborted {
@@ -750,13 +986,17 @@ mod tests {
 
     #[test]
     fn degraded_resources_suspend_lower_priority_members() {
-        let (mut arbiter, group, teacher, students) =
-            FloorArbiter::lecture(3, FcmMode::FreeAccess);
+        let (mut arbiter, group, teacher, students) = FloorArbiter::lecture(3, FcmMode::FreeAccess);
         arbiter.set_resource(Resource::new(0.3, 1.0, 1.0));
-        let outcome = arbiter.arbitrate(&FloorRequest::speak(group, teacher)).unwrap();
+        let outcome = arbiter
+            .arbitrate(&FloorRequest::speak(group, teacher))
+            .unwrap();
         assert!(outcome.is_granted());
         let suspensions = outcome.suspensions();
-        assert!(!suspensions.is_empty(), "students should be suspended to make room");
+        assert!(
+            !suspensions.is_empty(),
+            "students should be suspended to make room"
+        );
         assert!(suspensions.iter().all(|s| s.priority < 3));
         assert!(suspensions.iter().all(|s| students.contains(&s.member)));
         let suspended: Vec<_> = arbiter.suspended_members().collect();
@@ -768,23 +1008,21 @@ mod tests {
 
     #[test]
     fn student_request_in_degraded_mode_cannot_suspend_the_teacher() {
-        let (mut arbiter, group, teacher, students) =
-            FloorArbiter::lecture(2, FcmMode::FreeAccess);
+        let (mut arbiter, group, teacher, students) = FloorArbiter::lecture(2, FcmMode::FreeAccess);
         arbiter.set_resource(Resource::new(0.3, 1.0, 1.0));
         let outcome = arbiter
             .arbitrate(&FloorRequest::speak(group, students[0]))
             .unwrap();
         assert!(outcome.is_granted());
-        assert!(outcome
-            .suspensions()
-            .iter()
-            .all(|s| s.member != teacher), "the chair outranks participants");
+        assert!(
+            outcome.suspensions().iter().all(|s| s.member != teacher),
+            "the chair outranks participants"
+        );
     }
 
     #[test]
     fn group_discussion_grants_all_qualified_subgroup_members() {
-        let (mut arbiter, group, teacher, students) =
-            FloorArbiter::lecture(3, FcmMode::FreeAccess);
+        let (mut arbiter, group, teacher, students) = FloorArbiter::lecture(3, FcmMode::FreeAccess);
         let (sub, inv) = arbiter
             .invite(group, students[0], students[1], FcmMode::GroupDiscussion)
             .unwrap();
@@ -792,7 +1030,9 @@ mod tests {
             arbiter.respond_invitation(inv, students[1], true).unwrap(),
             InvitationStatus::Accepted
         );
-        let outcome = arbiter.arbitrate(&FloorRequest::speak(sub, students[0])).unwrap();
+        let outcome = arbiter
+            .arbitrate(&FloorRequest::speak(sub, students[0]))
+            .unwrap();
         match outcome {
             ArbitrationOutcome::Granted { speakers, .. } => {
                 assert_eq!(speakers.len(), 2);
@@ -820,14 +1060,18 @@ mod tests {
         assert!(!arbiter.group(sub).unwrap().contains(students[1]));
         // Answering twice is an error, as is answering someone else's invite.
         assert_eq!(
-            arbiter.respond_invitation(inv, students[1], true).unwrap_err(),
+            arbiter
+                .respond_invitation(inv, students[1], true)
+                .unwrap_err(),
             FloorError::AlreadyAnswered(inv)
         );
         let (_, inv2) = arbiter
             .invite(group, students[0], students[1], FcmMode::GroupDiscussion)
             .unwrap();
         assert_eq!(
-            arbiter.respond_invitation(inv2, students[0], true).unwrap_err(),
+            arbiter
+                .respond_invitation(inv2, students[0], true)
+                .unwrap_err(),
             FloorError::NotTheInvitee(students[0])
         );
         assert!(arbiter.invitation(inv2).unwrap().is_pending());
@@ -891,11 +1135,32 @@ mod tests {
     fn leaving_a_group_releases_the_token() {
         let (mut arbiter, group, _teacher, students) =
             FloorArbiter::lecture(2, FcmMode::EqualControl);
-        arbiter.arbitrate(&FloorRequest::speak(group, students[0])).unwrap();
-        arbiter.arbitrate(&FloorRequest::speak(group, students[1])).unwrap();
+        arbiter
+            .arbitrate(&FloorRequest::speak(group, students[0]))
+            .unwrap();
+        arbiter
+            .arbitrate(&FloorRequest::speak(group, students[1]))
+            .unwrap();
         arbiter.leave_group(group, students[0]).unwrap();
         assert!(!arbiter.group(group).unwrap().contains(students[0]));
         assert!(arbiter.token(group).unwrap().may_speak(students[1]));
+    }
+
+    #[test]
+    fn failed_add_member_leaves_state_untouched() {
+        let mut arbiter = FloorArbiter::with_defaults();
+        let before = arbiter.member_count();
+        assert_eq!(
+            arbiter
+                .add_member(GroupId(7), Member::new("ghost", Role::Participant))
+                .unwrap_err(),
+            FloorError::UnknownGroup(GroupId(7))
+        );
+        assert_eq!(
+            arbiter.member_count(),
+            before,
+            "a rejected add must not consume a dense member id (log-replay determinism)"
+        );
     }
 
     #[test]

@@ -42,6 +42,8 @@ pub enum FloorError {
     },
     /// A member attempted to pass or release a token they do not hold.
     NotTokenHolder(MemberId),
+    /// An arbiter snapshot failed to decode during restore.
+    CorruptSnapshot(String),
 }
 
 impl fmt::Display for FloorError {
@@ -62,6 +64,7 @@ impl fmt::Display for FloorError {
                 write!(f, "invalid thresholds: alpha {alpha} must exceed beta {beta} and both must be non-negative")
             }
             FloorError::NotTokenHolder(m) => write!(f, "member {m} does not hold the floor token"),
+            FloorError::CorruptSnapshot(msg) => write!(f, "corrupt arbiter snapshot: {msg}"),
         }
     }
 }

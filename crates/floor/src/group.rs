@@ -108,6 +108,36 @@ impl Group {
     }
 }
 
+impl dmps_wire::Wire for GroupId {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.0.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(GroupId(usize::decode(r)?))
+    }
+}
+
+impl dmps_wire::Wire for Group {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.name.encode(w);
+        self.mode.encode(w);
+        self.members.encode(w);
+        self.chair.encode(w);
+        self.parent.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(Group {
+            name: String::decode(r)?,
+            mode: FcmMode::decode(r)?,
+            members: BTreeSet::<MemberId>::decode(r)?,
+            chair: Option::<MemberId>::decode(r)?,
+            parent: Option::<GroupId>::decode(r)?,
+        })
+    }
+}
+
 impl fmt::Display for Group {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -142,7 +172,12 @@ mod tests {
 
     #[test]
     fn subgroup_contains_its_chair() {
-        let g = Group::subgroup("breakout", FcmMode::GroupDiscussion, GroupId(0), MemberId(3));
+        let g = Group::subgroup(
+            "breakout",
+            FcmMode::GroupDiscussion,
+            GroupId(0),
+            MemberId(3),
+        );
         assert!(g.is_subgroup());
         assert_eq!(g.chair, Some(MemberId(3)));
         assert_eq!(g.parent, Some(GroupId(0)));
@@ -152,7 +187,12 @@ mod tests {
 
     #[test]
     fn chair_leaving_clears_chair() {
-        let mut g = Group::subgroup("breakout", FcmMode::GroupDiscussion, GroupId(0), MemberId(3));
+        let mut g = Group::subgroup(
+            "breakout",
+            FcmMode::GroupDiscussion,
+            GroupId(0),
+            MemberId(3),
+        );
         g.leave(MemberId(3));
         assert_eq!(g.chair, None);
         assert!(g.is_empty());

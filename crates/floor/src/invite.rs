@@ -65,6 +65,57 @@ impl Invitation {
     }
 }
 
+impl dmps_wire::Wire for InvitationId {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.0.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(InvitationId(usize::decode(r)?))
+    }
+}
+
+impl dmps_wire::Wire for InvitationStatus {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        let tag: u8 = match self {
+            InvitationStatus::Pending => 0,
+            InvitationStatus::Accepted => 1,
+            InvitationStatus::Declined => 2,
+        };
+        tag.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        match u8::decode(r)? {
+            0 => Ok(InvitationStatus::Pending),
+            1 => Ok(InvitationStatus::Accepted),
+            2 => Ok(InvitationStatus::Declined),
+            other => Err(dmps_wire::WireError::BadToken {
+                expected: "InvitationStatus tag",
+                token: other.to_string(),
+            }),
+        }
+    }
+}
+
+impl dmps_wire::Wire for Invitation {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.from.encode(w);
+        self.to.encode(w);
+        self.subgroup.encode(w);
+        self.status.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(Invitation {
+            from: MemberId::decode(r)?,
+            to: MemberId::decode(r)?,
+            subgroup: GroupId::decode(r)?,
+            status: InvitationStatus::decode(r)?,
+        })
+    }
+}
+
 impl fmt::Display for Invitation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

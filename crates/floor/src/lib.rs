@@ -46,6 +46,7 @@ pub mod invite;
 pub mod member;
 pub mod mode;
 pub mod resource;
+pub mod snapshot;
 pub mod suspend;
 pub mod token;
 
@@ -56,5 +57,6 @@ pub use invite::{Invitation, InvitationId, InvitationStatus};
 pub use member::{Member, MemberId, Role};
 pub use mode::{FcmMode, PolicyFactor};
 pub use resource::{Resource, ResourceThresholds};
+pub use snapshot::{ArbiterEvent, ArbiterSnapshot, EventOutcome};
 pub use suspend::{plan_suspensions, Suspension};
 pub use token::FloorToken;

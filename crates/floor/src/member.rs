@@ -120,9 +120,66 @@ impl Member {
     }
 }
 
+impl dmps_wire::Wire for MemberId {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.0.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(MemberId(usize::decode(r)?))
+    }
+}
+
+impl dmps_wire::Wire for Role {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        let tag: u8 = match self {
+            Role::Chair => 0,
+            Role::Participant => 1,
+            Role::Observer => 2,
+        };
+        tag.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        match u8::decode(r)? {
+            0 => Ok(Role::Chair),
+            1 => Ok(Role::Participant),
+            2 => Ok(Role::Observer),
+            other => Err(dmps_wire::WireError::BadToken {
+                expected: "Role tag",
+                token: other.to_string(),
+            }),
+        }
+    }
+}
+
+impl dmps_wire::Wire for Member {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.name.encode(w);
+        self.role.encode(w);
+        self.priority.encode(w);
+        self.channels.encode(w);
+        self.station.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(Member {
+            name: String::decode(r)?,
+            role: Role::decode(r)?,
+            priority: i32::decode(r)?,
+            channels: Vec::<ChannelKind>::decode(r)?,
+            station: usize::decode(r)?,
+        })
+    }
+}
+
 impl fmt::Display for Member {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({}, priority {})", self.name, self.role, self.priority)
+        write!(
+            f,
+            "{} ({}, priority {})",
+            self.name, self.role, self.priority
+        )
     }
 }
 

@@ -72,6 +72,27 @@ impl fmt::Display for FcmMode {
     }
 }
 
+impl dmps_wire::Wire for FcmMode {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        let tag = FcmMode::all()
+            .iter()
+            .position(|m| m == self)
+            .expect("all() covers every mode") as u8;
+        tag.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        let tag = u8::decode(r)?;
+        FcmMode::all()
+            .get(tag as usize)
+            .copied()
+            .ok_or(dmps_wire::WireError::BadToken {
+                expected: "FcmMode tag",
+                token: tag.to_string(),
+            })
+    }
+}
+
 /// The policy factors of the Z specification: which resource dimension is the
 /// current bottleneck.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -128,8 +149,8 @@ mod tests {
     fn display_names_and_serde() {
         assert_eq!(FcmMode::FreeAccess.to_string(), "free-access");
         assert_eq!(PolicyFactor::CpuBound.to_string(), "cpu-bound");
-        let json = serde_json::to_string(&FcmMode::DirectContact).unwrap();
-        let back: FcmMode = serde_json::from_str(&json).unwrap();
+        let encoded = dmps_wire::to_string(&FcmMode::DirectContact);
+        let back: FcmMode = dmps_wire::from_str(&encoded).unwrap();
         assert_eq!(back, FcmMode::DirectContact);
     }
 }

@@ -124,6 +124,38 @@ impl Default for ResourceThresholds {
     }
 }
 
+impl dmps_wire::Wire for Resource {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.network.encode(w);
+        self.cpu.encode(w);
+        self.memory.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(Resource {
+            network: f64::decode(r)?,
+            cpu: f64::decode(r)?,
+            memory: f64::decode(r)?,
+        })
+    }
+}
+
+impl dmps_wire::Wire for ResourceThresholds {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.alpha.encode(w);
+        self.beta.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        let alpha = f64::decode(r)?;
+        let beta = f64::decode(r)?;
+        ResourceThresholds::new(alpha, beta).map_err(|e| dmps_wire::WireError::BadToken {
+            expected: "valid thresholds",
+            token: e.to_string(),
+        })
+    }
+}
+
 /// The three regimes of the Z specification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ResourceLevel {

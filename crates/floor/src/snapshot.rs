@@ -1,0 +1,521 @@
+//! Snapshot / restore and deterministic event application for the arbiter.
+//!
+//! These APIs are the durability contract of the sharded control plane
+//! (`dmps-cluster`): every state mutation of a [`FloorArbiter`] can be
+//! expressed as an [`ArbiterEvent`], applying an event is a **deterministic**
+//! function of the current state, and the full state round-trips through an
+//! [`ArbiterSnapshot`]. A standby that restores the latest snapshot and
+//! replays the suffix of the event log therefore reconstructs the crashed
+//! arbiter *exactly* — same groups, same token holders, same suspension sets,
+//! same counters — which is what makes shard failover invariant-preserving.
+//!
+//! ```
+//! use dmps_floor::{ArbiterEvent, FcmMode, FloorArbiter, FloorRequest, Member, Role};
+//!
+//! let mut live = FloorArbiter::with_defaults();
+//! let mut log = Vec::new();
+//! for event in [
+//!     ArbiterEvent::CreateGroup { name: "lecture".into(), mode: FcmMode::EqualControl },
+//!     ArbiterEvent::AddMember { group: dmps_floor::GroupId(0), member: Member::new("t", Role::Chair) },
+//! ] {
+//!     live.apply(&event).unwrap();
+//!     log.push(event);
+//! }
+//! let snap = live.snapshot(log.len() as u64);
+//! let standby = FloorArbiter::restore(&snap).unwrap();
+//! assert_eq!(standby, live);
+//! ```
+
+use dmps_wire::Wire;
+
+use crate::arbiter::{ArbitrationOutcome, FloorArbiter, FloorRequest};
+use crate::error::{FloorError, Result};
+use crate::group::GroupId;
+use crate::invite::{InvitationId, InvitationStatus};
+use crate::member::{Member, MemberId};
+use crate::mode::FcmMode;
+use crate::resource::Resource;
+use crate::suspend::SuspensionOrder;
+
+/// A serialized point-in-time copy of a [`FloorArbiter`].
+///
+/// `applied_seq` records how many events of the owning shard's log the
+/// snapshot covers: replay starts at that offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArbiterSnapshot {
+    /// Number of log events already folded into this snapshot.
+    pub applied_seq: u64,
+    /// The wire-encoded arbiter state.
+    pub data: String,
+}
+
+impl ArbiterSnapshot {
+    /// The encoded size in bytes (capacity-planning metric for snapshot
+    /// shipping).
+    pub fn size_bytes(&self) -> usize {
+        self.data.len()
+    }
+}
+
+impl Wire for ArbiterSnapshot {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.applied_seq.encode(w);
+        self.data.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(ArbiterSnapshot {
+            applied_seq: u64::decode(r)?,
+            data: String::decode(r)?,
+        })
+    }
+}
+
+/// Every state-mutating operation of the arbiter, reified so shards can keep
+/// an append-only log and replay it deterministically after a crash.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ArbiterEvent {
+    /// [`FloorArbiter::create_group`].
+    CreateGroup {
+        /// Display name of the group.
+        name: String,
+        /// Its floor control mode.
+        mode: FcmMode,
+    },
+    /// [`FloorArbiter::add_member`].
+    AddMember {
+        /// The group joined.
+        group: GroupId,
+        /// The new member record.
+        member: Member,
+    },
+    /// [`FloorArbiter::join_group`].
+    JoinGroup {
+        /// The group joined.
+        group: GroupId,
+        /// The existing member.
+        member: MemberId,
+    },
+    /// [`FloorArbiter::leave_group`].
+    LeaveGroup {
+        /// The group left.
+        group: GroupId,
+        /// The leaving member.
+        member: MemberId,
+    },
+    /// [`FloorArbiter::set_mode`].
+    SetMode {
+        /// The group whose mode changes.
+        group: GroupId,
+        /// The new mode.
+        mode: FcmMode,
+    },
+    /// [`FloorArbiter::set_resource`].
+    SetResource {
+        /// The new resource snapshot.
+        resource: Resource,
+    },
+    /// [`FloorArbiter::set_suspension_order`].
+    SetSuspensionOrder {
+        /// The new victim-selection order.
+        order: SuspensionOrder,
+    },
+    /// [`FloorArbiter::invite`].
+    Invite {
+        /// The parent group.
+        parent: GroupId,
+        /// The inviting member.
+        from: MemberId,
+        /// The invited member.
+        to: MemberId,
+        /// Mode of the spawned sub-group.
+        mode: FcmMode,
+    },
+    /// [`FloorArbiter::respond_invitation`].
+    RespondInvitation {
+        /// The invitation answered.
+        invitation: InvitationId,
+        /// The answering member.
+        responder: MemberId,
+        /// Whether it was accepted.
+        accept: bool,
+    },
+    /// [`FloorArbiter::arbitrate`].
+    Arbitrate {
+        /// The floor control request.
+        request: FloorRequest,
+    },
+}
+
+impl Wire for ArbiterEvent {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        match self {
+            ArbiterEvent::CreateGroup { name, mode } => {
+                0u8.encode(w);
+                name.encode(w);
+                mode.encode(w);
+            }
+            ArbiterEvent::AddMember { group, member } => {
+                1u8.encode(w);
+                group.encode(w);
+                member.encode(w);
+            }
+            ArbiterEvent::JoinGroup { group, member } => {
+                2u8.encode(w);
+                group.encode(w);
+                member.encode(w);
+            }
+            ArbiterEvent::LeaveGroup { group, member } => {
+                3u8.encode(w);
+                group.encode(w);
+                member.encode(w);
+            }
+            ArbiterEvent::SetMode { group, mode } => {
+                4u8.encode(w);
+                group.encode(w);
+                mode.encode(w);
+            }
+            ArbiterEvent::SetResource { resource } => {
+                5u8.encode(w);
+                resource.encode(w);
+            }
+            ArbiterEvent::SetSuspensionOrder { order } => {
+                6u8.encode(w);
+                order.encode(w);
+            }
+            ArbiterEvent::Invite {
+                parent,
+                from,
+                to,
+                mode,
+            } => {
+                7u8.encode(w);
+                parent.encode(w);
+                from.encode(w);
+                to.encode(w);
+                mode.encode(w);
+            }
+            ArbiterEvent::RespondInvitation {
+                invitation,
+                responder,
+                accept,
+            } => {
+                8u8.encode(w);
+                invitation.encode(w);
+                responder.encode(w);
+                accept.encode(w);
+            }
+            ArbiterEvent::Arbitrate { request } => {
+                9u8.encode(w);
+                request.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        let tag = u8::decode(r)?;
+        Ok(match tag {
+            0 => ArbiterEvent::CreateGroup {
+                name: String::decode(r)?,
+                mode: FcmMode::decode(r)?,
+            },
+            1 => ArbiterEvent::AddMember {
+                group: GroupId::decode(r)?,
+                member: Member::decode(r)?,
+            },
+            2 => ArbiterEvent::JoinGroup {
+                group: GroupId::decode(r)?,
+                member: MemberId::decode(r)?,
+            },
+            3 => ArbiterEvent::LeaveGroup {
+                group: GroupId::decode(r)?,
+                member: MemberId::decode(r)?,
+            },
+            4 => ArbiterEvent::SetMode {
+                group: GroupId::decode(r)?,
+                mode: FcmMode::decode(r)?,
+            },
+            5 => ArbiterEvent::SetResource {
+                resource: Resource::decode(r)?,
+            },
+            6 => ArbiterEvent::SetSuspensionOrder {
+                order: SuspensionOrder::decode(r)?,
+            },
+            7 => ArbiterEvent::Invite {
+                parent: GroupId::decode(r)?,
+                from: MemberId::decode(r)?,
+                to: MemberId::decode(r)?,
+                mode: FcmMode::decode(r)?,
+            },
+            8 => ArbiterEvent::RespondInvitation {
+                invitation: InvitationId::decode(r)?,
+                responder: MemberId::decode(r)?,
+                accept: bool::decode(r)?,
+            },
+            9 => ArbiterEvent::Arbitrate {
+                request: FloorRequest::decode(r)?,
+            },
+            other => {
+                return Err(dmps_wire::WireError::BadToken {
+                    expected: "ArbiterEvent tag",
+                    token: other.to_string(),
+                })
+            }
+        })
+    }
+}
+
+/// What applying one [`ArbiterEvent`] produced.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EventOutcome {
+    /// A group was created.
+    GroupCreated(GroupId),
+    /// A member was added.
+    MemberAdded(MemberId),
+    /// A sub-group was spawned with a pending invitation.
+    SubgroupCreated(GroupId, InvitationId),
+    /// An invitation was answered.
+    InvitationAnswered(InvitationStatus),
+    /// A request was arbitrated.
+    Arbitrated(ArbitrationOutcome),
+    /// The event mutated state without producing a value.
+    Applied,
+}
+
+impl FloorArbiter {
+    /// Serializes the complete arbiter state. `applied_seq` is the number of
+    /// log events the caller has folded into this state (stored in the
+    /// snapshot so replay knows where to resume).
+    pub fn snapshot(&self, applied_seq: u64) -> ArbiterSnapshot {
+        ArbiterSnapshot {
+            applied_seq,
+            data: dmps_wire::to_string(self),
+        }
+    }
+
+    /// Reconstructs an arbiter from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorError::CorruptSnapshot`] when the payload does not
+    /// decode.
+    pub fn restore(snapshot: &ArbiterSnapshot) -> Result<Self> {
+        dmps_wire::from_str(&snapshot.data).map_err(|e| FloorError::CorruptSnapshot(e.to_string()))
+    }
+
+    /// Applies one reified event. This is exactly the mutation the
+    /// corresponding public method performs, so a log replay over a restored
+    /// snapshot reproduces the pre-crash state bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same errors as the underlying method.
+    pub fn apply(&mut self, event: &ArbiterEvent) -> Result<EventOutcome> {
+        match event {
+            ArbiterEvent::CreateGroup { name, mode } => {
+                Ok(EventOutcome::GroupCreated(self.create_group(name, *mode)))
+            }
+            ArbiterEvent::AddMember { group, member } => self
+                .add_member(*group, member.clone())
+                .map(EventOutcome::MemberAdded),
+            ArbiterEvent::JoinGroup { group, member } => self
+                .join_group(*group, *member)
+                .map(|()| EventOutcome::Applied),
+            ArbiterEvent::LeaveGroup { group, member } => self
+                .leave_group(*group, *member)
+                .map(|()| EventOutcome::Applied),
+            ArbiterEvent::SetMode { group, mode } => {
+                self.set_mode(*group, *mode).map(|()| EventOutcome::Applied)
+            }
+            ArbiterEvent::SetResource { resource } => {
+                self.set_resource(*resource);
+                Ok(EventOutcome::Applied)
+            }
+            ArbiterEvent::SetSuspensionOrder { order } => {
+                self.set_suspension_order(*order);
+                Ok(EventOutcome::Applied)
+            }
+            ArbiterEvent::Invite {
+                parent,
+                from,
+                to,
+                mode,
+            } => self
+                .invite(*parent, *from, *to, *mode)
+                .map(|(g, i)| EventOutcome::SubgroupCreated(g, i)),
+            ArbiterEvent::RespondInvitation {
+                invitation,
+                responder,
+                accept,
+            } => self
+                .respond_invitation(*invitation, *responder, *accept)
+                .map(EventOutcome::InvitationAnswered),
+            ArbiterEvent::Arbitrate { request } => {
+                self.arbitrate(request).map(EventOutcome::Arbitrated)
+            }
+        }
+    }
+
+    /// Checks the structural floor-state invariants the Z specification
+    /// guarantees — the properties failover must preserve:
+    ///
+    /// * **token uniqueness** — every group has exactly one token and at most
+    ///   one holder (structural), and the holder is a member of the group;
+    /// * **no ghost queue entries** — queued members belong to the group, are
+    ///   distinct, and none of them is the holder;
+    /// * **suspension soundness** — every suspended member exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated invariant.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        for (gid, token) in self.tokens_iter() {
+            let group = self
+                .group(gid)
+                .map_err(|_| format!("token for unknown group {gid}"))?;
+            if let Some(holder) = token.holder() {
+                if !group.contains(holder) {
+                    return Err(format!("token holder {holder} is not a member of {gid}"));
+                }
+            }
+            let mut seen = std::collections::BTreeSet::new();
+            for queued in token.queue() {
+                if Some(queued) == token.holder() {
+                    return Err(format!("holder {queued} also queued in {gid}"));
+                }
+                if !seen.insert(queued) {
+                    return Err(format!("member {queued} queued twice in {gid}"));
+                }
+                if !group.contains(queued) {
+                    return Err(format!("queued member {queued} is not in {gid}"));
+                }
+            }
+        }
+        for suspended in self.suspended_members() {
+            if self.member(suspended).is_err() {
+                return Err(format!("suspended member {suspended} does not exist"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::member::Role;
+
+    fn scripted_log() -> Vec<ArbiterEvent> {
+        vec![
+            ArbiterEvent::CreateGroup {
+                name: "lecture".into(),
+                mode: FcmMode::EqualControl,
+            },
+            ArbiterEvent::AddMember {
+                group: GroupId(0),
+                member: Member::new("teacher", Role::Chair),
+            },
+            ArbiterEvent::AddMember {
+                group: GroupId(0),
+                member: Member::new("alice", Role::Participant),
+            },
+            ArbiterEvent::AddMember {
+                group: GroupId(0),
+                member: Member::new("bob", Role::Participant),
+            },
+            ArbiterEvent::Arbitrate {
+                request: FloorRequest::speak(GroupId(0), MemberId(1)),
+            },
+            ArbiterEvent::Arbitrate {
+                request: FloorRequest::speak(GroupId(0), MemberId(2)),
+            },
+            ArbiterEvent::Invite {
+                parent: GroupId(0),
+                from: MemberId(1),
+                to: MemberId(2),
+                mode: FcmMode::GroupDiscussion,
+            },
+            ArbiterEvent::RespondInvitation {
+                invitation: InvitationId(0),
+                responder: MemberId(2),
+                accept: true,
+            },
+            ArbiterEvent::SetResource {
+                resource: Resource::new(0.4, 1.0, 1.0),
+            },
+            ArbiterEvent::Arbitrate {
+                request: FloorRequest::pass_floor(GroupId(0), MemberId(1), MemberId(0)),
+            },
+        ]
+    }
+
+    #[test]
+    fn snapshot_roundtrips_exactly() {
+        let mut arbiter = FloorArbiter::with_defaults();
+        for event in scripted_log() {
+            arbiter.apply(&event).unwrap();
+        }
+        let snap = arbiter.snapshot(10);
+        assert_eq!(snap.applied_seq, 10);
+        assert!(snap.size_bytes() > 0);
+        let restored = FloorArbiter::restore(&snap).unwrap();
+        assert_eq!(restored, arbiter);
+        restored.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn replay_from_mid_log_snapshot_matches_full_replay() {
+        let log = scripted_log();
+        // The reference arbiter applies everything.
+        let mut reference = FloorArbiter::with_defaults();
+        for event in &log {
+            reference.apply(event).unwrap();
+        }
+        // The standby restores a snapshot taken half-way and replays the rest.
+        for cut in 0..log.len() {
+            let mut primary = FloorArbiter::with_defaults();
+            for event in &log[..cut] {
+                primary.apply(event).unwrap();
+            }
+            let snap = primary.snapshot(cut as u64);
+            let mut standby = FloorArbiter::restore(&snap).unwrap();
+            for event in &log[snap.applied_seq as usize..] {
+                standby.apply(event).unwrap();
+            }
+            assert_eq!(standby, reference, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn events_roundtrip_through_wire() {
+        for event in scripted_log() {
+            let encoded = dmps_wire::to_string(&event);
+            let back: ArbiterEvent = dmps_wire::from_str(&encoded).unwrap();
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_rejected() {
+        let snap = ArbiterSnapshot {
+            applied_seq: 0,
+            data: "not a snapshot".into(),
+        };
+        assert!(matches!(
+            FloorArbiter::restore(&snap),
+            Err(FloorError::CorruptSnapshot(_))
+        ));
+    }
+
+    #[test]
+    fn invariant_checker_accepts_live_state() {
+        let (mut arbiter, group, teacher, students) =
+            FloorArbiter::lecture(4, FcmMode::EqualControl);
+        for &m in std::iter::once(&teacher).chain(&students) {
+            arbiter.arbitrate(&FloorRequest::speak(group, m)).unwrap();
+        }
+        arbiter.check_invariants().unwrap();
+    }
+}

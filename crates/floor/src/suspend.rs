@@ -32,6 +32,43 @@ pub enum SuspensionOrder {
     JoinOrder,
 }
 
+impl dmps_wire::Wire for Suspension {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.member.encode(w);
+        self.priority.encode(w);
+        self.freed_kbps.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(Suspension {
+            member: MemberId::decode(r)?,
+            priority: i32::decode(r)?,
+            freed_kbps: u32::decode(r)?,
+        })
+    }
+}
+
+impl dmps_wire::Wire for SuspensionOrder {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        let tag: u8 = match self {
+            SuspensionOrder::PriorityAscending => 0,
+            SuspensionOrder::JoinOrder => 1,
+        };
+        tag.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        match u8::decode(r)? {
+            0 => Ok(SuspensionOrder::PriorityAscending),
+            1 => Ok(SuspensionOrder::JoinOrder),
+            other => Err(dmps_wire::WireError::BadToken {
+                expected: "SuspensionOrder tag",
+                token: other.to_string(),
+            }),
+        }
+    }
+}
+
 /// Plans which members to suspend so that at least `required_kbps` of
 /// bandwidth is freed.
 ///
@@ -91,7 +128,11 @@ mod tests {
         vec![
             (MemberId(0), Member::new("teacher", Role::Chair), 1_500),
             (MemberId(1), Member::new("alice", Role::Participant), 800),
-            (MemberId(2), Member::new("bob", Role::Participant).with_priority(2), 600),
+            (
+                MemberId(2),
+                Member::new("bob", Role::Participant).with_priority(2),
+                600,
+            ),
             (MemberId(3), Member::new("carol", Role::Observer), 400),
             (MemberId(4), Member::new("dave", Role::Observer), 300),
         ]
@@ -150,6 +191,9 @@ mod tests {
         // paper's rule avoids.
         assert_eq!(plan[0].member, MemberId(0));
         assert_eq!(total_freed_kbps(&plan), 1_500);
-        assert_eq!(SuspensionOrder::default(), SuspensionOrder::PriorityAscending);
+        assert_eq!(
+            SuspensionOrder::default(),
+            SuspensionOrder::PriorityAscending
+        );
     }
 }

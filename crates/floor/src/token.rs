@@ -119,6 +119,22 @@ impl FloorToken {
     }
 }
 
+impl dmps_wire::Wire for FloorToken {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.holder.encode(w);
+        self.queue.encode(w);
+        self.grants.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(FloorToken {
+            holder: Option::<MemberId>::decode(r)?,
+            queue: VecDeque::<MemberId>::decode(r)?,
+            grants: u64::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,7 +155,10 @@ mod tests {
         token.request(MemberId(1));
         assert!(!token.request(MemberId(2)));
         assert!(!token.request(MemberId(3)));
-        assert!(!token.request(MemberId(2)), "duplicate request is idempotent");
+        assert!(
+            !token.request(MemberId(2)),
+            "duplicate request is idempotent"
+        );
         assert_eq!(token.queue_len(), 2);
         assert_eq!(token.release(MemberId(1)).unwrap(), Some(MemberId(2)));
         assert_eq!(token.release(MemberId(2)).unwrap(), Some(MemberId(3)));

@@ -120,7 +120,13 @@ impl Channel {
             .carries()
             .iter()
             .map(|k| k.default_qos())
-            .reduce(|a, b| if a.bandwidth_kbps >= b.bandwidth_kbps { a } else { b })
+            .reduce(|a, b| {
+                if a.bandwidth_kbps >= b.bandwidth_kbps {
+                    a
+                } else {
+                    b
+                }
+            })
             .unwrap_or_default();
         Channel {
             kind,

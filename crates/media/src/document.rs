@@ -88,7 +88,10 @@ impl PresentationDocument {
 
     /// Iterates over `(id, object)` pairs.
     pub fn objects(&self) -> impl Iterator<Item = (MediaId, &MediaObject)> {
-        self.objects.iter().enumerate().map(|(i, o)| (MediaId(i), o))
+        self.objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (MediaId(i), o))
     }
 
     /// Declares a temporal relation `a R b`.
@@ -190,10 +193,7 @@ impl PresentationDocument {
                             if existing != next_start {
                                 return Err(MediaError::InconsistentTimeline {
                                     between: (cur, next),
-                                    reason: format!(
-                                        "start {}ns vs {}ns",
-                                        existing, next_start
-                                    ),
+                                    reason: format!("start {}ns vs {}ns", existing, next_start),
                                 });
                             }
                         }
@@ -206,11 +206,7 @@ impl PresentationDocument {
                 }
             }
             // Shift this component so its earliest start is zero.
-            let min = component
-                .iter()
-                .map(|id| starts[id])
-                .min()
-                .unwrap_or(0);
+            let min = component.iter().map(|id| starts[id]).min().unwrap_or(0);
             if min != 0 {
                 for id in component {
                     *starts.get_mut(&id).expect("component member has a start") -= min;
@@ -274,11 +270,7 @@ impl PresentationDocument {
         // Sweep event points; at every interval start collect everything
         // active, dedupe identical sets, keep maximal ones.
         let mut sets: Vec<Vec<MediaId>> = Vec::new();
-        let mut points: Vec<Duration> = timeline
-            .intervals
-            .iter()
-            .map(|iv| iv.start)
-            .collect();
+        let mut points: Vec<Duration> = timeline.intervals.iter().map(|iv| iv.start).collect();
         points.sort();
         points.dedup();
         for point in points {
@@ -490,7 +482,8 @@ mod tests {
         let slides = doc.add_object(obj("slides", MediaKind::Slide, 20));
         let quiz = doc.add_object(obj("quiz", MediaKind::Text, 10));
         doc.relate(video, TemporalRelation::Equals, audio).unwrap();
-        doc.relate(video, TemporalRelation::StartedBy, slides).unwrap();
+        doc.relate(video, TemporalRelation::StartedBy, slides)
+            .unwrap();
         // quiz comes after the video.
         doc.relate(video, TemporalRelation::Before, quiz).unwrap();
         let sets = doc.synchronous_sets().unwrap();

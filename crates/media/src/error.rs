@@ -60,7 +60,10 @@ impl fmt::Display for MediaError {
                 "durations of {a} and {b} do not admit relation {relation}"
             ),
             MediaError::InteractionOutOfRange { label } => {
-                write!(f, "interaction point `{label}` lies beyond the timeline end")
+                write!(
+                    f,
+                    "interaction point `{label}` lies beyond the timeline end"
+                )
             }
             MediaError::InvalidQos(msg) => write!(f, "invalid qos requirement: {msg}"),
         }

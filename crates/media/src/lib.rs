@@ -43,6 +43,7 @@ pub mod error;
 pub mod object;
 pub mod qos;
 pub mod temporal;
+mod wire;
 
 pub use channel::{Channel, ChannelKind};
 pub use document::{InteractionPoint, PresentationDocument, Timeline};

@@ -61,13 +61,48 @@ impl MediaKind {
     /// document author does not specify one explicitly.
     pub fn default_qos(self) -> QosRequirement {
         match self {
-            MediaKind::Video => QosRequirement::new(1_500, Duration::from_millis(250), Duration::from_millis(60), 0.01),
-            MediaKind::Audio => QosRequirement::new(128, Duration::from_millis(150), Duration::from_millis(30), 0.01),
-            MediaKind::Image => QosRequirement::new(256, Duration::from_millis(2_000), Duration::from_millis(500), 0.0),
-            MediaKind::Text => QosRequirement::new(8, Duration::from_millis(1_000), Duration::from_millis(500), 0.0),
-            MediaKind::Slide => QosRequirement::new(512, Duration::from_millis(1_500), Duration::from_millis(500), 0.0),
-            MediaKind::Whiteboard => QosRequirement::new(32, Duration::from_millis(300), Duration::from_millis(100), 0.0),
-            MediaKind::Annotation => QosRequirement::new(16, Duration::from_millis(300), Duration::from_millis(100), 0.0),
+            MediaKind::Video => QosRequirement::new(
+                1_500,
+                Duration::from_millis(250),
+                Duration::from_millis(60),
+                0.01,
+            ),
+            MediaKind::Audio => QosRequirement::new(
+                128,
+                Duration::from_millis(150),
+                Duration::from_millis(30),
+                0.01,
+            ),
+            MediaKind::Image => QosRequirement::new(
+                256,
+                Duration::from_millis(2_000),
+                Duration::from_millis(500),
+                0.0,
+            ),
+            MediaKind::Text => QosRequirement::new(
+                8,
+                Duration::from_millis(1_000),
+                Duration::from_millis(500),
+                0.0,
+            ),
+            MediaKind::Slide => QosRequirement::new(
+                512,
+                Duration::from_millis(1_500),
+                Duration::from_millis(500),
+                0.0,
+            ),
+            MediaKind::Whiteboard => QosRequirement::new(
+                32,
+                Duration::from_millis(300),
+                Duration::from_millis(100),
+                0.0,
+            ),
+            MediaKind::Annotation => QosRequirement::new(
+                16,
+                Duration::from_millis(300),
+                Duration::from_millis(100),
+                0.0,
+            ),
         }
     }
 
@@ -197,7 +232,12 @@ mod tests {
     fn builder_style_overrides() {
         let obj = MediaObject::new("x", MediaKind::Text, Duration::from_secs(5))
             .with_size(42)
-            .with_qos(QosRequirement::new(1, Duration::from_secs(1), Duration::from_secs(1), 0.5));
+            .with_qos(QosRequirement::new(
+                1,
+                Duration::from_secs(1),
+                Duration::from_secs(1),
+                0.5,
+            ));
         assert_eq!(obj.size_bytes, 42);
         assert_eq!(obj.qos.bandwidth_kbps, 1);
         assert!((obj.qos.loss_tolerance - 0.5).abs() < f64::EPSILON);

@@ -126,7 +126,12 @@ impl QosRequirement {
 
 impl Default for QosRequirement {
     fn default() -> Self {
-        QosRequirement::new(64, Duration::from_millis(500), Duration::from_millis(200), 0.01)
+        QosRequirement::new(
+            64,
+            Duration::from_millis(500),
+            Duration::from_millis(200),
+            0.01,
+        )
     }
 }
 
@@ -154,38 +159,79 @@ mod tests {
 
     #[test]
     fn invalid_loss_tolerance_rejected() {
-        let q = QosRequirement::new(100, Duration::from_millis(100), Duration::from_millis(10), 1.5);
+        let q = QosRequirement::new(
+            100,
+            Duration::from_millis(100),
+            Duration::from_millis(10),
+            1.5,
+        );
         assert!(q.validate().is_err());
-        let q = QosRequirement::new(100, Duration::from_millis(100), Duration::from_millis(10), f64::NAN);
+        let q = QosRequirement::new(
+            100,
+            Duration::from_millis(100),
+            Duration::from_millis(10),
+            f64::NAN,
+        );
         assert!(q.validate().is_err());
     }
 
     #[test]
     fn zero_bandwidth_rejected() {
-        let q = QosRequirement::new(0, Duration::from_millis(100), Duration::from_millis(10), 0.0);
+        let q = QosRequirement::new(
+            0,
+            Duration::from_millis(100),
+            Duration::from_millis(10),
+            0.0,
+        );
         assert!(q.validate().is_err());
     }
 
     #[test]
     fn jitter_above_latency_rejected() {
-        let q = QosRequirement::new(10, Duration::from_millis(10), Duration::from_millis(100), 0.0);
+        let q = QosRequirement::new(
+            10,
+            Duration::from_millis(10),
+            Duration::from_millis(100),
+            0.0,
+        );
         assert!(q.validate().is_err());
     }
 
     #[test]
     fn classes_follow_thresholds() {
-        let streaming = QosRequirement::new(1500, Duration::from_millis(250), Duration::from_millis(60), 0.01);
+        let streaming = QosRequirement::new(
+            1500,
+            Duration::from_millis(250),
+            Duration::from_millis(60),
+            0.01,
+        );
         assert_eq!(streaming.class(), QosClass::Streaming);
-        let interactive = QosRequirement::new(16, Duration::from_millis(300), Duration::from_millis(100), 0.0);
+        let interactive = QosRequirement::new(
+            16,
+            Duration::from_millis(300),
+            Duration::from_millis(100),
+            0.0,
+        );
         assert_eq!(interactive.class(), QosClass::Interactive);
-        let best_effort = QosRequirement::new(8, Duration::from_secs(5), Duration::from_secs(1), 0.0);
+        let best_effort =
+            QosRequirement::new(8, Duration::from_secs(5), Duration::from_secs(1), 0.0);
         assert_eq!(best_effort.class(), QosClass::BestEffort);
     }
 
     #[test]
     fn dominates_is_reflexive_and_directional() {
-        let strong = QosRequirement::new(1000, Duration::from_millis(50), Duration::from_millis(5), 0.0);
-        let weak = QosRequirement::new(100, Duration::from_millis(500), Duration::from_millis(50), 0.1);
+        let strong = QosRequirement::new(
+            1000,
+            Duration::from_millis(50),
+            Duration::from_millis(5),
+            0.0,
+        );
+        let weak = QosRequirement::new(
+            100,
+            Duration::from_millis(500),
+            Duration::from_millis(50),
+            0.1,
+        );
         assert!(strong.dominates(&strong));
         assert!(strong.dominates(&weak));
         assert!(!weak.dominates(&strong));
@@ -193,8 +239,18 @@ mod tests {
 
     #[test]
     fn combine_adds_bandwidth_and_tightens_bounds() {
-        let a = QosRequirement::new(100, Duration::from_millis(200), Duration::from_millis(50), 0.02);
-        let b = QosRequirement::new(200, Duration::from_millis(100), Duration::from_millis(80), 0.01);
+        let a = QosRequirement::new(
+            100,
+            Duration::from_millis(200),
+            Duration::from_millis(50),
+            0.02,
+        );
+        let b = QosRequirement::new(
+            200,
+            Duration::from_millis(100),
+            Duration::from_millis(80),
+            0.01,
+        );
         let c = a.combine(&b);
         assert_eq!(c.bandwidth_kbps, 300);
         assert_eq!(c.max_latency, Duration::from_millis(100));
@@ -204,7 +260,12 @@ mod tests {
 
     #[test]
     fn display_formats_all_fields() {
-        let q = QosRequirement::new(128, Duration::from_millis(150), Duration::from_millis(30), 0.01);
+        let q = QosRequirement::new(
+            128,
+            Duration::from_millis(150),
+            Duration::from_millis(30),
+            0.01,
+        );
         let s = q.to_string();
         assert!(s.contains("128 kbps"));
         assert!(s.contains("150 ms"));

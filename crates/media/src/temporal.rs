@@ -134,8 +134,19 @@ impl TemporalRelation {
     pub fn all() -> [TemporalRelation; 13] {
         use TemporalRelation::*;
         [
-            Before, After, Meets, MetBy, Overlaps, OverlappedBy, During, Contains, Starts,
-            StartedBy, Finishes, FinishedBy, Equals,
+            Before,
+            After,
+            Meets,
+            MetBy,
+            Overlaps,
+            OverlappedBy,
+            During,
+            Contains,
+            Starts,
+            StartedBy,
+            Finishes,
+            FinishedBy,
+            Equals,
         ]
     }
 
@@ -231,7 +242,10 @@ mod tests {
     use super::*;
 
     fn iv(start_ms: u64, len_ms: u64) -> TimeInterval {
-        TimeInterval::new(Duration::from_millis(start_ms), Duration::from_millis(len_ms))
+        TimeInterval::new(
+            Duration::from_millis(start_ms),
+            Duration::from_millis(len_ms),
+        )
     }
 
     #[test]
@@ -277,7 +291,14 @@ mod tests {
     fn implies_overlap_matches_intersection() {
         // For every pair of intervals, relation.implies_overlap() must agree
         // with geometric intersection.
-        let samples = [iv(0, 10), iv(0, 5), iv(5, 5), iv(3, 3), iv(10, 4), iv(12, 2)];
+        let samples = [
+            iv(0, 10),
+            iv(0, 5),
+            iv(5, 5),
+            iv(3, 3),
+            iv(10, 4),
+            iv(12, 2),
+        ];
         for a in &samples {
             for b in &samples {
                 let rel = a.relation_to(b);
@@ -300,11 +321,20 @@ mod tests {
     fn resolve_offset_pins_down_exact_relations() {
         let d10 = Duration::from_millis(10);
         let d20 = Duration::from_millis(20);
-        assert_eq!(resolve_offset(d10, TemporalRelation::Equals, d10), Some(Duration::ZERO));
+        assert_eq!(
+            resolve_offset(d10, TemporalRelation::Equals, d10),
+            Some(Duration::ZERO)
+        );
         assert_eq!(resolve_offset(d10, TemporalRelation::Equals, d20), None);
         assert_eq!(resolve_offset(d10, TemporalRelation::Meets, d20), Some(d10));
-        assert_eq!(resolve_offset(d10, TemporalRelation::Starts, d20), Some(Duration::ZERO));
-        assert_eq!(resolve_offset(d20, TemporalRelation::StartedBy, d10), Some(Duration::ZERO));
+        assert_eq!(
+            resolve_offset(d10, TemporalRelation::Starts, d20),
+            Some(Duration::ZERO)
+        );
+        assert_eq!(
+            resolve_offset(d20, TemporalRelation::StartedBy, d10),
+            Some(Duration::ZERO)
+        );
         assert_eq!(
             resolve_offset(d20, TemporalRelation::FinishedBy, d10),
             Some(Duration::from_millis(10))
@@ -320,19 +350,22 @@ mod tests {
     #[test]
     fn display_names_are_unique() {
         use std::collections::HashSet;
-        let names: HashSet<String> = TemporalRelation::all().iter().map(|r| r.to_string()).collect();
+        let names: HashSet<String> = TemporalRelation::all()
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
         assert_eq!(names.len(), 13);
     }
 
     #[test]
     fn serde_roundtrip() {
         let r = TemporalRelation::Overlaps;
-        let json = serde_json::to_string(&r).unwrap();
-        let back: TemporalRelation = serde_json::from_str(&json).unwrap();
+        let encoded = dmps_wire::to_string(&r);
+        let back: TemporalRelation = dmps_wire::from_str(&encoded).unwrap();
         assert_eq!(r, back);
         let i = iv(3, 9);
-        let json = serde_json::to_string(&i).unwrap();
-        let back: TimeInterval = serde_json::from_str(&json).unwrap();
+        let encoded = dmps_wire::to_string(&i);
+        let back: TimeInterval = dmps_wire::from_str(&encoded).unwrap();
         assert_eq!(i, back);
     }
 }

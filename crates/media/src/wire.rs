@@ -1,0 +1,246 @@
+//! `dmps-wire` codec implementations for the media types.
+//!
+//! These back the snapshot / trace machinery (and replace the previous
+//! `serde_json` round-trips, which the offline build cannot provide).
+
+use std::time::Duration;
+
+use dmps_wire::{Reader, Result, Wire, WireError, Writer};
+
+use crate::channel::ChannelKind;
+use crate::document::PresentationDocument;
+use crate::object::{MediaId, MediaKind, MediaObject};
+use crate::qos::QosRequirement;
+use crate::temporal::{TemporalRelation, TimeInterval};
+
+fn bad(expected: &'static str, got: impl ToString) -> WireError {
+    WireError::BadToken {
+        expected,
+        token: got.to_string(),
+    }
+}
+
+impl Wire for MediaId {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(MediaId(usize::decode(r)?))
+    }
+}
+
+impl Wire for MediaKind {
+    fn encode(&self, w: &mut Writer) {
+        let tag: u8 = match self {
+            MediaKind::Video => 0,
+            MediaKind::Audio => 1,
+            MediaKind::Image => 2,
+            MediaKind::Text => 3,
+            MediaKind::Slide => 4,
+            MediaKind::Whiteboard => 5,
+            MediaKind::Annotation => 6,
+        };
+        tag.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match u8::decode(r)? {
+            0 => Ok(MediaKind::Video),
+            1 => Ok(MediaKind::Audio),
+            2 => Ok(MediaKind::Image),
+            3 => Ok(MediaKind::Text),
+            4 => Ok(MediaKind::Slide),
+            5 => Ok(MediaKind::Whiteboard),
+            6 => Ok(MediaKind::Annotation),
+            other => Err(bad("MediaKind tag", other)),
+        }
+    }
+}
+
+impl Wire for ChannelKind {
+    fn encode(&self, w: &mut Writer) {
+        let tag: u8 = match self {
+            ChannelKind::MessageWindow => 0,
+            ChannelKind::Whiteboard => 1,
+            ChannelKind::Annotation => 2,
+            ChannelKind::AudioStream => 3,
+            ChannelKind::VideoStream => 4,
+            ChannelKind::SlideCast => 5,
+            ChannelKind::Control => 6,
+        };
+        tag.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match u8::decode(r)? {
+            0 => Ok(ChannelKind::MessageWindow),
+            1 => Ok(ChannelKind::Whiteboard),
+            2 => Ok(ChannelKind::Annotation),
+            3 => Ok(ChannelKind::AudioStream),
+            4 => Ok(ChannelKind::VideoStream),
+            5 => Ok(ChannelKind::SlideCast),
+            6 => Ok(ChannelKind::Control),
+            other => Err(bad("ChannelKind tag", other)),
+        }
+    }
+}
+
+impl Wire for TemporalRelation {
+    fn encode(&self, w: &mut Writer) {
+        let tag = TemporalRelation::all()
+            .iter()
+            .position(|r| r == self)
+            .expect("all() covers every relation") as u8;
+        tag.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let tag = u8::decode(r)?;
+        TemporalRelation::all()
+            .get(tag as usize)
+            .copied()
+            .ok_or_else(|| bad("TemporalRelation tag", tag))
+    }
+}
+
+impl Wire for TimeInterval {
+    fn encode(&self, w: &mut Writer) {
+        self.start.encode(w);
+        self.length.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let start = Duration::decode(r)?;
+        let length = Duration::decode(r)?;
+        Ok(TimeInterval { start, length })
+    }
+}
+
+impl Wire for QosRequirement {
+    fn encode(&self, w: &mut Writer) {
+        self.bandwidth_kbps.encode(w);
+        self.max_latency.encode(w);
+        self.max_jitter.encode(w);
+        self.loss_tolerance.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(QosRequirement {
+            bandwidth_kbps: u32::decode(r)?,
+            max_latency: Duration::decode(r)?,
+            max_jitter: Duration::decode(r)?,
+            loss_tolerance: f64::decode(r)?,
+        })
+    }
+}
+
+impl Wire for MediaObject {
+    fn encode(&self, w: &mut Writer) {
+        self.name.encode(w);
+        self.kind.encode(w);
+        self.duration.encode(w);
+        self.size_bytes.encode(w);
+        self.qos.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(MediaObject {
+            name: String::decode(r)?,
+            kind: MediaKind::decode(r)?,
+            duration: Duration::decode(r)?,
+            size_bytes: u64::decode(r)?,
+            qos: QosRequirement::decode(r)?,
+        })
+    }
+}
+
+impl Wire for PresentationDocument {
+    fn encode(&self, w: &mut Writer) {
+        self.name().to_string().encode(w);
+        let objects: Vec<MediaObject> = self.objects().map(|(_, o)| o.clone()).collect();
+        objects.encode(w);
+        (self.relations().len() as u64).encode(w);
+        for rel in self.relations() {
+            rel.a.encode(w);
+            rel.relation.encode(w);
+            rel.b.encode(w);
+        }
+        (self.interactions().len() as u64).encode(w);
+        for ip in self.interactions() {
+            ip.label.encode(w);
+            ip.at.encode(w);
+            ip.timeout.encode(w);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let name = String::decode(r)?;
+        let mut doc = PresentationDocument::new(name);
+        for object in Vec::<MediaObject>::decode(r)? {
+            doc.add_object(object);
+        }
+        let relations = u64::decode(r)?;
+        for _ in 0..relations {
+            let a = MediaId::decode(r)?;
+            let relation = TemporalRelation::decode(r)?;
+            let b = MediaId::decode(r)?;
+            doc.relate(a, relation, b)
+                .map_err(|e| bad("valid document relation", e))?;
+        }
+        let interactions = u64::decode(r)?;
+        for _ in 0..interactions {
+            let label = String::decode(r)?;
+            let at = Duration::decode(r)?;
+            let timeout = Duration::decode(r)?;
+            doc.add_interaction(label, at, timeout);
+        }
+        Ok(doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmps_wire::{from_str, to_string};
+
+    #[test]
+    fn media_object_roundtrip() {
+        let o = MediaObject::new("clip", MediaKind::Video, Duration::from_secs(12));
+        assert_eq!(from_str::<MediaObject>(&to_string(&o)).unwrap(), o);
+    }
+
+    #[test]
+    fn every_kind_and_relation_roundtrips() {
+        for k in MediaKind::all() {
+            assert_eq!(from_str::<MediaKind>(&to_string(&k)).unwrap(), k);
+        }
+        for c in ChannelKind::all() {
+            assert_eq!(from_str::<ChannelKind>(&to_string(&c)).unwrap(), c);
+        }
+        for rel in TemporalRelation::all() {
+            assert_eq!(from_str::<TemporalRelation>(&to_string(&rel)).unwrap(), rel);
+        }
+    }
+
+    #[test]
+    fn document_roundtrip() {
+        let mut doc = PresentationDocument::new("demo");
+        let a = doc.add_object(MediaObject::new(
+            "a",
+            MediaKind::Video,
+            Duration::from_secs(10),
+        ));
+        let b = doc.add_object(MediaObject::new(
+            "b",
+            MediaKind::Audio,
+            Duration::from_secs(10),
+        ));
+        doc.relate(a, TemporalRelation::Equals, b).unwrap();
+        doc.add_interaction("quiz", Duration::from_secs(5), Duration::from_secs(2));
+        assert_eq!(
+            from_str::<PresentationDocument>(&to_string(&doc)).unwrap(),
+            doc
+        );
+    }
+}

@@ -121,8 +121,8 @@ proptest! {
         for (i, &d) in durations.iter().enumerate() {
             doc.add_object(MediaObject::new(format!("o{i}"), MediaKind::Video, Duration::from_millis(d)));
         }
-        let json = serde_json::to_string(&doc).unwrap();
-        let back: PresentationDocument = serde_json::from_str(&json).unwrap();
+        let encoded = dmps_wire::to_string(&doc);
+        let back: PresentationDocument = dmps_wire::from_str(&encoded).unwrap();
         prop_assert_eq!(doc, back);
     }
 }

@@ -35,7 +35,11 @@ impl IncidenceMatrix {
                 entries[arc.place.0 * cols + t.0] += arc.weight as i64;
             }
         }
-        IncidenceMatrix { rows, cols, entries }
+        IncidenceMatrix {
+            rows,
+            cols,
+            entries,
+        }
     }
 
     /// Number of rows (places).
@@ -131,18 +135,16 @@ impl IncidenceMatrix {
                     let b = -q.0[col];
                     let g = gcd(a as u64, b as u64) as i64;
                     let (ca, cb) = (b / g, a / g);
-                    let d: Vec<i64> = p
-                        .0
-                        .iter()
-                        .zip(q.0.iter())
-                        .map(|(x, y)| ca * x + cb * y)
-                        .collect();
-                    let bv: Vec<i64> = p
-                        .1
-                        .iter()
-                        .zip(q.1.iter())
-                        .map(|(x, y)| ca * x + cb * y)
-                        .collect();
+                    let d: Vec<i64> =
+                        p.0.iter()
+                            .zip(q.0.iter())
+                            .map(|(x, y)| ca * x + cb * y)
+                            .collect();
+                    let bv: Vec<i64> =
+                        p.1.iter()
+                            .zip(q.1.iter())
+                            .map(|(x, y)| ca * x + cb * y)
+                            .collect();
                     // Normalize D and B *jointly* so the row combination they
                     // describe stays consistent.
                     let row = normalize_row(d, bv);
@@ -273,7 +275,11 @@ pub struct AnalysisReport {
 /// Returns an error when the marking does not match the net. A truncated
 /// exploration is reported via [`AnalysisReport::exploration_complete`]
 /// rather than as an error.
-pub fn analyze(net: &PetriNet, initial: &Marking, limits: ReachabilityLimits) -> Result<AnalysisReport> {
+pub fn analyze(
+    net: &PetriNet,
+    initial: &Marking,
+    limits: ReachabilityLimits,
+) -> Result<AnalysisReport> {
     net.check_marking(initial)?;
     let cover = CoverabilityTree::build(net, initial, limits.max_states.max(1024));
     let bounded = match &cover {

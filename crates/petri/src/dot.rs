@@ -41,11 +41,7 @@ pub fn to_dot(net: &PetriNet, options: &DotOptions) -> String {
     }
     for p in net.places() {
         let place = net.place(p).expect("iterating net's own places");
-        let tokens = options
-            .marking
-            .as_ref()
-            .map(|m| m.tokens(p))
-            .unwrap_or(0);
+        let tokens = options.marking.as_ref().map(|m| m.tokens(p)).unwrap_or(0);
         let token_suffix = if tokens > 0 {
             format!("\\n({tokens})")
         } else {
@@ -130,7 +126,10 @@ mod tests {
     #[test]
     fn dot_renders_marking_and_title() {
         let net = tiny();
-        let m = Marking::from_pairs(net.place_count(), &[(net.place_by_name("video ready").unwrap(), 3)]);
+        let m = Marking::from_pairs(
+            net.place_count(),
+            &[(net.place_by_name("video ready").unwrap(), 3)],
+        );
         let dot = to_dot(
             &net,
             &DotOptions {

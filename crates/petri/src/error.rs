@@ -62,10 +62,9 @@ impl fmt::Display for NetError {
             }
             NetError::DuplicateName(name) => write!(f, "duplicate node name `{name}`"),
             NetError::NotEnabled(t) => write!(f, "transition {t} is not enabled"),
-            NetError::MarkingSizeMismatch { expected, actual } => write!(
-                f,
-                "marking has {actual} places but the net has {expected}"
-            ),
+            NetError::MarkingSizeMismatch { expected, actual } => {
+                write!(f, "marking has {actual} places but the net has {expected}")
+            }
             NetError::CapacityExceeded {
                 place,
                 capacity,
@@ -75,7 +74,10 @@ impl fmt::Display for NetError {
                 "place {place} capacity {capacity} exceeded (attempted {attempted})"
             ),
             NetError::ExplorationLimit { states } => {
-                write!(f, "state-space exploration limit reached after {states} states")
+                write!(
+                    f,
+                    "state-space exploration limit reached after {states} states"
+                )
             }
             NetError::EmptyNet => write!(f, "net has no places or no transitions"),
         }

@@ -103,8 +103,7 @@ impl Marking {
     /// component of `other` (the covering relation used by the Karp–Miller
     /// coverability construction).
     pub fn covers(&self, other: &Marking) -> bool {
-        self.0.len() == other.0.len()
-            && self.0.iter().zip(other.0.iter()).all(|(a, b)| a >= b)
+        self.0.len() == other.0.len() && self.0.iter().zip(other.0.iter()).all(|(a, b)| a >= b)
     }
 
     /// Returns the places where `self` strictly exceeds `other`.
@@ -165,6 +164,16 @@ impl FromIterator<u64> for Marking {
 impl From<Vec<u64>> for Marking {
     fn from(v: Vec<u64>) -> Self {
         Marking(v)
+    }
+}
+
+impl dmps_wire::Wire for Marking {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.0.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(Marking(Vec::<u64>::decode(r)?))
     }
 }
 

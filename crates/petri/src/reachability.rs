@@ -60,11 +60,7 @@ impl ReachabilityGraph {
     /// not match the net. Exploration that exceeds `limits` does **not**
     /// error: it returns a graph with [`ReachabilityGraph::is_complete`] set
     /// to `false` so callers can distinguish a truncated result.
-    pub fn build(
-        net: &PetriNet,
-        initial: &Marking,
-        limits: ReachabilityLimits,
-    ) -> Result<Self> {
+    pub fn build(net: &PetriNet, initial: &Marking, limits: ReachabilityLimits) -> Result<Self> {
         net.check_marking(initial)?;
         let mut index: HashMap<Marking, usize> = HashMap::new();
         let mut markings = vec![initial.clone()];
@@ -216,7 +212,12 @@ impl OmegaCount {
 impl OmegaMarking {
     /// Lifts a concrete marking into an ω-marking with no ω components.
     pub fn from_marking(m: &Marking) -> Self {
-        OmegaMarking(m.as_slice().iter().map(|&n| OmegaCount::Finite(n)).collect())
+        OmegaMarking(
+            m.as_slice()
+                .iter()
+                .map(|&n| OmegaCount::Finite(n))
+                .collect(),
+        )
     }
 
     /// Returns `true` when any component is ω.
@@ -227,11 +228,15 @@ impl OmegaMarking {
     /// Component-wise ≥ comparison, treating ω as larger than any finite count.
     pub fn covers(&self, other: &OmegaMarking) -> bool {
         self.0.len() == other.0.len()
-            && self.0.iter().zip(other.0.iter()).all(|(a, b)| match (a, b) {
-                (OmegaCount::Omega, _) => true,
-                (OmegaCount::Finite(_), OmegaCount::Omega) => false,
-                (OmegaCount::Finite(x), OmegaCount::Finite(y)) => x >= y,
-            })
+            && self
+                .0
+                .iter()
+                .zip(other.0.iter())
+                .all(|(a, b)| match (a, b) {
+                    (OmegaCount::Omega, _) => true,
+                    (OmegaCount::Finite(_), OmegaCount::Omega) => false,
+                    (OmegaCount::Finite(x), OmegaCount::Finite(y)) => x >= y,
+                })
     }
 
     /// The per-place counts.
@@ -301,8 +306,7 @@ impl CoverabilityTree {
                 let mut anc = Some(cur);
                 while let Some(a) = anc {
                     if next.covers(&nodes[a]) && next != nodes[a] {
-                        for (i, (n, o)) in
-                            next.0.clone().iter().zip(nodes[a].0.iter()).enumerate()
+                        for (i, (n, o)) in next.0.clone().iter().zip(nodes[a].0.iter()).enumerate()
                         {
                             let strictly_greater = match (n, o) {
                                 (OmegaCount::Finite(x), OmegaCount::Finite(y)) => x > y,
@@ -317,7 +321,9 @@ impl CoverabilityTree {
                     anc = parents[a];
                 }
                 if nodes.len() >= max_nodes {
-                    return Err(NetError::ExplorationLimit { states: nodes.len() });
+                    return Err(NetError::ExplorationLimit {
+                        states: nodes.len(),
+                    });
                 }
                 let idx = nodes.len();
                 nodes.push(next);
@@ -407,7 +413,10 @@ mod tests {
         assert_eq!(g.edges().len(), 2);
         assert_eq!(g.place_bounds(), vec![1, 1]);
         assert!(g.deadlocks(&net).is_empty());
-        assert_eq!(g.fireable_transitions(net.transition_count()), vec![true, true]);
+        assert_eq!(
+            g.fireable_transitions(net.transition_count()),
+            vec![true, true]
+        );
         assert!(g.contains(&m0));
     }
 

@@ -115,8 +115,8 @@ proptest! {
     #[test]
     fn marking_serde_roundtrip(tokens in proptest::collection::vec(0u64..100, 0..8)) {
         let m = Marking::new(tokens);
-        let json = serde_json::to_string(&m).unwrap();
-        let back: Marking = serde_json::from_str(&json).unwrap();
+        let encoded = dmps_wire::to_string(&m);
+        let back: Marking = dmps_wire::from_str(&encoded).unwrap();
         prop_assert_eq!(m, back);
     }
 }

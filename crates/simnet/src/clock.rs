@@ -56,8 +56,8 @@ impl LocalClock {
     /// The true (global) time at which the clock shows a given local reading
     /// — the inverse of [`LocalClock::local_at`].
     pub fn global_at(&self, local: SimTime) -> SimTime {
-        let nanos = (local.as_nanos() as i64 - self.offset_nanos) as f64
-            / (1.0 + self.drift_ppm * 1e-6);
+        let nanos =
+            (local.as_nanos() as i64 - self.offset_nanos) as f64 / (1.0 + self.drift_ppm * 1e-6);
         SimTime::from_nanos(nanos.max(0.0) as u64)
     }
 

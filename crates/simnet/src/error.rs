@@ -26,6 +26,9 @@ pub enum SimError {
     InvalidLink(String),
     /// An operation required simulated time to move backwards.
     TimeWentBackwards,
+    /// The host is administratively down (crashed) and cannot send or
+    /// schedule timers.
+    HostDown(HostId),
 }
 
 impl fmt::Display for SimError {
@@ -38,6 +41,7 @@ impl fmt::Display for SimError {
             SimError::SelfLink(h) => write!(f, "host {h} cannot be linked to itself"),
             SimError::InvalidLink(msg) => write!(f, "invalid link: {msg}"),
             SimError::TimeWentBackwards => write!(f, "simulated time cannot move backwards"),
+            SimError::HostDown(h) => write!(f, "host {h} is down"),
         }
     }
 }

@@ -88,8 +88,7 @@ impl ClockSyncClient {
         let sent = self.outstanding_request_local.take()?;
         let rtt = local_receive_time.duration_since(sent);
         let estimated_global_now = server_global_time + rtt / 2;
-        self.estimated_offset_nanos =
-            estimated_global_now.signed_offset_from(local_receive_time);
+        self.estimated_offset_nanos = estimated_global_now.signed_offset_from(local_receive_time);
         self.synchronized = true;
         self.rounds_completed += 1;
         self.last_rtt_nanos = rtt.as_nanos().min(u64::MAX as u128) as u64;
@@ -193,7 +192,10 @@ mod tests {
             .unwrap();
         assert!(client.is_synchronized());
         assert_eq!(client.rounds_completed(), 1);
-        assert_eq!(client.last_rtt_nanos(), Duration::from_millis(40).as_nanos() as u64);
+        assert_eq!(
+            client.last_rtt_nanos(),
+            Duration::from_millis(40).as_nanos() as u64
+        );
         // Estimated global at local 1.040 = 1.120 + 0.020 = 1.140 → offset 100 ms.
         assert_eq!(offset, 100_000_000);
         assert_eq!(

@@ -52,6 +52,18 @@ pub enum DropReason {
     Loss,
     /// The link was administratively down (Figure 3c red light).
     LinkDown,
+    /// The sending or receiving host was down (crashed).
+    HostDown,
+}
+
+impl dmps_wire::Wire for HostId {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.0.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(HostId(usize::decode(r)?))
+    }
 }
 
 /// A message that was dropped instead of delivered.
@@ -73,6 +85,7 @@ pub struct Dropped<M> {
 struct Host {
     name: String,
     clock: LocalClock,
+    up: bool,
 }
 
 #[derive(Debug)]
@@ -145,6 +158,7 @@ impl<M> Network<M> {
         self.hosts.push(Host {
             name: name.into(),
             clock: LocalClock::perfect(),
+            up: true,
         });
         HostId(self.hosts.len() - 1)
     }
@@ -262,9 +276,69 @@ impl<M> Network<M> {
         Ok(())
     }
 
-    /// Whether two hosts are connected and the link is up.
+    /// Whether two hosts are connected, the link is up, and both hosts are
+    /// up.
     pub fn is_reachable(&self, a: HostId, b: HostId) -> bool {
-        self.link(a, b).map(|l| l.up).unwrap_or(false)
+        self.link(a, b).map(|l| l.up).unwrap_or(false) && self.is_host_up(a) && self.is_host_up(b)
+    }
+
+    /// Whether a host is up (unknown hosts count as down).
+    pub fn is_host_up(&self, host: HostId) -> bool {
+        self.hosts.get(host.0).map(|h| h.up).unwrap_or(false)
+    }
+
+    /// Marks a host up or down. Bringing a host **down** models a crash of
+    /// the process on that station: every queued delivery *to or from* the
+    /// host — including its own timers — is purged and recorded as dropped
+    /// with [`DropReason::HostDown`]. Bringing it back up models a standby
+    /// process taking over the station: it starts with an empty event queue
+    /// and must rebuild its state (e.g. from a snapshot + log replay, as
+    /// `dmps-cluster` does).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownHost`] for an unknown id.
+    pub fn set_host_up(&mut self, host: HostId, up: bool) -> Result<()> {
+        let h = self
+            .hosts
+            .get_mut(host.0)
+            .ok_or(SimError::UnknownHost(host))?;
+        let was_up = h.up;
+        h.up = up;
+        if was_up && !up {
+            // Purge in-flight traffic involving the crashed host.
+            let queue = std::mem::take(&mut self.queue);
+            let now = self.now;
+            for q in queue.into_sorted_vec() {
+                let d = q.delivery;
+                if d.from == host || d.to == host {
+                    self.dropped.push(Dropped {
+                        at: now,
+                        from: d.from,
+                        to: d.to,
+                        payload: d.payload,
+                        reason: DropReason::HostDown,
+                    });
+                } else {
+                    self.queue.push(Queued {
+                        at: d.at,
+                        seq: d.seq,
+                        delivery: d,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience alias for [`Network::set_host_up`]`(host, false)`: crashes
+    /// a host, purging its in-flight traffic and timers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownHost`] for an unknown id.
+    pub fn crash_host(&mut self, host: HostId) -> Result<()> {
+        self.set_host_up(host, false)
     }
 
     /// The current global simulation time.
@@ -289,6 +363,16 @@ impl<M> Network<M> {
         }
         let seq = self.seq;
         self.seq += 1;
+        if !self.hosts[from.0].up || !self.hosts[to.0].up {
+            self.dropped.push(Dropped {
+                at: self.now,
+                from,
+                to,
+                payload,
+                reason: DropReason::HostDown,
+            });
+            return Ok(seq);
+        }
         let state = self
             .links
             .get_mut(&Self::key(from, to))
@@ -322,7 +406,8 @@ impl<M> Network<M> {
         } else {
             self.rng.gen_range(0..=state.link.jitter.as_nanos() as u64)
         };
-        let arrival = serialized_at + state.link.latency + std::time::Duration::from_nanos(jitter_nanos);
+        let arrival =
+            serialized_at + state.link.latency + std::time::Duration::from_nanos(jitter_nanos);
         self.queue.push(Queued {
             at: arrival,
             seq,
@@ -347,6 +432,9 @@ impl<M> Network<M> {
     pub fn schedule(&mut self, host: HostId, at: SimTime, payload: M) -> Result<u64> {
         if host.0 >= self.hosts.len() {
             return Err(SimError::UnknownHost(host));
+        }
+        if !self.hosts[host.0].up {
+            return Err(SimError::HostDown(host));
         }
         if at < self.now {
             return Err(SimError::TimeWentBackwards);
@@ -477,7 +565,11 @@ mod tests {
         let d1 = net.next_delivery().unwrap();
         let d2 = net.next_delivery().unwrap();
         assert_eq!(d1.at, SimTime::from_millis(1_005));
-        assert_eq!(d2.at, SimTime::from_millis(2_005), "second message queues behind the first");
+        assert_eq!(
+            d2.at,
+            SimTime::from_millis(2_005),
+            "second message queues behind the first"
+        );
         assert_eq!(d1.payload, 1);
         assert_eq!(d2.payload, 2);
     }
@@ -537,11 +629,11 @@ mod tests {
         let delivered = net.run_until_idle().len();
         let dropped = net.dropped().len();
         assert_eq!(delivered + dropped, 1_000);
-        assert!((300..700).contains(&dropped), "dropped {dropped} of 1000 at 50% loss");
-        assert!(net
-            .dropped()
-            .iter()
-            .all(|d| d.reason == DropReason::Loss));
+        assert!(
+            (300..700).contains(&dropped),
+            "dropped {dropped} of 1000 at 50% loss"
+        );
+        assert!(net.dropped().iter().all(|d| d.reason == DropReason::Loss));
     }
 
     #[test]
@@ -560,7 +652,10 @@ mod tests {
     fn self_link_and_unknown_host_rejected() {
         let mut net: Network<u8> = Network::new(1);
         let a = net.add_host("a");
-        assert_eq!(net.connect(a, a, Link::lan()).unwrap_err(), SimError::SelfLink(a));
+        assert_eq!(
+            net.connect(a, a, Link::lan()).unwrap_err(),
+            SimError::SelfLink(a)
+        );
         assert!(net.connect(a, HostId(5), Link::lan()).is_err());
         assert!(net.host_name(HostId(5)).is_err());
         assert_eq!(net.host_name(a).unwrap(), "a");
@@ -609,6 +704,35 @@ mod tests {
         assert!(local > net.now());
         assert_eq!(net.local_time(b).unwrap(), net.now());
         assert!(net.local_time(HostId(9)).is_err());
+    }
+
+    #[test]
+    fn crashed_host_drops_traffic_and_timers() {
+        let (mut net, a, b) = two_host_net(Link::lan());
+        net.send(a, b, 1, 10).unwrap();
+        net.schedule(b, SimTime::from_secs(5), 99).unwrap();
+        assert_eq!(net.pending_count(), 2);
+        net.crash_host(b).unwrap();
+        assert!(!net.is_host_up(b));
+        assert!(!net.is_reachable(a, b));
+        assert_eq!(net.pending_count(), 0, "in-flight traffic purged");
+        assert_eq!(net.dropped().len(), 2);
+        assert!(net
+            .dropped()
+            .iter()
+            .all(|d| d.reason == DropReason::HostDown));
+        // Sends to a crashed host are dropped, its own timers are refused.
+        net.send(a, b, 2, 10).unwrap();
+        assert_eq!(net.dropped().len(), 3);
+        assert_eq!(
+            net.schedule(b, SimTime::from_secs(9), 1).unwrap_err(),
+            SimError::HostDown(b)
+        );
+        // Recovery: the standby host starts clean and is reachable again.
+        net.set_host_up(b, true).unwrap();
+        assert!(net.is_reachable(a, b));
+        net.send(a, b, 3, 10).unwrap();
+        assert_eq!(net.run_until_idle().len(), 1);
     }
 
     #[test]

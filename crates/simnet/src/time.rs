@@ -68,12 +68,18 @@ impl SimTime {
 
     /// Saturating addition of a duration.
     pub fn saturating_add(self, d: Duration) -> SimTime {
-        SimTime(self.0.saturating_add(d.as_nanos().min(u64::MAX as u128) as u64))
+        SimTime(
+            self.0
+                .saturating_add(d.as_nanos().min(u64::MAX as u128) as u64),
+        )
     }
 
     /// Saturating subtraction of a duration.
     pub fn saturating_sub(self, d: Duration) -> SimTime {
-        SimTime(self.0.saturating_sub(d.as_nanos().min(u64::MAX as u128) as u64))
+        SimTime(
+            self.0
+                .saturating_sub(d.as_nanos().min(u64::MAX as u128) as u64),
+        )
     }
 
     /// Signed offset (in nanoseconds) from `other` to `self`.
@@ -116,6 +122,16 @@ impl Sub<SimTime> for SimTime {
 impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl dmps_wire::Wire for SimTime {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.0.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(SimTime(u64::decode(r)?))
     }
 }
 

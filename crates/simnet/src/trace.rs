@@ -97,6 +97,36 @@ impl Extend<TraceEvent> for Trace {
     }
 }
 
+impl dmps_wire::Wire for TraceEvent {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.at.encode(w);
+        self.host.encode(w);
+        self.category.encode(w);
+        self.detail.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(TraceEvent {
+            at: SimTime::decode(r)?,
+            host: Option::<HostId>::decode(r)?,
+            category: String::decode(r)?,
+            detail: String::decode(r)?,
+        })
+    }
+}
+
+impl dmps_wire::Wire for Trace {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.events.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(Trace {
+            events: Vec::<TraceEvent>::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,7 +136,12 @@ mod tests {
         let mut trace = Trace::new();
         assert!(trace.is_empty());
         trace.record(SimTime::from_millis(1), Some(HostId(0)), "fire", "t0");
-        trace.record(SimTime::from_millis(2), Some(HostId(1)), "grant", "floor to h1");
+        trace.record(
+            SimTime::from_millis(2),
+            Some(HostId(1)),
+            "grant",
+            "floor to h1",
+        );
         trace.record(SimTime::from_millis(3), None, "fire", "t1");
         assert_eq!(trace.len(), 3);
         assert_eq!(trace.of_category("fire").count(), 2);
@@ -117,7 +152,12 @@ mod tests {
     #[test]
     fn table_renders_every_event() {
         let mut trace = Trace::new();
-        trace.record(SimTime::from_millis(5), Some(HostId(2)), "suspend", "member 3");
+        trace.record(
+            SimTime::from_millis(5),
+            Some(HostId(2)),
+            "suspend",
+            "member 3",
+        );
         let table = trace.to_table();
         assert!(table.starts_with("time\thost\tcategory\tdetail\n"));
         assert!(table.contains("h2"));
@@ -142,8 +182,8 @@ mod tests {
     fn serde_roundtrip() {
         let mut trace = Trace::new();
         trace.record(SimTime::from_secs(1), Some(HostId(0)), "fire", "a");
-        let json = serde_json::to_string(&trace).unwrap();
-        let back: Trace = serde_json::from_str(&json).unwrap();
+        let encoded = dmps_wire::to_string(&trace);
+        let back: Trace = dmps_wire::from_str(&encoded).unwrap();
         assert_eq!(trace, back);
     }
 }

@@ -1,0 +1,219 @@
+//! Minimal stand-in for `criterion` so the benches build and run offline.
+//!
+//! It implements the subset of the criterion API the workspace benches use —
+//! `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Throughput`, `Bencher`,
+//! `black_box`, `criterion_group!` and `criterion_main!` — with a simple
+//! measured loop: a short warm-up, then timed batches, reporting the mean
+//! iteration time and derived throughput on stdout.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A case identified by function name + parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// A case identified by its parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// The measurement driver handed to benchmark closures.
+pub struct Bencher {
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs the closure repeatedly and records the mean iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until ~50 ms or 10 iterations, whichever first.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_iters < 10 && warm_start.elapsed() < Duration::from_millis(50) {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        // Measure: aim for ~200 ms of work, 5..=200 iterations.
+        let target = (0.2 / per_iter.max(1e-9)) as u64;
+        let iters = target.clamp(5, 200);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.mean = elapsed / iters as u32;
+        self.iters = iters;
+    }
+}
+
+fn report(group: &str, id: &str, mean: Duration, throughput: Option<Throughput>) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let per_sec = if mean.as_nanos() == 0 {
+        f64::INFINITY
+    } else {
+        1e9 / mean.as_nanos() as f64
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => println!(
+            "bench {label:<48} mean {mean:>12?}  {:>14.1} elem/s",
+            per_sec * n as f64
+        ),
+        Some(Throughput::Bytes(n)) => println!(
+            "bench {label:<48} mean {mean:>12?}  {:>14.1} B/s",
+            per_sec * n as f64
+        ),
+        None => println!("bench {label:<48} mean {mean:>12?}  {per_sec:>14.1} iter/s"),
+    }
+}
+
+/// A named group of related benchmark cases.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the criterion sample size (accepted for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent cases with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a closure with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), b.mean, self.throughput);
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&self.name, &id.to_string(), b.mean, self.throughput);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report("", &id.to_string(), b.mean, None);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

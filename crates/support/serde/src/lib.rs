@@ -1,0 +1,16 @@
+//! Minimal stand-in for `serde` so the workspace builds offline.
+//!
+//! The derive macros re-exported here expand to nothing; real serialization
+//! in this repository is done by the hand-written `dmps-wire` codec (see
+//! `crates/wire`), which the arbiter snapshot/event-log machinery uses.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no implementations needed —
+/// the no-op derive does not generate any).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

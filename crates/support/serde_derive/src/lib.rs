@@ -1,0 +1,20 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace's actual serialization (arbiter snapshots, event logs,
+//! traces) goes through the hand-written `dmps-wire` codec; the
+//! `#[derive(Serialize, Deserialize)]` attributes in the seed code are kept
+//! for API compatibility and expand to nothing here.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; kept so `#[derive(Serialize)]` compiles offline.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; kept so `#[derive(Deserialize)]` compiles offline.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -10,7 +10,7 @@
 //!    token circulates, and one student's link fails mid-question (the
 //!    Figure 3 scenario).
 //!
-//! Run with: `cargo run -p dmps --example distance_learning_lecture`
+//! Run with: `cargo run --example distance_learning_lecture`
 
 use std::time::Duration;
 
@@ -43,10 +43,16 @@ fn build_lecture() -> PresentationDocument {
         MediaKind::Text,
         Duration::from_secs(15),
     ));
-    doc.relate(video, TemporalRelation::Equals, narration).unwrap();
-    doc.relate(video, TemporalRelation::StartedBy, slides).unwrap();
+    doc.relate(video, TemporalRelation::Equals, narration)
+        .unwrap();
+    doc.relate(video, TemporalRelation::StartedBy, slides)
+        .unwrap();
     doc.relate(video, TemporalRelation::Meets, quiz).unwrap();
-    doc.add_interaction("quiz-answers", Duration::from_secs(45), Duration::from_secs(8));
+    doc.add_interaction(
+        "quiz-answers",
+        Duration::from_secs(45),
+        Duration::from_secs(8),
+    );
     doc
 }
 
@@ -115,9 +121,15 @@ fn main() {
     let until = session.now() + Duration::from_secs(12);
     session.run_until(until);
     println!("\n== connection panel after farah's link failure ==");
-    println!("{}", render_connection_lights(session.server(), session.now()));
+    println!(
+        "{}",
+        render_connection_lights(session.server(), session.now())
+    );
 
     println!("== teacher's communication window ==");
     println!("{}", render_communication_window(session.client(teacher)));
-    println!("dropped messages recorded by the network: {}", session.network().dropped().len());
+    println!(
+        "dropped messages recorded by the network: {}",
+        session.network().dropped().len()
+    );
 }

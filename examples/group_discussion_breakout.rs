@@ -6,11 +6,9 @@
 //! direct-contact window — all while the main session stays in equal control
 //! with the teacher holding the floor.
 //!
-//! Run with: `cargo run -p dmps --example group_discussion_breakout`
+//! Run with: `cargo run --example group_discussion_breakout`
 
-use dmps_floor::{
-    ArbitrationOutcome, FcmMode, FloorArbiter, FloorRequest, Member, Resource, Role,
-};
+use dmps_floor::{ArbitrationOutcome, FcmMode, FloorArbiter, FloorRequest, Member, Resource, Role};
 
 fn main() {
     let mut arbiter = FloorArbiter::with_defaults();
@@ -29,9 +27,13 @@ fn main() {
         .unwrap();
 
     // The teacher takes the floor in the main group.
-    let outcome = arbiter.arbitrate(&FloorRequest::speak(session, teacher)).unwrap();
+    let outcome = arbiter
+        .arbitrate(&FloorRequest::speak(session, teacher))
+        .unwrap();
     println!("teacher floor request: granted={}", outcome.is_granted());
-    let queued = arbiter.arbitrate(&FloorRequest::speak(session, alice)).unwrap();
+    let queued = arbiter
+        .arbitrate(&FloorRequest::speak(session, alice))
+        .unwrap();
     println!("alice floor request while teacher holds the floor: {queued:?}");
 
     // Alice starts a breakout discussion and invites bob and carol.
@@ -43,7 +45,9 @@ fn main() {
         .invite(session, alice, carol, FcmMode::GroupDiscussion)
         .unwrap();
     // Carol declines; she stays only in the main session.
-    arbiter.respond_invitation(invite_carol, carol, false).unwrap();
+    arbiter
+        .respond_invitation(invite_carol, carol, false)
+        .unwrap();
     // Bob also joins alice's original breakout group explicitly.
     arbiter.join_group(breakout, bob).unwrap();
 
@@ -54,7 +58,9 @@ fn main() {
     );
 
     // Inside the breakout everyone qualified may deliver together.
-    let outcome = arbiter.arbitrate(&FloorRequest::speak(breakout, alice)).unwrap();
+    let outcome = arbiter
+        .arbitrate(&FloorRequest::speak(breakout, alice))
+        .unwrap();
     match &outcome {
         ArbitrationOutcome::Granted { speakers, .. } => {
             println!("breakout speakers: {speakers:?}");
@@ -75,7 +81,9 @@ fn main() {
     // Resource pressure: the session drops into the degraded regime, so a
     // teacher grant suspends lower-priority members' media first.
     arbiter.set_resource(Resource::new(0.35, 0.9, 0.9));
-    let outcome = arbiter.arbitrate(&FloorRequest::speak(session, teacher)).unwrap();
+    let outcome = arbiter
+        .arbitrate(&FloorRequest::speak(session, teacher))
+        .unwrap();
     println!(
         "teacher grant under resource pressure: suspensions={:?}",
         outcome.suspensions()

@@ -2,7 +2,7 @@
 //! control, a chat exchange, a whiteboard stroke and a teacher annotation,
 //! finishing with the rendered communication windows (Figure 2 style).
 //!
-//! Run with: `cargo run -p dmps --example quickstart`
+//! Run with: `cargo run --example quickstart`
 
 use dmps::render::render_session;
 use dmps::{Session, SessionConfig};

@@ -6,7 +6,7 @@
 //! and once without it. The cross-client skew report shows why the paper
 //! introduces the centralized global clock.
 //!
-//! Run with: `cargo run -p dmps --example synchronized_playback`
+//! Run with: `cargo run --example synchronized_playback`
 
 use std::time::Duration;
 
@@ -71,6 +71,7 @@ fn main() {
         "admission control reduces the maximum skew from {} us to {} us ({}x)",
         without_admission.overall.max.as_micros(),
         with_admission.overall.max.as_micros(),
-        without_admission.overall.max.as_micros().max(1) / with_admission.overall.max.as_micros().max(1)
+        without_admission.overall.max.as_micros().max(1)
+            / with_admission.overall.max.as_micros().max(1)
     );
 }

@@ -1,0 +1,24 @@
+//! Umbrella crate for the DMPS reproduction workspace.
+//!
+//! The root package exists so the repository-level `examples/` and `tests/`
+//! directories build against every sub-crate with plain `cargo build` /
+//! `cargo test` from the repo root. The actual functionality lives in the
+//! workspace crates:
+//!
+//! * [`dmps_media`] — media objects, temporal relations, QoS,
+//! * [`dmps_petri`] — Petri-net substrate,
+//! * [`dmps_simnet`] — deterministic network simulator,
+//! * [`dmps_floor`] — the floor control mechanism,
+//! * [`dmps_docpn`] — the DOCPN presentation model,
+//! * [`dmps`] — server, clients and sessions,
+//! * [`dmps_cluster`] — the sharded multi-arbiter control plane.
+
+#![forbid(unsafe_code)]
+
+pub use dmps;
+pub use dmps_cluster;
+pub use dmps_docpn;
+pub use dmps_floor;
+pub use dmps_media;
+pub use dmps_petri;
+pub use dmps_simnet;

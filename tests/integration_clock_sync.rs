@@ -128,6 +128,9 @@ fn repeated_sync_rounds_keep_clients_synchronized() {
     session.sync_clock(drifty);
     session.pump();
     let second_offset = session.client(drifty).sync().estimated_offset_nanos();
-    assert_ne!(first_offset, second_offset, "the new round must re-estimate the offset");
+    assert_ne!(
+        first_offset, second_offset,
+        "the new round must re-estimate the offset"
+    );
     assert!(session.client(drifty).sync().rounds_completed() >= 2);
 }

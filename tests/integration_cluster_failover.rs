@@ -1,0 +1,202 @@
+//! Cluster failover: a shard host crashes mid-token-pass and a standby
+//! recovers it from snapshot + log replay without violating the floor-state
+//! invariants (unique token holder, no double grant, suspension order
+//! preserved), deterministically in the seed.
+
+use std::time::Duration;
+
+use dmps_cluster::{
+    ClusterConfig, ClusterSim, GlobalGroupId, GlobalMemberId, GlobalRequest, ShardId,
+};
+use dmps_floor::suspend::SuspensionOrder;
+use dmps_floor::{ArbitrationOutcome, FcmMode, Member, Resource, Role};
+use dmps_simnet::{Link, SimTime};
+
+const SHARDS: usize = 4;
+const GROUPS: usize = 120;
+const MEMBERS_PER_GROUP: usize = 4;
+
+/// Builds a 4-shard cluster serving 120 Equal Control lecture groups with
+/// four members each, and schedules a round-robin of speak requests.
+fn build(seed: u64) -> (ClusterSim, Vec<GlobalGroupId>, Vec<Vec<GlobalMemberId>>) {
+    let mut sim = ClusterSim::new(ClusterConfig::with_shards(SHARDS), seed, Link::lan());
+    let mut groups = Vec::new();
+    let mut rosters = Vec::new();
+    for g in 0..GROUPS {
+        let gid = sim
+            .cluster_mut()
+            .create_group(format!("lecture-{g}"), FcmMode::EqualControl)
+            .unwrap();
+        let mut roster = Vec::new();
+        for m in 0..MEMBERS_PER_GROUP {
+            let role = if m == 0 {
+                Role::Chair
+            } else {
+                Role::Participant
+            };
+            let member = sim
+                .cluster_mut()
+                .register_member(Member::new(format!("u{g}-{m}"), role));
+            sim.cluster_mut().join_group(gid, member).unwrap();
+            roster.push(member);
+        }
+        groups.push(gid);
+        rosters.push(roster);
+    }
+    (sim, groups, rosters)
+}
+
+/// The shard state fingerprint used for determinism comparisons.
+fn fingerprint(sim: &ClusterSim, shard: ShardId) -> String {
+    dmps_wire::to_string(sim.cluster().shard(shard).arbiter())
+}
+
+fn run_crash_scenario(seed: u64) -> (ClusterSim, ShardId, GlobalGroupId, Vec<GlobalMemberId>) {
+    let (mut sim, groups, rosters) = build(seed);
+    // Traffic: every group requests, passes and releases the token in a
+    // round-robin, interleaved across shards over two simulated seconds.
+    for (i, (g, roster)) in groups.iter().zip(&rosters).enumerate() {
+        let base = SimTime::from_millis(5 * i as u64);
+        sim.submit_at(base, GlobalRequest::speak(*g, roster[0]))
+            .unwrap();
+        sim.submit_at(
+            base + Duration::from_millis(400),
+            GlobalRequest::speak(*g, roster[1]),
+        )
+        .unwrap();
+        sim.submit_at(
+            base + Duration::from_millis(800),
+            GlobalRequest::pass_floor(*g, roster[0], roster[2]),
+        )
+        .unwrap();
+        sim.submit_at(
+            base + Duration::from_millis(1_200),
+            GlobalRequest::release_floor(*g, roster[2]),
+        )
+        .unwrap();
+    }
+    // Pick the victim: the shard owning group 0, crashed mid-token-pass (the
+    // pass wave lands between 800 and 1400 ms) and recovered 250 ms later.
+    let victim_group = groups[0];
+    let victim = sim.cluster().placement(victim_group).unwrap().shard;
+    sim.schedule_crash(
+        SimTime::from_millis(1_000),
+        victim,
+        Duration::from_millis(250),
+    );
+    sim.run_to_idle();
+    (sim, victim, victim_group, rosters[0].clone())
+}
+
+#[test]
+fn cluster_serves_many_groups_across_shards() {
+    let (sim, groups, _) = build(1);
+    assert_eq!(sim.cluster().shard_count(), SHARDS);
+    assert_eq!(sim.cluster().group_count(), GROUPS);
+    // Consistent hashing spreads the groups over every shard, reasonably.
+    for s in 0..SHARDS {
+        let owned = sim.cluster().groups_on(ShardId(s)).len();
+        assert!(
+            (GROUPS / 10..GROUPS / 2).contains(&owned),
+            "shard {s} owns {owned} of {GROUPS} groups"
+        );
+    }
+    let _ = groups;
+}
+
+#[test]
+fn shard_crash_mid_token_pass_recovers_with_unique_holder() {
+    let (sim, victim, victim_group, _) = run_crash_scenario(42);
+    assert_eq!(sim.failovers(), 1);
+    // The whole cluster satisfies the floor invariants after failover.
+    sim.cluster().check_invariants().unwrap();
+    // Every group on the recovered shard has at most one token holder, and
+    // the holder is a group member (double-grant freedom).
+    let arbiter = sim.cluster().shard(victim).arbiter();
+    for (gid, token) in arbiter.tokens_iter() {
+        if let Some(holder) = token.holder() {
+            assert!(
+                arbiter.group(gid).unwrap().contains(holder),
+                "holder of {gid} must be a member"
+            );
+        }
+    }
+    // Groups on unaffected shards were fully served: token released, empty
+    // queue (the release wave went through).
+    let placement = sim.cluster().placement(victim_group).unwrap();
+    assert_eq!(placement.shard, victim);
+    // The victim shard still answered requests before the crash and after
+    // recovery.
+    assert!(!sim.latencies(victim).is_empty());
+    // Some traffic died with the host.
+    assert!(sim
+        .network()
+        .dropped()
+        .iter()
+        .any(|d| d.reason == dmps_simnet::DropReason::HostDown));
+}
+
+#[test]
+fn failover_recovery_is_deterministic_in_the_seed() {
+    let (a, victim_a, ..) = run_crash_scenario(7);
+    let (b, victim_b, ..) = run_crash_scenario(7);
+    assert_eq!(victim_a, victim_b);
+    // Same seed ⇒ byte-identical post-failover arbiter state on every shard,
+    // same decision stream, same drop record.
+    for s in 0..SHARDS {
+        assert_eq!(
+            fingerprint(&a, ShardId(s)),
+            fingerprint(&b, ShardId(s)),
+            "shard {s} state must reproduce exactly"
+        );
+    }
+    assert_eq!(a.decisions(), b.decisions());
+    assert_eq!(a.network().dropped().len(), b.network().dropped().len());
+}
+
+#[test]
+fn suspension_state_survives_failover() {
+    // Direct (in-process) cluster: degrade resources so a grant suspends
+    // lower-priority members, then crash and recover the shard.
+    let mut cluster = dmps_cluster::Cluster::new(ClusterConfig::with_shards(SHARDS));
+    let g = cluster
+        .create_group("lecture", FcmMode::FreeAccess)
+        .unwrap();
+    let shard = cluster.placement(g).unwrap().shard;
+    let teacher = cluster.register_member(Member::new("teacher", Role::Chair));
+    cluster.join_group(g, teacher).unwrap();
+    let students: Vec<_> = (0..3)
+        .map(|i| {
+            let m = cluster.register_member(Member::new(format!("s{i}"), Role::Participant));
+            cluster.join_group(g, m).unwrap();
+            m
+        })
+        .collect();
+    cluster.shard(shard).arbiter().check_invariants().unwrap();
+    cluster
+        .set_shard_resource(shard, Resource::new(0.3, 1.0, 1.0))
+        .unwrap();
+    let outcome = cluster.request(GlobalRequest::speak(g, teacher)).unwrap();
+    let ArbitrationOutcome::Granted { suspensions, .. } = &outcome else {
+        panic!("expected grant, got {outcome:?}");
+    };
+    assert!(
+        !suspensions.is_empty(),
+        "degraded resources must suspend students"
+    );
+    // Suspension priority order: only priorities below the teacher's.
+    assert!(suspensions.iter().all(|s| s.priority < 3));
+    let suspended_before: Vec<_> = cluster.shard(shard).arbiter().suspended_members().collect();
+    cluster.crash_shard(shard);
+    cluster.recover_shard(shard).unwrap();
+    let suspended_after: Vec<_> = cluster.shard(shard).arbiter().suspended_members().collect();
+    assert_eq!(
+        suspended_before, suspended_after,
+        "the suspension set (and its priority order) survives failover"
+    );
+    assert_eq!(
+        cluster.shard(shard).arbiter().suspension_order(),
+        SuspensionOrder::PriorityAscending
+    );
+    let _ = students;
+}

@@ -12,7 +12,12 @@ use dmps_simnet::{DropReason, Link, LocalClock};
 fn lecture_session(seed: u64) -> (Session, usize, usize, usize) {
     let mut session = Session::new(SessionConfig::new(seed, FcmMode::FreeAccess));
     let teacher = session.add_client("teacher", Role::Chair, Link::lan(), LocalClock::perfect());
-    let alice = session.add_client("alice", Role::Participant, Link::dsl(), LocalClock::perfect());
+    let alice = session.add_client(
+        "alice",
+        Role::Participant,
+        Link::dsl(),
+        LocalClock::perfect(),
+    );
     let bob = session.add_client("bob", Role::Participant, Link::wan(), LocalClock::perfect());
     session.pump();
     (session, teacher, alice, bob)
@@ -31,7 +36,10 @@ fn link_failure_turns_light_red_and_recovery_turns_it_green() {
             .map(|(_, green)| green)
             .unwrap()
     };
-    assert!(light_of(&session, alice_member), "green right after joining");
+    assert!(
+        light_of(&session, alice_member),
+        "green right after joining"
+    );
 
     // Figure 3c: the link drops, heartbeats stop, the light turns red.
     session.set_client_link_up(alice, false);
@@ -53,7 +61,10 @@ fn link_failure_turns_light_red_and_recovery_turns_it_green() {
     session.set_client_link_up(alice, true);
     let until = session.now() + Duration::from_secs(10);
     session.run_until(until);
-    assert!(light_of(&session, alice_member), "green again after recovery");
+    assert!(
+        light_of(&session, alice_member),
+        "green again after recovery"
+    );
 }
 
 #[test]
@@ -96,7 +107,10 @@ fn lossy_links_lose_some_content_but_the_session_survives() {
         session.pump();
         attempts += 1;
     }
-    assert!(session.member_of(flaky).is_ok(), "join should eventually succeed");
+    assert!(
+        session.member_of(flaky).is_ok(),
+        "join should eventually succeed"
+    );
     // Send a burst of teacher messages; some are lost, the rest arrive.
     for i in 0..50 {
         session.send_chat(teacher, format!("line-{i}"));
@@ -112,7 +126,12 @@ fn lossy_links_lose_some_content_but_the_session_survives() {
 fn equal_control_token_survives_a_member_disconnect() {
     let mut session = Session::new(SessionConfig::new(4, FcmMode::EqualControl));
     let teacher = session.add_client("teacher", Role::Chair, Link::lan(), LocalClock::perfect());
-    let alice = session.add_client("alice", Role::Participant, Link::dsl(), LocalClock::perfect());
+    let alice = session.add_client(
+        "alice",
+        Role::Participant,
+        Link::dsl(),
+        LocalClock::perfect(),
+    );
     session.pump();
     let alice_member = session.member_of(alice).unwrap();
     // Alice takes the floor, then her machine drops off the network.

@@ -4,8 +4,8 @@
 
 use std::time::Duration;
 
-use dmps::{Session, SessionConfig, Workload, WorkloadKind};
 use dmps::workload::WorkloadAction;
+use dmps::{Session, SessionConfig, Workload, WorkloadKind};
 use dmps_floor::{FcmMode, FloorRequest, Member, Resource, Role};
 use dmps_simnet::{Link, LocalClock};
 
@@ -92,7 +92,9 @@ fn group_discussion_and_direct_contact_stay_private() {
     let m2 = session.member_of(students[2]).unwrap();
 
     let arbiter = session.server_mut().arbiter_mut();
-    let (sub, inv) = arbiter.invite(group, m0, m1, FcmMode::GroupDiscussion).unwrap();
+    let (sub, inv) = arbiter
+        .invite(group, m0, m1, FcmMode::GroupDiscussion)
+        .unwrap();
     arbiter.respond_invitation(inv, m1, true).unwrap();
     let outcome = arbiter.arbitrate(&FloorRequest::speak(sub, m0)).unwrap();
     let speakers = match outcome {
@@ -100,9 +102,14 @@ fn group_discussion_and_direct_contact_stay_private() {
         other => panic!("expected grant, got {other:?}"),
     };
     assert!(speakers.contains(&m0) && speakers.contains(&m1));
-    assert!(!speakers.contains(&m2), "non-invited member must stay outside");
+    assert!(
+        !speakers.contains(&m2),
+        "non-invited member must stay outside"
+    );
 
-    let (pair, inv) = arbiter.invite(group, m1, m2, FcmMode::DirectContact).unwrap();
+    let (pair, inv) = arbiter
+        .invite(group, m1, m2, FcmMode::DirectContact)
+        .unwrap();
     arbiter.respond_invitation(inv, m2, true).unwrap();
     let outcome = arbiter
         .arbitrate(&FloorRequest::direct_contact(pair, m1, m2))
@@ -126,7 +133,10 @@ fn degraded_resources_suspend_students_not_the_teacher() {
         .unwrap();
     assert!(outcome.is_granted());
     assert!(!outcome.suspensions().is_empty());
-    assert!(outcome.suspensions().iter().all(|s| s.member != teacher_member));
+    assert!(outcome
+        .suspensions()
+        .iter()
+        .all(|s| s.member != teacher_member));
     // All suspended members are students.
     let student_members: Vec<_> = students
         .iter()
@@ -142,7 +152,9 @@ fn degraded_resources_suspend_students_not_the_teacher() {
 fn critical_resources_abort_and_recovery_restores_service() {
     let mut arbiter = dmps_floor::FloorArbiter::with_defaults();
     let group = arbiter.create_group("session", FcmMode::FreeAccess);
-    let m = arbiter.add_member(group, Member::new("alice", Role::Participant)).unwrap();
+    let m = arbiter
+        .add_member(group, Member::new("alice", Role::Participant))
+        .unwrap();
     arbiter.set_resource(Resource::new(0.05, 0.05, 0.05));
     let outcome = arbiter.arbitrate(&FloorRequest::speak(group, m)).unwrap();
     assert!(matches!(

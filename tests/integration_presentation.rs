@@ -12,16 +12,41 @@ use dmps_petri::dot::{to_dot, DotOptions};
 
 fn lecture() -> PresentationDocument {
     let mut doc = PresentationDocument::new("integration-lecture");
-    let video = doc.add_object(MediaObject::new("video", MediaKind::Video, Duration::from_secs(60)));
-    let audio = doc.add_object(MediaObject::new("audio", MediaKind::Audio, Duration::from_secs(60)));
-    let slides = doc.add_object(MediaObject::new("slides", MediaKind::Slide, Duration::from_secs(45)));
-    let demo = doc.add_object(MediaObject::new("demo", MediaKind::Image, Duration::from_secs(15)));
-    let quiz = doc.add_object(MediaObject::new("quiz", MediaKind::Text, Duration::from_secs(20)));
+    let video = doc.add_object(MediaObject::new(
+        "video",
+        MediaKind::Video,
+        Duration::from_secs(60),
+    ));
+    let audio = doc.add_object(MediaObject::new(
+        "audio",
+        MediaKind::Audio,
+        Duration::from_secs(60),
+    ));
+    let slides = doc.add_object(MediaObject::new(
+        "slides",
+        MediaKind::Slide,
+        Duration::from_secs(45),
+    ));
+    let demo = doc.add_object(MediaObject::new(
+        "demo",
+        MediaKind::Image,
+        Duration::from_secs(15),
+    ));
+    let quiz = doc.add_object(MediaObject::new(
+        "quiz",
+        MediaKind::Text,
+        Duration::from_secs(20),
+    ));
     doc.relate(video, TemporalRelation::Equals, audio).unwrap();
-    doc.relate(video, TemporalRelation::StartedBy, slides).unwrap();
+    doc.relate(video, TemporalRelation::StartedBy, slides)
+        .unwrap();
     doc.relate(slides, TemporalRelation::Meets, demo).unwrap();
     doc.relate(video, TemporalRelation::Meets, quiz).unwrap();
-    doc.add_interaction("mid-lecture-poll", Duration::from_secs(30), Duration::from_secs(10));
+    doc.add_interaction(
+        "mid-lecture-poll",
+        Duration::from_secs(30),
+        Duration::from_secs(10),
+    );
     doc
 }
 
@@ -31,11 +56,21 @@ fn every_model_compiles_verifies_and_completes() {
     for model in ModelKind::all() {
         let compiled = compile(&doc, &CompileOptions::new(model)).unwrap();
         let verification = verify_presentation(&compiled).unwrap();
-        assert!(verification.is_valid(), "{model} failed verification: {verification:?}");
+        assert!(
+            verification.is_valid(),
+            "{model} failed verification: {verification:?}"
+        );
         let exec = TimedExecution::run_to_completion(&compiled.net, &compiled.initial).unwrap();
-        assert_eq!(exec.makespan(), Duration::from_secs(80), "{model} nominal makespan");
+        assert_eq!(
+            exec.makespan(),
+            Duration::from_secs(80),
+            "{model} nominal makespan"
+        );
         let report = evaluate(&compiled, &exec, Duration::from_millis(50)).unwrap();
-        assert!(report.on_schedule(), "{model} must be on schedule nominally");
+        assert!(
+            report.on_schedule(),
+            "{model} must be on schedule nominally"
+        );
         assert_eq!(report.deadline_misses, 0);
     }
 }
@@ -82,10 +117,19 @@ fn late_delivery_comparison_matches_the_papers_claim() {
     let exec = TimedExecution::run_to_completion(&docpn.net, &docpn.initial).unwrap();
     let docpn_report = evaluate(&docpn, &exec, Duration::from_millis(50)).unwrap();
 
-    assert!(xocpn_report.max_stall >= delay, "XOCPN stalls at least as long as the delay");
-    assert!(xocpn_report.deadline_misses >= 2, "the stall cascades to later objects");
+    assert!(
+        xocpn_report.max_stall >= delay,
+        "XOCPN stalls at least as long as the delay"
+    );
+    assert!(
+        xocpn_report.deadline_misses >= 2,
+        "the stall cascades to later objects"
+    );
     assert!(docpn_report.on_schedule(), "DOCPN never stalls");
-    assert_eq!(docpn_report.deadline_misses, 1, "only the late object misses under DOCPN");
+    assert_eq!(
+        docpn_report.deadline_misses, 1,
+        "only the late object misses under DOCPN"
+    );
     assert!(docpn_report.priority_firings >= 1);
     assert!(docpn_report.makespan < xocpn_report.makespan);
 }
@@ -98,7 +142,10 @@ fn interaction_points_follow_user_or_timeout() {
     let exec = TimedExecution::run_to_completion(&compiled.net, &compiled.initial).unwrap();
     let (t_user, t_timeout) = compiled.interaction_transitions["mid-lecture-poll"];
     assert!(exec.firing_of(t_user).is_none());
-    assert_eq!(exec.firing_of(t_timeout).unwrap().at, Duration::from_secs(40));
+    assert_eq!(
+        exec.firing_of(t_timeout).unwrap().at,
+        Duration::from_secs(40)
+    );
 
     // User path.
     let options = CompileOptions::new(ModelKind::Docpn).with_interaction(
