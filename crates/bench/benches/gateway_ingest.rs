@@ -1,0 +1,104 @@
+//! Bench: ingest throughput of the sharded control plane as the number of
+//! concurrent gateways grows.
+//!
+//! A fixed campus (240 Equal Control groups × 3 members) is served by 8
+//! shards; each iteration pushes a speak wave plus a release wave through
+//! every group. With one gateway, a single thread routes every request and
+//! drains every decision — ingest serializes even though the 8 shard
+//! pipelines work in parallel. With 2 and 4 gateways the groups are
+//! partitioned across gateway threads, each submitting into the shared
+//! directory (`&self`, striped read locks) and draining its own decision
+//! stream. Throughput rising with the gateway count is the point of the
+//! Directory/Gateway refactor: the router lock that used to throttle
+//! multi-gateway ingest is gone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dmps_cluster::{Cluster, ClusterConfig, GlobalGroupId, GlobalMemberId, GlobalRequest};
+use dmps_floor::{FcmMode, Member, Role};
+
+const SHARDS: usize = 8;
+const GROUPS: usize = 240;
+const MEMBERS: usize = 3;
+
+fn campus() -> (Cluster, Vec<(GlobalGroupId, Vec<GlobalMemberId>)>) {
+    let mut cluster = Cluster::new(ClusterConfig {
+        shards: SHARDS,
+        vnodes: 64,
+        // Keep the shard-side work lean so the bench isolates ingest cost.
+        snapshot_every: 0,
+        dedup_window: 0,
+    });
+    let mut lectures = Vec::new();
+    for g in 0..GROUPS {
+        let gid = cluster
+            .create_group(format!("lecture-{g}"), FcmMode::EqualControl)
+            .expect("all shards active");
+        let roster: Vec<GlobalMemberId> = (0..MEMBERS)
+            .map(|m| {
+                let role = if m == 0 {
+                    Role::Chair
+                } else {
+                    Role::Participant
+                };
+                let member = cluster.register_member(Member::new(format!("u{g}-{m}"), role));
+                cluster.join_group(gid, member).expect("fresh group");
+                member
+            })
+            .collect();
+        lectures.push((gid, roster));
+    }
+    (cluster, lectures)
+}
+
+fn bench_gateway_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gateway_ingest");
+    group.sample_size(10);
+    let requests_per_iter = (GROUPS * 2 * MEMBERS) as u64;
+    for &gateways in &[1usize, 2, 4] {
+        group.throughput(Throughput::Elements(requests_per_iter));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{gateways}-gateways")),
+            &gateways,
+            |b, &gateways| {
+                let (cluster, lectures) = campus();
+                // Pre-clone one ingest handle per worker and partition the
+                // groups among them; every group is driven by exactly one
+                // gateway per iteration so its token state drains cleanly.
+                let handles: Vec<_> = (0..gateways).map(|_| cluster.gateway()).collect();
+                let slices: Vec<&[(GlobalGroupId, Vec<GlobalMemberId>)]> =
+                    lectures.chunks(lectures.len().div_ceil(gateways)).collect();
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for (gateway, slice) in handles.iter().zip(&slices) {
+                            scope.spawn(move || {
+                                let mut sent = 0usize;
+                                for (gid, roster) in *slice {
+                                    for &member in roster {
+                                        gateway
+                                            .submit(GlobalRequest::speak(*gid, member))
+                                            .expect("routable");
+                                        sent += 1;
+                                    }
+                                }
+                                for (gid, roster) in *slice {
+                                    for &member in roster {
+                                        gateway
+                                            .submit(GlobalRequest::release_floor(*gid, member))
+                                            .expect("routable");
+                                        sent += 1;
+                                    }
+                                }
+                                gateway.collect_decisions(sent).expect("pipelines alive")
+                            });
+                        }
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gateway_ingest);
+criterion_main!(benches);

@@ -22,6 +22,7 @@ fn campus(shards: usize) -> (Cluster, Vec<(GlobalGroupId, Vec<GlobalMemberId>)>)
         shards,
         vnodes: 64,
         snapshot_every: 128,
+        dedup_window: 1024,
     });
     let mut lectures = Vec::new();
     for g in 0..GROUPS {

@@ -1,25 +1,38 @@
-//! The federation: a consistent-hash router over many shards.
+//! The federation: a shared directory plus per-shard worker pipelines, with
+//! [`Cluster`] as the single-caller façade.
 //!
-//! The [`Cluster`] owns the shard set, the group/member directory, and the
-//! per-shard request batches. Groups are placed by consistent hashing on
-//! their [`GlobalGroupId`]; requests are translated to the owning shard's
-//! dense local ids, batched per shard, and applied in submission order —
-//! either sequentially ([`Cluster::flush`]) or with one worker per shard
-//! ([`Cluster::flush_parallel`], the scaling path the `shard_scaling` bench
-//! measures).
+//! The concurrent machinery lives in the crate-private `Core`: a
+//! [`Directory`] of placements/membership taken by `&self`, and one
+//! persistent worker thread per shard draining an MPSC command queue (the
+//! `worker` module). Any number of [`Gateway`] handles —
+//! each a clone holding the same `Arc<Core>` — submit floor requests
+//! concurrently; requests are translated to the owning shard's dense local
+//! ids, queued to that shard's worker, and decisions stream back to the
+//! submitting gateway.
+//!
+//! [`Cluster`] wraps one default gateway behind the original single-threaded
+//! API so pre-refactor call sites migrate mechanically: `submit` + `flush`
+//! still return decisions sorted by submission order, `request` still
+//! round-trips synchronously. `flush` and `flush_parallel` are now the same
+//! operation — every shard always works in parallel behind its queue — and
+//! both merely await the decisions of this façade's outstanding submissions.
 
-use std::collections::BTreeMap;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, RwLock};
 
 use dmps_floor::arbiter::ArbiterStats;
 use dmps_floor::snapshot::EventOutcome;
 use dmps_floor::{
-    ArbiterEvent, ArbitrationOutcome, FcmMode, FloorRequest, GroupId, InvitationStatus, Member,
-    MemberId, RequestKind, Resource,
+    ArbiterEvent, ArbitrationOutcome, FcmMode, FloorArbiter, FloorRequest, GroupId,
+    InvitationStatus, Member, MemberId, RequestKind, Resource,
 };
 
+use crate::directory::{ClusterInvitation, Directory, GroupPlacement, MemberRecord};
 use crate::error::{ClusterError, Result};
+use crate::gateway::Gateway;
 use crate::ring::{HashRing, ShardId};
-use crate::shard::{GlobalGroupId, GlobalMemberId, Shard};
+use crate::shard::{GlobalGroupId, GlobalMemberId, Shard, ShardView};
+use crate::worker::{ShardCommand, ShardWorker};
 
 /// Sizing and durability knobs of a cluster.
 #[derive(Debug, Clone, Copy)]
@@ -30,6 +43,9 @@ pub struct ClusterConfig {
     pub vnodes: usize,
     /// Snapshot cadence per shard (events between snapshots; 0 disables).
     pub snapshot_every: u64,
+    /// Per-shard dedup window: how many recent decisions a shard remembers
+    /// to answer gateway retries idempotently (0 disables dedup).
+    pub dedup_window: usize,
 }
 
 impl ClusterConfig {
@@ -39,41 +55,9 @@ impl ClusterConfig {
             shards,
             vnodes: 64,
             snapshot_every: 256,
+            dedup_window: 1024,
         }
     }
-}
-
-/// Where a group currently lives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct GroupPlacement {
-    /// The owning shard.
-    pub shard: ShardId,
-    /// The group's dense id inside that shard's arbiter.
-    pub local: GroupId,
-    /// The parent group for sub-groups spawned by invitation (may live on a
-    /// different shard — that is the point of cross-shard invitations).
-    pub parent: Option<GlobalGroupId>,
-}
-
-#[derive(Debug, Clone)]
-struct MemberRecord {
-    template: Member,
-    /// The member's dense id on every shard it has been instantiated on.
-    locals: BTreeMap<ShardId, MemberId>,
-}
-
-/// A cluster-level invitation (parent and sub-group may be on different
-/// shards).
-#[derive(Debug, Clone, PartialEq)]
-pub struct ClusterInvitation {
-    /// The inviting member.
-    pub from: GlobalMemberId,
-    /// The invited member.
-    pub to: GlobalMemberId,
-    /// The sub-group spawned for the invitation.
-    pub subgroup: GlobalGroupId,
-    /// Current status.
-    pub status: InvitationStatus,
 }
 
 /// A floor request addressed with cluster-wide ids.
@@ -151,78 +135,576 @@ pub enum GlobalRequestKind {
 /// The arbitration decision for one submitted request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Decision {
-    /// Submission sequence number (from [`Cluster::submit`]).
+    /// The request id ([`Gateway::submit`](crate::Gateway::submit) /
+    /// [`Cluster::submit`] sequence number).
     pub seq: u64,
     /// The group the request addressed.
     pub group: GlobalGroupId,
     /// The outcome, or the routing/shard error that prevented arbitration.
     pub outcome: Result<ArbitrationOutcome>,
+    /// Whether the decision was answered from the shard's dedup window (a
+    /// retry of an already-applied request) rather than freshly arbitrated.
+    pub replayed: bool,
 }
 
-/// The sharded multi-arbiter control plane.
+/// What [`Cluster::rebalance_idle`] did: which groups moved and which are
+/// pinned for now.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RebalanceReport {
+    /// Groups migrated to their new ring placement.
+    pub migrated: Vec<GlobalGroupId>,
+    /// Groups whose ring placement changed but which could not move yet —
+    /// floor-active (token held or requesters queued) or with a failed
+    /// source/target shard. Retry after the floor is released or the shard
+    /// recovers; groundwork for a future two-phase live handoff.
+    pub deferred: Vec<GlobalGroupId>,
+}
+
+/// The concurrent heart of the control plane: the shared [`Directory`] and
+/// the per-shard worker queues. Shared via `Arc` by every [`Gateway`] and the
+/// [`Cluster`] façade.
+#[derive(Debug)]
+pub(crate) struct Core {
+    config: ClusterConfig,
+    directory: Directory,
+    workers: RwLock<Vec<ShardWorker>>,
+}
+
+impl Core {
+    pub(crate) fn new(config: ClusterConfig) -> Self {
+        let ring = HashRing::new(config.shards, config.vnodes);
+        let workers = (0..config.shards)
+            .map(|i| {
+                ShardWorker::spawn(Shard::new(
+                    ShardId(i),
+                    config.snapshot_every,
+                    config.dedup_window,
+                ))
+            })
+            .collect();
+        Core {
+            config,
+            directory: Directory::new(ring),
+            workers: RwLock::new(workers),
+        }
+    }
+
+    pub(crate) fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.workers.read().expect("workers lock").len()
+    }
+
+    /// Runs `f` on the worker thread owning `shard` and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range id (shard ids come from this cluster).
+    pub(crate) fn with_shard<R: Send + 'static>(
+        &self,
+        shard: ShardId,
+        f: impl FnOnce(&mut Shard) -> R + Send + 'static,
+    ) -> R {
+        let (tx, rx) = channel();
+        {
+            let workers = self.workers.read().expect("workers lock");
+            let worker = workers
+                .get(shard.0)
+                .unwrap_or_else(|| panic!("shard {shard} out of range"));
+            worker.send(ShardCommand::With(Box::new(move |s| {
+                let _ = tx.send(f(s));
+            })));
+        }
+        rx.recv().expect("shard worker answers")
+    }
+
+    /// Translates a global request to the owning shard's local ids.
+    fn translate(&self, request: &GlobalRequest) -> Result<(GroupPlacement, FloorRequest)> {
+        let placement = self.directory.placement(request.group)?;
+        let member = self
+            .directory
+            .local_member(request.member, placement.shard)?;
+        let kind = match request.kind {
+            GlobalRequestKind::Speak => RequestKind::Speak,
+            GlobalRequestKind::ReleaseFloor => RequestKind::ReleaseFloor,
+            GlobalRequestKind::PassFloor { to } => RequestKind::PassFloor {
+                to: self.directory.local_member(to, placement.shard)?,
+            },
+            GlobalRequestKind::DirectContact { to } => RequestKind::DirectContact {
+                to: self.directory.local_member(to, placement.shard)?,
+            },
+        };
+        Ok((
+            placement,
+            FloorRequest {
+                group: placement.local,
+                member,
+                kind,
+            },
+        ))
+    }
+
+    /// Routes a request to its shard queue under the given request id; the
+    /// decision will stream to `reply`.
+    pub(crate) fn submit_as(
+        &self,
+        seq: u64,
+        request: GlobalRequest,
+        reply: Sender<Decision>,
+    ) -> Result<()> {
+        let (placement, local) = self.translate(&request)?;
+        let workers = self.workers.read().expect("workers lock");
+        workers[placement.shard.0].send(ShardCommand::Request {
+            seq,
+            group: request.group,
+            request: local,
+            reply,
+        });
+        Ok(())
+    }
+
+    /// Synchronously arbitrates under the given request id, returning the
+    /// outcome and whether it was replayed from the dedup window.
+    pub(crate) fn request_as(
+        &self,
+        seq: u64,
+        request: GlobalRequest,
+    ) -> Result<(ArbitrationOutcome, bool)> {
+        let (tx, rx) = channel();
+        self.submit_as(seq, request, tx)?;
+        let decision = rx.recv().map_err(|_| ClusterError::Disconnected)?;
+        decision.outcome.map(|o| (o, decision.replayed))
+    }
+
+    pub(crate) fn request(&self, request: GlobalRequest) -> Result<ArbitrationOutcome> {
+        self.request_as(self.directory.alloc_seq(), request)
+            .map(|(outcome, _)| outcome)
+    }
+
+    // ----- membership and groups -------------------------------------------
+
+    fn create_group_on(
+        &self,
+        id: GlobalGroupId,
+        shard: ShardId,
+        name: String,
+        mode: FcmMode,
+        parent: Option<GlobalGroupId>,
+    ) -> Result<()> {
+        let outcome = self.with_shard(shard, move |s| {
+            s.apply(ArbiterEvent::CreateGroup { name, mode })
+        })?;
+        let EventOutcome::GroupCreated(local) = outcome else {
+            unreachable!("CreateGroup yields GroupCreated");
+        };
+        self.directory.place_group(
+            id,
+            GroupPlacement {
+                shard,
+                local,
+                parent,
+            },
+        );
+        Ok(())
+    }
+
+    pub(crate) fn create_group(&self, name: String, mode: FcmMode) -> Result<GlobalGroupId> {
+        let id = GlobalGroupId(self.directory.alloc_group());
+        let shard = self.directory.shard_for(id.0);
+        self.create_group_on(id, shard, name, mode, None)?;
+        Ok(id)
+    }
+
+    /// Ensures the member exists on the shard (instantiating it into `group`
+    /// if it is new there) and returns its local id.
+    ///
+    /// The member's directory stripe stays write-locked across the AddMember
+    /// round-trip so two gateways racing to instantiate the same member
+    /// cannot register it twice; shard workers never take directory locks,
+    /// so no cycle can form.
+    fn ensure_on_shard(
+        &self,
+        member: GlobalMemberId,
+        shard: ShardId,
+        group: GroupId,
+    ) -> Result<MemberId> {
+        let stripe = self.directory.member_stripe(member);
+        let mut guard = stripe.write().expect("member stripe");
+        let record: &mut MemberRecord = guard
+            .get_mut(&member)
+            .ok_or(ClusterError::UnknownMember(member))?;
+        if let Some(&local) = record.locals.get(&shard) {
+            drop(guard);
+            self.with_shard(shard, move |s| {
+                s.apply(ArbiterEvent::JoinGroup {
+                    group,
+                    member: local,
+                })
+            })?;
+            return Ok(local);
+        }
+        let template = record.template.clone();
+        let outcome = self.with_shard(shard, move |s| {
+            s.apply(ArbiterEvent::AddMember {
+                group,
+                member: template,
+            })
+        })?;
+        let EventOutcome::MemberAdded(local) = outcome else {
+            unreachable!("AddMember yields MemberAdded");
+        };
+        // Reverse mapping first: the invariant "every forward `locals` entry
+        // has its reverse mapping" must hold at every instant a concurrent
+        // `check_invariants` can observe.
+        self.directory.record_local(shard, local, member);
+        record.locals.insert(shard, local);
+        drop(guard);
+        Ok(local)
+    }
+
+    pub(crate) fn join_group(&self, group: GlobalGroupId, member: GlobalMemberId) -> Result<()> {
+        let placement = self.directory.placement(group)?;
+        self.ensure_on_shard(member, placement.shard, placement.local)?;
+        Ok(())
+    }
+
+    pub(crate) fn leave_group(&self, group: GlobalGroupId, member: GlobalMemberId) -> Result<()> {
+        let placement = self.directory.placement(group)?;
+        let local = self.directory.local_member(member, placement.shard)?;
+        self.with_shard(placement.shard, move |s| {
+            s.apply(ArbiterEvent::LeaveGroup {
+                group: placement.local,
+                member: local,
+            })
+        })?;
+        Ok(())
+    }
+
+    pub(crate) fn set_shard_resource(&self, shard: ShardId, resource: Resource) -> Result<()> {
+        self.with_shard(shard, move |s| {
+            s.apply(ArbiterEvent::SetResource { resource })
+        })?;
+        Ok(())
+    }
+
+    // ----- cross-shard invitations -----------------------------------------
+
+    pub(crate) fn invite(
+        &self,
+        parent: GlobalGroupId,
+        from: GlobalMemberId,
+        to: GlobalMemberId,
+        mode: FcmMode,
+        target: Option<ShardId>,
+    ) -> Result<(GlobalGroupId, u64)> {
+        let parent_placement = self.directory.placement(parent)?;
+        let parent_local = parent_placement.local;
+        // Membership checks against the parent shard's arbiter.
+        let locals = [
+            self.directory.local_member(from, parent_placement.shard)?,
+            self.directory.local_member(to, parent_placement.shard)?,
+        ];
+        self.with_shard(parent_placement.shard, move |s| -> Result<()> {
+            let parent_group = s.arbiter().group(parent_local)?;
+            for local in locals {
+                if !parent_group.contains(local) {
+                    return Err(ClusterError::Floor(dmps_floor::FloorError::NotAMember {
+                        member: local,
+                        group: parent_local,
+                    }));
+                }
+            }
+            Ok(())
+        })?;
+        let sub = GlobalGroupId(self.directory.alloc_group());
+        let shard = target.unwrap_or_else(|| self.directory.shard_for(sub.0));
+        let from_name = self.directory.member_name(from)?;
+        self.create_group_on(
+            sub,
+            shard,
+            format!("{from_name}-{mode}"),
+            mode,
+            Some(parent),
+        )?;
+        // The inviter joins (and chairs, by first-join convention) the
+        // sub-group immediately; the invitee joins on acceptance.
+        let placement = self.directory.placement(sub)?;
+        self.ensure_on_shard(from, placement.shard, placement.local)?;
+        let invitation = self.directory.push_invitation(ClusterInvitation {
+            from,
+            to,
+            subgroup: sub,
+            status: InvitationStatus::Pending,
+        });
+        Ok((sub, invitation))
+    }
+
+    pub(crate) fn respond_invitation(
+        &self,
+        invitation: u64,
+        responder: GlobalMemberId,
+        accept: bool,
+    ) -> Result<InvitationStatus> {
+        // The invitations lock is held across the join so two racing answers
+        // serialize; join only takes member-stripe and worker resources,
+        // never the invitations lock again.
+        self.directory
+            .with_invitations_mut(|invitations| -> Result<InvitationStatus> {
+                let inv = invitations
+                    .get(invitation as usize)
+                    .cloned()
+                    .ok_or(ClusterError::UnknownInvitation(invitation))?;
+                if inv.to != responder {
+                    return Err(ClusterError::NotTheInvitee(responder));
+                }
+                if inv.status != InvitationStatus::Pending {
+                    return Err(ClusterError::AlreadyAnswered(invitation));
+                }
+                let status = if accept {
+                    self.join_group(inv.subgroup, responder)?;
+                    InvitationStatus::Accepted
+                } else {
+                    InvitationStatus::Declined
+                };
+                invitations[invitation as usize].status = status;
+                Ok(status)
+            })
+    }
+
+    // ----- failure, recovery, scale-out ------------------------------------
+
+    pub(crate) fn crash_shard(&self, shard: ShardId) {
+        self.with_shard(shard, |s| s.crash());
+    }
+
+    pub(crate) fn recover_shard(&self, shard: ShardId) -> Result<()> {
+        self.with_shard(shard, |s| s.recover())
+    }
+
+    pub(crate) fn is_shard_active(&self, shard: ShardId) -> bool {
+        self.with_shard(shard, |s| s.is_active())
+    }
+
+    pub(crate) fn arbiter(&self, shard: ShardId) -> FloorArbiter {
+        self.with_shard(shard, |s| s.arbiter().clone())
+    }
+
+    pub(crate) fn shard_view(&self, shard: ShardId) -> ShardView {
+        self.with_shard(shard, |s| s.view())
+    }
+
+    pub(crate) fn shard_stats(&self) -> Vec<(ShardId, ArbiterStats)> {
+        (0..self.shard_count())
+            .map(|i| (ShardId(i), self.shard_view(ShardId(i)).stats))
+            .collect()
+    }
+
+    pub(crate) fn add_shard(&self) -> ShardId {
+        let mut workers = self.workers.write().expect("workers lock");
+        let id = self.directory.grow_ring();
+        debug_assert_eq!(id.0, workers.len());
+        workers.push(ShardWorker::spawn(Shard::new(
+            id,
+            self.config.snapshot_every,
+            self.config.dedup_window,
+        )));
+        id
+    }
+
+    pub(crate) fn rebalance_idle(&self) -> Result<RebalanceReport> {
+        let candidates: Vec<(GlobalGroupId, GroupPlacement, ShardId)> = self
+            .directory
+            .placements_snapshot()
+            .into_iter()
+            .filter_map(|(g, p)| {
+                let target = self.directory.shard_for(g.0);
+                (target != p.shard).then_some((g, p, target))
+            })
+            .collect();
+        let mut report = RebalanceReport::default();
+        for (group, placement, target) in candidates {
+            if !self.is_shard_active(placement.shard) || !self.is_shard_active(target) {
+                report.deferred.push(group);
+                continue;
+            }
+            let local = placement.local;
+            // One worker round-trip inspects the floor state and, when idle,
+            // captures the roster atomically with respect to that shard.
+            let idle_roster: Result<Option<(String, FcmMode, Vec<MemberId>)>> =
+                self.with_shard(placement.shard, move |s| {
+                    let token = s.arbiter().token(local)?;
+                    if token.holder().is_some() || token.queue_len() > 0 {
+                        return Ok(None); // pinned: active floor state
+                    }
+                    let old = s.arbiter().group(local)?;
+                    Ok(Some((
+                        old.name.clone(),
+                        old.mode,
+                        old.members().collect::<Vec<_>>(),
+                    )))
+                });
+            let Some((name, mode, locals)) = idle_roster? else {
+                report.deferred.push(group);
+                continue;
+            };
+            // Map the group's local members back to global ids.
+            let roster: Vec<GlobalMemberId> = locals
+                .iter()
+                .filter_map(|&m| self.directory.global_of(placement.shard, m))
+                .collect();
+            // Re-create on the target shard and move the roster over.
+            self.create_group_on(group, target, name, mode, placement.parent)?;
+            let new_local = self.directory.placement(group)?.local;
+            for member in &roster {
+                self.ensure_on_shard(*member, target, new_local)?;
+            }
+            // Empty the husk on the old shard so stale routing fails closed.
+            for member in &roster {
+                let local_id = self.directory.local_member(*member, placement.shard)?;
+                self.with_shard(placement.shard, move |s| {
+                    s.apply(ArbiterEvent::LeaveGroup {
+                        group: local,
+                        member: local_id,
+                    })
+                })?;
+            }
+            // The group's slice of the decision journal follows it, so a
+            // gateway retry of a pre-migration request id still replays on
+            // the new owner instead of double-applying.
+            let journal = self.with_shard(placement.shard, move |s| s.extract_dedup(group));
+            if !journal.is_empty() {
+                self.with_shard(target, move |s| s.install_dedup(group, journal));
+            }
+            report.migrated.push(group);
+        }
+        Ok(report)
+    }
+
+    // ----- invariants -------------------------------------------------------
+
+    pub(crate) fn check_invariants(&self) -> std::result::Result<(), String> {
+        // Snapshot order matters under concurrent mutation: directory
+        // snapshots are taken *before* the arbiters are cloned. A group's
+        // arbiter-side state always exists before its directory entry (and a
+        // member's reverse mapping before its forward entry), so everything
+        // the snapshots reference is guaranteed to be visible in the
+        // later-cloned arbiters — a concurrent `create_group`/`join_group`
+        // can therefore never produce a spurious violation.
+        let placements = self.directory.placements_snapshot();
+        let members = self.directory.members_snapshot();
+        let shard_count = self.shard_count();
+        let mut arbiters = Vec::with_capacity(shard_count);
+        for i in 0..shard_count {
+            let shard = ShardId(i);
+            arbiters.push((
+                shard,
+                self.with_shard(shard, |s| (s.is_active(), s.arbiter().clone())),
+            ));
+        }
+        for (shard, (active, arbiter)) in &arbiters {
+            if *active {
+                arbiter
+                    .check_invariants()
+                    .map_err(|e| format!("{shard}: {e}"))?;
+            }
+        }
+        for (g, p) in placements {
+            // `get`, not an index: a shard added after the placements
+            // snapshot would be missing from `arbiters`.
+            let Some((_, (active, arbiter))) = arbiters.get(p.shard.0) else {
+                continue;
+            };
+            if *active && arbiter.group(p.local).is_err() {
+                return Err(format!(
+                    "directory entry {g} points at missing {:?}",
+                    p.local
+                ));
+            }
+        }
+        for (m, locals) in members {
+            for (shard, local) in locals {
+                if self.directory.global_of(shard, local) != Some(m) {
+                    return Err(format!("reverse directory mismatch for {m} on {shard}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The sharded multi-arbiter control plane, single-caller façade.
+///
+/// For concurrent multi-gateway ingest, clone the handle returned by
+/// [`Cluster::gateway`] — every clone shares this cluster's directory and
+/// shard pipelines but streams decisions to its own channel.
 #[derive(Debug)]
 pub struct Cluster {
-    config: ClusterConfig,
-    ring: HashRing,
-    shards: Vec<Shard>,
-    groups: BTreeMap<GlobalGroupId, GroupPlacement>,
-    members: BTreeMap<GlobalMemberId, MemberRecord>,
-    /// Reverse directory: which global member a shard-local id belongs to.
-    locals: BTreeMap<(ShardId, MemberId), GlobalMemberId>,
-    invitations: Vec<ClusterInvitation>,
-    batches: Vec<Vec<(u64, GlobalGroupId, FloorRequest)>>,
-    next_group: u64,
-    next_member: u64,
-    next_seq: u64,
+    core: Arc<Core>,
+    gateway: Gateway,
+    /// Requests submitted through this façade whose decisions have not been
+    /// collected by a flush yet.
+    pending: usize,
 }
 
 impl Cluster {
-    /// Builds a cluster of `config.shards` active shards.
+    /// Builds a cluster of `config.shards` active shards, spawning one
+    /// persistent worker thread per shard.
     pub fn new(config: ClusterConfig) -> Self {
-        let ring = HashRing::new(config.shards, config.vnodes);
-        let shards = (0..config.shards)
-            .map(|i| Shard::new(ShardId(i), config.snapshot_every))
-            .collect::<Vec<_>>();
-        let batches = (0..config.shards).map(|_| Vec::new()).collect();
+        let core = Arc::new(Core::new(config));
+        let gateway = Gateway::new(core.clone());
         Cluster {
-            config,
-            ring,
-            shards,
-            groups: BTreeMap::new(),
-            members: BTreeMap::new(),
-            locals: BTreeMap::new(),
-            invitations: Vec::new(),
-            batches,
-            next_group: 0,
-            next_member: 0,
-            next_seq: 0,
+            core,
+            gateway,
+            pending: 0,
         }
+    }
+
+    /// A fresh concurrent ingest handle onto this cluster (each handle
+    /// receives its own decision stream; clone it for more). Deliberately
+    /// *not* a borrow of the façade's internal gateway: submissions on that
+    /// channel would desynchronize the [`Cluster::pending_requests`]
+    /// accounting [`Cluster::flush`] relies on.
+    pub fn gateway(&self) -> Gateway {
+        self.gateway.clone()
     }
 
     // ----- introspection ----------------------------------------------------
 
     /// Number of shards (active or failed).
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.core.shard_count()
     }
 
     /// Number of groups in the directory.
     pub fn group_count(&self) -> usize {
-        self.groups.len()
+        self.core.directory().group_count()
     }
 
     /// Number of registered members.
     pub fn member_count(&self) -> usize {
-        self.members.len()
+        self.core.directory().member_count()
     }
 
-    /// The shard with the given id.
+    /// An owned copy of the shard's arbiter, for inspection. The shard's
+    /// state lives on its worker thread, so inspection clones it out rather
+    /// than borrowing.
     ///
     /// # Panics
     ///
     /// Panics for an out-of-range id (shard ids come from this cluster).
-    pub fn shard(&self, id: ShardId) -> &Shard {
-        &self.shards[id.0]
+    pub fn arbiter(&self, shard: ShardId) -> FloorArbiter {
+        self.core.arbiter(shard)
+    }
+
+    /// Health and counters of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range id (shard ids come from this cluster).
+    pub fn shard_view(&self, shard: ShardId) -> ShardView {
+        self.core.shard_view(shard)
     }
 
     /// Where a group currently lives.
@@ -231,27 +713,26 @@ impl Cluster {
     ///
     /// Returns [`ClusterError::UnknownGroup`] for an unknown id.
     pub fn placement(&self, group: GlobalGroupId) -> Result<GroupPlacement> {
-        self.groups
-            .get(&group)
-            .copied()
-            .ok_or(ClusterError::UnknownGroup(group))
+        self.core.directory().placement(group)
+    }
+
+    /// The member's dense id on a shard, if instantiated there.
+    ///
+    /// # Errors
+    ///
+    /// Returns unknown-member / not-on-shard errors.
+    pub fn local_member(&self, member: GlobalMemberId, shard: ShardId) -> Result<MemberId> {
+        self.core.directory().local_member(member, shard)
     }
 
     /// Aggregate floor statistics per shard.
     pub fn shard_stats(&self) -> Vec<(ShardId, ArbiterStats)> {
-        self.shards
-            .iter()
-            .map(|s| (s.id(), s.arbiter().stats()))
-            .collect()
+        self.core.shard_stats()
     }
 
     /// Every group owned by a shard.
     pub fn groups_on(&self, shard: ShardId) -> Vec<GlobalGroupId> {
-        self.groups
-            .iter()
-            .filter(|(_, p)| p.shard == shard)
-            .map(|(&g, _)| g)
-            .collect()
+        self.core.directory().groups_on(shard)
     }
 
     /// The cluster-level invitation with the given id.
@@ -259,10 +740,8 @@ impl Cluster {
     /// # Errors
     ///
     /// Returns [`ClusterError::UnknownInvitation`] for an unknown id.
-    pub fn invitation(&self, id: u64) -> Result<&ClusterInvitation> {
-        self.invitations
-            .get(id as usize)
-            .ok_or(ClusterError::UnknownInvitation(id))
+    pub fn invitation(&self, id: u64) -> Result<ClusterInvitation> {
+        self.core.directory().invitation(id)
     }
 
     // ----- membership and groups -------------------------------------------
@@ -270,16 +749,7 @@ impl Cluster {
     /// Registers a member with the cluster directory. The member is
     /// instantiated on shards lazily, the first time it joins a group there.
     pub fn register_member(&mut self, template: Member) -> GlobalMemberId {
-        let id = GlobalMemberId(self.next_member);
-        self.next_member += 1;
-        self.members.insert(
-            id,
-            MemberRecord {
-                template,
-                locals: BTreeMap::new(),
-            },
-        );
-        id
+        self.core.directory().register_member(template)
     }
 
     /// Creates a top-level group, placed by consistent hashing.
@@ -292,73 +762,7 @@ impl Cluster {
         name: impl Into<String>,
         mode: FcmMode,
     ) -> Result<GlobalGroupId> {
-        let id = GlobalGroupId(self.next_group);
-        let shard = self.ring.shard_for(id.0);
-        self.create_group_on(id, shard, name, mode, None)?;
-        self.next_group += 1;
-        Ok(id)
-    }
-
-    fn create_group_on(
-        &mut self,
-        id: GlobalGroupId,
-        shard: ShardId,
-        name: impl Into<String>,
-        mode: FcmMode,
-        parent: Option<GlobalGroupId>,
-    ) -> Result<()> {
-        let outcome = self.shards[shard.0].apply(ArbiterEvent::CreateGroup {
-            name: name.into(),
-            mode,
-        })?;
-        let EventOutcome::GroupCreated(local) = outcome else {
-            unreachable!("CreateGroup yields GroupCreated");
-        };
-        self.groups.insert(
-            id,
-            GroupPlacement {
-                shard,
-                local,
-                parent,
-            },
-        );
-        Ok(())
-    }
-
-    /// Ensures the member exists on the shard (instantiating it into `group`
-    /// if it is new there) and returns its local id.
-    fn ensure_on_shard(
-        &mut self,
-        member: GlobalMemberId,
-        shard: ShardId,
-        group: GroupId,
-    ) -> Result<MemberId> {
-        let record = self
-            .members
-            .get(&member)
-            .ok_or(ClusterError::UnknownMember(member))?;
-        if let Some(&local) = record.locals.get(&shard) {
-            self.shards[shard.0].apply(ArbiterEvent::JoinGroup {
-                group,
-                member: local,
-            })?;
-            return Ok(local);
-        }
-        let template = record.template.clone();
-        let outcome = self.shards[shard.0].apply(ArbiterEvent::AddMember {
-            group,
-            member: template,
-        })?;
-        let EventOutcome::MemberAdded(local) = outcome else {
-            unreachable!("AddMember yields MemberAdded");
-        };
-        self.members
-            .get_mut(&member)
-            .expect("checked above")
-            .locals
-            .insert(shard, local);
-        self.locals.insert((shard, local), member);
-        Ok(local)
+        self.core.create_group(name.into(), mode)
     }
 
     /// Adds a member to a group (instantiating it on the owning shard if
@@ -368,9 +772,7 @@ impl Cluster {
     ///
     /// Returns unknown-id and shard-down errors.
     pub fn join_group(&mut self, group: GlobalGroupId, member: GlobalMemberId) -> Result<()> {
-        let placement = self.placement(group)?;
-        self.ensure_on_shard(member, placement.shard, placement.local)?;
-        Ok(())
+        self.core.join_group(group, member)
     }
 
     /// Removes a member from a group.
@@ -379,23 +781,7 @@ impl Cluster {
     ///
     /// Returns unknown-id and shard-down errors.
     pub fn leave_group(&mut self, group: GlobalGroupId, member: GlobalMemberId) -> Result<()> {
-        let placement = self.placement(group)?;
-        let local = self.local_member(member, placement.shard)?;
-        self.shards[placement.shard.0].apply(ArbiterEvent::LeaveGroup {
-            group: placement.local,
-            member: local,
-        })?;
-        Ok(())
-    }
-
-    fn local_member(&self, member: GlobalMemberId, shard: ShardId) -> Result<MemberId> {
-        self.members
-            .get(&member)
-            .ok_or(ClusterError::UnknownMember(member))?
-            .locals
-            .get(&shard)
-            .copied()
-            .ok_or(ClusterError::NotOnShard { member, shard })
+        self.core.leave_group(group, member)
     }
 
     /// Updates the resource snapshot of one shard (each shard host measures
@@ -405,8 +791,7 @@ impl Cluster {
     ///
     /// Returns [`ClusterError::ShardDown`] when the shard is failed.
     pub fn set_shard_resource(&mut self, shard: ShardId, resource: Resource) -> Result<()> {
-        self.shards[shard.0].apply(ArbiterEvent::SetResource { resource })?;
-        Ok(())
+        self.core.set_shard_resource(shard, resource)
     }
 
     // ----- cross-shard invitations -----------------------------------------
@@ -432,49 +817,7 @@ impl Cluster {
         mode: FcmMode,
         target: Option<ShardId>,
     ) -> Result<(GlobalGroupId, u64)> {
-        let parent_placement = self.placement(parent)?;
-        // Membership checks against the parent shard's arbiter.
-        let parent_group = self.shards[parent_placement.shard.0]
-            .arbiter()
-            .group(parent_placement.local)?;
-        for party in [from, to] {
-            let local = self.local_member(party, parent_placement.shard)?;
-            if !parent_group.contains(local) {
-                return Err(ClusterError::Floor(dmps_floor::FloorError::NotAMember {
-                    member: local,
-                    group: parent_placement.local,
-                }));
-            }
-        }
-        let sub = GlobalGroupId(self.next_group);
-        let shard = target.unwrap_or_else(|| self.ring.shard_for(sub.0));
-        let from_name = self
-            .members
-            .get(&from)
-            .expect("membership checked")
-            .template
-            .name
-            .clone();
-        self.create_group_on(
-            sub,
-            shard,
-            format!("{from_name}-{mode}"),
-            mode,
-            Some(parent),
-        )?;
-        self.next_group += 1;
-        // The inviter joins (and chairs, by first-join convention) the
-        // sub-group immediately; the invitee joins on acceptance.
-        let placement = self.groups[&sub];
-        self.ensure_on_shard(from, placement.shard, placement.local)?;
-        let invitation = self.invitations.len() as u64;
-        self.invitations.push(ClusterInvitation {
-            from,
-            to,
-            subgroup: sub,
-            status: InvitationStatus::Pending,
-        });
-        Ok((sub, invitation))
+        self.core.invite(parent, from, to, mode, target)
     }
 
     /// The invitee answers a cluster-level invitation; accepting joins them
@@ -491,69 +834,32 @@ impl Cluster {
         responder: GlobalMemberId,
         accept: bool,
     ) -> Result<InvitationStatus> {
-        let inv = self
-            .invitations
-            .get(invitation as usize)
-            .cloned()
-            .ok_or(ClusterError::UnknownInvitation(invitation))?;
-        if inv.to != responder {
-            return Err(ClusterError::NotTheInvitee(responder));
-        }
-        if inv.status != InvitationStatus::Pending {
-            return Err(ClusterError::AlreadyAnswered(invitation));
-        }
-        let status = if accept {
-            self.join_group(inv.subgroup, responder)?;
-            InvitationStatus::Accepted
-        } else {
-            InvitationStatus::Declined
-        };
-        self.invitations[invitation as usize].status = status;
-        Ok(status)
+        self.core.respond_invitation(invitation, responder, accept)
     }
 
-    // ----- request routing and batching ------------------------------------
+    // ----- request routing --------------------------------------------------
 
-    /// Translates a global request to the owning shard's local ids.
-    fn translate(&self, request: &GlobalRequest) -> Result<(GroupPlacement, FloorRequest)> {
-        let placement = self.placement(request.group)?;
-        let member = self.local_member(request.member, placement.shard)?;
-        let kind = match request.kind {
-            GlobalRequestKind::Speak => RequestKind::Speak,
-            GlobalRequestKind::ReleaseFloor => RequestKind::ReleaseFloor,
-            GlobalRequestKind::PassFloor { to } => RequestKind::PassFloor {
-                to: self.local_member(to, placement.shard)?,
-            },
-            GlobalRequestKind::DirectContact { to } => RequestKind::DirectContact {
-                to: self.local_member(to, placement.shard)?,
-            },
-        };
-        Ok((
-            placement,
-            FloorRequest {
-                group: placement.local,
-                member,
-                kind,
-            },
-        ))
+    /// Allocates a cluster-unique request id without submitting anything —
+    /// for callers (like the network simulator's gateway) that transport
+    /// requests out-of-band and need idempotency keys for retries.
+    pub fn allocate_request_id(&self) -> u64 {
+        self.core.directory().alloc_seq()
     }
 
-    /// Enqueues a request into the owning shard's batch and returns its
-    /// submission sequence number. Nothing is arbitrated until
+    /// Routes a request to its owning shard's worker queue and returns its
+    /// request id. The decision streams back asynchronously; collect it with
     /// [`Cluster::flush`] / [`Cluster::flush_parallel`].
     ///
     /// # Errors
     ///
     /// Returns unknown-id errors when the request cannot be routed.
     pub fn submit(&mut self, request: GlobalRequest) -> Result<u64> {
-        let (placement, local) = self.translate(&request)?;
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.batches[placement.shard.0].push((seq, request.group, local));
+        let seq = self.gateway.submit(request)?;
+        self.pending += 1;
         Ok(seq)
     }
 
-    /// Submits and immediately arbitrates one request (convenience wrapper
+    /// Submits and synchronously arbitrates one request (convenience wrapper
     /// for interactive paths; batched traffic should use [`Cluster::submit`]
     /// + flush).
     ///
@@ -561,90 +867,57 @@ impl Cluster {
     ///
     /// Returns routing and shard errors.
     pub fn request(&mut self, request: GlobalRequest) -> Result<ArbitrationOutcome> {
-        let (placement, local) = self.translate(&request)?;
-        let outcome =
-            self.shards[placement.shard.0].apply(ArbiterEvent::Arbitrate { request: local })?;
-        let EventOutcome::Arbitrated(outcome) = outcome else {
-            unreachable!("Arbitrate yields Arbitrated");
-        };
-        Ok(outcome)
+        self.core.request(request)
     }
 
-    /// Number of requests waiting in shard batches.
+    /// Synchronously arbitrates under a caller-provided request id — the
+    /// retransmission path: retrying an id whose decision is still in the
+    /// owning shard's dedup window returns the recorded outcome (second
+    /// element `true`) without re-applying the floor event.
+    ///
+    /// # Errors
+    ///
+    /// Returns routing and shard errors.
+    pub fn request_with_id(
+        &mut self,
+        seq: u64,
+        request: GlobalRequest,
+    ) -> Result<(ArbitrationOutcome, bool)> {
+        self.core.request_as(seq, request)
+    }
+
+    /// Number of requests submitted through this façade whose decisions have
+    /// not been collected by a flush yet. (The shard pipelines may already
+    /// have arbitrated them — decisions wait in this façade's results
+    /// channel.)
     pub fn pending_requests(&self) -> usize {
-        self.batches.iter().map(Vec::len).sum()
+        self.pending
     }
 
-    fn drain_batches(&mut self) -> Vec<Vec<(u64, GlobalGroupId, FloorRequest)>> {
-        self.batches.iter_mut().map(std::mem::take).collect()
-    }
-
-    /// Applies every batched request shard by shard, returning the decisions
-    /// sorted by submission order.
+    /// Collects the decisions of every outstanding [`Cluster::submit`],
+    /// sorted by request id (= submission order).
     pub fn flush(&mut self) -> Vec<Decision> {
-        let batches = self.drain_batches();
-        let mut decisions = Vec::new();
-        for (shard, batch) in self.shards.iter_mut().zip(batches) {
-            for (seq, group, request) in batch {
-                decisions.push(Decision {
-                    seq,
-                    group,
-                    outcome: shard
-                        .apply(ArbiterEvent::Arbitrate { request })
-                        .map(|o| match o {
-                            EventOutcome::Arbitrated(outcome) => outcome,
-                            _ => unreachable!("Arbitrate yields Arbitrated"),
-                        }),
-                });
-            }
-        }
-        decisions.sort_by_key(|d| d.seq);
+        let decisions = self
+            .gateway
+            .collect_decisions(self.pending)
+            .expect("shard pipelines are alive");
+        self.pending = 0;
         decisions
     }
 
-    /// Applies every batched request with one worker thread per shard —
-    /// shards share nothing, so this is the linear-scaling path. Decisions
-    /// come back sorted by submission order.
+    /// Alias of [`Cluster::flush`], kept for pre-pipeline call sites: shards
+    /// always work in parallel behind their queues now, so there is no
+    /// separate parallel path to opt into.
     pub fn flush_parallel(&mut self) -> Vec<Decision> {
-        let batches = self.drain_batches();
-        let mut decisions: Vec<Decision> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (shard, batch) in self.shards.iter_mut().zip(batches) {
-                if batch.is_empty() {
-                    continue;
-                }
-                handles.push(scope.spawn(move || {
-                    batch
-                        .into_iter()
-                        .map(|(seq, group, request)| Decision {
-                            seq,
-                            group,
-                            outcome: shard.apply(ArbiterEvent::Arbitrate { request }).map(|o| {
-                                match o {
-                                    EventOutcome::Arbitrated(outcome) => outcome,
-                                    _ => unreachable!("Arbitrate yields Arbitrated"),
-                                }
-                            }),
-                        })
-                        .collect::<Vec<_>>()
-                }));
-            }
-            for handle in handles {
-                decisions.extend(handle.join().expect("shard worker panicked"));
-            }
-        });
-        decisions.sort_by_key(|d| d.seq);
-        decisions
+        self.flush()
     }
 
     // ----- failure and recovery --------------------------------------------
 
-    /// Crashes a shard's primary process. Batched requests for the shard stay
-    /// queued and fail with [`ClusterError::ShardDown`] if flushed before
-    /// recovery.
+    /// Crashes a shard's primary process. Requests routed to the shard fail
+    /// with [`ClusterError::ShardDown`] until recovery.
     pub fn crash_shard(&mut self, shard: ShardId) {
-        self.shards[shard.0].crash();
+        self.core.crash_shard(shard);
     }
 
     /// A standby recovers the shard from its snapshot + log.
@@ -653,83 +926,51 @@ impl Cluster {
     ///
     /// Propagates durable-state corruption as [`ClusterError::Floor`].
     pub fn recover_shard(&mut self, shard: ShardId) -> Result<()> {
-        self.shards[shard.0].recover()
+        self.core.recover_shard(shard)
     }
 
     /// Whether a shard is serving.
     pub fn is_shard_active(&self, shard: ShardId) -> bool {
-        self.shards[shard.0].is_active()
+        self.core.is_shard_active(shard)
     }
 
     // ----- scale-out --------------------------------------------------------
 
-    /// Adds a new shard to the ring and returns its id. Existing groups stay
-    /// where they are until [`Cluster::rebalance_idle`] migrates the movable
-    /// ones; new groups hash across the enlarged ring immediately.
+    /// Adds a new shard (and its worker pipeline) to the ring and returns
+    /// its id. Existing groups stay where they are until
+    /// [`Cluster::rebalance_idle`] migrates the movable ones; new groups
+    /// hash across the enlarged ring immediately.
     pub fn add_shard(&mut self) -> ShardId {
-        let id = self.ring.add_shard();
-        debug_assert_eq!(id.0, self.shards.len());
-        self.shards.push(Shard::new(id, self.config.snapshot_every));
-        self.batches.push(Vec::new());
-        id
+        self.core.add_shard()
     }
 
     /// Migrates every group whose ring placement changed **and** whose floor
     /// state is idle (no token holder, no queued requesters) to its new
-    /// shard. Active groups are pinned until they quiesce — moving a held
-    /// token between arbiters would risk the very double-grant anomaly the
-    /// failover machinery exists to prevent. Returns the migrated groups.
+    /// shard. Groups that cannot move yet — floor-active, or with a failed
+    /// source/target shard — are reported in the result's `deferred` list so
+    /// callers can retry after the floor is released; moving a held token
+    /// between arbiters would risk the very double-grant anomaly the
+    /// failover machinery exists to prevent.
     ///
-    /// Requests still batched for a migrated group keep routing to the old
+    /// Requests still queued for a migrated group keep routing to the old
     /// shard, where the group is left empty; they fail closed (aborted as
     /// not-joined) rather than double-granting. Flush before rebalancing to
-    /// avoid that.
+    /// avoid that. A migrated group's slice of the decision journal moves
+    /// with it, so gateway retries of pre-migration request ids still replay
+    /// instead of double-applying.
+    ///
+    /// **Concurrency contract:** rebalancing is an administrative operation;
+    /// gateways must stop submitting to the groups being moved until it
+    /// returns. The idle check and the migration are separate steps on the
+    /// source shard, so a floor granted concurrently in that window would be
+    /// destroyed by the move — the safe live-migration path is the two-phase
+    /// handoff the `deferred` list is groundwork for.
     ///
     /// # Errors
     ///
     /// Returns shard errors; on error, already-migrated groups stay migrated.
-    pub fn rebalance_idle(&mut self) -> Result<Vec<GlobalGroupId>> {
-        let candidates: Vec<(GlobalGroupId, GroupPlacement, ShardId)> = self
-            .groups
-            .iter()
-            .filter_map(|(&g, &p)| {
-                let target = self.ring.shard_for(g.0);
-                (target != p.shard).then_some((g, p, target))
-            })
-            .collect();
-        let mut migrated = Vec::new();
-        for (group, placement, target) in candidates {
-            if !self.shards[placement.shard.0].is_active() || !self.shards[target.0].is_active() {
-                continue;
-            }
-            let arbiter = self.shards[placement.shard.0].arbiter();
-            let token = arbiter.token(placement.local)?;
-            if token.holder().is_some() || token.queue_len() > 0 {
-                continue; // pinned: active floor state
-            }
-            let old = arbiter.group(placement.local)?.clone();
-            // Map the group's local members back to global ids.
-            let roster: Vec<GlobalMemberId> = old
-                .members()
-                .filter_map(|m| self.locals.get(&(placement.shard, m)).copied())
-                .collect();
-            // Re-create on the target shard and move the roster over.
-            self.create_group_on(group, target, old.name.clone(), old.mode, placement.parent)?;
-            let new_local = self.groups[&group].local;
-            for member in &roster {
-                self.ensure_on_shard(*member, target, new_local)?;
-            }
-            // Empty the husk on the old shard so stale routing fails closed.
-            for member in &roster {
-                let local = self.local_member(*member, placement.shard)?;
-                self.shards[placement.shard.0].apply(ArbiterEvent::LeaveGroup {
-                    group: placement.local,
-                    member: local,
-                })?;
-            }
-            migrated.push(group);
-        }
-        Ok(migrated)
+    pub fn rebalance_idle(&mut self) -> Result<RebalanceReport> {
+        self.core.rebalance_idle()
     }
 
     // ----- invariants -------------------------------------------------------
@@ -742,32 +983,7 @@ impl Cluster {
     ///
     /// Returns a description of the first violated invariant.
     pub fn check_invariants(&self) -> std::result::Result<(), String> {
-        for shard in &self.shards {
-            if shard.is_active() {
-                shard
-                    .arbiter()
-                    .check_invariants()
-                    .map_err(|e| format!("{}: {e}", shard.id()))?;
-            }
-        }
-        for (&g, &p) in &self.groups {
-            if self.shards[p.shard.0].is_active()
-                && self.shards[p.shard.0].arbiter().group(p.local).is_err()
-            {
-                return Err(format!(
-                    "directory entry {g} points at missing {:?}",
-                    p.local
-                ));
-            }
-        }
-        for (&m, record) in &self.members {
-            for (&shard, &local) in &record.locals {
-                if self.locals.get(&(shard, local)) != Some(&m) {
-                    return Err(format!("reverse directory mismatch for {m} on {shard}"));
-                }
-            }
-        }
-        Ok(())
+        self.core.check_invariants()
     }
 }
 
@@ -843,10 +1059,10 @@ mod tests {
             }
             let placement = cluster.placement(*g).unwrap();
             let token = cluster
-                .shard(placement.shard)
-                .arbiter()
+                .arbiter(placement.shard)
                 .token(placement.local)
-                .unwrap();
+                .unwrap()
+                .clone();
             assert_eq!(token.queue_len(), roster.len() - 1);
         }
         cluster.check_invariants().unwrap();
@@ -942,7 +1158,7 @@ mod tests {
         }
         cluster.flush();
         let victim = cluster.placement(gids[0]).unwrap().shard;
-        let reference = cluster.shard(victim).arbiter().clone();
+        let reference = cluster.arbiter(victim);
         cluster.crash_shard(victim);
         assert!(!cluster.is_shard_active(victim));
         // Requests to the dead shard fail closed.
@@ -957,7 +1173,7 @@ mod tests {
         ));
         // Standby takeover reconstructs the exact pre-crash state.
         cluster.recover_shard(victim).unwrap();
-        assert_eq!(cluster.shard(victim).arbiter(), &reference);
+        assert_eq!(cluster.arbiter(victim), reference);
         cluster.check_invariants().unwrap();
         // The recovered shard serves again.
         let outcome = cluster
@@ -967,7 +1183,7 @@ mod tests {
     }
 
     #[test]
-    fn scale_out_migrates_only_idle_groups() {
+    fn scale_out_migrates_only_idle_groups_and_reports_pinned_ones() {
         let (mut cluster, gids, rosters) = cluster_with_groups(3, 60, 2, FcmMode::EqualControl);
         // Make one third of the groups floor-active so they are pinned.
         for (g, roster) in gids.iter().zip(&rosters).take(20) {
@@ -977,9 +1193,9 @@ mod tests {
         }
         let new = cluster.add_shard();
         assert_eq!(cluster.shard_count(), 4);
-        let migrated = cluster.rebalance_idle().unwrap();
-        assert!(!migrated.is_empty(), "some idle groups must move");
-        for g in &migrated {
+        let report = cluster.rebalance_idle().unwrap();
+        assert!(!report.migrated.is_empty(), "some idle groups must move");
+        for g in &report.migrated {
             assert_eq!(cluster.placement(*g).unwrap().shard, new);
             let roster = &rosters[g.0 as usize];
             // Members remain functional on the new shard.
@@ -988,17 +1204,75 @@ mod tests {
                 .unwrap();
             assert!(outcome.is_granted());
         }
-        // Active groups stayed put with their token state intact.
+        // Active groups stayed put with their token state intact, and any of
+        // them whose ring placement changed is reported as deferred rather
+        // than silently skipped.
         for (g, roster) in gids.iter().zip(&rosters).take(20) {
-            assert!(!migrated.contains(g), "active group {g} must be pinned");
+            assert!(
+                !report.migrated.contains(g),
+                "active group {g} must be pinned"
+            );
             let placement = cluster.placement(*g).unwrap();
+            if cluster.core.directory().shard_for(g.0) != placement.shard {
+                assert!(
+                    report.deferred.contains(g),
+                    "pinned group {g} must be reported as deferred"
+                );
+            }
             let token = cluster
-                .shard(placement.shard)
-                .arbiter()
+                .arbiter(placement.shard)
                 .token(placement.local)
-                .unwrap();
-            let local = cluster.members[&roster[0]].locals[&placement.shard];
+                .unwrap()
+                .clone();
+            let local = cluster.local_member(roster[0], placement.shard).unwrap();
             assert_eq!(token.holder(), Some(local));
+        }
+        // Deferred groups migrate once their floor state quiesces.
+        if let Some(&pinned) = report.deferred.first() {
+            let roster = &rosters[pinned.0 as usize];
+            cluster
+                .request(GlobalRequest::release_floor(pinned, roster[0]))
+                .unwrap();
+            let second = cluster.rebalance_idle().unwrap();
+            assert!(second.migrated.contains(&pinned));
+            assert!(!second.deferred.contains(&pinned));
+        }
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dedup_journal_migrates_with_rebalanced_groups() {
+        let (mut cluster, gids, rosters) = cluster_with_groups(3, 60, 2, FcmMode::EqualControl);
+        // Decide (and journal) a speak + release per group, then let every
+        // group go idle so rebalancing can move it.
+        let mut speak_seqs = std::collections::BTreeMap::new();
+        for (g, roster) in gids.iter().zip(&rosters) {
+            let speak = GlobalRequest::speak(*g, roster[0]);
+            speak_seqs.insert(*g, (cluster.submit(speak).unwrap(), speak));
+            cluster
+                .submit(GlobalRequest::release_floor(*g, roster[0]))
+                .unwrap();
+        }
+        let originals: std::collections::BTreeMap<u64, Decision> =
+            cluster.flush().into_iter().map(|d| (d.seq, d)).collect();
+        cluster.add_shard();
+        let report = cluster.rebalance_idle().unwrap();
+        assert!(!report.migrated.is_empty());
+        // Retrying a pre-migration request id must replay the journaled
+        // decision from the group's *new* shard, not re-apply the speak —
+        // re-applying would re-grant the (released) floor.
+        let gateway = cluster.gateway();
+        for g in &report.migrated {
+            let (seq, speak) = speak_seqs[g];
+            gateway.resubmit(seq, speak).unwrap();
+            let retry = gateway.recv_decision().unwrap();
+            assert_eq!(retry.seq, seq);
+            assert!(retry.replayed, "journal entry for {g} must have migrated");
+            assert_eq!(retry.outcome, originals[&seq].outcome);
+            // The floor really was not re-granted.
+            let placement = cluster.placement(*g).unwrap();
+            let arbiter = cluster.arbiter(placement.shard);
+            assert_eq!(arbiter.token(placement.local).unwrap().holder(), None);
         }
         cluster.check_invariants().unwrap();
     }

@@ -1,0 +1,397 @@
+//! The shared, read-mostly cluster directory.
+//!
+//! The [`Directory`] holds everything the old single-threaded `Cluster`
+//! router kept behind one `&mut self`: group placements, member records, the
+//! reverse (shard, local id) → global id map, invitations, the consistent-hash
+//! ring and the id counters. It is designed so the hot ingest path — routing a
+//! floor request to its owning shard — takes `&self` and contends only on a
+//! striped read lock:
+//!
+//! * Placement and membership maps are split into `STRIPES` stripes, each
+//!   behind its own [`RwLock`]; a key's stripe is picked by the same
+//!   splitmix64 hash the ring uses, so concurrent gateways routing different
+//!   groups almost never touch the same lock, and routing itself only ever
+//!   takes *read* locks.
+//! * Id allocation is a handful of atomics, so `register_member`,
+//!   `create_group` and request-id allocation never serialize behind a map
+//!   lock.
+//! * Invitations and the ring are whole-structure `RwLock`s: both are
+//!   read-mostly and far off the ingest hot path.
+//!
+//! Writer discipline: the only lock ever held across a shard-worker
+//! round-trip is the *member* stripe of the member being instantiated (see
+//! `Core::ensure_on_shard`), which is what makes lazy member instantiation
+//! race-free; shard workers never take directory locks, so no lock cycle can
+//! form.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use dmps_floor::{InvitationStatus, Member, MemberId};
+
+use crate::error::{ClusterError, Result};
+use crate::ring::{mix64, HashRing, ShardId};
+use crate::shard::{GlobalGroupId, GlobalMemberId};
+
+/// Number of lock stripes for the placement/membership maps. A small power of
+/// two well above any realistic gateway count keeps write collisions rare
+/// without bloating the struct.
+pub(crate) const STRIPES: usize = 16;
+
+/// Where a group currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupPlacement {
+    /// The owning shard.
+    pub shard: ShardId,
+    /// The group's dense id inside that shard's arbiter.
+    pub local: dmps_floor::GroupId,
+    /// The parent group for sub-groups spawned by invitation (may live on a
+    /// different shard — that is the point of cross-shard invitations).
+    pub parent: Option<GlobalGroupId>,
+}
+
+/// A member's directory record: its template plus its dense id on every shard
+/// it has been instantiated on.
+#[derive(Debug, Clone)]
+pub(crate) struct MemberRecord {
+    pub(crate) template: Member,
+    pub(crate) locals: BTreeMap<ShardId, MemberId>,
+}
+
+/// A cluster-level invitation (parent and sub-group may be on different
+/// shards).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterInvitation {
+    /// The inviting member.
+    pub from: GlobalMemberId,
+    /// The invited member.
+    pub to: GlobalMemberId,
+    /// The sub-group spawned for the invitation.
+    pub subgroup: GlobalGroupId,
+    /// Current status.
+    pub status: InvitationStatus,
+}
+
+fn stripe_of(key: u64) -> usize {
+    (mix64(key) % STRIPES as u64) as usize
+}
+
+/// The sharded, read-mostly directory of the cluster control plane.
+#[derive(Debug)]
+pub struct Directory {
+    ring: RwLock<HashRing>,
+    groups: Vec<RwLock<BTreeMap<GlobalGroupId, GroupPlacement>>>,
+    members: Vec<RwLock<BTreeMap<GlobalMemberId, MemberRecord>>>,
+    /// Reverse directory: which global member a shard-local id belongs to.
+    locals: Vec<RwLock<BTreeMap<(ShardId, MemberId), GlobalMemberId>>>,
+    invitations: RwLock<Vec<ClusterInvitation>>,
+    next_group: AtomicU64,
+    next_member: AtomicU64,
+    next_seq: AtomicU64,
+}
+
+impl Directory {
+    /// A fresh directory over the given ring.
+    pub(crate) fn new(ring: HashRing) -> Self {
+        Directory {
+            ring: RwLock::new(ring),
+            groups: (0..STRIPES).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            members: (0..STRIPES).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            locals: (0..STRIPES).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            invitations: RwLock::new(Vec::new()),
+            next_group: AtomicU64::new(0),
+            next_member: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    // ----- id allocation ----------------------------------------------------
+
+    pub(crate) fn alloc_group(&self) -> u64 {
+        self.next_group.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn alloc_member(&self) -> u64 {
+        self.next_member.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocates a cluster-unique request id (the idempotency key the shard
+    /// dedup window is keyed by).
+    pub(crate) fn alloc_seq(&self) -> u64 {
+        self.next_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    // ----- ring -------------------------------------------------------------
+
+    /// The shard the ring places a key on.
+    pub fn shard_for(&self, key: u64) -> ShardId {
+        self.ring.read().expect("ring lock").shard_for(key)
+    }
+
+    /// Grows the ring by one shard and returns the new shard's id.
+    pub(crate) fn grow_ring(&self) -> ShardId {
+        self.ring.write().expect("ring lock").add_shard()
+    }
+
+    // ----- groups -----------------------------------------------------------
+
+    fn group_stripe(&self, id: GlobalGroupId) -> &RwLock<BTreeMap<GlobalGroupId, GroupPlacement>> {
+        &self.groups[stripe_of(id.0)]
+    }
+
+    /// Where a group currently lives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownGroup`] for an unknown id.
+    pub fn placement(&self, group: GlobalGroupId) -> Result<GroupPlacement> {
+        self.group_stripe(group)
+            .read()
+            .expect("group stripe")
+            .get(&group)
+            .copied()
+            .ok_or(ClusterError::UnknownGroup(group))
+    }
+
+    /// Records (or moves) a group's placement.
+    pub(crate) fn place_group(&self, group: GlobalGroupId, placement: GroupPlacement) {
+        self.group_stripe(group)
+            .write()
+            .expect("group stripe")
+            .insert(group, placement);
+    }
+
+    /// Number of groups in the directory.
+    pub fn group_count(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|s| s.read().expect("group stripe").len())
+            .sum()
+    }
+
+    /// Every group owned by a shard.
+    pub fn groups_on(&self, shard: ShardId) -> Vec<GlobalGroupId> {
+        let mut out: Vec<GlobalGroupId> = self
+            .groups
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("group stripe")
+                    .iter()
+                    .filter(|(_, p)| p.shard == shard)
+                    .map(|(&g, _)| g)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// A point-in-time copy of every placement, sorted by group id.
+    pub(crate) fn placements_snapshot(&self) -> Vec<(GlobalGroupId, GroupPlacement)> {
+        let mut out: Vec<(GlobalGroupId, GroupPlacement)> = self
+            .groups
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("group stripe")
+                    .iter()
+                    .map(|(&g, &p)| (g, p))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(g, _)| g);
+        out
+    }
+
+    // ----- members ----------------------------------------------------------
+
+    pub(crate) fn member_stripe(
+        &self,
+        id: GlobalMemberId,
+    ) -> &RwLock<BTreeMap<GlobalMemberId, MemberRecord>> {
+        &self.members[stripe_of(id.0)]
+    }
+
+    /// Registers a member, returning its new global id.
+    pub(crate) fn register_member(&self, template: Member) -> GlobalMemberId {
+        let id = GlobalMemberId(self.alloc_member());
+        self.member_stripe(id)
+            .write()
+            .expect("member stripe")
+            .insert(
+                id,
+                MemberRecord {
+                    template,
+                    locals: BTreeMap::new(),
+                },
+            );
+        id
+    }
+
+    /// Number of registered members.
+    pub fn member_count(&self) -> usize {
+        self.members
+            .iter()
+            .map(|s| s.read().expect("member stripe").len())
+            .sum()
+    }
+
+    /// The member's display name (from its template).
+    pub(crate) fn member_name(&self, member: GlobalMemberId) -> Result<String> {
+        self.member_stripe(member)
+            .read()
+            .expect("member stripe")
+            .get(&member)
+            .map(|r| r.template.name.clone())
+            .ok_or(ClusterError::UnknownMember(member))
+    }
+
+    /// The member's dense id on a shard, if instantiated there.
+    pub fn local_member(&self, member: GlobalMemberId, shard: ShardId) -> Result<MemberId> {
+        self.member_stripe(member)
+            .read()
+            .expect("member stripe")
+            .get(&member)
+            .ok_or(ClusterError::UnknownMember(member))?
+            .locals
+            .get(&shard)
+            .copied()
+            .ok_or(ClusterError::NotOnShard { member, shard })
+    }
+
+    /// A point-in-time copy of every member's shard-local ids.
+    pub(crate) fn members_snapshot(&self) -> Vec<(GlobalMemberId, Vec<(ShardId, MemberId)>)> {
+        let mut out: Vec<(GlobalMemberId, Vec<(ShardId, MemberId)>)> = self
+            .members
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("member stripe")
+                    .iter()
+                    .map(|(&m, r)| (m, r.locals.iter().map(|(&s, &l)| (s, l)).collect()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(m, _)| m);
+        out
+    }
+
+    // ----- reverse directory ------------------------------------------------
+
+    fn locals_stripe(
+        &self,
+        shard: ShardId,
+        local: MemberId,
+    ) -> &RwLock<BTreeMap<(ShardId, MemberId), GlobalMemberId>> {
+        &self.locals[stripe_of(((shard.0 as u64) << 32) ^ local.0 as u64)]
+    }
+
+    /// Records that `local` on `shard` is the instantiation of `member`.
+    pub(crate) fn record_local(&self, shard: ShardId, local: MemberId, member: GlobalMemberId) {
+        self.locals_stripe(shard, local)
+            .write()
+            .expect("locals stripe")
+            .insert((shard, local), member);
+    }
+
+    /// The global member a shard-local id belongs to.
+    pub fn global_of(&self, shard: ShardId, local: MemberId) -> Option<GlobalMemberId> {
+        self.locals_stripe(shard, local)
+            .read()
+            .expect("locals stripe")
+            .get(&(shard, local))
+            .copied()
+    }
+
+    // ----- invitations ------------------------------------------------------
+
+    /// The cluster-level invitation with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownInvitation`] for an unknown id.
+    pub fn invitation(&self, id: u64) -> Result<ClusterInvitation> {
+        self.invitations
+            .read()
+            .expect("invitations lock")
+            .get(id as usize)
+            .cloned()
+            .ok_or(ClusterError::UnknownInvitation(id))
+    }
+
+    pub(crate) fn push_invitation(&self, invitation: ClusterInvitation) -> u64 {
+        let mut guard = self.invitations.write().expect("invitations lock");
+        guard.push(invitation);
+        guard.len() as u64 - 1
+    }
+
+    pub(crate) fn with_invitations_mut<R>(
+        &self,
+        f: impl FnOnce(&mut Vec<ClusterInvitation>) -> R,
+    ) -> R {
+        f(&mut self.invitations.write().expect("invitations lock"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmps_floor::Role;
+
+    #[test]
+    fn ids_are_unique_under_concurrent_allocation() {
+        let dir = std::sync::Arc::new(Directory::new(HashRing::new(4, 16)));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let dir = dir.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..500)
+                    .map(|_| dir.register_member(Member::new("m", Role::Participant)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<GlobalMemberId> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 2_000, "every allocation got a distinct id");
+        assert_eq!(dir.member_count(), 2_000);
+    }
+
+    #[test]
+    fn placement_round_trips_across_stripes() {
+        let dir = Directory::new(HashRing::new(2, 16));
+        for i in 0..200 {
+            let g = GlobalGroupId(i);
+            let p = GroupPlacement {
+                shard: dir.shard_for(i),
+                local: dmps_floor::GroupId(i as usize),
+                parent: None,
+            };
+            dir.place_group(g, p);
+            assert_eq!(dir.placement(g).unwrap(), p);
+        }
+        assert_eq!(dir.group_count(), 200);
+        assert!(matches!(
+            dir.placement(GlobalGroupId(999)),
+            Err(ClusterError::UnknownGroup(_))
+        ));
+        let snapshot = dir.placements_snapshot();
+        assert_eq!(snapshot.len(), 200);
+        assert!(snapshot.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn reverse_directory_tracks_instantiations() {
+        let dir = Directory::new(HashRing::new(2, 16));
+        let m = dir.register_member(Member::new("alice", Role::Chair));
+        dir.record_local(ShardId(1), MemberId(7), m);
+        assert_eq!(dir.global_of(ShardId(1), MemberId(7)), Some(m));
+        assert_eq!(dir.global_of(ShardId(0), MemberId(7)), None);
+        assert_eq!(dir.member_name(m).unwrap(), "alice");
+    }
+}

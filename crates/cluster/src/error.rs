@@ -37,6 +37,9 @@ pub enum ClusterError {
     /// A group could not be migrated because its floor state is active
     /// (token held or queued members).
     GroupNotIdle(GlobalGroupId),
+    /// The shard worker pipelines are gone (the cluster was torn down while
+    /// a decision was still awaited).
+    Disconnected,
     /// An error surfaced from the underlying floor arbiter.
     Floor(FloorError),
 }
@@ -55,6 +58,9 @@ impl fmt::Display for ClusterError {
             ClusterError::AlreadyAnswered(i) => write!(f, "invitation {i} was already answered"),
             ClusterError::GroupNotIdle(g) => {
                 write!(f, "group {g} has active floor state and cannot be migrated")
+            }
+            ClusterError::Disconnected => {
+                write!(f, "the shard worker pipelines have shut down")
             }
             ClusterError::Floor(e) => write!(f, "floor control error: {e}"),
         }
@@ -94,6 +100,7 @@ mod tests {
             ClusterError::NotTheInvitee(GlobalMemberId(6)),
             ClusterError::AlreadyAnswered(7),
             ClusterError::GroupNotIdle(GlobalGroupId(8)),
+            ClusterError::Disconnected,
             ClusterError::Floor(FloorError::MissingDestination),
         ];
         for e in errors {

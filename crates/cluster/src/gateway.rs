@@ -1,0 +1,311 @@
+//! Gateways: cheaply-cloneable concurrent ingest handles.
+//!
+//! A [`Gateway`] is the multi-gateway face of the control plane: it shares
+//! the cluster's [`Directory`](crate::Directory) and shard worker queues
+//! through an `Arc`, but owns a private results channel that decisions for
+//! *its* submissions stream back on. Cloning a gateway is two channel
+//! allocations and an `Arc` bump — hand one clone to every front-end thread
+//! and they all ingest concurrently:
+//!
+//! * [`Gateway::submit`] routes a request (read-mostly directory lookups,
+//!   one MPSC send) and returns its cluster-unique request id.
+//! * [`Gateway::recv_decision`] / [`Gateway::collect_decisions`] stream the
+//!   decisions back, each tagged with the request id and whether it was
+//!   replayed from a shard's dedup window.
+//! * [`Gateway::resubmit`] retries a request under its original id — the
+//!   retransmission path after a shard crash. The owning shard's dedup
+//!   window guarantees an already-applied event is answered from the
+//!   decision journal instead of double-applying.
+//!
+//! Control-plane operations (groups, membership, invitations) are exposed
+//! with `&self` receivers as well, so administrative traffic can run from
+//! any gateway without a cluster-wide lock.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+use dmps_floor::{ArbitrationOutcome, FcmMode, InvitationStatus, Member};
+
+use crate::cluster::{Core, Decision, GlobalRequest};
+use crate::directory::{ClusterInvitation, GroupPlacement};
+use crate::error::{ClusterError, Result};
+use crate::ring::ShardId;
+use crate::shard::{GlobalGroupId, GlobalMemberId};
+
+/// A concurrent ingest handle onto the sharded control plane.
+///
+/// Created from [`Cluster::gateway`](crate::Cluster::gateway) and cloned
+/// freely; each clone receives the decisions of its own submissions only.
+#[derive(Debug)]
+pub struct Gateway {
+    core: Arc<Core>,
+    decisions_tx: Sender<Decision>,
+    /// Behind a (virtually always uncontended) mutex only so a `&Gateway`
+    /// can be shared across scoped threads; the intended pattern is still
+    /// one clone per thread.
+    decisions_rx: Mutex<Receiver<Decision>>,
+}
+
+impl Clone for Gateway {
+    /// A clone shares the directory and shard pipelines but gets a fresh,
+    /// empty decision stream.
+    fn clone(&self) -> Self {
+        Gateway::new(self.core.clone())
+    }
+}
+
+impl Gateway {
+    pub(crate) fn new(core: Arc<Core>) -> Self {
+        let (decisions_tx, decisions_rx) = channel();
+        Gateway {
+            core,
+            decisions_tx,
+            decisions_rx: Mutex::new(decisions_rx),
+        }
+    }
+
+    // ----- ingest -----------------------------------------------------------
+
+    /// Routes a request to its owning shard's worker queue and returns its
+    /// cluster-unique request id. The decision streams back to this
+    /// gateway's channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns unknown-id errors when the request cannot be routed.
+    pub fn submit(&self, request: GlobalRequest) -> Result<u64> {
+        let seq = self.core.directory().alloc_seq();
+        self.core
+            .submit_as(seq, request, self.decisions_tx.clone())?;
+        Ok(seq)
+    }
+
+    /// Retries a request under its original id (gateway retransmission). If
+    /// the owning shard already applied the request and still holds its
+    /// decision in the dedup window, the recorded decision is replayed
+    /// (`Decision::replayed == true`) instead of double-applying the event.
+    ///
+    /// # Errors
+    ///
+    /// Returns unknown-id errors when the request cannot be routed.
+    pub fn resubmit(&self, seq: u64, request: GlobalRequest) -> Result<()> {
+        self.core.submit_as(seq, request, self.decisions_tx.clone())
+    }
+
+    /// Blocks until the next decision for one of this gateway's submissions
+    /// arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Disconnected`] when the shard pipelines are
+    /// gone (the cluster was torn down).
+    pub fn recv_decision(&self) -> Result<Decision> {
+        self.decisions_rx
+            .lock()
+            .expect("decision stream lock")
+            .recv()
+            .map_err(|_| ClusterError::Disconnected)
+    }
+
+    /// The next already-delivered decision, if any (never blocks).
+    pub fn try_recv_decision(&self) -> Option<Decision> {
+        self.decisions_rx
+            .lock()
+            .expect("decision stream lock")
+            .try_recv()
+            .ok()
+    }
+
+    /// Collects exactly `n` decisions (blocking), sorted by request id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Disconnected`] when the shard pipelines are
+    /// gone before `n` decisions arrived.
+    pub fn collect_decisions(&self, n: usize) -> Result<Vec<Decision>> {
+        let mut decisions = Vec::with_capacity(n);
+        for _ in 0..n {
+            decisions.push(self.recv_decision()?);
+        }
+        decisions.sort_by_key(|d| d.seq);
+        Ok(decisions)
+    }
+
+    /// Submits and synchronously arbitrates one request, bypassing this
+    /// gateway's decision stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns routing and shard errors.
+    pub fn request(&self, request: GlobalRequest) -> Result<ArbitrationOutcome> {
+        self.core.request(request)
+    }
+
+    // ----- control plane ----------------------------------------------------
+
+    /// Registers a member with the cluster directory.
+    pub fn register_member(&self, template: Member) -> GlobalMemberId {
+        self.core.directory().register_member(template)
+    }
+
+    /// Creates a top-level group, placed by consistent hashing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::ShardDown`] when the owning shard is failed.
+    pub fn create_group(&self, name: impl Into<String>, mode: FcmMode) -> Result<GlobalGroupId> {
+        self.core.create_group(name.into(), mode)
+    }
+
+    /// Adds a member to a group (instantiating it on the owning shard if
+    /// needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns unknown-id and shard-down errors.
+    pub fn join_group(&self, group: GlobalGroupId, member: GlobalMemberId) -> Result<()> {
+        self.core.join_group(group, member)
+    }
+
+    /// Removes a member from a group.
+    ///
+    /// # Errors
+    ///
+    /// Returns unknown-id and shard-down errors.
+    pub fn leave_group(&self, group: GlobalGroupId, member: GlobalMemberId) -> Result<()> {
+        self.core.leave_group(group, member)
+    }
+
+    /// A member invites another into a new private sub-group; see
+    /// [`Cluster::invite`](crate::Cluster::invite).
+    ///
+    /// # Errors
+    ///
+    /// Returns unknown-id, not-a-member and shard-down errors.
+    pub fn invite(
+        &self,
+        parent: GlobalGroupId,
+        from: GlobalMemberId,
+        to: GlobalMemberId,
+        mode: FcmMode,
+        target: Option<ShardId>,
+    ) -> Result<(GlobalGroupId, u64)> {
+        self.core.invite(parent, from, to, mode, target)
+    }
+
+    /// The invitee answers a cluster-level invitation.
+    ///
+    /// # Errors
+    ///
+    /// Returns invitation and shard-down errors.
+    pub fn respond_invitation(
+        &self,
+        invitation: u64,
+        responder: GlobalMemberId,
+        accept: bool,
+    ) -> Result<InvitationStatus> {
+        self.core.respond_invitation(invitation, responder, accept)
+    }
+
+    /// The cluster-level invitation with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownInvitation`] for an unknown id.
+    pub fn invitation(&self, id: u64) -> Result<ClusterInvitation> {
+        self.core.directory().invitation(id)
+    }
+
+    /// Where a group currently lives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownGroup`] for an unknown id.
+    pub fn placement(&self, group: GlobalGroupId) -> Result<GroupPlacement> {
+        self.core.directory().placement(group)
+    }
+
+    /// Checks the cluster invariants; see
+    /// [`Cluster::check_invariants`](crate::Cluster::check_invariants).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        self.core.check_invariants()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterConfig};
+    use dmps_floor::Role;
+
+    #[test]
+    fn cloned_gateways_receive_only_their_own_decisions() {
+        let mut cluster = Cluster::new(ClusterConfig::with_shards(2));
+        let g = cluster
+            .create_group("lecture", FcmMode::FreeAccess)
+            .unwrap();
+        let a = cluster.gateway();
+        let b = cluster.gateway();
+        let ma = a.register_member(Member::new("a", Role::Chair));
+        a.join_group(g, ma).unwrap();
+        let mb = b.register_member(Member::new("b", Role::Participant));
+        b.join_group(g, mb).unwrap();
+        let seq_a = a.submit(GlobalRequest::speak(g, ma)).unwrap();
+        let seq_b = b.submit(GlobalRequest::speak(g, mb)).unwrap();
+        assert_ne!(seq_a, seq_b, "request ids are cluster-unique");
+        let da = a.recv_decision().unwrap();
+        let db = b.recv_decision().unwrap();
+        assert_eq!(da.seq, seq_a);
+        assert_eq!(db.seq, seq_b);
+        assert!(a.try_recv_decision().is_none(), "b's decision not on a");
+        assert!(b.try_recv_decision().is_none(), "a's decision not on b");
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn resubmit_replays_instead_of_double_applying() {
+        let mut cluster = Cluster::new(ClusterConfig::with_shards(2));
+        let g = cluster
+            .create_group("lecture", FcmMode::EqualControl)
+            .unwrap();
+        let gw = cluster.gateway();
+        let m = gw.register_member(Member::new("m", Role::Chair));
+        gw.join_group(g, m).unwrap();
+        let seq = gw.submit(GlobalRequest::speak(g, m)).unwrap();
+        let first = gw.recv_decision().unwrap();
+        assert!(!first.replayed);
+        assert!(first.outcome.as_ref().unwrap().is_granted());
+        // The "decision was lost, client retries" path.
+        gw.resubmit(seq, GlobalRequest::speak(g, m)).unwrap();
+        let retry = gw.recv_decision().unwrap();
+        assert!(retry.replayed, "retry answered from the dedup window");
+        assert_eq!(retry.outcome, first.outcome);
+        // Exactly one grant was applied.
+        let shard = gw.placement(g).unwrap().shard;
+        assert_eq!(cluster.shard_view(shard).stats.granted, 1);
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn gateway_keeps_pipelines_alive_after_cluster_drop() {
+        let gw = {
+            let mut cluster = Cluster::new(ClusterConfig::with_shards(2));
+            let g = cluster
+                .create_group("lecture", FcmMode::FreeAccess)
+                .unwrap();
+            let gw = cluster.gateway();
+            let m = gw.register_member(Member::new("m", Role::Chair));
+            gw.join_group(g, m).unwrap();
+            gw.submit(GlobalRequest::speak(g, m)).unwrap();
+            gw
+            // `cluster` (and its façade gateway) drop here.
+        };
+        let decision = gw.recv_decision().unwrap();
+        assert!(decision.outcome.unwrap().is_granted());
+        gw.check_invariants().unwrap();
+    }
+}

@@ -7,18 +7,39 @@
 //!
 //! ## Architecture
 //!
+//! The paper's floor control mechanism serializes *who may speak*; this
+//! crate is careful not to also serialize *who may ask*. Ingest is
+//! concurrent end to end:
+//!
 //! * **Sharding** ([`ring`]) — groups are partitioned across shards by
 //!   consistent hashing on their [`GlobalGroupId`]; each shard is an
 //!   independent [`dmps_floor::FloorArbiter`] so shards share nothing and
 //!   scale linearly.
-//! * **Routing & batching** ([`cluster`]) — the [`Cluster`] router translates
-//!   cluster-wide ids to shard-local dense ids, batches requests per shard,
-//!   and applies batches either sequentially or with one worker per shard
-//!   ([`Cluster::flush_parallel`]).
-//! * **Cross-shard invitations** — Group Discussion / Direct Contact
-//!   sub-groups spawn on whatever shard the ring (or the caller) picks, so a
-//!   popular lecture's breakouts spread over the cluster instead of
-//!   hot-spotting their parent's shard.
+//! * **Shared directory** ([`directory`]) — placements, membership and
+//!   invitations live in a read-mostly [`Directory`] whose maps are split
+//!   over per-stripe `RwLock`s (stripe picked by the same splitmix64 hash
+//!   the ring uses) with atomic id counters. Routing a request takes `&self`
+//!   and only read locks, so any number of gateways route concurrently; the
+//!   old cluster-wide `&mut self` router lock is gone.
+//! * **Worker pipelines** (`worker`) — each shard's state is owned by one
+//!   persistent worker thread draining an MPSC command queue. The queue is
+//!   the shard's serialization point: floor requests stream in from many
+//!   gateways, decisions stream back to each submitting gateway's results
+//!   channel, and control-plane operations run as closures on the owning
+//!   thread. There is no spawn-per-flush: workers live as long as the
+//!   cluster.
+//! * **Gateways** ([`gateway`]) — a [`Gateway`] is a cheaply-cloneable
+//!   ingest handle (`Arc` of the shared core + its own results channel).
+//!   Hand a clone to every front-end thread; submissions carry
+//!   cluster-unique request ids allocated from an atomic counter.
+//! * **Retransmission & dedup** ([`shard`]) — every arbitration is keyed by
+//!   its request id in the owning shard's [`DedupWindow`], a bounded
+//!   decision journal that is durable across shard crashes (conceptually it
+//!   rides the replicated log). A gateway that never saw a decision —
+//!   because the shard host died mid-request — simply retries under the same
+//!   id: an already-applied event is answered from the journal
+//!   ([`Decision::replayed`]) instead of double-applying, so retry-after-
+//!   failover is exactly-once.
 //! * **Durability & failover** ([`shard`]) — every state mutation is an
 //!   [`dmps_floor::ArbiterEvent`] appended to the shard's replicated log;
 //!   snapshots ([`dmps_floor::ArbiterSnapshot`]) are taken on a cadence and
@@ -26,17 +47,28 @@
 //!   snapshot-plus-log-suffix and takes over with *exactly* the pre-crash
 //!   floor state: no double grants, token uniqueness, suspension order — the
 //!   invariants [`dmps_floor::FloorArbiter::check_invariants`] verifies.
+//! * **Cross-shard invitations** — Group Discussion / Direct Contact
+//!   sub-groups spawn on whatever shard the ring (or the caller) picks, so a
+//!   popular lecture's breakouts spread over the cluster instead of
+//!   hot-spotting their parent's shard.
 //! * **Failure injection** ([`sim`]) — [`ClusterSim`] deploys the cluster
-//!   over `dmps-simnet` hosts and crashes them mid-traffic on a seeded
-//!   schedule, which is how the failover integration tests and the
-//!   `sharded_campus_lectures` example exercise the recovery path
-//!   deterministically.
-//! * **Scale-out** — [`Cluster::add_shard`] grows the ring and
-//!   [`Cluster::rebalance_idle`] migrates idle groups to it; groups with live
-//!   token state stay pinned until they quiesce, because moving a held token
-//!   between arbiters is exactly the double-grant risk failover avoids.
+//!   over `dmps-simnet` hosts, crashes them mid-traffic on a seeded
+//!   schedule, and (optionally) retransmits unanswered requests after
+//!   failover, exercising the dedup window end to end.
+//! * **Scale-out** — [`Cluster::add_shard`] grows the ring and spawns the
+//!   new shard's pipeline; [`Cluster::rebalance_idle`] migrates idle groups
+//!   to it and reports floor-active groups as `deferred`
+//!   ([`RebalanceReport`]) so callers can retry once they quiesce — moving a
+//!   held token between arbiters is exactly the double-grant risk failover
+//!   avoids.
 //!
-//! ## Example
+//! The single-caller [`Cluster`] façade keeps the pre-pipeline API
+//! (`submit`/`flush`/`request`, `&mut self`) so existing call sites migrate
+//! mechanically; `flush` and `flush_parallel` both just await the façade's
+//! outstanding decisions, because shards now always work in parallel behind
+//! their queues.
+//!
+//! ## Example: concurrent multi-gateway ingest
 //!
 //! ```
 //! use dmps_cluster::{Cluster, ClusterConfig, GlobalRequest};
@@ -47,8 +79,19 @@
 //! let teacher = cluster.register_member(Member::new("teacher", Role::Chair));
 //! cluster.join_group(group, teacher).unwrap();
 //!
-//! cluster.submit(GlobalRequest::speak(group, teacher)).unwrap();
-//! let decisions = cluster.flush_parallel();
+//! // Concurrent ingest: every clone is an independent gateway.
+//! let gateway = cluster.gateway();
+//! let worker = std::thread::spawn(move || {
+//!     let seq = gateway.submit(GlobalRequest::speak(group, teacher)).unwrap();
+//!     let decision = gateway.recv_decision().unwrap();
+//!     assert_eq!(decision.seq, seq);
+//!     assert!(decision.outcome.unwrap().is_granted());
+//! });
+//! worker.join().unwrap();
+//!
+//! // The façade path still works for single-threaded callers.
+//! cluster.submit(GlobalRequest::release_floor(group, teacher)).unwrap();
+//! let decisions = cluster.flush();
 //! assert!(decisions[0].outcome.as_ref().unwrap().is_granted());
 //!
 //! // Crash the shard owning the group; the standby recovers it exactly.
@@ -62,16 +105,22 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod directory;
 pub mod error;
+pub mod gateway;
 pub mod ring;
 pub mod shard;
 pub mod sim;
+mod worker;
 
 pub use cluster::{
-    Cluster, ClusterConfig, ClusterInvitation, Decision, GlobalRequest, GlobalRequestKind,
-    GroupPlacement,
+    Cluster, ClusterConfig, Decision, GlobalRequest, GlobalRequestKind, RebalanceReport,
 };
+pub use directory::{ClusterInvitation, Directory, GroupPlacement};
 pub use error::{ClusterError, Result};
+pub use gateway::Gateway;
 pub use ring::{HashRing, ShardId};
-pub use shard::{EventLog, GlobalGroupId, GlobalMemberId, Shard, ShardState};
+pub use shard::{
+    DedupWindow, EventLog, GlobalGroupId, GlobalMemberId, Shard, ShardState, ShardView,
+};
 pub use sim::{ClusterMsg, ClusterSim};

@@ -1,5 +1,5 @@
 //! One shard: a [`FloorArbiter`] behind an append-only event log with
-//! periodic snapshots.
+//! periodic snapshots and a request-id dedup window.
 //!
 //! The log models the shard's replicated durable state (in a real deployment
 //! it would live on a quorum of log servers); the arbiter is the volatile
@@ -7,11 +7,20 @@
 //! arbiter; recovery restores the latest [`ArbiterSnapshot`] and replays the
 //! log suffix, which — because [`FloorArbiter::apply`] is deterministic —
 //! reconstructs the pre-crash state exactly.
+//!
+//! The [`DedupWindow`] is the shard half of gateway retransmission: every
+//! arbitration carries a cluster-unique request id, and the decision recorded
+//! for it answers any retry of the same id without re-applying the event.
+//! Like the log, the window is modelled as durable (it is conceptually the
+//! tail of the decision journal riding the replicated log), so a retry that
+//! arrives after a crash-and-recover cannot double-apply a floor event.
 
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
+use dmps_floor::arbiter::ArbiterStats;
 use dmps_floor::snapshot::EventOutcome;
-use dmps_floor::{ArbiterEvent, ArbiterSnapshot, FloorArbiter};
+use dmps_floor::{ArbiterEvent, ArbiterSnapshot, ArbitrationOutcome, FloorArbiter, FloorRequest};
 
 use crate::error::{ClusterError, Result};
 use crate::ring::ShardId;
@@ -104,6 +113,116 @@ impl EventLog {
     }
 }
 
+/// A bounded map of recently decided request ids → outcomes: the shard side
+/// of gateway retransmission.
+///
+/// Recording is windowed (oldest entries evicted first) so memory stays
+/// bounded; the window only needs to outlast the gateways' retry horizon.
+/// A capacity of zero disables dedup entirely. Entries remember which
+/// global group they decided for, so a group migration can carry its slice
+/// of the journal to the new owning shard ([`DedupWindow::extract_group`])
+/// and retries keep replaying instead of double-applying.
+#[derive(Debug, Clone, Default)]
+pub struct DedupWindow {
+    capacity: usize,
+    order: VecDeque<u64>,
+    outcomes: BTreeMap<u64, (GlobalGroupId, ArbitrationOutcome)>,
+}
+
+impl DedupWindow {
+    /// A window retaining the last `capacity` decisions.
+    pub fn new(capacity: usize) -> Self {
+        DedupWindow {
+            capacity,
+            order: VecDeque::new(),
+            outcomes: BTreeMap::new(),
+        }
+    }
+
+    /// Number of retained decisions.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether the window holds no decisions.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The decision recorded for a request id, if still in the window.
+    pub fn get(&self, id: u64) -> Option<&ArbitrationOutcome> {
+        self.outcomes.get(&id).map(|(_, outcome)| outcome)
+    }
+
+    /// Records a decision, evicting the oldest entries when over capacity.
+    pub fn record(&mut self, id: u64, group: GlobalGroupId, outcome: ArbitrationOutcome) {
+        if self.capacity == 0 || self.outcomes.contains_key(&id) {
+            return;
+        }
+        // The order queue may hold ids already extracted by a migration, so
+        // evict until an actual entry made room (or the queue is exhausted).
+        while self.outcomes.len() >= self.capacity {
+            let Some(evicted) = self.order.pop_front() else {
+                break;
+            };
+            self.outcomes.remove(&evicted);
+        }
+        self.order.push_back(id);
+        self.outcomes.insert(id, (group, outcome));
+    }
+
+    /// Removes and returns every journaled decision for `group` — the
+    /// migration path: the entries follow the group to its new shard.
+    pub fn extract_group(&mut self, group: GlobalGroupId) -> Vec<(u64, ArbitrationOutcome)> {
+        let ids: Vec<u64> = self
+            .outcomes
+            .iter()
+            .filter(|(_, (g, _))| *g == group)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.into_iter()
+            .map(|id| {
+                let (_, outcome) = self.outcomes.remove(&id).expect("listed above");
+                (id, outcome)
+            })
+            .collect()
+    }
+
+    /// Installs journal entries extracted from another shard's window.
+    pub fn install(&mut self, group: GlobalGroupId, entries: Vec<(u64, ArbitrationOutcome)>) {
+        for (id, outcome) in entries {
+            self.record(id, group, outcome);
+        }
+    }
+}
+
+/// A read-only snapshot of a shard's health and counters, cheap enough to
+/// ship out of the worker thread that owns the [`Shard`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardView {
+    /// The shard id.
+    pub id: ShardId,
+    /// Current liveness.
+    pub state: ShardState,
+    /// How many times a standby recovered the shard.
+    pub recoveries: u64,
+    /// Sequence number of the oldest retained log event.
+    pub log_base: u64,
+    /// Number of retained log events.
+    pub log_retained: usize,
+    /// Whether a snapshot has been taken.
+    pub has_snapshot: bool,
+    /// Number of decisions currently in the dedup window.
+    pub dedup_entries: usize,
+    /// Aggregate floor statistics of the shard's arbiter.
+    pub stats: ArbiterStats,
+}
+
 /// Liveness of a shard's primary process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShardState {
@@ -123,13 +242,15 @@ pub struct Shard {
     log: EventLog,
     snapshot: Option<ArbiterSnapshot>,
     snapshot_every: u64,
+    dedup: DedupWindow,
     recoveries: u64,
 }
 
 impl Shard {
     /// Creates an active shard that snapshots every `snapshot_every` events
-    /// (0 disables automatic snapshots).
-    pub fn new(id: ShardId, snapshot_every: u64) -> Self {
+    /// (0 disables automatic snapshots) and remembers the last
+    /// `dedup_window` arbitration decisions for retry dedup (0 disables).
+    pub fn new(id: ShardId, snapshot_every: u64, dedup_window: usize) -> Self {
         Shard {
             id,
             state: ShardState::Active,
@@ -137,6 +258,7 @@ impl Shard {
             log: EventLog::new(),
             snapshot: None,
             snapshot_every,
+            dedup: DedupWindow::new(dedup_window),
             recoveries: 0,
         }
     }
@@ -176,6 +298,25 @@ impl Shard {
         self.recoveries
     }
 
+    /// The dedup window (recently decided request ids).
+    pub fn dedup(&self) -> &DedupWindow {
+        &self.dedup
+    }
+
+    /// A cheap, owned snapshot of the shard's health and counters.
+    pub fn view(&self) -> ShardView {
+        ShardView {
+            id: self.id,
+            state: self.state,
+            recoveries: self.recoveries,
+            log_base: self.log.base(),
+            log_retained: self.log.retained(),
+            has_snapshot: self.snapshot.is_some(),
+            dedup_entries: self.dedup.len(),
+            stats: self.arbiter.stats(),
+        }
+    }
+
     /// Applies an event through the log: the event is validated against the
     /// live arbiter, appended to the durable log, and a snapshot is taken on
     /// the configured cadence.
@@ -200,6 +341,52 @@ impl Shard {
         Ok(outcome)
     }
 
+    /// Arbitrates a floor request idempotently: `id` is the cluster-unique
+    /// request id, and a retry of an id whose decision is still in the dedup
+    /// window gets the recorded decision back (second tuple element `true`)
+    /// without the event being applied again.
+    ///
+    /// Only *applied* arbitrations are journaled: a request refused because
+    /// the shard is down, or rejected by the arbiter without mutating state,
+    /// is safe (and meaningful) to re-run, so retries of those re-arbitrate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::ShardDown`] when the shard is failed, or the
+    /// underlying floor error.
+    pub fn arbitrate_dedup(
+        &mut self,
+        id: u64,
+        group: GlobalGroupId,
+        request: FloorRequest,
+    ) -> (Result<ArbitrationOutcome>, bool) {
+        if self.state != ShardState::Active {
+            return (Err(ClusterError::ShardDown(self.id)), false);
+        }
+        if let Some(outcome) = self.dedup.get(id) {
+            return (Ok(outcome.clone()), true);
+        }
+        match self.apply(ArbiterEvent::Arbitrate { request }) {
+            Ok(EventOutcome::Arbitrated(outcome)) => {
+                self.dedup.record(id, group, outcome.clone());
+                (Ok(outcome), false)
+            }
+            Ok(_) => unreachable!("Arbitrate yields Arbitrated"),
+            Err(e) => (Err(e), false),
+        }
+    }
+
+    /// Removes and returns the journaled decisions for a group (the shard is
+    /// losing the group to a migration; the entries must follow it).
+    pub fn extract_dedup(&mut self, group: GlobalGroupId) -> Vec<(u64, ArbitrationOutcome)> {
+        self.dedup.extract_group(group)
+    }
+
+    /// Installs journal entries for a group this shard is taking over.
+    pub fn install_dedup(&mut self, group: GlobalGroupId, entries: Vec<(u64, ArbitrationOutcome)>) {
+        self.dedup.install(group, entries);
+    }
+
     /// Takes a snapshot of the current state now and compacts the log up to
     /// it.
     pub fn take_snapshot(&mut self) -> &ArbiterSnapshot {
@@ -209,8 +396,9 @@ impl Shard {
         self.snapshot.as_ref().expect("just stored")
     }
 
-    /// Crashes the primary: volatile arbiter state is lost; log and snapshot
-    /// (durable, replicated) survive.
+    /// Crashes the primary: volatile arbiter state is lost; log, snapshot and
+    /// dedup window (durable, replicated — the window is the tail of the
+    /// decision journal) survive.
     pub fn crash(&mut self) {
         self.state = ShardState::Failed;
         self.arbiter = FloorArbiter::with_defaults();
@@ -270,7 +458,7 @@ mod tests {
 
     #[test]
     fn crash_and_recover_reconstructs_state_exactly() {
-        let mut shard = Shard::new(ShardId(0), 8);
+        let mut shard = Shard::new(ShardId(0), 8, 64);
         scripted(&mut shard, 20);
         let reference = shard.arbiter().clone();
         assert!(shard.latest_snapshot().is_some(), "cadence snapshots taken");
@@ -292,7 +480,7 @@ mod tests {
 
     #[test]
     fn recovery_works_without_any_snapshot() {
-        let mut shard = Shard::new(ShardId(1), 0);
+        let mut shard = Shard::new(ShardId(1), 0, 64);
         scripted(&mut shard, 5);
         let reference = shard.arbiter().clone();
         assert!(shard.latest_snapshot().is_none());
@@ -303,7 +491,7 @@ mod tests {
 
     #[test]
     fn failed_events_are_not_logged() {
-        let mut shard = Shard::new(ShardId(0), 0);
+        let mut shard = Shard::new(ShardId(0), 0, 64);
         scripted(&mut shard, 1);
         let retained = shard.log().retained();
         // Unknown group: the arbiter rejects it, so the log must not grow —
@@ -323,7 +511,7 @@ mod tests {
 
     #[test]
     fn log_compaction_keeps_recovery_correct() {
-        let mut shard = Shard::new(ShardId(2), 4);
+        let mut shard = Shard::new(ShardId(2), 4, 64);
         scripted(&mut shard, 30);
         // Compaction happened: the log no longer starts at zero.
         assert!(shard.log().base() > 0);
@@ -353,5 +541,77 @@ mod tests {
         // Compacting backwards is a no-op.
         log.compact_to(2);
         assert_eq!(log.base(), 4);
+    }
+
+    #[test]
+    fn duplicate_request_ids_replay_without_reapplying() {
+        let mut shard = Shard::new(ShardId(0), 0, 64);
+        scripted(&mut shard, 0);
+        let speak = FloorRequest::speak(GroupId(0), MemberId(0));
+        let (first, replayed) = shard.arbitrate_dedup(7, GlobalGroupId(0), speak.clone());
+        assert!(!replayed);
+        let first = first.unwrap();
+        assert!(first.is_granted());
+        let logged = shard.log().retained();
+        let stats = shard.arbiter().stats();
+        // The retry answers from the journal: same outcome, no new log event,
+        // no stats movement.
+        let (second, replayed) = shard.arbitrate_dedup(7, GlobalGroupId(0), speak.clone());
+        assert!(replayed);
+        assert_eq!(second.unwrap(), first);
+        assert_eq!(shard.log().retained(), logged);
+        assert_eq!(shard.arbiter().stats(), stats);
+        // A fresh id applies normally (queued behind the holder).
+        let (third, replayed) = shard.arbitrate_dedup(
+            8,
+            GlobalGroupId(0),
+            FloorRequest::speak(GroupId(0), MemberId(1)),
+        );
+        assert!(!replayed);
+        assert!(matches!(third.unwrap(), ArbitrationOutcome::Queued { .. }));
+    }
+
+    #[test]
+    fn dedup_window_survives_crash_and_recovery() {
+        let mut shard = Shard::new(ShardId(0), 4, 64);
+        scripted(&mut shard, 0);
+        let speak = FloorRequest::speak(GroupId(0), MemberId(0));
+        let (first, _) = shard.arbitrate_dedup(42, GlobalGroupId(0), speak.clone());
+        let first = first.unwrap();
+        shard.crash();
+        // While down, even a duplicate is refused — nothing serves.
+        let (down, replayed) = shard.arbitrate_dedup(42, GlobalGroupId(0), speak.clone());
+        assert!(matches!(down, Err(ClusterError::ShardDown(_))));
+        assert!(!replayed);
+        shard.recover().unwrap();
+        // After recovery the journaled decision still answers the retry, so
+        // the event cannot double-apply.
+        let granted_before = shard.arbiter().stats().granted;
+        let (after, replayed) = shard.arbitrate_dedup(42, GlobalGroupId(0), speak);
+        assert!(replayed);
+        assert_eq!(after.unwrap(), first);
+        assert_eq!(shard.arbiter().stats().granted, granted_before);
+    }
+
+    #[test]
+    fn dedup_window_is_bounded_and_evicts_oldest() {
+        let mut window = DedupWindow::new(2);
+        let outcome = ArbitrationOutcome::Granted {
+            speakers: vec![MemberId(0)],
+            suspensions: vec![],
+        };
+        window.record(1, GlobalGroupId(0), outcome.clone());
+        window.record(2, GlobalGroupId(0), outcome.clone());
+        window.record(3, GlobalGroupId(1), outcome.clone());
+        assert_eq!(window.len(), 2);
+        assert!(window.get(1).is_none(), "oldest entry evicted");
+        assert!(window.get(2).is_some() && window.get(3).is_some());
+        // Re-recording an existing id neither grows nor reorders the window.
+        window.record(2, GlobalGroupId(0), outcome.clone());
+        assert_eq!(window.len(), 2);
+        // Capacity zero disables recording entirely.
+        let mut off = DedupWindow::new(0);
+        off.record(1, GlobalGroupId(0), outcome);
+        assert!(off.is_empty());
     }
 }

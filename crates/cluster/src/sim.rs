@@ -7,8 +7,17 @@
 //! `sharded_campus_lectures` example. Request→decision latencies are
 //! recorded per shard so grant-latency statistics can be computed with
 //! `dmps::metrics::GrantLatencyStats`.
+//!
+//! With [`ClusterSim::enable_retransmission`], the gateway also models the
+//! client-side half of exactly-once delivery: every request carries a
+//! cluster-unique id, and when a failover completes, requests that were sent
+//! to the crashed shard but never answered are retransmitted under their
+//! original ids. The shard's dedup window answers already-applied ids from
+//! its decision journal, so a retry cannot double-apply a floor event, and
+//! the gateway drops duplicate decisions by id — every submission yields
+//! exactly one recorded decision.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
 use dmps_floor::ArbitrationOutcome;
@@ -24,14 +33,14 @@ use crate::shard::GlobalGroupId;
 pub enum ClusterMsg {
     /// Gateway → shard: arbitrate this request.
     Request {
-        /// Submission sequence number.
+        /// The cluster-unique request id (idempotency key for retries).
         seq: u64,
         /// The request.
         request: GlobalRequest,
     },
     /// Shard → gateway: the arbitration decision.
     Decision {
-        /// Submission sequence number.
+        /// The request id.
         seq: u64,
         /// The group the request addressed.
         group: GlobalGroupId,
@@ -74,10 +83,16 @@ pub struct ClusterSim {
     hosts: Vec<ShardHosts>,
     plan: Vec<(SimTime, FailureAction)>,
     sent_at: BTreeMap<u64, (SimTime, ShardId)>,
+    /// Requests sent but not yet answered, by id — the retransmission queue.
+    outstanding: BTreeMap<u64, GlobalRequest>,
+    /// Ids already answered (duplicate decisions are dropped).
+    answered: BTreeSet<u64>,
+    /// `Some(delay)` when gateway retransmission after failover is on.
+    retransmission: Option<Duration>,
+    retransmits: u64,
     latencies: Vec<Vec<Duration>>,
     decisions: Vec<(u64, GlobalGroupId, ArbitrationOutcome)>,
     failovers: u64,
-    next_seq: u64,
 }
 
 impl ClusterSim {
@@ -107,10 +122,13 @@ impl ClusterSim {
             hosts,
             plan: Vec::new(),
             sent_at: BTreeMap::new(),
+            outstanding: BTreeMap::new(),
+            answered: BTreeSet::new(),
+            retransmission: None,
+            retransmits: 0,
             latencies: vec![Vec::new(); config.shards],
             decisions: Vec::new(),
             failovers: 0,
-            next_seq: 0,
         }
     }
 
@@ -141,6 +159,19 @@ impl ClusterSim {
         self.failovers
     }
 
+    /// Number of requests the gateway retransmitted after failovers.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Turns on gateway retransmission: when a failover completes, requests
+    /// sent to the crashed shard but never answered are re-sent `delay`
+    /// later under their original ids. Combined with the shard dedup window
+    /// this makes request delivery exactly-once despite crashes.
+    pub fn enable_retransmission(&mut self, delay: Duration) {
+        self.retransmission = Some(delay);
+    }
+
     /// Schedules a client floor request to be sent at global time `at`.
     ///
     /// # Errors
@@ -151,8 +182,7 @@ impl ClusterSim {
         // Resolve now to surface routing errors early; the serving host is
         // resolved again at send time so failovers redirect traffic.
         let _ = self.cluster.placement(request.group)?;
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        let seq = self.cluster.allocate_request_id();
         self.net
             .schedule(self.gateway, at, ClusterMsg::Request { seq, request })
             .expect("gateway timers are always schedulable");
@@ -169,7 +199,7 @@ impl ClusterSim {
         self.plan.sort_by_key(|&(t, _)| t);
     }
 
-    fn apply_failure(&mut self, action: FailureAction) {
+    fn apply_failure(&mut self, at: SimTime, action: FailureAction) {
         match action {
             FailureAction::Crash(shard) => {
                 let serving = self.hosts[shard.0].serving;
@@ -193,7 +223,33 @@ impl ClusterSim {
                 let _ = self.net.set_host_up(hosts.serving, true);
                 self.hosts[shard.0].serving = standby;
                 self.failovers += 1;
+                if let Some(delay) = self.retransmission {
+                    self.retransmit_unanswered(at + delay, shard);
+                }
             }
+        }
+    }
+
+    /// Re-schedules every unanswered request owned by `shard` under its
+    /// original id. The shard's dedup window turns retries of
+    /// already-applied requests into journal replays, so this cannot
+    /// double-apply.
+    fn retransmit_unanswered(&mut self, at: SimTime, shard: ShardId) {
+        let retries: Vec<(u64, GlobalRequest)> = self
+            .outstanding
+            .iter()
+            .filter(|(_, request)| {
+                self.cluster
+                    .placement(request.group)
+                    .is_ok_and(|p| p.shard == shard)
+            })
+            .map(|(&seq, &request)| (seq, request))
+            .collect();
+        for (seq, request) in retries {
+            self.net
+                .schedule(self.gateway, at, ClusterMsg::Request { seq, request })
+                .expect("gateway timers are always schedulable");
+            self.retransmits += 1;
         }
     }
 
@@ -214,12 +270,12 @@ impl ClusterSim {
             match (next_delivery, next_failure) {
                 (None, None) => break,
                 (Some(d), Some(f)) if f <= d => {
-                    let (_, action) = self.plan.remove(0);
-                    self.apply_failure(action);
+                    let (t, action) = self.plan.remove(0);
+                    self.apply_failure(t, action);
                 }
                 (None, Some(_)) => {
-                    let (_, action) = self.plan.remove(0);
-                    self.apply_failure(action);
+                    let (t, action) = self.plan.remove(0);
+                    self.apply_failure(t, action);
                 }
                 _ => {
                     let delivery = self.net.next_delivery().expect("peeked");
@@ -239,7 +295,10 @@ impl ClusterSim {
                         return;
                     };
                     let serving = self.hosts[placement.shard.0].serving;
-                    self.sent_at.insert(seq, (at, placement.shard));
+                    // First-send time is what client-observed latency (and
+                    // retransmission accounting) is measured from.
+                    self.sent_at.entry(seq).or_insert((at, placement.shard));
+                    self.outstanding.insert(seq, request);
                     let msg = ClusterMsg::Request { seq, request };
                     let size = msg.size_bytes();
                     let _ = self.net.send(self.gateway, serving, msg, size);
@@ -249,6 +308,13 @@ impl ClusterSim {
                     group,
                     outcome,
                 } => {
+                    if !self.answered.insert(seq) {
+                        // A duplicate decision (original answered, then a
+                        // retransmitted copy was replayed): exactly-once
+                        // accounting drops it.
+                        return;
+                    }
+                    self.outstanding.remove(&seq);
                     if let Some((sent, shard)) = self.sent_at.get(&seq).copied() {
                         self.latencies[shard.0].push(at.duration_since(sent));
                     }
@@ -258,8 +324,11 @@ impl ClusterSim {
             }
         } else if self.shard_of_host(to).is_some() {
             if let ClusterMsg::Request { seq, request } = msg {
-                // The shard primary arbitrates and replies to the gateway.
-                let Ok(outcome) = self.cluster.request(request) else {
+                // The shard primary arbitrates — idempotently in the request
+                // id, so a retransmitted request that was already applied is
+                // answered from the decision journal — and replies to the
+                // gateway.
+                let Ok((outcome, _replayed)) = self.cluster.request_with_id(seq, request) else {
                     return;
                 };
                 let reply = ClusterMsg::Decision {
@@ -273,13 +342,14 @@ impl ClusterSim {
         }
     }
 
-    /// Request→decision latency samples observed for one shard.
+    /// Request→decision latency samples observed for one shard, measured
+    /// from the first transmission of each request.
     pub fn latencies(&self, shard: ShardId) -> &[Duration] {
         &self.latencies[shard.0]
     }
 
     /// Every decision received by the gateway, in arrival order as
-    /// `(submission seq, group, outcome)`.
+    /// `(request id, group, outcome)` — at most one entry per request id.
     pub fn decisions(&self) -> &[(u64, GlobalGroupId, ArbitrationOutcome)] {
         &self.decisions
     }
@@ -307,8 +377,8 @@ mod tests {
         }
         sim.run_to_idle();
         assert_eq!(sim.decisions().len(), 10);
-        // Every submission got a distinct sequence number, so decisions
-        // correlate one-to-one with submissions.
+        // Every submission got a distinct request id, so decisions correlate
+        // one-to-one with submissions.
         let mut seqs: Vec<u64> = sim.decisions().iter().map(|(s, ..)| *s).collect();
         seqs.sort_unstable();
         assert_eq!(seqs, (0..10).collect::<Vec<u64>>());
@@ -346,9 +416,11 @@ mod tests {
         sim.run_to_idle();
         assert_eq!(sim.failovers(), 1);
         assert_ne!(sim.serving_host(shard), primary, "standby serves now");
-        // Some requests were answered, some died with the host.
+        // Without retransmission, some requests were answered and some died
+        // with the host.
         assert!(!sim.decisions().is_empty());
         assert!(sim.decisions().len() < 40);
+        assert_eq!(sim.retransmits(), 0);
         assert!(sim
             .network()
             .dropped()
@@ -357,19 +429,55 @@ mod tests {
         sim.cluster().check_invariants().unwrap();
         // Exactly one token holder after recovery.
         let placement = sim.cluster().placement(g).unwrap();
-        let token = sim
-            .cluster()
-            .shard(placement.shard)
-            .arbiter()
-            .token(placement.local)
-            .unwrap();
+        let arbiter = sim.cluster().arbiter(placement.shard);
+        let token = arbiter.token(placement.local).unwrap();
         assert!(token.holder().is_some());
+    }
+
+    #[test]
+    fn retransmission_answers_every_request_exactly_once() {
+        let mut sim = ClusterSim::new(ClusterConfig::with_shards(2), 5, Link::lan());
+        sim.enable_retransmission(Duration::from_millis(40));
+        let g = sim
+            .cluster_mut()
+            .create_group("lecture", FcmMode::EqualControl)
+            .unwrap();
+        let shard = sim.cluster().placement(g).unwrap().shard;
+        let speakers: Vec<_> = (0..3)
+            .map(|i| {
+                let m = sim
+                    .cluster_mut()
+                    .register_member(Member::new(format!("m{i}"), Role::Participant));
+                sim.cluster_mut().join_group(g, m).unwrap();
+                m
+            })
+            .collect();
+        let mut seqs = Vec::new();
+        for i in 0..40u64 {
+            seqs.push(
+                sim.submit_at(
+                    SimTime::from_millis(50 * i),
+                    GlobalRequest::speak(g, speakers[(i % 3) as usize]),
+                )
+                .unwrap(),
+            );
+        }
+        sim.schedule_crash(SimTime::from_millis(900), shard, Duration::from_millis(300));
+        sim.run_to_idle();
+        assert_eq!(sim.failovers(), 1);
+        assert!(sim.retransmits() > 0, "the crash must strand some requests");
+        // Exactly one decision per submission, despite drops and retries.
+        let mut answered: Vec<u64> = sim.decisions().iter().map(|(s, ..)| *s).collect();
+        answered.sort_unstable();
+        assert_eq!(answered, seqs, "every request answered exactly once");
+        sim.cluster().check_invariants().unwrap();
     }
 
     #[test]
     fn same_seed_same_failover_same_state() {
         let run = |seed: u64| {
             let mut sim = ClusterSim::new(ClusterConfig::with_shards(3), seed, Link::dsl());
+            sim.enable_retransmission(Duration::from_millis(25));
             let g = sim
                 .cluster_mut()
                 .create_group("lecture", FcmMode::EqualControl)
@@ -395,8 +503,9 @@ mod tests {
             sim.run_to_idle();
             let placement = sim.cluster().placement(g).unwrap();
             (
-                dmps_wire::to_string(sim.cluster().shard(placement.shard).arbiter()),
+                dmps_wire::to_string(&sim.cluster().arbiter(placement.shard)),
                 sim.decisions().len(),
+                sim.retransmits(),
                 sim.network().dropped().len(),
             )
         };

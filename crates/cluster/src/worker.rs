@@ -1,0 +1,122 @@
+//! Persistent per-shard worker pipelines.
+//!
+//! Every shard's [`Shard`] state is owned by exactly one long-lived OS thread
+//! which drains an MPSC command queue — the successor of the old
+//! spawn-one-thread-per-`flush_parallel` design. Because the worker is the
+//! *only* code that ever touches the shard, no lock protects the arbiter: the
+//! queue itself is the serialization point, and any number of gateways can
+//! send into it concurrently.
+//!
+//! Two command shapes cover everything:
+//!
+//! * [`ShardCommand::Request`] — the streaming ingest path. The worker
+//!   arbitrates (through the shard's dedup window, see
+//!   [`Shard::arbitrate_dedup`]) and sends the [`Decision`] straight back to
+//!   the submitting gateway's results channel, so decisions stream while
+//!   other shards are still working.
+//! * [`ShardCommand::With`] — the control plane. A closure runs with
+//!   exclusive access to the shard (create a group, crash, recover,
+//!   inspect); callers that need an answer pack a reply channel into the
+//!   closure.
+//!
+//! A worker survives its shard crashing — the thread keeps draining the
+//! queue and answers requests with [`crate::ClusterError::ShardDown`] until
+//! a recover command arrives — and exits only when the last command sender
+//! is dropped, at which point [`ShardWorker::drop`] joins the thread.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use dmps_floor::FloorRequest;
+
+use crate::cluster::Decision;
+use crate::shard::{GlobalGroupId, Shard};
+
+/// One unit of work for a shard worker.
+pub(crate) enum ShardCommand {
+    /// Arbitrate a floor request; the decision goes to `reply`.
+    Request {
+        /// Cluster-unique request id (dedup key and decision ordering key).
+        seq: u64,
+        /// The global group, echoed into the decision.
+        group: GlobalGroupId,
+        /// The request, already translated to shard-local ids.
+        request: FloorRequest,
+        /// Where the decision streams back to (the submitting gateway).
+        reply: Sender<Decision>,
+    },
+    /// Run a closure with exclusive access to the shard.
+    With(Box<dyn FnOnce(&mut Shard) + Send>),
+}
+
+/// Handle to one shard's persistent worker thread.
+#[derive(Debug)]
+pub(crate) struct ShardWorker {
+    sender: Option<Sender<ShardCommand>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ShardWorker {
+    /// Spawns the worker thread that owns `shard`.
+    pub(crate) fn spawn(shard: Shard) -> Self {
+        let (sender, receiver) = channel();
+        let name = format!("dmps-shard-{}", shard.id().index());
+        let thread = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || run(shard, receiver))
+            .expect("spawn shard worker thread");
+        ShardWorker {
+            sender: Some(sender),
+            thread: Some(thread),
+        }
+    }
+
+    /// Enqueues a command.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the worker thread is gone, which only happens if shard
+    /// code panicked — a bug, not a recoverable condition.
+    pub(crate) fn send(&self, command: ShardCommand) {
+        self.sender
+            .as_ref()
+            .expect("sender taken only in drop")
+            .send(command)
+            .expect("shard worker thread is alive");
+    }
+}
+
+impl Drop for ShardWorker {
+    fn drop(&mut self) {
+        // Closing the queue lets the worker drain what is left and exit;
+        // joining makes cluster teardown deterministic.
+        drop(self.sender.take());
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn run(mut shard: Shard, queue: Receiver<ShardCommand>) {
+    while let Ok(command) = queue.recv() {
+        match command {
+            ShardCommand::Request {
+                seq,
+                group,
+                request,
+                reply,
+            } => {
+                let (outcome, replayed) = shard.arbitrate_dedup(seq, group, request);
+                // A gateway that dropped its results receiver simply misses
+                // the decision; the shard state is already consistent.
+                let _ = reply.send(Decision {
+                    seq,
+                    group,
+                    outcome,
+                    replayed,
+                });
+            }
+            ShardCommand::With(f) => f(&mut shard),
+        }
+    }
+}

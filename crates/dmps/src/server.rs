@@ -83,7 +83,9 @@ impl DmpsServer {
     /// Replaces the floor-control state from a snapshot — the hook a standby
     /// server (or a rebalancer moving the group administration to another
     /// station) uses to take over without losing grants, queues or
-    /// suspensions.
+    /// suspensions. Returns the snapshot's event-log position, so a caller
+    /// that keeps a log (like a `dmps-cluster` shard) knows where to resume
+    /// replay.
     ///
     /// # Errors
     ///
@@ -92,9 +94,9 @@ impl DmpsServer {
     pub fn import_arbiter(
         &mut self,
         snapshot: &dmps_floor::ArbiterSnapshot,
-    ) -> dmps_floor::Result<()> {
+    ) -> dmps_floor::Result<u64> {
         self.arbiter = FloorArbiter::restore(snapshot)?;
-        Ok(())
+        Ok(snapshot.applied_seq)
     }
 
     /// The member connected from a host, if any.

@@ -201,6 +201,7 @@ impl Session {
     pub fn restore_arbiter(&mut self, snapshot: &dmps_floor::ArbiterSnapshot) -> Result<()> {
         self.server
             .import_arbiter(snapshot)
+            .map(|_applied_seq| ())
             .map_err(DmpsError::Floor)
     }
 

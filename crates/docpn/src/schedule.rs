@@ -128,7 +128,7 @@ impl ScheduleReport {
 ///
 /// Returns media-model errors when the compiled metadata is inconsistent with
 /// the document timeline (which cannot happen for values produced by
-/// [`crate::compile`]).
+/// [`crate::compile()`]).
 pub fn evaluate(
     compiled: &CompiledPresentation,
     execution: &TimedExecution,

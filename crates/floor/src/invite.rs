@@ -4,7 +4,7 @@
 //! *"A user can create a new group to invite others. For example, user A
 //! wants user B receiving his invitation, he can send an inviting message.
 //! User B can make a decision to accept or not. If yes, user B will be chosen
-//! as [the] listen group of user A, and user A will be the session chair in
+//! as \[the\] listen group of user A, and user A will be the session chair in
 //! his small group."*
 
 use std::fmt;

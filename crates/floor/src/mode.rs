@@ -12,13 +12,13 @@ pub enum FcmMode {
     /// the message-window or whiteboard. This mode is like general discussion
     /// with no privacy and priority."*
     FreeAccess,
-    /// *"There is only one (session chair or participant) [who] can deliver
-    /// at the same time until the floor control token [is] passed by the
+    /// *"There is only one (session chair or participant) \[who\] can deliver
+    /// at the same time until the floor control token \[is\] passed by the
     /// holder."*
     EqualControl,
     /// *"A user can create a new group to invite others [...] all
     /// participants in the same group can send message together; we regard it
-    /// as [a] private communication group."*
+    /// as \[a\] private communication group."*
     GroupDiscussion,
     /// *"Two people can communicate directly in a private window and
     /// communicate with others via free access, equal control, and direct

@@ -1,7 +1,7 @@
 //! The speaking token of the Equal Control mode.
 //!
-//! *"In this mode, there is only one (session chair or participant) [who] can
-//! deliver at the same time until the floor control token [is] passed by the
+//! *"In this mode, there is only one (session chair or participant) \[who\] can
+//! deliver at the same time until the floor control token \[is\] passed by the
 //! holder."* The token keeps a FIFO queue of pending requests so passing the
 //! floor is fair; the holder may also pass it to a specific member directly.
 

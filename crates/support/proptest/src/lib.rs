@@ -283,7 +283,7 @@ pub mod bool {
 pub mod collection {
     use super::{PhantomData, Range, RangeInclusive, Strategy, TestRng};
 
-    /// Length specification for [`vec`]: an exact length or a range.
+    /// Length specification for [`vec()`]: an exact length or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

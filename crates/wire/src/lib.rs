@@ -1,7 +1,7 @@
 //! # dmps-wire
 //!
 //! A compact, dependency-free serialization codec used across the DMPS
-//! workspace for durable state: arbiter snapshots ([`dmps-floor`]'s
+//! workspace for durable state: arbiter snapshots (`dmps-floor`'s
 //! `ArbiterSnapshot`), shard event logs (`dmps-cluster`), and experiment
 //! traces (`dmps-simnet`).
 //!

@@ -18,6 +18,10 @@ const STUDENTS: usize = 5;
 
 fn main() {
     let mut sim = ClusterSim::new(ClusterConfig::with_shards(SHARDS), 2001, Link::lan());
+    // Gateway retransmission: requests stranded by the crash below are
+    // re-sent under their original ids after failover; the shard dedup
+    // window keeps already-applied ones from double-applying.
+    sim.enable_retransmission(Duration::from_millis(60));
 
     // 64 lecture groups cycling through the paper's four floor control
     // modes, each with a teacher (chair) and five students.
@@ -79,7 +83,8 @@ fn main() {
             .unwrap();
         }
         // A second request wave lands while shard 1's host is down (crash is
-        // scheduled at t = 3 s below), so some of these die with the host.
+        // scheduled at t = 3 s below); those die with the host and are
+        // retransmitted after the standby takes over.
         sim.submit_at(
             base + Duration::from_millis(3_050),
             GlobalRequest::speak(*gid, students[1]),
@@ -107,10 +112,11 @@ fn main() {
     sim.run_to_idle();
 
     println!(
-        "\ntraffic: {} decisions delivered, {} messages dropped, {} failover(s)",
+        "\ntraffic: {} decisions delivered, {} messages dropped, {} failover(s), {} retransmit(s)",
         sim.decisions().len(),
         sim.network().dropped().len(),
         sim.failovers(),
+        sim.retransmits(),
     );
     sim.cluster()
         .check_invariants()
@@ -121,18 +127,18 @@ fn main() {
     for s in 0..SHARDS {
         let shard = ShardId(s);
         let stats = GrantLatencyStats::from_samples(sim.latencies(shard));
-        let arbiter_stats = sim.cluster().shard(shard).arbiter().stats();
+        let view = sim.cluster().shard_view(shard);
         println!(
             "  s{s}: {:4} samples  mean {:>9.3?}  p95 {:>9.3?}  max {:>9.3?}  | granted {:4} queued {:3} denied {:2} aborted {:2}{}",
             stats.samples,
             stats.mean,
             stats.p95,
             stats.max,
-            arbiter_stats.granted,
-            arbiter_stats.queued,
-            arbiter_stats.denied,
-            arbiter_stats.aborted,
-            if sim.cluster().shard(shard).recoveries() > 0 {
+            view.stats.granted,
+            view.stats.queued,
+            view.stats.denied,
+            view.stats.aborted,
+            if view.recoveries > 0 {
                 "  [recovered by standby]"
             } else {
                 ""
