@@ -31,6 +31,7 @@ use crate::directory::{ClusterInvitation, Directory, GroupPlacement, MemberRecor
 use crate::error::{ClusterError, Result};
 use crate::gateway::Gateway;
 use crate::ring::{HashRing, ShardId};
+use crate::session::{GroupSession, SessionDecision, SessionEvent, SessionOp, SessionOutcome};
 use crate::shard::{GlobalGroupId, GlobalMemberId, Shard, ShardView};
 use crate::worker::{ShardCommand, ShardWorker};
 
@@ -281,6 +282,59 @@ impl Core {
     pub(crate) fn request(&self, request: GlobalRequest) -> Result<ArbitrationOutcome> {
         self.request_as(self.directory.alloc_seq(), request)
             .map(|(outcome, _)| outcome)
+    }
+
+    // ----- session operations ----------------------------------------------
+
+    /// Translates a session operation to the owning shard's local ids.
+    fn translate_session(&self, op: &SessionOp) -> Result<(GroupPlacement, SessionEvent)> {
+        let placement = self.directory.placement(op.group)?;
+        let local_from = self.directory.local_member(op.from, placement.shard)?;
+        Ok((
+            placement,
+            SessionEvent {
+                group: op.group,
+                local_group: placement.local,
+                from: op.from,
+                local_from,
+                kind: op.kind.clone(),
+            },
+        ))
+    }
+
+    /// Routes a session operation to its shard queue under the given request
+    /// id; the decision will stream to `reply`.
+    pub(crate) fn submit_session_as(
+        &self,
+        seq: u64,
+        op: SessionOp,
+        reply: Sender<SessionDecision>,
+    ) -> Result<()> {
+        let (placement, event) = self.translate_session(&op)?;
+        let workers = self.workers.read().expect("workers lock");
+        workers[placement.shard.0].send(ShardCommand::Session { seq, event, reply });
+        Ok(())
+    }
+
+    /// Synchronously applies a session operation under the given request id,
+    /// returning the outcome and whether it was replayed from the session
+    /// dedup window.
+    pub(crate) fn session_as(&self, seq: u64, op: SessionOp) -> Result<(SessionOutcome, bool)> {
+        let (tx, rx) = channel();
+        self.submit_session_as(seq, op, tx)?;
+        let decision = rx.recv().map_err(|_| ClusterError::Disconnected)?;
+        decision.outcome.map(|o| (o, decision.replayed))
+    }
+
+    pub(crate) fn session(&self, op: SessionOp) -> Result<SessionOutcome> {
+        self.session_as(self.directory.alloc_seq(), op)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// The recorded session state of a group, read from its owning shard.
+    pub(crate) fn session_view(&self, group: GlobalGroupId) -> Result<GroupSession> {
+        let placement = self.directory.placement(group)?;
+        Ok(self.with_shard(placement.shard, move |s| s.session().view(group)))
     }
 
     // ----- membership and groups -------------------------------------------
@@ -577,6 +631,24 @@ impl Core {
             if !journal.is_empty() {
                 self.with_shard(target, move |s| s.install_dedup(group, journal));
             }
+            // Session state migrates too: the chat/whiteboard/annotation logs
+            // and media schedule (logged as purge/install so replay on either
+            // shard stays deterministic), plus the session decision journal.
+            // Install on the target *before* purging the source — the purge
+            // is durably logged, so the reverse order would destroy the only
+            // copy if the install failed.
+            let content = self.with_shard(placement.shard, move |s| s.session().view(group));
+            if !content.is_empty() {
+                self.with_shard(target, move |s| s.install_session(group, content))?;
+                let _ = self.with_shard(placement.shard, move |s| s.extract_session(group))?;
+            }
+            let session_journal =
+                self.with_shard(placement.shard, move |s| s.extract_session_dedup(group));
+            if !session_journal.is_empty() {
+                self.with_shard(target, move |s| {
+                    s.install_session_dedup(group, session_journal)
+                });
+            }
             report.migrated.push(group);
         }
         Ok(report)
@@ -723,6 +795,12 @@ impl Cluster {
     /// Returns unknown-member / not-on-shard errors.
     pub fn local_member(&self, member: GlobalMemberId, shard: ShardId) -> Result<MemberId> {
         self.core.directory().local_member(member, shard)
+    }
+
+    /// The global member a shard-local id belongs to, if instantiated there
+    /// (the reverse of [`Cluster::local_member`]).
+    pub fn global_member(&self, shard: ShardId, local: MemberId) -> Option<GlobalMemberId> {
+        self.core.directory().global_of(shard, local)
     }
 
     /// Aggregate floor statistics per shard.
@@ -885,6 +963,48 @@ impl Cluster {
     ) -> Result<(ArbitrationOutcome, bool)> {
         self.core.request_as(seq, request)
     }
+
+    // ----- session operations ----------------------------------------------
+
+    /// Synchronously applies a session operation — a chat line, whiteboard
+    /// stroke, annotation or synchronized-media schedule — on the shard
+    /// owning its group. Content operations are floor-gated there exactly
+    /// like a single `DmpsServer` gates them
+    /// ([`dmps_floor::FloorArbiter::may_deliver`]); delivered operations are
+    /// appended to the shard's durable log, so session state survives a
+    /// crash-and-failover.
+    ///
+    /// # Errors
+    ///
+    /// Returns routing and shard errors.
+    pub fn session(&mut self, op: SessionOp) -> Result<SessionOutcome> {
+        self.core.session(op)
+    }
+
+    /// Synchronously applies a session operation under a caller-provided
+    /// request id — the retransmission path: retrying an id whose decision
+    /// is still in the owning shard's session dedup window returns the
+    /// recorded outcome (second element `true`) without delivering the
+    /// content twice.
+    ///
+    /// # Errors
+    ///
+    /// Returns routing and shard errors.
+    pub fn session_with_id(&mut self, seq: u64, op: SessionOp) -> Result<(SessionOutcome, bool)> {
+        self.core.session_as(seq, op)
+    }
+
+    /// The recorded session state of a group — its chat / whiteboard /
+    /// annotation logs and media schedule — read from its owning shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownGroup`] for an unknown id.
+    pub fn session_view(&self, group: GlobalGroupId) -> Result<GroupSession> {
+        self.core.session_view(group)
+    }
+
+    // ----- request accounting ----------------------------------------------
 
     /// Number of requests submitted through this façade whose decisions have
     /// not been collected by a flush yet. (The shard pipelines may already
@@ -1236,6 +1356,84 @@ mod tests {
             let second = cluster.rebalance_idle().unwrap();
             assert!(second.migrated.contains(&pinned));
             assert!(!second.deferred.contains(&pinned));
+        }
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deferred_groups_migrate_after_token_release() {
+        // Every group is made floor-active, so the first rebalance after
+        // scale-out can move nothing: every ring-displaced group must land in
+        // `deferred`. Releasing the tokens and retrying — the documented
+        // contract of the `deferred` list — must then migrate exactly those
+        // groups.
+        let (mut cluster, gids, rosters) = cluster_with_groups(3, 40, 2, FcmMode::EqualControl);
+        for (g, roster) in gids.iter().zip(&rosters) {
+            cluster
+                .request(GlobalRequest::speak(*g, roster[0]))
+                .unwrap();
+        }
+        let new = cluster.add_shard();
+        let report = cluster.rebalance_idle().unwrap();
+        assert!(report.migrated.is_empty(), "every group is token-pinned");
+        assert!(
+            !report.deferred.is_empty(),
+            "scale-out must displace some groups on the ring"
+        );
+        for g in &report.deferred {
+            let roster = &rosters[g.0 as usize];
+            cluster
+                .request(GlobalRequest::release_floor(*g, roster[0]))
+                .unwrap();
+        }
+        let second = cluster.rebalance_idle().unwrap();
+        for g in &report.deferred {
+            assert!(
+                second.migrated.contains(g),
+                "deferred group {g} must migrate once its token is released"
+            );
+            assert!(!second.deferred.contains(g));
+            assert_eq!(cluster.placement(*g).unwrap().shard, new);
+            // The group keeps working on its new shard.
+            let roster = &rosters[g.0 as usize];
+            let outcome = cluster
+                .request(GlobalRequest::speak(*g, roster[1]))
+                .unwrap();
+            assert!(outcome.is_granted());
+        }
+        assert!(second.deferred.is_empty());
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn session_state_and_journal_follow_rebalanced_groups() {
+        let (mut cluster, gids, rosters) = cluster_with_groups(3, 60, 2, FcmMode::FreeAccess);
+        let mut seqs = std::collections::BTreeMap::new();
+        for (g, roster) in gids.iter().zip(&rosters) {
+            let seq = cluster.allocate_request_id();
+            let (outcome, replayed) = cluster
+                .session_with_id(seq, SessionOp::chat(*g, roster[0], "before the move"))
+                .unwrap();
+            assert!(outcome.is_delivered() && !replayed);
+            seqs.insert(*g, (seq, roster[0]));
+        }
+        cluster.add_shard();
+        let report = cluster.rebalance_idle().unwrap();
+        assert!(!report.migrated.is_empty());
+        for g in &report.migrated {
+            // The content followed the group to its new shard...
+            let view = cluster.session_view(*g).unwrap();
+            assert_eq!(view.chat.len(), 1, "chat log must follow {g}");
+            // ...and so did its slice of the session decision journal: a
+            // gateway retry of the pre-migration id replays instead of
+            // appending the line twice.
+            let (seq, member) = seqs[g];
+            let (outcome, replayed) = cluster
+                .session_with_id(seq, SessionOp::chat(*g, member, "before the move"))
+                .unwrap();
+            assert!(replayed, "session journal entry for {g} must have migrated");
+            assert!(outcome.is_delivered());
+            assert_eq!(cluster.session_view(*g).unwrap().chat.len(), 1);
         }
         cluster.check_invariants().unwrap();
     }

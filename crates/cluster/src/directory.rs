@@ -23,6 +23,24 @@
 //! `Core::ensure_on_shard`), which is what makes lazy member instantiation
 //! race-free; shard workers never take directory locks, so no lock cycle can
 //! form.
+//!
+//! The directory is populated through the cluster's control plane and read
+//! through its lookup API:
+//!
+//! ```
+//! use dmps_cluster::{Cluster, ClusterConfig};
+//! use dmps_floor::{FcmMode, Member, Role};
+//!
+//! let mut cluster = Cluster::new(ClusterConfig::with_shards(4));
+//! let g = cluster.create_group("lecture", FcmMode::FreeAccess).unwrap();
+//! let m = cluster.register_member(Member::new("t", Role::Chair));
+//! cluster.join_group(g, m).unwrap();
+//! // Placement: which shard owns the group, and its dense local id there.
+//! let placement = cluster.placement(g).unwrap();
+//! // Member translation: global id → the shard's dense id and back.
+//! let local = cluster.local_member(m, placement.shard).unwrap();
+//! assert_eq!(cluster.global_member(placement.shard, local), Some(m));
+//! ```
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};

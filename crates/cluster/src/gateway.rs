@@ -17,9 +17,35 @@
 //!   window guarantees an already-applied event is answered from the
 //!   decision journal instead of double-applying.
 //!
+//! Session traffic — the non-floor half of a DMPS presentation session —
+//! rides the same pipelines: [`Gateway::submit_session`] routes a chat line,
+//! whiteboard stroke, annotation or synchronized-media schedule to the shard
+//! owning the group, where it is floor-gated, durably logged, and answered
+//! with a [`SessionDecision`] on this gateway's private session stream
+//! ([`Gateway::recv_session_decision`]). [`Gateway::resubmit_session`] is
+//! the exactly-once retry path, mirroring [`Gateway::resubmit`].
+//!
 //! Control-plane operations (groups, membership, invitations) are exposed
 //! with `&self` receivers as well, so administrative traffic can run from
 //! any gateway without a cluster-wide lock.
+//!
+//! ```
+//! use dmps_cluster::{Cluster, ClusterConfig, GlobalRequest, SessionOp};
+//! use dmps_floor::{FcmMode, Member, Role};
+//!
+//! let mut cluster = Cluster::new(ClusterConfig::with_shards(2));
+//! let g = cluster.create_group("lecture", FcmMode::FreeAccess).unwrap();
+//! let gateway = cluster.gateway();
+//! let m = gateway.register_member(Member::new("teacher", Role::Chair));
+//! gateway.join_group(g, m).unwrap();
+//! // Floor and session traffic stream decisions back to this gateway.
+//! let seq = gateway.submit(GlobalRequest::speak(g, m)).unwrap();
+//! assert_eq!(gateway.recv_decision().unwrap().seq, seq);
+//! let seq = gateway.submit_session(SessionOp::chat(g, m, "hello")).unwrap();
+//! let decision = gateway.recv_session_decision().unwrap();
+//! assert_eq!(decision.seq, seq);
+//! assert!(decision.outcome.unwrap().is_delivered());
+//! ```
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -30,6 +56,7 @@ use crate::cluster::{Core, Decision, GlobalRequest};
 use crate::directory::{ClusterInvitation, GroupPlacement};
 use crate::error::{ClusterError, Result};
 use crate::ring::ShardId;
+use crate::session::{GroupSession, SessionDecision, SessionOp, SessionOutcome};
 use crate::shard::{GlobalGroupId, GlobalMemberId};
 
 /// A concurrent ingest handle onto the sharded control plane.
@@ -44,11 +71,13 @@ pub struct Gateway {
     /// can be shared across scoped threads; the intended pattern is still
     /// one clone per thread.
     decisions_rx: Mutex<Receiver<Decision>>,
+    sessions_tx: Sender<SessionDecision>,
+    sessions_rx: Mutex<Receiver<SessionDecision>>,
 }
 
 impl Clone for Gateway {
-    /// A clone shares the directory and shard pipelines but gets a fresh,
-    /// empty decision stream.
+    /// A clone shares the directory and shard pipelines but gets fresh,
+    /// empty decision streams.
     fn clone(&self) -> Self {
         Gateway::new(self.core.clone())
     }
@@ -57,10 +86,13 @@ impl Clone for Gateway {
 impl Gateway {
     pub(crate) fn new(core: Arc<Core>) -> Self {
         let (decisions_tx, decisions_rx) = channel();
+        let (sessions_tx, sessions_rx) = channel();
         Gateway {
             core,
             decisions_tx,
             decisions_rx: Mutex::new(decisions_rx),
+            sessions_tx,
+            sessions_rx: Mutex::new(sessions_rx),
         }
     }
 
@@ -139,6 +171,79 @@ impl Gateway {
     /// Returns routing and shard errors.
     pub fn request(&self, request: GlobalRequest) -> Result<ArbitrationOutcome> {
         self.core.request(request)
+    }
+
+    // ----- session operations -----------------------------------------------
+
+    /// Routes a session operation (chat, whiteboard, annotation, media
+    /// schedule) to the shard owning its group and returns its
+    /// cluster-unique request id. The decision streams back to this
+    /// gateway's session channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns unknown-id errors when the operation cannot be routed.
+    pub fn submit_session(&self, op: SessionOp) -> Result<u64> {
+        let seq = self.core.directory().alloc_seq();
+        self.core
+            .submit_session_as(seq, op, self.sessions_tx.clone())?;
+        Ok(seq)
+    }
+
+    /// Retries a session operation under its original id (gateway
+    /// retransmission). An already-delivered operation is answered from the
+    /// owning shard's session journal (`SessionDecision::replayed == true`)
+    /// instead of delivering the content twice.
+    ///
+    /// # Errors
+    ///
+    /// Returns unknown-id errors when the operation cannot be routed.
+    pub fn resubmit_session(&self, seq: u64, op: SessionOp) -> Result<()> {
+        self.core
+            .submit_session_as(seq, op, self.sessions_tx.clone())
+    }
+
+    /// Blocks until the next session decision for one of this gateway's
+    /// submissions arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Disconnected`] when the shard pipelines are
+    /// gone (the cluster was torn down).
+    pub fn recv_session_decision(&self) -> Result<SessionDecision> {
+        self.sessions_rx
+            .lock()
+            .expect("session stream lock")
+            .recv()
+            .map_err(|_| ClusterError::Disconnected)
+    }
+
+    /// The next already-delivered session decision, if any (never blocks).
+    pub fn try_recv_session_decision(&self) -> Option<SessionDecision> {
+        self.sessions_rx
+            .lock()
+            .expect("session stream lock")
+            .try_recv()
+            .ok()
+    }
+
+    /// Submits and synchronously applies one session operation, bypassing
+    /// this gateway's session stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns routing and shard errors.
+    pub fn session(&self, op: SessionOp) -> Result<SessionOutcome> {
+        self.core.session(op)
+    }
+
+    /// The recorded session state of a group, read from its owning shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownGroup`] for an unknown id.
+    pub fn session_view(&self, group: GlobalGroupId) -> Result<GroupSession> {
+        self.core.session_view(group)
     }
 
     // ----- control plane ----------------------------------------------------
@@ -287,6 +392,42 @@ mod tests {
         // Exactly one grant was applied.
         let shard = gw.placement(g).unwrap().shard;
         assert_eq!(cluster.shard_view(shard).stats.granted, 1);
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn session_decisions_stream_to_the_submitting_gateway() {
+        let mut cluster = Cluster::new(ClusterConfig::with_shards(2));
+        let g = cluster
+            .create_group("lecture", FcmMode::FreeAccess)
+            .unwrap();
+        let a = cluster.gateway();
+        let b = cluster.gateway();
+        let ma = a.register_member(Member::new("a", Role::Chair));
+        a.join_group(g, ma).unwrap();
+        let mb = b.register_member(Member::new("b", Role::Participant));
+        b.join_group(g, mb).unwrap();
+        let sa = a.submit_session(SessionOp::chat(g, ma, "from a")).unwrap();
+        let sb = b
+            .submit_session(SessionOp::whiteboard(g, mb, "from b"))
+            .unwrap();
+        let da = a.recv_session_decision().unwrap();
+        let db = b.recv_session_decision().unwrap();
+        assert_eq!(da.seq, sa);
+        assert_eq!(db.seq, sb);
+        assert!(da.outcome.unwrap().is_delivered());
+        assert!(a.try_recv_session_decision().is_none(), "b's not on a");
+        assert!(b.try_recv_session_decision().is_none(), "a's not on b");
+        let view = a.session_view(g).unwrap();
+        assert_eq!(view.chat, vec![(ma, "from a".to_string())]);
+        assert_eq!(view.whiteboard, vec![(mb, "from b".to_string())]);
+        // Retransmission replays from the session journal instead of
+        // delivering the line twice.
+        a.resubmit_session(sa, SessionOp::chat(g, ma, "from a"))
+            .unwrap();
+        let retry = a.recv_session_decision().unwrap();
+        assert!(retry.replayed);
+        assert_eq!(a.session_view(g).unwrap().chat.len(), 1);
         cluster.check_invariants().unwrap();
     }
 

@@ -32,6 +32,13 @@
 //!   ingest handle (`Arc` of the shared core + its own results channel).
 //!   Hand a clone to every front-end thread; submissions carry
 //!   cluster-unique request ids allocated from an atomic counter.
+//! * **Sessions** ([`session`]) — the content plane of a DMPS presentation
+//!   session runs sharded too: every group carries its chat / whiteboard /
+//!   annotation logs and synchronized-media schedule ([`GroupSession`]) on
+//!   its owning shard, deliveries are floor-gated there
+//!   ([`dmps_floor::FloorArbiter::may_deliver`]) exactly like a single DMPS
+//!   server gates them, and session events share the shard's durable log, so
+//!   a whole session — not just its floor requests — survives a crash.
 //! * **Retransmission & dedup** ([`shard`]) — every arbitration is keyed by
 //!   its request id in the owning shard's [`DedupWindow`], a bounded
 //!   decision journal that is durable across shard crashes (conceptually it
@@ -39,14 +46,16 @@
 //!   because the shard host died mid-request — simply retries under the same
 //!   id: an already-applied event is answered from the journal
 //!   ([`Decision::replayed`]) instead of double-applying, so retry-after-
-//!   failover is exactly-once.
-//! * **Durability & failover** ([`shard`]) — every state mutation is an
-//!   [`dmps_floor::ArbiterEvent`] appended to the shard's replicated log;
-//!   snapshots ([`dmps_floor::ArbiterSnapshot`]) are taken on a cadence and
-//!   compact the log. When a shard host crashes, a standby restores
-//!   snapshot-plus-log-suffix and takes over with *exactly* the pre-crash
-//!   floor state: no double grants, token uniqueness, suspension order — the
-//!   invariants [`dmps_floor::FloorArbiter::check_invariants`] verifies.
+//!   failover is exactly-once. Session operations get the same treatment
+//!   through a second journal keyed by the same id space.
+//! * **Durability & failover** ([`shard`]) — every state mutation is a
+//!   [`ShardEvent`] (a floor mutation or a session delivery) appended to the
+//!   shard's replicated log; snapshots ([`ShardSnapshot`]) are taken on a
+//!   cadence and compact the log. When a shard host crashes, a standby
+//!   restores snapshot-plus-log-suffix and takes over with *exactly* the
+//!   pre-crash floor and session state: no double grants, token uniqueness,
+//!   suspension order — the invariants
+//!   [`dmps_floor::FloorArbiter::check_invariants`] verifies.
 //! * **Cross-shard invitations** — Group Discussion / Direct Contact
 //!   sub-groups spawn on whatever shard the ring (or the caller) picks, so a
 //!   popular lecture's breakouts spread over the cluster instead of
@@ -109,9 +118,10 @@ pub mod directory;
 pub mod error;
 pub mod gateway;
 pub mod ring;
+pub mod session;
 pub mod shard;
 pub mod sim;
-mod worker;
+pub mod worker;
 
 pub use cluster::{
     Cluster, ClusterConfig, Decision, GlobalRequest, GlobalRequestKind, RebalanceReport,
@@ -120,7 +130,12 @@ pub use directory::{ClusterInvitation, Directory, GroupPlacement};
 pub use error::{ClusterError, Result};
 pub use gateway::Gateway;
 pub use ring::{HashRing, ShardId};
+pub use session::{
+    GroupSession, SessionDecision, SessionEvent, SessionOp, SessionOpKind, SessionOutcome,
+    SessionRejection, SessionStore,
+};
 pub use shard::{
-    DedupWindow, EventLog, GlobalGroupId, GlobalMemberId, Shard, ShardState, ShardView,
+    DedupWindow, EventLog, GlobalGroupId, GlobalMemberId, Shard, ShardEvent, ShardSnapshot,
+    ShardState, ShardView,
 };
 pub use sim::{ClusterMsg, ClusterSim};

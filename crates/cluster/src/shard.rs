@@ -1,29 +1,61 @@
-//! One shard: a [`FloorArbiter`] behind an append-only event log with
-//! periodic snapshots and a request-id dedup window.
+//! One shard: a [`FloorArbiter`] plus a [`SessionStore`] behind a single
+//! append-only event log with periodic snapshots and request-id dedup
+//! windows.
 //!
 //! The log models the shard's replicated durable state (in a real deployment
-//! it would live on a quorum of log servers); the arbiter is the volatile
-//! in-memory state of the shard's primary process. A crash discards the
-//! arbiter; recovery restores the latest [`ArbiterSnapshot`] and replays the
-//! log suffix, which — because [`FloorArbiter::apply`] is deterministic —
-//! reconstructs the pre-crash state exactly.
+//! it would live on a quorum of log servers); the arbiter and the session
+//! store are the volatile in-memory state of the shard's primary process. A
+//! crash discards both; recovery restores the latest [`ShardSnapshot`] and
+//! replays the log suffix, which — because [`FloorArbiter::apply`] and
+//! [`SessionStore::apply`] are deterministic — reconstructs the pre-crash
+//! state exactly. Floor events ([`dmps_floor::ArbiterEvent`]) and session
+//! events ([`SessionEvent`]) share one totally-ordered log
+//! ([`ShardEvent`]), so a chat line delivered under a held token replays
+//! against exactly the floor state that admitted it.
 //!
-//! The [`DedupWindow`] is the shard half of gateway retransmission: every
-//! arbitration carries a cluster-unique request id, and the decision recorded
-//! for it answers any retry of the same id without re-applying the event.
-//! Like the log, the window is modelled as durable (it is conceptually the
-//! tail of the decision journal riding the replicated log), so a retry that
-//! arrives after a crash-and-recover cannot double-apply a floor event.
+//! The [`DedupWindow`]s are the shard half of gateway retransmission: every
+//! arbitration (and every delivered session op) carries a cluster-unique
+//! request id, and the decision recorded for it answers any retry of the
+//! same id without re-applying the event. Like the log, the windows are
+//! modelled as durable (they are conceptually the tail of the decision
+//! journal riding the replicated log), so a retry that arrives after a
+//! crash-and-recover cannot double-apply an event.
+//!
+//! ```
+//! use dmps_cluster::{GlobalGroupId, Shard, ShardId};
+//! use dmps_floor::{ArbiterEvent, FcmMode, FloorRequest, GroupId, Member, MemberId, Role};
+//!
+//! let mut shard = Shard::new(ShardId(0), 4, 64);
+//! shard
+//!     .apply(ArbiterEvent::CreateGroup { name: "lecture".into(), mode: FcmMode::EqualControl })
+//!     .unwrap();
+//! shard
+//!     .apply(ArbiterEvent::AddMember { group: GroupId(0), member: Member::new("t", Role::Chair) })
+//!     .unwrap();
+//! let speak = FloorRequest::speak(GroupId(0), MemberId(0));
+//! let (outcome, replayed) = shard.arbitrate_dedup(1, GlobalGroupId(0), speak.clone());
+//! assert!(outcome.unwrap().is_granted() && !replayed);
+//! // The primary dies; the standby reconstructs the exact pre-crash state.
+//! shard.crash();
+//! shard.recover().unwrap();
+//! shard.arbiter().check_invariants().unwrap();
+//! let (retry, replayed) = shard.arbitrate_dedup(1, GlobalGroupId(0), speak);
+//! assert!(retry.unwrap().is_granted() && replayed, "journal answers the retry");
+//! ```
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use dmps_floor::arbiter::ArbiterStats;
 use dmps_floor::snapshot::EventOutcome;
-use dmps_floor::{ArbiterEvent, ArbiterSnapshot, ArbitrationOutcome, FloorArbiter, FloorRequest};
+use dmps_floor::{
+    ArbiterEvent, ArbiterSnapshot, ArbitrationOutcome, FloorArbiter, FloorError, FloorRequest,
+};
+use dmps_wire::Wire;
 
 use crate::error::{ClusterError, Result};
 use crate::ring::ShardId;
+use crate::session::{GroupSession, SessionEvent, SessionOutcome, SessionRejection, SessionStore};
 
 /// Cluster-wide identifier of a group (stable across shard moves, unlike the
 /// dense per-arbiter [`dmps_floor::GroupId`]).
@@ -33,6 +65,16 @@ pub struct GlobalGroupId(pub u64);
 impl fmt::Display for GlobalGroupId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "G{}", self.0)
+    }
+}
+
+impl Wire for GlobalGroupId {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.0.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(GlobalGroupId(u64::decode(r)?))
     }
 }
 
@@ -46,18 +88,59 @@ impl fmt::Display for GlobalMemberId {
     }
 }
 
+impl Wire for GlobalMemberId {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.0.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(GlobalMemberId(u64::decode(r)?))
+    }
+}
+
+/// One entry of a shard's totally-ordered durable log: a floor-control
+/// mutation, a session-content delivery, or a migration bookkeeping record.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ShardEvent {
+    /// A floor-control state mutation.
+    Floor(ArbiterEvent),
+    /// A delivered session operation (already floor-gated when logged).
+    Session(SessionEvent),
+    /// A group's session content left this shard (rebalancing); replay must
+    /// drop it like the migration did.
+    SessionPurge(GlobalGroupId),
+    /// A group's session content arrived from another shard (rebalancing);
+    /// replay must re-install it.
+    SessionInstall {
+        /// The migrated group.
+        group: GlobalGroupId,
+        /// Its content at migration time.
+        content: GroupSession,
+    },
+}
+
 /// The append-only event log of one shard, with prefix compaction.
 ///
 /// Event `i` of the shard's history has sequence number `i`; after
 /// compaction the log keeps only events `base..`, the rest being covered by
 /// a snapshot.
-#[derive(Debug, Clone, Default)]
-pub struct EventLog {
+#[derive(Debug, Clone)]
+pub struct EventLog<E = ShardEvent> {
     base: u64,
-    events: Vec<ArbiterEvent>,
+    events: Vec<E>,
 }
 
-impl EventLog {
+impl<E> Default for EventLog<E> {
+    fn default() -> Self {
+        EventLog {
+            base: 0,
+            events: Vec::new(),
+        }
+    }
+}
+
+impl<E> EventLog<E> {
     /// An empty log.
     pub fn new() -> Self {
         EventLog::default()
@@ -79,7 +162,7 @@ impl EventLog {
     }
 
     /// Appends an event, returning its sequence number.
-    pub fn append(&mut self, event: ArbiterEvent) -> u64 {
+    pub fn append(&mut self, event: E) -> u64 {
         let seq = self.next_seq();
         self.events.push(event);
         seq
@@ -91,7 +174,7 @@ impl EventLog {
     ///
     /// Panics when `from_seq` precedes the compaction base — those events no
     /// longer exist and the caller should have used a newer snapshot.
-    pub fn suffix(&self, from_seq: u64) -> &[ArbiterEvent] {
+    pub fn suffix(&self, from_seq: u64) -> &[E] {
         assert!(
             from_seq >= self.base,
             "log suffix from {} requested but events before {} were compacted",
@@ -114,7 +197,9 @@ impl EventLog {
 }
 
 /// A bounded map of recently decided request ids → outcomes: the shard side
-/// of gateway retransmission.
+/// of gateway retransmission, for floor decisions
+/// (`DedupWindow<ArbitrationOutcome>`, the default) and session decisions
+/// (`DedupWindow<SessionOutcome>`) alike.
 ///
 /// Recording is windowed (oldest entries evicted first) so memory stays
 /// bounded; the window only needs to outlast the gateways' retry horizon.
@@ -122,14 +207,24 @@ impl EventLog {
 /// global group they decided for, so a group migration can carry its slice
 /// of the journal to the new owning shard ([`DedupWindow::extract_group`])
 /// and retries keep replaying instead of double-applying.
-#[derive(Debug, Clone, Default)]
-pub struct DedupWindow {
+#[derive(Debug, Clone)]
+pub struct DedupWindow<T = ArbitrationOutcome> {
     capacity: usize,
     order: VecDeque<u64>,
-    outcomes: BTreeMap<u64, (GlobalGroupId, ArbitrationOutcome)>,
+    outcomes: BTreeMap<u64, (GlobalGroupId, T)>,
 }
 
-impl DedupWindow {
+impl<T> Default for DedupWindow<T> {
+    fn default() -> Self {
+        DedupWindow {
+            capacity: 0,
+            order: VecDeque::new(),
+            outcomes: BTreeMap::new(),
+        }
+    }
+}
+
+impl<T: Clone> DedupWindow<T> {
     /// A window retaining the last `capacity` decisions.
     pub fn new(capacity: usize) -> Self {
         DedupWindow {
@@ -155,12 +250,12 @@ impl DedupWindow {
     }
 
     /// The decision recorded for a request id, if still in the window.
-    pub fn get(&self, id: u64) -> Option<&ArbitrationOutcome> {
+    pub fn get(&self, id: u64) -> Option<&T> {
         self.outcomes.get(&id).map(|(_, outcome)| outcome)
     }
 
     /// Records a decision, evicting the oldest entries when over capacity.
-    pub fn record(&mut self, id: u64, group: GlobalGroupId, outcome: ArbitrationOutcome) {
+    pub fn record(&mut self, id: u64, group: GlobalGroupId, outcome: T) {
         if self.capacity == 0 || self.outcomes.contains_key(&id) {
             return;
         }
@@ -178,7 +273,7 @@ impl DedupWindow {
 
     /// Removes and returns every journaled decision for `group` — the
     /// migration path: the entries follow the group to its new shard.
-    pub fn extract_group(&mut self, group: GlobalGroupId) -> Vec<(u64, ArbitrationOutcome)> {
+    pub fn extract_group(&mut self, group: GlobalGroupId) -> Vec<(u64, T)> {
         let ids: Vec<u64> = self
             .outcomes
             .iter()
@@ -194,7 +289,7 @@ impl DedupWindow {
     }
 
     /// Installs journal entries extracted from another shard's window.
-    pub fn install(&mut self, group: GlobalGroupId, entries: Vec<(u64, ArbitrationOutcome)>) {
+    pub fn install(&mut self, group: GlobalGroupId, entries: Vec<(u64, T)>) {
         for (id, outcome) in entries {
             self.record(id, group, outcome);
         }
@@ -217,8 +312,12 @@ pub struct ShardView {
     pub log_retained: usize,
     /// Whether a snapshot has been taken.
     pub has_snapshot: bool,
-    /// Number of decisions currently in the dedup window.
+    /// Number of floor decisions currently in the dedup window.
     pub dedup_entries: usize,
+    /// Number of session decisions currently in the session dedup window.
+    pub session_dedup_entries: usize,
+    /// Number of groups with recorded session content on this shard.
+    pub session_groups: usize,
     /// Aggregate floor statistics of the shard's arbiter.
     pub stats: ArbiterStats,
 }
@@ -233,32 +332,75 @@ pub enum ShardState {
     Failed,
 }
 
+/// A point-in-time copy of a shard's complete durable state: the arbiter
+/// snapshot plus the wire-encoded session store, both covering the same log
+/// position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSnapshot {
+    /// The floor-control half.
+    pub arbiter: ArbiterSnapshot,
+    /// The wire-encoded [`SessionStore`] at the same log position.
+    pub session: String,
+}
+
+impl ShardSnapshot {
+    /// Number of log events already folded into this snapshot.
+    pub fn applied_seq(&self) -> u64 {
+        self.arbiter.applied_seq
+    }
+
+    /// The encoded size in bytes (capacity-planning metric for snapshot
+    /// shipping).
+    pub fn size_bytes(&self) -> usize {
+        self.arbiter.size_bytes() + self.session.len()
+    }
+}
+
+impl Wire for ShardSnapshot {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.arbiter.encode(w);
+        self.session.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(ShardSnapshot {
+            arbiter: ArbiterSnapshot::decode(r)?,
+            session: String::decode(r)?,
+        })
+    }
+}
+
 /// A shard: the unit of horizontal scale of the control plane.
 #[derive(Debug)]
 pub struct Shard {
     id: ShardId,
     state: ShardState,
     arbiter: FloorArbiter,
-    log: EventLog,
-    snapshot: Option<ArbiterSnapshot>,
+    session: SessionStore,
+    log: EventLog<ShardEvent>,
+    snapshot: Option<ShardSnapshot>,
     snapshot_every: u64,
-    dedup: DedupWindow,
+    dedup: DedupWindow<ArbitrationOutcome>,
+    session_dedup: DedupWindow<SessionOutcome>,
     recoveries: u64,
 }
 
 impl Shard {
     /// Creates an active shard that snapshots every `snapshot_every` events
     /// (0 disables automatic snapshots) and remembers the last
-    /// `dedup_window` arbitration decisions for retry dedup (0 disables).
+    /// `dedup_window` arbitration and session decisions for retry dedup
+    /// (0 disables).
     pub fn new(id: ShardId, snapshot_every: u64, dedup_window: usize) -> Self {
         Shard {
             id,
             state: ShardState::Active,
             arbiter: FloorArbiter::with_defaults(),
+            session: SessionStore::new(),
             log: EventLog::new(),
             snapshot: None,
             snapshot_every,
             dedup: DedupWindow::new(dedup_window),
+            session_dedup: DedupWindow::new(dedup_window),
             recoveries: 0,
         }
     }
@@ -283,13 +425,18 @@ impl Shard {
         &self.arbiter
     }
 
+    /// Read access to the session store (inspection only).
+    pub fn session(&self) -> &SessionStore {
+        &self.session
+    }
+
     /// The event log.
-    pub fn log(&self) -> &EventLog {
+    pub fn log(&self) -> &EventLog<ShardEvent> {
         &self.log
     }
 
     /// The latest snapshot, if one was taken.
-    pub fn latest_snapshot(&self) -> Option<&ArbiterSnapshot> {
+    pub fn latest_snapshot(&self) -> Option<&ShardSnapshot> {
         self.snapshot.as_ref()
     }
 
@@ -298,9 +445,14 @@ impl Shard {
         self.recoveries
     }
 
-    /// The dedup window (recently decided request ids).
-    pub fn dedup(&self) -> &DedupWindow {
+    /// The floor dedup window (recently decided request ids).
+    pub fn dedup(&self) -> &DedupWindow<ArbitrationOutcome> {
         &self.dedup
+    }
+
+    /// The session dedup window (recently delivered session op ids).
+    pub fn session_dedup(&self) -> &DedupWindow<SessionOutcome> {
+        &self.session_dedup
     }
 
     /// A cheap, owned snapshot of the shard's health and counters.
@@ -313,13 +465,24 @@ impl Shard {
             log_retained: self.log.retained(),
             has_snapshot: self.snapshot.is_some(),
             dedup_entries: self.dedup.len(),
+            session_dedup_entries: self.session_dedup.len(),
+            session_groups: self.session.group_count(),
             stats: self.arbiter.stats(),
         }
     }
 
-    /// Applies an event through the log: the event is validated against the
-    /// live arbiter, appended to the durable log, and a snapshot is taken on
-    /// the configured cadence.
+    /// Appends an already-validated event to the durable log and takes a
+    /// snapshot on the configured cadence.
+    fn commit(&mut self, event: ShardEvent) {
+        let seq = self.log.append(event) + 1;
+        if self.snapshot_every > 0 && seq.is_multiple_of(self.snapshot_every) {
+            self.take_snapshot();
+        }
+    }
+
+    /// Applies a floor event through the log: the event is validated against
+    /// the live arbiter, appended to the durable log, and a snapshot is
+    /// taken on the configured cadence.
     ///
     /// Events that *fail* (unknown ids, policy misuse) are **not** logged —
     /// they did not mutate state, so replaying them is unnecessary; this also
@@ -334,11 +497,50 @@ impl Shard {
             return Err(ClusterError::ShardDown(self.id));
         }
         let outcome = self.arbiter.apply(&event)?;
-        let seq = self.log.append(event) + 1;
-        if self.snapshot_every > 0 && seq.is_multiple_of(self.snapshot_every) {
-            self.take_snapshot();
-        }
+        self.commit(ShardEvent::Floor(event));
         Ok(outcome)
+    }
+
+    /// Applies a session operation through the log: the event is floor-gated
+    /// against the live arbiter ([`FloorArbiter::may_deliver`] for content,
+    /// membership for media schedules), recorded in the session store,
+    /// appended to the durable log, and snapshotted on cadence.
+    ///
+    /// Rejections do **not** mutate state and are not logged — like failed
+    /// floor events, they are safe (and meaningful) to re-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::ShardDown`] when the shard is failed, or
+    /// [`ClusterError::Floor`] when the addressed group does not exist on
+    /// this shard (stale routing after a migration fails closed).
+    pub fn apply_session(&mut self, event: SessionEvent) -> Result<SessionOutcome> {
+        if self.state != ShardState::Active {
+            return Err(ClusterError::ShardDown(self.id));
+        }
+        let group = self.arbiter.group(event.local_group)?;
+        if !group.contains(event.local_from) {
+            return Ok(SessionOutcome::Rejected {
+                reason: SessionRejection::NotAMember,
+            });
+        }
+        let members = group.members().count() as u64;
+        let listeners = if event.kind.is_content() {
+            if !self
+                .arbiter
+                .may_deliver(event.local_group, event.local_from)
+            {
+                return Ok(SessionOutcome::Rejected {
+                    reason: SessionRejection::FloorDenied,
+                });
+            }
+            members.saturating_sub(1)
+        } else {
+            members
+        };
+        self.session.apply(&event);
+        self.commit(ShardEvent::Session(event));
+        Ok(SessionOutcome::Delivered { listeners })
     }
 
     /// Arbitrates a floor request idempotently: `id` is the cluster-unique
@@ -376,32 +578,120 @@ impl Shard {
         }
     }
 
-    /// Removes and returns the journaled decisions for a group (the shard is
-    /// losing the group to a migration; the entries must follow it).
+    /// Applies a session operation idempotently: a retry of an id whose
+    /// decision is still in the session dedup window gets the recorded
+    /// decision back (second tuple element `true`) without the content being
+    /// delivered twice. Only *delivered* operations are journaled;
+    /// rejections re-arbitrate on retry.
+    ///
+    /// # Errors
+    ///
+    /// See [`Shard::apply_session`].
+    pub fn arbitrate_session_dedup(
+        &mut self,
+        id: u64,
+        event: SessionEvent,
+    ) -> (Result<SessionOutcome>, bool) {
+        if self.state != ShardState::Active {
+            return (Err(ClusterError::ShardDown(self.id)), false);
+        }
+        if let Some(outcome) = self.session_dedup.get(id) {
+            return (Ok(outcome.clone()), true);
+        }
+        let group = event.group;
+        match self.apply_session(event) {
+            Ok(outcome) => {
+                if outcome.is_delivered() {
+                    self.session_dedup.record(id, group, outcome.clone());
+                }
+                (Ok(outcome), false)
+            }
+            Err(e) => (Err(e), false),
+        }
+    }
+
+    /// Removes and returns the journaled floor decisions for a group (the
+    /// shard is losing the group to a migration; the entries must follow
+    /// it).
     pub fn extract_dedup(&mut self, group: GlobalGroupId) -> Vec<(u64, ArbitrationOutcome)> {
         self.dedup.extract_group(group)
     }
 
-    /// Installs journal entries for a group this shard is taking over.
+    /// Installs floor journal entries for a group this shard is taking over.
     pub fn install_dedup(&mut self, group: GlobalGroupId, entries: Vec<(u64, ArbitrationOutcome)>) {
         self.dedup.install(group, entries);
     }
 
+    /// Removes and returns the journaled session decisions for a group (the
+    /// migration path, like [`Shard::extract_dedup`]).
+    pub fn extract_session_dedup(&mut self, group: GlobalGroupId) -> Vec<(u64, SessionOutcome)> {
+        self.session_dedup.extract_group(group)
+    }
+
+    /// Installs session journal entries for a group this shard is taking
+    /// over.
+    pub fn install_session_dedup(
+        &mut self,
+        group: GlobalGroupId,
+        entries: Vec<(u64, SessionOutcome)>,
+    ) {
+        self.session_dedup.install(group, entries);
+    }
+
+    /// Removes and returns a group's session content because the group is
+    /// migrating away. The removal is logged ([`ShardEvent::SessionPurge`]),
+    /// so a crash-and-replay on this shard does not resurrect content that
+    /// now lives elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::ShardDown`] when the shard is failed.
+    pub fn extract_session(&mut self, group: GlobalGroupId) -> Result<Option<GroupSession>> {
+        if self.state != ShardState::Active {
+            return Err(ClusterError::ShardDown(self.id));
+        }
+        let content = self.session.remove(group);
+        if content.is_some() {
+            self.commit(ShardEvent::SessionPurge(group));
+        }
+        Ok(content)
+    }
+
+    /// Installs session content for a group this shard is taking over. The
+    /// installation is logged ([`ShardEvent::SessionInstall`]) so replay
+    /// reconstructs migrated-in content too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::ShardDown`] when the shard is failed.
+    pub fn install_session(&mut self, group: GlobalGroupId, content: GroupSession) -> Result<()> {
+        if self.state != ShardState::Active {
+            return Err(ClusterError::ShardDown(self.id));
+        }
+        self.session.install(group, content.clone());
+        self.commit(ShardEvent::SessionInstall { group, content });
+        Ok(())
+    }
+
     /// Takes a snapshot of the current state now and compacts the log up to
     /// it.
-    pub fn take_snapshot(&mut self) -> &ArbiterSnapshot {
-        let snap = self.arbiter.snapshot(self.log.next_seq());
-        self.log.compact_to(snap.applied_seq);
+    pub fn take_snapshot(&mut self) -> &ShardSnapshot {
+        let snap = ShardSnapshot {
+            arbiter: self.arbiter.snapshot(self.log.next_seq()),
+            session: dmps_wire::to_string(&self.session),
+        };
+        self.log.compact_to(snap.applied_seq());
         self.snapshot = Some(snap);
         self.snapshot.as_ref().expect("just stored")
     }
 
-    /// Crashes the primary: volatile arbiter state is lost; log, snapshot and
-    /// dedup window (durable, replicated — the window is the tail of the
-    /// decision journal) survive.
+    /// Crashes the primary: volatile arbiter and session state is lost; log,
+    /// snapshot and dedup windows (durable, replicated — the windows are the
+    /// tail of the decision journal) survive.
     pub fn crash(&mut self) {
         self.state = ShardState::Failed;
         self.arbiter = FloorArbiter::with_defaults();
+        self.session = SessionStore::new();
     }
 
     /// A standby takes over: restore the latest snapshot, replay the log
@@ -413,14 +703,32 @@ impl Shard {
     /// logged event fails to re-apply (either indicates durable-state
     /// corruption, not a recoverable condition).
     pub fn recover(&mut self) -> Result<()> {
-        let (mut arbiter, from_seq) = match &self.snapshot {
-            Some(snap) => (FloorArbiter::restore(snap)?, snap.applied_seq),
-            None => (FloorArbiter::with_defaults(), 0),
+        let (mut arbiter, mut session, from_seq) = match &self.snapshot {
+            Some(snap) => (
+                FloorArbiter::restore(&snap.arbiter)?,
+                dmps_wire::from_str::<SessionStore>(&snap.session).map_err(|e| {
+                    ClusterError::Floor(FloorError::CorruptSnapshot(format!("session store: {e}")))
+                })?,
+                snap.applied_seq(),
+            ),
+            None => (FloorArbiter::with_defaults(), SessionStore::new(), 0),
         };
         for event in self.log.suffix(from_seq) {
-            arbiter.apply(event)?;
+            match event {
+                ShardEvent::Floor(e) => {
+                    arbiter.apply(e)?;
+                }
+                ShardEvent::Session(e) => session.apply(e),
+                ShardEvent::SessionPurge(g) => {
+                    session.remove(*g);
+                }
+                ShardEvent::SessionInstall { group, content } => {
+                    session.install(*group, content.clone());
+                }
+            }
         }
         self.arbiter = arbiter;
+        self.session = session;
         self.state = ShardState::Active;
         self.recoveries += 1;
         Ok(())
@@ -430,7 +738,9 @@ impl Shard {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::SessionOpKind;
     use dmps_floor::{FcmMode, FloorRequest, GroupId, Member, MemberId, Role};
+    use dmps_simnet::SimTime;
 
     fn scripted(shard: &mut Shard, requests: usize) {
         shard
@@ -453,6 +763,16 @@ mod tests {
                     request: FloorRequest::speak(GroupId(0), MemberId(i % 4)),
                 })
                 .unwrap();
+        }
+    }
+
+    fn session_event(member: usize, kind: SessionOpKind) -> SessionEvent {
+        SessionEvent {
+            group: GlobalGroupId(0),
+            local_group: GroupId(0),
+            from: GlobalMemberId(member as u64),
+            local_from: MemberId(member),
+            kind,
         }
     }
 
@@ -524,12 +844,12 @@ mod tests {
 
     #[test]
     fn event_log_suffix_and_compaction_bounds() {
-        let mut log = EventLog::new();
+        let mut log: EventLog<ShardEvent> = EventLog::new();
         for i in 0..6 {
-            log.append(ArbiterEvent::CreateGroup {
+            log.append(ShardEvent::Floor(ArbiterEvent::CreateGroup {
                 name: format!("g{i}"),
                 mode: FcmMode::FreeAccess,
-            });
+            }));
         }
         assert_eq!(log.next_seq(), 6);
         assert_eq!(log.suffix(4).len(), 2);
@@ -613,5 +933,184 @@ mod tests {
         let mut off = DedupWindow::new(0);
         off.record(1, GlobalGroupId(0), outcome);
         assert!(off.is_empty());
+    }
+
+    #[test]
+    fn session_events_are_floor_gated_and_logged() {
+        let mut shard = Shard::new(ShardId(0), 0, 64);
+        scripted(&mut shard, 0);
+        // Nobody holds the floor in this Equal Control group: content is
+        // rejected and nothing is logged.
+        let logged = shard.log().retained();
+        let rejected = shard
+            .apply_session(session_event(1, SessionOpKind::Chat { text: "hi".into() }))
+            .unwrap();
+        assert_eq!(
+            rejected,
+            SessionOutcome::Rejected {
+                reason: SessionRejection::FloorDenied
+            }
+        );
+        assert_eq!(shard.log().retained(), logged);
+        // The holder delivers; the other three members listen.
+        shard
+            .apply(ArbiterEvent::Arbitrate {
+                request: FloorRequest::speak(GroupId(0), MemberId(1)),
+            })
+            .unwrap();
+        let delivered = shard
+            .apply_session(session_event(1, SessionOpKind::Chat { text: "hi".into() }))
+            .unwrap();
+        assert_eq!(delivered, SessionOutcome::Delivered { listeners: 3 });
+        assert_eq!(shard.session().view(GlobalGroupId(0)).chat.len(), 1);
+        // Media schedules are membership-gated, not floor-gated.
+        let media = shard
+            .apply_session(session_event(
+                2,
+                SessionOpKind::ScheduleMedia {
+                    media: "intro".into(),
+                    start: SimTime::from_secs(5),
+                },
+            ))
+            .unwrap();
+        assert_eq!(media, SessionOutcome::Delivered { listeners: 4 });
+        // A non-member is rejected without touching state.
+        let stranger = shard
+            .apply_session(session_event(9, SessionOpKind::Chat { text: "x".into() }))
+            .unwrap();
+        assert_eq!(
+            stranger,
+            SessionOutcome::Rejected {
+                reason: SessionRejection::NotAMember
+            }
+        );
+        // An unknown group fails closed as an error.
+        let mut bad = session_event(1, SessionOpKind::Chat { text: "x".into() });
+        bad.local_group = GroupId(99);
+        assert!(matches!(
+            shard.apply_session(bad),
+            Err(ClusterError::Floor(_))
+        ));
+    }
+
+    #[test]
+    fn session_state_survives_crash_via_snapshot_and_replay() {
+        let mut shard = Shard::new(ShardId(0), 4, 64);
+        scripted(&mut shard, 0);
+        shard
+            .apply(ArbiterEvent::Arbitrate {
+                request: FloorRequest::speak(GroupId(0), MemberId(0)),
+            })
+            .unwrap();
+        for i in 0..10 {
+            shard
+                .apply_session(session_event(
+                    0,
+                    SessionOpKind::Chat {
+                        text: format!("line {i}"),
+                    },
+                ))
+                .unwrap();
+        }
+        shard
+            .apply_session(session_event(
+                0,
+                SessionOpKind::ScheduleMedia {
+                    media: "intro".into(),
+                    start: SimTime::from_secs(9),
+                },
+            ))
+            .unwrap();
+        let reference_arbiter = shard.arbiter().clone();
+        let reference_session = shard.session().clone();
+        assert!(
+            shard.latest_snapshot().is_some(),
+            "cadence snapshot covers session events too"
+        );
+        shard.crash();
+        assert!(shard.session().view(GlobalGroupId(0)).is_empty());
+        shard.recover().unwrap();
+        assert_eq!(shard.arbiter(), &reference_arbiter);
+        assert_eq!(shard.session(), &reference_session);
+        assert_eq!(shard.session().view(GlobalGroupId(0)).chat.len(), 10);
+        assert_eq!(shard.session().view(GlobalGroupId(0)).media.len(), 1);
+    }
+
+    #[test]
+    fn session_dedup_replays_delivered_ops_only() {
+        let mut shard = Shard::new(ShardId(0), 0, 64);
+        scripted(&mut shard, 0);
+        // Rejected op: not journaled, a retry re-arbitrates.
+        let (first, replayed) = shard.arbitrate_session_dedup(
+            5,
+            session_event(1, SessionOpKind::Chat { text: "x".into() }),
+        );
+        assert!(!replayed);
+        assert!(!first.unwrap().is_delivered());
+        shard
+            .apply(ArbiterEvent::Arbitrate {
+                request: FloorRequest::speak(GroupId(0), MemberId(1)),
+            })
+            .unwrap();
+        // The same id retried after the floor was granted now delivers.
+        let (second, replayed) = shard.arbitrate_session_dedup(
+            5,
+            session_event(1, SessionOpKind::Chat { text: "x".into() }),
+        );
+        assert!(!replayed);
+        assert!(second.unwrap().is_delivered());
+        // A retry of the delivered id replays from the journal: no duplicate
+        // chat line.
+        let (third, replayed) = shard.arbitrate_session_dedup(
+            5,
+            session_event(1, SessionOpKind::Chat { text: "x".into() }),
+        );
+        assert!(replayed);
+        assert!(third.unwrap().is_delivered());
+        assert_eq!(shard.session().view(GlobalGroupId(0)).chat.len(), 1);
+    }
+
+    #[test]
+    fn session_purge_and_install_replay_deterministically() {
+        let mut shard = Shard::new(ShardId(0), 0, 64);
+        scripted(&mut shard, 0);
+        shard
+            .apply(ArbiterEvent::Arbitrate {
+                request: FloorRequest::speak(GroupId(0), MemberId(0)),
+            })
+            .unwrap();
+        shard
+            .apply_session(session_event(
+                0,
+                SessionOpKind::Chat {
+                    text: "kept".into(),
+                },
+            ))
+            .unwrap();
+        // The group's content migrates away...
+        let content = shard.extract_session(GlobalGroupId(0)).unwrap().unwrap();
+        assert_eq!(content.chat.len(), 1);
+        // ...and different content migrates in for another group.
+        let mut incoming = GroupSession::default();
+        incoming.chat.push((GlobalMemberId(42), "moved".into()));
+        shard.install_session(GlobalGroupId(5), incoming).unwrap();
+        let reference = shard.session().clone();
+        shard.crash();
+        shard.recover().unwrap();
+        assert_eq!(shard.session(), &reference);
+        assert!(shard.session().view(GlobalGroupId(0)).is_empty());
+        assert_eq!(shard.session().view(GlobalGroupId(5)).chat.len(), 1);
+    }
+
+    #[test]
+    fn shard_snapshot_round_trips_through_the_wire_codec() {
+        let mut shard = Shard::new(ShardId(0), 0, 64);
+        scripted(&mut shard, 3);
+        let snap = shard.take_snapshot().clone();
+        assert!(snap.size_bytes() > 0);
+        let encoded = dmps_wire::to_string(&snap);
+        let back: ShardSnapshot = dmps_wire::from_str(&encoded).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.applied_seq(), snap.applied_seq());
     }
 }

@@ -8,14 +8,38 @@
 //! recorded per shard so grant-latency statistics can be computed with
 //! `dmps::metrics::GrantLatencyStats`.
 //!
+//! Whole presentation sessions travel the same network: session operations
+//! (chat, whiteboard strokes, annotations, synchronized-media schedules) are
+//! scheduled with [`ClusterSim::submit_session_at`], routed to the shard
+//! owning the group, floor-gated and durably logged there, and acknowledged
+//! back to the gateway ([`ClusterSim::session_acks`]).
+//!
 //! With [`ClusterSim::enable_retransmission`], the gateway also models the
 //! client-side half of exactly-once delivery: every request carries a
-//! cluster-unique id, and when a failover completes, requests that were sent
-//! to the crashed shard but never answered are retransmitted under their
-//! original ids. The shard's dedup window answers already-applied ids from
-//! its decision journal, so a retry cannot double-apply a floor event, and
-//! the gateway drops duplicate decisions by id — every submission yields
-//! exactly one recorded decision.
+//! cluster-unique id, and when a failover completes, requests (floor *and*
+//! session) that were sent to the crashed shard but never answered are
+//! retransmitted under their original ids. The shard's dedup windows answer
+//! already-applied ids from their decision journals, so a retry cannot
+//! double-apply a floor event or double-deliver a chat line, and the gateway
+//! drops duplicate decisions by id — every submission yields exactly one
+//! recorded decision.
+//!
+//! ```
+//! use dmps_cluster::{ClusterConfig, ClusterSim, GlobalRequest, SessionOp};
+//! use dmps_floor::{FcmMode, Member, Role};
+//! use dmps_simnet::{Link, SimTime};
+//!
+//! let mut sim = ClusterSim::new(ClusterConfig::with_shards(2), 7, Link::lan());
+//! let g = sim.cluster_mut().create_group("lecture", FcmMode::FreeAccess).unwrap();
+//! let m = sim.cluster_mut().register_member(Member::new("t", Role::Chair));
+//! sim.cluster_mut().join_group(g, m).unwrap();
+//! sim.submit_at(SimTime::from_millis(10), GlobalRequest::speak(g, m)).unwrap();
+//! sim.submit_session_at(SimTime::from_millis(20), SessionOp::chat(g, m, "hi")).unwrap();
+//! sim.run_to_idle();
+//! assert_eq!(sim.decisions().len(), 1);
+//! assert_eq!(sim.session_acks().len(), 1);
+//! assert_eq!(sim.cluster().session_view(g).unwrap().chat.len(), 1);
+//! ```
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
@@ -24,12 +48,14 @@ use dmps_floor::ArbitrationOutcome;
 use dmps_simnet::{HostId, Link, Network, SimTime};
 
 use crate::cluster::{Cluster, ClusterConfig, GlobalRequest};
-use crate::error::Result;
+use crate::error::{ClusterError, Result};
 use crate::ring::ShardId;
+use crate::session::{SessionOp, SessionOutcome, SessionRejection};
 use crate::shard::GlobalGroupId;
 
 /// Messages on the cluster's simulated control network.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ClusterMsg {
     /// Gateway → shard: arbitrate this request.
     Request {
@@ -47,6 +73,22 @@ pub enum ClusterMsg {
         /// The outcome.
         outcome: ArbitrationOutcome,
     },
+    /// Gateway → shard: apply this session operation.
+    Session {
+        /// The cluster-unique request id (idempotency key for retries).
+        seq: u64,
+        /// The operation.
+        op: SessionOp,
+    },
+    /// Shard → gateway: the session decision.
+    SessionAck {
+        /// The request id.
+        seq: u64,
+        /// The group the operation addressed.
+        group: GlobalGroupId,
+        /// The outcome.
+        outcome: SessionOutcome,
+    },
 }
 
 impl ClusterMsg {
@@ -54,6 +96,8 @@ impl ClusterMsg {
         match self {
             ClusterMsg::Request { .. } => 64,
             ClusterMsg::Decision { outcome, .. } => 64 + outcome.suspensions().len() as u64 * 16,
+            ClusterMsg::Session { op, .. } => 16 + op.size_bytes(),
+            ClusterMsg::SessionAck { .. } => 48,
         }
     }
 }
@@ -85,6 +129,8 @@ pub struct ClusterSim {
     sent_at: BTreeMap<u64, (SimTime, ShardId)>,
     /// Requests sent but not yet answered, by id — the retransmission queue.
     outstanding: BTreeMap<u64, GlobalRequest>,
+    /// Session operations sent but not yet acknowledged, by id.
+    outstanding_sessions: BTreeMap<u64, SessionOp>,
     /// Ids already answered (duplicate decisions are dropped).
     answered: BTreeSet<u64>,
     /// `Some(delay)` when gateway retransmission after failover is on.
@@ -92,6 +138,7 @@ pub struct ClusterSim {
     retransmits: u64,
     latencies: Vec<Vec<Duration>>,
     decisions: Vec<(u64, GlobalGroupId, ArbitrationOutcome)>,
+    session_acks: Vec<(u64, GlobalGroupId, SessionOutcome)>,
     failovers: u64,
 }
 
@@ -123,11 +170,13 @@ impl ClusterSim {
             plan: Vec::new(),
             sent_at: BTreeMap::new(),
             outstanding: BTreeMap::new(),
+            outstanding_sessions: BTreeMap::new(),
             answered: BTreeSet::new(),
             retransmission: None,
             retransmits: 0,
             latencies: vec![Vec::new(); config.shards],
             decisions: Vec::new(),
+            session_acks: Vec::new(),
             failovers: 0,
         }
     }
@@ -189,6 +238,24 @@ impl ClusterSim {
         Ok(seq)
     }
 
+    /// Schedules a session operation (chat, whiteboard, annotation, media
+    /// schedule) to be sent at global time `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns routing errors for unknown ids (the operation must address an
+    /// existing group/member so the gateway can resolve the owning shard).
+    pub fn submit_session_at(&mut self, at: SimTime, op: SessionOp) -> Result<u64> {
+        // Resolve now to surface routing errors early; the serving host is
+        // resolved again at send time so failovers redirect traffic.
+        let _ = self.cluster.placement(op.group)?;
+        let seq = self.cluster.allocate_request_id();
+        self.net
+            .schedule(self.gateway, at, ClusterMsg::Session { seq, op })
+            .expect("gateway timers are always schedulable");
+        Ok(seq)
+    }
+
     /// Schedules a crash of the shard's serving host at `at`, with the
     /// standby completing snapshot-plus-log-replay recovery `downtime`
     /// later.
@@ -230,10 +297,10 @@ impl ClusterSim {
         }
     }
 
-    /// Re-schedules every unanswered request owned by `shard` under its
-    /// original id. The shard's dedup window turns retries of
-    /// already-applied requests into journal replays, so this cannot
-    /// double-apply.
+    /// Re-schedules every unanswered request and session operation owned by
+    /// `shard` under its original id. The shard's dedup windows turn retries
+    /// of already-applied requests into journal replays, so this cannot
+    /// double-apply a floor event or double-deliver content.
     fn retransmit_unanswered(&mut self, at: SimTime, shard: ShardId) {
         let retries: Vec<(u64, GlobalRequest)> = self
             .outstanding
@@ -248,6 +315,22 @@ impl ClusterSim {
         for (seq, request) in retries {
             self.net
                 .schedule(self.gateway, at, ClusterMsg::Request { seq, request })
+                .expect("gateway timers are always schedulable");
+            self.retransmits += 1;
+        }
+        let session_retries: Vec<(u64, SessionOp)> = self
+            .outstanding_sessions
+            .iter()
+            .filter(|(_, op)| {
+                self.cluster
+                    .placement(op.group)
+                    .is_ok_and(|p| p.shard == shard)
+            })
+            .map(|(&seq, op)| (seq, op.clone()))
+            .collect();
+        for (seq, op) in session_retries {
+            self.net
+                .schedule(self.gateway, at, ClusterMsg::Session { seq, op })
                 .expect("gateway timers are always schedulable");
             self.retransmits += 1;
         }
@@ -320,24 +403,79 @@ impl ClusterSim {
                     }
                     self.decisions.push((seq, group, outcome));
                 }
-                ClusterMsg::Request { .. } => {}
+                // A gateway timer: route the session operation to the shard
+                // currently serving the group.
+                ClusterMsg::Session { seq, op } if from == to => {
+                    let Ok(placement) = self.cluster.placement(op.group) else {
+                        return;
+                    };
+                    let serving = self.hosts[placement.shard.0].serving;
+                    self.outstanding_sessions.insert(seq, op.clone());
+                    let msg = ClusterMsg::Session { seq, op };
+                    let size = msg.size_bytes();
+                    let _ = self.net.send(self.gateway, serving, msg, size);
+                }
+                ClusterMsg::SessionAck {
+                    seq,
+                    group,
+                    outcome,
+                } => {
+                    if !self.answered.insert(seq) {
+                        // Exactly-once accounting drops duplicate acks.
+                        return;
+                    }
+                    self.outstanding_sessions.remove(&seq);
+                    self.session_acks.push((seq, group, outcome));
+                }
+                ClusterMsg::Request { .. } | ClusterMsg::Session { .. } => {}
             }
         } else if self.shard_of_host(to).is_some() {
-            if let ClusterMsg::Request { seq, request } = msg {
-                // The shard primary arbitrates — idempotently in the request
-                // id, so a retransmitted request that was already applied is
-                // answered from the decision journal — and replies to the
-                // gateway.
-                let Ok((outcome, _replayed)) = self.cluster.request_with_id(seq, request) else {
-                    return;
-                };
-                let reply = ClusterMsg::Decision {
-                    seq,
-                    group: request.group,
-                    outcome,
-                };
-                let size = reply.size_bytes();
-                let _ = self.net.send(to, self.gateway, reply, size);
+            match msg {
+                ClusterMsg::Request { seq, request } => {
+                    // The shard primary arbitrates — idempotently in the
+                    // request id, so a retransmitted request that was already
+                    // applied is answered from the decision journal — and
+                    // replies to the gateway.
+                    let Ok((outcome, _replayed)) = self.cluster.request_with_id(seq, request)
+                    else {
+                        return;
+                    };
+                    let reply = ClusterMsg::Decision {
+                        seq,
+                        group: request.group,
+                        outcome,
+                    };
+                    let size = reply.size_bytes();
+                    let _ = self.net.send(to, self.gateway, reply, size);
+                }
+                ClusterMsg::Session { seq, op } => {
+                    // Same shape for session operations: floor-gated, durably
+                    // logged, idempotent in the request id.
+                    let group = op.group;
+                    let outcome = match self.cluster.session_with_id(seq, op) {
+                        Ok((outcome, _replayed)) => outcome,
+                        // A member never instantiated on the owning shard is a
+                        // membership rejection — it must be *acked* (otherwise
+                        // the op would sit in the retransmission queue
+                        // forever), and whether it surfaces here or inside
+                        // `apply_session` depends only on ring placement.
+                        Err(ClusterError::NotOnShard { .. })
+                        | Err(ClusterError::UnknownMember(_)) => SessionOutcome::Rejected {
+                            reason: SessionRejection::NotAMember,
+                        },
+                        // Shard down / unroutable: the op dies with the host;
+                        // failover retransmission heals it.
+                        Err(_) => return,
+                    };
+                    let reply = ClusterMsg::SessionAck {
+                        seq,
+                        group,
+                        outcome,
+                    };
+                    let size = reply.size_bytes();
+                    let _ = self.net.send(to, self.gateway, reply, size);
+                }
+                ClusterMsg::Decision { .. } | ClusterMsg::SessionAck { .. } => {}
             }
         }
     }
@@ -352,6 +490,13 @@ impl ClusterSim {
     /// `(request id, group, outcome)` — at most one entry per request id.
     pub fn decisions(&self) -> &[(u64, GlobalGroupId, ArbitrationOutcome)] {
         &self.decisions
+    }
+
+    /// Every session acknowledgement received by the gateway, in arrival
+    /// order as `(request id, group, outcome)` — at most one entry per
+    /// request id.
+    pub fn session_acks(&self) -> &[(u64, GlobalGroupId, SessionOutcome)] {
+        &self.session_acks
     }
 }
 
@@ -470,6 +615,45 @@ mod tests {
         let mut answered: Vec<u64> = sim.decisions().iter().map(|(s, ..)| *s).collect();
         answered.sort_unstable();
         assert_eq!(answered, seqs, "every request answered exactly once");
+        sim.cluster().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn session_traffic_survives_crash_with_exactly_once_delivery() {
+        let mut sim = ClusterSim::new(ClusterConfig::with_shards(2), 5, Link::lan());
+        sim.enable_retransmission(Duration::from_millis(40));
+        let g = sim
+            .cluster_mut()
+            .create_group("lecture", FcmMode::FreeAccess)
+            .unwrap();
+        let shard = sim.cluster().placement(g).unwrap().shard;
+        let m = sim
+            .cluster_mut()
+            .register_member(Member::new("t", Role::Chair));
+        sim.cluster_mut().join_group(g, m).unwrap();
+        let mut seqs = Vec::new();
+        for i in 0..40u64 {
+            seqs.push(
+                sim.submit_session_at(
+                    SimTime::from_millis(50 * i),
+                    SessionOp::chat(g, m, format!("line {i}")),
+                )
+                .unwrap(),
+            );
+        }
+        sim.schedule_crash(SimTime::from_millis(900), shard, Duration::from_millis(300));
+        sim.run_to_idle();
+        assert_eq!(sim.failovers(), 1);
+        assert!(sim.retransmits() > 0, "the crash must strand some ops");
+        // Exactly one ack per submission, despite drops and retries.
+        let mut acked: Vec<u64> = sim.session_acks().iter().map(|(s, ..)| *s).collect();
+        acked.sort_unstable();
+        assert_eq!(acked, seqs, "every session op acked exactly once");
+        // And exactly one recorded chat line per submission: the recovered
+        // session store was reconstructed by snapshot+replay, and retries
+        // replayed from the session journal instead of re-appending.
+        let view = sim.cluster().session_view(g).unwrap();
+        assert_eq!(view.chat.len(), 40);
         sim.cluster().check_invariants().unwrap();
     }
 

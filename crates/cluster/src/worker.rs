@@ -7,14 +7,18 @@
 //! queue itself is the serialization point, and any number of gateways can
 //! send into it concurrently.
 //!
-//! Two command shapes cover everything:
+//! Three command shapes cover everything:
 //!
-//! * [`ShardCommand::Request`] — the streaming ingest path. The worker
+//! * `ShardCommand::Request` — the streaming floor-ingest path. The worker
 //!   arbitrates (through the shard's dedup window, see
 //!   [`Shard::arbitrate_dedup`]) and sends the [`Decision`] straight back to
 //!   the submitting gateway's results channel, so decisions stream while
 //!   other shards are still working.
-//! * [`ShardCommand::With`] — the control plane. A closure runs with
+//! * `ShardCommand::Session` — the session-ops path. The worker floor-gates
+//!   and applies the content delivery (see
+//!   [`Shard::arbitrate_session_dedup`]) and streams the
+//!   [`SessionDecision`] back the same way.
+//! * `ShardCommand::With` — the control plane. A closure runs with
 //!   exclusive access to the shard (create a group, crash, recover,
 //!   inspect); callers that need an answer pack a reply channel into the
 //!   closure.
@@ -22,7 +26,25 @@
 //! A worker survives its shard crashing — the thread keeps draining the
 //! queue and answers requests with [`crate::ClusterError::ShardDown`] until
 //! a recover command arrives — and exits only when the last command sender
-//! is dropped, at which point [`ShardWorker::drop`] joins the thread.
+//! is dropped, at which point `ShardWorker`'s `Drop` impl joins the thread.
+//!
+//! The pipeline itself is crate-private; it is exercised through the public
+//! ingest API:
+//!
+//! ```
+//! use dmps_cluster::{Cluster, ClusterConfig, GlobalRequest};
+//! use dmps_floor::{FcmMode, Member, Role};
+//!
+//! let mut cluster = Cluster::new(ClusterConfig::with_shards(2));
+//! let g = cluster.create_group("lecture", FcmMode::EqualControl).unwrap();
+//! let m = cluster.register_member(Member::new("t", Role::Chair));
+//! cluster.join_group(g, m).unwrap();
+//! // `submit` enqueues onto the owning shard's worker; `flush` awaits the
+//! // decisions the worker streamed back.
+//! cluster.submit(GlobalRequest::speak(g, m)).unwrap();
+//! let decisions = cluster.flush();
+//! assert!(decisions[0].outcome.as_ref().unwrap().is_granted());
+//! ```
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
@@ -30,6 +52,7 @@ use std::thread::JoinHandle;
 use dmps_floor::FloorRequest;
 
 use crate::cluster::Decision;
+use crate::session::{SessionDecision, SessionEvent};
 use crate::shard::{GlobalGroupId, Shard};
 
 /// One unit of work for a shard worker.
@@ -44,6 +67,15 @@ pub(crate) enum ShardCommand {
         request: FloorRequest,
         /// Where the decision streams back to (the submitting gateway).
         reply: Sender<Decision>,
+    },
+    /// Apply a session operation; the decision goes to `reply`.
+    Session {
+        /// Cluster-unique request id (dedup key and decision ordering key).
+        seq: u64,
+        /// The operation, already translated to shard-local ids.
+        event: SessionEvent,
+        /// Where the decision streams back to (the submitting gateway).
+        reply: Sender<SessionDecision>,
     },
     /// Run a closure with exclusive access to the shard.
     With(Box<dyn FnOnce(&mut Shard) + Send>),
@@ -110,6 +142,16 @@ fn run(mut shard: Shard, queue: Receiver<ShardCommand>) {
                 // A gateway that dropped its results receiver simply misses
                 // the decision; the shard state is already consistent.
                 let _ = reply.send(Decision {
+                    seq,
+                    group,
+                    outcome,
+                    replayed,
+                });
+            }
+            ShardCommand::Session { seq, event, reply } => {
+                let group = event.group;
+                let (outcome, replayed) = shard.arbitrate_session_dedup(seq, event);
+                let _ = reply.send(SessionDecision {
                     seq,
                     group,
                     outcome,

@@ -17,6 +17,8 @@ pub enum DmpsError {
     Docpn(dmps_docpn::DocpnError),
     /// An error from the media model.
     Media(dmps_media::MediaError),
+    /// An error from the sharded control plane.
+    Cluster(dmps_cluster::ClusterError),
     /// A client index does not exist in the session.
     UnknownClient(usize),
     /// A client has not completed the join handshake yet.
@@ -30,6 +32,7 @@ impl fmt::Display for DmpsError {
             DmpsError::Sim(e) => write!(f, "network simulator error: {e}"),
             DmpsError::Docpn(e) => write!(f, "presentation model error: {e}"),
             DmpsError::Media(e) => write!(f, "media model error: {e}"),
+            DmpsError::Cluster(e) => write!(f, "cluster error: {e}"),
             DmpsError::UnknownClient(i) => write!(f, "unknown client index {i}"),
             DmpsError::NotJoined(i) => write!(f, "client {i} has not joined the session"),
         }
@@ -43,6 +46,7 @@ impl std::error::Error for DmpsError {
             DmpsError::Sim(e) => Some(e),
             DmpsError::Docpn(e) => Some(e),
             DmpsError::Media(e) => Some(e),
+            DmpsError::Cluster(e) => Some(e),
             _ => None,
         }
     }
@@ -69,6 +73,12 @@ impl From<dmps_docpn::DocpnError> for DmpsError {
 impl From<dmps_media::MediaError> for DmpsError {
     fn from(e: dmps_media::MediaError) -> Self {
         DmpsError::Media(e)
+    }
+}
+
+impl From<dmps_cluster::ClusterError> for DmpsError {
+    fn from(e: dmps_cluster::ClusterError) -> Self {
+        DmpsError::Cluster(e)
     }
 }
 

@@ -14,6 +14,11 @@
 //! Figure 2 and the connection lights of Figure 3, and the metrics used in
 //! `EXPERIMENTS.md`.
 //!
+//! For running whole presentation sessions *sharded* — chat, whiteboard,
+//! sub-sessions and synchronized playback executing against the
+//! `dmps-cluster` control plane with crash/failover — see
+//! [`ClusterSession`].
+//!
 //! # Example
 //!
 //! ```
@@ -34,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster_session;
 pub mod error;
 pub mod message;
 pub mod metrics;
@@ -44,6 +50,7 @@ pub mod session;
 pub mod workload;
 
 pub use client::DmpsClient;
+pub use cluster_session::{ClusterSession, ClusterSessionConfig};
 pub use error::{DmpsError, Result};
 pub use message::DmpsMessage;
 pub use metrics::{GrantLatencyStats, SkewStats};

@@ -157,26 +157,11 @@ impl DmpsServer {
     }
 
     /// Whether a member may currently deliver content under the group's
-    /// floor control mode (without changing any arbitration state).
+    /// floor control mode (without changing any arbitration state). The rule
+    /// itself lives on [`FloorArbiter::may_deliver`] so the sharded session
+    /// path (`dmps-cluster`) gates deliveries identically.
     fn may_deliver(&self, member: MemberId) -> bool {
-        let Ok(group) = self.arbiter.group(self.group) else {
-            return false;
-        };
-        if !group.contains(member) {
-            return false;
-        }
-        match group.mode {
-            FcmMode::FreeAccess => true,
-            FcmMode::EqualControl => self
-                .arbiter
-                .token(self.group)
-                .map(|t| t.may_speak(member))
-                .unwrap_or(false),
-            // Deliveries in the main group while it is in a sub-group mode
-            // follow the free-access rule; private traffic goes through the
-            // sub-group.
-            FcmMode::GroupDiscussion | FcmMode::DirectContact => true,
-        }
+        self.arbiter.may_deliver(self.group, member)
     }
 
     /// Handles one delivered message and returns the messages to send in

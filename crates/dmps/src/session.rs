@@ -52,6 +52,12 @@ impl Default for SessionConfig {
 
 /// A running DMPS session: the server, its clients, and the network between
 /// them.
+///
+/// This is the paper's single-station deployment: one [`DmpsServer`] owns
+/// the whole session. To run sessions *sharded* across a federation of
+/// arbiters — with crash/failover and exactly-once retries — use
+/// [`crate::ClusterSession`], which executes the same session traffic
+/// against the `dmps-cluster` control plane.
 #[derive(Debug)]
 pub struct Session {
     net: Network<DmpsMessage>,

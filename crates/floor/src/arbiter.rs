@@ -362,6 +362,32 @@ impl FloorArbiter {
         self.tokens.iter().map(|(&g, t)| (g, t))
     }
 
+    /// Whether `member` may currently deliver content (chat, whiteboard,
+    /// annotations) in `group` under its floor control mode, without changing
+    /// any arbitration state.
+    ///
+    /// Free Access always permits delivery; Equal Control requires holding
+    /// the floor token; the sub-session modes (Group Discussion / Direct
+    /// Contact) follow the free-access rule inside the sub-group, because the
+    /// moderation already happened when the sub-group was spawned by
+    /// invitation. Unknown groups and non-members never deliver.
+    pub fn may_deliver(&self, group: GroupId, member: MemberId) -> bool {
+        let Ok(g) = self.group(group) else {
+            return false;
+        };
+        if !g.contains(member) {
+            return false;
+        }
+        match g.mode {
+            FcmMode::FreeAccess => true,
+            FcmMode::EqualControl => self
+                .token(group)
+                .map(|t| t.may_speak(member))
+                .unwrap_or(false),
+            FcmMode::GroupDiscussion | FcmMode::DirectContact => true,
+        }
+    }
+
     /// Number of groups (including sub-groups).
     pub fn group_count(&self) -> usize {
         self.groups.len()
