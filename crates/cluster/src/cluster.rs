@@ -17,13 +17,14 @@
 //! operation — every shard always works in parallel behind its queue — and
 //! both merely await the decisions of this façade's outstanding submissions.
 
+use std::collections::BTreeMap;
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, RwLock};
 
 use dmps_floor::arbiter::ArbiterStats;
 use dmps_floor::snapshot::EventOutcome;
 use dmps_floor::{
-    ArbiterEvent, ArbitrationOutcome, FcmMode, FloorArbiter, FloorRequest, GroupId,
+    ArbiterEvent, ArbitrationOutcome, FcmMode, FloorArbiter, FloorRequest, FloorToken, GroupId,
     InvitationStatus, Member, MemberId, RequestKind, Resource,
 };
 
@@ -148,17 +149,135 @@ pub struct Decision {
     pub replayed: bool,
 }
 
-/// What [`Cluster::rebalance_idle`] did: which groups moved and which are
+/// What a rebalancing pass ([`Cluster::rebalance_idle`] /
+/// [`Cluster::rebalance_active`]) did: which groups moved and which are
 /// pinned for now.
+///
+/// `rebalance_idle` defers every floor-active group; `rebalance_active`
+/// drains exactly that list by migrating active groups through the two-phase
+/// live handoff, so on a healthy cluster its `deferred` comes back empty:
+///
+/// ```
+/// use dmps_cluster::{Cluster, ClusterConfig, GlobalRequest};
+/// use dmps_floor::{FcmMode, Member, Role};
+///
+/// let mut cluster = Cluster::new(ClusterConfig::with_shards(2));
+/// let mut busy = Vec::new();
+/// for g in 0..16 {
+///     let gid = cluster.create_group(format!("g{g}"), FcmMode::EqualControl).unwrap();
+///     let m = cluster.register_member(Member::new(format!("m{g}"), Role::Chair));
+///     cluster.join_group(gid, m).unwrap();
+///     // Every group holds its token, so none of them is idle.
+///     assert!(cluster.request(GlobalRequest::speak(gid, m)).unwrap().is_granted());
+///     busy.push(gid);
+/// }
+/// cluster.add_shard();
+/// let idle_pass = cluster.rebalance_idle().unwrap();
+/// assert!(idle_pass.migrated.is_empty(), "every group is token-pinned");
+/// let live_pass = cluster.rebalance_active().unwrap();
+/// assert_eq!(live_pass.migrated, idle_pass.deferred, "the handoff drains the deferred list");
+/// assert!(live_pass.deferred.is_empty());
+/// cluster.check_invariants().unwrap();
+/// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RebalanceReport {
     /// Groups migrated to their new ring placement.
     pub migrated: Vec<GlobalGroupId>,
-    /// Groups whose ring placement changed but which could not move yet —
-    /// floor-active (token held or requesters queued) or with a failed
-    /// source/target shard. Retry after the floor is released or the shard
-    /// recovers; groundwork for a future two-phase live handoff.
+    /// Groups whose ring placement changed but which could not move in this
+    /// pass. For [`Cluster::rebalance_idle`] that is every floor-active
+    /// group (token held or requesters queued) — drain them with
+    /// [`Cluster::rebalance_active`], which migrates live floor state
+    /// through the two-phase handoff. For `rebalance_active` itself the list
+    /// only holds groups whose source or target shard is down (or which are
+    /// already mid-handoff); retry once the shard recovers.
     pub deferred: Vec<GlobalGroupId>,
+}
+
+/// Phase-1 output of a live group handoff: the frozen group's complete
+/// exported state plus the routing facts the commit/abort phases need.
+///
+/// Produced by [`Cluster::handoff_prepare`], consumed by exactly one of
+/// [`Cluster::handoff_commit`] (install on the destination, flip the
+/// directory, retire the source copy) or [`Cluster::handoff_abort`]
+/// (unfreeze the source and resume serving there). While a ticket is
+/// outstanding, streamed submissions for the group are parked at the
+/// gateways and re-driven after the commit or abort; synchronous requests
+/// fail fast with [`ClusterError::GroupFrozen`].
+///
+/// Deliberately neither `Clone` nor re-issuable: the by-value
+/// commit/abort signatures make the type system enforce that each
+/// prepared handoff is resolved exactly once — committing a stale copy
+/// after an abort would install a pre-abort export over state the source
+/// has since mutated.
+#[derive(Debug)]
+pub struct HandoffTicket {
+    group: GlobalGroupId,
+    source: ShardId,
+    source_local: GroupId,
+    target: ShardId,
+    parent: Option<GlobalGroupId>,
+    name: String,
+    mode: FcmMode,
+    roster: Vec<GlobalMemberId>,
+    chair: Option<GlobalMemberId>,
+    holder: Option<GlobalMemberId>,
+    queue: Vec<GlobalMemberId>,
+    grants: u64,
+    content: GroupSession,
+    floor_journal: Vec<(u64, ArbitrationOutcome)>,
+    session_journal: Vec<(u64, SessionOutcome)>,
+    pinned_seq: u64,
+}
+
+impl HandoffTicket {
+    /// The group being handed off.
+    pub fn group(&self) -> GlobalGroupId {
+        self.group
+    }
+
+    /// The shard the group is leaving.
+    pub fn source(&self) -> ShardId {
+        self.source
+    }
+
+    /// The shard the group is moving to.
+    pub fn target(&self) -> ShardId {
+        self.target
+    }
+
+    /// The current token holder at freeze time, if any.
+    pub fn token_holder(&self) -> Option<GlobalMemberId> {
+        self.holder
+    }
+
+    /// The token's pending-request queue at freeze time, in FIFO order.
+    pub fn token_queue(&self) -> &[GlobalMemberId] {
+        &self.queue
+    }
+
+    /// The source log position the export covers (every earlier event is
+    /// reflected in the exported state; the freeze guarantees no later event
+    /// touches the group before commit or abort).
+    pub fn pinned_seq(&self) -> u64 {
+        self.pinned_seq
+    }
+}
+
+/// A submission that arrived for a frozen group: it waits out the handoff at
+/// the routing layer and is re-driven through the normal gateway path after
+/// the commit (toward the new owner) or abort (back to the source).
+#[derive(Debug)]
+enum ParkedOp {
+    Floor {
+        seq: u64,
+        request: GlobalRequest,
+        reply: Sender<Decision>,
+    },
+    Session {
+        seq: u64,
+        op: SessionOp,
+        reply: Sender<SessionDecision>,
+    },
 }
 
 /// The concurrent heart of the control plane: the shared [`Directory`] and
@@ -169,6 +288,20 @@ pub(crate) struct Core {
     config: ClusterConfig,
     directory: Directory,
     workers: RwLock<Vec<ShardWorker>>,
+    /// Groups frozen by an in-flight live handoff, each with the streamed
+    /// submissions that arrived during its frozen window. Presence of the
+    /// key is the routing-level freeze; the ops are re-driven through the
+    /// normal submit path when the handoff commits or aborts.
+    ///
+    /// An `RwLock` on purpose: the submit paths hold a *read* guard across
+    /// the worker-queue send (readers never contend with each other, so
+    /// multi-gateway ingest keeps scaling), while `freeze_routing` takes the
+    /// *write* lock — which therefore cannot be acquired until every
+    /// submission that passed the not-frozen check has finished enqueueing.
+    /// That ordering is what makes the freeze race-free: a racing submission
+    /// either parks, or is already in the worker queue ahead of the prepare
+    /// command and is reflected in the export.
+    parked: RwLock<BTreeMap<GlobalGroupId, Vec<ParkedOp>>>,
 }
 
 impl Core {
@@ -187,6 +320,7 @@ impl Core {
             config,
             directory: Directory::new(ring),
             workers: RwLock::new(workers),
+            parked: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -247,32 +381,78 @@ impl Core {
         ))
     }
 
+    /// Whether the group is frozen by an in-flight handoff at the routing
+    /// layer.
+    fn is_routing_frozen(&self, group: GlobalGroupId) -> bool {
+        self.parked
+            .read()
+            .expect("parking lot")
+            .contains_key(&group)
+    }
+
     /// Routes a request to its shard queue under the given request id; the
-    /// decision will stream to `reply`.
+    /// decision will stream to `reply`. A request for a group frozen by an
+    /// in-flight handoff is parked and re-driven (still toward `reply`)
+    /// after the handoff commits or aborts.
+    ///
+    /// The routing happens under the parking lot's read guard: a concurrent
+    /// `freeze_routing` (write lock) cannot interleave between the
+    /// not-frozen check and the worker-queue send, so every accepted
+    /// submission either parks or lands ahead of the handoff's prepare
+    /// command — never behind the freeze where it would bounce with
+    /// [`ClusterError::GroupFrozen`].
     pub(crate) fn submit_as(
         &self,
         seq: u64,
         request: GlobalRequest,
         reply: Sender<Decision>,
     ) -> Result<()> {
-        let (placement, local) = self.translate(&request)?;
-        let workers = self.workers.read().expect("workers lock");
-        workers[placement.shard.0].send(ShardCommand::Request {
-            seq,
-            group: request.group,
-            request: local,
-            reply,
-        });
-        Ok(())
+        loop {
+            {
+                let parked = self.parked.read().expect("parking lot");
+                if !parked.contains_key(&request.group) {
+                    let (placement, local) = self.translate(&request)?;
+                    let workers = self.workers.read().expect("workers lock");
+                    workers[placement.shard.0].send(ShardCommand::Request {
+                        seq,
+                        group: request.group,
+                        request: local,
+                        reply,
+                    });
+                    return Ok(());
+                }
+            }
+            let mut parked = self.parked.write().expect("parking lot");
+            if let Some(waiting) = parked.get_mut(&request.group) {
+                waiting.push(ParkedOp::Floor {
+                    seq,
+                    request,
+                    reply,
+                });
+                return Ok(());
+            }
+            // Unfrozen between the two lock acquisitions: retry the send.
+        }
     }
 
     /// Synchronously arbitrates under the given request id, returning the
     /// outcome and whether it was replayed from the dedup window.
+    ///
+    /// Unlike the streaming path, a frozen group fails fast with
+    /// [`ClusterError::GroupFrozen`] instead of parking — a synchronous
+    /// caller blocked on a parked decision could be the very thread that has
+    /// to finish the handoff. The fail-fast is best-effort: a request that
+    /// races the freeze itself may instead park and block until the handoff
+    /// resolves, which is safe (the coordinator is necessarily another
+    /// thread in that interleaving).
     pub(crate) fn request_as(
         &self,
         seq: u64,
         request: GlobalRequest,
     ) -> Result<(ArbitrationOutcome, bool)> {
+        if self.is_routing_frozen(request.group) {
+            return Err(ClusterError::GroupFrozen(request.group));
+        }
         let (tx, rx) = channel();
         self.submit_as(seq, request, tx)?;
         let decision = rx.recv().map_err(|_| ClusterError::Disconnected)?;
@@ -303,23 +483,45 @@ impl Core {
     }
 
     /// Routes a session operation to its shard queue under the given request
-    /// id; the decision will stream to `reply`.
+    /// id; the decision will stream to `reply`. Operations for a frozen
+    /// group are parked exactly like floor requests, with the same
+    /// read-guard-across-send freedom from the check/enqueue race.
     pub(crate) fn submit_session_as(
         &self,
         seq: u64,
         op: SessionOp,
         reply: Sender<SessionDecision>,
     ) -> Result<()> {
-        let (placement, event) = self.translate_session(&op)?;
-        let workers = self.workers.read().expect("workers lock");
-        workers[placement.shard.0].send(ShardCommand::Session { seq, event, reply });
-        Ok(())
+        loop {
+            {
+                let parked = self.parked.read().expect("parking lot");
+                if !parked.contains_key(&op.group) {
+                    let (placement, event) = self.translate_session(&op)?;
+                    let workers = self.workers.read().expect("workers lock");
+                    workers[placement.shard.0].send(ShardCommand::Session { seq, event, reply });
+                    return Ok(());
+                }
+            }
+            let mut parked = self.parked.write().expect("parking lot");
+            match parked.get_mut(&op.group) {
+                Some(waiting) => {
+                    waiting.push(ParkedOp::Session { seq, op, reply });
+                    return Ok(());
+                }
+                // Unfrozen between the two lock acquisitions: retry the send.
+                None => continue,
+            }
+        }
     }
 
     /// Synchronously applies a session operation under the given request id,
     /// returning the outcome and whether it was replayed from the session
-    /// dedup window.
+    /// dedup window. Frozen groups fail fast with
+    /// [`ClusterError::GroupFrozen`], mirroring [`Core::request_as`].
     pub(crate) fn session_as(&self, seq: u64, op: SessionOp) -> Result<(SessionOutcome, bool)> {
+        if self.is_routing_frozen(op.group) {
+            return Err(ClusterError::GroupFrozen(op.group));
+        }
         let (tx, rx) = channel();
         self.submit_session_as(seq, op, tx)?;
         let decision = rx.recv().map_err(|_| ClusterError::Disconnected)?;
@@ -419,12 +621,30 @@ impl Core {
     }
 
     pub(crate) fn join_group(&self, group: GlobalGroupId, member: GlobalMemberId) -> Result<()> {
+        // Membership mutations must not slip into a handoff's frozen window:
+        // the export captures the roster, so a join applied on the source
+        // mid-handoff would be lost by the commit's install/purge. Frozen
+        // groups fail fast and retryable, like the synchronous request
+        // paths; the read guard stays held across the worker round-trip so
+        // a freeze racing this join must wait until the mutation is ordered
+        // before the handoff's prepare command (and thus in the export).
+        let parked = self.parked.read().expect("parking lot");
+        if parked.contains_key(&group) {
+            return Err(ClusterError::GroupFrozen(group));
+        }
         let placement = self.directory.placement(group)?;
         self.ensure_on_shard(member, placement.shard, placement.local)?;
+        drop(parked);
         Ok(())
     }
 
     pub(crate) fn leave_group(&self, group: GlobalGroupId, member: GlobalMemberId) -> Result<()> {
+        // Mirrors `join_group`: a leave slipping into the frozen window
+        // would be resurrected by the commit's install on the destination.
+        let parked = self.parked.read().expect("parking lot");
+        if parked.contains_key(&group) {
+            return Err(ClusterError::GroupFrozen(group));
+        }
         let placement = self.directory.placement(group)?;
         let local = self.directory.local_member(member, placement.shard)?;
         self.with_shard(placement.shard, move |s| {
@@ -433,6 +653,7 @@ impl Core {
                 member: local,
             })
         })?;
+        drop(parked);
         Ok(())
     }
 
@@ -567,16 +788,21 @@ impl Core {
         id
     }
 
-    pub(crate) fn rebalance_idle(&self) -> Result<RebalanceReport> {
-        let candidates: Vec<(GlobalGroupId, GroupPlacement, ShardId)> = self
-            .directory
+    /// Every group whose current placement differs from its ring placement —
+    /// the candidate set both rebalancing passes work from.
+    fn displaced_groups(&self) -> Vec<(GlobalGroupId, GroupPlacement, ShardId)> {
+        self.directory
             .placements_snapshot()
             .into_iter()
             .filter_map(|(g, p)| {
                 let target = self.directory.shard_for(g.0);
                 (target != p.shard).then_some((g, p, target))
             })
-            .collect();
+            .collect()
+    }
+
+    pub(crate) fn rebalance_idle(&self) -> Result<RebalanceReport> {
+        let candidates = self.displaced_groups();
         let mut report = RebalanceReport::default();
         for (group, placement, target) in candidates {
             if !self.is_shard_active(placement.shard) || !self.is_shard_active(target) {
@@ -650,6 +876,316 @@ impl Core {
                 });
             }
             report.migrated.push(group);
+        }
+        Ok(report)
+    }
+
+    // ----- live handoff (two-phase migration of active groups) --------------
+
+    /// Establishes the routing-level freeze: submissions for `group` park
+    /// from this instant until [`Core::unfreeze_and_redrive`]. Returns
+    /// `false` when the group is already frozen by another handoff — the
+    /// caller must then back off *without* unfreezing, or it would clobber
+    /// the in-flight handoff's freeze (and strand or leak its parked ops).
+    fn freeze_routing(&self, group: GlobalGroupId) -> bool {
+        let mut parked = self.parked.write().expect("parking lot");
+        if parked.contains_key(&group) {
+            return false;
+        }
+        parked.insert(group, Vec::new());
+        true
+    }
+
+    /// Lifts the routing freeze and re-drives every parked submission, in
+    /// arrival order. Re-driving re-resolves the directory, so after a
+    /// commit the ops land on the new owner, after an abort back on the
+    /// source. Routing failures are answered on the op's own reply channel
+    /// so no submission is ever lost silently.
+    ///
+    /// The write guard stays held across the whole re-drive: a fresh
+    /// submission for the group cannot pass the not-frozen check (its read
+    /// lock waits) until every parked op is already in its worker queue, so
+    /// per-gateway arrival order is preserved across the frozen window —
+    /// without this, a post-unfreeze submission could overtake older parked
+    /// ops.
+    fn unfreeze_and_redrive(&self, group: GlobalGroupId) {
+        let mut parked = self.parked.write().expect("parking lot");
+        for op in parked.remove(&group).unwrap_or_default() {
+            match op {
+                ParkedOp::Floor {
+                    seq,
+                    request,
+                    reply,
+                } => match self.translate(&request) {
+                    Ok((placement, local)) => {
+                        let workers = self.workers.read().expect("workers lock");
+                        workers[placement.shard.0].send(ShardCommand::Request {
+                            seq,
+                            group: request.group,
+                            request: local,
+                            reply,
+                        });
+                    }
+                    Err(e) => {
+                        let _ = reply.send(Decision {
+                            seq,
+                            group: request.group,
+                            outcome: Err(e),
+                            replayed: false,
+                        });
+                    }
+                },
+                ParkedOp::Session { seq, op, reply } => match self.translate_session(&op) {
+                    Ok((placement, event)) => {
+                        let workers = self.workers.read().expect("workers lock");
+                        workers[placement.shard.0].send(ShardCommand::Session {
+                            seq,
+                            event,
+                            reply,
+                        });
+                    }
+                    Err(e) => {
+                        let _ = reply.send(SessionDecision {
+                            seq,
+                            group: op.group,
+                            outcome: Err(e),
+                            replayed: false,
+                        });
+                    }
+                },
+            }
+        }
+    }
+
+    /// Phase 1: freezes the group on its source shard and exports its live
+    /// state (token holder + queue, roster, session content, journal
+    /// slices), translated to global ids.
+    pub(crate) fn handoff_prepare(
+        &self,
+        group: GlobalGroupId,
+        target: Option<ShardId>,
+    ) -> Result<HandoffTicket> {
+        let placement = self.directory.placement(group)?;
+        let target = target.unwrap_or_else(|| self.directory.shard_for(group.0));
+        if target == placement.shard {
+            return Err(ClusterError::HandoffUnnecessary(group));
+        }
+        if !self.is_shard_active(target) {
+            return Err(ClusterError::ShardDown(target));
+        }
+        // Routing freeze first, then the shard-side freeze: every submission
+        // racing the handoff either parks here or reaches the source worker
+        // *before* its prepare command and is therefore reflected in the
+        // export.
+        if !self.freeze_routing(group) {
+            return Err(ClusterError::GroupFrozen(group));
+        }
+        let local = placement.local;
+        let export = match self.with_shard(placement.shard, move |s| {
+            match s.handoff_prepare(group, local) {
+                // An orphaned durable freeze: a crashed handoff's prepare
+                // was replayed by recovery, but no coordinator is in flight
+                // (we just won the routing freeze, so any previous handoff
+                // is resolved or its coordinator is gone). Lift it and
+                // retry so the group cannot stay wedged forever.
+                Err(ClusterError::GroupFrozen(_)) => {
+                    s.handoff_abort(group)?;
+                    s.handoff_prepare(group, local)
+                }
+                other => other,
+            }
+        }) {
+            Ok(export) => export,
+            Err(e) => {
+                self.unfreeze_and_redrive(group);
+                return Err(e);
+            }
+        };
+        // Translate the exported dense ids to global ids. Every shard-local
+        // member has a reverse directory mapping (a cluster invariant), so a
+        // miss here is a bug, not a recoverable condition.
+        let global = |m: MemberId| {
+            self.directory
+                .global_of(placement.shard, m)
+                .expect("exported member has a reverse directory mapping")
+        };
+        Ok(HandoffTicket {
+            group,
+            source: placement.shard,
+            source_local: local,
+            target,
+            parent: placement.parent,
+            name: export.floor.name,
+            mode: export.floor.mode,
+            roster: export.floor.members.iter().copied().map(global).collect(),
+            chair: export.floor.chair.map(global),
+            holder: export.floor.token.holder().map(global),
+            queue: export.floor.token.queue().map(global).collect(),
+            grants: export.floor.token.grant_count(),
+            content: export.content,
+            floor_journal: export.floor_journal,
+            session_journal: export.session_journal,
+            pinned_seq: export.pinned_seq,
+        })
+    }
+
+    /// Installs the ticket's state on the target shard: group + roster via
+    /// the ordinary logged floor events, the token via a logged
+    /// [`ArbiterEvent::RestoreToken`], session content via a logged install,
+    /// journal slices into the dedup windows. Returns the group's dense id
+    /// on the target.
+    ///
+    /// Takes the ticket mutably so the bulk payloads (session content,
+    /// journal slices, name) are *moved* into the install instead of deep-
+    /// copied; the scalar routing fields the commit still needs afterwards
+    /// stay behind.
+    fn install_handoff(&self, ticket: &mut HandoffTicket) -> Result<GroupId> {
+        let target = ticket.target;
+        let (name, mode) = (std::mem::take(&mut ticket.name), ticket.mode);
+        let outcome = self.with_shard(target, move |s| {
+            s.apply(ArbiterEvent::CreateGroup { name, mode })
+        })?;
+        let EventOutcome::GroupCreated(new_local) = outcome else {
+            unreachable!("CreateGroup yields GroupCreated");
+        };
+        for &member in &ticket.roster {
+            self.ensure_on_shard(member, target, new_local)?;
+        }
+        let holder = ticket
+            .holder
+            .map(|m| self.directory.local_member(m, target))
+            .transpose()?;
+        let queue = ticket
+            .queue
+            .iter()
+            .map(|&m| self.directory.local_member(m, target))
+            .collect::<Result<Vec<_>>>()?;
+        let token = FloorToken::from_parts(holder, queue, ticket.grants);
+        self.with_shard(target, move |s| {
+            s.apply(ArbiterEvent::RestoreToken {
+                group: new_local,
+                token,
+            })
+        })?;
+        // Re-seat the chair explicitly: the add/join path above only elects
+        // chairs by role, which cannot express an inviter-chaired sub-group
+        // (and elects nobody when the member was already instantiated on the
+        // target and arrived via JoinGroup).
+        let chair = ticket
+            .chair
+            .map(|m| self.directory.local_member(m, target))
+            .transpose()?;
+        self.with_shard(target, move |s| {
+            s.apply(ArbiterEvent::RestoreChair {
+                group: new_local,
+                chair,
+            })
+        })?;
+        if !ticket.content.is_empty() {
+            let (group, content) = (ticket.group, std::mem::take(&mut ticket.content));
+            self.with_shard(target, move |s| s.install_session(group, content))?;
+        }
+        if !ticket.floor_journal.is_empty() {
+            let (group, journal) = (ticket.group, std::mem::take(&mut ticket.floor_journal));
+            self.with_shard(target, move |s| s.install_dedup(group, journal));
+        }
+        if !ticket.session_journal.is_empty() {
+            let (group, journal) = (ticket.group, std::mem::take(&mut ticket.session_journal));
+            self.with_shard(target, move |s| s.install_session_dedup(group, journal));
+        }
+        Ok(new_local)
+    }
+
+    /// Retires the source copy after a successful install: empties the
+    /// roster (each leave logged; the husk's token drains with the roster —
+    /// the live token already moved as a copy), purges the session content
+    /// (logged), drops the journal slices, and logs the source-side commit
+    /// that lifts the freeze.
+    fn purge_handoff_source(&self, ticket: &HandoffTicket) -> Result<()> {
+        let (group, source, local) = (ticket.group, ticket.source, ticket.source_local);
+        for &member in &ticket.roster {
+            let member_local = self.directory.local_member(member, source)?;
+            self.with_shard(source, move |s| {
+                s.apply(ArbiterEvent::LeaveGroup {
+                    group: local,
+                    member: member_local,
+                })
+            })?;
+        }
+        let _ = self.with_shard(source, move |s| s.extract_session(group))?;
+        let _ = self.with_shard(source, move |s| s.extract_dedup(group));
+        let _ = self.with_shard(source, move |s| s.extract_session_dedup(group));
+        self.with_shard(source, move |s| s.handoff_commit_source(group))
+    }
+
+    /// Phase 2: installs on the destination, flips the directory placement,
+    /// retires the source copy, and re-drives parked submissions. On a
+    /// destination failure the handoff aborts internally (the source
+    /// unfreezes and resumes serving) and the error is returned.
+    pub(crate) fn handoff_commit(&self, mut ticket: HandoffTicket) -> Result<()> {
+        let group = ticket.group;
+        match self.install_handoff(&mut ticket) {
+            Ok(new_local) => {
+                // The placement swap: from this instant the directory routes
+                // the group to its new owner. Parked ops re-driven below (and
+                // every later submission) land there.
+                self.directory.place_group(
+                    group,
+                    GroupPlacement {
+                        shard: ticket.target,
+                        local: new_local,
+                        parent: ticket.parent,
+                    },
+                );
+                // Best-effort: a source that crashed mid-handoff keeps its
+                // frozen husk (it fails closed until recovery; the directory
+                // no longer routes to it), and a later recovery replays the
+                // freeze without a commit — still exactly one serving copy.
+                let _ = self.purge_handoff_source(&ticket);
+                self.unfreeze_and_redrive(group);
+                Ok(())
+            }
+            Err(e) => {
+                // Destination failure: abort back to the source. A partially
+                // installed destination group is an orphan its directory
+                // never points at — harmless, and its shard was down anyway.
+                let source = ticket.source;
+                let _ = self.with_shard(source, move |s| s.handoff_abort(group));
+                self.unfreeze_and_redrive(group);
+                Err(e)
+            }
+        }
+    }
+
+    /// Abandons a prepared handoff: lifts the source freeze (logged) and
+    /// re-drives parked submissions back to the source.
+    pub(crate) fn handoff_abort(&self, ticket: HandoffTicket) -> Result<()> {
+        let (group, source) = (ticket.group, ticket.source);
+        let result = self.with_shard(source, move |s| s.handoff_abort(group));
+        self.unfreeze_and_redrive(group);
+        result
+    }
+
+    pub(crate) fn rebalance_active(&self) -> Result<RebalanceReport> {
+        let mut report = RebalanceReport::default();
+        for (group, placement, target) in self.displaced_groups() {
+            if !self.is_shard_active(placement.shard) || !self.is_shard_active(target) {
+                report.deferred.push(group);
+                continue;
+            }
+            let ticket = match self.handoff_prepare(group, Some(target)) {
+                Ok(ticket) => ticket,
+                Err(_) => {
+                    report.deferred.push(group);
+                    continue;
+                }
+            };
+            // `handoff_commit` aborts internally on failure, so a deferred
+            // group is back to serving on its source and safe to retry.
+            match self.handoff_commit(ticket) {
+                Ok(()) => report.migrated.push(group),
+                Err(_) => report.deferred.push(group),
+            }
         }
         Ok(report)
     }
@@ -1058,7 +1594,8 @@ impl Cluster {
 
     /// Adds a new shard (and its worker pipeline) to the ring and returns
     /// its id. Existing groups stay where they are until
-    /// [`Cluster::rebalance_idle`] migrates the movable ones; new groups
+    /// [`Cluster::rebalance_idle`] migrates the idle ones (and
+    /// [`Cluster::rebalance_active`] live-migrates the rest); new groups
     /// hash across the enlarged ring immediately.
     pub fn add_shard(&mut self) -> ShardId {
         self.core.add_shard()
@@ -1066,11 +1603,10 @@ impl Cluster {
 
     /// Migrates every group whose ring placement changed **and** whose floor
     /// state is idle (no token holder, no queued requesters) to its new
-    /// shard. Groups that cannot move yet — floor-active, or with a failed
-    /// source/target shard — are reported in the result's `deferred` list so
-    /// callers can retry after the floor is released; moving a held token
-    /// between arbiters would risk the very double-grant anomaly the
-    /// failover machinery exists to prevent.
+    /// shard. Groups that cannot move this way — floor-active, or with a
+    /// failed source/target shard — are **not** migrated; they are reported
+    /// in the result's `deferred` list, which [`Cluster::rebalance_active`]
+    /// drains by moving live floor state through the two-phase handoff.
     ///
     /// Requests still queued for a migrated group keep routing to the old
     /// shard, where the group is left empty; they fail closed (aborted as
@@ -1083,14 +1619,127 @@ impl Cluster {
     /// gateways must stop submitting to the groups being moved until it
     /// returns. The idle check and the migration are separate steps on the
     /// source shard, so a floor granted concurrently in that window would be
-    /// destroyed by the move — the safe live-migration path is the two-phase
-    /// handoff the `deferred` list is groundwork for.
+    /// destroyed by the move — the concurrent-safe path is
+    /// [`Cluster::rebalance_active`], whose prepare phase freezes each group
+    /// before anything is copied.
     ///
     /// # Errors
     ///
     /// Returns shard errors; on error, already-migrated groups stay migrated.
     pub fn rebalance_idle(&mut self) -> Result<RebalanceReport> {
         self.core.rebalance_idle()
+    }
+
+    /// Migrates **every** group whose ring placement changed — including
+    /// floor-active ones with a held token and queued requesters — via the
+    /// two-phase live handoff, draining the `deferred` list
+    /// [`Cluster::rebalance_idle`] reports. Each group is moved
+    /// prepare-then-commit:
+    ///
+    /// 1. **Prepare** freezes the group on its source shard (durably
+    ///    logged): streamed submissions park at the routing layer,
+    ///    synchronous requests fail fast with
+    ///    [`ClusterError::GroupFrozen`], and the group's complete state —
+    ///    live token (holder + FIFO queue), roster, session content, and
+    ///    both dedup-journal slices — is exported at a pinned log position.
+    /// 2. **Commit** installs that state on the destination through ordinary
+    ///    logged events (so destination replay is exactly as deterministic
+    ///    as normal traffic), flips the directory placement, retires the
+    ///    source copy, and re-drives the parked submissions toward the new
+    ///    owner.
+    ///
+    /// A handoff that cannot complete — source or destination down — aborts
+    /// back to the source (the group unfreezes and keeps serving there) and
+    /// the group lands in `deferred` for a later retry; on a healthy cluster
+    /// `deferred` comes back empty. `FloorArbiter::check_invariants` holds
+    /// on both shards after every phase: the freeze guarantees at most one
+    /// serving copy of the token at any instant, which is exactly the
+    /// paper's one-holder-per-group invariant extended across shards.
+    ///
+    /// ```
+    /// use dmps_cluster::{Cluster, ClusterConfig, GlobalRequest};
+    /// use dmps_floor::{FcmMode, Member, Role};
+    ///
+    /// let mut cluster = Cluster::new(ClusterConfig::with_shards(2));
+    /// let g = cluster.create_group("lecture", FcmMode::EqualControl).unwrap();
+    /// let teacher = cluster.register_member(Member::new("t", Role::Chair));
+    /// let student = cluster.register_member(Member::new("s", Role::Participant));
+    /// cluster.join_group(g, teacher).unwrap();
+    /// cluster.join_group(g, student).unwrap();
+    /// // The teacher holds the token and the student queues: the group is
+    /// // floor-active, so `rebalance_idle` could never move it...
+    /// assert!(cluster.request(GlobalRequest::speak(g, teacher)).unwrap().is_granted());
+    /// cluster.request(GlobalRequest::speak(g, student)).unwrap();
+    /// cluster.add_shard();
+    /// // ...but the live handoff can, token state and queue intact.
+    /// let report = cluster.rebalance_active().unwrap();
+    /// assert!(report.deferred.is_empty());
+    /// if report.migrated.contains(&g) {
+    ///     // Releasing on the new shard promotes the queued student: the
+    ///     // arbitration continues exactly where the source stopped.
+    ///     let next = cluster.request(GlobalRequest::release_floor(g, teacher)).unwrap();
+    ///     assert!(next.is_granted());
+    /// }
+    /// cluster.check_invariants().unwrap();
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns directory errors; per-group failures are reported via
+    /// `deferred`, not as errors.
+    pub fn rebalance_active(&mut self) -> Result<RebalanceReport> {
+        self.core.rebalance_active()
+    }
+
+    // ----- phase-level handoff (advanced; `rebalance_active` drives both
+    // phases for the common case) -------------------------------------------
+
+    /// Phase 1 of a live group handoff: freezes `group` on its current shard
+    /// and exports its complete live state toward `target` (defaults to the
+    /// group's ring placement). While the returned ticket is outstanding,
+    /// streamed submissions for the group park and synchronous requests fail
+    /// fast with [`ClusterError::GroupFrozen`] — finish the handoff with
+    /// [`Cluster::handoff_commit`] or [`Cluster::handoff_abort`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::HandoffUnnecessary`] when the group already
+    /// lives on the target, [`ClusterError::GroupFrozen`] when a handoff is
+    /// already in flight for it, and shard-down / unknown-id errors.
+    pub fn handoff_prepare(
+        &mut self,
+        group: GlobalGroupId,
+        target: Option<ShardId>,
+    ) -> Result<HandoffTicket> {
+        self.core.handoff_prepare(group, target)
+    }
+
+    /// Phase 2 of a live group handoff: installs the ticket's state on the
+    /// destination shard, flips the directory placement, retires the source
+    /// copy and re-drives parked submissions toward the new owner.
+    ///
+    /// # Errors
+    ///
+    /// On a destination failure the handoff aborts internally — the source
+    /// unfreezes and keeps serving the group — and the error is returned;
+    /// prepare again once the destination recovers.
+    pub fn handoff_commit(&mut self, ticket: HandoffTicket) -> Result<()> {
+        self.core.handoff_commit(ticket)
+    }
+
+    /// Abandons a prepared handoff: the group unfreezes (durably logged) and
+    /// resumes serving on its source shard; parked submissions are re-driven
+    /// there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::ShardDown`] when the source is down — its
+    /// replayed freeze then outlives recovery and the group fails closed,
+    /// until the next [`Cluster::handoff_prepare`] (or
+    /// [`Cluster::rebalance_active`] pass) detects the orphaned freeze and
+    /// lifts it automatically.
+    pub fn handoff_abort(&mut self, ticket: HandoffTicket) -> Result<()> {
+        self.core.handoff_abort(ticket)
     }
 
     // ----- invariants -------------------------------------------------------
@@ -1402,6 +2051,314 @@ mod tests {
             assert!(outcome.is_granted());
         }
         assert!(second.deferred.is_empty());
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn live_handoff_migrates_held_token_and_queue() {
+        let (mut cluster, gids, rosters) = cluster_with_groups(3, 40, 3, FcmMode::EqualControl);
+        // Every group floor-active: holder + two queued requesters.
+        for (g, roster) in gids.iter().zip(&rosters) {
+            for &m in roster {
+                cluster.request(GlobalRequest::speak(*g, m)).unwrap();
+            }
+        }
+        let new = cluster.add_shard();
+        let idle_pass = cluster.rebalance_idle().unwrap();
+        assert!(idle_pass.migrated.is_empty(), "all groups token-pinned");
+        assert!(!idle_pass.deferred.is_empty());
+        let live_pass = cluster.rebalance_active().unwrap();
+        assert_eq!(live_pass.migrated, idle_pass.deferred);
+        assert!(live_pass.deferred.is_empty(), "live handoff drains it all");
+        cluster.check_invariants().unwrap();
+        for g in &live_pass.migrated {
+            let roster = &rosters[g.0 as usize];
+            let placement = cluster.placement(*g).unwrap();
+            assert_eq!(placement.shard, new);
+            // Token state survived the move: the original holder still holds,
+            // the queue kept its FIFO order.
+            let arbiter = cluster.arbiter(new);
+            let token = arbiter.token(placement.local).unwrap();
+            let local = |m| cluster.local_member(m, new).unwrap();
+            assert_eq!(token.holder(), Some(local(roster[0])));
+            assert_eq!(
+                token.queue().collect::<Vec<_>>(),
+                vec![local(roster[1]), local(roster[2])]
+            );
+            // Releasing on the new shard promotes the queued member: no lost
+            // and no duplicated grant.
+            let next_local = local(roster[1]);
+            let next = cluster
+                .request(GlobalRequest::release_floor(*g, roster[0]))
+                .unwrap();
+            match next {
+                ArbitrationOutcome::Granted { ref speakers, .. } => {
+                    assert_eq!(*speakers, vec![next_local]);
+                }
+                ref other => panic!("expected promotion, got {other:?}"),
+            }
+        }
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn handoff_phases_keep_invariants_and_park_submissions() {
+        let (mut cluster, gids, rosters) = cluster_with_groups(2, 20, 2, FcmMode::EqualControl);
+        for (g, roster) in gids.iter().zip(&rosters) {
+            cluster
+                .request(GlobalRequest::speak(*g, roster[0]))
+                .unwrap();
+        }
+        let new = cluster.add_shard();
+        // Pick a group the ring wants on the new shard.
+        let group = *gids
+            .iter()
+            .find(|g| cluster.core.directory().shard_for(g.0) == new)
+            .expect("scale-out displaces some group");
+        let idx = group.0 as usize;
+        let source = cluster.placement(group).unwrap().shard;
+        let gateway = cluster.gateway();
+
+        let ticket = cluster.handoff_prepare(group, None).unwrap();
+        assert_eq!(ticket.group(), group);
+        assert_eq!(ticket.source(), source);
+        assert_eq!(ticket.target(), new);
+        assert_eq!(ticket.token_holder(), Some(rosters[idx][0]));
+        // Invariants hold on every shard with the group frozen.
+        cluster.check_invariants().unwrap();
+        // A second prepare is refused while the first is outstanding.
+        assert!(matches!(
+            cluster.handoff_prepare(group, None),
+            Err(ClusterError::GroupFrozen(_))
+        ));
+        // Synchronous requests fail fast during the frozen window...
+        assert!(matches!(
+            cluster.request(GlobalRequest::release_floor(group, rosters[idx][0])),
+            Err(ClusterError::GroupFrozen(_))
+        ));
+        // ...and so do membership mutations — a join or leave slipping into
+        // the window would be lost (or resurrected) by the commit's
+        // install/purge.
+        let newcomer = cluster.register_member(Member::new("late", Role::Participant));
+        assert!(matches!(
+            cluster.join_group(group, newcomer),
+            Err(ClusterError::GroupFrozen(_))
+        ));
+        assert!(matches!(
+            cluster.leave_group(group, rosters[idx][1]),
+            Err(ClusterError::GroupFrozen(_))
+        ));
+        // ...while streamed submissions park (no decision yet).
+        let parked_seq = gateway
+            .submit(GlobalRequest::speak(group, rosters[idx][1]))
+            .unwrap();
+        let parked_session = gateway
+            .submit_session(SessionOp::chat(group, rosters[idx][0], "mid-handoff"))
+            .unwrap();
+        assert!(gateway.try_recv_decision().is_none(), "frozen: parked");
+
+        cluster.handoff_commit(ticket).unwrap();
+        cluster.check_invariants().unwrap();
+        assert_eq!(cluster.placement(group).unwrap().shard, new);
+        // The parked floor request was re-driven to the new owner: the
+        // holder migrated with the group, so the student queues behind them.
+        let decision = gateway.recv_decision().unwrap();
+        assert_eq!(decision.seq, parked_seq);
+        assert!(matches!(
+            decision.outcome,
+            Ok(ArbitrationOutcome::Queued { .. })
+        ));
+        // The parked chat line was re-driven too and delivered under the
+        // migrated token.
+        let session_decision = gateway.recv_session_decision().unwrap();
+        assert_eq!(session_decision.seq, parked_session);
+        assert!(session_decision.outcome.unwrap().is_delivered());
+        assert_eq!(cluster.session_view(group).unwrap().chat.len(), 1);
+        // The source husk is empty and unfrozen; its view reflects that.
+        assert_eq!(cluster.shard_view(source).frozen_groups, 0);
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn chair_survives_live_handoff_even_via_the_join_path() {
+        let mut cluster = Cluster::new(ClusterConfig::with_shards(2));
+        let g = cluster
+            .create_group("lecture", FcmMode::EqualControl)
+            .unwrap();
+        let chair = cluster.register_member(Member::new("chair", Role::Chair));
+        let other = cluster.register_member(Member::new("p", Role::Participant));
+        cluster.join_group(g, chair).unwrap();
+        cluster.join_group(g, other).unwrap();
+        let source = cluster.placement(g).unwrap().shard;
+        let target = ShardId((source.0 + 1) % 2);
+        // Instantiate the chair member on the target shard beforehand (via a
+        // pinned sub-group), so the handoff install adds them with JoinGroup
+        // — the path that never elects a chair by role.
+        cluster
+            .invite(g, chair, other, FcmMode::GroupDiscussion, Some(target))
+            .unwrap();
+        cluster.request(GlobalRequest::speak(g, chair)).unwrap();
+        let ticket = cluster.handoff_prepare(g, Some(target)).unwrap();
+        cluster.handoff_commit(ticket).unwrap();
+        let placement = cluster.placement(g).unwrap();
+        assert_eq!(placement.shard, target);
+        let local_chair = cluster.local_member(chair, target).unwrap();
+        assert_eq!(
+            cluster
+                .arbiter(target)
+                .group(placement.local)
+                .unwrap()
+                .chair,
+            Some(local_chair),
+            "the migrated group must keep its session chair"
+        );
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn handoff_commit_aborts_cleanly_when_destination_is_down() {
+        let (mut cluster, gids, rosters) = cluster_with_groups(2, 20, 2, FcmMode::EqualControl);
+        for (g, roster) in gids.iter().zip(&rosters) {
+            cluster
+                .request(GlobalRequest::speak(*g, roster[0]))
+                .unwrap();
+        }
+        let new = cluster.add_shard();
+        let group = *gids
+            .iter()
+            .find(|g| cluster.core.directory().shard_for(g.0) == new)
+            .expect("scale-out displaces some group");
+        let idx = group.0 as usize;
+        let source = cluster.placement(group).unwrap().shard;
+
+        let ticket = cluster.handoff_prepare(group, None).unwrap();
+        // The destination dies between the phases.
+        cluster.crash_shard(new);
+        let err = cluster.handoff_commit(ticket).unwrap_err();
+        assert!(matches!(err, ClusterError::ShardDown(s) if s == new));
+        // The abort path unfroze the source: the group serves there again
+        // with its token state untouched.
+        assert_eq!(cluster.placement(group).unwrap().shard, source);
+        assert_eq!(cluster.shard_view(source).frozen_groups, 0);
+        let outcome = cluster
+            .request(GlobalRequest::release_floor(group, rosters[idx][0]))
+            .unwrap();
+        assert!(outcome.is_granted());
+        cluster.check_invariants().unwrap();
+        // After the destination recovers, the handoff succeeds.
+        cluster.recover_shard(new).unwrap();
+        cluster
+            .request(GlobalRequest::speak(group, rosters[idx][1]))
+            .unwrap();
+        let report = cluster.rebalance_active().unwrap();
+        assert!(report.migrated.contains(&group));
+        assert_eq!(cluster.placement(group).unwrap().shard, new);
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn explicit_abort_resumes_the_source() {
+        let (mut cluster, gids, rosters) = cluster_with_groups(2, 10, 2, FcmMode::EqualControl);
+        let group = gids[0];
+        cluster
+            .request(GlobalRequest::speak(group, rosters[0][0]))
+            .unwrap();
+        let source = cluster.placement(group).unwrap().shard;
+        let other = ShardId((source.0 + 1) % 2);
+        let gateway = cluster.gateway();
+        let ticket = cluster.handoff_prepare(group, Some(other)).unwrap();
+        let parked = gateway
+            .submit(GlobalRequest::speak(group, rosters[0][1]))
+            .unwrap();
+        cluster.handoff_abort(ticket).unwrap();
+        // The group never moved; the parked request was re-driven to the
+        // source and queued behind the untouched holder.
+        assert_eq!(cluster.placement(group).unwrap().shard, source);
+        let decision = gateway.recv_decision().unwrap();
+        assert_eq!(decision.seq, parked);
+        assert!(matches!(
+            decision.outcome,
+            Ok(ArbitrationOutcome::Queued { .. })
+        ));
+        // Handoff toward the current owner is refused outright.
+        assert!(matches!(
+            cluster.handoff_prepare(group, Some(source)),
+            Err(ClusterError::HandoffUnnecessary(_))
+        ));
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn orphaned_freeze_is_lifted_by_the_next_prepare() {
+        let (mut cluster, gids, rosters) = cluster_with_groups(2, 10, 2, FcmMode::EqualControl);
+        let group = gids[0];
+        cluster
+            .request(GlobalRequest::speak(group, rosters[0][0]))
+            .unwrap();
+        let source = cluster.placement(group).unwrap().shard;
+        let other = ShardId((source.0 + 1) % 2);
+        let ticket = cluster.handoff_prepare(group, Some(other)).unwrap();
+        // The source dies before an abort can be logged: the ticket is
+        // consumed, the routing freeze lifts, but the durable shard-level
+        // freeze outlives recovery — the group fails closed...
+        cluster.crash_shard(source);
+        assert!(matches!(
+            cluster.handoff_abort(ticket),
+            Err(ClusterError::ShardDown(_))
+        ));
+        cluster.recover_shard(source).unwrap();
+        assert_eq!(cluster.shard_view(source).frozen_groups, 1);
+        assert!(matches!(
+            cluster.request(GlobalRequest::speak(group, rosters[0][1])),
+            Err(ClusterError::GroupFrozen(_))
+        ));
+        // ...until the next prepare detects the orphaned freeze, lifts it,
+        // and the handoff completes — the group cannot stay wedged forever.
+        let ticket = cluster.handoff_prepare(group, Some(other)).unwrap();
+        cluster.handoff_commit(ticket).unwrap();
+        let placement = cluster.placement(group).unwrap();
+        assert_eq!(placement.shard, other);
+        assert_eq!(cluster.shard_view(source).frozen_groups, 0);
+        let holder_local = cluster.local_member(rosters[0][0], other).unwrap();
+        assert_eq!(
+            cluster
+                .arbiter(other)
+                .token(placement.local)
+                .unwrap()
+                .holder(),
+            Some(holder_local),
+            "the held token survived the crash-interrupted handoff"
+        );
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dedup_journal_survives_a_live_handoff() {
+        let (mut cluster, gids, rosters) = cluster_with_groups(3, 40, 2, FcmMode::EqualControl);
+        // Journal a speak per group and keep every token held (floor-active).
+        let mut speak_seqs = std::collections::BTreeMap::new();
+        for (g, roster) in gids.iter().zip(&rosters) {
+            let speak = GlobalRequest::speak(*g, roster[0]);
+            speak_seqs.insert(*g, (cluster.submit(speak).unwrap(), speak));
+        }
+        let originals: std::collections::BTreeMap<u64, Decision> =
+            cluster.flush().into_iter().map(|d| (d.seq, d)).collect();
+        cluster.add_shard();
+        let report = cluster.rebalance_active().unwrap();
+        assert!(!report.migrated.is_empty());
+        assert!(report.deferred.is_empty());
+        let gateway = cluster.gateway();
+        for g in &report.migrated {
+            let (seq, speak) = speak_seqs[g];
+            // A gateway retry of the pre-handoff id replays from the journal
+            // slice that moved with the group — the speak is not re-applied,
+            // so the holder's grant count cannot double.
+            gateway.resubmit(seq, speak).unwrap();
+            let retry = gateway.recv_decision().unwrap();
+            assert_eq!(retry.seq, seq);
+            assert!(retry.replayed, "journal slice for {g} must have migrated");
+            assert_eq!(retry.outcome, originals[&seq].outcome);
+        }
         cluster.check_invariants().unwrap();
     }
 

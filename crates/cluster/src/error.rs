@@ -37,6 +37,13 @@ pub enum ClusterError {
     /// A group could not be migrated because its floor state is active
     /// (token held or queued members).
     GroupNotIdle(GlobalGroupId),
+    /// The group is frozen by an in-flight two-phase handoff; the operation
+    /// is safe to retry once the handoff commits or aborts (streamed
+    /// submissions are parked and re-driven automatically instead).
+    GroupFrozen(GlobalGroupId),
+    /// A live handoff was requested toward the shard that already owns the
+    /// group.
+    HandoffUnnecessary(GlobalGroupId),
     /// The shard worker pipelines are gone (the cluster was torn down while
     /// a decision was still awaited).
     Disconnected,
@@ -58,6 +65,12 @@ impl fmt::Display for ClusterError {
             ClusterError::AlreadyAnswered(i) => write!(f, "invitation {i} was already answered"),
             ClusterError::GroupNotIdle(g) => {
                 write!(f, "group {g} has active floor state and cannot be migrated")
+            }
+            ClusterError::GroupFrozen(g) => {
+                write!(f, "group {g} is frozen by an in-flight handoff")
+            }
+            ClusterError::HandoffUnnecessary(g) => {
+                write!(f, "group {g} already lives on the handoff target shard")
             }
             ClusterError::Disconnected => {
                 write!(f, "the shard worker pipelines have shut down")
@@ -100,6 +113,8 @@ mod tests {
             ClusterError::NotTheInvitee(GlobalMemberId(6)),
             ClusterError::AlreadyAnswered(7),
             ClusterError::GroupNotIdle(GlobalGroupId(8)),
+            ClusterError::GroupFrozen(GlobalGroupId(9)),
+            ClusterError::HandoffUnnecessary(GlobalGroupId(10)),
             ClusterError::Disconnected,
             ClusterError::Floor(FloorError::MissingDestination),
         ];

@@ -29,6 +29,16 @@
 //! with `&self` receivers as well, so administrative traffic can run from
 //! any gateway without a cluster-wide lock.
 //!
+//! During a live group handoff
+//! ([`Cluster::rebalance_active`](crate::Cluster::rebalance_active)) the
+//! routing layer *parks* streamed submissions for the frozen group and
+//! re-drives them — toward the new owner after the commit, back to the
+//! source after an abort — so `submit`/`submit_session` callers never
+//! observe the migration beyond added latency; the synchronous
+//! [`Gateway::request`]/[`Gateway::session`] paths and the membership
+//! mutations ([`Gateway::join_group`]/[`Gateway::leave_group`]) instead
+//! fail fast with [`ClusterError::GroupFrozen`] and are expected to retry.
+//!
 //! ```
 //! use dmps_cluster::{Cluster, ClusterConfig, GlobalRequest, SessionOp};
 //! use dmps_floor::{FcmMode, Member, Role};

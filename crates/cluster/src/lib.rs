@@ -62,14 +62,21 @@
 //!   hot-spotting their parent's shard.
 //! * **Failure injection** ([`sim`]) — [`ClusterSim`] deploys the cluster
 //!   over `dmps-simnet` hosts, crashes them mid-traffic on a seeded
-//!   schedule, and (optionally) retransmits unanswered requests after
-//!   failover, exercising the dedup window end to end.
-//! * **Scale-out** — [`Cluster::add_shard`] grows the ring and spawns the
-//!   new shard's pipeline; [`Cluster::rebalance_idle`] migrates idle groups
-//!   to it and reports floor-active groups as `deferred`
-//!   ([`RebalanceReport`]) so callers can retry once they quiesce — moving a
-//!   held token between arbiters is exactly the double-grant risk failover
-//!   avoids.
+//!   schedule (including between the phases of a scheduled live handoff),
+//!   and (optionally) retransmits unanswered requests after failover,
+//!   exercising the dedup window end to end.
+//! * **Scale-out & live migration** — [`Cluster::add_shard`] grows the ring
+//!   and spawns the new shard's pipeline; [`Cluster::rebalance_idle`]
+//!   migrates idle groups to it and reports floor-active groups as
+//!   `deferred` ([`RebalanceReport`]); [`Cluster::rebalance_active`] drains
+//!   that list by moving *live* floor state — held token, FIFO queue,
+//!   session content, journal slices — through a two-phase handoff
+//!   (prepare freezes the group on the source and exports at a pinned log
+//!   position; commit installs on the destination via ordinary logged
+//!   events, flips the directory placement, and re-drives the submissions
+//!   parked during the frozen window; abort resumes the source). The
+//!   freeze guarantees at most one serving copy of a token at any instant —
+//!   the paper's one-holder invariant, preserved across shard moves.
 //!
 //! The single-caller [`Cluster`] façade keeps the pre-pipeline API
 //! (`submit`/`flush`/`request`, `&mut self`) so existing call sites migrate
@@ -124,7 +131,8 @@ pub mod sim;
 pub mod worker;
 
 pub use cluster::{
-    Cluster, ClusterConfig, Decision, GlobalRequest, GlobalRequestKind, RebalanceReport,
+    Cluster, ClusterConfig, Decision, GlobalRequest, GlobalRequestKind, HandoffTicket,
+    RebalanceReport,
 };
 pub use directory::{ClusterInvitation, Directory, GroupPlacement};
 pub use error::{ClusterError, Result};
@@ -135,7 +143,7 @@ pub use session::{
     SessionRejection, SessionStore,
 };
 pub use shard::{
-    DedupWindow, EventLog, GlobalGroupId, GlobalMemberId, Shard, ShardEvent, ShardSnapshot,
-    ShardState, ShardView,
+    DedupWindow, EventLog, GlobalGroupId, GlobalMemberId, HandoffExport, Shard, ShardEvent,
+    ShardSnapshot, ShardState, ShardView,
 };
 pub use sim::{ClusterMsg, ClusterSim};

@@ -21,6 +21,16 @@
 //! journal riding the replicated log), so a retry that arrives after a
 //! crash-and-recover cannot double-apply an event.
 //!
+//! The shard is also one side of the two-phase *live handoff* that migrates
+//! floor-active groups between shards: [`Shard::handoff_prepare`] freezes a
+//! group (durably, via [`ShardEvent::HandoffPrepare`]) and exports its
+//! complete state ([`HandoffExport`]) at a pinned log position;
+//! [`Shard::handoff_commit_source`] / [`Shard::handoff_abort`] log the
+//! matching resolution. Frozen groups refuse ingest with
+//! [`crate::ClusterError::GroupFrozen`] — so no matter which side crashes
+//! mid-handoff, replay reconstructs a state in which at most one shard ever
+//! serves the group's token.
+//!
 //! ```
 //! use dmps_cluster::{GlobalGroupId, Shard, ShardId};
 //! use dmps_floor::{ArbiterEvent, FcmMode, FloorRequest, GroupId, Member, MemberId, Role};
@@ -43,7 +53,7 @@
 //! assert!(retry.unwrap().is_granted() && replayed, "journal answers the retry");
 //! ```
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 use dmps_floor::arbiter::ArbiterStats;
@@ -118,6 +128,20 @@ pub enum ShardEvent {
         /// Its content at migration time.
         content: GroupSession,
     },
+    /// Phase 1 of a live handoff: the group is frozen on this (source)
+    /// shard — ingest for it fails closed with
+    /// [`crate::ClusterError::GroupFrozen`] until a commit or abort is
+    /// logged. Replay must restore the frozen marker so a crash mid-handoff
+    /// cannot resurrect a second serving copy.
+    HandoffPrepare(GlobalGroupId),
+    /// Phase 2 of a live handoff, source side: the group left this shard for
+    /// good (its roster was emptied and its session content purged by the
+    /// separately-logged events preceding this one); replay must unfreeze
+    /// the husk.
+    HandoffCommit(GlobalGroupId),
+    /// A live handoff was abandoned (destination unreachable): the group
+    /// resumes serving on this shard; replay must unfreeze it.
+    HandoffAbort(GlobalGroupId),
 }
 
 /// The append-only event log of one shard, with prefix compaction.
@@ -271,6 +295,17 @@ impl<T: Clone> DedupWindow<T> {
         self.outcomes.insert(id, (group, outcome));
     }
 
+    /// Copies every journaled decision for `group` without removing it —
+    /// phase 1 of a live handoff exports the slice while the source must
+    /// stay able to answer retries until the commit point.
+    pub fn peek_group(&self, group: GlobalGroupId) -> Vec<(u64, T)> {
+        self.outcomes
+            .iter()
+            .filter(|(_, (g, _))| *g == group)
+            .map(|(&id, (_, outcome))| (id, outcome.clone()))
+            .collect()
+    }
+
     /// Removes and returns every journaled decision for `group` — the
     /// migration path: the entries follow the group to its new shard.
     pub fn extract_group(&mut self, group: GlobalGroupId) -> Vec<(u64, T)> {
@@ -318,6 +353,8 @@ pub struct ShardView {
     pub session_dedup_entries: usize,
     /// Number of groups with recorded session content on this shard.
     pub session_groups: usize,
+    /// Number of groups currently frozen by an in-flight live handoff.
+    pub frozen_groups: usize,
     /// Aggregate floor statistics of the shard's arbiter.
     pub stats: ArbiterStats,
 }
@@ -341,6 +378,10 @@ pub struct ShardSnapshot {
     pub arbiter: ArbiterSnapshot,
     /// The wire-encoded [`SessionStore`] at the same log position.
     pub session: String,
+    /// Groups frozen by an in-flight live handoff at snapshot time (sorted).
+    /// Without this, a snapshot taken inside the frozen window would lose
+    /// the marker the logged [`ShardEvent::HandoffPrepare`] established.
+    pub frozen: Vec<GlobalGroupId>,
 }
 
 impl ShardSnapshot {
@@ -360,14 +401,42 @@ impl Wire for ShardSnapshot {
     fn encode(&self, w: &mut dmps_wire::Writer) {
         self.arbiter.encode(w);
         self.session.encode(w);
+        self.frozen.encode(w);
     }
 
     fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
         Ok(ShardSnapshot {
             arbiter: ArbiterSnapshot::decode(r)?,
             session: String::decode(r)?,
+            frozen: Vec::<GlobalGroupId>::decode(r)?,
         })
     }
+}
+
+/// Everything phase 1 of a live handoff exports from the source shard, all
+/// captured at one pinned log position: the group's live floor state (roster,
+/// mode, chair, token with holder + queue), its session content, and its
+/// slices of both decision journals.
+///
+/// Member ids inside `floor` are dense ids of the **source** arbiter; the
+/// coordinator translates them to global ids (and then to the destination's
+/// dense ids) before installing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HandoffExport {
+    /// The live floor state of the group on the source shard.
+    pub floor: dmps_floor::GroupFloorExport,
+    /// The group's session content (chat / whiteboard / annotation logs and
+    /// media schedule).
+    pub content: GroupSession,
+    /// The group's slice of the floor decision journal.
+    pub floor_journal: Vec<(u64, ArbitrationOutcome)>,
+    /// The group's slice of the session decision journal.
+    pub session_journal: Vec<(u64, SessionOutcome)>,
+    /// The source log position the export covers: every event up to (but not
+    /// including) this sequence number is reflected in the exported state,
+    /// and the freeze guarantees no later event will touch the group before
+    /// commit or abort.
+    pub pinned_seq: u64,
 }
 
 /// A shard: the unit of horizontal scale of the control plane.
@@ -382,6 +451,11 @@ pub struct Shard {
     snapshot_every: u64,
     dedup: DedupWindow<ArbitrationOutcome>,
     session_dedup: DedupWindow<SessionOutcome>,
+    /// Groups frozen by an in-flight live handoff. Volatile like the arbiter
+    /// (rebuilt on recovery from the snapshot's frozen list plus the logged
+    /// prepare/commit/abort events), but checked on every ingest so a frozen
+    /// group cannot serve.
+    frozen: BTreeSet<GlobalGroupId>,
     recoveries: u64,
 }
 
@@ -401,6 +475,7 @@ impl Shard {
             snapshot_every,
             dedup: DedupWindow::new(dedup_window),
             session_dedup: DedupWindow::new(dedup_window),
+            frozen: BTreeSet::new(),
             recoveries: 0,
         }
     }
@@ -467,8 +542,14 @@ impl Shard {
             dedup_entries: self.dedup.len(),
             session_dedup_entries: self.session_dedup.len(),
             session_groups: self.session.group_count(),
+            frozen_groups: self.frozen.len(),
             stats: self.arbiter.stats(),
         }
+    }
+
+    /// Whether a group is frozen by an in-flight live handoff.
+    pub fn is_frozen(&self, group: GlobalGroupId) -> bool {
+        self.frozen.contains(&group)
     }
 
     /// Appends an already-validated event to the durable log and takes a
@@ -565,6 +646,12 @@ impl Shard {
         if self.state != ShardState::Active {
             return (Err(ClusterError::ShardDown(self.id)), false);
         }
+        if self.frozen.contains(&group) {
+            // A handoff is in flight: the exported state must not move. The
+            // error is retryable — after commit the directory routes the
+            // retry to the new owner, after abort it lands here again.
+            return (Err(ClusterError::GroupFrozen(group)), false);
+        }
         if let Some(outcome) = self.dedup.get(id) {
             return (Ok(outcome.clone()), true);
         }
@@ -594,6 +681,9 @@ impl Shard {
     ) -> (Result<SessionOutcome>, bool) {
         if self.state != ShardState::Active {
             return (Err(ClusterError::ShardDown(self.id)), false);
+        }
+        if self.frozen.contains(&event.group) {
+            return (Err(ClusterError::GroupFrozen(event.group)), false);
         }
         if let Some(outcome) = self.session_dedup.get(id) {
             return (Ok(outcome.clone()), true);
@@ -673,12 +763,97 @@ impl Shard {
         Ok(())
     }
 
+    // ----- live handoff (two-phase group migration) -------------------------
+
+    /// Phase 1 of a live handoff: freezes `group` on this shard and exports
+    /// its complete state at the current (pinned) log position — live floor
+    /// state including the token's holder and queue, session content, and
+    /// the group's slices of both decision journals.
+    ///
+    /// The freeze is durably logged ([`ShardEvent::HandoffPrepare`]), so a
+    /// crash-and-recover of this shard mid-handoff reconstructs the frozen
+    /// marker and the group still cannot serve here: at most one side of the
+    /// handoff is ever live. The export copies state rather than removing it
+    /// — an abort is therefore just an unfreeze, and the source purge is
+    /// deferred to the commit point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::ShardDown`] when the shard is failed,
+    /// [`ClusterError::GroupFrozen`] when a handoff is already in flight for
+    /// the group, or the floor error for an unknown local group.
+    pub fn handoff_prepare(
+        &mut self,
+        group: GlobalGroupId,
+        local: dmps_floor::GroupId,
+    ) -> Result<HandoffExport> {
+        if self.state != ShardState::Active {
+            return Err(ClusterError::ShardDown(self.id));
+        }
+        if self.frozen.contains(&group) {
+            return Err(ClusterError::GroupFrozen(group));
+        }
+        let floor = self.arbiter.export_group_floor(local)?;
+        let export = HandoffExport {
+            floor,
+            content: self.session.view(group),
+            floor_journal: self.dedup.peek_group(group),
+            session_journal: self.session_dedup.peek_group(group),
+            pinned_seq: self.log.next_seq(),
+        };
+        self.frozen.insert(group);
+        self.commit(ShardEvent::HandoffPrepare(group));
+        Ok(export)
+    }
+
+    /// Phase 2 of a live handoff, source side: the destination has installed
+    /// the group, so this shard retires its copy — the roster must already
+    /// have been emptied and the session content purged (both via their own
+    /// logged events); this logs [`ShardEvent::HandoffCommit`] and lifts the
+    /// freeze so replay knows the group left for good.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::ShardDown`] when the shard is failed (the
+    /// husk then stays frozen — it fails closed until recovery replays the
+    /// prepare without a commit, and the coordinator's directory flip keeps
+    /// routing traffic to the new owner anyway).
+    pub fn handoff_commit_source(&mut self, group: GlobalGroupId) -> Result<()> {
+        if self.state != ShardState::Active {
+            return Err(ClusterError::ShardDown(self.id));
+        }
+        if self.frozen.remove(&group) {
+            self.commit(ShardEvent::HandoffCommit(group));
+        }
+        Ok(())
+    }
+
+    /// Abandons a live handoff: lifts the freeze so the group resumes
+    /// serving on this shard, durably logged ([`ShardEvent::HandoffAbort`]).
+    /// Nothing else needs undoing — phase 1 copied state instead of
+    /// removing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::ShardDown`] when the shard is failed; retry
+    /// after recovery to lift the replayed freeze.
+    pub fn handoff_abort(&mut self, group: GlobalGroupId) -> Result<()> {
+        if self.state != ShardState::Active {
+            return Err(ClusterError::ShardDown(self.id));
+        }
+        if self.frozen.remove(&group) {
+            self.commit(ShardEvent::HandoffAbort(group));
+        }
+        Ok(())
+    }
+
     /// Takes a snapshot of the current state now and compacts the log up to
     /// it.
     pub fn take_snapshot(&mut self) -> &ShardSnapshot {
         let snap = ShardSnapshot {
             arbiter: self.arbiter.snapshot(self.log.next_seq()),
             session: dmps_wire::to_string(&self.session),
+            frozen: self.frozen.iter().copied().collect(),
         };
         self.log.compact_to(snap.applied_seq());
         self.snapshot = Some(snap);
@@ -692,6 +867,9 @@ impl Shard {
         self.state = ShardState::Failed;
         self.arbiter = FloorArbiter::with_defaults();
         self.session = SessionStore::new();
+        // Frozen markers are volatile too; recovery rebuilds them from the
+        // snapshot's frozen list plus the logged handoff events.
+        self.frozen.clear();
     }
 
     /// A standby takes over: restore the latest snapshot, replay the log
@@ -703,15 +881,21 @@ impl Shard {
     /// logged event fails to re-apply (either indicates durable-state
     /// corruption, not a recoverable condition).
     pub fn recover(&mut self) -> Result<()> {
-        let (mut arbiter, mut session, from_seq) = match &self.snapshot {
+        let (mut arbiter, mut session, mut frozen, from_seq) = match &self.snapshot {
             Some(snap) => (
                 FloorArbiter::restore(&snap.arbiter)?,
                 dmps_wire::from_str::<SessionStore>(&snap.session).map_err(|e| {
                     ClusterError::Floor(FloorError::CorruptSnapshot(format!("session store: {e}")))
                 })?,
+                snap.frozen.iter().copied().collect::<BTreeSet<_>>(),
                 snap.applied_seq(),
             ),
-            None => (FloorArbiter::with_defaults(), SessionStore::new(), 0),
+            None => (
+                FloorArbiter::with_defaults(),
+                SessionStore::new(),
+                BTreeSet::new(),
+                0,
+            ),
         };
         for event in self.log.suffix(from_seq) {
             match event {
@@ -725,10 +909,17 @@ impl Shard {
                 ShardEvent::SessionInstall { group, content } => {
                     session.install(*group, content.clone());
                 }
+                ShardEvent::HandoffPrepare(g) => {
+                    frozen.insert(*g);
+                }
+                ShardEvent::HandoffCommit(g) | ShardEvent::HandoffAbort(g) => {
+                    frozen.remove(g);
+                }
             }
         }
         self.arbiter = arbiter;
         self.session = session;
+        self.frozen = frozen;
         self.state = ShardState::Active;
         self.recoveries += 1;
         Ok(())
@@ -1100,6 +1291,85 @@ mod tests {
         assert_eq!(shard.session(), &reference);
         assert!(shard.session().view(GlobalGroupId(0)).is_empty());
         assert_eq!(shard.session().view(GlobalGroupId(5)).chat.len(), 1);
+    }
+
+    #[test]
+    fn handoff_prepare_freezes_and_exports_live_state() {
+        let mut shard = Shard::new(ShardId(0), 0, 64);
+        scripted(&mut shard, 3); // m0 holds the token; m1, m2 queued
+        let speak = FloorRequest::speak(GroupId(0), MemberId(3));
+        let logged = shard.log().retained();
+        let export = shard.handoff_prepare(GlobalGroupId(0), GroupId(0)).unwrap();
+        assert_eq!(export.floor.token.holder(), Some(MemberId(0)));
+        assert_eq!(
+            export.floor.token.queue().collect::<Vec<_>>(),
+            vec![MemberId(1), MemberId(2)]
+        );
+        assert_eq!(export.floor.members.len(), 4);
+        assert_eq!(export.pinned_seq, logged as u64);
+        assert!(shard.is_frozen(GlobalGroupId(0)));
+        assert_eq!(shard.view().frozen_groups, 1);
+        // Frozen: floor and session ingest fail closed with a retryable
+        // error, and neither the log nor the journals move.
+        let (refused, replayed) = shard.arbitrate_dedup(99, GlobalGroupId(0), speak.clone());
+        assert!(matches!(refused, Err(ClusterError::GroupFrozen(_))) && !replayed);
+        let (refused, _) = shard.arbitrate_session_dedup(
+            99,
+            session_event(0, SessionOpKind::Chat { text: "x".into() }),
+        );
+        assert!(matches!(refused, Err(ClusterError::GroupFrozen(_))));
+        assert_eq!(shard.log().retained(), logged + 1, "only the prepare");
+        // A second prepare for the same group is refused.
+        assert!(matches!(
+            shard.handoff_prepare(GlobalGroupId(0), GroupId(0)),
+            Err(ClusterError::GroupFrozen(_))
+        ));
+        // Abort unfreezes; the group serves again with its state untouched.
+        shard.handoff_abort(GlobalGroupId(0)).unwrap();
+        assert!(!shard.is_frozen(GlobalGroupId(0)));
+        let (after, _) = shard.arbitrate_dedup(100, GlobalGroupId(0), speak);
+        assert!(matches!(after.unwrap(), ArbitrationOutcome::Queued { .. }));
+        shard.arbiter().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn frozen_marker_survives_crash_snapshot_and_replay() {
+        let mut shard = Shard::new(ShardId(0), 0, 64);
+        scripted(&mut shard, 2);
+        shard.handoff_prepare(GlobalGroupId(0), GroupId(0)).unwrap();
+        // Crash with the prepare only in the log: replay restores the freeze.
+        shard.crash();
+        shard.recover().unwrap();
+        assert!(shard.is_frozen(GlobalGroupId(0)));
+        // Snapshot inside the frozen window (compacts the prepare away), then
+        // crash: the snapshot's frozen list must carry the marker.
+        shard.take_snapshot();
+        assert_eq!(shard.log().retained(), 0);
+        shard.crash();
+        shard.recover().unwrap();
+        assert!(shard.is_frozen(GlobalGroupId(0)));
+        // Commit retires the husk; the unfreeze is durable too.
+        shard.handoff_commit_source(GlobalGroupId(0)).unwrap();
+        shard.crash();
+        shard.recover().unwrap();
+        assert!(!shard.is_frozen(GlobalGroupId(0)));
+        shard.arbiter().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dedup_peek_copies_without_extracting() {
+        let mut shard = Shard::new(ShardId(0), 0, 64);
+        scripted(&mut shard, 0);
+        let speak = FloorRequest::speak(GroupId(0), MemberId(0));
+        let (first, _) = shard.arbitrate_dedup(7, GlobalGroupId(0), speak.clone());
+        assert!(first.unwrap().is_granted());
+        let peeked = shard.dedup().peek_group(GlobalGroupId(0));
+        assert_eq!(peeked.len(), 1);
+        assert_eq!(peeked[0].0, 7);
+        // The entry is still in the window: a retry replays.
+        let (retry, replayed) = shard.arbitrate_dedup(7, GlobalGroupId(0), speak);
+        assert!(replayed);
+        assert!(retry.unwrap().is_granted());
     }
 
     #[test]

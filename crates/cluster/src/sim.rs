@@ -24,6 +24,16 @@
 //! drops duplicate decisions by id — every submission yields exactly one
 //! recorded decision.
 //!
+//! Rebalancing runs under traffic too: [`ClusterSim::add_shard`] grows the
+//! cluster mid-simulation, and [`ClusterSim::schedule_handoff`] drives the
+//! two-phase live migration of a group with the prepare and commit as
+//! *separate* plan entries — so a [`ClusterSim::schedule_crash`] of the
+//! source or destination host can land exactly between the phases, which is
+//! how the mid-handoff crash-consistency scenarios are exercised. Requests
+//! that hit a frozen window are refused without an answer and healed by the
+//! same retransmission machinery after the commit (toward the new owner) or
+//! abort (back to the source).
+//!
 //! ```
 //! use dmps_cluster::{ClusterConfig, ClusterSim, GlobalRequest, SessionOp};
 //! use dmps_floor::{FcmMode, Member, Role};
@@ -47,7 +57,7 @@ use std::time::Duration;
 use dmps_floor::ArbitrationOutcome;
 use dmps_simnet::{HostId, Link, Network, SimTime};
 
-use crate::cluster::{Cluster, ClusterConfig, GlobalRequest};
+use crate::cluster::{Cluster, ClusterConfig, GlobalRequest, HandoffTicket};
 use crate::error::{ClusterError, Result};
 use crate::ring::ShardId;
 use crate::session::{SessionOp, SessionOutcome, SessionRejection};
@@ -107,6 +117,22 @@ impl ClusterMsg {
 enum FailureAction {
     Crash(ShardId),
     Failover(ShardId),
+    /// Phase 1 of a scheduled live handoff: freeze + export the group
+    /// toward the given shard (`None` = the group's ring placement).
+    HandoffPrepare(GlobalGroupId, Option<ShardId>),
+    /// Phase 2: commit the prepared handoff (or abort it if the destination
+    /// died in the gap — the point of scheduling the phases separately is
+    /// that a crash entry can land *between* them).
+    HandoffCommit(GlobalGroupId),
+}
+
+/// What a gateway retransmission pass re-sends.
+#[derive(Debug, Clone, Copy)]
+enum RetransmitScope {
+    /// Everything whose group the given shard currently owns (failover).
+    Shard(ShardId),
+    /// One group's traffic (post-handoff frozen-window healing).
+    Group(GlobalGroupId),
 }
 
 /// The hosts backing one shard.
@@ -140,6 +166,10 @@ pub struct ClusterSim {
     decisions: Vec<(u64, GlobalGroupId, ArbitrationOutcome)>,
     session_acks: Vec<(u64, GlobalGroupId, SessionOutcome)>,
     failovers: u64,
+    /// Prepared-but-not-committed live handoffs, by group.
+    pending_handoffs: BTreeMap<GlobalGroupId, HandoffTicket>,
+    handoffs_committed: u64,
+    handoffs_aborted: u64,
 }
 
 impl ClusterSim {
@@ -178,6 +208,9 @@ impl ClusterSim {
             decisions: Vec::new(),
             session_acks: Vec::new(),
             failovers: 0,
+            pending_handoffs: BTreeMap::new(),
+            handoffs_committed: 0,
+            handoffs_aborted: 0,
         }
     }
 
@@ -206,6 +239,17 @@ impl ClusterSim {
     /// Number of failovers performed so far.
     pub fn failovers(&self) -> u64 {
         self.failovers
+    }
+
+    /// Number of scheduled live handoffs that committed.
+    pub fn handoffs_committed(&self) -> u64 {
+        self.handoffs_committed
+    }
+
+    /// Number of scheduled live handoffs that aborted (destination down at
+    /// commit time; the group kept serving on its source).
+    pub fn handoffs_aborted(&self) -> u64 {
+        self.handoffs_aborted
     }
 
     /// Number of requests the gateway retransmitted after failovers.
@@ -266,6 +310,51 @@ impl ClusterSim {
         self.plan.sort_by_key(|&(t, _)| t);
     }
 
+    /// Grows the cluster by one shard mid-simulation: the ring is enlarged
+    /// and a fresh primary + standby host pair joins the network over
+    /// `link`. Existing groups stay put until a scheduled handoff (or an
+    /// out-of-band `rebalance_active`) moves them.
+    pub fn add_shard(&mut self, link: Link) -> ShardId {
+        let id = self.cluster.add_shard();
+        let primary = self.net.add_host(format!("shard-{}", id.0));
+        let standby = self.net.add_host(format!("shard-{}-standby", id.0));
+        self.net
+            .connect(self.gateway, primary, link)
+            .expect("fresh hosts");
+        self.net
+            .connect(self.gateway, standby, link)
+            .expect("fresh hosts");
+        self.hosts.push(ShardHosts {
+            primary,
+            standby,
+            serving: primary,
+        });
+        self.latencies.push(Vec::new());
+        id
+    }
+
+    /// Schedules a two-phase live handoff of `group` toward `target`
+    /// (`None` = its ring placement): prepare (freeze + export) fires at
+    /// `at`, commit `commit_after` later. The gap between the phases is the
+    /// window a [`ClusterSim::schedule_crash`] entry can land in, which is
+    /// how the mid-handoff crash scenarios are driven. Requests that hit the
+    /// frozen window die unanswered (the shard refuses them with
+    /// `GroupFrozen`) and are healed by the post-handoff retransmission pass
+    /// when [`ClusterSim::enable_retransmission`] is on.
+    pub fn schedule_handoff(
+        &mut self,
+        at: SimTime,
+        group: GlobalGroupId,
+        target: Option<ShardId>,
+        commit_after: Duration,
+    ) {
+        self.plan
+            .push((at, FailureAction::HandoffPrepare(group, target)));
+        self.plan
+            .push((at + commit_after, FailureAction::HandoffCommit(group)));
+        self.plan.sort_by_key(|&(t, _)| t);
+    }
+
     fn apply_failure(&mut self, at: SimTime, action: FailureAction) {
         match action {
             FailureAction::Crash(shard) => {
@@ -291,25 +380,60 @@ impl ClusterSim {
                 self.hosts[shard.0].serving = standby;
                 self.failovers += 1;
                 if let Some(delay) = self.retransmission {
-                    self.retransmit_unanswered(at + delay, shard);
+                    self.retransmit_unanswered(at + delay, RetransmitScope::Shard(shard));
+                }
+            }
+            FailureAction::HandoffPrepare(group, target) => {
+                // A prepare that cannot start — source down, a handoff
+                // already in flight, or the group already home — is simply
+                // skipped; traffic keeps flowing on the source.
+                if let Ok(ticket) = self.cluster.handoff_prepare(group, target) {
+                    self.pending_handoffs.insert(group, ticket);
+                }
+            }
+            FailureAction::HandoffCommit(group) => {
+                let Some(ticket) = self.pending_handoffs.remove(&group) else {
+                    return;
+                };
+                match self.cluster.handoff_commit(ticket) {
+                    Ok(()) => self.handoffs_committed += 1,
+                    // Destination down at commit time: the commit aborted
+                    // internally, the source unfroze and serves again.
+                    Err(_) => self.handoffs_aborted += 1,
+                }
+                // Requests that hit the frozen window were refused without a
+                // reply; heal them like failover retransmission does. After a
+                // commit they route to the new owner, after an abort back to
+                // the source — exactly-once either way, through the migrated
+                // (or retained) journal slices.
+                if let Some(delay) = self.retransmission {
+                    self.retransmit_unanswered(at + delay, RetransmitScope::Group(group));
                 }
             }
         }
     }
 
-    /// Re-schedules every unanswered request and session operation owned by
-    /// `shard` under its original id. The shard's dedup windows turn retries
+    /// What a retransmission pass covers: everything a recovered shard owns
+    /// (failover healing) or one group's traffic (post-handoff healing).
+    fn retransmit_scope_matches(&self, scope: RetransmitScope, group: GlobalGroupId) -> bool {
+        match scope {
+            RetransmitScope::Shard(shard) => self
+                .cluster
+                .placement(group)
+                .is_ok_and(|p| p.shard == shard),
+            RetransmitScope::Group(g) => group == g,
+        }
+    }
+
+    /// Re-schedules every unanswered request and session operation in
+    /// `scope` under its original id. The shard's dedup windows turn retries
     /// of already-applied requests into journal replays, so this cannot
     /// double-apply a floor event or double-deliver content.
-    fn retransmit_unanswered(&mut self, at: SimTime, shard: ShardId) {
+    fn retransmit_unanswered(&mut self, at: SimTime, scope: RetransmitScope) {
         let retries: Vec<(u64, GlobalRequest)> = self
             .outstanding
             .iter()
-            .filter(|(_, request)| {
-                self.cluster
-                    .placement(request.group)
-                    .is_ok_and(|p| p.shard == shard)
-            })
+            .filter(|(_, request)| self.retransmit_scope_matches(scope, request.group))
             .map(|(&seq, &request)| (seq, request))
             .collect();
         for (seq, request) in retries {
@@ -321,11 +445,7 @@ impl ClusterSim {
         let session_retries: Vec<(u64, SessionOp)> = self
             .outstanding_sessions
             .iter()
-            .filter(|(_, op)| {
-                self.cluster
-                    .placement(op.group)
-                    .is_ok_and(|p| p.shard == shard)
-            })
+            .filter(|(_, op)| self.retransmit_scope_matches(scope, op.group))
             .map(|(&seq, op)| (seq, op.clone()))
             .collect();
         for (seq, op) in session_retries {
@@ -655,6 +775,157 @@ mod tests {
         let view = sim.cluster().session_view(g).unwrap();
         assert_eq!(view.chat.len(), 40);
         sim.cluster().check_invariants().unwrap();
+    }
+
+    /// A 2-shard campus plus one added mid-sim; one Equal Control group with
+    /// a held token and live traffic, scheduled for a live handoff to the
+    /// new shard.
+    fn handoff_scenario(
+        seed: u64,
+    ) -> (
+        ClusterSim,
+        GlobalGroupId,
+        Vec<crate::shard::GlobalMemberId>,
+        Vec<u64>,
+        ShardId,
+        ShardId,
+    ) {
+        let mut sim = ClusterSim::new(ClusterConfig::with_shards(2), seed, Link::lan());
+        sim.enable_retransmission(Duration::from_millis(40));
+        let g = sim
+            .cluster_mut()
+            .create_group("lecture", FcmMode::EqualControl)
+            .unwrap();
+        let source = sim.cluster().placement(g).unwrap().shard;
+        let speakers: Vec<_> = (0..3)
+            .map(|i| {
+                let m = sim
+                    .cluster_mut()
+                    .register_member(Member::new(format!("m{i}"), Role::Participant));
+                sim.cluster_mut().join_group(g, m).unwrap();
+                m
+            })
+            .collect();
+        let target = sim.add_shard(Link::lan());
+        let mut seqs = Vec::new();
+        for i in 0..40u64 {
+            seqs.push(
+                sim.submit_at(
+                    SimTime::from_millis(50 * i),
+                    GlobalRequest::speak(g, speakers[(i % 3) as usize]),
+                )
+                .unwrap(),
+            );
+        }
+        // Prepare at 900 ms, commit 300 ms later: requests land before,
+        // inside, and after the frozen window.
+        sim.schedule_handoff(
+            SimTime::from_millis(900),
+            g,
+            Some(target),
+            Duration::from_millis(300),
+        );
+        (sim, g, speakers, seqs, source, target)
+    }
+
+    #[test]
+    fn scheduled_handoff_moves_live_group_exactly_once() {
+        let (mut sim, g, _speakers, seqs, source, target) = handoff_scenario(5);
+        sim.run_to_idle();
+        assert_eq!(sim.handoffs_committed(), 1);
+        assert_eq!(sim.handoffs_aborted(), 0);
+        assert_eq!(sim.cluster().placement(g).unwrap().shard, target);
+        assert!(
+            sim.retransmits() > 0,
+            "the frozen window must strand some requests"
+        );
+        // Every request answered exactly once despite the migration.
+        let mut answered: Vec<u64> = sim.decisions().iter().map(|(s, ..)| *s).collect();
+        answered.sort_unstable();
+        assert_eq!(answered, seqs, "every request answered exactly once");
+        sim.cluster().check_invariants().unwrap();
+        // Exactly one serving copy: the source husk is empty and unfrozen,
+        // the destination holds the token.
+        assert_eq!(sim.cluster().shard_view(source).frozen_groups, 0);
+        let placement = sim.cluster().placement(g).unwrap();
+        let arbiter = sim.cluster().arbiter(placement.shard);
+        assert!(arbiter.token(placement.local).unwrap().holder().is_some());
+    }
+
+    #[test]
+    fn source_crash_mid_handoff_recovers_consistently() {
+        let (mut sim, g, _speakers, seqs, source, target) = handoff_scenario(5);
+        // The source host dies inside the prepare→commit gap and its standby
+        // recovers only after the commit already ran: the commit proceeds on
+        // the destination and the source recovers as a frozen husk.
+        sim.schedule_crash(
+            SimTime::from_millis(1_000),
+            source,
+            Duration::from_millis(500),
+        );
+        sim.run_to_idle();
+        assert_eq!(sim.failovers(), 1);
+        assert_eq!(sim.handoffs_committed(), 1);
+        assert_eq!(sim.cluster().placement(g).unwrap().shard, target);
+        sim.cluster().check_invariants().unwrap();
+        // Snapshot+replay restored the source *with* its frozen marker, so
+        // even a stale route cannot make the husk serve the group.
+        assert_eq!(sim.cluster().shard_view(source).frozen_groups, 1);
+        // Exactly-once still holds end to end.
+        let mut answered: Vec<u64> = sim.decisions().iter().map(|(s, ..)| *s).collect();
+        answered.sort_unstable();
+        assert_eq!(answered, seqs);
+        let placement = sim.cluster().placement(g).unwrap();
+        let arbiter = sim.cluster().arbiter(placement.shard);
+        assert!(arbiter.token(placement.local).unwrap().holder().is_some());
+    }
+
+    #[test]
+    fn destination_crash_mid_handoff_aborts_back_to_source() {
+        let (mut sim, g, _speakers, seqs, source, target) = handoff_scenario(5);
+        // The destination dies inside the gap and stays down through the
+        // commit: the handoff aborts and the group keeps serving on its
+        // source, token state untouched.
+        sim.schedule_crash(
+            SimTime::from_millis(1_000),
+            target,
+            Duration::from_millis(500),
+        );
+        sim.run_to_idle();
+        assert_eq!(sim.failovers(), 1);
+        assert_eq!(sim.handoffs_committed(), 0);
+        assert_eq!(sim.handoffs_aborted(), 1);
+        assert_eq!(sim.cluster().placement(g).unwrap().shard, source);
+        assert_eq!(sim.cluster().shard_view(source).frozen_groups, 0);
+        sim.cluster().check_invariants().unwrap();
+        let mut answered: Vec<u64> = sim.decisions().iter().map(|(s, ..)| *s).collect();
+        answered.sort_unstable();
+        assert_eq!(answered, seqs);
+        let placement = sim.cluster().placement(g).unwrap();
+        let arbiter = sim.cluster().arbiter(placement.shard);
+        assert!(arbiter.token(placement.local).unwrap().holder().is_some());
+    }
+
+    #[test]
+    fn same_seed_same_handoff_same_state() {
+        let run = |seed: u64| {
+            let (mut sim, g, _, _, source, _) = handoff_scenario(seed);
+            sim.schedule_crash(
+                SimTime::from_millis(1_000),
+                source,
+                Duration::from_millis(500),
+            );
+            sim.run_to_idle();
+            let placement = sim.cluster().placement(g).unwrap();
+            (
+                dmps_wire::to_string(&sim.cluster().arbiter(placement.shard)),
+                placement.shard,
+                sim.decisions().len(),
+                sim.retransmits(),
+                sim.handoffs_committed(),
+            )
+        };
+        assert_eq!(run(91), run(91), "identical seeds reproduce exactly");
     }
 
     #[test]

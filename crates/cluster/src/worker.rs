@@ -20,8 +20,15 @@
 //!   [`SessionDecision`] back the same way.
 //! * `ShardCommand::With` — the control plane. A closure runs with
 //!   exclusive access to the shard (create a group, crash, recover,
-//!   inspect); callers that need an answer pack a reply channel into the
-//!   closure.
+//!   inspect, and the live-handoff phases
+//!   [`Shard::handoff_prepare`](crate::Shard::handoff_prepare) /
+//!   [`Shard::handoff_commit_source`](crate::Shard::handoff_commit_source) /
+//!   [`Shard::handoff_abort`](crate::Shard::handoff_abort)); callers that
+//!   need an answer pack a reply channel into the closure. Because the
+//!   queue is the shard's serialization point, a handoff's prepare command
+//!   naturally drains *behind* every request submitted before the freeze —
+//!   their effects are in the export — while later submissions park at the
+//!   routing layer.
 //!
 //! A worker survives its shard crashing — the thread keeps draining the
 //! queue and answers requests with [`crate::ClusterError::ShardDown`] until

@@ -178,6 +178,28 @@ pub struct ArbiterStats {
     pub suspensions: u64,
 }
 
+/// The complete live floor state of one group, exported for a shard-to-shard
+/// handoff: everything the destination arbiter needs to recreate the group
+/// *mid-arbitration* — roster, mode, chair, and the token with its holder and
+/// FIFO queue intact.
+///
+/// Member ids are dense ids of the **exporting** arbiter; the coordinator
+/// translates them to the destination's ids before calling
+/// [`FloorArbiter::restore_token`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupFloorExport {
+    /// Display name of the group.
+    pub name: String,
+    /// Its floor control mode.
+    pub mode: FcmMode,
+    /// The joined members, in id order.
+    pub members: Vec<MemberId>,
+    /// The session chair, if any.
+    pub chair: Option<MemberId>,
+    /// The floor token: holder, pending-request queue, fairness counter.
+    pub token: FloorToken,
+}
+
 /// The floor control arbiter (the "group administration of the DMPS server").
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FloorArbiter {
@@ -360,6 +382,90 @@ impl FloorArbiter {
     /// Every group's floor token, in group-id order.
     pub fn tokens_iter(&self) -> impl Iterator<Item = (GroupId, &FloorToken)> {
         self.tokens.iter().map(|(&g, t)| (g, t))
+    }
+
+    /// Exports the complete live floor state of one group — roster, mode,
+    /// chair and token (holder + queue) — for a live migration to another
+    /// arbiter. The export is a copy; this arbiter's state is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorError::UnknownGroup`] for an unknown group.
+    pub fn export_group_floor(&self, group: GroupId) -> Result<GroupFloorExport> {
+        let g = self.group(group)?;
+        Ok(GroupFloorExport {
+            name: g.name.clone(),
+            mode: g.mode,
+            members: g.members().collect(),
+            chair: g.chair,
+            token: self.token(group)?.clone(),
+        })
+    }
+
+    /// Replaces a group's floor token with imported state — the destination
+    /// half of a live migration ([`crate::ArbiterEvent::RestoreToken`]). The
+    /// imported token is validated so the Z-spec invariants
+    /// ([`FloorArbiter::check_invariants`]) cannot be violated by a restore:
+    /// the holder and every queued member must belong to the group, the
+    /// queue must be duplicate-free, and the holder must not also be queued.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorError::UnknownGroup`] for an unknown group,
+    /// [`FloorError::NotAMember`] when the holder or a queued member is not
+    /// in the group, and [`FloorError::CorruptSnapshot`] for a structurally
+    /// unsound queue. A failed restore leaves the existing token untouched.
+    pub fn restore_token(&mut self, group: GroupId, token: FloorToken) -> Result<()> {
+        let g = self.group(group)?;
+        if let Some(holder) = token.holder() {
+            if !g.contains(holder) {
+                return Err(FloorError::NotAMember {
+                    member: holder,
+                    group,
+                });
+            }
+        }
+        let mut seen = BTreeSet::new();
+        for queued in token.queue() {
+            if !g.contains(queued) {
+                return Err(FloorError::NotAMember {
+                    member: queued,
+                    group,
+                });
+            }
+            if Some(queued) == token.holder() || !seen.insert(queued) {
+                return Err(FloorError::CorruptSnapshot(format!(
+                    "imported token for {group} queues {queued} unsoundly"
+                )));
+            }
+        }
+        self.tokens.insert(group, token);
+        Ok(())
+    }
+
+    /// Sets a group's session chair to imported state — the destination half
+    /// of a live migration ([`crate::ArbiterEvent::RestoreChair`]). Needed
+    /// because the ordinary add/join path only elects a chair by role, while
+    /// an exported group's chair may be any member (sub-groups are chaired
+    /// by their inviter).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorError::UnknownGroup`] for an unknown group and
+    /// [`FloorError::NotAMember`] when the chair is not in the group; a
+    /// failed restore leaves the existing chair untouched.
+    pub fn restore_chair(&mut self, group: GroupId, chair: Option<MemberId>) -> Result<()> {
+        let g = self.group(group)?;
+        if let Some(chair) = chair {
+            if !g.contains(chair) {
+                return Err(FloorError::NotAMember {
+                    member: chair,
+                    group,
+                });
+            }
+        }
+        self.groups[group.0].chair = chair;
+        Ok(())
     }
 
     /// Whether `member` may currently deliver content (chat, whiteboard,
@@ -1187,6 +1293,118 @@ mod tests {
             before,
             "a rejected add must not consume a dense member id (log-replay determinism)"
         );
+    }
+
+    #[test]
+    fn export_and_restore_move_live_token_state_between_arbiters() {
+        let (mut source, group, teacher, students) =
+            FloorArbiter::lecture(3, FcmMode::EqualControl);
+        source
+            .arbitrate(&FloorRequest::speak(group, students[0]))
+            .unwrap();
+        source
+            .arbitrate(&FloorRequest::speak(group, students[1]))
+            .unwrap();
+        source
+            .arbitrate(&FloorRequest::speak(group, teacher))
+            .unwrap();
+        let export = source.export_group_floor(group).unwrap();
+        assert_eq!(export.mode, FcmMode::EqualControl);
+        assert_eq!(export.members.len(), 4);
+        assert_eq!(export.chair, Some(teacher));
+        assert_eq!(export.token.holder(), Some(students[0]));
+        assert_eq!(
+            export.token.queue().collect::<Vec<_>>(),
+            vec![students[1], teacher]
+        );
+        assert!(source.export_group_floor(GroupId(9)).is_err());
+        // A destination arbiter recreates the group and installs the token
+        // mid-arbitration: holder, queue order and fairness counter survive.
+        let mut destination = FloorArbiter::with_defaults();
+        let new_group = destination.create_group(&export.name, export.mode);
+        for m in 0..4 {
+            destination
+                .add_member(new_group, Member::new(format!("m{m}"), Role::Participant))
+                .unwrap();
+        }
+        destination
+            .restore_token(new_group, export.token.clone())
+            .unwrap();
+        destination.check_invariants().unwrap();
+        let token = destination.token(new_group).unwrap();
+        assert_eq!(token.holder(), Some(students[0]));
+        assert_eq!(token.grant_count(), export.token.grant_count());
+        // The queued member is promoted when the migrated holder releases —
+        // arbitration continues exactly where the source stopped.
+        let next = destination
+            .arbitrate(&FloorRequest::release_floor(new_group, students[0]))
+            .unwrap();
+        assert!(
+            matches!(next, ArbitrationOutcome::Granted { ref speakers, .. }
+            if *speakers == vec![students[1]])
+        );
+    }
+
+    #[test]
+    fn restore_token_rejects_unsound_imports() {
+        let (mut arbiter, group, _teacher, students) =
+            FloorArbiter::lecture(2, FcmMode::EqualControl);
+        let before = arbiter.token(group).unwrap().clone();
+        // A holder outside the group.
+        assert!(matches!(
+            arbiter.restore_token(group, FloorToken::from_parts(Some(MemberId(42)), [], 1)),
+            Err(FloorError::NotAMember { .. })
+        ));
+        // A queued member outside the group.
+        assert!(matches!(
+            arbiter.restore_token(
+                group,
+                FloorToken::from_parts(Some(students[0]), [MemberId(42)], 1)
+            ),
+            Err(FloorError::NotAMember { .. })
+        ));
+        // The holder also queued.
+        assert!(matches!(
+            arbiter.restore_token(
+                group,
+                FloorToken::from_parts(Some(students[0]), [students[0]], 1)
+            ),
+            Err(FloorError::CorruptSnapshot(_))
+        ));
+        // A duplicated queue entry.
+        assert!(matches!(
+            arbiter.restore_token(
+                group,
+                FloorToken::from_parts(None, [students[1], students[1]], 1)
+            ),
+            Err(FloorError::CorruptSnapshot(_))
+        ));
+        // An unknown group.
+        assert!(arbiter
+            .restore_token(GroupId(9), FloorToken::new())
+            .is_err());
+        // Every rejected restore left the live token untouched.
+        assert_eq!(arbiter.token(group).unwrap(), &before);
+        arbiter.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn restore_chair_reseats_only_members() {
+        let (mut arbiter, group, teacher, students) = FloorArbiter::lecture(2, FcmMode::FreeAccess);
+        assert_eq!(arbiter.group(group).unwrap().chair, Some(teacher));
+        // Any member may be re-seated (sub-groups are chaired by their
+        // inviter regardless of role), and `None` clears the seat.
+        arbiter.restore_chair(group, Some(students[1])).unwrap();
+        assert_eq!(arbiter.group(group).unwrap().chair, Some(students[1]));
+        arbiter.restore_chair(group, None).unwrap();
+        assert_eq!(arbiter.group(group).unwrap().chair, None);
+        // A non-member or unknown group is rejected without touching state.
+        assert!(matches!(
+            arbiter.restore_chair(group, Some(MemberId(42))),
+            Err(FloorError::NotAMember { .. })
+        ));
+        assert!(arbiter.restore_chair(GroupId(9), None).is_err());
+        assert_eq!(arbiter.group(group).unwrap().chair, None);
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod snapshot;
 pub mod suspend;
 pub mod token;
 
-pub use arbiter::{ArbitrationOutcome, FloorArbiter, FloorRequest, RequestKind};
+pub use arbiter::{ArbitrationOutcome, FloorArbiter, FloorRequest, GroupFloorExport, RequestKind};
 pub use error::{FloorError, Result};
 pub use group::{Group, GroupId};
 pub use invite::{Invitation, InvitationId, InvitationStatus};

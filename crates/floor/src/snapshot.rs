@@ -146,6 +146,25 @@ pub enum ArbiterEvent {
         /// The floor control request.
         request: FloorRequest,
     },
+    /// [`FloorArbiter::restore_token`] — a live migration installs the
+    /// source group's token state (holder + queue, already translated to
+    /// this arbiter's member ids) on the destination.
+    RestoreToken {
+        /// The group whose token is replaced.
+        group: GroupId,
+        /// The imported token state.
+        token: crate::token::FloorToken,
+    },
+    /// [`FloorArbiter::restore_chair`] — a live migration re-seats the
+    /// source group's session chair on the destination (the add/join path
+    /// only elects chairs by role, which cannot express an inviter-chaired
+    /// sub-group).
+    RestoreChair {
+        /// The group whose chair is re-seated.
+        group: GroupId,
+        /// The imported chair, if the group had one.
+        chair: Option<MemberId>,
+    },
 }
 
 impl Wire for ArbiterEvent {
@@ -210,6 +229,16 @@ impl Wire for ArbiterEvent {
                 9u8.encode(w);
                 request.encode(w);
             }
+            ArbiterEvent::RestoreToken { group, token } => {
+                10u8.encode(w);
+                group.encode(w);
+                token.encode(w);
+            }
+            ArbiterEvent::RestoreChair { group, chair } => {
+                11u8.encode(w);
+                group.encode(w);
+                chair.encode(w);
+            }
         }
     }
 
@@ -255,6 +284,14 @@ impl Wire for ArbiterEvent {
             },
             9 => ArbiterEvent::Arbitrate {
                 request: FloorRequest::decode(r)?,
+            },
+            10 => ArbiterEvent::RestoreToken {
+                group: GroupId::decode(r)?,
+                token: crate::token::FloorToken::decode(r)?,
+            },
+            11 => ArbiterEvent::RestoreChair {
+                group: GroupId::decode(r)?,
+                chair: Option::<MemberId>::decode(r)?,
             },
             other => {
                 return Err(dmps_wire::WireError::BadToken {
@@ -355,6 +392,12 @@ impl FloorArbiter {
             ArbiterEvent::Arbitrate { request } => {
                 self.arbitrate(request).map(EventOutcome::Arbitrated)
             }
+            ArbiterEvent::RestoreToken { group, token } => self
+                .restore_token(*group, token.clone())
+                .map(|()| EventOutcome::Applied),
+            ArbiterEvent::RestoreChair { group, chair } => self
+                .restore_chair(*group, *chair)
+                .map(|()| EventOutcome::Applied),
         }
     }
 
@@ -447,6 +490,18 @@ mod tests {
             },
             ArbiterEvent::Arbitrate {
                 request: FloorRequest::pass_floor(GroupId(0), MemberId(1), MemberId(0)),
+            },
+            ArbiterEvent::RestoreToken {
+                group: GroupId(0),
+                token: crate::token::FloorToken::from_parts(
+                    Some(MemberId(2)),
+                    [MemberId(0), MemberId(1)],
+                    5,
+                ),
+            },
+            ArbiterEvent::RestoreChair {
+                group: GroupId(0),
+                chair: Some(MemberId(1)),
             },
         ]
     }

@@ -26,6 +26,22 @@ impl FloorToken {
         FloorToken::default()
     }
 
+    /// Reassembles a token from exported parts — the live-migration path:
+    /// the destination arbiter rebuilds the source group's token with its
+    /// own (translated) member ids while preserving holder, queue order and
+    /// the fairness counter.
+    pub fn from_parts(
+        holder: Option<MemberId>,
+        queue: impl IntoIterator<Item = MemberId>,
+        grants: u64,
+    ) -> Self {
+        FloorToken {
+            holder,
+            queue: queue.into_iter().collect(),
+            grants,
+        }
+    }
+
     /// The current holder.
     pub fn holder(&self) -> Option<MemberId> {
         self.holder

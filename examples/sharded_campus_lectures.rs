@@ -9,6 +9,13 @@
 //! exactly-once, and the run finishes with per-shard grant-latency
 //! statistics and the surviving session state.
 //!
+//! The campus then **scales out under load**: a fifth shard joins
+//! (`add_shard`), `rebalance_idle` moves the idle groups and defers the
+//! token-pinned ones, and `rebalance_active` drains that deferred list via
+//! the two-phase live handoff — held tokens, request queues, session logs
+//! and journal slices all migrate intact, verified per shard via
+//! `shard_view` and `check_invariants`.
+//!
 //! Run with: `cargo run --example sharded_campus_lectures`
 
 use std::time::Duration;
@@ -206,6 +213,61 @@ fn main() {
             } else {
                 ""
             },
+        );
+    }
+
+    // ----- scale-out: add a shard and rebalance the live campus onto it -----
+    //
+    // Many lectures still hold their floor tokens (Equal Control teachers and
+    // students mid-pass), so the idle pass alone cannot spread the load; the
+    // two-phase live handoff migrates the token-pinned groups too, with no
+    // lost or duplicated decision.
+    // `ClusterSim::add_shard` (not the bare cluster call) so the new shard
+    // also gets its primary + standby hosts on the simulated network.
+    let new = sim.add_shard(Link::lan());
+    println!("\nscale-out: shard s{} joins the ring", new.0);
+    let idle_pass = sim
+        .cluster_mut()
+        .rebalance_idle()
+        .expect("directory intact");
+    println!(
+        "  rebalance_idle:   {:2} idle groups migrated, {:2} token-pinned deferred",
+        idle_pass.migrated.len(),
+        idle_pass.deferred.len(),
+    );
+    let live_pass = sim
+        .cluster_mut()
+        .rebalance_active()
+        .expect("directory intact");
+    println!(
+        "  rebalance_active: {:2} live handoffs (held tokens + queues moved), {} deferred",
+        live_pass.migrated.len(),
+        live_pass.deferred.len(),
+    );
+    assert!(
+        live_pass.deferred.is_empty(),
+        "a healthy cluster drains its deferred list"
+    );
+    sim.cluster()
+        .check_invariants()
+        .expect("floor invariants hold after live migration");
+    let view = sim.cluster().shard_view(new);
+    println!(
+        "  s{} now serves {} groups ({} with session content), invariants OK\n",
+        new.0,
+        sim.cluster().groups_on(new).len(),
+        view.session_groups,
+    );
+    // A migrated lecture keeps working where it landed: its state — token
+    // queues, chat logs, schedules — moved with it.
+    if let Some(&moved) = live_pass.migrated.first() {
+        let placement = sim.cluster().placement(moved).expect("group exists");
+        let view = sim.cluster().session_view(moved).expect("group exists");
+        println!(
+            "  e.g. {moved} now lives on {:?} with its token state, {} chat line(s) and {} scheduled playback(s) intact",
+            placement.shard,
+            view.chat.len(),
+            view.media.len(),
         );
     }
 }
