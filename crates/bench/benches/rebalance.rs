@@ -34,10 +34,9 @@ const MEMBERS: usize = 3;
 /// member 1 queues behind it.
 fn busy_campus() -> (Cluster, Vec<(GlobalGroupId, Vec<GlobalMemberId>)>) {
     let mut cluster = Cluster::new(ClusterConfig {
-        shards: SHARDS,
-        vnodes: 64,
         snapshot_every: 0,
         dedup_window: 256,
+        ..ClusterConfig::with_shards(SHARDS)
     });
     let mut lectures = Vec::new();
     for g in 0..GROUPS {

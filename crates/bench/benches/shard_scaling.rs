@@ -19,10 +19,8 @@ const MEMBERS: usize = 3;
 
 fn campus(shards: usize) -> (Cluster, Vec<(GlobalGroupId, Vec<GlobalMemberId>)>) {
     let mut cluster = Cluster::new(ClusterConfig {
-        shards,
-        vnodes: 64,
         snapshot_every: 128,
-        dedup_window: 1024,
+        ..ClusterConfig::with_shards(shards)
     });
     let mut lectures = Vec::new();
     for g in 0..GROUPS {

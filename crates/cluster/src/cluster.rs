@@ -18,7 +18,7 @@
 //! both merely await the decisions of this façade's outstanding submissions.
 
 use std::collections::BTreeMap;
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::channel;
 use std::sync::{Arc, RwLock};
 
 use dmps_floor::arbiter::ArbiterStats;
@@ -31,12 +31,13 @@ use dmps_floor::{
 use crate::directory::{ClusterInvitation, Directory, GroupPlacement, MemberRecord};
 use crate::error::{ClusterError, Result};
 use crate::gateway::Gateway;
+use crate::queue::{OverloadPolicy, QueueStats};
 use crate::ring::{HashRing, ShardId};
 use crate::session::{GroupSession, SessionDecision, SessionEvent, SessionOp, SessionOutcome};
 use crate::shard::{GlobalGroupId, GlobalMemberId, Shard, ShardView};
-use crate::worker::{ShardCommand, ShardWorker};
+use crate::worker::{ReplyRegistry, ReplyTo, ShardCommand, ShardWorker};
 
-/// Sizing and durability knobs of a cluster.
+/// Sizing, durability and backpressure knobs of a cluster.
 #[derive(Debug, Clone, Copy)]
 pub struct ClusterConfig {
     /// Number of shards.
@@ -48,16 +49,38 @@ pub struct ClusterConfig {
     /// Per-shard dedup window: how many recent decisions a shard remembers
     /// to answer gateway retries idempotently (0 disables dedup).
     pub dedup_window: usize,
+    /// Capacity of each shard's bounded ingest queue, in commands (0 means
+    /// effectively unbounded). Control-plane commands — crash/recover,
+    /// handoff phases, inspection — are exempt from the bound so a storm
+    /// cannot starve them.
+    pub queue_capacity: usize,
+    /// What a submission does when the owning shard's ingest queue is full:
+    /// [`OverloadPolicy::Block`] throttles the submitter (lossless),
+    /// [`OverloadPolicy::Shed`] answers it with
+    /// [`ClusterError::Overloaded`] on its decision stream.
+    pub overload: OverloadPolicy,
+    /// How many commands a shard worker drains — and group-commits as one
+    /// log append with one snapshot-cadence check — per wakeup (minimum 1).
+    pub ingest_batch: usize,
+    /// How many request ids a gateway leases from the shared directory
+    /// counter at a time (minimum 1). Larger leases take the counter off
+    /// the submit hot path at the cost of sparser id spaces.
+    pub seq_lease: u64,
 }
 
 impl ClusterConfig {
-    /// A config with `shards` shards and the default ring/durability knobs.
+    /// A config with `shards` shards and the default ring/durability/
+    /// backpressure knobs.
     pub fn with_shards(shards: usize) -> Self {
         ClusterConfig {
             shards,
             vnodes: 64,
             snapshot_every: 256,
             dedup_window: 1024,
+            queue_capacity: 4096,
+            overload: OverloadPolicy::Block,
+            ingest_batch: 64,
+            seq_lease: 64,
         }
     }
 }
@@ -143,7 +166,9 @@ pub struct Decision {
     /// The group the request addressed.
     pub group: GlobalGroupId,
     /// The outcome, or the routing/shard error that prevented arbitration.
-    pub outcome: Result<ArbitrationOutcome>,
+    /// The outcome is shared (`Arc`) with the owning shard's dedup journal:
+    /// recording and replaying a decision never deep-copies its payload.
+    pub outcome: Result<Arc<ArbitrationOutcome>>,
     /// Whether the decision was answered from the shard's dedup window (a
     /// retry of an already-applied request) rather than freshly arbitrated.
     pub replayed: bool,
@@ -224,8 +249,8 @@ pub struct HandoffTicket {
     queue: Vec<GlobalMemberId>,
     grants: u64,
     content: GroupSession,
-    floor_journal: Vec<(u64, ArbitrationOutcome)>,
-    session_journal: Vec<(u64, SessionOutcome)>,
+    floor_journal: Vec<(u64, Arc<ArbitrationOutcome>)>,
+    session_journal: Vec<(u64, Arc<SessionOutcome>)>,
     pinned_seq: u64,
 }
 
@@ -271,12 +296,12 @@ enum ParkedOp {
     Floor {
         seq: u64,
         request: GlobalRequest,
-        reply: Sender<Decision>,
+        reply: ReplyTo<Decision>,
     },
     Session {
         seq: u64,
         op: SessionOp,
-        reply: Sender<SessionDecision>,
+        reply: ReplyTo<SessionDecision>,
     },
 }
 
@@ -287,6 +312,9 @@ enum ParkedOp {
 pub(crate) struct Core {
     config: ClusterConfig,
     directory: Directory,
+    /// Gateway reply channels, registered once per gateway; commands carry a
+    /// small handle instead of a cloned `Sender`. Shared with every worker.
+    registry: Arc<ReplyRegistry>,
     workers: RwLock<Vec<ShardWorker>>,
     /// Groups frozen by an in-flight live handoff, each with the streamed
     /// submissions that arrived during its frozen window. Presence of the
@@ -307,18 +335,21 @@ pub(crate) struct Core {
 impl Core {
     pub(crate) fn new(config: ClusterConfig) -> Self {
         let ring = HashRing::new(config.shards, config.vnodes);
+        let registry = Arc::new(ReplyRegistry::default());
         let workers = (0..config.shards)
             .map(|i| {
-                ShardWorker::spawn(Shard::new(
-                    ShardId(i),
-                    config.snapshot_every,
-                    config.dedup_window,
-                ))
+                ShardWorker::spawn(
+                    Shard::new(ShardId(i), config.snapshot_every, config.dedup_window),
+                    registry.clone(),
+                    config.queue_capacity,
+                    config.ingest_batch,
+                )
             })
             .collect();
         Core {
             config,
             directory: Directory::new(ring),
+            registry,
             workers: RwLock::new(workers),
             parked: RwLock::new(BTreeMap::new()),
         }
@@ -326,6 +357,52 @@ impl Core {
 
     pub(crate) fn directory(&self) -> &Directory {
         &self.directory
+    }
+
+    pub(crate) fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    pub(crate) fn registry(&self) -> &Arc<ReplyRegistry> {
+        &self.registry
+    }
+
+    /// Occupancy statistics of one shard's bounded ingest queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range id (shard ids come from this cluster).
+    pub(crate) fn queue_stats(&self, shard: ShardId) -> QueueStats {
+        let workers = self.workers.read().expect("workers lock");
+        workers
+            .get(shard.0)
+            .unwrap_or_else(|| panic!("shard {shard} out of range"))
+            .stats()
+    }
+
+    /// Answers a floor submission on its reply route without involving a
+    /// shard — the path for routing errors and shed submissions.
+    fn answer_floor(&self, reply: &ReplyTo<Decision>, decision: Decision) {
+        match reply {
+            ReplyTo::Gateway(handle) => self.registry.send_decisions(*handle, vec![decision]),
+            ReplyTo::Direct(tx) => {
+                let _ = tx.send(decision);
+            }
+        }
+    }
+
+    /// Answers a session submission on its reply route without involving a
+    /// shard.
+    fn answer_session(&self, reply: &ReplyTo<SessionDecision>, decision: SessionDecision) {
+        match reply {
+            ReplyTo::Gateway(handle) => {
+                self.registry
+                    .send_session_decisions(*handle, vec![decision]);
+            }
+            ReplyTo::Direct(tx) => {
+                let _ = tx.send(decision);
+            }
+        }
     }
 
     pub(crate) fn shard_count(&self) -> usize {
@@ -348,7 +425,9 @@ impl Core {
             let worker = workers
                 .get(shard.0)
                 .unwrap_or_else(|| panic!("shard {shard} out of range"));
-            worker.send(ShardCommand::With(Box::new(move |s| {
+            // Control commands are exempt from the ingest bound: a saturated
+            // queue must never starve (or deadlock) the control plane.
+            worker.send_control(ShardCommand::With(Box::new(move |s| {
                 let _ = tx.send(f(s));
             })));
         }
@@ -358,6 +437,13 @@ impl Core {
     /// Translates a global request to the owning shard's local ids.
     fn translate(&self, request: &GlobalRequest) -> Result<(GroupPlacement, FloorRequest)> {
         let placement = self.directory.placement(request.group)?;
+        Ok((placement, self.localize(request, placement)?))
+    }
+
+    /// Translates a request whose group placement is already resolved — the
+    /// vectored path memoizes placements per batch so consecutive requests
+    /// against the same group pay one directory lookup, not one each.
+    fn localize(&self, request: &GlobalRequest, placement: GroupPlacement) -> Result<FloorRequest> {
         let member = self
             .directory
             .local_member(request.member, placement.shard)?;
@@ -371,14 +457,11 @@ impl Core {
                 to: self.directory.local_member(to, placement.shard)?,
             },
         };
-        Ok((
-            placement,
-            FloorRequest {
-                group: placement.local,
-                member,
-                kind,
-            },
-        ))
+        Ok(FloorRequest {
+            group: placement.local,
+            member,
+            kind,
+        })
     }
 
     /// Whether the group is frozen by an in-flight handoff at the routing
@@ -390,22 +473,28 @@ impl Core {
             .contains_key(&group)
     }
 
-    /// Routes a request to its shard queue under the given request id; the
-    /// decision will stream to `reply`. A request for a group frozen by an
-    /// in-flight handoff is parked and re-driven (still toward `reply`)
-    /// after the handoff commits or aborts.
+    /// Routes a request to its shard's bounded queue under the given request
+    /// id; the decision will stream to `reply`. A request for a group frozen
+    /// by an in-flight handoff is parked and re-driven (still toward
+    /// `reply`) after the handoff commits or aborts. When the queue is full,
+    /// the configured [`OverloadPolicy`] decides: `Block` waits for space
+    /// (lossless backpressure), `Shed` answers the submission with
+    /// [`ClusterError::Overloaded`] on its reply route — nothing is ever
+    /// dropped silently.
     ///
     /// The routing happens under the parking lot's read guard: a concurrent
     /// `freeze_routing` (write lock) cannot interleave between the
     /// not-frozen check and the worker-queue send, so every accepted
     /// submission either parks or lands ahead of the handoff's prepare
     /// command — never behind the freeze where it would bounce with
-    /// [`ClusterError::GroupFrozen`].
+    /// [`ClusterError::GroupFrozen`]. (Holding the read guard across a
+    /// `Block` wait is deadlock-free: the worker draining the queue never
+    /// takes routing locks.)
     pub(crate) fn submit_as(
         &self,
         seq: u64,
         request: GlobalRequest,
-        reply: Sender<Decision>,
+        reply: ReplyTo<Decision>,
     ) -> Result<()> {
         loop {
             {
@@ -413,12 +502,25 @@ impl Core {
                 if !parked.contains_key(&request.group) {
                     let (placement, local) = self.translate(&request)?;
                     let workers = self.workers.read().expect("workers lock");
-                    workers[placement.shard.0].send(ShardCommand::Request {
+                    let command = ShardCommand::Request {
                         seq,
                         group: request.group,
                         request: local,
                         reply,
-                    });
+                    };
+                    if let Err(ShardCommand::Request { reply, .. }) =
+                        workers[placement.shard.0].push_ingest(command, self.config.overload)
+                    {
+                        self.answer_floor(
+                            &reply,
+                            Decision {
+                                seq,
+                                group: request.group,
+                                outcome: Err(ClusterError::Overloaded(placement.shard)),
+                                replayed: false,
+                            },
+                        );
+                    }
                     return Ok(());
                 }
             }
@@ -454,9 +556,9 @@ impl Core {
             return Err(ClusterError::GroupFrozen(request.group));
         }
         let (tx, rx) = channel();
-        self.submit_as(seq, request, tx)?;
+        self.submit_as(seq, request, ReplyTo::Direct(tx))?;
         let decision = rx.recv().map_err(|_| ClusterError::Disconnected)?;
-        decision.outcome.map(|o| (o, decision.replayed))
+        decision.outcome.map(|o| ((*o).clone(), decision.replayed))
     }
 
     pub(crate) fn request(&self, request: GlobalRequest) -> Result<ArbitrationOutcome> {
@@ -482,15 +584,17 @@ impl Core {
         ))
     }
 
-    /// Routes a session operation to its shard queue under the given request
-    /// id; the decision will stream to `reply`. Operations for a frozen
-    /// group are parked exactly like floor requests, with the same
-    /// read-guard-across-send freedom from the check/enqueue race.
+    /// Routes a session operation to its shard's bounded queue under the
+    /// given request id; the decision will stream to `reply`. Operations for
+    /// a frozen group are parked exactly like floor requests, with the same
+    /// read-guard-across-send freedom from the check/enqueue race; a full
+    /// queue blocks or sheds per the configured [`OverloadPolicy`], exactly
+    /// like [`Core::submit_as`].
     pub(crate) fn submit_session_as(
         &self,
         seq: u64,
         op: SessionOp,
-        reply: Sender<SessionDecision>,
+        reply: ReplyTo<SessionDecision>,
     ) -> Result<()> {
         loop {
             {
@@ -498,7 +602,20 @@ impl Core {
                 if !parked.contains_key(&op.group) {
                     let (placement, event) = self.translate_session(&op)?;
                     let workers = self.workers.read().expect("workers lock");
-                    workers[placement.shard.0].send(ShardCommand::Session { seq, event, reply });
+                    let command = ShardCommand::Session { seq, event, reply };
+                    if let Err(ShardCommand::Session { reply, .. }) =
+                        workers[placement.shard.0].push_ingest(command, self.config.overload)
+                    {
+                        self.answer_session(
+                            &reply,
+                            SessionDecision {
+                                seq,
+                                group: op.group,
+                                outcome: Err(ClusterError::Overloaded(placement.shard)),
+                                replayed: false,
+                            },
+                        );
+                    }
                     return Ok(());
                 }
             }
@@ -523,9 +640,9 @@ impl Core {
             return Err(ClusterError::GroupFrozen(op.group));
         }
         let (tx, rx) = channel();
-        self.submit_session_as(seq, op, tx)?;
+        self.submit_session_as(seq, op, ReplyTo::Direct(tx))?;
         let decision = rx.recv().map_err(|_| ClusterError::Disconnected)?;
-        decision.outcome.map(|o| (o, decision.replayed))
+        decision.outcome.map(|o| ((*o).clone(), decision.replayed))
     }
 
     pub(crate) fn session(&self, op: SessionOp) -> Result<SessionOutcome> {
@@ -537,6 +654,194 @@ impl Core {
     pub(crate) fn session_view(&self, group: GlobalGroupId) -> Result<GroupSession> {
         let placement = self.directory.placement(group)?;
         Ok(self.with_shard(placement.shard, move |s| s.session().view(group)))
+    }
+
+    // ----- vectored (batched) submission -------------------------------------
+
+    /// Submits a whole batch of floor requests with amortized costs: one
+    /// request-id lease for the batch (allocated by the calling gateway so
+    /// its ids stay monotone across interleaved scalar submissions), one
+    /// pass over the routing directory, one parking-lot guard, and one queue
+    /// reservation per owning shard. Returns the batch's request ids
+    /// (`start_seq..start_seq + len`) in submission order.
+    ///
+    /// Every returned id resolves to exactly one decision on `reply` — a
+    /// real arbitration, [`ClusterError::Overloaded`] if its shard shed it,
+    /// or the routing error that made it unroutable — so callers can account
+    /// for batches exactly. Requests for frozen groups park individually and
+    /// re-drive after the handoff, like single submissions.
+    pub(crate) fn submit_batch_as(
+        &self,
+        start_seq: u64,
+        requests: &[GlobalRequest],
+        reply: &ReplyTo<Decision>,
+    ) -> Vec<u64> {
+        let n = requests.len() as u64;
+        if n == 0 {
+            return Vec::new();
+        }
+        let seqs: Vec<u64> = (start_seq..start_seq + n).collect();
+        let mut per_shard: BTreeMap<ShardId, Vec<ShardCommand>> = BTreeMap::new();
+        // Requests that must park (their group is frozen) fall back to the
+        // single-submission path below, outside the read guard.
+        let mut frozen: Vec<(u64, GlobalRequest)> = Vec::new();
+        {
+            let parked = self.parked.read().expect("parking lot");
+            // The "one directory pass": batches are typically group-major
+            // (a burst of requests against the same group), so a one-entry
+            // placement cache removes most striped read-lock lookups.
+            let mut last: Option<(GlobalGroupId, GroupPlacement)> = None;
+            for (&seq, &request) in seqs.iter().zip(requests) {
+                if parked.contains_key(&request.group) {
+                    frozen.push((seq, request));
+                    continue;
+                }
+                let placement = match last {
+                    Some((group, placement)) if group == request.group => Ok(placement),
+                    _ => self.directory.placement(request.group).inspect(|&p| {
+                        last = Some((request.group, p));
+                    }),
+                };
+                match placement.and_then(|p| Ok((p, self.localize(&request, p)?))) {
+                    Ok((placement, local)) => {
+                        per_shard
+                            .entry(placement.shard)
+                            .or_default()
+                            .push(ShardCommand::Request {
+                                seq,
+                                group: request.group,
+                                request: local,
+                                reply: reply.clone(),
+                            });
+                    }
+                    Err(e) => self.answer_floor(
+                        reply,
+                        Decision {
+                            seq,
+                            group: request.group,
+                            outcome: Err(e),
+                            replayed: false,
+                        },
+                    ),
+                }
+            }
+            // One queue reservation per shard, still under the read guard so
+            // a racing freeze orders before or after the whole batch.
+            let workers = self.workers.read().expect("workers lock");
+            for (shard, commands) in per_shard {
+                for rejected in workers[shard.0].push_ingest_many(commands, self.config.overload) {
+                    let ShardCommand::Request {
+                        seq, group, reply, ..
+                    } = rejected
+                    else {
+                        continue;
+                    };
+                    self.answer_floor(
+                        &reply,
+                        Decision {
+                            seq,
+                            group,
+                            outcome: Err(ClusterError::Overloaded(shard)),
+                            replayed: false,
+                        },
+                    );
+                }
+            }
+        }
+        for (seq, request) in frozen {
+            if let Err(e) = self.submit_as(seq, request, reply.clone()) {
+                self.answer_floor(
+                    reply,
+                    Decision {
+                        seq,
+                        group: request.group,
+                        outcome: Err(e),
+                        replayed: false,
+                    },
+                );
+            }
+        }
+        seqs
+    }
+
+    /// Submits a whole batch of session operations; the vectored twin of
+    /// [`Core::submit_batch_as`] with the same exactly-one-decision-per-id
+    /// contract on the session stream.
+    pub(crate) fn submit_session_batch_as(
+        &self,
+        start_seq: u64,
+        ops: Vec<SessionOp>,
+        reply: &ReplyTo<SessionDecision>,
+    ) -> Vec<u64> {
+        let n = ops.len() as u64;
+        if n == 0 {
+            return Vec::new();
+        }
+        let seqs: Vec<u64> = (start_seq..start_seq + n).collect();
+        let mut per_shard: BTreeMap<ShardId, Vec<ShardCommand>> = BTreeMap::new();
+        let mut frozen: Vec<(u64, SessionOp)> = Vec::new();
+        {
+            let parked = self.parked.read().expect("parking lot");
+            for (&seq, op) in seqs.iter().zip(ops) {
+                if parked.contains_key(&op.group) {
+                    frozen.push((seq, op));
+                    continue;
+                }
+                match self.translate_session(&op) {
+                    Ok((placement, event)) => {
+                        per_shard
+                            .entry(placement.shard)
+                            .or_default()
+                            .push(ShardCommand::Session {
+                                seq,
+                                event,
+                                reply: reply.clone(),
+                            });
+                    }
+                    Err(e) => self.answer_session(
+                        reply,
+                        SessionDecision {
+                            seq,
+                            group: op.group,
+                            outcome: Err(e),
+                            replayed: false,
+                        },
+                    ),
+                }
+            }
+            let workers = self.workers.read().expect("workers lock");
+            for (shard, commands) in per_shard {
+                for rejected in workers[shard.0].push_ingest_many(commands, self.config.overload) {
+                    let ShardCommand::Session { seq, event, reply } = rejected else {
+                        continue;
+                    };
+                    self.answer_session(
+                        &reply,
+                        SessionDecision {
+                            seq,
+                            group: event.group,
+                            outcome: Err(ClusterError::Overloaded(shard)),
+                            replayed: false,
+                        },
+                    );
+                }
+            }
+        }
+        for (seq, op) in frozen {
+            let group = op.group;
+            if let Err(e) = self.submit_session_as(seq, op, reply.clone()) {
+                self.answer_session(
+                    reply,
+                    SessionDecision {
+                        seq,
+                        group,
+                        outcome: Err(e),
+                        replayed: false,
+                    },
+                );
+            }
+        }
+        seqs
     }
 
     // ----- membership and groups -------------------------------------------
@@ -780,11 +1085,12 @@ impl Core {
         let mut workers = self.workers.write().expect("workers lock");
         let id = self.directory.grow_ring();
         debug_assert_eq!(id.0, workers.len());
-        workers.push(ShardWorker::spawn(Shard::new(
-            id,
-            self.config.snapshot_every,
-            self.config.dedup_window,
-        )));
+        workers.push(ShardWorker::spawn(
+            Shard::new(id, self.config.snapshot_every, self.config.dedup_window),
+            self.registry.clone(),
+            self.config.queue_capacity,
+            self.config.ingest_batch,
+        ));
         id
     }
 
@@ -899,15 +1205,18 @@ impl Core {
     /// Lifts the routing freeze and re-drives every parked submission, in
     /// arrival order. Re-driving re-resolves the directory, so after a
     /// commit the ops land on the new owner, after an abort back on the
-    /// source. Routing failures are answered on the op's own reply channel
-    /// so no submission is ever lost silently.
+    /// source. Routing failures — and sheds, if the destination queue is
+    /// full under [`OverloadPolicy::Shed`] — are answered on the op's own
+    /// reply route so no submission is ever lost silently.
     ///
     /// The write guard stays held across the whole re-drive: a fresh
     /// submission for the group cannot pass the not-frozen check (its read
     /// lock waits) until every parked op is already in its worker queue, so
     /// per-gateway arrival order is preserved across the frozen window —
     /// without this, a post-unfreeze submission could overtake older parked
-    /// ops.
+    /// ops. Holding it across a `Block` wait on a full queue is safe for
+    /// the same reason every submit-side wait is: the worker draining the
+    /// queue never takes routing locks, so it always makes progress.
     fn unfreeze_and_redrive(&self, group: GlobalGroupId) {
         let mut parked = self.parked.write().expect("parking lot");
         for op in parked.remove(&group).unwrap_or_default() {
@@ -919,39 +1228,63 @@ impl Core {
                 } => match self.translate(&request) {
                     Ok((placement, local)) => {
                         let workers = self.workers.read().expect("workers lock");
-                        workers[placement.shard.0].send(ShardCommand::Request {
+                        let command = ShardCommand::Request {
                             seq,
                             group: request.group,
                             request: local,
                             reply,
-                        });
+                        };
+                        if let Err(ShardCommand::Request { reply, .. }) =
+                            workers[placement.shard.0].push_ingest(command, self.config.overload)
+                        {
+                            self.answer_floor(
+                                &reply,
+                                Decision {
+                                    seq,
+                                    group: request.group,
+                                    outcome: Err(ClusterError::Overloaded(placement.shard)),
+                                    replayed: false,
+                                },
+                            );
+                        }
                     }
-                    Err(e) => {
-                        let _ = reply.send(Decision {
+                    Err(e) => self.answer_floor(
+                        &reply,
+                        Decision {
                             seq,
                             group: request.group,
                             outcome: Err(e),
                             replayed: false,
-                        });
-                    }
+                        },
+                    ),
                 },
                 ParkedOp::Session { seq, op, reply } => match self.translate_session(&op) {
                     Ok((placement, event)) => {
                         let workers = self.workers.read().expect("workers lock");
-                        workers[placement.shard.0].send(ShardCommand::Session {
-                            seq,
-                            event,
-                            reply,
-                        });
+                        let command = ShardCommand::Session { seq, event, reply };
+                        if let Err(ShardCommand::Session { reply, .. }) =
+                            workers[placement.shard.0].push_ingest(command, self.config.overload)
+                        {
+                            self.answer_session(
+                                &reply,
+                                SessionDecision {
+                                    seq,
+                                    group: op.group,
+                                    outcome: Err(ClusterError::Overloaded(placement.shard)),
+                                    replayed: false,
+                                },
+                            );
+                        }
                     }
-                    Err(e) => {
-                        let _ = reply.send(SessionDecision {
+                    Err(e) => self.answer_session(
+                        &reply,
+                        SessionDecision {
                             seq,
                             group: op.group,
                             outcome: Err(e),
                             replayed: false,
-                        });
-                    }
+                        },
+                    ),
                 },
             }
         }
@@ -1473,6 +1806,40 @@ impl Cluster {
         Ok(seq)
     }
 
+    /// Routes a whole batch of requests with amortized costs — one
+    /// request-id lease, one directory pass, one queue reservation per
+    /// owning shard — and returns their request ids in submission order.
+    /// Collect the decisions with [`Cluster::flush`].
+    ///
+    /// Unlike [`Cluster::submit`], per-request routing failures do not fail
+    /// the batch: every returned id resolves to exactly one decision, which
+    /// carries the arbitration outcome, the routing error, or
+    /// [`ClusterError::Overloaded`] if the owning shard shed the request
+    /// under a full queue.
+    ///
+    /// ```
+    /// use dmps_cluster::{Cluster, ClusterConfig, GlobalRequest};
+    /// use dmps_floor::{FcmMode, Member, Role};
+    ///
+    /// let mut cluster = Cluster::new(ClusterConfig::with_shards(2));
+    /// let g = cluster.create_group("lecture", FcmMode::EqualControl).unwrap();
+    /// let m = cluster.register_member(Member::new("t", Role::Chair));
+    /// cluster.join_group(g, m).unwrap();
+    /// let seqs = cluster.submit_batch(&[
+    ///     GlobalRequest::speak(g, m),
+    ///     GlobalRequest::release_floor(g, m),
+    /// ]);
+    /// let decisions = cluster.flush();
+    /// assert_eq!(decisions.len(), 2);
+    /// assert_eq!(decisions[0].seq, seqs[0]);
+    /// assert!(decisions.iter().all(|d| d.outcome.as_ref().unwrap().is_granted()));
+    /// ```
+    pub fn submit_batch(&mut self, requests: &[GlobalRequest]) -> Vec<u64> {
+        let seqs = self.gateway.submit_batch(requests);
+        self.pending += seqs.len();
+        seqs
+    }
+
     /// Submits and synchronously arbitrates one request (convenience wrapper
     /// for interactive paths; batched traffic should use [`Cluster::submit`]
     /// + flush).
@@ -1538,6 +1905,20 @@ impl Cluster {
     /// Returns [`ClusterError::UnknownGroup`] for an unknown id.
     pub fn session_view(&self, group: GlobalGroupId) -> Result<GroupSession> {
         self.core.session_view(group)
+    }
+
+    // ----- backpressure -----------------------------------------------------
+
+    /// Occupancy statistics of one shard's bounded ingest queue: current
+    /// depth, configured capacity, and the high-water mark — which under a
+    /// [`OverloadPolicy::Shed`] storm never exceeds the capacity (the
+    /// memory bound the ROADMAP's backpressure item asked for).
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range id (shard ids come from this cluster).
+    pub fn queue_stats(&self, shard: ShardId) -> QueueStats {
+        self.core.queue_stats(shard)
     }
 
     // ----- request accounting ----------------------------------------------
@@ -1820,11 +2201,14 @@ mod tests {
         for (g, roster) in gids.iter().zip(&rosters) {
             let of_group: Vec<&Decision> = decisions.iter().filter(|d| d.group == *g).collect();
             assert!(matches!(
-                of_group[0].outcome,
+                of_group[0].outcome.as_deref(),
                 Ok(ArbitrationOutcome::Granted { .. })
             ));
             for d in &of_group[1..] {
-                assert!(matches!(d.outcome, Ok(ArbitrationOutcome::Queued { .. })));
+                assert!(matches!(
+                    d.outcome.as_deref(),
+                    Ok(ArbitrationOutcome::Queued { .. })
+                ));
             }
             let placement = cluster.placement(*g).unwrap();
             let token = cluster
@@ -2165,7 +2549,7 @@ mod tests {
         let decision = gateway.recv_decision().unwrap();
         assert_eq!(decision.seq, parked_seq);
         assert!(matches!(
-            decision.outcome,
+            decision.outcome.as_deref(),
             Ok(ArbitrationOutcome::Queued { .. })
         ));
         // The parked chat line was re-driven too and delivered under the
@@ -2277,7 +2661,7 @@ mod tests {
         let decision = gateway.recv_decision().unwrap();
         assert_eq!(decision.seq, parked);
         assert!(matches!(
-            decision.outcome,
+            decision.outcome.as_deref(),
             Ok(ArbitrationOutcome::Queued { .. })
         ));
         // Handoff toward the current owner is refused outright.

@@ -140,6 +140,22 @@ impl Directory {
         self.next_seq.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Leases a contiguous block of `n` cluster-unique request ids with one
+    /// atomic operation, returning the first id of the block.
+    ///
+    /// This is what keeps id allocation off the ingest hot path: each
+    /// gateway leases a block and hands out ids locally
+    /// ([`ClusterConfig::seq_lease`](crate::ClusterConfig::seq_lease)), and
+    /// a batched submission leases exactly one block for the whole batch —
+    /// instead of every request in the cluster hammering this one shared
+    /// counter. Ids within a block are monotone, so a single gateway's
+    /// request ids remain in submission order; unused tail ids of a lease
+    /// are simply never observed (uniqueness, not density, is the
+    /// contract).
+    pub(crate) fn alloc_seq_block(&self, n: u64) -> u64 {
+        self.next_seq.fetch_add(n, Ordering::Relaxed)
+    }
+
     // ----- ring -------------------------------------------------------------
 
     /// The shard the ring places a key on.

@@ -44,6 +44,12 @@ pub enum ClusterError {
     /// A live handoff was requested toward the shard that already owns the
     /// group.
     HandoffUnnecessary(GlobalGroupId),
+    /// The owning shard's bounded ingest queue was full and the cluster's
+    /// overload policy is [`OverloadPolicy::Shed`](crate::OverloadPolicy):
+    /// the submission was not enqueued. Retry under the same request id
+    /// ([`Gateway::resubmit`](crate::Gateway::resubmit)) once the storm
+    /// drains — the shard dedup window keeps the retry exactly-once.
+    Overloaded(ShardId),
     /// The shard worker pipelines are gone (the cluster was torn down while
     /// a decision was still awaited).
     Disconnected,
@@ -71,6 +77,9 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::HandoffUnnecessary(g) => {
                 write!(f, "group {g} already lives on the handoff target shard")
+            }
+            ClusterError::Overloaded(s) => {
+                write!(f, "shard {s} shed the submission: its ingest queue is full")
             }
             ClusterError::Disconnected => {
                 write!(f, "the shard worker pipelines have shut down")
@@ -115,6 +124,7 @@ mod tests {
             ClusterError::GroupNotIdle(GlobalGroupId(8)),
             ClusterError::GroupFrozen(GlobalGroupId(9)),
             ClusterError::HandoffUnnecessary(GlobalGroupId(10)),
+            ClusterError::Overloaded(ShardId(1)),
             ClusterError::Disconnected,
             ClusterError::Floor(FloorError::MissingDestination),
         ];

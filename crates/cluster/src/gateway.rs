@@ -1,27 +1,46 @@
 //! Gateways: cheaply-cloneable concurrent ingest handles.
 //!
 //! A [`Gateway`] is the multi-gateway face of the control plane: it shares
-//! the cluster's [`Directory`](crate::Directory) and shard worker queues
-//! through an `Arc`, but owns a private results channel that decisions for
-//! *its* submissions stream back on. Cloning a gateway is two channel
-//! allocations and an `Arc` bump — hand one clone to every front-end thread
-//! and they all ingest concurrently:
+//! the cluster's [`Directory`](crate::Directory) and bounded shard worker
+//! queues through an `Arc`, but owns a private results stream that decisions
+//! for *its* submissions come back on. Cloning a gateway is two channel
+//! allocations, one registry slot and an `Arc` bump — hand one clone to
+//! every front-end thread and they all ingest concurrently:
 //!
 //! * [`Gateway::submit`] routes a request (read-mostly directory lookups,
-//!   one MPSC send) and returns its cluster-unique request id.
+//!   one bounded-queue push) and returns its cluster-unique request id. The
+//!   submit path itself performs **no per-request heap allocation**: the id
+//!   comes from a leased block
+//!   ([`ClusterConfig::seq_lease`](crate::ClusterConfig::seq_lease)) instead
+//!   of a shared atomic, and the command carries a small copyable reply
+//!   handle instead of a cloned channel sender.
+//! * [`Gateway::submit_batch`] is the vectored form: one id-lease, one
+//!   directory pass and one queue reservation per owning shard for a whole
+//!   slice of requests.
 //! * [`Gateway::recv_decision`] / [`Gateway::collect_decisions`] stream the
-//!   decisions back, each tagged with the request id and whether it was
-//!   replayed from a shard's dedup window.
+//!   decisions back (workers deliver them coalesced per batch; the gateway
+//!   unpacks transparently), each tagged with the request id and whether it
+//!   was replayed from a shard's dedup window.
 //! * [`Gateway::resubmit`] retries a request under its original id — the
-//!   retransmission path after a shard crash. The owning shard's dedup
-//!   window guarantees an already-applied event is answered from the
-//!   decision journal instead of double-applying.
+//!   retransmission path after a shard crash *or* after a shed
+//!   ([`ClusterError::Overloaded`]). The owning shard's dedup window
+//!   guarantees an already-applied event is answered from the decision
+//!   journal instead of double-applying.
+//!
+//! Backpressure: every shard's ingest queue is bounded
+//! ([`ClusterConfig::queue_capacity`](crate::ClusterConfig::queue_capacity)).
+//! When it is full, the configured
+//! [`OverloadPolicy`](crate::OverloadPolicy) applies — `Block` makes
+//! `submit` wait for space (lossless), `Shed` answers the submission with
+//! [`ClusterError::Overloaded`] on this gateway's decision stream, so a
+//! storm can never exhaust memory and never loses a request silently.
 //!
 //! Session traffic — the non-floor half of a DMPS presentation session —
-//! rides the same pipelines: [`Gateway::submit_session`] routes a chat line,
-//! whiteboard stroke, annotation or synchronized-media schedule to the shard
-//! owning the group, where it is floor-gated, durably logged, and answered
-//! with a [`SessionDecision`] on this gateway's private session stream
+//! rides the same pipelines: [`Gateway::submit_session`] /
+//! [`Gateway::submit_session_batch`] route chat lines, whiteboard strokes,
+//! annotations and synchronized-media schedules to the shard owning the
+//! group, where they are floor-gated, durably group-committed, and answered
+//! with [`SessionDecision`]s on this gateway's private session stream
 //! ([`Gateway::recv_session_decision`]). [`Gateway::resubmit_session`] is
 //! the exactly-once retry path, mirroring [`Gateway::resubmit`].
 //!
@@ -55,9 +74,18 @@
 //! let decision = gateway.recv_session_decision().unwrap();
 //! assert_eq!(decision.seq, seq);
 //! assert!(decision.outcome.unwrap().is_delivered());
+//! // Vectored ingest: one directory pass and one queue reservation per
+//! // shard for the whole batch.
+//! let seqs = gateway.submit_batch(&[
+//!     GlobalRequest::speak(g, m),
+//!     GlobalRequest::release_floor(g, m),
+//! ]);
+//! let decisions = gateway.collect_decisions(seqs.len()).unwrap();
+//! assert_eq!(decisions.len(), 2);
 //! ```
 
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex};
 
 use dmps_floor::{ArbitrationOutcome, FcmMode, InvitationStatus, Member};
@@ -65,9 +93,60 @@ use dmps_floor::{ArbitrationOutcome, FcmMode, InvitationStatus, Member};
 use crate::cluster::{Core, Decision, GlobalRequest};
 use crate::directory::{ClusterInvitation, GroupPlacement};
 use crate::error::{ClusterError, Result};
+use crate::queue::QueueStats;
 use crate::ring::ShardId;
 use crate::session::{GroupSession, SessionDecision, SessionOp, SessionOutcome};
 use crate::shard::{GlobalGroupId, GlobalMemberId};
+use crate::worker::{ReplyHandle, ReplyTo};
+
+/// A decision stream: workers deliver decisions coalesced (one `Vec` per
+/// gateway per drained batch); the buffer unpacks them one at a time.
+#[derive(Debug)]
+struct Stream<T> {
+    rx: Receiver<Vec<T>>,
+    buf: VecDeque<T>,
+}
+
+impl<T> Stream<T> {
+    fn new(rx: Receiver<Vec<T>>) -> Self {
+        Stream {
+            rx,
+            buf: VecDeque::new(),
+        }
+    }
+
+    fn next_blocking(&mut self) -> Option<T> {
+        loop {
+            if let Some(value) = self.buf.pop_front() {
+                return Some(value);
+            }
+            match self.rx.recv() {
+                Ok(batch) => self.buf.extend(batch),
+                Err(_) => return None,
+            }
+        }
+    }
+
+    fn next_ready(&mut self) -> Option<T> {
+        loop {
+            if let Some(value) = self.buf.pop_front() {
+                return Some(value);
+            }
+            match self.rx.try_recv() {
+                Ok(batch) => self.buf.extend(batch),
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+/// A leased block of request ids, handed out locally without touching the
+/// shared directory counter.
+#[derive(Debug)]
+struct SeqLease {
+    next: u64,
+    end: u64,
+}
 
 /// A concurrent ingest handle onto the sharded control plane.
 ///
@@ -76,20 +155,31 @@ use crate::shard::{GlobalGroupId, GlobalMemberId};
 #[derive(Debug)]
 pub struct Gateway {
     core: Arc<Core>,
-    decisions_tx: Sender<Decision>,
+    /// This gateway's slot in the shared reply registry; commands carry this
+    /// small copyable handle instead of a cloned `Sender`.
+    handle: ReplyHandle,
     /// Behind a (virtually always uncontended) mutex only so a `&Gateway`
     /// can be shared across scoped threads; the intended pattern is still
     /// one clone per thread.
-    decisions_rx: Mutex<Receiver<Decision>>,
-    sessions_tx: Sender<SessionDecision>,
-    sessions_rx: Mutex<Receiver<SessionDecision>>,
+    decisions: Mutex<Stream<Decision>>,
+    sessions: Mutex<Stream<SessionDecision>>,
+    /// The current request-id lease (empty until the first submission).
+    lease: Mutex<SeqLease>,
 }
 
 impl Clone for Gateway {
     /// A clone shares the directory and shard pipelines but gets fresh,
-    /// empty decision streams.
+    /// empty decision streams (and its own registry slot and id lease).
     fn clone(&self) -> Self {
         Gateway::new(self.core.clone())
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        // Free the registry slot; in-flight decisions addressed to it are
+        // dropped by the generation check, never delivered to a successor.
+        self.core.registry().unregister(self.handle);
     }
 }
 
@@ -97,29 +187,83 @@ impl Gateway {
     pub(crate) fn new(core: Arc<Core>) -> Self {
         let (decisions_tx, decisions_rx) = channel();
         let (sessions_tx, sessions_rx) = channel();
+        let handle = core.registry().register(decisions_tx, sessions_tx);
         Gateway {
             core,
-            decisions_tx,
-            decisions_rx: Mutex::new(decisions_rx),
-            sessions_tx,
-            sessions_rx: Mutex::new(sessions_rx),
+            handle,
+            decisions: Mutex::new(Stream::new(decisions_rx)),
+            sessions: Mutex::new(Stream::new(sessions_rx)),
+            lease: Mutex::new(SeqLease { next: 0, end: 0 }),
         }
+    }
+
+    /// Allocates a request id from this gateway's lease, refilling the lease
+    /// from the shared counter only once per
+    /// [`ClusterConfig::seq_lease`](crate::ClusterConfig::seq_lease) ids.
+    /// Ids stay monotone per gateway, so decision ordering by id still
+    /// equals submission order on each gateway.
+    fn alloc_seq(&self) -> u64 {
+        self.alloc_seq_run(1)
+    }
+
+    /// Allocates `n` contiguous request ids from this gateway's lease,
+    /// returning the first. When the lease cannot cover the run, its
+    /// remainder is discarded and a fresh block (covering at least the run)
+    /// is leased — per-gateway monotonicity is the contract
+    /// `collect_decisions`/`flush` ordering rests on, so a batch must never
+    /// hand out newer ids while older lease ids are still unspent behind it.
+    fn alloc_seq_run(&self, n: u64) -> u64 {
+        let mut lease = self.lease.lock().expect("seq lease");
+        if lease.end - lease.next < n {
+            let block = n.max(self.core.config().seq_lease.max(1));
+            let start = self.core.directory().alloc_seq_block(block);
+            lease.next = start;
+            lease.end = start + block;
+        }
+        let seq = lease.next;
+        lease.next += n;
+        seq
     }
 
     // ----- ingest -----------------------------------------------------------
 
-    /// Routes a request to its owning shard's worker queue and returns its
-    /// cluster-unique request id. The decision streams back to this
-    /// gateway's channel.
+    /// Routes a request to its owning shard's bounded worker queue and
+    /// returns its cluster-unique request id. The decision streams back to
+    /// this gateway's channel; if the shard shed the request under a full
+    /// queue ([`OverloadPolicy::Shed`](crate::OverloadPolicy::Shed)), the
+    /// streamed decision carries [`ClusterError::Overloaded`] and
+    /// [`Gateway::resubmit`] under the same id retries exactly-once.
     ///
     /// # Errors
     ///
     /// Returns unknown-id errors when the request cannot be routed.
     pub fn submit(&self, request: GlobalRequest) -> Result<u64> {
-        let seq = self.core.directory().alloc_seq();
+        let seq = self.alloc_seq();
         self.core
-            .submit_as(seq, request, self.decisions_tx.clone())?;
+            .submit_as(seq, request, ReplyTo::Gateway(self.handle))?;
         Ok(seq)
+    }
+
+    /// Routes a whole batch of requests with amortized costs — one
+    /// request-id lease, one directory pass, one parking-lot guard, one
+    /// queue reservation per owning shard — returning their ids in
+    /// submission order.
+    ///
+    /// Unlike [`Gateway::submit`], per-request routing failures do not fail
+    /// the batch: every returned id resolves to exactly one streamed
+    /// decision (arbitration outcome, routing error, or
+    /// [`ClusterError::Overloaded`] on a shed), so
+    /// `collect_decisions(seqs.len())` always accounts exactly.
+    pub fn submit_batch(&self, requests: &[GlobalRequest]) -> Vec<u64> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        // Ids come through this gateway's lease (not a separate directory
+        // block), so interleaved `submit` and `submit_batch` calls stay
+        // monotone per gateway.
+        let start = self.alloc_seq_run(requests.len() as u64);
+        self.core
+            .submit_batch_as(start, requests, &ReplyTo::Gateway(self.handle))
     }
 
     /// Retries a request under its original id (gateway retransmission). If
@@ -131,7 +275,8 @@ impl Gateway {
     ///
     /// Returns unknown-id errors when the request cannot be routed.
     pub fn resubmit(&self, seq: u64, request: GlobalRequest) -> Result<()> {
-        self.core.submit_as(seq, request, self.decisions_tx.clone())
+        self.core
+            .submit_as(seq, request, ReplyTo::Gateway(self.handle))
     }
 
     /// Blocks until the next decision for one of this gateway's submissions
@@ -142,20 +287,19 @@ impl Gateway {
     /// Returns [`ClusterError::Disconnected`] when the shard pipelines are
     /// gone (the cluster was torn down).
     pub fn recv_decision(&self) -> Result<Decision> {
-        self.decisions_rx
+        self.decisions
             .lock()
             .expect("decision stream lock")
-            .recv()
-            .map_err(|_| ClusterError::Disconnected)
+            .next_blocking()
+            .ok_or(ClusterError::Disconnected)
     }
 
     /// The next already-delivered decision, if any (never blocks).
     pub fn try_recv_decision(&self) -> Option<Decision> {
-        self.decisions_rx
+        self.decisions
             .lock()
             .expect("decision stream lock")
-            .try_recv()
-            .ok()
+            .next_ready()
     }
 
     /// Collects exactly `n` decisions (blocking), sorted by request id.
@@ -166,8 +310,9 @@ impl Gateway {
     /// gone before `n` decisions arrived.
     pub fn collect_decisions(&self, n: usize) -> Result<Vec<Decision>> {
         let mut decisions = Vec::with_capacity(n);
+        let mut stream = self.decisions.lock().expect("decision stream lock");
         for _ in 0..n {
-            decisions.push(self.recv_decision()?);
+            decisions.push(stream.next_blocking().ok_or(ClusterError::Disconnected)?);
         }
         decisions.sort_by_key(|d| d.seq);
         Ok(decisions)
@@ -178,7 +323,8 @@ impl Gateway {
     ///
     /// # Errors
     ///
-    /// Returns routing and shard errors.
+    /// Returns routing and shard errors, including
+    /// [`ClusterError::Overloaded`] when the owning shard shed the request.
     pub fn request(&self, request: GlobalRequest) -> Result<ArbitrationOutcome> {
         self.core.request(request)
     }
@@ -188,16 +334,29 @@ impl Gateway {
     /// Routes a session operation (chat, whiteboard, annotation, media
     /// schedule) to the shard owning its group and returns its
     /// cluster-unique request id. The decision streams back to this
-    /// gateway's session channel.
+    /// gateway's session channel; sheds surface as
+    /// [`ClusterError::Overloaded`] decisions exactly like floor requests.
     ///
     /// # Errors
     ///
     /// Returns unknown-id errors when the operation cannot be routed.
     pub fn submit_session(&self, op: SessionOp) -> Result<u64> {
-        let seq = self.core.directory().alloc_seq();
+        let seq = self.alloc_seq();
         self.core
-            .submit_session_as(seq, op, self.sessions_tx.clone())?;
+            .submit_session_as(seq, op, ReplyTo::Gateway(self.handle))?;
         Ok(seq)
+    }
+
+    /// Routes a whole batch of session operations — the vectored twin of
+    /// [`Gateway::submit_batch`], with the same exactly-one-decision-per-id
+    /// contract on the session stream.
+    pub fn submit_session_batch(&self, ops: Vec<SessionOp>) -> Vec<u64> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        let start = self.alloc_seq_run(ops.len() as u64);
+        self.core
+            .submit_session_batch_as(start, ops, &ReplyTo::Gateway(self.handle))
     }
 
     /// Retries a session operation under its original id (gateway
@@ -210,7 +369,7 @@ impl Gateway {
     /// Returns unknown-id errors when the operation cannot be routed.
     pub fn resubmit_session(&self, seq: u64, op: SessionOp) -> Result<()> {
         self.core
-            .submit_session_as(seq, op, self.sessions_tx.clone())
+            .submit_session_as(seq, op, ReplyTo::Gateway(self.handle))
     }
 
     /// Blocks until the next session decision for one of this gateway's
@@ -221,20 +380,19 @@ impl Gateway {
     /// Returns [`ClusterError::Disconnected`] when the shard pipelines are
     /// gone (the cluster was torn down).
     pub fn recv_session_decision(&self) -> Result<SessionDecision> {
-        self.sessions_rx
+        self.sessions
             .lock()
             .expect("session stream lock")
-            .recv()
-            .map_err(|_| ClusterError::Disconnected)
+            .next_blocking()
+            .ok_or(ClusterError::Disconnected)
     }
 
     /// The next already-delivered session decision, if any (never blocks).
     pub fn try_recv_session_decision(&self) -> Option<SessionDecision> {
-        self.sessions_rx
+        self.sessions
             .lock()
             .expect("session stream lock")
-            .try_recv()
-            .ok()
+            .next_ready()
     }
 
     /// Submits and synchronously applies one session operation, bypassing
@@ -242,7 +400,9 @@ impl Gateway {
     ///
     /// # Errors
     ///
-    /// Returns routing and shard errors.
+    /// Returns routing and shard errors, including
+    /// [`ClusterError::Overloaded`] when the owning shard shed the
+    /// operation.
     pub fn session(&self, op: SessionOp) -> Result<SessionOutcome> {
         self.core.session(op)
     }
@@ -254,6 +414,18 @@ impl Gateway {
     /// Returns [`ClusterError::UnknownGroup`] for an unknown id.
     pub fn session_view(&self, group: GlobalGroupId) -> Result<GroupSession> {
         self.core.session_view(group)
+    }
+
+    // ----- backpressure -----------------------------------------------------
+
+    /// Occupancy statistics of one shard's bounded ingest queue; see
+    /// [`Cluster::queue_stats`](crate::Cluster::queue_stats).
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range id (shard ids come from this cluster).
+    pub fn queue_stats(&self, shard: ShardId) -> QueueStats {
+        self.core.queue_stats(shard)
     }
 
     // ----- control plane ----------------------------------------------------
@@ -406,6 +578,91 @@ mod tests {
     }
 
     #[test]
+    fn batched_submit_matches_single_submits() {
+        let cluster = Cluster::new(ClusterConfig::with_shards(4));
+        let gw = cluster.gateway();
+        let mut requests = Vec::new();
+        for i in 0..24 {
+            let g = gw
+                .create_group(format!("g{i}"), FcmMode::EqualControl)
+                .unwrap();
+            let m = gw.register_member(Member::new(format!("m{i}"), Role::Chair));
+            gw.join_group(g, m).unwrap();
+            requests.push(GlobalRequest::speak(g, m));
+            requests.push(GlobalRequest::release_floor(g, m));
+        }
+        let seqs = gw.submit_batch(&requests);
+        assert_eq!(seqs.len(), requests.len());
+        assert!(
+            seqs.windows(2).all(|w| w[0] < w[1]),
+            "one lease: ids stay in submission order"
+        );
+        let decisions = gw.collect_decisions(seqs.len()).unwrap();
+        assert_eq!(decisions.len(), seqs.len());
+        for decision in &decisions {
+            assert!(
+                decision.outcome.as_ref().unwrap().is_granted(),
+                "speak then release both grant in a singleton group"
+            );
+        }
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn interleaved_scalar_and_batched_submits_keep_ids_monotone() {
+        // Batches draw ids through the gateway's lease, not a separate
+        // directory block — otherwise a scalar submit after a batch could
+        // hand out an older unspent lease id, and `collect_decisions`
+        // (sorted by id) would no longer equal submission order.
+        let cluster = Cluster::new(ClusterConfig::with_shards(2));
+        let gw = cluster.gateway();
+        let g = gw.create_group("lecture", FcmMode::EqualControl).unwrap();
+        let m = gw.register_member(Member::new("m", Role::Chair));
+        gw.join_group(g, m).unwrap();
+        let speak = GlobalRequest::speak(g, m);
+        let release = GlobalRequest::release_floor(g, m);
+        let mut seqs = Vec::new();
+        seqs.push(gw.submit(speak).unwrap());
+        seqs.extend(gw.submit_batch(&[release, speak]));
+        seqs.push(gw.submit(release).unwrap());
+        // A batch larger than the remaining lease forces a refill mid-run.
+        let big: Vec<GlobalRequest> = (0..150)
+            .map(|i| if i % 2 == 0 { speak } else { release })
+            .collect();
+        seqs.extend(gw.submit_batch(&big));
+        seqs.push(gw.submit(speak).unwrap());
+        assert!(
+            seqs.windows(2).all(|w| w[0] < w[1]),
+            "per-gateway ids stay strictly increasing across interleaving"
+        );
+        let decisions = gw.collect_decisions(seqs.len()).unwrap();
+        let order: Vec<u64> = decisions.iter().map(|d| d.seq).collect();
+        assert_eq!(order, seqs, "sorted-by-id equals submission order");
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn batched_submit_answers_unroutable_requests_on_the_stream() {
+        let mut cluster = Cluster::new(ClusterConfig::with_shards(2));
+        let g = cluster
+            .create_group("lecture", FcmMode::FreeAccess)
+            .unwrap();
+        let gw = cluster.gateway();
+        let m = gw.register_member(Member::new("m", Role::Chair));
+        gw.join_group(g, m).unwrap();
+        let ghost = GlobalGroupId(999);
+        let seqs = gw.submit_batch(&[GlobalRequest::speak(g, m), GlobalRequest::speak(ghost, m)]);
+        let decisions = gw.collect_decisions(2).unwrap();
+        assert_eq!(decisions[0].seq, seqs[0]);
+        assert!(decisions[0].outcome.as_ref().unwrap().is_granted());
+        assert!(matches!(
+            decisions[1].outcome,
+            Err(ClusterError::UnknownGroup(u)) if u == ghost
+        ));
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
     fn session_decisions_stream_to_the_submitting_gateway() {
         let mut cluster = Cluster::new(ClusterConfig::with_shards(2));
         let g = cluster
@@ -442,6 +699,34 @@ mod tests {
     }
 
     #[test]
+    fn session_batch_delivers_in_submission_order() {
+        let mut cluster = Cluster::new(ClusterConfig::with_shards(2));
+        let g = cluster
+            .create_group("lecture", FcmMode::FreeAccess)
+            .unwrap();
+        let gw = cluster.gateway();
+        let m = gw.register_member(Member::new("m", Role::Chair));
+        gw.join_group(g, m).unwrap();
+        let ops: Vec<SessionOp> = (0..8)
+            .map(|i| SessionOp::chat(g, m, format!("line {i}")))
+            .collect();
+        let seqs = gw.submit_session_batch(ops);
+        assert_eq!(seqs.len(), 8);
+        for &seq in &seqs {
+            let decision = gw.recv_session_decision().unwrap();
+            assert_eq!(decision.seq, seq, "session stream preserves order");
+            assert!(decision.outcome.unwrap().is_delivered());
+        }
+        let chat = gw.session_view(g).unwrap().chat;
+        assert_eq!(chat.len(), 8);
+        assert!(chat
+            .iter()
+            .enumerate()
+            .all(|(i, (_, line))| line == &format!("line {i}")));
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
     fn gateway_keeps_pipelines_alive_after_cluster_drop() {
         let gw = {
             let mut cluster = Cluster::new(ClusterConfig::with_shards(2));
@@ -458,5 +743,27 @@ mod tests {
         let decision = gw.recv_decision().unwrap();
         assert!(decision.outcome.unwrap().is_granted());
         gw.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dropped_gateways_slot_is_recycled_without_leaking_decisions() {
+        let mut cluster = Cluster::new(ClusterConfig::with_shards(2));
+        let g = cluster
+            .create_group("lecture", FcmMode::FreeAccess)
+            .unwrap();
+        let a = cluster.gateway();
+        let m = a.register_member(Member::new("m", Role::Chair));
+        a.join_group(g, m).unwrap();
+        // Drain a's decision so dropping it cannot race an in-flight send,
+        // then drop it and register a successor that reuses the slot.
+        let seq = a.submit(GlobalRequest::speak(g, m)).unwrap();
+        assert_eq!(a.recv_decision().unwrap().seq, seq);
+        drop(a);
+        let b = cluster.gateway();
+        let seq_b = b.submit(GlobalRequest::release_floor(g, m)).unwrap();
+        let decision = b.recv_decision().unwrap();
+        assert_eq!(decision.seq, seq_b, "b sees exactly its own decision");
+        assert!(b.try_recv_decision().is_none());
+        cluster.check_invariants().unwrap();
     }
 }

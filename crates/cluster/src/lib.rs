@@ -21,17 +21,29 @@
 //!   the ring uses) with atomic id counters. Routing a request takes `&self`
 //!   and only read locks, so any number of gateways route concurrently; the
 //!   old cluster-wide `&mut self` router lock is gone.
-//! * **Worker pipelines** (`worker`) — each shard's state is owned by one
-//!   persistent worker thread draining an MPSC command queue. The queue is
-//!   the shard's serialization point: floor requests stream in from many
-//!   gateways, decisions stream back to each submitting gateway's results
-//!   channel, and control-plane operations run as closures on the owning
-//!   thread. There is no spawn-per-flush: workers live as long as the
-//!   cluster.
+//! * **Worker pipelines** ([`worker`], [`queue`]) — each shard's state is
+//!   owned by one persistent worker thread draining a **bounded** MPSC
+//!   command queue ([`ClusterConfig::queue_capacity`]) in group-committed
+//!   batches: one wakeup drains up to [`ClusterConfig::ingest_batch`]
+//!   commands, arbitrates them all, appends their events to the durable log
+//!   with one amortized [`EventLog::append_batch`] (and one snapshot-cadence
+//!   check), and only then releases the decisions — coalesced into one
+//!   channel send per submitting gateway. The queue is the shard's
+//!   serialization point and its backpressure valve: when it is full, the
+//!   configured [`OverloadPolicy`] either blocks the submitter (lossless)
+//!   or sheds with [`ClusterError::Overloaded`] on the submitter's stream,
+//!   so a storm can never exhaust memory and never loses a request
+//!   silently. Control-plane commands are exempt from the bound, so
+//!   crash-recovery and handoffs cannot be starved by a storm.
 //! * **Gateways** ([`gateway`]) — a [`Gateway`] is a cheaply-cloneable
-//!   ingest handle (`Arc` of the shared core + its own results channel).
-//!   Hand a clone to every front-end thread; submissions carry
-//!   cluster-unique request ids allocated from an atomic counter.
+//!   ingest handle (`Arc` of the shared core + its own registered reply
+//!   stream). Hand a clone to every front-end thread. The submit path does
+//!   no per-request heap allocation: request ids come from per-gateway
+//!   leased blocks ([`ClusterConfig::seq_lease`]) instead of a shared
+//!   atomic, and commands carry a small registry handle instead of a cloned
+//!   channel sender. [`Gateway::submit_batch`] /
+//!   [`Gateway::submit_session_batch`] route a whole slice with one id
+//!   lease, one directory pass and one queue reservation per shard.
 //! * **Sessions** ([`session`]) — the content plane of a DMPS presentation
 //!   session runs sharded too: every group carries its chat / whiteboard /
 //!   annotation logs and synchronized-media schedule ([`GroupSession`]) on
@@ -124,6 +136,7 @@ pub mod cluster;
 pub mod directory;
 pub mod error;
 pub mod gateway;
+pub mod queue;
 pub mod ring;
 pub mod session;
 pub mod shard;
@@ -137,6 +150,7 @@ pub use cluster::{
 pub use directory::{ClusterInvitation, Directory, GroupPlacement};
 pub use error::{ClusterError, Result};
 pub use gateway::Gateway;
+pub use queue::{OverloadPolicy, QueueStats};
 pub use ring::{HashRing, ShardId};
 pub use session::{
     GroupSession, SessionDecision, SessionEvent, SessionOp, SessionOpKind, SessionOutcome,

@@ -228,8 +228,10 @@ pub struct SessionDecision {
     pub seq: u64,
     /// The group the operation addressed.
     pub group: GlobalGroupId,
-    /// The outcome, or the routing/shard error that prevented it.
-    pub outcome: crate::error::Result<SessionOutcome>,
+    /// The outcome, or the routing/shard error that prevented it. Shared
+    /// (`Arc`) with the owning shard's session dedup journal, like floor
+    /// [`Decision`](crate::Decision) outcomes.
+    pub outcome: crate::error::Result<std::sync::Arc<SessionOutcome>>,
     /// Whether the decision was answered from the shard's session journal (a
     /// retry of an already-delivered operation).
     pub replayed: bool,

@@ -55,6 +55,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 use dmps_floor::arbiter::ArbiterStats;
 use dmps_floor::snapshot::EventOutcome;
@@ -192,6 +193,15 @@ impl<E> EventLog<E> {
         seq
     }
 
+    /// Appends a run of events in order — the group-commit path: one
+    /// amortized append for a whole ingest batch instead of one bookkeeping
+    /// pass per event. Returns the sequence number the *next* event would
+    /// receive (`base + retained` after the append).
+    pub fn append_batch(&mut self, events: impl IntoIterator<Item = E>) -> u64 {
+        self.events.extend(events);
+        self.next_seq()
+    }
+
     /// The retained events starting at `from_seq`.
     ///
     /// # Panics
@@ -231,11 +241,16 @@ impl<E> EventLog<E> {
 /// global group they decided for, so a group migration can carry its slice
 /// of the journal to the new owning shard ([`DedupWindow::extract_group`])
 /// and retries keep replaying instead of double-applying.
+///
+/// Outcomes are stored behind `Arc`, so the hot path records a decision
+/// with a reference-count bump (the same allocation backs the streamed
+/// [`Decision`](crate::Decision)) and a replay hands the recorded outcome
+/// back by reference instead of deep-cloning its payload.
 #[derive(Debug, Clone)]
 pub struct DedupWindow<T = ArbitrationOutcome> {
     capacity: usize,
     order: VecDeque<u64>,
-    outcomes: BTreeMap<u64, (GlobalGroupId, T)>,
+    outcomes: BTreeMap<u64, (GlobalGroupId, Arc<T>)>,
 }
 
 impl<T> Default for DedupWindow<T> {
@@ -248,7 +263,7 @@ impl<T> Default for DedupWindow<T> {
     }
 }
 
-impl<T: Clone> DedupWindow<T> {
+impl<T> DedupWindow<T> {
     /// A window retaining the last `capacity` decisions.
     pub fn new(capacity: usize) -> Self {
         DedupWindow {
@@ -274,12 +289,13 @@ impl<T: Clone> DedupWindow<T> {
     }
 
     /// The decision recorded for a request id, if still in the window.
-    pub fn get(&self, id: u64) -> Option<&T> {
+    pub fn get(&self, id: u64) -> Option<&Arc<T>> {
         self.outcomes.get(&id).map(|(_, outcome)| outcome)
     }
 
     /// Records a decision, evicting the oldest entries when over capacity.
-    pub fn record(&mut self, id: u64, group: GlobalGroupId, outcome: T) {
+    /// Recording shares the outcome (`Arc` bump), never deep-copies it.
+    pub fn record(&mut self, id: u64, group: GlobalGroupId, outcome: Arc<T>) {
         if self.capacity == 0 || self.outcomes.contains_key(&id) {
             return;
         }
@@ -297,8 +313,9 @@ impl<T: Clone> DedupWindow<T> {
 
     /// Copies every journaled decision for `group` without removing it —
     /// phase 1 of a live handoff exports the slice while the source must
-    /// stay able to answer retries until the commit point.
-    pub fn peek_group(&self, group: GlobalGroupId) -> Vec<(u64, T)> {
+    /// stay able to answer retries until the commit point. The copies are
+    /// `Arc` shares, not deep clones.
+    pub fn peek_group(&self, group: GlobalGroupId) -> Vec<(u64, Arc<T>)> {
         self.outcomes
             .iter()
             .filter(|(_, (g, _))| *g == group)
@@ -308,7 +325,7 @@ impl<T: Clone> DedupWindow<T> {
 
     /// Removes and returns every journaled decision for `group` — the
     /// migration path: the entries follow the group to its new shard.
-    pub fn extract_group(&mut self, group: GlobalGroupId) -> Vec<(u64, T)> {
+    pub fn extract_group(&mut self, group: GlobalGroupId) -> Vec<(u64, Arc<T>)> {
         let ids: Vec<u64> = self
             .outcomes
             .iter()
@@ -324,9 +341,26 @@ impl<T: Clone> DedupWindow<T> {
     }
 
     /// Installs journal entries extracted from another shard's window.
-    pub fn install(&mut self, group: GlobalGroupId, entries: Vec<(u64, T)>) {
+    pub fn install(&mut self, group: GlobalGroupId, entries: Vec<(u64, Arc<T>)>) {
         for (id, outcome) in entries {
             self.record(id, group, outcome);
+        }
+    }
+
+    /// Drops the entry for a request id, if present. Used to roll back
+    /// journal entries whose events died in an uncommitted group-commit
+    /// batch — the journal conceptually rides the log, so it must not
+    /// outlive events the log never saw. (Any stale id left in the eviction
+    /// order is skipped naturally, like extracted ids are.)
+    pub fn forget(&mut self, id: u64) {
+        if self.outcomes.remove(&id).is_some() {
+            // Purge the eviction order too: unlike migration-extracted ids
+            // (which can never be re-recorded here — the directory routes
+            // the group elsewhere), a rolled-back id is expected to be
+            // retried and re-recorded on THIS shard, and a stale front copy
+            // in `order` would then evict the live re-recorded entry long
+            // before it is actually the oldest.
+            self.order.retain(|&queued| queued != id);
         }
     }
 }
@@ -429,9 +463,9 @@ pub struct HandoffExport {
     /// media schedule).
     pub content: GroupSession,
     /// The group's slice of the floor decision journal.
-    pub floor_journal: Vec<(u64, ArbitrationOutcome)>,
+    pub floor_journal: Vec<(u64, Arc<ArbitrationOutcome>)>,
     /// The group's slice of the session decision journal.
-    pub session_journal: Vec<(u64, SessionOutcome)>,
+    pub session_journal: Vec<(u64, Arc<SessionOutcome>)>,
     /// The source log position the export covers: every event up to (but not
     /// including) this sequence number is reflected in the exported state,
     /// and the freeze guarantees no later event will touch the group before
@@ -457,6 +491,18 @@ pub struct Shard {
     /// group cannot serve.
     frozen: BTreeSet<GlobalGroupId>,
     recoveries: u64,
+    /// When `true`, [`Shard::commit`] defers log appends into `pending` for
+    /// the batch's single [`Shard::commit_batch`] group commit.
+    batching: bool,
+    /// Events applied to the live state but not yet group-committed to the
+    /// log (only non-empty between `begin_batch` and `commit_batch`).
+    pending: Vec<ShardEvent>,
+    /// Request ids journaled during the open batch. The dedup windows are
+    /// durable because they conceptually ride the replicated log — so if the
+    /// batch dies uncommitted, these entries must be rolled back with it.
+    pending_dedup: Vec<u64>,
+    /// Session ids journaled during the open batch (same rollback contract).
+    pending_session_dedup: Vec<u64>,
 }
 
 impl Shard {
@@ -477,6 +523,10 @@ impl Shard {
             session_dedup: DedupWindow::new(dedup_window),
             frozen: BTreeSet::new(),
             recoveries: 0,
+            batching: false,
+            pending: Vec::new(),
+            pending_dedup: Vec::new(),
+            pending_session_dedup: Vec::new(),
         }
     }
 
@@ -553,10 +603,45 @@ impl Shard {
     }
 
     /// Appends an already-validated event to the durable log and takes a
-    /// snapshot on the configured cadence.
+    /// snapshot on the configured cadence. Inside a group-commit batch
+    /// ([`Shard::begin_batch`]) the append is deferred so the whole batch
+    /// pays for one log append and one cadence check.
     fn commit(&mut self, event: ShardEvent) {
+        if self.batching {
+            self.pending.push(event);
+            return;
+        }
         let seq = self.log.append(event) + 1;
         if self.snapshot_every > 0 && seq.is_multiple_of(self.snapshot_every) {
+            self.take_snapshot();
+        }
+    }
+
+    /// Opens a group-commit batch: subsequent events validate and apply to
+    /// the live state immediately, but their log appends are deferred until
+    /// [`Shard::commit_batch`]. The worker pipeline brackets every drained
+    /// ingest batch this way; a decision must not be released to its
+    /// gateway until the batch holding its event has committed.
+    pub fn begin_batch(&mut self) {
+        self.batching = true;
+    }
+
+    /// Closes a group-commit batch: one amortized [`EventLog::append_batch`]
+    /// for everything the batch applied, and a single snapshot-cadence check
+    /// (a snapshot is taken if the batch crossed a cadence boundary, so
+    /// cadence cost is paid per batch, not per event).
+    pub fn commit_batch(&mut self) {
+        self.batching = false;
+        // The batch's journal entries become as durable as the log it just
+        // joined.
+        self.pending_dedup.clear();
+        self.pending_session_dedup.clear();
+        if self.pending.is_empty() {
+            return;
+        }
+        let before = self.log.next_seq();
+        let after = self.log.append_batch(self.pending.drain(..));
+        if self.snapshot_every > 0 && after / self.snapshot_every > before / self.snapshot_every {
             self.take_snapshot();
         }
     }
@@ -642,7 +727,7 @@ impl Shard {
         id: u64,
         group: GlobalGroupId,
         request: FloorRequest,
-    ) -> (Result<ArbitrationOutcome>, bool) {
+    ) -> (Result<Arc<ArbitrationOutcome>>, bool) {
         if self.state != ShardState::Active {
             return (Err(ClusterError::ShardDown(self.id)), false);
         }
@@ -653,11 +738,19 @@ impl Shard {
             return (Err(ClusterError::GroupFrozen(group)), false);
         }
         if let Some(outcome) = self.dedup.get(id) {
+            // Replay by reference: the journaled outcome is shared, not
+            // deep-cloned, into the retry's decision.
             return (Ok(outcome.clone()), true);
         }
         match self.apply(ArbiterEvent::Arbitrate { request }) {
             Ok(EventOutcome::Arbitrated(outcome)) => {
+                // One allocation backs both the journal entry and the
+                // streamed decision.
+                let outcome = Arc::new(outcome);
                 self.dedup.record(id, group, outcome.clone());
+                if self.batching {
+                    self.pending_dedup.push(id);
+                }
                 (Ok(outcome), false)
             }
             Ok(_) => unreachable!("Arbitrate yields Arbitrated"),
@@ -678,7 +771,7 @@ impl Shard {
         &mut self,
         id: u64,
         event: SessionEvent,
-    ) -> (Result<SessionOutcome>, bool) {
+    ) -> (Result<Arc<SessionOutcome>>, bool) {
         if self.state != ShardState::Active {
             return (Err(ClusterError::ShardDown(self.id)), false);
         }
@@ -691,8 +784,12 @@ impl Shard {
         let group = event.group;
         match self.apply_session(event) {
             Ok(outcome) => {
+                let outcome = Arc::new(outcome);
                 if outcome.is_delivered() {
                     self.session_dedup.record(id, group, outcome.clone());
+                    if self.batching {
+                        self.pending_session_dedup.push(id);
+                    }
                 }
                 (Ok(outcome), false)
             }
@@ -703,18 +800,25 @@ impl Shard {
     /// Removes and returns the journaled floor decisions for a group (the
     /// shard is losing the group to a migration; the entries must follow
     /// it).
-    pub fn extract_dedup(&mut self, group: GlobalGroupId) -> Vec<(u64, ArbitrationOutcome)> {
+    pub fn extract_dedup(&mut self, group: GlobalGroupId) -> Vec<(u64, Arc<ArbitrationOutcome>)> {
         self.dedup.extract_group(group)
     }
 
     /// Installs floor journal entries for a group this shard is taking over.
-    pub fn install_dedup(&mut self, group: GlobalGroupId, entries: Vec<(u64, ArbitrationOutcome)>) {
+    pub fn install_dedup(
+        &mut self,
+        group: GlobalGroupId,
+        entries: Vec<(u64, Arc<ArbitrationOutcome>)>,
+    ) {
         self.dedup.install(group, entries);
     }
 
     /// Removes and returns the journaled session decisions for a group (the
     /// migration path, like [`Shard::extract_dedup`]).
-    pub fn extract_session_dedup(&mut self, group: GlobalGroupId) -> Vec<(u64, SessionOutcome)> {
+    pub fn extract_session_dedup(
+        &mut self,
+        group: GlobalGroupId,
+    ) -> Vec<(u64, Arc<SessionOutcome>)> {
         self.session_dedup.extract_group(group)
     }
 
@@ -723,7 +827,7 @@ impl Shard {
     pub fn install_session_dedup(
         &mut self,
         group: GlobalGroupId,
-        entries: Vec<(u64, SessionOutcome)>,
+        entries: Vec<(u64, Arc<SessionOutcome>)>,
     ) {
         self.session_dedup.install(group, entries);
     }
@@ -850,6 +954,14 @@ impl Shard {
     /// Takes a snapshot of the current state now and compacts the log up to
     /// it.
     pub fn take_snapshot(&mut self) -> &ShardSnapshot {
+        // A snapshot must cover every event already applied to the live
+        // state: flush any open group-commit batch first so `applied_seq`
+        // cannot claim less history than the arbiter actually holds.
+        if !self.pending.is_empty() {
+            self.log.append_batch(self.pending.drain(..));
+            self.pending_dedup.clear();
+            self.pending_session_dedup.clear();
+        }
         let snap = ShardSnapshot {
             arbiter: self.arbiter.snapshot(self.log.next_seq()),
             session: dmps_wire::to_string(&self.session),
@@ -870,6 +982,20 @@ impl Shard {
         // Frozen markers are volatile too; recovery rebuilds them from the
         // snapshot's frozen list plus the logged handoff events.
         self.frozen.clear();
+        // Events of an open group-commit batch die with the primary: their
+        // decisions were never released (replies flush only after the batch
+        // commits), so discarding them is the crash losing unacknowledged
+        // work — exactly the semantics the dedup retry path heals. The
+        // batch's journal entries roll back with it: the windows are durable
+        // only as the tail of the log, and the log never saw these events.
+        self.batching = false;
+        self.pending.clear();
+        for id in self.pending_dedup.drain(..) {
+            self.dedup.forget(id);
+        }
+        for id in self.pending_session_dedup.drain(..) {
+            self.session_dedup.forget(id);
+        }
     }
 
     /// A standby takes over: restore the latest snapshot, replay the log
@@ -1079,7 +1205,10 @@ mod tests {
             FloorRequest::speak(GroupId(0), MemberId(1)),
         );
         assert!(!replayed);
-        assert!(matches!(third.unwrap(), ArbitrationOutcome::Queued { .. }));
+        assert!(matches!(
+            &*third.unwrap(),
+            ArbitrationOutcome::Queued { .. }
+        ));
     }
 
     #[test]
@@ -1107,10 +1236,10 @@ mod tests {
     #[test]
     fn dedup_window_is_bounded_and_evicts_oldest() {
         let mut window = DedupWindow::new(2);
-        let outcome = ArbitrationOutcome::Granted {
+        let outcome = Arc::new(ArbitrationOutcome::Granted {
             speakers: vec![MemberId(0)],
             suspensions: vec![],
-        };
+        });
         window.record(1, GlobalGroupId(0), outcome.clone());
         window.record(2, GlobalGroupId(0), outcome.clone());
         window.record(3, GlobalGroupId(1), outcome.clone());
@@ -1328,7 +1457,10 @@ mod tests {
         shard.handoff_abort(GlobalGroupId(0)).unwrap();
         assert!(!shard.is_frozen(GlobalGroupId(0)));
         let (after, _) = shard.arbitrate_dedup(100, GlobalGroupId(0), speak);
-        assert!(matches!(after.unwrap(), ArbitrationOutcome::Queued { .. }));
+        assert!(matches!(
+            &*after.unwrap(),
+            ArbitrationOutcome::Queued { .. }
+        ));
         shard.arbiter().check_invariants().unwrap();
     }
 
@@ -1370,6 +1502,118 @@ mod tests {
         let (retry, replayed) = shard.arbitrate_dedup(7, GlobalGroupId(0), speak);
         assert!(replayed);
         assert!(retry.unwrap().is_granted());
+    }
+
+    #[test]
+    fn forget_purges_the_eviction_order_so_a_rerecorded_id_lives_full_term() {
+        let mut window = DedupWindow::new(2);
+        let outcome = Arc::new(ArbitrationOutcome::Granted {
+            speakers: vec![MemberId(0)],
+            suspensions: vec![],
+        });
+        // Roll back id 5 (mid-batch crash path), then re-record it after the
+        // retry applies freshly.
+        window.record(5, GlobalGroupId(0), outcome.clone());
+        window.forget(5);
+        assert!(window.get(5).is_none());
+        window.record(7, GlobalGroupId(0), outcome.clone());
+        window.record(5, GlobalGroupId(0), outcome.clone());
+        // Filling past capacity must evict the genuinely oldest entry (7) —
+        // a stale order entry for 5 would instead evict the live, newer 5
+        // and re-open a double-apply window for its retries.
+        window.record(9, GlobalGroupId(0), outcome);
+        assert!(window.get(5).is_some(), "newest entries survive eviction");
+        assert!(window.get(9).is_some());
+        assert!(window.get(7).is_none(), "the oldest entry was evicted");
+    }
+
+    #[test]
+    fn group_commit_matches_sequential_commit() {
+        let mut sequential = Shard::new(ShardId(0), 4, 64);
+        scripted(&mut sequential, 0);
+        let mut batched = Shard::new(ShardId(0), 4, 64);
+        scripted(&mut batched, 0);
+        for i in 0..10u64 {
+            let request = FloorRequest::speak(GroupId(0), MemberId((i % 4) as usize));
+            let _ = sequential.arbitrate_dedup(i, GlobalGroupId(0), request);
+        }
+        batched.begin_batch();
+        for i in 0..10u64 {
+            let request = FloorRequest::speak(GroupId(0), MemberId((i % 4) as usize));
+            let _ = batched.arbitrate_dedup(i, GlobalGroupId(0), request);
+        }
+        batched.commit_batch();
+        // Same arbiter state, same log history, same journal.
+        assert_eq!(batched.arbiter(), sequential.arbiter());
+        assert_eq!(batched.log().next_seq(), sequential.log().next_seq());
+        assert_eq!(batched.dedup().len(), sequential.dedup().len());
+        // The group-committed log replays to the same state.
+        let reference = batched.arbiter().clone();
+        batched.crash();
+        batched.recover().unwrap();
+        assert_eq!(batched.arbiter(), &reference);
+        batched.arbiter().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn commit_batch_takes_one_snapshot_when_crossing_cadence() {
+        let mut shard = Shard::new(ShardId(0), 4, 64);
+        shard.begin_batch();
+        // 1 create + 4 adds + 10 arbitrations = 15 events, crossing the
+        // cadence three times — but deferred, so nothing is logged yet.
+        scripted(&mut shard, 10);
+        assert!(shard.latest_snapshot().is_none(), "appends are deferred");
+        assert_eq!(shard.log().retained(), 0);
+        shard.commit_batch();
+        // One snapshot at the batch boundary covers the whole batch: the
+        // cadence check is amortized per batch, not paid per event.
+        assert_eq!(shard.latest_snapshot().unwrap().applied_seq(), 15);
+        assert_eq!(shard.log().retained(), 0, "compacted up to the snapshot");
+        shard.crash();
+        shard.recover().unwrap();
+        shard.arbiter().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn crash_mid_batch_rolls_back_journal_entries_with_the_lost_events() {
+        let mut shard = Shard::new(ShardId(0), 0, 64);
+        scripted(&mut shard, 0);
+        shard.begin_batch();
+        let speak = FloorRequest::speak(GroupId(0), MemberId(0));
+        let (outcome, _) = shard.arbitrate_dedup(1, GlobalGroupId(0), speak.clone());
+        assert!(outcome.unwrap().is_granted());
+        // The batch never commits: the primary dies with the grant pending.
+        // Its decision was never released, so losing it is safe — but the
+        // journal entry must die too, or a retry would replay a grant the
+        // recovered arbiter never saw.
+        shard.crash();
+        shard.recover().unwrap();
+        let (retry, replayed) = shard.arbitrate_dedup(1, GlobalGroupId(0), speak);
+        assert!(!replayed, "the uncommitted journal entry was rolled back");
+        assert!(retry.unwrap().is_granted(), "the retry re-applies cleanly");
+        shard.arbiter().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn snapshot_inside_a_batch_flushes_pending_events_first() {
+        let mut shard = Shard::new(ShardId(0), 0, 64);
+        scripted(&mut shard, 0);
+        shard.begin_batch();
+        let (outcome, _) = shard.arbitrate_dedup(
+            1,
+            GlobalGroupId(0),
+            FloorRequest::speak(GroupId(0), MemberId(0)),
+        );
+        assert!(outcome.unwrap().is_granted());
+        // An explicit snapshot mid-batch must cover the applied-but-pending
+        // grant, or replay would reconstruct less state than the arbiter had.
+        let applied = shard.take_snapshot().applied_seq();
+        assert_eq!(applied, shard.log().next_seq());
+        shard.commit_batch();
+        let reference = shard.arbiter().clone();
+        shard.crash();
+        shard.recover().unwrap();
+        assert_eq!(shard.arbiter(), &reference);
     }
 
     #[test]

@@ -24,6 +24,17 @@
 //! drops duplicate decisions by id — every submission yields exactly one
 //! recorded decision.
 //!
+//! Backpressure note: the simulated gateway applies each request with a
+//! synchronous per-message round-trip (`request_with_id`), so at most one
+//! command per shard is in a bounded ingest queue at any instant and the
+//! [`ClusterConfig::queue_capacity`] /
+//! [`OverloadPolicy`](crate::OverloadPolicy) knobs cannot saturate here. A
+//! request that *is* shed (`ClusterError::Overloaded`) dies unanswered like
+//! a frozen-window refusal and is healed by the same retransmission
+//! machinery; the thread-based overload storms live in
+//! `tests/integration_overload.rs`, where real concurrency fills the
+//! queues.
+//!
 //! Rebalancing runs under traffic too: [`ClusterSim::add_shard`] grows the
 //! cluster mid-simulation, and [`ClusterSim::schedule_handoff`] drives the
 //! two-phase live migration of a group with the prepare and commit as
@@ -555,7 +566,9 @@ impl ClusterSim {
                     // The shard primary arbitrates — idempotently in the
                     // request id, so a retransmitted request that was already
                     // applied is answered from the decision journal — and
-                    // replies to the gateway.
+                    // replies to the gateway. Shard down, a frozen handoff
+                    // window, or an `Overloaded` shed: the request dies
+                    // unanswered and retransmission heals it.
                     let Ok((outcome, _replayed)) = self.cluster.request_with_id(seq, request)
                     else {
                         return;

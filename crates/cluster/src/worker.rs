@@ -1,34 +1,51 @@
-//! Persistent per-shard worker pipelines.
+//! Persistent per-shard worker pipelines with batch-drained, group-committed
+//! ingest.
 //!
 //! Every shard's [`Shard`] state is owned by exactly one long-lived OS thread
-//! which drains an MPSC command queue — the successor of the old
-//! spawn-one-thread-per-`flush_parallel` design. Because the worker is the
-//! *only* code that ever touches the shard, no lock protects the arbiter: the
-//! queue itself is the serialization point, and any number of gateways can
-//! send into it concurrently.
+//! which drains a **bounded** command queue (see the `queue` module) — the
+//! successor of the old one-command-per-wakeup, unbounded-channel design.
+//! Because the worker is the *only* code that ever touches the shard, no lock
+//! protects the arbiter: the queue itself is the serialization point, and any
+//! number of gateways can send into it concurrently.
+//!
+//! The drain loop is batch-oriented end to end:
+//!
+//! 1. One blocking receive wakes the worker; it then greedily drains up to
+//!    [`ClusterConfig::ingest_batch`](crate::ClusterConfig::ingest_batch)
+//!    further commands without blocking, so one wakeup amortizes over a whole
+//!    burst.
+//! 2. The batch is arbitrated against the shard inside a
+//!    [`Shard::begin_batch`]/[`Shard::commit_batch`] bracket: every request
+//!    applies to the live arbiter immediately (so intra-batch ordering is
+//!    exactly sequential ordering), but the durable log is appended **once**
+//!    per batch ([`EventLog::append_batch`](crate::EventLog::append_batch))
+//!    and the snapshot cadence is checked once per batch — the group commit.
+//! 3. Replies are released only *after* the group commit (a decision is never
+//!    visible before its event is durable), coalesced per submitting gateway:
+//!    one channel send per gateway per batch instead of one per decision.
 //!
 //! Three command shapes cover everything:
 //!
-//! * `ShardCommand::Request` — the streaming floor-ingest path. The worker
-//!   arbitrates (through the shard's dedup window, see
-//!   [`Shard::arbitrate_dedup`]) and sends the [`Decision`] straight back to
-//!   the submitting gateway's results channel, so decisions stream while
-//!   other shards are still working.
-//! * `ShardCommand::Session` — the session-ops path. The worker floor-gates
-//!   and applies the content delivery (see
-//!   [`Shard::arbitrate_session_dedup`]) and streams the
-//!   [`SessionDecision`] back the same way.
-//! * `ShardCommand::With` — the control plane. A closure runs with
-//!   exclusive access to the shard (create a group, crash, recover,
-//!   inspect, and the live-handoff phases
-//!   [`Shard::handoff_prepare`](crate::Shard::handoff_prepare) /
-//!   [`Shard::handoff_commit_source`](crate::Shard::handoff_commit_source) /
-//!   [`Shard::handoff_abort`](crate::Shard::handoff_abort)); callers that
-//!   need an answer pack a reply channel into the closure. Because the
-//!   queue is the shard's serialization point, a handoff's prepare command
-//!   naturally drains *behind* every request submitted before the freeze —
-//!   their effects are in the export — while later submissions park at the
-//!   routing layer.
+//! * `ShardCommand::Request` — the streaming floor-ingest path (through the
+//!   shard's dedup window, see [`Shard::arbitrate_dedup`]).
+//! * `ShardCommand::Session` — the session-ops path
+//!   ([`Shard::arbitrate_session_dedup`]).
+//! * `ShardCommand::With` — the control plane. A closure runs with exclusive
+//!   access to the shard (create a group, crash, recover, inspect, and the
+//!   live-handoff phases). A `With` command is a **barrier** inside a batch:
+//!   the worker group-commits and releases every decision produced so far
+//!   before the closure runs, so control code always observes a fully
+//!   committed shard — `handoff_prepare`'s pinned log position, snapshots and
+//!   crashes can never observe half a batch. Control commands are also exempt
+//!   from the queue's ingest bound, so a saturated queue cannot starve (or
+//!   deadlock) crash-recovery and handoffs.
+//!
+//! Reply routing is allocation-free on the submit side: instead of cloning a
+//! `Sender` into every command, each gateway registers its reply channels
+//! once in the shared `ReplyRegistry` and commands carry a small
+//! generation-checked `ReplyHandle`. A gateway that dropped simply misses
+//! its decisions; a reused slot cannot leak decisions across gateways because
+//! the generation check fails.
 //!
 //! A worker survives its shard crashing — the thread keeps draining the
 //! queue and answers requests with [`crate::ClusterError::ShardDown`] until
@@ -46,25 +63,147 @@
 //! let g = cluster.create_group("lecture", FcmMode::EqualControl).unwrap();
 //! let m = cluster.register_member(Member::new("t", Role::Chair));
 //! cluster.join_group(g, m).unwrap();
-//! // `submit` enqueues onto the owning shard's worker; `flush` awaits the
-//! // decisions the worker streamed back.
+//! // `submit` enqueues onto the owning shard's bounded queue; the worker
+//! // batch-drains, group-commits, and streams the decisions back.
 //! cluster.submit(GlobalRequest::speak(g, m)).unwrap();
 //! let decisions = cluster.flush();
 //! assert!(decisions[0].outcome.as_ref().unwrap().is_granted());
 //! ```
 
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 
 use dmps_floor::FloorRequest;
 
 use crate::cluster::Decision;
+use crate::queue::{bounded, OverloadPolicy, PushError, QueueReceiver, QueueSender, QueueStats};
 use crate::session::{SessionDecision, SessionEvent};
 use crate::shard::{GlobalGroupId, Shard};
 
+/// A small, copyable ticket identifying a registered gateway's reply
+/// channels. Generation-checked so a recycled slot cannot deliver a dead
+/// gateway's decisions to its successor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct ReplyHandle {
+    index: u32,
+    gen: u32,
+}
+
+#[derive(Debug)]
+struct Channels {
+    decisions: Sender<Vec<Decision>>,
+    sessions: Sender<Vec<SessionDecision>>,
+}
+
+#[derive(Debug)]
+struct Slot {
+    gen: u32,
+    channels: Option<Channels>,
+}
+
+/// The shared table of gateway reply channels: registered once per gateway,
+/// looked up by workers on every reply flush. Replaces the per-request
+/// `Sender::clone` that used to ride inside every command.
+#[derive(Debug, Default)]
+pub(crate) struct ReplyRegistry {
+    slots: RwLock<Vec<Slot>>,
+}
+
+impl ReplyRegistry {
+    /// Registers a gateway's reply channels, recycling a free slot if one
+    /// exists.
+    pub(crate) fn register(
+        &self,
+        decisions: Sender<Vec<Decision>>,
+        sessions: Sender<Vec<SessionDecision>>,
+    ) -> ReplyHandle {
+        let mut slots = self.slots.write().expect("reply registry");
+        let channels = Channels {
+            decisions,
+            sessions,
+        };
+        if let Some(index) = slots.iter().position(|s| s.channels.is_none()) {
+            let slot = &mut slots[index];
+            slot.gen = slot.gen.wrapping_add(1);
+            slot.channels = Some(channels);
+            return ReplyHandle {
+                index: index as u32,
+                gen: slot.gen,
+            };
+        }
+        slots.push(Slot {
+            gen: 0,
+            channels: Some(channels),
+        });
+        ReplyHandle {
+            index: (slots.len() - 1) as u32,
+            gen: 0,
+        }
+    }
+
+    /// Frees a gateway's slot. In-flight decisions addressed to the old
+    /// handle are dropped by the generation check.
+    pub(crate) fn unregister(&self, handle: ReplyHandle) {
+        let mut slots = self.slots.write().expect("reply registry");
+        if let Some(slot) = slots.get_mut(handle.index as usize) {
+            if slot.gen == handle.gen {
+                slot.channels = None;
+            }
+        }
+    }
+
+    /// Delivers a coalesced batch of floor decisions to a gateway. A stale
+    /// or freed handle (the gateway is gone) drops the batch, matching the
+    /// old dropped-receiver semantics.
+    pub(crate) fn send_decisions(&self, handle: ReplyHandle, batch: Vec<Decision>) {
+        let slots = self.slots.read().expect("reply registry");
+        if let Some(slot) = slots.get(handle.index as usize) {
+            if slot.gen == handle.gen {
+                if let Some(channels) = &slot.channels {
+                    let _ = channels.decisions.send(batch);
+                }
+            }
+        }
+    }
+
+    /// Delivers a coalesced batch of session decisions to a gateway.
+    pub(crate) fn send_session_decisions(&self, handle: ReplyHandle, batch: Vec<SessionDecision>) {
+        let slots = self.slots.read().expect("reply registry");
+        if let Some(slot) = slots.get(handle.index as usize) {
+            if slot.gen == handle.gen {
+                if let Some(channels) = &slot.channels {
+                    let _ = channels.sessions.send(batch);
+                }
+            }
+        }
+    }
+}
+
+/// Where a decision streams back to: the registered channel of a submitting
+/// gateway (the hot path — a copyable handle, no allocation), or a one-shot
+/// channel for the synchronous `request`/`session` round-trips.
+#[derive(Debug)]
+pub(crate) enum ReplyTo<T> {
+    /// The submitting gateway's registered stream.
+    Gateway(ReplyHandle),
+    /// A caller-owned one-shot channel (synchronous paths).
+    Direct(Sender<T>),
+}
+
+impl<T> Clone for ReplyTo<T> {
+    fn clone(&self) -> Self {
+        match self {
+            ReplyTo::Gateway(h) => ReplyTo::Gateway(*h),
+            ReplyTo::Direct(tx) => ReplyTo::Direct(tx.clone()),
+        }
+    }
+}
+
 /// One unit of work for a shard worker.
 pub(crate) enum ShardCommand {
-    /// Arbitrate a floor request; the decision goes to `reply`.
+    /// Arbitrate a floor request; the decision goes to `reply` after the
+    /// batch holding it group-commits.
     Request {
         /// Cluster-unique request id (dedup key and decision ordering key).
         seq: u64,
@@ -72,37 +211,46 @@ pub(crate) enum ShardCommand {
         group: GlobalGroupId,
         /// The request, already translated to shard-local ids.
         request: FloorRequest,
-        /// Where the decision streams back to (the submitting gateway).
-        reply: Sender<Decision>,
+        /// Where the decision streams back to.
+        reply: ReplyTo<Decision>,
     },
-    /// Apply a session operation; the decision goes to `reply`.
+    /// Apply a session operation; the decision goes to `reply` after the
+    /// batch holding it group-commits.
     Session {
         /// Cluster-unique request id (dedup key and decision ordering key).
         seq: u64,
         /// The operation, already translated to shard-local ids.
         event: SessionEvent,
-        /// Where the decision streams back to (the submitting gateway).
-        reply: Sender<SessionDecision>,
+        /// Where the decision streams back to.
+        reply: ReplyTo<SessionDecision>,
     },
-    /// Run a closure with exclusive access to the shard.
+    /// Run a closure with exclusive access to the shard (a batch barrier).
     With(Box<dyn FnOnce(&mut Shard) + Send>),
 }
 
-/// Handle to one shard's persistent worker thread.
+/// Handle to one shard's persistent worker thread and its bounded queue.
 #[derive(Debug)]
 pub(crate) struct ShardWorker {
-    sender: Option<Sender<ShardCommand>>,
+    sender: Option<QueueSender<ShardCommand>>,
     thread: Option<JoinHandle<()>>,
 }
 
 impl ShardWorker {
-    /// Spawns the worker thread that owns `shard`.
-    pub(crate) fn spawn(shard: Shard) -> Self {
-        let (sender, receiver) = channel();
+    /// Spawns the worker thread that owns `shard`, draining a bounded queue
+    /// of `queue_capacity` ingest commands in group-committed batches of up
+    /// to `ingest_batch`.
+    pub(crate) fn spawn(
+        shard: Shard,
+        registry: Arc<ReplyRegistry>,
+        queue_capacity: usize,
+        ingest_batch: usize,
+    ) -> Self {
+        let (sender, receiver) = bounded(queue_capacity);
         let name = format!("dmps-shard-{}", shard.id().index());
+        let batch = ingest_batch.max(1);
         let thread = std::thread::Builder::new()
             .name(name)
-            .spawn(move || run(shard, receiver))
+            .spawn(move || run(shard, receiver, registry, batch))
             .expect("spawn shard worker thread");
         ShardWorker {
             sender: Some(sender),
@@ -110,18 +258,70 @@ impl ShardWorker {
         }
     }
 
-    /// Enqueues a command.
+    fn sender(&self) -> &QueueSender<ShardCommand> {
+        self.sender.as_ref().expect("sender taken only in drop")
+    }
+
+    /// Enqueues one ingest command under the overload policy. `Err` hands
+    /// the command back when the queue is full and the policy is
+    /// [`OverloadPolicy::Shed`]; the caller answers it with `Overloaded`.
     ///
     /// # Panics
     ///
     /// Panics when the worker thread is gone, which only happens if shard
     /// code panicked — a bug, not a recoverable condition.
-    pub(crate) fn send(&self, command: ShardCommand) {
-        self.sender
-            .as_ref()
-            .expect("sender taken only in drop")
-            .send(command)
-            .expect("shard worker thread is alive");
+    pub(crate) fn push_ingest(
+        &self,
+        command: ShardCommand,
+        policy: OverloadPolicy,
+    ) -> Result<(), ShardCommand> {
+        match self.sender().push(command, policy) {
+            Ok(()) => Ok(()),
+            Err(PushError::Full(command)) => Err(command),
+            Err(PushError::Disconnected(_)) => {
+                panic!("shard worker thread died (shard code panicked)")
+            }
+        }
+    }
+
+    /// Enqueues a run of ingest commands with one queue reservation,
+    /// returning the commands shed by a full queue (always empty under
+    /// [`OverloadPolicy::Block`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the worker thread is gone (shard code panicked).
+    pub(crate) fn push_ingest_many(
+        &self,
+        commands: Vec<ShardCommand>,
+        policy: OverloadPolicy,
+    ) -> Vec<ShardCommand> {
+        self.sender()
+            .push_many(commands, policy)
+            .into_iter()
+            .map(|rejected| match rejected {
+                PushError::Full(command) => command,
+                PushError::Disconnected(_) => {
+                    panic!("shard worker thread died (shard code panicked)")
+                }
+            })
+            .collect()
+    }
+
+    /// Enqueues a control-plane command, exempt from the ingest bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the worker thread is gone (shard code panicked).
+    pub(crate) fn send_control(&self, command: ShardCommand) {
+        if self.sender().push_control(command).is_err() {
+            panic!("shard worker thread died (shard code panicked)");
+        }
+    }
+
+    /// Occupancy statistics of this shard's ingest queue.
+    pub(crate) fn stats(&self) -> QueueStats {
+        self.sender().stats()
     }
 }
 
@@ -136,36 +336,115 @@ impl Drop for ShardWorker {
     }
 }
 
-fn run(mut shard: Shard, queue: Receiver<ShardCommand>) {
-    while let Ok(command) = queue.recv() {
-        match command {
-            ShardCommand::Request {
-                seq,
-                group,
-                request,
-                reply,
-            } => {
-                let (outcome, replayed) = shard.arbitrate_dedup(seq, group, request);
-                // A gateway that dropped its results receiver simply misses
-                // the decision; the shard state is already consistent.
-                let _ = reply.send(Decision {
-                    seq,
-                    group,
-                    outcome,
-                    replayed,
-                });
-            }
-            ShardCommand::Session { seq, event, reply } => {
-                let group = event.group;
-                let (outcome, replayed) = shard.arbitrate_session_dedup(seq, event);
-                let _ = reply.send(SessionDecision {
-                    seq,
-                    group,
-                    outcome,
-                    replayed,
-                });
-            }
-            ShardCommand::With(f) => f(&mut shard),
+/// Groups replies per gateway handle (forwarding one-shot `Direct` replies
+/// as it goes). A drained batch touches a handful of gateways at most, so a
+/// linear scan beats a map.
+fn coalesce<T>(
+    replies: &mut Vec<(ReplyTo<T>, T)>,
+    direct: impl Fn(Sender<T>, T),
+) -> Vec<(ReplyHandle, Vec<T>)> {
+    let mut by_gateway: Vec<(ReplyHandle, Vec<T>)> = Vec::new();
+    for (reply, decision) in replies.drain(..) {
+        match reply {
+            ReplyTo::Gateway(handle) => match by_gateway.iter_mut().find(|(h, _)| *h == handle) {
+                Some((_, batch)) => batch.push(decision),
+                None => by_gateway.push((handle, vec![decision])),
+            },
+            // A gateway that dropped its one-shot receiver simply misses
+            // the decision; the shard state is already consistent.
+            ReplyTo::Direct(tx) => direct(tx, decision),
         }
+    }
+    by_gateway
+}
+
+/// Releases every buffered reply, coalescing gateway-bound decisions into
+/// one channel send per gateway. Called only after the batch that produced
+/// the replies has group-committed — this is where the decisions-never-
+/// outrun-durability barrier is enforced.
+fn flush_replies(
+    registry: &ReplyRegistry,
+    floor: &mut Vec<(ReplyTo<Decision>, Decision)>,
+    session: &mut Vec<(ReplyTo<SessionDecision>, SessionDecision)>,
+) {
+    if !floor.is_empty() {
+        for (handle, batch) in coalesce(floor, |tx, decision| {
+            let _ = tx.send(decision);
+        }) {
+            registry.send_decisions(handle, batch);
+        }
+    }
+    if !session.is_empty() {
+        for (handle, batch) in coalesce(session, |tx, decision| {
+            let _ = tx.send(decision);
+        }) {
+            registry.send_session_decisions(handle, batch);
+        }
+    }
+}
+
+fn run(
+    mut shard: Shard,
+    queue: QueueReceiver<ShardCommand>,
+    registry: Arc<ReplyRegistry>,
+    batch: usize,
+) {
+    let mut commands: Vec<ShardCommand> = Vec::with_capacity(batch);
+    let mut floor_replies: Vec<(ReplyTo<Decision>, Decision)> = Vec::with_capacity(batch);
+    let mut session_replies: Vec<(ReplyTo<SessionDecision>, SessionDecision)> = Vec::new();
+    while let Some(first) = queue.recv() {
+        commands.push(first);
+        if batch > 1 {
+            queue.drain_into(&mut commands, batch - 1);
+        }
+        shard.begin_batch();
+        for command in commands.drain(..) {
+            match command {
+                ShardCommand::Request {
+                    seq,
+                    group,
+                    request,
+                    reply,
+                } => {
+                    let (outcome, replayed) = shard.arbitrate_dedup(seq, group, request);
+                    floor_replies.push((
+                        reply,
+                        Decision {
+                            seq,
+                            group,
+                            outcome,
+                            replayed,
+                        },
+                    ));
+                }
+                ShardCommand::Session { seq, event, reply } => {
+                    let group = event.group;
+                    let (outcome, replayed) = shard.arbitrate_session_dedup(seq, event);
+                    session_replies.push((
+                        reply,
+                        SessionDecision {
+                            seq,
+                            group,
+                            outcome,
+                            replayed,
+                        },
+                    ));
+                }
+                ShardCommand::With(f) => {
+                    // Control barrier: commit the open batch and release its
+                    // decisions so the closure observes a fully committed
+                    // shard (handoff exports, snapshots and crashes must
+                    // never see half a batch).
+                    shard.commit_batch();
+                    flush_replies(&registry, &mut floor_replies, &mut session_replies);
+                    f(&mut shard);
+                    shard.begin_batch();
+                }
+            }
+        }
+        // The group commit: one amortized log append + one snapshot-cadence
+        // check for the whole batch, then (and only then) the replies.
+        shard.commit_batch();
+        flush_replies(&registry, &mut floor_replies, &mut session_replies);
     }
 }

@@ -31,10 +31,10 @@ const ROUNDS: usize = 40;
 fn build() -> (Cluster, Vec<GlobalGroupId>, Vec<Vec<GlobalMemberId>>) {
     let mut cluster = Cluster::new(ClusterConfig {
         shards: SHARDS,
-        vnodes: 64,
         snapshot_every: 64,
         // Large enough to cover a full storm, so late retries always replay.
         dedup_window: 1 << 16,
+        ..ClusterConfig::with_shards(SHARDS)
     });
     let mut groups = Vec::new();
     let mut rosters = Vec::new();
