@@ -31,11 +31,15 @@ use dmps_floor::{
 use crate::directory::{ClusterInvitation, Directory, GroupPlacement, MemberRecord};
 use crate::error::{ClusterError, Result};
 use crate::gateway::Gateway;
+use crate::instrument::ClusterTelemetry;
 use crate::queue::{OverloadPolicy, QueueStats};
+
 use crate::ring::{HashRing, ShardId};
 use crate::session::{GroupSession, SessionDecision, SessionEvent, SessionOp, SessionOutcome};
 use crate::shard::{GlobalGroupId, GlobalMemberId, Shard, ShardView};
 use crate::worker::{ReplyRegistry, ReplyTo, ShardCommand, ShardWorker};
+use dmps_telemetry::Stage as TraceStage;
+use dmps_telemetry::{MetricsRegistry, TraceSpan};
 
 /// Sizing, durability and backpressure knobs of a cluster.
 #[derive(Debug, Clone, Copy)]
@@ -66,6 +70,13 @@ pub struct ClusterConfig {
     /// counter at a time (minimum 1). Larger leases take the counter off
     /// the submit hot path at the cost of sparser id spaces.
     pub seq_lease: u64,
+    /// End-to-end pipeline tracing rate: one in every `trace_sampling`
+    /// submissions carries a [`crate::telemetry::TraceSpan`]
+    /// stamped at each pipeline stage
+    /// (`submitted → enqueued → drained → committed → replied`) and retained
+    /// in [`Cluster::recent_spans`]. 0 (the default) disables tracing; the
+    /// unsampled hot path then pays a single branch per submission.
+    pub trace_sampling: u64,
 }
 
 impl ClusterConfig {
@@ -81,6 +92,7 @@ impl ClusterConfig {
             overload: OverloadPolicy::Block,
             ingest_batch: 64,
             seq_lease: 64,
+            trace_sampling: 0,
         }
     }
 }
@@ -155,6 +167,18 @@ pub enum GlobalRequestKind {
         /// The member to pass to.
         to: GlobalMemberId,
     },
+}
+
+impl GlobalRequestKind {
+    /// Stable lowercase label used in metric names and trace spans.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GlobalRequestKind::Speak => "speak",
+            GlobalRequestKind::DirectContact { .. } => "direct_contact",
+            GlobalRequestKind::ReleaseFloor => "release_floor",
+            GlobalRequestKind::PassFloor { .. } => "pass_floor",
+        }
+    }
 }
 
 /// The arbitration decision for one submitted request.
@@ -330,19 +354,27 @@ pub(crate) struct Core {
     /// either parks, or is already in the worker queue ahead of the prepare
     /// command and is reflected in the export.
     parked: RwLock<BTreeMap<GlobalGroupId, Vec<ParkedOp>>>,
+    /// Cluster-wide metrics registry, span sampler and span log, shared with
+    /// every gateway and worker (see the `instrument` module for the metric
+    /// namespace).
+    telemetry: ClusterTelemetry,
 }
 
 impl Core {
     pub(crate) fn new(config: ClusterConfig) -> Self {
         let ring = HashRing::new(config.shards, config.vnodes);
         let registry = Arc::new(ReplyRegistry::default());
+        let telemetry = ClusterTelemetry::new(config.trace_sampling);
         let workers = (0..config.shards)
             .map(|i| {
+                let mut shard = Shard::new(ShardId(i), config.snapshot_every, config.dedup_window);
+                shard.set_metrics(telemetry.shard(i));
                 ShardWorker::spawn(
-                    Shard::new(ShardId(i), config.snapshot_every, config.dedup_window),
+                    shard,
                     registry.clone(),
                     config.queue_capacity,
                     config.ingest_batch,
+                    telemetry.worker(i),
                 )
             })
             .collect();
@@ -352,7 +384,14 @@ impl Core {
             registry,
             workers: RwLock::new(workers),
             parked: RwLock::new(BTreeMap::new()),
+            telemetry,
         }
+    }
+
+    /// The shared telemetry state (metrics registry, span sampler, span
+    /// log).
+    pub(crate) fn telemetry(&self) -> &ClusterTelemetry {
+        &self.telemetry
     }
 
     pub(crate) fn directory(&self) -> &Directory {
@@ -378,6 +417,19 @@ impl Core {
             .get(shard.0)
             .unwrap_or_else(|| panic!("shard {shard} out of range"))
             .stats()
+    }
+
+    /// Restarts the peak-occupancy window of one shard's ingest queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range id (shard ids come from this cluster).
+    pub(crate) fn reset_queue_peak(&self, shard: ShardId) {
+        let workers = self.workers.read().expect("workers lock");
+        workers
+            .get(shard.0)
+            .unwrap_or_else(|| panic!("shard {shard} out of range"))
+            .reset_peak();
     }
 
     /// Answers a floor submission on its reply route without involving a
@@ -496,21 +548,35 @@ impl Core {
         request: GlobalRequest,
         reply: ReplyTo<Decision>,
     ) -> Result<()> {
+        // Sampled 1-in-N: almost every submission skips straight past this.
+        let mut span = self.telemetry.begin_span(seq, request.kind.label());
+        if let (Some(span), ReplyTo::Gateway(handle)) = (&mut span, &reply) {
+            span.set_gateway(handle.index());
+        }
         loop {
             {
                 let parked = self.parked.read().expect("parking lot");
                 if !parked.contains_key(&request.group) {
                     let (placement, local) = self.translate(&request)?;
                     let workers = self.workers.read().expect("workers lock");
+                    if let Some(span) = &mut span {
+                        // Under `Block` the push below may wait for queue
+                        // space; that wait shows up in the enqueued→drained
+                        // interval (it is all time spent waiting for the
+                        // shard).
+                        span.stamp(TraceStage::Enqueued);
+                    }
                     let command = ShardCommand::Request {
                         seq,
                         group: request.group,
                         request: local,
                         reply,
+                        span: span.take(),
                     };
                     if let Err(ShardCommand::Request { reply, .. }) =
                         workers[placement.shard.0].push_ingest(command, self.config.overload)
                     {
+                        self.telemetry.sheds.incr();
                         self.answer_floor(
                             &reply,
                             Decision {
@@ -526,6 +592,9 @@ impl Core {
             }
             let mut parked = self.parked.write().expect("parking lot");
             if let Some(waiting) = parked.get_mut(&request.group) {
+                // The span (if any) does not wait out the handoff with the
+                // op; a re-driven submission is traced as unsampled.
+                self.telemetry.parked.incr();
                 waiting.push(ParkedOp::Floor {
                     seq,
                     request,
@@ -596,16 +665,29 @@ impl Core {
         op: SessionOp,
         reply: ReplyTo<SessionDecision>,
     ) -> Result<()> {
+        let mut span = self.telemetry.begin_span(seq, op.kind.label());
+        if let (Some(span), ReplyTo::Gateway(handle)) = (&mut span, &reply) {
+            span.set_gateway(handle.index());
+        }
         loop {
             {
                 let parked = self.parked.read().expect("parking lot");
                 if !parked.contains_key(&op.group) {
                     let (placement, event) = self.translate_session(&op)?;
                     let workers = self.workers.read().expect("workers lock");
-                    let command = ShardCommand::Session { seq, event, reply };
+                    if let Some(span) = &mut span {
+                        span.stamp(TraceStage::Enqueued);
+                    }
+                    let command = ShardCommand::Session {
+                        seq,
+                        event,
+                        reply,
+                        span: span.take(),
+                    };
                     if let Err(ShardCommand::Session { reply, .. }) =
                         workers[placement.shard.0].push_ingest(command, self.config.overload)
                     {
+                        self.telemetry.sheds.incr();
                         self.answer_session(
                             &reply,
                             SessionDecision {
@@ -622,6 +704,7 @@ impl Core {
             let mut parked = self.parked.write().expect("parking lot");
             match parked.get_mut(&op.group) {
                 Some(waiting) => {
+                    self.telemetry.parked.incr();
                     waiting.push(ParkedOp::Session { seq, op, reply });
                     return Ok(());
                 }
@@ -681,6 +764,9 @@ impl Core {
             return Vec::new();
         }
         let seqs: Vec<u64> = (start_seq..start_seq + n).collect();
+        // One sampling-tick reservation covers the whole batch, so the
+        // per-request trace decision below is pure arithmetic.
+        let trace_run = self.telemetry.reserve_span_run(n);
         let mut per_shard: BTreeMap<ShardId, Vec<ShardCommand>> = BTreeMap::new();
         // Requests that must park (their group is frozen) fall back to the
         // single-submission path below, outside the read guard.
@@ -704,6 +790,24 @@ impl Core {
                 };
                 match placement.and_then(|p| Ok((p, self.localize(&request, p)?))) {
                     Ok((placement, local)) => {
+                        // Sampled spans ride inside the batch; "enqueued" is
+                        // stamped at command build, one reservation before
+                        // the actual push.
+                        let span = self
+                            .telemetry
+                            .begin_span_in_run(
+                                trace_run,
+                                seq - start_seq,
+                                seq,
+                                request.kind.label(),
+                            )
+                            .map(|mut span| {
+                                if let ReplyTo::Gateway(handle) = reply {
+                                    span.set_gateway(handle.index());
+                                }
+                                span.stamp(TraceStage::Enqueued);
+                                span
+                            });
                         per_shard
                             .entry(placement.shard)
                             .or_default()
@@ -712,6 +816,7 @@ impl Core {
                                 group: request.group,
                                 request: local,
                                 reply: reply.clone(),
+                                span,
                             });
                     }
                     Err(e) => self.answer_floor(
@@ -736,6 +841,7 @@ impl Core {
                     else {
                         continue;
                     };
+                    self.telemetry.sheds.incr();
                     self.answer_floor(
                         &reply,
                         Decision {
@@ -778,6 +884,7 @@ impl Core {
             return Vec::new();
         }
         let seqs: Vec<u64> = (start_seq..start_seq + n).collect();
+        let trace_run = self.telemetry.reserve_span_run(n);
         let mut per_shard: BTreeMap<ShardId, Vec<ShardCommand>> = BTreeMap::new();
         let mut frozen: Vec<(u64, SessionOp)> = Vec::new();
         {
@@ -789,6 +896,16 @@ impl Core {
                 }
                 match self.translate_session(&op) {
                     Ok((placement, event)) => {
+                        let span = self
+                            .telemetry
+                            .begin_span_in_run(trace_run, seq - start_seq, seq, op.kind.label())
+                            .map(|mut span| {
+                                if let ReplyTo::Gateway(handle) = reply {
+                                    span.set_gateway(handle.index());
+                                }
+                                span.stamp(TraceStage::Enqueued);
+                                span
+                            });
                         per_shard
                             .entry(placement.shard)
                             .or_default()
@@ -796,6 +913,7 @@ impl Core {
                                 seq,
                                 event,
                                 reply: reply.clone(),
+                                span,
                             });
                     }
                     Err(e) => self.answer_session(
@@ -812,9 +930,13 @@ impl Core {
             let workers = self.workers.read().expect("workers lock");
             for (shard, commands) in per_shard {
                 for rejected in workers[shard.0].push_ingest_many(commands, self.config.overload) {
-                    let ShardCommand::Session { seq, event, reply } = rejected else {
+                    let ShardCommand::Session {
+                        seq, event, reply, ..
+                    } = rejected
+                    else {
                         continue;
                     };
+                    self.telemetry.sheds.incr();
                     self.answer_session(
                         &reply,
                         SessionDecision {
@@ -1085,11 +1207,14 @@ impl Core {
         let mut workers = self.workers.write().expect("workers lock");
         let id = self.directory.grow_ring();
         debug_assert_eq!(id.0, workers.len());
+        let mut shard = Shard::new(id, self.config.snapshot_every, self.config.dedup_window);
+        shard.set_metrics(self.telemetry.shard(id.0));
         workers.push(ShardWorker::spawn(
-            Shard::new(id, self.config.snapshot_every, self.config.dedup_window),
+            shard,
             self.registry.clone(),
             self.config.queue_capacity,
             self.config.ingest_batch,
+            self.telemetry.worker(id.0),
         ));
         id
     }
@@ -1220,6 +1345,7 @@ impl Core {
     fn unfreeze_and_redrive(&self, group: GlobalGroupId) {
         let mut parked = self.parked.write().expect("parking lot");
         for op in parked.remove(&group).unwrap_or_default() {
+            self.telemetry.redriven.incr();
             match op {
                 ParkedOp::Floor {
                     seq,
@@ -1228,15 +1354,20 @@ impl Core {
                 } => match self.translate(&request) {
                     Ok((placement, local)) => {
                         let workers = self.workers.read().expect("workers lock");
+                        // Re-driven ops never carry a span: the frozen wait
+                        // would dominate the pipeline-stage intervals the
+                        // latency histograms are meant to measure.
                         let command = ShardCommand::Request {
                             seq,
                             group: request.group,
                             request: local,
                             reply,
+                            span: None,
                         };
                         if let Err(ShardCommand::Request { reply, .. }) =
                             workers[placement.shard.0].push_ingest(command, self.config.overload)
                         {
+                            self.telemetry.sheds.incr();
                             self.answer_floor(
                                 &reply,
                                 Decision {
@@ -1261,10 +1392,16 @@ impl Core {
                 ParkedOp::Session { seq, op, reply } => match self.translate_session(&op) {
                     Ok((placement, event)) => {
                         let workers = self.workers.read().expect("workers lock");
-                        let command = ShardCommand::Session { seq, event, reply };
+                        let command = ShardCommand::Session {
+                            seq,
+                            event,
+                            reply,
+                            span: None,
+                        };
                         if let Err(ShardCommand::Session { reply, .. }) =
                             workers[placement.shard.0].push_ingest(command, self.config.overload)
                         {
+                            self.telemetry.sheds.incr();
                             self.answer_session(
                                 &reply,
                                 SessionDecision {
@@ -1919,6 +2056,47 @@ impl Cluster {
     /// Panics for an out-of-range id (shard ids come from this cluster).
     pub fn queue_stats(&self, shard: ShardId) -> QueueStats {
         self.core.queue_stats(shard)
+    }
+
+    /// Restarts the peak-occupancy window of one shard's ingest queue:
+    /// `peak_queued` drops to the current depth and grows from there.
+    /// Sampling [`Cluster::queue_stats`] and then resetting gives long-lived
+    /// clusters per-window peaks instead of one all-time high-water mark.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range id (shard ids come from this cluster).
+    pub fn reset_queue_peak(&self, shard: ShardId) {
+        self.core.reset_queue_peak(shard);
+    }
+
+    // ----- observability ----------------------------------------------------
+
+    /// The cluster-wide metrics registry: lock-free counters and gauges,
+    /// log-bucketed latency histograms and bounded time-series under stable
+    /// names (`cluster.submit_latency_ns`, `cluster.shard.N.queue_depth`,
+    /// `gateway.G.submit_batch_size`, …). Shared with every gateway and
+    /// worker, so it reflects the live cluster at any moment.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.core.telemetry().registry)
+    }
+
+    /// The registry rendered as an aligned human-readable table (one metric
+    /// per line, sorted by name).
+    pub fn metrics_report(&self) -> String {
+        self.core.telemetry().registry.to_table()
+    }
+
+    /// The registry rendered as a JSON object keyed by metric name.
+    pub fn metrics_json(&self) -> String {
+        self.core.telemetry().registry.to_json()
+    }
+
+    /// The most recent completed pipeline trace spans (oldest first), each
+    /// stamped `submitted → enqueued → drained → committed → replied`.
+    /// Empty unless [`ClusterConfig::trace_sampling`] is non-zero.
+    pub fn recent_spans(&self) -> Vec<TraceSpan> {
+        self.core.telemetry().spans.snapshot()
     }
 
     // ----- request accounting ----------------------------------------------

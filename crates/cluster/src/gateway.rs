@@ -93,6 +93,7 @@ use dmps_floor::{ArbitrationOutcome, FcmMode, InvitationStatus, Member};
 use crate::cluster::{Core, Decision, GlobalRequest};
 use crate::directory::{ClusterInvitation, GroupPlacement};
 use crate::error::{ClusterError, Result};
+use crate::instrument::GatewayMetrics;
 use crate::queue::QueueStats;
 use crate::ring::ShardId;
 use crate::session::{GroupSession, SessionDecision, SessionOp, SessionOutcome};
@@ -165,6 +166,9 @@ pub struct Gateway {
     sessions: Mutex<Stream<SessionDecision>>,
     /// The current request-id lease (empty until the first submission).
     lease: Mutex<SeqLease>,
+    /// This gateway's submit-side instruments (`gateway.N.*`), pre-resolved
+    /// once at registration.
+    metrics: GatewayMetrics,
 }
 
 impl Clone for Gateway {
@@ -188,12 +192,14 @@ impl Gateway {
         let (decisions_tx, decisions_rx) = channel();
         let (sessions_tx, sessions_rx) = channel();
         let handle = core.registry().register(decisions_tx, sessions_tx);
+        let metrics = core.telemetry().gateway(handle.index());
         Gateway {
             core,
             handle,
             decisions: Mutex::new(Stream::new(decisions_rx)),
             sessions: Mutex::new(Stream::new(sessions_rx)),
             lease: Mutex::new(SeqLease { next: 0, end: 0 }),
+            metrics,
         }
     }
 
@@ -258,6 +264,7 @@ impl Gateway {
         if requests.is_empty() {
             return Vec::new();
         }
+        self.metrics.batch_size.record(requests.len() as u64);
         // Ids come through this gateway's lease (not a separate directory
         // block), so interleaved `submit` and `submit_batch` calls stay
         // monotone per gateway.
@@ -275,6 +282,7 @@ impl Gateway {
     ///
     /// Returns unknown-id errors when the request cannot be routed.
     pub fn resubmit(&self, seq: u64, request: GlobalRequest) -> Result<()> {
+        self.metrics.retries.incr();
         self.core
             .submit_as(seq, request, ReplyTo::Gateway(self.handle))
     }
@@ -354,6 +362,7 @@ impl Gateway {
         if ops.is_empty() {
             return Vec::new();
         }
+        self.metrics.batch_size.record(ops.len() as u64);
         let start = self.alloc_seq_run(ops.len() as u64);
         self.core
             .submit_session_batch_as(start, ops, &ReplyTo::Gateway(self.handle))
@@ -368,6 +377,7 @@ impl Gateway {
     ///
     /// Returns unknown-id errors when the operation cannot be routed.
     pub fn resubmit_session(&self, seq: u64, op: SessionOp) -> Result<()> {
+        self.metrics.retries.incr();
         self.core
             .submit_session_as(seq, op, ReplyTo::Gateway(self.handle))
     }

@@ -1,0 +1,218 @@
+//! Telemetry wiring: the cluster-wide metric namespace, per-layer metric
+//! bundles, and span plumbing.
+//!
+//! All instruments live in one shared [`MetricsRegistry`] under a stable
+//! naming scheme:
+//!
+//! * `cluster.*` — routing-layer aggregates (`cluster.submit_latency_ns`,
+//!   `cluster.sheds`, `cluster.parked_ops`, `cluster.redriven_ops`).
+//! * `cluster.shard.N.*` — per-shard pipeline instruments (`queue_depth`
+//!   time-series, `drain_batch` sizes, `commit_latency_ns`,
+//!   `append_latency_ns`, `snapshot_pause_ns`, `with_stall_ns`,
+//!   `dedup_hits`, `session_dedup_hits`).
+//! * `gateway.G.*` — per-gateway instruments (`submit_batch_size`,
+//!   `retries`, and per-op-kind `submit_latency_ns.KIND` histograms fed by
+//!   sampled spans).
+//!
+//! The bundles below pre-resolve every hot-path instrument once at
+//! construction so steady-state recording never touches the registry's name
+//! map; only sampled-span completion (1-in-N) looks names up lazily.
+
+use std::sync::Arc;
+
+use dmps_telemetry::{
+    Counter, Histogram, MetricsRegistry, Sampler, SpanLog, Stage, TimeSeries, TraceSpan,
+};
+
+/// Completed sampled spans retained for [`crate::Cluster::recent_spans`].
+const SPAN_LOG_CAPACITY: usize = 256;
+/// Queue-depth samples retained per shard.
+const QUEUE_DEPTH_SAMPLES: usize = 512;
+/// Every Nth drain contributes a queue-depth sample.
+const QUEUE_DEPTH_CADENCE: u64 = 8;
+
+/// Cluster-wide telemetry: one registry, one bounded span log and one 1-in-N
+/// span sampler shared by the routing layer, every gateway, and every shard
+/// worker.
+#[derive(Debug)]
+pub(crate) struct ClusterTelemetry {
+    /// All named instruments.
+    pub(crate) registry: Arc<MetricsRegistry>,
+    /// Completed sampled spans, newest-retained.
+    pub(crate) spans: Arc<SpanLog>,
+    /// The 1-in-N span sampling decision source.
+    pub(crate) sampler: Sampler,
+    /// Requests answered `Overloaded` by a shedding queue.
+    pub(crate) sheds: Arc<Counter>,
+    /// Operations parked against frozen (mid-handoff) groups.
+    pub(crate) parked: Arc<Counter>,
+    /// Parked operations re-driven after an unfreeze.
+    pub(crate) redriven: Arc<Counter>,
+}
+
+impl ClusterTelemetry {
+    /// Builds the shared telemetry state. `trace_sampling` is the span rate
+    /// (one span per `trace_sampling` submissions, 0 = tracing off).
+    pub(crate) fn new(trace_sampling: u64) -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        let sheds = registry.counter("cluster.sheds");
+        let parked = registry.counter("cluster.parked_ops");
+        let redriven = registry.counter("cluster.redriven_ops");
+        ClusterTelemetry {
+            registry,
+            spans: Arc::new(SpanLog::new(SPAN_LOG_CAPACITY)),
+            sampler: Sampler::new(trace_sampling),
+            sheds,
+            parked,
+            redriven,
+        }
+    }
+
+    /// Starts a span if this submission is sampled. The unsampled path costs
+    /// one branch plus (when tracing is on at all) one relaxed `fetch_add`.
+    pub(crate) fn begin_span(&self, seq: u64, kind: &'static str) -> Option<Box<TraceSpan>> {
+        self.sampler
+            .hit()
+            .then(|| Box::new(TraceSpan::begin(seq, kind)))
+    }
+
+    /// Reserves the sampling decisions for a whole batch with one atomic
+    /// operation; feed the result to [`ClusterTelemetry::begin_span_in_run`]
+    /// per item.
+    pub(crate) fn reserve_span_run(&self, n: u64) -> Option<u64> {
+        self.sampler.reserve(n)
+    }
+
+    /// Batch twin of [`ClusterTelemetry::begin_span`]: decides from a
+    /// pre-reserved run, so the per-item cost is arithmetic only.
+    pub(crate) fn begin_span_in_run(
+        &self,
+        run: Option<u64>,
+        offset: u64,
+        seq: u64,
+        kind: &'static str,
+    ) -> Option<Box<TraceSpan>> {
+        run.filter(|&start| self.sampler.reserved_hit(start, offset))
+            .map(|_| Box::new(TraceSpan::begin(seq, kind)))
+    }
+
+    /// The pipeline instruments shard `index`'s worker thread records into.
+    pub(crate) fn worker(&self, index: usize) -> WorkerTelemetry {
+        WorkerTelemetry {
+            registry: Arc::clone(&self.registry),
+            spans: Arc::clone(&self.spans),
+            submit_latency: self.registry.histogram("cluster.submit_latency_ns"),
+            session_latency: self.registry.histogram("cluster.session_latency_ns"),
+            queue_depth: self.registry.time_series(
+                &format!("cluster.shard.{index}.queue_depth"),
+                QUEUE_DEPTH_SAMPLES,
+                QUEUE_DEPTH_CADENCE,
+            ),
+            drain_batch: self
+                .registry
+                .histogram(&format!("cluster.shard.{index}.drain_batch")),
+            commit_latency: self
+                .registry
+                .histogram(&format!("cluster.shard.{index}.commit_latency_ns")),
+            with_stall: self
+                .registry
+                .histogram(&format!("cluster.shard.{index}.with_stall_ns")),
+        }
+    }
+
+    /// The storage-side instruments installed into shard `index` itself.
+    pub(crate) fn shard(&self, index: usize) -> ShardMetrics {
+        ShardMetrics {
+            append_latency: self
+                .registry
+                .histogram(&format!("cluster.shard.{index}.append_latency_ns")),
+            snapshot_pause: self
+                .registry
+                .histogram(&format!("cluster.shard.{index}.snapshot_pause_ns")),
+            dedup_hits: self
+                .registry
+                .counter(&format!("cluster.shard.{index}.dedup_hits")),
+            session_dedup_hits: self
+                .registry
+                .counter(&format!("cluster.shard.{index}.session_dedup_hits")),
+        }
+    }
+
+    /// The instruments gateway `index` records into on its submit side.
+    pub(crate) fn gateway(&self, index: u32) -> GatewayMetrics {
+        GatewayMetrics {
+            batch_size: self
+                .registry
+                .histogram(&format!("gateway.{index}.submit_batch_size")),
+            retries: self.registry.counter(&format!("gateway.{index}.retries")),
+        }
+    }
+}
+
+/// Pre-resolved instruments for one shard worker's drain loop, plus the
+/// shared registry/span-log ends of the span pipeline.
+#[derive(Debug)]
+pub(crate) struct WorkerTelemetry {
+    registry: Arc<MetricsRegistry>,
+    spans: Arc<SpanLog>,
+    submit_latency: Arc<Histogram>,
+    session_latency: Arc<Histogram>,
+    /// Backlog remaining in the ingest queue, sampled at each drain.
+    pub(crate) queue_depth: Arc<TimeSeries>,
+    /// Commands taken per wakeup (the effective batch size).
+    pub(crate) drain_batch: Arc<Histogram>,
+    /// Group-commit duration per non-empty batch.
+    pub(crate) commit_latency: Arc<Histogram>,
+    /// Duration of each `With` control barrier closure.
+    pub(crate) with_stall: Arc<Histogram>,
+}
+
+impl WorkerTelemetry {
+    /// Completes a sampled span: stamps [`Stage::Replied`], feeds the
+    /// submit→reply latency into the cluster-wide and per-gateway-per-kind
+    /// histograms, and retains the span in the log. Runs 1-in-N, so the lazy
+    /// registry lookup is off the hot path.
+    pub(crate) fn finish_span(&self, mut span: TraceSpan, session: bool) {
+        span.stamp(Stage::Replied);
+        if let Some(total) = span.total_ns() {
+            let aggregate = if session {
+                &self.session_latency
+            } else {
+                &self.submit_latency
+            };
+            aggregate.record(total);
+            if let Some(gateway) = span.gateway() {
+                self.registry
+                    .histogram(&format!(
+                        "gateway.{gateway}.submit_latency_ns.{}",
+                        span.kind()
+                    ))
+                    .record(total);
+            }
+        }
+        self.spans.record(span);
+    }
+}
+
+/// Storage-side instruments owned by a [`crate::Shard`]; absent on shards
+/// built outside a cluster (unit tests, doc examples).
+#[derive(Debug, Clone)]
+pub(crate) struct ShardMetrics {
+    /// `EventLog::append_batch` duration per group commit.
+    pub(crate) append_latency: Arc<Histogram>,
+    /// Full snapshot-capture pause duration.
+    pub(crate) snapshot_pause: Arc<Histogram>,
+    /// Floor requests answered from the dedup window (replays).
+    pub(crate) dedup_hits: Arc<Counter>,
+    /// Session operations answered from the dedup window (replays).
+    pub(crate) session_dedup_hits: Arc<Counter>,
+}
+
+/// Submit-side instruments owned by one [`crate::Gateway`].
+#[derive(Debug)]
+pub(crate) struct GatewayMetrics {
+    /// Sizes handed to `submit_batch`/`submit_session_batch`.
+    pub(crate) batch_size: Arc<Histogram>,
+    /// Decisions re-requested through `resubmit`/`resubmit_session`.
+    pub(crate) retries: Arc<Counter>,
+}

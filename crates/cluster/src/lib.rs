@@ -72,6 +72,17 @@
 //!   sub-groups spawn on whatever shard the ring (or the caller) picks, so a
 //!   popular lecture's breakouts spread over the cluster instead of
 //!   hot-spotting their parent's shard.
+//! * **Observability** ([`telemetry`]) — every layer of the pipeline
+//!   records into one cluster-wide
+//!   [`MetricsRegistry`](telemetry::MetricsRegistry) of lock-free counters,
+//!   log-bucketed latency histograms and bounded time-series
+//!   ([`Cluster::metrics_report`] renders it; see the metric namespace in
+//!   the docs of [`Cluster::metrics`]), and
+//!   [`ClusterConfig::trace_sampling`] turns on 1-in-N end-to-end request
+//!   tracing: a sampled submission carries a
+//!   [`TraceSpan`](telemetry::TraceSpan) stamped
+//!   `submitted → enqueued → drained → committed → replied`, retained in
+//!   [`Cluster::recent_spans`].
 //! * **Failure injection** ([`sim`]) — [`ClusterSim`] deploys the cluster
 //!   over `dmps-simnet` hosts, crashes them mid-traffic on a seeded
 //!   schedule (including between the phases of a scheduled live handoff),
@@ -136,12 +147,22 @@ pub mod cluster;
 pub mod directory;
 pub mod error;
 pub mod gateway;
+mod instrument;
 pub mod queue;
 pub mod ring;
 pub mod session;
 pub mod shard;
 pub mod sim;
 pub mod worker;
+
+/// The cluster's telemetry vocabulary, re-exported from `dmps-telemetry`:
+/// [`Cluster::metrics`] hands back a
+/// [`MetricsRegistry`](telemetry::MetricsRegistry) of
+/// [`Counter`](telemetry::Counter)s / [`Gauge`](telemetry::Gauge)s /
+/// [`Histogram`](telemetry::Histogram)s / bounded
+/// [`TimeSeries`](telemetry::TimeSeries), and [`Cluster::recent_spans`]
+/// returns sampled per-request [`TraceSpan`](telemetry::TraceSpan)s.
+pub use dmps_telemetry as telemetry;
 
 pub use cluster::{
     Cluster, ClusterConfig, Decision, GlobalRequest, GlobalRequestKind, HandoffTicket,

@@ -56,9 +56,13 @@ pub struct QueueStats {
     pub capacity: usize,
     /// Ingest commands queued right now.
     pub queued: usize,
-    /// The highest ingest occupancy ever observed — under a
-    /// [`OverloadPolicy::Shed`] storm this stays ≤ `capacity`, which is the
-    /// memory bound the policy exists to enforce.
+    /// The highest ingest occupancy observed since the queue was created or
+    /// the peak was last reset
+    /// ([`Cluster::reset_queue_peak`](crate::Cluster::reset_queue_peak)) —
+    /// under a [`OverloadPolicy::Shed`] storm this stays ≤ `capacity`, which
+    /// is the memory bound the policy exists to enforce. Resetting gives
+    /// long-lived clusters per-window peaks instead of one all-time
+    /// high-water mark.
     pub peak_queued: usize,
 }
 
@@ -296,6 +300,14 @@ impl<T> QueueSender<T> {
             peak_queued: state.peak,
         }
     }
+
+    /// Restarts the peak-occupancy window: `peak_queued` becomes the current
+    /// occupancy (not zero — entries that are still queued were necessarily
+    /// observed), and grows from there.
+    pub(crate) fn reset_peak(&self) {
+        let mut state = self.0.state.lock().expect("queue state");
+        state.peak = state.bounded;
+    }
 }
 
 impl<T> QueueReceiver<T> {
@@ -322,6 +334,12 @@ impl<T> QueueReceiver<T> {
             state = self.0.not_empty.wait(state).expect("queue state");
             state.receiver_waiting = false;
         }
+    }
+
+    /// Ingest commands queued right now — the worker samples this into its
+    /// queue-depth time-series on every drain.
+    pub(crate) fn depth(&self) -> usize {
+        self.0.state.lock().expect("queue state").bounded
     }
 
     /// Non-blocking: moves up to `max` queued commands into `out`, returning

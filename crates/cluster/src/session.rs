@@ -81,6 +81,16 @@ impl SessionOpKind {
         !matches!(self, SessionOpKind::ScheduleMedia { .. })
     }
 
+    /// Stable lowercase label used in metric names and trace spans.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SessionOpKind::Chat { .. } => "chat",
+            SessionOpKind::Whiteboard { .. } => "whiteboard",
+            SessionOpKind::Annotation { .. } => "annotation",
+            SessionOpKind::ScheduleMedia { .. } => "schedule_media",
+        }
+    }
+
     fn payload_bytes(&self) -> u64 {
         match self {
             SessionOpKind::Chat { text } | SessionOpKind::Annotation { text } => text.len() as u64,

@@ -56,6 +56,11 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
+
+use dmps_telemetry::saturating_nanos;
+
+use crate::instrument::ShardMetrics;
 
 use dmps_floor::arbiter::ArbiterStats;
 use dmps_floor::snapshot::EventOutcome;
@@ -503,6 +508,10 @@ pub struct Shard {
     pending_dedup: Vec<u64>,
     /// Session ids journaled during the open batch (same rollback contract).
     pending_session_dedup: Vec<u64>,
+    /// Storage-side telemetry, installed by the cluster wiring; `None` on
+    /// shards built directly (unit tests, doc examples), which then pay
+    /// nothing.
+    metrics: Option<ShardMetrics>,
 }
 
 impl Shard {
@@ -527,7 +536,15 @@ impl Shard {
             pending: Vec::new(),
             pending_dedup: Vec::new(),
             pending_session_dedup: Vec::new(),
+            metrics: None,
         }
+    }
+
+    /// Installs the storage-side telemetry bundle (append latency, snapshot
+    /// pauses, dedup hit counters). Called once by the cluster wiring before
+    /// the shard moves onto its worker thread.
+    pub(crate) fn set_metrics(&mut self, metrics: ShardMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// The shard id.
@@ -640,7 +657,13 @@ impl Shard {
             return;
         }
         let before = self.log.next_seq();
+        let append = self.metrics.is_some().then(Instant::now);
         let after = self.log.append_batch(self.pending.drain(..));
+        if let (Some(metrics), Some(append)) = (&self.metrics, append) {
+            metrics
+                .append_latency
+                .record(saturating_nanos(append.elapsed()));
+        }
         if self.snapshot_every > 0 && after / self.snapshot_every > before / self.snapshot_every {
             self.take_snapshot();
         }
@@ -738,6 +761,9 @@ impl Shard {
             return (Err(ClusterError::GroupFrozen(group)), false);
         }
         if let Some(outcome) = self.dedup.get(id) {
+            if let Some(metrics) = &self.metrics {
+                metrics.dedup_hits.incr();
+            }
             // Replay by reference: the journaled outcome is shared, not
             // deep-cloned, into the retry's decision.
             return (Ok(outcome.clone()), true);
@@ -779,6 +805,9 @@ impl Shard {
             return (Err(ClusterError::GroupFrozen(event.group)), false);
         }
         if let Some(outcome) = self.session_dedup.get(id) {
+            if let Some(metrics) = &self.metrics {
+                metrics.session_dedup_hits.incr();
+            }
             return (Ok(outcome.clone()), true);
         }
         let group = event.group;
@@ -954,6 +983,9 @@ impl Shard {
     /// Takes a snapshot of the current state now and compacts the log up to
     /// it.
     pub fn take_snapshot(&mut self) -> &ShardSnapshot {
+        // The whole capture happens with the worker thread stalled, so its
+        // duration is the pause ingest observes — that is what gets recorded.
+        let pause = self.metrics.is_some().then(Instant::now);
         // A snapshot must cover every event already applied to the live
         // state: flush any open group-commit batch first so `applied_seq`
         // cannot claim less history than the arbiter actually holds.
@@ -969,6 +1001,11 @@ impl Shard {
         };
         self.log.compact_to(snap.applied_seq());
         self.snapshot = Some(snap);
+        if let (Some(metrics), Some(pause)) = (&self.metrics, pause) {
+            metrics
+                .snapshot_pause
+                .record(saturating_nanos(pause.elapsed()));
+        }
         self.snapshot.as_ref().expect("just stored")
     }
 

@@ -35,6 +35,15 @@
 //! `tests/integration_overload.rs`, where real concurrency fills the
 //! queues.
 //!
+//! Every run also produces a merged, time-ordered cluster [`Trace`]
+//! ([`ClusterSim::trace`]): scheduled failures (crash, failover,
+//! handoff prepare/commit/abort), retransmission passes, and every
+//! decision/ack the gateway records — with journal *replays* (the dedup
+//! window answering a retried id) distinguished from first-time decisions —
+//! land in one event stream, so a crash, the recovery, and the first
+//! replayed decision after it can be read off a single table
+//! ([`Trace::to_table`]).
+//!
 //! Rebalancing runs under traffic too: [`ClusterSim::add_shard`] grows the
 //! cluster mid-simulation, and [`ClusterSim::schedule_handoff`] drives the
 //! two-phase live migration of a group with the prepare and commit as
@@ -66,7 +75,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
 use dmps_floor::ArbitrationOutcome;
-use dmps_simnet::{HostId, Link, Network, SimTime};
+use dmps_simnet::{HostId, Link, Network, SimTime, Trace};
 
 use crate::cluster::{Cluster, ClusterConfig, GlobalRequest, HandoffTicket};
 use crate::error::{ClusterError, Result};
@@ -93,6 +102,10 @@ pub enum ClusterMsg {
         group: GlobalGroupId,
         /// The outcome.
         outcome: ArbitrationOutcome,
+        /// Whether the shard answered from its decision journal (a
+        /// retransmitted id replayed by the dedup window) instead of
+        /// arbitrating anew.
+        replayed: bool,
     },
     /// Gateway → shard: apply this session operation.
     Session {
@@ -109,6 +122,9 @@ pub enum ClusterMsg {
         group: GlobalGroupId,
         /// The outcome.
         outcome: SessionOutcome,
+        /// Whether the shard answered from its session journal instead of
+        /// applying the operation anew.
+        replayed: bool,
     },
 }
 
@@ -181,6 +197,8 @@ pub struct ClusterSim {
     pending_handoffs: BTreeMap<GlobalGroupId, HandoffTicket>,
     handoffs_committed: u64,
     handoffs_aborted: u64,
+    /// Merged, time-ordered event trace of the whole run.
+    trace: Trace,
 }
 
 impl ClusterSim {
@@ -222,6 +240,7 @@ impl ClusterSim {
             pending_handoffs: BTreeMap::new(),
             handoffs_committed: 0,
             handoffs_aborted: 0,
+            trace: Trace::new(),
         }
     }
 
@@ -240,6 +259,14 @@ impl ClusterSim {
     /// Read access to the network (drop records, counters).
     pub fn network(&self) -> &Network<ClusterMsg> {
         &self.net
+    }
+
+    /// The merged cluster trace: failures, recoveries, handoff phases,
+    /// retransmission passes, and every decision/ack (replays marked with
+    /// the `"replay"` / `"session-replay"` categories), in global time
+    /// order. Render it with [`Trace::to_table`].
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// The host currently serving a shard.
@@ -374,6 +401,12 @@ impl ClusterSim {
                 // traffic to/from the host are gone.
                 self.net.crash_host(serving).expect("host exists");
                 self.cluster.crash_shard(shard);
+                self.trace.record(
+                    at,
+                    Some(serving),
+                    "crash",
+                    format!("shard {} serving host down", shard.0),
+                );
             }
             FailureAction::Failover(shard) => {
                 let hosts = self.hosts[shard.0];
@@ -390,8 +423,14 @@ impl ClusterSim {
                 let _ = self.net.set_host_up(hosts.serving, true);
                 self.hosts[shard.0].serving = standby;
                 self.failovers += 1;
+                self.trace.record(
+                    at,
+                    Some(standby),
+                    "recover",
+                    format!("shard {} failed over to standby (snapshot+replay)", shard.0),
+                );
                 if let Some(delay) = self.retransmission {
-                    self.retransmit_unanswered(at + delay, RetransmitScope::Shard(shard));
+                    self.retransmit_unanswered(at, at + delay, RetransmitScope::Shard(shard));
                 }
             }
             FailureAction::HandoffPrepare(group, target) => {
@@ -399,6 +438,12 @@ impl ClusterSim {
                 // already in flight, or the group already home — is simply
                 // skipped; traffic keeps flowing on the source.
                 if let Ok(ticket) = self.cluster.handoff_prepare(group, target) {
+                    self.trace.record(
+                        at,
+                        None,
+                        "handoff-prepare",
+                        format!("group {} frozen for export", group.0),
+                    );
                     self.pending_handoffs.insert(group, ticket);
                 }
             }
@@ -407,10 +452,26 @@ impl ClusterSim {
                     return;
                 };
                 match self.cluster.handoff_commit(ticket) {
-                    Ok(()) => self.handoffs_committed += 1,
+                    Ok(()) => {
+                        self.handoffs_committed += 1;
+                        self.trace.record(
+                            at,
+                            None,
+                            "handoff-commit",
+                            format!("group {} installed on new owner", group.0),
+                        );
+                    }
                     // Destination down at commit time: the commit aborted
                     // internally, the source unfroze and serves again.
-                    Err(_) => self.handoffs_aborted += 1,
+                    Err(_) => {
+                        self.handoffs_aborted += 1;
+                        self.trace.record(
+                            at,
+                            None,
+                            "handoff-abort",
+                            format!("group {} resumed on source", group.0),
+                        );
+                    }
                 }
                 // Requests that hit the frozen window were refused without a
                 // reply; heal them like failover retransmission does. After a
@@ -418,7 +479,7 @@ impl ClusterSim {
                 // the source — exactly-once either way, through the migrated
                 // (or retained) journal slices.
                 if let Some(delay) = self.retransmission {
-                    self.retransmit_unanswered(at + delay, RetransmitScope::Group(group));
+                    self.retransmit_unanswered(at, at + delay, RetransmitScope::Group(group));
                 }
             }
         }
@@ -437,10 +498,12 @@ impl ClusterSim {
     }
 
     /// Re-schedules every unanswered request and session operation in
-    /// `scope` under its original id. The shard's dedup windows turn retries
-    /// of already-applied requests into journal replays, so this cannot
-    /// double-apply a floor event or double-deliver content.
-    fn retransmit_unanswered(&mut self, at: SimTime, scope: RetransmitScope) {
+    /// `scope` under its original id, to be sent at `at` (the pass itself is
+    /// decided — and traced — at `now`). The shard's dedup windows turn
+    /// retries of already-applied requests into journal replays, so this
+    /// cannot double-apply a floor event or double-deliver content.
+    fn retransmit_unanswered(&mut self, now: SimTime, at: SimTime, scope: RetransmitScope) {
+        let before = self.retransmits;
         let retries: Vec<(u64, GlobalRequest)> = self
             .outstanding
             .iter()
@@ -464,6 +527,19 @@ impl ClusterSim {
                 .schedule(self.gateway, at, ClusterMsg::Session { seq, op })
                 .expect("gateway timers are always schedulable");
             self.retransmits += 1;
+        }
+        // Traced at `now` (not the future send time) so the trace stays in
+        // global time order.
+        if self.retransmits > before {
+            self.trace.record(
+                now,
+                None,
+                "retransmit",
+                format!(
+                    "{} unanswered submissions re-scheduled for {at}",
+                    self.retransmits - before
+                ),
+            );
         }
     }
 
@@ -521,6 +597,7 @@ impl ClusterSim {
                     seq,
                     group,
                     outcome,
+                    replayed,
                 } => {
                     if !self.answered.insert(seq) {
                         // A duplicate decision (original answered, then a
@@ -532,6 +609,20 @@ impl ClusterSim {
                     if let Some((sent, shard)) = self.sent_at.get(&seq).copied() {
                         self.latencies[shard.0].push(at.duration_since(sent));
                     }
+                    self.trace.record(
+                        at,
+                        Some(from),
+                        if replayed { "replay" } else { "decision" },
+                        format!(
+                            "seq {seq} group {} {}",
+                            group.0,
+                            if outcome.is_granted() {
+                                "granted"
+                            } else {
+                                "not granted"
+                            }
+                        ),
+                    );
                     self.decisions.push((seq, group, outcome));
                 }
                 // A gateway timer: route the session operation to the shard
@@ -550,12 +641,23 @@ impl ClusterSim {
                     seq,
                     group,
                     outcome,
+                    replayed,
                 } => {
                     if !self.answered.insert(seq) {
                         // Exactly-once accounting drops duplicate acks.
                         return;
                     }
                     self.outstanding_sessions.remove(&seq);
+                    self.trace.record(
+                        at,
+                        Some(from),
+                        if replayed {
+                            "session-replay"
+                        } else {
+                            "session-ack"
+                        },
+                        format!("seq {seq} group {}", group.0),
+                    );
                     self.session_acks.push((seq, group, outcome));
                 }
                 ClusterMsg::Request { .. } | ClusterMsg::Session { .. } => {}
@@ -569,14 +671,14 @@ impl ClusterSim {
                     // replies to the gateway. Shard down, a frozen handoff
                     // window, or an `Overloaded` shed: the request dies
                     // unanswered and retransmission heals it.
-                    let Ok((outcome, _replayed)) = self.cluster.request_with_id(seq, request)
-                    else {
+                    let Ok((outcome, replayed)) = self.cluster.request_with_id(seq, request) else {
                         return;
                     };
                     let reply = ClusterMsg::Decision {
                         seq,
                         group: request.group,
                         outcome,
+                        replayed,
                     };
                     let size = reply.size_bytes();
                     let _ = self.net.send(to, self.gateway, reply, size);
@@ -585,17 +687,20 @@ impl ClusterSim {
                     // Same shape for session operations: floor-gated, durably
                     // logged, idempotent in the request id.
                     let group = op.group;
-                    let outcome = match self.cluster.session_with_id(seq, op) {
-                        Ok((outcome, _replayed)) => outcome,
+                    let (outcome, replayed) = match self.cluster.session_with_id(seq, op) {
+                        Ok((outcome, replayed)) => (outcome, replayed),
                         // A member never instantiated on the owning shard is a
                         // membership rejection — it must be *acked* (otherwise
                         // the op would sit in the retransmission queue
                         // forever), and whether it surfaces here or inside
                         // `apply_session` depends only on ring placement.
                         Err(ClusterError::NotOnShard { .. })
-                        | Err(ClusterError::UnknownMember(_)) => SessionOutcome::Rejected {
-                            reason: SessionRejection::NotAMember,
-                        },
+                        | Err(ClusterError::UnknownMember(_)) => (
+                            SessionOutcome::Rejected {
+                                reason: SessionRejection::NotAMember,
+                            },
+                            false,
+                        ),
                         // Shard down / unroutable: the op dies with the host;
                         // failover retransmission heals it.
                         Err(_) => return,
@@ -604,6 +709,7 @@ impl ClusterSim {
                         seq,
                         group,
                         outcome,
+                        replayed,
                     };
                     let size = reply.size_bytes();
                     let _ = self.net.send(to, self.gateway, reply, size);
@@ -749,6 +855,78 @@ mod tests {
         answered.sort_unstable();
         assert_eq!(answered, seqs, "every request answered exactly once");
         sim.cluster().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn crash_failover_run_yields_time_ordered_trace_with_identifiable_replay() {
+        // Zero jitter and a fat 30 ms pipe make the replay deterministic: the
+        // request sent at 850 ms is applied and durably logged at ~880 ms, its
+        // decision is still in flight when the host dies at 900 ms, and the
+        // post-failover retry is answered from the recovered journal.
+        let link = Link {
+            latency: Duration::from_millis(30),
+            jitter: Duration::ZERO,
+            ..Link::lan()
+        };
+        let mut sim = ClusterSim::new(ClusterConfig::with_shards(2), 5, link);
+        sim.enable_retransmission(Duration::from_millis(40));
+        let g = sim
+            .cluster_mut()
+            .create_group("lecture", FcmMode::EqualControl)
+            .unwrap();
+        let shard = sim.cluster().placement(g).unwrap().shard;
+        let speakers: Vec<_> = (0..3)
+            .map(|i| {
+                let m = sim
+                    .cluster_mut()
+                    .register_member(Member::new(format!("m{i}"), Role::Participant));
+                sim.cluster_mut().join_group(g, m).unwrap();
+                m
+            })
+            .collect();
+        for i in 0..40u64 {
+            sim.submit_at(
+                SimTime::from_millis(50 * i),
+                GlobalRequest::speak(g, speakers[(i % 3) as usize]),
+            )
+            .unwrap();
+        }
+        sim.schedule_crash(SimTime::from_millis(900), shard, Duration::from_millis(300));
+        sim.run_to_idle();
+        assert_eq!(sim.failovers(), 1);
+        assert!(sim.retransmits() > 0);
+
+        let trace = sim.trace();
+        // One merged stream, in global time order.
+        assert!(
+            trace.events().windows(2).all(|w| w[0].at <= w[1].at),
+            "trace must be time-ordered"
+        );
+        // The crash, the recovery, and the retransmission pass are all in it.
+        let crash = trace.of_category("crash").next().expect("crash traced");
+        let recover = trace
+            .of_category("recover")
+            .next()
+            .expect("recovery traced");
+        assert_eq!(crash.at, SimTime::from_millis(900));
+        assert_eq!(recover.at, SimTime::from_millis(1_200));
+        assert_eq!(trace.of_category("retransmit").count(), 1);
+        // Retried ids answered from the recovered journal are marked as
+        // replays — identifiable, and strictly after the recovery. A retried
+        // id the crashed shard never applied arbitrates anew and stays
+        // "decision".
+        let replay = trace
+            .of_category("replay")
+            .next()
+            .expect("the in-flight decision at crash time must replay");
+        assert!(replay.at > recover.at, "replays only after recovery");
+        // Decisions + replays account for every answered request exactly.
+        let answered = trace.of_category("decision").count() + trace.of_category("replay").count();
+        assert_eq!(answered, sim.decisions().len());
+        // And the rendered table carries the story end to end.
+        let table = sim.trace().to_table();
+        assert!(table.contains("crash"));
+        assert!(table.contains("failed over to standby"));
     }
 
     #[test]

@@ -73,10 +73,13 @@
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use dmps_floor::FloorRequest;
+use dmps_telemetry::{saturating_nanos, Stage, TraceSpan};
 
 use crate::cluster::Decision;
+use crate::instrument::WorkerTelemetry;
 use crate::queue::{bounded, OverloadPolicy, PushError, QueueReceiver, QueueSender, QueueStats};
 use crate::session::{SessionDecision, SessionEvent};
 use crate::shard::{GlobalGroupId, Shard};
@@ -88,6 +91,14 @@ use crate::shard::{GlobalGroupId, Shard};
 pub(crate) struct ReplyHandle {
     index: u32,
     gen: u32,
+}
+
+impl ReplyHandle {
+    /// The registry slot index — doubles as the gateway's stable telemetry
+    /// index (`gateway.N.*` metric names and span tags).
+    pub(crate) fn index(&self) -> u32 {
+        self.index
+    }
 }
 
 #[derive(Debug)]
@@ -213,6 +224,9 @@ pub(crate) enum ShardCommand {
         request: FloorRequest,
         /// Where the decision streams back to.
         reply: ReplyTo<Decision>,
+        /// The pipeline trace span, present on the 1-in-N sampled requests.
+        /// Boxed so the unsampled hot path carries one machine word.
+        span: Option<Box<TraceSpan>>,
     },
     /// Apply a session operation; the decision goes to `reply` after the
     /// batch holding it group-commits.
@@ -223,6 +237,8 @@ pub(crate) enum ShardCommand {
         event: SessionEvent,
         /// Where the decision streams back to.
         reply: ReplyTo<SessionDecision>,
+        /// The pipeline trace span, present on sampled operations.
+        span: Option<Box<TraceSpan>>,
     },
     /// Run a closure with exclusive access to the shard (a batch barrier).
     With(Box<dyn FnOnce(&mut Shard) + Send>),
@@ -244,13 +260,14 @@ impl ShardWorker {
         registry: Arc<ReplyRegistry>,
         queue_capacity: usize,
         ingest_batch: usize,
+        telemetry: WorkerTelemetry,
     ) -> Self {
         let (sender, receiver) = bounded(queue_capacity);
         let name = format!("dmps-shard-{}", shard.id().index());
         let batch = ingest_batch.max(1);
         let thread = std::thread::Builder::new()
             .name(name)
-            .spawn(move || run(shard, receiver, registry, batch))
+            .spawn(move || run(shard, receiver, registry, batch, telemetry))
             .expect("spawn shard worker thread");
         ShardWorker {
             sender: Some(sender),
@@ -323,6 +340,12 @@ impl ShardWorker {
     pub(crate) fn stats(&self) -> QueueStats {
         self.sender().stats()
     }
+
+    /// Restarts the queue's peak-occupancy window (see
+    /// [`QueueStats::peak_queued`]).
+    pub(crate) fn reset_peak(&self) {
+        self.sender().reset_peak();
+    }
 }
 
 impl Drop for ShardWorker {
@@ -383,20 +406,59 @@ fn flush_replies(
     }
 }
 
+/// The tail of every batch: group-commit, release the replies, and complete
+/// the batch's sampled spans. Commit latency is recorded only for batches
+/// that actually produced decisions (a `With`-only wakeup commits an empty
+/// batch, which would pollute the histogram with no-op commits).
+fn commit_and_flush(
+    shard: &mut Shard,
+    registry: &ReplyRegistry,
+    floor: &mut Vec<(ReplyTo<Decision>, Decision)>,
+    session: &mut Vec<(ReplyTo<SessionDecision>, SessionDecision)>,
+    spans: &mut Vec<(Box<TraceSpan>, bool)>,
+    telemetry: &WorkerTelemetry,
+) {
+    let had_decisions = !floor.is_empty() || !session.is_empty();
+    let commit = Instant::now();
+    shard.commit_batch();
+    if had_decisions {
+        telemetry
+            .commit_latency
+            .record(saturating_nanos(commit.elapsed()));
+    }
+    for (span, _) in spans.iter_mut() {
+        span.stamp(Stage::Committed);
+    }
+    flush_replies(registry, floor, session);
+    for (span, is_session) in spans.drain(..) {
+        telemetry.finish_span(*span, is_session);
+    }
+}
+
 fn run(
     mut shard: Shard,
     queue: QueueReceiver<ShardCommand>,
     registry: Arc<ReplyRegistry>,
     batch: usize,
+    telemetry: WorkerTelemetry,
 ) {
     let mut commands: Vec<ShardCommand> = Vec::with_capacity(batch);
     let mut floor_replies: Vec<(ReplyTo<Decision>, Decision)> = Vec::with_capacity(batch);
     let mut session_replies: Vec<(ReplyTo<SessionDecision>, SessionDecision)> = Vec::new();
+    // Sampled spans of the open batch, each tagged session-or-floor so
+    // completion feeds the right latency histogram.
+    let mut spans: Vec<(Box<TraceSpan>, bool)> = Vec::new();
+    let shard_index = shard.id().index() as u32;
     while let Some(first) = queue.recv() {
         commands.push(first);
         if batch > 1 {
             queue.drain_into(&mut commands, batch - 1);
         }
+        // Both are per-wakeup, not per-command, so the drain loop stays
+        // amortized: backlog left behind after this drain, and how many
+        // commands one wakeup took.
+        telemetry.queue_depth.observe(queue.depth() as u64);
+        telemetry.drain_batch.record(commands.len() as u64);
         shard.begin_batch();
         for command in commands.drain(..) {
             match command {
@@ -405,7 +467,13 @@ fn run(
                     group,
                     request,
                     reply,
+                    span,
                 } => {
+                    if let Some(mut span) = span {
+                        span.stamp(Stage::Drained);
+                        span.set_shard(shard_index);
+                        spans.push((span, false));
+                    }
                     let (outcome, replayed) = shard.arbitrate_dedup(seq, group, request);
                     floor_replies.push((
                         reply,
@@ -417,7 +485,17 @@ fn run(
                         },
                     ));
                 }
-                ShardCommand::Session { seq, event, reply } => {
+                ShardCommand::Session {
+                    seq,
+                    event,
+                    reply,
+                    span,
+                } => {
+                    if let Some(mut span) = span {
+                        span.stamp(Stage::Drained);
+                        span.set_shard(shard_index);
+                        spans.push((span, true));
+                    }
                     let group = event.group;
                     let (outcome, replayed) = shard.arbitrate_session_dedup(seq, event);
                     session_replies.push((
@@ -435,16 +513,32 @@ fn run(
                     // decisions so the closure observes a fully committed
                     // shard (handoff exports, snapshots and crashes must
                     // never see half a batch).
-                    shard.commit_batch();
-                    flush_replies(&registry, &mut floor_replies, &mut session_replies);
+                    commit_and_flush(
+                        &mut shard,
+                        &registry,
+                        &mut floor_replies,
+                        &mut session_replies,
+                        &mut spans,
+                        &telemetry,
+                    );
+                    let stall = Instant::now();
                     f(&mut shard);
+                    telemetry
+                        .with_stall
+                        .record(saturating_nanos(stall.elapsed()));
                     shard.begin_batch();
                 }
             }
         }
         // The group commit: one amortized log append + one snapshot-cadence
         // check for the whole batch, then (and only then) the replies.
-        shard.commit_batch();
-        flush_replies(&registry, &mut floor_replies, &mut session_replies);
+        commit_and_flush(
+            &mut shard,
+            &registry,
+            &mut floor_replies,
+            &mut session_replies,
+            &mut spans,
+            &telemetry,
+        );
     }
 }

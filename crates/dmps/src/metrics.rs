@@ -1,7 +1,14 @@
 //! Metrics used by the experiment harness.
+//!
+//! Quantiles come from the cluster's shared log-bucketed
+//! [`dmps_telemetry::Histogram`] (one quantile implementation repo-wide),
+//! so percentile values carry its ≤ 1/32 relative bucket error while counts,
+//! sums, means and extrema stay exact (the histogram tracks those in exact
+//! side-registers).
 
 use std::time::Duration;
 
+use dmps_telemetry::Histogram;
 use serde::{Deserialize, Serialize};
 
 /// Summary statistics of cross-client presentation skew (experiment E4).
@@ -21,25 +28,28 @@ pub struct SkewStats {
 impl SkewStats {
     /// Computes skew statistics from per-client signed deviations
     /// (actual − scheduled) expressed in nanoseconds.
+    ///
+    /// The absolute deviations are folded through a [`Histogram`]; `max`
+    /// comes from its exact extremum register and `mean` from its exact
+    /// count/sum registers, rounded to the nearest nanosecond (not
+    /// truncated). `spread` is the largest pairwise difference and is
+    /// computed on the signed samples directly, since a magnitude histogram
+    /// cannot see sign.
     pub fn from_deviations(deviations_nanos: &[i64]) -> Self {
         if deviations_nanos.is_empty() {
             return SkewStats::default();
         }
-        let max = deviations_nanos
-            .iter()
-            .map(|d| d.unsigned_abs())
-            .max()
-            .unwrap_or(0);
-        let mean = deviations_nanos
-            .iter()
-            .map(|d| d.unsigned_abs())
-            .sum::<u64>()
-            / deviations_nanos.len() as u64;
+        let histogram = Histogram::new();
+        for deviation in deviations_nanos {
+            histogram.record(deviation.unsigned_abs());
+        }
+        let count = histogram.count();
+        let mean = (histogram.sum() + count / 2) / count;
         let spread = (deviations_nanos.iter().max().unwrap_or(&0)
             - deviations_nanos.iter().min().unwrap_or(&0))
         .unsigned_abs();
         SkewStats {
-            max: Duration::from_nanos(max),
+            max: Duration::from_nanos(histogram.max()),
             mean: Duration::from_nanos(mean),
             spread: Duration::from_nanos(spread),
             samples: deviations_nanos.len(),
@@ -62,21 +72,26 @@ pub struct GrantLatencyStats {
 
 impl GrantLatencyStats {
     /// Computes latency statistics from individual samples.
+    ///
+    /// Samples are folded through a [`Histogram`]: `mean` (exact sum/count,
+    /// rounded to the nearest nanosecond) and `max` (exact extremum register)
+    /// are exact, while `p95` is the histogram's log-bucketed quantile — at
+    /// most 1/32 above the exact order statistic, never below it.
     pub fn from_samples(samples: &[Duration]) -> Self {
         if samples.is_empty() {
             return GrantLatencyStats::default();
         }
-        let mut sorted: Vec<Duration> = samples.to_vec();
-        sorted.sort();
-        let total: Duration = sorted.iter().sum();
-        let mean = total / sorted.len() as u32;
-        let max = *sorted.last().expect("non-empty");
-        let p95 = sorted[((sorted.len() as f64 * 0.95).ceil() as usize - 1).min(sorted.len() - 1)];
+        let histogram = Histogram::new();
+        for sample in samples {
+            histogram.record(dmps_telemetry::saturating_nanos(*sample));
+        }
+        let count = histogram.count();
+        let mean = (histogram.sum() + count / 2) / count;
         GrantLatencyStats {
-            mean,
-            max,
-            p95,
-            samples: sorted.len(),
+            mean: Duration::from_nanos(mean),
+            max: Duration::from_nanos(histogram.max()),
+            p95: Duration::from_nanos(histogram.quantile(0.95)),
+            samples: samples.len(),
         }
     }
 }
@@ -109,13 +124,31 @@ mod tests {
     }
 
     #[test]
+    fn skew_mean_rounds_instead_of_truncating() {
+        // Sum 3 ns over 2 samples: a truncating mean says 1 ns; rounding to
+        // the nearest nanosecond says 2 ns.
+        let stats = SkewStats::from_deviations(&[1, -2]);
+        assert_eq!(stats.mean, Duration::from_nanos(2));
+        assert_eq!(stats.spread, Duration::from_nanos(3));
+    }
+
+    #[test]
     fn grant_latency_stats() {
         let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
         let stats = GrantLatencyStats::from_samples(&samples);
+        // Extremum and mean come from the histogram's exact side-registers.
         assert_eq!(stats.max, Duration::from_millis(100));
-        assert_eq!(stats.p95, Duration::from_millis(95));
+        assert_eq!(stats.mean, Duration::from_nanos(50_500_000));
         assert_eq!(stats.samples, 100);
-        assert!(stats.mean >= Duration::from_millis(50));
+        // The quantile is log-bucketed: at most 1/32 above the exact order
+        // statistic (95 ms here), never below.
+        let exact = Duration::from_millis(95);
+        assert!(stats.p95 >= exact, "p95 {:?} below exact", stats.p95);
+        assert!(
+            stats.p95 <= exact + exact / 32,
+            "p95 {:?} too high",
+            stats.p95
+        );
         assert_eq!(
             GrantLatencyStats::from_samples(&[]),
             GrantLatencyStats::default()

@@ -1,0 +1,198 @@
+//! Sharded lock-free counters and gauges.
+//!
+//! Writers pick one stripe per thread (assigned round-robin the first time a
+//! thread records anything) and touch only that stripe's cache-line-padded
+//! atomic; readers sum the stripes. Recording is a single relaxed
+//! `fetch_add` with no cross-thread cache-line bouncing as long as threads
+//! land on distinct stripes.
+
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+/// Number of independent stripes. More stripes than the worker + gateway
+/// threads a cluster realistically runs keeps collisions rare; the read-side
+/// cost (summing 16 atomics) stays negligible.
+const STRIPES: usize = 16;
+
+/// Round-robin source of per-thread stripe assignments.
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % STRIPES;
+}
+
+fn stripe() -> usize {
+    STRIPE.with(|s| *s)
+}
+
+#[repr(align(64))]
+#[derive(Default)]
+struct PadU64(AtomicU64);
+
+#[repr(align(64))]
+#[derive(Default)]
+struct PadI64(AtomicI64);
+
+/// A monotonically increasing sharded counter.
+///
+/// ```
+/// use dmps_telemetry::Counter;
+/// let hits = Counter::new();
+/// hits.incr();
+/// hits.add(4);
+/// assert_eq!(hits.get(), 5);
+/// ```
+#[derive(Default)]
+pub struct Counter {
+    stripes: [PadU64; STRIPES],
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.stripes[stripe()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total (sum over all stripes). Concurrent writers may land
+    /// between stripe reads, so the value is a consistent-enough snapshot,
+    /// not a linearization point.
+    pub fn get(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Counter")
+            .field("value", &self.get())
+            .finish()
+    }
+}
+
+/// A sharded gauge: like [`Counter`] but decrementable, tracked as per-stripe
+/// signed deltas summed on read.
+///
+/// ```
+/// use dmps_telemetry::Gauge;
+/// let depth = Gauge::new();
+/// depth.add(10);
+/// depth.sub(3);
+/// assert_eq!(depth.get(), 7);
+/// ```
+#[derive(Default)]
+pub struct Gauge {
+    stripes: [PadI64; STRIPES],
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Adds `n` to the gauge.
+    pub fn add(&self, n: i64) {
+        self.stripes[stripe()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` from the gauge.
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Sets the gauge to `v` by applying the needed delta on the calling
+    /// thread's stripe. Concurrent `set`s race like any two writers; the
+    /// intended use is a single owner publishing a level.
+    pub fn set(&self, v: i64) {
+        self.add(v - self.get());
+    }
+
+    /// The current level (sum of all stripe deltas). May be transiently
+    /// negative while paired add/sub operations from different threads are
+    /// in flight.
+    pub fn get(&self) -> i64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Gauge").field("value", &self.get()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_accumulates_across_threads() {
+        let counter = Arc::new(Counter::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let counter = Arc::clone(&counter);
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        counter.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 80_000);
+    }
+
+    #[test]
+    fn gauge_tracks_level_across_threads() {
+        let gauge = Arc::new(Gauge::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let gauge = Arc::clone(&gauge);
+                scope.spawn(move || {
+                    for _ in 0..1_000 {
+                        gauge.add(3);
+                        gauge.sub(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(gauge.get(), 4 * 1_000 * 2);
+    }
+
+    #[test]
+    fn gauge_set_publishes_a_level() {
+        let gauge = Gauge::new();
+        gauge.set(42);
+        assert_eq!(gauge.get(), 42);
+        gauge.set(7);
+        assert_eq!(gauge.get(), 7);
+        gauge.set(-3);
+        assert_eq!(gauge.get(), -3);
+    }
+
+    #[test]
+    fn debug_prints_the_aggregate() {
+        let counter = Counter::new();
+        counter.add(5);
+        assert!(format!("{counter:?}").contains('5'));
+        let gauge = Gauge::new();
+        gauge.add(-2);
+        assert!(format!("{gauge:?}").contains("-2"));
+    }
+}

@@ -1,0 +1,356 @@
+//! A log-bucketed (HDR-style) histogram with bounded quantile error.
+//!
+//! # Bucket layout and error bound
+//!
+//! The value domain `0..=u64::MAX` is covered by a fixed array of buckets:
+//! values below 32 get one bucket each (exact), and every power-of-two
+//! octave above that is split into 32 equal sub-buckets. A value `v ≥ 64`
+//! therefore lands in a bucket whose width is at most `v / 32`, which bounds
+//! the quantile error:
+//!
+//! > for any quantile `q`, `exact ≤ reported ≤ exact + exact / 32`
+//!
+//! (integer division; values below 64 are exact because their buckets have
+//! width 1). `count`, `sum`, `min` and `max` are tracked exactly beside the
+//! buckets, so `mean` and `max` never pay the bucketing error, and reported
+//! quantiles are clamped to the exact `max`.
+//!
+//! Recording is a handful of relaxed atomic operations — no locks, no
+//! allocation — so histograms can sit on the ingest hot path.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the number of sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave (32).
+const SUBS: usize = 1 << SUB_BITS;
+/// Octaves with their own sub-bucket run: msb ∈ `SUB_BITS..=63`.
+const OCTAVES: usize = 64 - SUB_BITS as usize;
+/// Total buckets: one per value below `SUBS`, then `SUBS` per octave.
+const BUCKETS: usize = SUBS + OCTAVES * SUBS;
+
+/// Bucket index of a value.
+fn bucket_index(v: u64) -> usize {
+    if v < SUBS as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let sub = ((v >> (msb - SUB_BITS)) - SUBS as u64) as usize;
+        ((msb - SUB_BITS) as usize) * SUBS + SUBS + sub
+    }
+}
+
+/// Largest value a bucket holds (inclusive upper bound).
+fn bucket_bound(index: usize) -> u64 {
+    if index < SUBS {
+        index as u64
+    } else {
+        let msb = (index / SUBS) as u32 - 1 + SUB_BITS;
+        let sub = (index % SUBS) as u64;
+        let width = 1u64 << (msb - SUB_BITS);
+        (1u64 << msb) + sub * width + (width - 1)
+    }
+}
+
+/// A mergeable, lock-free latency histogram with a fixed log-bucketed
+/// layout: values below 64 are exact, larger values report with relative
+/// error at most 1/32 (see the bucket-layout notes at the top of this source
+/// file); `count`/`sum`/`min`/`max` are tracked exactly.
+///
+/// ```
+/// use dmps_telemetry::Histogram;
+///
+/// let latency = Histogram::new();
+/// for ns in [120, 450, 450, 9_000] {
+///     latency.record(ns);
+/// }
+/// assert_eq!(latency.count(), 4);
+/// assert_eq!(latency.max(), 9_000); // max is exact
+/// let p50 = latency.quantile(0.50);
+/// assert!((450..=450 + 450 / 32).contains(&p50));
+/// ```
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Exact sum of all observations (wraps only past `u64::MAX` total).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact smallest observation, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        let min = self.min.load(Ordering::Relaxed);
+        if min == u64::MAX && self.is_empty() {
+            0
+        } else {
+            min
+        }
+    }
+
+    /// Exact largest observation, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Exact arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// The quantile `q ∈ [0, 1]` with the documented error bound (`exact ≤
+    /// reported ≤ exact + exact / 32`, clamped to the exact max). Returns 0
+    /// when the histogram is empty.
+    ///
+    /// Reads are unsynchronized with concurrent writers: a quantile taken
+    /// mid-recording reflects some recent prefix of the observations.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return bucket_bound(index).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Median (`quantile(0.50)`).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Folds another histogram into this one. Equivalent (bucket-for-bucket
+    /// and in every exact side-channel) to having recorded the other
+    /// histogram's observations here.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// One-line summary: `count mean p50 p90 p99 p999 max`.
+    pub fn summary(&self) -> String {
+        format!(
+            "count={} mean={:.0} p50={} p90={} p99={} p999={} max={}",
+            self.count(),
+            self.mean(),
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            self.p999(),
+            self.max()
+        )
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("mean", &self.mean())
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_exact_below_64() {
+        for v in 0..64u64 {
+            let index = bucket_index(v);
+            assert_eq!(bucket_bound(index), v, "value {v} has a width-1 bucket");
+        }
+    }
+
+    #[test]
+    fn bucket_bound_brackets_every_probe_value() {
+        let probes = [
+            64u64,
+            65,
+            100,
+            1_000,
+            4_095,
+            4_096,
+            123_456_789,
+            u64::MAX / 3,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let index = bucket_index(v);
+            let upper = bucket_bound(index);
+            assert!(upper >= v, "bound {upper} below value {v}");
+            assert!(
+                upper - v <= v / 32,
+                "bucket width violates the 1/32 bound at {v}: upper {upper}"
+            );
+            if index > 0 {
+                assert!(
+                    bucket_bound(index - 1) < v,
+                    "value {v} fits an earlier bucket"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.p999(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_exact_at_every_quantile() {
+        for v in [0u64, 1, 63, 64, 12_345, u64::MAX] {
+            let h = Histogram::new();
+            h.record(v);
+            for q in [0.0, 0.5, 0.95, 0.999, 1.0] {
+                assert_eq!(h.quantile(q), v, "q={q} of a single sample {v}");
+            }
+            assert_eq!(h.min(), v);
+            assert_eq!(h.max(), v);
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_uniform_ramp_stay_in_bound() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.50, 5_000u64), (0.90, 9_000), (0.99, 9_900)] {
+            let reported = h.quantile(q);
+            assert!(reported >= exact, "q={q}: {reported} < exact {exact}");
+            assert!(
+                reported <= exact + exact / 32,
+                "q={q}: {reported} beyond bound of exact {exact}"
+            );
+        }
+        assert_eq!(h.max(), 10_000, "max is exact");
+        assert_eq!(h.min(), 1, "min is exact");
+        assert!((h.mean() - 5_000.5).abs() < 1e-9, "mean is exact");
+    }
+
+    #[test]
+    fn merge_equals_recording_everything() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in [3u64, 70, 70, 5_000, 123_456] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [1u64, 70, 999_999_999] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum(), all.sum());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        for q in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn summary_and_debug_render() {
+        let h = Histogram::new();
+        h.record(100);
+        let summary = h.summary();
+        assert!(summary.contains("count=1"));
+        assert!(summary.contains("max=100"));
+        assert!(format!("{h:?}").contains("Histogram"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Dependency-free telemetry primitives for the DMPS control plane.
+//!
+//! The cluster's ingest pipeline (gateway → bounded shard queue → worker
+//! drain → group commit → reply) is measured with four primitives, all
+//! designed so the *recording* side is cheap enough to live on the hot path:
+//!
+//! * [`Counter`] / [`Gauge`] — sharded lock-free accumulators: writers touch
+//!   one cache-line-padded atomic stripe chosen per thread, readers sum the
+//!   stripes. No locks, no contention between writer threads.
+//! * [`Histogram`] — a log-bucketed (HDR-style) latency histogram with a
+//!   fixed bucket layout: values below 64 are exact, larger values land in
+//!   one of 32 sub-buckets per power of two, bounding the relative quantile
+//!   error at 1/32 (≈ 3.1%). Histograms are mergeable and track exact
+//!   `count`/`sum`/`min`/`max` beside the buckets, so `mean` and `max` never
+//!   pay the bucketing error.
+//! * [`TimeSeries`] — a bounded ring that retains every Nth observation of a
+//!   gauge-like value (queue depth sampled on every drain, for example),
+//!   giving history where a point-in-time snapshot loses it.
+//! * [`TraceSpan`] / [`SpanLog`] — a per-request stage-timestamp array
+//!   (`submitted → enqueued → drained → committed → replied`) recorded for a
+//!   1-in-N [`Sampler`]-selected subset of requests and retained in a
+//!   bounded log.
+//!
+//! A [`MetricsRegistry`] names every metric with a stable dotted scheme
+//! (`cluster.shard.3.queue_depth`, `gateway.0.submit_latency_ns.speak`, …)
+//! and renders the whole set as a human table or machine-readable JSON. The
+//! JSON is hand-rendered (the vendored `serde` is an API stand-in, not a
+//! serializer), matching the repo's bench-artifact idiom.
+//!
+//! ```
+//! use dmps_telemetry::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new();
+//! registry.counter("cluster.shard.0.dedup_hits").add(3);
+//! registry.histogram("gateway.0.submit_latency_ns").record(1_850);
+//! let table = registry.to_table();
+//! assert!(table.contains("cluster.shard.0.dedup_hits"));
+//! assert!(registry.to_json().contains("\"type\": \"histogram\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counter;
+mod histogram;
+mod registry;
+mod span;
+mod timeseries;
+
+pub use counter::{Counter, Gauge};
+pub use histogram::Histogram;
+pub use registry::{Metric, MetricsRegistry};
+pub use span::{Sampler, SpanLog, Stage, TraceSpan};
+pub use timeseries::TimeSeries;
+
+/// Converts a [`std::time::Duration`] to whole nanoseconds, saturating at
+/// `u64::MAX` (≈ 584 years) instead of silently wrapping.
+pub fn saturating_nanos(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturating_nanos_saturates() {
+        assert_eq!(saturating_nanos(std::time::Duration::from_nanos(7)), 7);
+        assert_eq!(
+            saturating_nanos(std::time::Duration::MAX),
+            u64::MAX,
+            "beyond-u64 durations clamp instead of wrapping"
+        );
+    }
+}

@@ -1,0 +1,326 @@
+//! A named registry of metrics with human-table and JSON rendering.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::{Counter, Gauge, Histogram, TimeSeries};
+
+/// One registered metric (shared handles — recording never goes through the
+/// registry lock).
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A monotonic counter.
+    Counter(Arc<Counter>),
+    /// A leveled gauge.
+    Gauge(Arc<Gauge>),
+    /// A latency histogram.
+    Histogram(Arc<Histogram>),
+    /// A bounded sample ring.
+    TimeSeries(Arc<TimeSeries>),
+}
+
+impl Metric {
+    fn type_label(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+            Metric::TimeSeries(_) => "time_series",
+        }
+    }
+}
+
+/// A registry mapping stable dotted names (`cluster.shard.3.queue_depth`,
+/// `gateway.0.submit_latency_ns.speak`, …) to metrics. Lookup is
+/// get-or-create and hands back a shared handle, so instrumented code
+/// resolves its metrics once and records lock-free thereafter; names sort
+/// lexicographically in every rendering.
+///
+/// ```
+/// use dmps_telemetry::MetricsRegistry;
+///
+/// let registry = MetricsRegistry::new();
+/// let sheds = registry.counter("cluster.sheds");
+/// sheds.incr();
+/// assert_eq!(registry.counter("cluster.sheds").get(), 1, "same handle");
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter registered under `name`, created at zero on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is already registered as a different metric type —
+    /// a naming-scheme bug, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().expect("registry lock");
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())));
+        match metric {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name} is a {}, not a counter", other.type_label()),
+        }
+    }
+
+    /// The gauge registered under `name`, created at zero on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().expect("registry lock");
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())));
+        match metric {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name} is a {}, not a gauge", other.type_label()),
+        }
+    }
+
+    /// The histogram registered under `name`, created empty on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is already registered as a different metric type.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().expect("registry lock");
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())));
+        match metric {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name} is a {}, not a histogram", other.type_label()),
+        }
+    }
+
+    /// The time-series registered under `name`, created with the given
+    /// retention capacity and cadence on first use (an existing series keeps
+    /// its original parameters).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is already registered as a different metric type.
+    pub fn time_series(&self, name: &str, capacity: usize, cadence: u64) -> Arc<TimeSeries> {
+        let mut metrics = self.metrics.lock().expect("registry lock");
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::TimeSeries(Arc::new(TimeSeries::new(capacity, cadence))));
+        match metric {
+            Metric::TimeSeries(t) => t.clone(),
+            other => panic!(
+                "metric {name} is a {}, not a time series",
+                other.type_label()
+            ),
+        }
+    }
+
+    /// The metric registered under `name`, if any (no creation).
+    pub fn get(&self, name: &str) -> Option<Metric> {
+        self.metrics
+            .lock()
+            .expect("registry lock")
+            .get(name)
+            .cloned()
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.metrics
+            .lock()
+            .expect("registry lock")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.lock().expect("registry lock").len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders every metric as a human-readable table, one line per metric,
+    /// names sorted.
+    pub fn to_table(&self) -> String {
+        let metrics = self.metrics.lock().expect("registry lock");
+        let width = metrics.keys().map(String::len).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, metric) in metrics.iter() {
+            let rendered = match metric {
+                Metric::Counter(c) => c.get().to_string(),
+                Metric::Gauge(g) => g.get().to_string(),
+                Metric::Histogram(h) => h.summary(),
+                Metric::TimeSeries(t) => format!(
+                    "samples={} last={} max={}",
+                    t.len(),
+                    t.last().map_or_else(|| "-".into(), |(_, v)| v.to_string()),
+                    t.max_value().map_or_else(|| "-".into(), |v| v.to_string()),
+                ),
+            };
+            out.push_str(&format!("{name:<width$}  {rendered}\n"));
+        }
+        out
+    }
+
+    /// Renders every metric as machine-readable JSON (hand-built — the
+    /// vendored `serde` is an API stand-in, not a serializer). Counters and
+    /// gauges carry `value`; histograms carry exact `count`/`mean`/`max` and
+    /// bucketed `p50/p90/p99/p999`; time-series carry their retained
+    /// `[index, value]` samples.
+    pub fn to_json(&self) -> String {
+        let metrics = self.metrics.lock().expect("registry lock");
+        let mut out = String::from("{\n  \"metrics\": {\n");
+        for (i, (name, metric)) in metrics.iter().enumerate() {
+            let body = match metric {
+                Metric::Counter(c) => {
+                    format!("\"type\": \"counter\", \"value\": {}", c.get())
+                }
+                Metric::Gauge(g) => {
+                    format!("\"type\": \"gauge\", \"value\": {}", g.get())
+                }
+                Metric::Histogram(h) => format!(
+                    "\"type\": \"histogram\", \"count\": {}, \"mean\": {:.1}, \"min\": {}, \
+                     \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}",
+                    h.count(),
+                    h.mean(),
+                    h.min(),
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
+                    h.p999(),
+                    h.max()
+                ),
+                Metric::TimeSeries(t) => {
+                    let samples: Vec<String> = t
+                        .samples()
+                        .iter()
+                        .map(|(tick, v)| format!("[{tick}, {v}]"))
+                        .collect();
+                    format!(
+                        "\"type\": \"time_series\", \"observations\": {}, \"samples\": [{}]",
+                        t.observations(),
+                        samples.join(", ")
+                    )
+                }
+            };
+            out.push_str(&format!(
+                "    \"{}\": {{{body}}}{}\n",
+                escape_json(name),
+                if i + 1 == metrics.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// Escapes a string for use inside a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_handle() {
+        let registry = MetricsRegistry::new();
+        registry.counter("a.count").add(2);
+        registry.counter("a.count").add(3);
+        assert_eq!(registry.counter("a.count").get(), 5);
+        registry.gauge("a.level").set(-4);
+        assert_eq!(registry.gauge("a.level").get(), -4);
+        registry.histogram("a.lat").record(100);
+        assert_eq!(registry.histogram("a.lat").count(), 1);
+        registry.time_series("a.depth", 4, 1).observe(9);
+        assert_eq!(registry.time_series("a.depth", 4, 1).len(), 1);
+        assert_eq!(registry.len(), 4);
+        assert!(!registry.is_empty());
+        assert!(registry.get("a.count").is_some());
+        assert!(registry.get("missing").is_none());
+        assert_eq!(
+            registry.names(),
+            vec!["a.count", "a.depth", "a.lat", "a.level"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn type_mismatch_is_a_naming_bug() {
+        let registry = MetricsRegistry::new();
+        registry.counter("x");
+        registry.gauge("x");
+    }
+
+    #[test]
+    fn table_renders_sorted_with_all_types() {
+        let registry = MetricsRegistry::new();
+        registry.counter("z.count").incr();
+        registry.histogram("a.lat").record(50);
+        registry.gauge("m.level").add(3);
+        registry.time_series("q.depth", 4, 1).observe(2);
+        let table = registry.to_table();
+        let a = table.find("a.lat").expect("histogram line");
+        let m = table.find("m.level").expect("gauge line");
+        let z = table.find("z.count").expect("counter line");
+        assert!(a < m && m < z, "names sort lexicographically");
+        assert!(table.contains("count=1"));
+        assert!(table.contains("samples=1 last=2 max=2"));
+    }
+
+    #[test]
+    fn json_renders_every_type_and_escapes_names() {
+        let registry = MetricsRegistry::new();
+        registry.counter("plain").incr();
+        registry.gauge("g").set(1);
+        registry.histogram("h").record(10);
+        registry.time_series("t", 2, 1).observe(5);
+        registry.counter("weird\"name");
+        let json = registry.to_json();
+        assert!(json.contains("\"type\": \"counter\", \"value\": 1"));
+        assert!(json.contains("\"type\": \"gauge\""));
+        assert!(json.contains("\"p999\": 10"));
+        assert!(json.contains("\"samples\": [[0, 5]]"));
+        assert!(json.contains("weird\\\"name"));
+        // Well-formedness smoke: braces and brackets balance.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let opens = json.matches(open).count();
+            let closes = json.matches(close).count();
+            assert_eq!(opens, closes, "{open}{close} balance");
+        }
+    }
+
+    #[test]
+    fn escape_json_handles_control_chars() {
+        assert_eq!(escape_json("a\\b\"c\nd\te\r"), "a\\\\b\\\"c\\nd\\te\\r");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

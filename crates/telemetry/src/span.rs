@@ -1,0 +1,366 @@
+//! Per-request pipeline trace spans, 1-in-N sampling, and a bounded span
+//! log.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The pipeline stages a request moves through, in order. Stage timestamps
+/// are nanosecond offsets from the span's start ([`Stage::Submitted`] is by
+/// construction offset 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// The gateway accepted the request and allocated its id.
+    Submitted,
+    /// The request entered its shard's bounded ingest queue.
+    Enqueued,
+    /// The shard worker drained it out of the queue into a batch.
+    Drained,
+    /// The batch holding its event group-committed to the shard log.
+    Committed,
+    /// Its decision was released toward the gateway.
+    Replied,
+}
+
+impl Stage {
+    /// Number of stages.
+    pub const COUNT: usize = 5;
+
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Submitted,
+        Stage::Enqueued,
+        Stage::Drained,
+        Stage::Committed,
+        Stage::Replied,
+    ];
+
+    /// Stable lowercase label (used in rendered spans and trace events).
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Submitted => "submitted",
+            Stage::Enqueued => "enqueued",
+            Stage::Drained => "drained",
+            Stage::Committed => "committed",
+            Stage::Replied => "replied",
+        }
+    }
+}
+
+/// Sentinel for "stage not reached".
+const UNSET: u64 = u64::MAX;
+
+/// A lightweight per-request trace: one `Instant` taken at submission and a
+/// fixed array of stage offsets stamped as the request moves through the
+/// pipeline. Only sampled requests carry a span (see [`Sampler`]), so the
+/// unsampled hot path allocates nothing.
+#[derive(Debug, Clone)]
+pub struct TraceSpan {
+    seq: u64,
+    kind: &'static str,
+    gateway: Option<u32>,
+    shard: Option<u32>,
+    start: Instant,
+    stages: [u64; Stage::COUNT],
+}
+
+impl TraceSpan {
+    /// Starts a span for request `seq` of the given operation kind, stamping
+    /// [`Stage::Submitted`] at offset 0.
+    pub fn begin(seq: u64, kind: &'static str) -> Self {
+        let mut stages = [UNSET; Stage::COUNT];
+        stages[Stage::Submitted as usize] = 0;
+        TraceSpan {
+            seq,
+            kind,
+            gateway: None,
+            shard: None,
+            start: Instant::now(),
+            stages,
+        }
+    }
+
+    /// Stamps a stage at "now" (nanoseconds since the span began). Stamping
+    /// a stage twice keeps the first timestamp.
+    pub fn stamp(&mut self, stage: Stage) {
+        let slot = &mut self.stages[stage as usize];
+        if *slot == UNSET {
+            *slot = crate::saturating_nanos(self.start.elapsed()).min(UNSET - 1);
+        }
+    }
+
+    /// Tags the span with the submitting gateway's index.
+    pub fn set_gateway(&mut self, gateway: u32) {
+        self.gateway = Some(gateway);
+    }
+
+    /// Tags the span with the serving shard's index.
+    pub fn set_shard(&mut self, shard: u32) {
+        self.shard = Some(shard);
+    }
+
+    /// The request id the span traces.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The operation kind label (`"speak"`, `"chat"`, …).
+    pub fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    /// The submitting gateway's index, if tagged.
+    pub fn gateway(&self) -> Option<u32> {
+        self.gateway
+    }
+
+    /// The serving shard's index, if tagged.
+    pub fn shard(&self) -> Option<u32> {
+        self.shard
+    }
+
+    /// Nanosecond offset of a stage, if it was reached.
+    pub fn stage_ns(&self, stage: Stage) -> Option<u64> {
+        let ns = self.stages[stage as usize];
+        (ns != UNSET).then_some(ns)
+    }
+
+    /// Submit→reply latency in nanoseconds, if the span completed.
+    pub fn total_ns(&self) -> Option<u64> {
+        self.stage_ns(Stage::Replied)
+    }
+
+    /// Whether every stage was stamped.
+    pub fn is_complete(&self) -> bool {
+        self.stages.iter().all(|&ns| ns != UNSET)
+    }
+
+    /// One-line rendering: request id, kind, gateway/shard tags, then each
+    /// reached stage as `label+OFFSETns`.
+    pub fn to_line(&self) -> String {
+        let mut line = format!("seq={} kind={}", self.seq, self.kind);
+        if let Some(g) = self.gateway {
+            line.push_str(&format!(" gateway={g}"));
+        }
+        if let Some(s) = self.shard {
+            line.push_str(&format!(" shard={s}"));
+        }
+        for stage in Stage::ALL {
+            if let Some(ns) = self.stage_ns(stage) {
+                line.push_str(&format!(" {}+{}ns", stage.label(), ns));
+            }
+        }
+        line
+    }
+}
+
+/// A 1-in-N sampling decision source: [`Sampler::hit`] returns `true` for
+/// one in every `every` calls (relaxed global tick, so the rate holds across
+/// threads). An `every` of 0 disables sampling entirely — and is checked
+/// before the atomic, so a disabled sampler costs one branch.
+#[derive(Debug, Default)]
+pub struct Sampler {
+    every: u64,
+    tick: AtomicU64,
+}
+
+impl Sampler {
+    /// A sampler selecting one in `every` calls (0 = never).
+    pub fn new(every: u64) -> Self {
+        Sampler {
+            every,
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured rate (0 = disabled).
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Whether this call is sampled.
+    pub fn hit(&self) -> bool {
+        if self.every == 0 {
+            return false;
+        }
+        self.tick
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(self.every)
+    }
+
+    /// Reserves `n` consecutive sampling ticks with a single atomic
+    /// operation and returns the run's first tick (`None` when sampling is
+    /// disabled). Batch submitters use this so the per-item sampling
+    /// decision ([`Sampler::reserved_hit`]) costs no shared-cache-line
+    /// traffic.
+    pub fn reserve(&self, n: u64) -> Option<u64> {
+        (self.every != 0).then(|| self.tick.fetch_add(n, Ordering::Relaxed))
+    }
+
+    /// Whether the `offset`th tick of a [`Sampler::reserve`]d run starting
+    /// at `start` is sampled.
+    pub fn reserved_hit(&self, start: u64, offset: u64) -> bool {
+        self.every != 0 && start.wrapping_add(offset).is_multiple_of(self.every)
+    }
+}
+
+/// A bounded log of completed [`TraceSpan`]s: the newest `capacity` sampled
+/// spans are retained, oldest evicted first.
+#[derive(Debug)]
+pub struct SpanLog {
+    capacity: usize,
+    ring: Mutex<VecDeque<TraceSpan>>,
+    recorded: AtomicU64,
+}
+
+impl SpanLog {
+    /// A log retaining up to `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        SpanLog {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1 << 12))),
+            recorded: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a completed span.
+    pub fn record(&self, span: TraceSpan) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        if self.capacity == 0 {
+            return;
+        }
+        let mut ring = self.ring.lock().expect("span log lock");
+        while ring.len() >= self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(span);
+    }
+
+    /// The retained spans, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceSpan> {
+        self.ring
+            .lock()
+            .expect("span log lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("span log lock").len()
+    }
+
+    /// Whether no span is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total spans ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// The retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl fmt::Display for TraceSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_line())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_stamp_in_monotonic_order() {
+        let mut span = TraceSpan::begin(7, "speak");
+        span.set_gateway(1);
+        span.set_shard(3);
+        assert_eq!(span.stage_ns(Stage::Submitted), Some(0));
+        assert_eq!(span.stage_ns(Stage::Enqueued), None);
+        assert!(!span.is_complete());
+        for stage in [
+            Stage::Enqueued,
+            Stage::Drained,
+            Stage::Committed,
+            Stage::Replied,
+        ] {
+            span.stamp(stage);
+        }
+        assert!(span.is_complete());
+        let offsets: Vec<u64> = Stage::ALL
+            .iter()
+            .map(|&s| span.stage_ns(s).expect("stamped"))
+            .collect();
+        let mut sorted = offsets.clone();
+        sorted.sort_unstable();
+        assert_eq!(offsets, sorted, "stage offsets are monotonic");
+        assert_eq!(span.total_ns(), span.stage_ns(Stage::Replied));
+        let line = span.to_line();
+        assert!(line.contains("seq=7"));
+        assert!(line.contains("kind=speak"));
+        assert!(line.contains("gateway=1"));
+        assert!(line.contains("shard=3"));
+        assert!(line.contains("submitted+0ns"));
+        assert!(line.contains("replied+"));
+        assert_eq!(format!("{span}"), line);
+    }
+
+    #[test]
+    fn double_stamp_keeps_the_first_timestamp() {
+        let mut span = TraceSpan::begin(1, "chat");
+        span.stamp(Stage::Enqueued);
+        let first = span.stage_ns(Stage::Enqueued);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        span.stamp(Stage::Enqueued);
+        assert_eq!(span.stage_ns(Stage::Enqueued), first);
+    }
+
+    #[test]
+    fn sampler_selects_one_in_n() {
+        let sampler = Sampler::new(4);
+        let hits = (0..100).filter(|_| sampler.hit()).count();
+        assert_eq!(hits, 25);
+        let off = Sampler::new(0);
+        assert!((0..100).filter(|_| off.hit()).count() == 0);
+        assert_eq!(off.every(), 0);
+        let every = Sampler::new(1);
+        assert_eq!((0..10).filter(|_| every.hit()).count(), 10);
+    }
+
+    #[test]
+    fn reserved_runs_sample_one_in_n_without_per_item_atomics() {
+        let sampler = Sampler::new(4);
+        let mut hits = 0;
+        for _ in 0..10 {
+            let start = sampler.reserve(10).expect("sampling on");
+            hits += (0..10).filter(|&i| sampler.reserved_hit(start, i)).count();
+        }
+        assert_eq!(hits, 25, "1-in-4 over 100 reserved ticks");
+        let off = Sampler::new(0);
+        assert_eq!(off.reserve(10), None);
+        assert!(!off.reserved_hit(0, 0));
+    }
+
+    #[test]
+    fn span_log_is_bounded_and_counts_evictions() {
+        let log = SpanLog::new(2);
+        assert!(log.is_empty());
+        for seq in 0..5u64 {
+            log.record(TraceSpan::begin(seq, "speak"));
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.recorded(), 5);
+        let retained: Vec<u64> = log.snapshot().iter().map(|s| s.seq()).collect();
+        assert_eq!(retained, vec![3, 4], "newest spans survive");
+        assert_eq!(log.capacity(), 2);
+    }
+}

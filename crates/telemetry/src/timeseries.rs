@@ -1,0 +1,151 @@
+//! A bounded ring of periodic gauge samples.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A bounded time-series: every `cadence`-th observation is retained (with
+/// its observation index as a logical timestamp), oldest samples evicted
+/// first. A cadence of 1 keeps every observation; a cadence of 0 disables
+/// sampling entirely (the tick still advances, so a disabled series stays
+/// cheap: one relaxed `fetch_add`, no lock).
+///
+/// The intended use is history for values that today only exist as
+/// point-in-time snapshots — the worker samples its queue depth here on
+/// every drain, so a stall shows up as a ramp instead of being invisible
+/// between two manual `queue_stats` calls.
+///
+/// ```
+/// use dmps_telemetry::TimeSeries;
+///
+/// let depth = TimeSeries::new(4, 2); // keep 4 samples, every 2nd observation
+/// for v in [5, 9, 3, 7, 1, 8] {
+///     depth.observe(v);
+/// }
+/// assert_eq!(depth.samples(), vec![(0, 5), (2, 3), (4, 1)]);
+/// ```
+#[derive(Debug)]
+pub struct TimeSeries {
+    capacity: usize,
+    cadence: u64,
+    tick: AtomicU64,
+    ring: Mutex<VecDeque<(u64, u64)>>,
+}
+
+impl TimeSeries {
+    /// A series retaining up to `capacity` samples, keeping every
+    /// `cadence`-th observation.
+    pub fn new(capacity: usize, cadence: u64) -> Self {
+        TimeSeries {
+            capacity,
+            cadence,
+            tick: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1 << 16))),
+        }
+    }
+
+    /// Offers one observation; it is retained only on the cadence.
+    pub fn observe(&self, value: u64) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        if self.cadence == 0 || !tick.is_multiple_of(self.cadence) {
+            return;
+        }
+        let mut ring = self.ring.lock().expect("time-series lock");
+        if self.capacity == 0 {
+            return;
+        }
+        while ring.len() >= self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back((tick, value));
+    }
+
+    /// The retained `(observation index, value)` samples, oldest first.
+    pub fn samples(&self) -> Vec<(u64, u64)> {
+        self.ring
+            .lock()
+            .expect("time-series lock")
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// The most recent retained sample.
+    pub fn last(&self) -> Option<(u64, u64)> {
+        self.ring.lock().expect("time-series lock").back().copied()
+    }
+
+    /// The largest retained value.
+    pub fn max_value(&self) -> Option<u64> {
+        self.ring
+            .lock()
+            .expect("time-series lock")
+            .iter()
+            .map(|&(_, v)| v)
+            .max()
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("time-series lock").len()
+    }
+
+    /// Whether no sample is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total observations offered so far (retained or not).
+    pub fn observations(&self) -> u64 {
+        self.tick.load(Ordering::Relaxed)
+    }
+
+    /// The retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The sampling cadence (every Nth observation retained; 0 = disabled).
+    pub fn cadence(&self) -> u64 {
+        self.cadence
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cadence_selects_every_nth_observation() {
+        let series = TimeSeries::new(10, 3);
+        for v in 0..9u64 {
+            series.observe(v * 10);
+        }
+        assert_eq!(series.samples(), vec![(0, 0), (3, 30), (6, 60)]);
+        assert_eq!(series.observations(), 9);
+        assert_eq!(series.last(), Some((6, 60)));
+        assert_eq!(series.max_value(), Some(60));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let series = TimeSeries::new(2, 1);
+        for v in [1u64, 2, 3, 4] {
+            series.observe(v);
+        }
+        assert_eq!(series.samples(), vec![(2, 3), (3, 4)]);
+        assert_eq!(series.len(), 2);
+    }
+
+    #[test]
+    fn zero_cadence_disables_retention() {
+        let series = TimeSeries::new(8, 0);
+        for v in 0..100u64 {
+            series.observe(v);
+        }
+        assert!(series.is_empty());
+        assert_eq!(series.observations(), 100, "the tick still advances");
+        assert_eq!(series.last(), None);
+        assert_eq!(series.max_value(), None);
+    }
+}

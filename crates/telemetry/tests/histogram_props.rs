@@ -1,0 +1,108 @@
+//! Property tests for [`dmps_telemetry::Histogram`]: the documented quantile
+//! error bound, merge ≡ record-all, and the empty / one-sample edge cases.
+
+use dmps_telemetry::Histogram;
+use proptest::prelude::*;
+
+/// The exact quantile of a sample set: the value at rank `ceil(q·n)` (1-based,
+/// clamped) of the sorted samples — the reference the bucketed extraction is
+/// judged against.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// A generated sample spanning the full bucket range: small exact values,
+/// mid-range values, and large values near the top octaves.
+fn sample_value() -> impl Strategy<Value = u64> {
+    (0u64..3, 0u64..u64::MAX).prop_map(|(scale, raw)| match scale {
+        0 => raw % 128,        // exact + first bucketed octaves
+        1 => raw % 50_000_000, // realistic latency-nanos range
+        _ => raw,              // anywhere in the u64 domain
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Recorded-vs-extracted quantiles stay within the documented bucket
+    /// error bound: `exact ≤ reported ≤ exact + exact/32`, and exactly equal
+    /// below 64.
+    #[test]
+    fn quantiles_stay_within_the_bucket_error_bound(
+        samples in proptest::collection::vec(sample_value(), 1..400),
+        q in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let reported = h.quantile(q);
+        prop_assert!(reported >= exact, "reported {} < exact {}", reported, exact);
+        prop_assert!(
+            reported <= exact.saturating_add(exact / 32),
+            "reported {} beyond 1/32 bound of exact {}",
+            reported,
+            exact
+        );
+        if exact < 64 {
+            prop_assert_eq!(reported, exact);
+        }
+        // The exact side-channels never pay the bucketing error.
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    /// merge(a, b) is indistinguishable from recording every observation
+    /// into one histogram: same count/sum/min/max and same value at every
+    /// probed quantile.
+    #[test]
+    fn merge_equals_record_all(
+        left in proptest::collection::vec(sample_value(), 0..200),
+        right in proptest::collection::vec(sample_value(), 0..200),
+    ) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for &v in &left {
+            a.record(v);
+            all.record(v);
+        }
+        for &v in &right {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), all.count());
+        prop_assert_eq!(a.sum(), all.sum());
+        prop_assert_eq!(a.min(), all.min());
+        prop_assert_eq!(a.max(), all.max());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(a.quantile(q), all.quantile(q), "q={}", q);
+        }
+    }
+
+    /// Edge cases: an empty histogram reports zeros everywhere; a one-sample
+    /// histogram reports that sample exactly at every quantile.
+    #[test]
+    fn empty_and_single_sample_edges(v in sample_value(), q in 0.0f64..1.0) {
+        let empty = Histogram::new();
+        prop_assert!(empty.is_empty());
+        prop_assert_eq!(empty.quantile(q), 0);
+        prop_assert_eq!(empty.min(), 0);
+        prop_assert_eq!(empty.max(), 0);
+
+        let one = Histogram::new();
+        one.record(v);
+        prop_assert_eq!(one.quantile(q), v, "single sample is exact at q={}", q);
+        prop_assert_eq!(one.min(), v);
+        prop_assert_eq!(one.max(), v);
+        prop_assert_eq!(one.count(), 1);
+        prop_assert_eq!(one.sum(), v);
+    }
+}
