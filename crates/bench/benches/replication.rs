@@ -1,0 +1,370 @@
+//! Bench: the two costs of replicating a shard, with machine-readable
+//! results written to `BENCH_replication.json`.
+//!
+//! * **Read axis** (`reads/leader-only`, `reads/replicas-N`) — the Equal
+//!   Control hot poll: four reader gateways hammer `session_view` and
+//!   `queue_position` across a populated campus. Leader-only reads contend
+//!   on each owning shard's state lock; with followers the same reads
+//!   round-robin across the replica fleet under the read-your-writes bound
+//!   (fresh reader gateways carry no bound, so followers always qualify).
+//!   The acceptance bar is ≥ 1.5× leader-only read throughput at
+//!   3 replicas.
+//! * **Ingest axis** (`ingest/unreplicated`, `ingest/replicas-3`) — the
+//!   batched speak/release waves of `gateway_ingest`, re-run with each
+//!   shard quorum-replicating its group commits over the simulated replica
+//!   links. The pipelined quorum write (one round-trip per batch, worker
+//!   draining while acknowledgements are in flight) must hold quorum
+//!   ingest at ≥ 0.85× the unreplicated baseline.
+//!
+//! Both bars are judged against same-process, same-host comparators; when
+//! host noise lands a pair outside its bar the whole pair is re-measured
+//! evenhandedly (same attempt count per side, best attempt kept) before
+//! the bar is enforced. The replication counters
+//! (`cluster.shard.N.replica.*`) of each replicated case are reported as
+//! extra columns.
+
+use std::time::{Duration, Instant};
+
+use dmps_cluster::{Cluster, ClusterConfig, Gateway, GlobalGroupId, GlobalMemberId, GlobalRequest};
+use dmps_floor::{FcmMode, Member, Role};
+
+const SHARDS: usize = 2;
+const GROUPS: usize = 96;
+const MEMBERS: usize = 4;
+const READERS: usize = 4;
+const INGEST_GATEWAYS: usize = 2;
+/// One read pass: every group's session view plus every member's queue
+/// position.
+const READS_PER_ITER: u64 = (GROUPS * (1 + MEMBERS)) as u64;
+/// One ingest pass: a speak wave plus a release wave through every group.
+const REQUESTS_PER_ITER: u64 = (GROUPS * 2 * MEMBERS) as u64;
+const READ_BAR: f64 = 1.5;
+const INGEST_BAR: f64 = 0.85;
+
+type Lectures = Vec<(GlobalGroupId, Vec<GlobalMemberId>)>;
+
+fn campus(replicas: usize) -> (Cluster, Lectures) {
+    let mut cluster = Cluster::new(ClusterConfig {
+        replicas,
+        // Durability knobs match the gateway_ingest throughput axes so the
+        // unreplicated comparator is the same machine measured there.
+        snapshot_every: 0,
+        dedup_window: 0,
+        ingest_batch: 512,
+        ..ClusterConfig::with_shards(SHARDS)
+    });
+    let mut lectures = Vec::new();
+    for g in 0..GROUPS {
+        let gid = cluster
+            .create_group(format!("lecture-{g}"), FcmMode::EqualControl)
+            .expect("all shards active");
+        let roster: Vec<GlobalMemberId> = (0..MEMBERS)
+            .map(|m| {
+                let role = if m == 0 {
+                    Role::Chair
+                } else {
+                    Role::Participant
+                };
+                let member = cluster.register_member(Member::new(format!("u{g}-{m}"), role));
+                cluster.join_group(gid, member).expect("fresh group");
+                member
+            })
+            .collect();
+        lectures.push((gid, roster));
+    }
+    (cluster, lectures)
+}
+
+/// The speak + release wave for one slice of the campus, in submission
+/// order.
+fn wave(slice: &[(GlobalGroupId, Vec<GlobalMemberId>)]) -> Vec<GlobalRequest> {
+    let mut requests = Vec::with_capacity(slice.len() * MEMBERS * 2);
+    for (gid, roster) in slice {
+        for &member in roster {
+            requests.push(GlobalRequest::speak(*gid, member));
+        }
+    }
+    for (gid, roster) in slice {
+        for &member in roster {
+            requests.push(GlobalRequest::release_floor(*gid, member));
+        }
+    }
+    requests
+}
+
+/// Measures `iter` over several independent windows (~150 ms each, min 3
+/// iterations) after a warm-up and keeps the **fastest** window — host
+/// noise only ever subtracts throughput. Returns (mean seconds/iter of
+/// that window, elements/sec).
+fn measure(elems_per_iter: u64, mut iter: impl FnMut()) -> (f64, f64) {
+    iter(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        let mut iters = 0u32;
+        while iters < 3 || start.elapsed() < Duration::from_millis(150) {
+            iter();
+            iters += 1;
+        }
+        best = best.min(start.elapsed().as_secs_f64() / f64::from(iters));
+    }
+    (best, elems_per_iter as f64 / best)
+}
+
+struct CaseResult {
+    case: String,
+    mean_secs: f64,
+    elems_per_sec: f64,
+    extra: Vec<(&'static str, f64)>,
+}
+
+fn report(result: &CaseResult) {
+    let mean = Duration::from_secs_f64(result.mean_secs);
+    let extras: String = result
+        .extra
+        .iter()
+        .map(|(k, v)| format!("  {k} {v:.0}"))
+        .collect();
+    println!(
+        "bench replication/{:<28} mean {mean:>12?}  {:>12.1} elem/s{extras}",
+        result.case, result.elems_per_sec
+    );
+}
+
+/// Sums a `cluster.shard.N.replica.*` counter across the fleet.
+fn replica_counter(cluster: &Cluster, name: &str) -> f64 {
+    (0..SHARDS)
+        .map(|s| {
+            cluster
+                .metrics()
+                .counter(&format!("cluster.shard.{s}.replica.{name}"))
+                .get() as f64
+        })
+        .sum()
+}
+
+/// The read axis: `READERS` gateways polling session views and queue
+/// positions over a campus whose queues were populated once up front.
+fn read_case(replicas: usize) -> CaseResult {
+    let (cluster, lectures) = campus(replicas);
+    // Populate every group: the chair holds the floor, everyone else
+    // queues — the state the hot poll is about.
+    let writer = cluster.gateway();
+    for (gid, roster) in &lectures {
+        for &member in roster {
+            writer
+                .request(GlobalRequest::speak(*gid, member))
+                .expect("routable");
+        }
+    }
+    // Fresh reader gateways: no writes, so their read-your-writes bound is
+    // zero and any follower qualifies.
+    let readers: Vec<Gateway> = (0..READERS).map(|_| cluster.gateway()).collect();
+    let slices: Vec<&[(GlobalGroupId, Vec<GlobalMemberId>)]> =
+        lectures.chunks(lectures.len().div_ceil(READERS)).collect();
+    let (mean_secs, elems_per_sec) = measure(READS_PER_ITER, || {
+        std::thread::scope(|scope| {
+            for (gateway, slice) in readers.iter().zip(&slices) {
+                scope.spawn(move || {
+                    for (gid, roster) in *slice {
+                        let view = gateway.session_view(*gid).expect("group live");
+                        assert!(view.chat.is_empty());
+                        for &member in roster {
+                            let position =
+                                gateway.queue_position(*gid, member).expect("member known");
+                            assert!(position.is_some(), "everyone holds or queues");
+                        }
+                    }
+                });
+            }
+        })
+    });
+    let (case, extra) = if replicas == 0 {
+        ("reads/leader-only".to_string(), Vec::new())
+    } else {
+        (
+            format!("reads/replicas-{replicas}"),
+            vec![
+                (
+                    "follower_reads",
+                    replica_counter(&cluster, "follower_reads"),
+                ),
+                (
+                    "forwarded_reads",
+                    replica_counter(&cluster, "forwarded_reads"),
+                ),
+            ],
+        )
+    };
+    CaseResult {
+        case,
+        mean_secs,
+        elems_per_sec,
+        extra,
+    }
+}
+
+/// The ingest axis: batched speak/release waves, group-committed and (when
+/// `replicas > 0`) quorum-replicated through the pipelined write path.
+fn ingest_case(replicas: usize) -> CaseResult {
+    let (cluster, lectures) = campus(replicas);
+    let handles: Vec<Gateway> = (0..INGEST_GATEWAYS).map(|_| cluster.gateway()).collect();
+    let slices: Vec<&[(GlobalGroupId, Vec<GlobalMemberId>)]> = lectures
+        .chunks(lectures.len().div_ceil(INGEST_GATEWAYS))
+        .collect();
+    let (mean_secs, elems_per_sec) = measure(REQUESTS_PER_ITER, || {
+        std::thread::scope(|scope| {
+            for (gateway, slice) in handles.iter().zip(&slices) {
+                scope.spawn(move || {
+                    let requests = wave(slice);
+                    let mut sent = 0;
+                    for chunk in requests.chunks(256) {
+                        sent += gateway.submit_batch(chunk).len();
+                    }
+                    gateway.collect_decisions(sent).expect("pipelines alive")
+                });
+            }
+        })
+    });
+    let (case, extra) = if replicas == 0 {
+        ("ingest/unreplicated".to_string(), Vec::new())
+    } else {
+        (
+            format!("ingest/replicas-{replicas}"),
+            vec![
+                ("acks", replica_counter(&cluster, "acks")),
+                ("retransmits", replica_counter(&cluster, "retransmits")),
+                ("resyncs", replica_counter(&cluster, "resyncs")),
+            ],
+        )
+    };
+    CaseResult {
+        case,
+        mean_secs,
+        elems_per_sec,
+        extra,
+    }
+}
+
+/// Re-measures a comparator pair evenhandedly until `accept` holds or the
+/// retries run out, keeping each side's best attempt.
+fn settle_pair(
+    results: &mut [CaseResult],
+    base_index: usize,
+    test_index: usize,
+    rebuild: impl Fn(usize) -> CaseResult,
+    base_replicas: usize,
+    test_replicas: usize,
+    accept: impl Fn(f64, f64) -> bool,
+) {
+    for _ in 0..2 {
+        if accept(
+            results[base_index].elems_per_sec,
+            results[test_index].elems_per_sec,
+        ) {
+            break;
+        }
+        for (index, replicas) in [(base_index, base_replicas), (test_index, test_replicas)] {
+            let retry = rebuild(replicas);
+            report(&retry);
+            if retry.elems_per_sec > results[index].elems_per_sec {
+                results[index] = retry;
+            }
+        }
+    }
+}
+
+fn write_json(results: &[CaseResult], read_speedup: f64, ingest_ratio: f64) {
+    let mut body = String::from("{\n");
+    body.push_str("  \"bench\": \"replication\",\n");
+    body.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    ));
+    body.push_str(&format!("  \"shards\": {SHARDS},\n"));
+    body.push_str(&format!("  \"groups\": {GROUPS},\n"));
+    body.push_str(&format!("  \"members_per_group\": {MEMBERS},\n"));
+    body.push_str(&format!("  \"reader_gateways\": {READERS},\n"));
+    body.push_str(&format!("  \"reads_per_iteration\": {READS_PER_ITER},\n"));
+    body.push_str(&format!(
+        "  \"requests_per_iteration\": {REQUESTS_PER_ITER},\n"
+    ));
+    body.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let extras: String = r
+            .extra
+            .iter()
+            .map(|(k, v)| format!(", \"{k}\": {v:.0}"))
+            .collect();
+        body.push_str(&format!(
+            "    {{\"case\": \"{}\", \"mean_iter_secs\": {:.6}, \"elems_per_sec\": {:.0}{extras}}}{}\n",
+            r.case,
+            r.mean_secs,
+            r.elems_per_sec,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ],\n");
+    body.push_str("  \"acceptance\": {\n");
+    body.push_str(&format!(
+        "    \"read_speedup_3_replicas_vs_leader_only\": {read_speedup:.2},\n"
+    ));
+    body.push_str(&format!("    \"read_speedup_bar\": {READ_BAR},\n"));
+    body.push_str(&format!(
+        "    \"quorum_ingest_over_unreplicated\": {ingest_ratio:.3},\n"
+    ));
+    body.push_str(&format!("    \"quorum_ingest_bar\": {INGEST_BAR}\n"));
+    body.push_str("  }\n}\n");
+    // The bench runs with CWD = crates/bench; the committed artifact lives
+    // at the repository root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replication.json");
+    std::fs::write(path, &body).expect("write BENCH_replication.json");
+    println!("\nwrote {path}");
+    print!("{body}");
+}
+
+fn main() {
+    let mut results = Vec::new();
+    for replicas in [0usize, 1, 2, 3] {
+        results.push(read_case(replicas));
+        report(results.last().unwrap());
+    }
+    let leader_index = 0;
+    let fleet_index = 3;
+    settle_pair(
+        &mut results,
+        leader_index,
+        fleet_index,
+        read_case,
+        0,
+        3,
+        |base, test| test >= READ_BAR * base,
+    );
+
+    let base = results.len();
+    results.push(ingest_case(0));
+    report(results.last().unwrap());
+    results.push(ingest_case(3));
+    report(results.last().unwrap());
+    settle_pair(
+        &mut results,
+        base,
+        base + 1,
+        ingest_case,
+        0,
+        3,
+        |b, test| test >= INGEST_BAR * b,
+    );
+
+    let read_speedup = results[fleet_index].elems_per_sec / results[leader_index].elems_per_sec;
+    let ingest_ratio = results[base + 1].elems_per_sec / results[base].elems_per_sec;
+    assert!(
+        read_speedup >= READ_BAR,
+        "3-replica follower reads must reach {READ_BAR}x leader-only (got {read_speedup:.2}x)"
+    );
+    assert!(
+        ingest_ratio >= INGEST_BAR,
+        "quorum ingest must hold {INGEST_BAR}x of unreplicated (got {ingest_ratio:.3}x)"
+    );
+    write_json(&results, read_speedup, ingest_ratio);
+}

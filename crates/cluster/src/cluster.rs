@@ -77,6 +77,23 @@ pub struct ClusterConfig {
     /// in [`Cluster::recent_spans`]. 0 (the default) disables tracing; the
     /// unsampled hot path then pays a single branch per submission.
     pub trace_sampling: u64,
+    /// Followers per shard. 0 (the default) runs unreplicated — the local
+    /// group commit is the durability point, exactly the pre-replication
+    /// behavior. With `N > 0` followers each batch needs a write quorum of
+    /// `(N + 1) / 2 + 1` copies (counting the leader) before its decisions
+    /// release, failover promotes the most caught-up follower instead of
+    /// replaying the full log, and `session_view`-style reads are served
+    /// from followers under a read-your-writes bound.
+    pub replicas: usize,
+    /// The simulated link between a shard leader and each of its followers
+    /// (defaults to [`dmps_simnet::Link::replica`], an intra-datacenter
+    /// profile). Loss on this link is healed by leader retransmission.
+    pub replica_link: dmps_simnet::Link,
+    /// Maximum group-committed batches a worker keeps in flight awaiting
+    /// quorum acks before it stalls on the oldest (minimum 1). This is the
+    /// quorum pipeline's depth: higher tolerates more ack latency before
+    /// ingest stalls, at the cost of decision-release latency under loss.
+    pub replica_pipeline: usize,
 }
 
 impl ClusterConfig {
@@ -93,7 +110,17 @@ impl ClusterConfig {
             ingest_batch: 64,
             seq_lease: 64,
             trace_sampling: 0,
+            replicas: 0,
+            replica_link: dmps_simnet::Link::replica(),
+            replica_pipeline: 4,
         }
+    }
+
+    /// Builder-style replica-count override (keeps the default link and
+    /// pipeline depth).
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
     }
 }
 
@@ -196,6 +223,14 @@ pub struct Decision {
     /// Whether the decision was answered from the shard's dedup window (a
     /// retry of an already-applied request) rather than freshly arbitrated.
     pub replayed: bool,
+    /// The shard that answered, or `None` when routing failed before a shard
+    /// was resolved (unknown group / member).
+    pub shard: Option<ShardId>,
+    /// The shard log position this decision was (quorum-)committed at — the
+    /// client's read-your-writes bound: a follower may serve its reads of
+    /// this shard once its applied position reaches this. `0` means the
+    /// decision carries no durability information (a routing error or shed).
+    pub commit: u64,
 }
 
 /// What a rebalancing pass ([`Cluster::rebalance_idle`] /
@@ -329,6 +364,22 @@ enum ParkedOp {
     },
 }
 
+/// Position of `member` in `group`'s floor-token line on an arbiter:
+/// `Some(0)` = holds the floor, `Some(n)` = waits at position `n` (1 = next),
+/// `None` = neither holding nor queued. Shared by the leader and follower
+/// read paths so both answer identically.
+fn queue_position_in(
+    arbiter: &FloorArbiter,
+    group: GroupId,
+    member: MemberId,
+) -> Result<Option<usize>> {
+    let token = arbiter.token(group)?;
+    if token.holder() == Some(member) {
+        return Ok(Some(0));
+    }
+    Ok(token.queue().position(|m| m == member).map(|i| i + 1))
+}
+
 /// The concurrent heart of the control plane: the shared [`Directory`] and
 /// the per-shard worker queues. Shared via `Arc` by every [`Gateway`] and the
 /// [`Cluster`] façade.
@@ -375,6 +426,10 @@ impl Core {
                     config.queue_capacity,
                     config.ingest_batch,
                     telemetry.worker(i),
+                    config.replicas,
+                    config.replica_link,
+                    config.replica_pipeline,
+                    telemetry.replica(i),
                 )
             })
             .collect();
@@ -479,8 +534,28 @@ impl Core {
                 .unwrap_or_else(|| panic!("shard {shard} out of range"));
             // Control commands are exempt from the ingest bound: a saturated
             // queue must never starve (or deadlock) the control plane.
-            worker.send_control(ShardCommand::With(Box::new(move |s| {
+            worker.send_control(ShardCommand::With(Box::new(move |s, _| {
                 let _ = tx.send(f(s));
+            })));
+        }
+        rx.recv().expect("shard worker answers")
+    }
+
+    /// Like [`Core::with_shard`], but the closure also gets the shard's
+    /// replica set — the promotion path needs both halves.
+    pub(crate) fn with_shard_replicas<R: Send + 'static>(
+        &self,
+        shard: ShardId,
+        f: impl FnOnce(&mut Shard, &mut crate::replication::ReplicaSet) -> R + Send + 'static,
+    ) -> R {
+        let (tx, rx) = channel();
+        {
+            let workers = self.workers.read().expect("workers lock");
+            let worker = workers
+                .get(shard.0)
+                .unwrap_or_else(|| panic!("shard {shard} out of range"));
+            worker.send_control(ShardCommand::With(Box::new(move |s, r| {
+                let _ = tx.send(f(s, r));
             })));
         }
         rx.recv().expect("shard worker answers")
@@ -584,6 +659,8 @@ impl Core {
                                 group: request.group,
                                 outcome: Err(ClusterError::Overloaded(placement.shard)),
                                 replayed: false,
+                                shard: Some(placement.shard),
+                                commit: 0,
                             },
                         );
                     }
@@ -616,23 +693,16 @@ impl Core {
     /// races the freeze itself may instead park and block until the handoff
     /// resolves, which is safe (the coordinator is necessarily another
     /// thread in that interleaving).
-    pub(crate) fn request_as(
-        &self,
-        seq: u64,
-        request: GlobalRequest,
-    ) -> Result<(ArbitrationOutcome, bool)> {
+    /// Synchronous arbitration returning the whole released [`Decision`], so
+    /// callers that track read-your-writes bounds (the gateways) can observe
+    /// its [`Decision::commit`] position even when the outcome is an error.
+    pub(crate) fn request_raw(&self, seq: u64, request: GlobalRequest) -> Result<Decision> {
         if self.is_routing_frozen(request.group) {
             return Err(ClusterError::GroupFrozen(request.group));
         }
         let (tx, rx) = channel();
         self.submit_as(seq, request, ReplyTo::Direct(tx))?;
-        let decision = rx.recv().map_err(|_| ClusterError::Disconnected)?;
-        decision.outcome.map(|o| ((*o).clone(), decision.replayed))
-    }
-
-    pub(crate) fn request(&self, request: GlobalRequest) -> Result<ArbitrationOutcome> {
-        self.request_as(self.directory.alloc_seq(), request)
-            .map(|(outcome, _)| outcome)
+        rx.recv().map_err(|_| ClusterError::Disconnected)
     }
 
     // ----- session operations ----------------------------------------------
@@ -695,6 +765,8 @@ impl Core {
                                 group: op.group,
                                 outcome: Err(ClusterError::Overloaded(placement.shard)),
                                 replayed: false,
+                                shard: Some(placement.shard),
+                                commit: 0,
                             },
                         );
                     }
@@ -715,28 +787,104 @@ impl Core {
     }
 
     /// Synchronously applies a session operation under the given request id,
-    /// returning the outcome and whether it was replayed from the session
-    /// dedup window. Frozen groups fail fast with
-    /// [`ClusterError::GroupFrozen`], mirroring [`Core::request_as`].
-    pub(crate) fn session_as(&self, seq: u64, op: SessionOp) -> Result<(SessionOutcome, bool)> {
+    /// returning the whole released [`SessionDecision`] — the session twin
+    /// of [`Core::request_raw`]. Frozen groups fail fast with
+    /// [`ClusterError::GroupFrozen`].
+    pub(crate) fn session_raw(&self, seq: u64, op: SessionOp) -> Result<SessionDecision> {
         if self.is_routing_frozen(op.group) {
             return Err(ClusterError::GroupFrozen(op.group));
         }
         let (tx, rx) = channel();
         self.submit_session_as(seq, op, ReplyTo::Direct(tx))?;
-        let decision = rx.recv().map_err(|_| ClusterError::Disconnected)?;
-        decision.outcome.map(|o| ((*o).clone(), decision.replayed))
+        rx.recv().map_err(|_| ClusterError::Disconnected)
     }
 
-    pub(crate) fn session(&self, op: SessionOp) -> Result<SessionOutcome> {
-        self.session_as(self.directory.alloc_seq(), op)
-            .map(|(outcome, _)| outcome)
+    // ----- follower-served reads ---------------------------------------------
+
+    /// Attempts to serve a read of `shard` from one of its followers under a
+    /// read-your-writes `bound`: a round-robin-picked follower serves iff its
+    /// applied log position has reached the bound; otherwise (or with no
+    /// followers at all) the caller falls back to the leader. The
+    /// follower/forwarded split is recorded in the shard's
+    /// `replica.follower_reads` / `replica.forwarded_reads` counters.
+    fn try_follower_read<R>(
+        &self,
+        shard: ShardId,
+        bound: u64,
+        f: impl FnOnce(&crate::replication::FollowerCore) -> R,
+    ) -> Option<R> {
+        let workers = self.workers.read().expect("workers lock");
+        let worker = workers.get(shard.0)?;
+        let followers = worker.followers();
+        if followers.is_empty() {
+            return None;
+        }
+        let pick = (self.directory.read_ticket() % followers.len() as u64) as usize;
+        let mut core = followers[pick].lock().expect("follower core");
+        // Followers ack durability and apply lazily: drain the pending tail
+        // so the state served (and the bound check) reflect everything this
+        // follower durably holds.
+        core.catch_up_for_read();
+        if core.applied() >= bound {
+            worker.replica_metrics().follower_reads.incr();
+            Some(f(&core))
+        } else {
+            worker.replica_metrics().forwarded_reads.incr();
+            None
+        }
     }
 
-    /// The recorded session state of a group, read from its owning shard.
-    pub(crate) fn session_view(&self, group: GlobalGroupId) -> Result<GroupSession> {
+    /// The recorded session state of a group under a read-your-writes bound:
+    /// served from a follower when one has applied up to `bound`, else from
+    /// the leader.
+    pub(crate) fn session_view_bounded(
+        &self,
+        group: GlobalGroupId,
+        bound: u64,
+    ) -> Result<GroupSession> {
         let placement = self.directory.placement(group)?;
+        if let Some(view) =
+            self.try_follower_read(placement.shard, bound, |c| c.session_view(group))
+        {
+            return Ok(view);
+        }
         Ok(self.with_shard(placement.shard, move |s| s.session().view(group)))
+    }
+
+    /// A shard health view under a read-your-writes bound. A follower-served
+    /// view reports the *follower's* live state (see
+    /// `FollowerCore::view` for which leader-only storage fields read as
+    /// zero); the leader fallback is the exact [`Core::shard_view`].
+    pub(crate) fn shard_view_bounded(&self, shard: ShardId, bound: u64) -> ShardView {
+        if let Some(view) = self.try_follower_read(shard, bound, |c| c.view(shard)) {
+            return view;
+        }
+        self.shard_view(shard)
+    }
+
+    /// A member's floor-token queue position in a group, under a
+    /// read-your-writes bound: `Some(0)` when the member holds the floor,
+    /// `Some(n)` when they wait at position `n` (1 = next), `None` when they
+    /// are neither. The hot poll of an Equal Control session — every waiting
+    /// student asking "how far am I?" — which is exactly the read that must
+    /// scale with followers instead of contending on the owning worker.
+    pub(crate) fn queue_position_bounded(
+        &self,
+        group: GlobalGroupId,
+        member: GlobalMemberId,
+        bound: u64,
+    ) -> Result<Option<usize>> {
+        let placement = self.directory.placement(group)?;
+        let local_group = placement.local;
+        let local_member = self.directory.local_member(member, placement.shard)?;
+        if let Some(result) = self.try_follower_read(placement.shard, bound, |c| {
+            queue_position_in(c.arbiter(), local_group, local_member)
+        }) {
+            return result;
+        }
+        self.with_shard(placement.shard, move |s| {
+            queue_position_in(s.arbiter(), local_group, local_member)
+        })
     }
 
     // ----- vectored (batched) submission -------------------------------------
@@ -826,6 +974,8 @@ impl Core {
                             group: request.group,
                             outcome: Err(e),
                             replayed: false,
+                            shard: None,
+                            commit: 0,
                         },
                     ),
                 }
@@ -849,6 +999,8 @@ impl Core {
                             group,
                             outcome: Err(ClusterError::Overloaded(shard)),
                             replayed: false,
+                            shard: Some(shard),
+                            commit: 0,
                         },
                     );
                 }
@@ -863,6 +1015,8 @@ impl Core {
                         group: request.group,
                         outcome: Err(e),
                         replayed: false,
+                        shard: None,
+                        commit: 0,
                     },
                 );
             }
@@ -923,6 +1077,8 @@ impl Core {
                             group: op.group,
                             outcome: Err(e),
                             replayed: false,
+                            shard: None,
+                            commit: 0,
                         },
                     ),
                 }
@@ -944,6 +1100,8 @@ impl Core {
                             group: event.group,
                             outcome: Err(ClusterError::Overloaded(shard)),
                             replayed: false,
+                            shard: Some(shard),
+                            commit: 0,
                         },
                     );
                 }
@@ -959,6 +1117,8 @@ impl Core {
                         group,
                         outcome: Err(e),
                         replayed: false,
+                        shard: None,
+                        commit: 0,
                     },
                 );
             }
@@ -1181,8 +1341,11 @@ impl Core {
         self.with_shard(shard, |s| s.crash());
     }
 
+    /// Brings a crashed shard back: with followers configured the most
+    /// caught-up one is promoted (tail-catch-up), otherwise the standby
+    /// replays snapshot-plus-log-suffix.
     pub(crate) fn recover_shard(&self, shard: ShardId) -> Result<()> {
-        self.with_shard(shard, |s| s.recover())
+        self.with_shard_replicas(shard, |s, r| r.promote(s))
     }
 
     pub(crate) fn is_shard_active(&self, shard: ShardId) -> bool {
@@ -1215,6 +1378,10 @@ impl Core {
             self.config.queue_capacity,
             self.config.ingest_batch,
             self.telemetry.worker(id.0),
+            self.config.replicas,
+            self.config.replica_link,
+            self.config.replica_pipeline,
+            self.telemetry.replica(id.0),
         ));
         id
     }
@@ -1375,6 +1542,8 @@ impl Core {
                                     group: request.group,
                                     outcome: Err(ClusterError::Overloaded(placement.shard)),
                                     replayed: false,
+                                    shard: Some(placement.shard),
+                                    commit: 0,
                                 },
                             );
                         }
@@ -1386,6 +1555,8 @@ impl Core {
                             group: request.group,
                             outcome: Err(e),
                             replayed: false,
+                            shard: None,
+                            commit: 0,
                         },
                     ),
                 },
@@ -1409,6 +1580,8 @@ impl Core {
                                     group: op.group,
                                     outcome: Err(ClusterError::Overloaded(placement.shard)),
                                     replayed: false,
+                                    shard: Some(placement.shard),
+                                    commit: 0,
                                 },
                             );
                         }
@@ -1420,6 +1593,8 @@ impl Core {
                             group: op.group,
                             outcome: Err(e),
                             replayed: false,
+                            shard: None,
+                            commit: 0,
                         },
                     ),
                 },
@@ -1985,7 +2160,7 @@ impl Cluster {
     ///
     /// Returns routing and shard errors.
     pub fn request(&mut self, request: GlobalRequest) -> Result<ArbitrationOutcome> {
-        self.core.request(request)
+        self.gateway.request(request)
     }
 
     /// Synchronously arbitrates under a caller-provided request id — the
@@ -2001,7 +2176,7 @@ impl Cluster {
         seq: u64,
         request: GlobalRequest,
     ) -> Result<(ArbitrationOutcome, bool)> {
-        self.core.request_as(seq, request)
+        self.gateway.request_as(seq, request)
     }
 
     // ----- session operations ----------------------------------------------
@@ -2018,7 +2193,7 @@ impl Cluster {
     ///
     /// Returns routing and shard errors.
     pub fn session(&mut self, op: SessionOp) -> Result<SessionOutcome> {
-        self.core.session(op)
+        self.gateway.session(op)
     }
 
     /// Synchronously applies a session operation under a caller-provided
@@ -2031,17 +2206,39 @@ impl Cluster {
     ///
     /// Returns routing and shard errors.
     pub fn session_with_id(&mut self, seq: u64, op: SessionOp) -> Result<(SessionOutcome, bool)> {
-        self.core.session_as(seq, op)
+        self.gateway.session_as(seq, op)
     }
 
     /// The recorded session state of a group — its chat / whiteboard /
-    /// annotation logs and media schedule — read from its owning shard.
+    /// annotation logs and media schedule. With replication enabled the read
+    /// is served from a caught-up follower of the owning shard under this
+    /// façade's read-your-writes bound (see [`Gateway::session_view`]);
+    /// without replicas it reads from the leader as before.
+    ///
+    /// [`Gateway::session_view`]: crate::Gateway::session_view
     ///
     /// # Errors
     ///
     /// Returns [`ClusterError::UnknownGroup`] for an unknown id.
     pub fn session_view(&self, group: GlobalGroupId) -> Result<GroupSession> {
-        self.core.session_view(group)
+        self.gateway.session_view(group)
+    }
+
+    /// A member's current position in a group's floor queue — `Some(0)`
+    /// while holding the token, `Some(n)` when waiting `n`-th in line,
+    /// `None` when neither. With replication enabled the read is served from
+    /// a caught-up follower under this façade's read-your-writes bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns unknown-id errors, and floor errors when the group does not
+    /// arbitrate a token.
+    pub fn queue_position(
+        &self,
+        group: GlobalGroupId,
+        member: GlobalMemberId,
+    ) -> Result<Option<usize>> {
+        self.gateway.queue_position(group, member)
     }
 
     // ----- backpressure -----------------------------------------------------
@@ -2419,7 +2616,18 @@ mod tests {
         let (mut parallel, gids, rosters) = build();
         submit_all(&mut parallel, &gids, &rosters);
         let par_decisions = parallel.flush_parallel();
-        assert_eq!(seq_decisions, par_decisions);
+        // `commit` is the group-commit batch boundary a decision released
+        // under — a durability position, deliberately timing-dependent — so
+        // equivalence is over everything but it.
+        let comparable = |ds: &[Decision]| -> Vec<Decision> {
+            ds.iter()
+                .map(|d| Decision {
+                    commit: 0,
+                    ..d.clone()
+                })
+                .collect()
+        };
+        assert_eq!(comparable(&seq_decisions), comparable(&par_decisions));
         for (a, b) in sequential.shard_stats().iter().zip(parallel.shard_stats()) {
             assert_eq!(*a, b);
         }

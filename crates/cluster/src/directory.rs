@@ -107,6 +107,9 @@ pub struct Directory {
     next_group: AtomicU64,
     next_member: AtomicU64,
     next_seq: AtomicU64,
+    /// Monotone ticket behind the follower-read round-robin: each bounded
+    /// read takes one to spread load over a shard's replica fleet.
+    next_read: AtomicU64,
 }
 
 impl Directory {
@@ -121,6 +124,7 @@ impl Directory {
             next_group: AtomicU64::new(0),
             next_member: AtomicU64::new(0),
             next_seq: AtomicU64::new(0),
+            next_read: AtomicU64::new(0),
         }
     }
 
@@ -154,6 +158,12 @@ impl Directory {
     /// contract).
     pub(crate) fn alloc_seq_block(&self, n: u64) -> u64 {
         self.next_seq.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// One follower-read round-robin ticket (modulo the fleet size at the
+    /// call site — fleets can differ per shard).
+    pub(crate) fn read_ticket(&self) -> u64 {
+        self.next_read.fetch_add(1, Ordering::Relaxed)
     }
 
     // ----- ring -------------------------------------------------------------

@@ -44,6 +44,18 @@
 //! ([`Gateway::recv_session_decision`]). [`Gateway::resubmit_session`] is
 //! the exactly-once retry path, mirroring [`Gateway::resubmit`].
 //!
+//! Reads scale out with replication: when
+//! [`ClusterConfig::replicas`](crate::ClusterConfig::replicas) is non-zero,
+//! [`Gateway::session_view`], [`Gateway::shard_view`] and
+//! [`Gateway::queue_position`] are served from the owning shard's followers
+//! instead of its (write-busy) leader. Each gateway tracks a per-shard
+//! **read-your-writes bound** — the highest [`Decision::commit`] /
+//! [`SessionDecision::commit`] position it has observed in its decision
+//! streams — and a follower serves a read only when its applied position has
+//! reached that bound; otherwise the read transparently forwards to the
+//! leader. A gateway therefore always reads its own acknowledged writes,
+//! while read throughput grows with the replica count.
+//!
 //! Control-plane operations (groups, membership, invitations) are exposed
 //! with `&self` receivers as well, so administrative traffic can run from
 //! any gateway without a cluster-wide lock.
@@ -169,6 +181,11 @@ pub struct Gateway {
     /// This gateway's submit-side instruments (`gateway.N.*`), pre-resolved
     /// once at registration.
     metrics: GatewayMetrics,
+    /// Per-shard read-your-writes watermarks (indexed by shard id, grown on
+    /// demand): the highest commit sequence among decisions this gateway has
+    /// *received* per shard. Follower-served reads must have applied at
+    /// least this position; see [`Gateway::session_view`].
+    watermarks: Mutex<Vec<u64>>,
 }
 
 impl Clone for Gateway {
@@ -200,7 +217,34 @@ impl Gateway {
             sessions: Mutex::new(Stream::new(sessions_rx)),
             lease: Mutex::new(SeqLease { next: 0, end: 0 }),
             metrics,
+            watermarks: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Folds a released decision's durability position into this gateway's
+    /// per-shard read-your-writes watermark. Decisions with `commit == 0`
+    /// (routing errors, sheds) carry no durability information and leave the
+    /// watermark untouched.
+    fn observe_commit(&self, shard: Option<ShardId>, commit: u64) {
+        if commit == 0 {
+            return;
+        }
+        let Some(shard) = shard else { return };
+        let mut marks = self.watermarks.lock().expect("watermark lock");
+        let index = shard.0;
+        if marks.len() <= index {
+            marks.resize(index + 1, 0);
+        }
+        if marks[index] < commit {
+            marks[index] = commit;
+        }
+    }
+
+    /// This gateway's current read bound for a shard: the highest commit
+    /// sequence it has observed there (0 before any acked write).
+    fn read_bound(&self, shard: ShardId) -> u64 {
+        let marks = self.watermarks.lock().expect("watermark lock");
+        marks.get(shard.0).copied().unwrap_or(0)
     }
 
     /// Allocates a request id from this gateway's lease, refilling the lease
@@ -295,19 +339,25 @@ impl Gateway {
     /// Returns [`ClusterError::Disconnected`] when the shard pipelines are
     /// gone (the cluster was torn down).
     pub fn recv_decision(&self) -> Result<Decision> {
-        self.decisions
+        let decision = self
+            .decisions
             .lock()
             .expect("decision stream lock")
             .next_blocking()
-            .ok_or(ClusterError::Disconnected)
+            .ok_or(ClusterError::Disconnected)?;
+        self.observe_commit(decision.shard, decision.commit);
+        Ok(decision)
     }
 
     /// The next already-delivered decision, if any (never blocks).
     pub fn try_recv_decision(&self) -> Option<Decision> {
-        self.decisions
+        let decision = self
+            .decisions
             .lock()
             .expect("decision stream lock")
-            .next_ready()
+            .next_ready()?;
+        self.observe_commit(decision.shard, decision.commit);
+        Some(decision)
     }
 
     /// Collects exactly `n` decisions (blocking), sorted by request id.
@@ -318,9 +368,14 @@ impl Gateway {
     /// gone before `n` decisions arrived.
     pub fn collect_decisions(&self, n: usize) -> Result<Vec<Decision>> {
         let mut decisions = Vec::with_capacity(n);
-        let mut stream = self.decisions.lock().expect("decision stream lock");
-        for _ in 0..n {
-            decisions.push(stream.next_blocking().ok_or(ClusterError::Disconnected)?);
+        {
+            let mut stream = self.decisions.lock().expect("decision stream lock");
+            for _ in 0..n {
+                decisions.push(stream.next_blocking().ok_or(ClusterError::Disconnected)?);
+            }
+        }
+        for d in &decisions {
+            self.observe_commit(d.shard, d.commit);
         }
         decisions.sort_by_key(|d| d.seq);
         Ok(decisions)
@@ -334,7 +389,23 @@ impl Gateway {
     /// Returns routing and shard errors, including
     /// [`ClusterError::Overloaded`] when the owning shard shed the request.
     pub fn request(&self, request: GlobalRequest) -> Result<ArbitrationOutcome> {
-        self.core.request(request)
+        self.request_as(self.alloc_seq(), request)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// Synchronous arbitration under a caller-provided id, folding the
+    /// released decision's commit position into this gateway's read bound —
+    /// the façade's retransmission path ([`Cluster::request_with_id`]).
+    ///
+    /// [`Cluster::request_with_id`]: crate::Cluster::request_with_id
+    pub(crate) fn request_as(
+        &self,
+        seq: u64,
+        request: GlobalRequest,
+    ) -> Result<(ArbitrationOutcome, bool)> {
+        let decision = self.core.request_raw(seq, request)?;
+        self.observe_commit(decision.shard, decision.commit);
+        decision.outcome.map(|o| ((*o).clone(), decision.replayed))
     }
 
     // ----- session operations -----------------------------------------------
@@ -390,19 +461,25 @@ impl Gateway {
     /// Returns [`ClusterError::Disconnected`] when the shard pipelines are
     /// gone (the cluster was torn down).
     pub fn recv_session_decision(&self) -> Result<SessionDecision> {
-        self.sessions
+        let decision = self
+            .sessions
             .lock()
             .expect("session stream lock")
             .next_blocking()
-            .ok_or(ClusterError::Disconnected)
+            .ok_or(ClusterError::Disconnected)?;
+        self.observe_commit(decision.shard, decision.commit);
+        Ok(decision)
     }
 
     /// The next already-delivered session decision, if any (never blocks).
     pub fn try_recv_session_decision(&self) -> Option<SessionDecision> {
-        self.sessions
+        let decision = self
+            .sessions
             .lock()
             .expect("session stream lock")
-            .next_ready()
+            .next_ready()?;
+        self.observe_commit(decision.shard, decision.commit);
+        Some(decision)
     }
 
     /// Submits and synchronously applies one session operation, bypassing
@@ -414,16 +491,68 @@ impl Gateway {
     /// [`ClusterError::Overloaded`] when the owning shard shed the
     /// operation.
     pub fn session(&self, op: SessionOp) -> Result<SessionOutcome> {
-        self.core.session(op)
+        self.session_as(self.alloc_seq(), op)
+            .map(|(outcome, _)| outcome)
     }
 
-    /// The recorded session state of a group, read from its owning shard.
+    /// Synchronous session application under a caller-provided id, folding
+    /// the released decision's commit position into this gateway's read
+    /// bound — the session twin of [`Gateway::request_as`].
+    pub(crate) fn session_as(&self, seq: u64, op: SessionOp) -> Result<(SessionOutcome, bool)> {
+        let decision = self.core.session_raw(seq, op)?;
+        self.observe_commit(decision.shard, decision.commit);
+        decision.outcome.map(|o| ((*o).clone(), decision.replayed))
+    }
+
+    // ----- reads ------------------------------------------------------------
+
+    /// The recorded session state of a group.
+    ///
+    /// With replication enabled ([`ClusterConfig::replicas`] > 0) the read
+    /// is served from one of the owning shard's followers whenever that
+    /// follower has applied at least this gateway's read-your-writes bound —
+    /// the highest [`Decision::commit`] position the gateway has observed on
+    /// that shard — and is forwarded to the leader otherwise. Either way the
+    /// view reflects every write this gateway has already seen acknowledged.
+    ///
+    /// [`ClusterConfig::replicas`]: crate::ClusterConfig::replicas
     ///
     /// # Errors
     ///
     /// Returns [`ClusterError::UnknownGroup`] for an unknown id.
     pub fn session_view(&self, group: GlobalGroupId) -> Result<GroupSession> {
-        self.core.session_view(group)
+        let shard = self.core.directory().placement(group)?.shard;
+        self.core
+            .session_view_bounded(group, self.read_bound(shard))
+    }
+
+    /// A diagnostic view of one shard, served from a caught-up follower when
+    /// replication is enabled (falling back to the leader under this
+    /// gateway's read-your-writes bound, like [`Gateway::session_view`]). A
+    /// follower-served view reports the *follower's* state: `log_retained`
+    /// is its applied position and leader-only storage fields (log base,
+    /// snapshot, dedup occupancy) read as zero.
+    pub fn shard_view(&self, shard: ShardId) -> crate::ShardView {
+        self.core.shard_view_bounded(shard, self.read_bound(shard))
+    }
+
+    /// A member's position in a group's floor queue — `Some(0)` while
+    /// holding the token, `Some(n)` when waiting `n`-th in line, `None` when
+    /// neither. Served from a caught-up follower when replication is
+    /// enabled, under this gateway's read-your-writes bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns unknown-id errors, and floor errors when the group does not
+    /// arbitrate a token.
+    pub fn queue_position(
+        &self,
+        group: GlobalGroupId,
+        member: GlobalMemberId,
+    ) -> Result<Option<usize>> {
+        let shard = self.core.directory().placement(group)?.shard;
+        self.core
+            .queue_position_bounded(group, member, self.read_bound(shard))
     }
 
     // ----- backpressure -----------------------------------------------------

@@ -6,10 +6,15 @@
 //!
 //! * `cluster.*` — routing-layer aggregates (`cluster.submit_latency_ns`,
 //!   `cluster.sheds`, `cluster.parked_ops`, `cluster.redriven_ops`).
-//! * `cluster.shard.N.*` — per-shard pipeline instruments (`queue_depth`
-//!   time-series, `drain_batch` sizes, `commit_latency_ns`,
+//! * `cluster.shard.N.*` — per-shard pipeline instruments (`queue_depth` and
+//!   `queue_peak` time-series, `drain_batch` sizes, `commit_latency_ns`,
 //!   `append_latency_ns`, `snapshot_pause_ns`, `with_stall_ns`,
 //!   `dedup_hits`, `session_dedup_hits`).
+//! * `cluster.shard.N.replica.*` — replication instruments (`acks` received
+//!   from followers, `retransmits` of lost append segments, `resyncs` of
+//!   compaction-lagged followers, the `catch_up_lag` replayed at promotion,
+//!   and the `follower_reads` / `forwarded_reads` split of the scale-out
+//!   read path).
 //! * `gateway.G.*` — per-gateway instruments (`submit_batch_size`,
 //!   `retries`, and per-op-kind `submit_latency_ns.KIND` histograms fed by
 //!   sampled spans).
@@ -108,6 +113,11 @@ impl ClusterTelemetry {
                 QUEUE_DEPTH_SAMPLES,
                 QUEUE_DEPTH_CADENCE,
             ),
+            queue_peak: self.registry.time_series(
+                &format!("cluster.shard.{index}.queue_peak"),
+                QUEUE_DEPTH_SAMPLES,
+                QUEUE_DEPTH_CADENCE,
+            ),
             drain_batch: self
                 .registry
                 .histogram(&format!("cluster.shard.{index}.drain_batch")),
@@ -138,6 +148,30 @@ impl ClusterTelemetry {
         }
     }
 
+    /// The replication instruments of shard `index`'s replica set.
+    pub(crate) fn replica(&self, index: usize) -> ReplicaMetrics {
+        ReplicaMetrics {
+            acks: self
+                .registry
+                .counter(&format!("cluster.shard.{index}.replica.acks")),
+            retransmits: self
+                .registry
+                .counter(&format!("cluster.shard.{index}.replica.retransmits")),
+            resyncs: self
+                .registry
+                .counter(&format!("cluster.shard.{index}.replica.resyncs")),
+            catch_up_lag: self
+                .registry
+                .histogram(&format!("cluster.shard.{index}.replica.catch_up_lag")),
+            follower_reads: self
+                .registry
+                .counter(&format!("cluster.shard.{index}.replica.follower_reads")),
+            forwarded_reads: self
+                .registry
+                .counter(&format!("cluster.shard.{index}.replica.forwarded_reads")),
+        }
+    }
+
     /// The instruments gateway `index` records into on its submit side.
     pub(crate) fn gateway(&self, index: u32) -> GatewayMetrics {
         GatewayMetrics {
@@ -159,6 +193,10 @@ pub(crate) struct WorkerTelemetry {
     session_latency: Arc<Histogram>,
     /// Backlog remaining in the ingest queue, sampled at each drain.
     pub(crate) queue_depth: Arc<TimeSeries>,
+    /// High-water mark of the ingest queue's occupancy window, sampled at
+    /// each drain alongside `queue_depth` — the operator-facing series
+    /// behind [`crate::QueueStats::peak_queued`].
+    pub(crate) queue_peak: Arc<TimeSeries>,
     /// Commands taken per wakeup (the effective batch size).
     pub(crate) drain_batch: Arc<Histogram>,
     /// Group-commit duration per non-empty batch.
@@ -206,6 +244,29 @@ pub(crate) struct ShardMetrics {
     pub(crate) dedup_hits: Arc<Counter>,
     /// Session operations answered from the dedup window (replays).
     pub(crate) session_dedup_hits: Arc<Counter>,
+}
+
+/// Replication instruments of one shard's replica set, recorded by the
+/// owning worker thread (quorum pipeline) and by the routing layer (the
+/// follower-read split).
+#[derive(Debug, Clone)]
+pub(crate) struct ReplicaMetrics {
+    /// Follower acknowledgements received by the leader.
+    pub(crate) acks: Arc<Counter>,
+    /// Append segments retransmitted after loss on a replica link.
+    pub(crate) retransmits: Arc<Counter>,
+    /// Followers re-seeded from a snapshot because the leader compacted past
+    /// their acked position.
+    pub(crate) resyncs: Arc<Counter>,
+    /// Log-tail events replayed when a follower was promoted at failover
+    /// (the tail-catch-up cost, in events).
+    pub(crate) catch_up_lag: Arc<Histogram>,
+    /// Reads served directly from a follower (the read-your-writes bound
+    /// held).
+    pub(crate) follower_reads: Arc<Counter>,
+    /// Reads forwarded to the leader because the chosen follower had not
+    /// applied up to the caller's bound.
+    pub(crate) forwarded_reads: Arc<Counter>,
 }
 
 /// Submit-side instruments owned by one [`crate::Gateway`].

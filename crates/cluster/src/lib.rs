@@ -68,6 +68,23 @@
 //!   pre-crash floor and session state: no double grants, token uniqueness,
 //!   suspension order — the invariants
 //!   [`dmps_floor::FloorArbiter::check_invariants`] verifies.
+//! * **Replication & follower reads** — with
+//!   [`ClusterConfig::replicas`] > 0 each shard worker ships every
+//!   group-committed log suffix to N follower replicas over a private
+//!   `dmps-simnet` network (latency, jitter and loss on the append path)
+//!   and releases decisions only once a **quorum** of copies — counting the
+//!   leader's own durable append — holds the batch. The quorum write is
+//!   *pipelined*: the worker keeps draining and arbitrating the next batch
+//!   while the previous batch's acks are still in flight
+//!   ([`ClusterConfig::replica_pipeline`] bounds the window), so
+//!   replication costs one network round-trip of latency, not one per
+//!   batch of throughput. Failover promotes the most caught-up follower and
+//!   replays only the committed tail it is missing, instead of rebuilding
+//!   from snapshot-plus-full-log; and reads ([`Gateway::session_view`],
+//!   [`Gateway::queue_position`], [`Gateway::shard_view`]) scale out to
+//!   followers under a per-gateway **read-your-writes bound** — a follower
+//!   serves only once it has applied everything the reading gateway has
+//!   seen acknowledged, forwarding to the leader otherwise.
 //! * **Cross-shard invitations** — Group Discussion / Direct Contact
 //!   sub-groups spawn on whatever shard the ring (or the caller) picks, so a
 //!   popular lecture's breakouts spread over the cluster instead of
@@ -149,6 +166,7 @@ pub mod error;
 pub mod gateway;
 mod instrument;
 pub mod queue;
+mod replication;
 pub mod ring;
 pub mod session;
 pub mod shard;

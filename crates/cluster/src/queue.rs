@@ -342,6 +342,18 @@ impl<T> QueueReceiver<T> {
         self.0.state.lock().expect("queue state").bounded
     }
 
+    /// Occupancy statistics, from the consumer side: the worker drain loop
+    /// samples `peak_queued` into its `queue_peak` time-series without
+    /// needing a sender handle.
+    pub(crate) fn stats(&self) -> QueueStats {
+        let state = self.0.state.lock().expect("queue state");
+        QueueStats {
+            capacity: self.0.capacity,
+            queued: state.bounded,
+            peak_queued: state.peak,
+        }
+    }
+
     /// Non-blocking: moves up to `max` queued commands into `out`, returning
     /// how many were taken. One blocking `QueueReceiver::recv` plus one
     /// `drain_into` is the worker's batch-drain step.

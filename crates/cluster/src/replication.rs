@@ -1,0 +1,488 @@
+//! Per-shard replication: pipelined quorum group-commit over `dmps-simnet`,
+//! follower promotion at failover, and the follower state behind the
+//! scale-out read path.
+//!
+//! Every shard owns one [`ReplicaSet`]: a private simulated network with the
+//! leader (the worker thread) on host 0 and each follower on its own host,
+//! connected by a [`Link`] that models the append path's latency, jitter,
+//! bandwidth and loss. Replication is **log shipping**: after each group
+//! commit the worker sends every follower the log suffix it has not yet been
+//! sent ([`ReplicaMsg::Append`]); the follower appends the segment to its
+//! pending buffer and acknowledges its **durable** position
+//! ([`ReplicaMsg::Ack`]). Application to the follower's state machine — the
+//! same [`replay_event`] function recovery uses — is deferred to
+//! [`FollowerCore::catch_up`], which runs on the *read* path and at
+//! promotion. That split keeps the quorum round-trip off the leader's
+//! critical path: durability costs one buffer append per follower, while the
+//! (N+1)-fold state-machine work is paid by whoever actually reads the
+//! replica, not by the worker pumping acks between batches.
+//!
+//! The quorum pipeline lives in the worker, not here: the worker calls
+//! [`ReplicaSet::replicate`] as each batch commits and keeps arbitrating the
+//! next batch while acks are in flight, releasing a batch's replies only once
+//! [`ReplicaSet::quorum_committed`] covers it. The quorum counts the leader's
+//! own (synchronous) log append plus follower acks: with `N` followers the
+//! write needs `(N + 1) / 2 + 1` total copies, i.e. `(N + 1) / 2` follower
+//! acks — always at least one, so the best follower's durable position is
+//! never behind the quorum-committed position and promotion (which first
+//! catches the follower's state machine up to its durable tail) can never
+//! lose a committed (= released) decision.
+//!
+//! Loss on the replica link is healed by retransmission:
+//! [`ReplicaSet::force_quorum`] rewinds a laggard's send cursor to its last
+//! acked position and re-ships the suffix until the quorum covers the target.
+//! A follower that falls behind the leader's log *base* (compaction passed
+//! it) is re-seeded from the current snapshot ([`ReplicaMsg::Resync`]).
+//!
+//! Failover promotes the follower with the highest applied position
+//! ([`ReplicaSet::promote`]): only the log tail past that position is
+//! replayed, so recovery cost shrinks from full-log replay to tail-catch-up
+//! (recorded in the `cluster.shard.N.replica.catch_up_lag` histogram).
+//!
+//! Followers are shared with the routing layer behind `Arc<Mutex<_>>` so
+//! `session_view` / `shard_view` / queue-position reads can be served from a
+//! follower without entering the owning worker's command queue (the
+//! read-your-writes bound is enforced by the routing layer; see
+//! `Gateway::session_view`).
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+use dmps_floor::FloorArbiter;
+use dmps_simnet::{Delivery, HostId, Link, Network};
+
+use crate::error::Result;
+use crate::instrument::ReplicaMetrics;
+use crate::ring::ShardId;
+use crate::session::SessionStore;
+use crate::shard::{
+    replay_event, GlobalGroupId, Shard, ShardEvent, ShardSnapshot, ShardState, ShardView,
+};
+
+/// Estimated wire size of one logged event, for the simulated link's
+/// bandwidth model. Replication correctness never depends on this.
+const EVENT_SIZE_ESTIMATE: u64 = 48;
+/// Fixed per-message framing overhead, same caveat.
+const FRAME_SIZE_ESTIMATE: u64 = 16;
+
+/// A message on a shard's replication network.
+#[derive(Debug, Clone)]
+pub(crate) enum ReplicaMsg {
+    /// Leader → follower: the log suffix starting at `from_seq`. The segment
+    /// is behind an `Arc` so one materialized suffix serves the whole fleet
+    /// (and the follower's pending buffer) without per-follower copies.
+    Append {
+        /// Sequence number of the first event in `events`.
+        from_seq: u64,
+        /// The shipped events.
+        events: Arc<[ShardEvent]>,
+    },
+    /// Follower → leader: "my durable position is now `acked`".
+    Ack {
+        /// The follower's durable position (next sequence it needs shipped).
+        acked: u64,
+    },
+    /// Leader → follower: full state re-seed for a follower that fell behind
+    /// the leader's compaction base.
+    Resync {
+        /// The leader's current snapshot.
+        snapshot: Box<ShardSnapshot>,
+    },
+}
+
+impl ReplicaMsg {
+    fn size_bytes(&self) -> u64 {
+        match self {
+            ReplicaMsg::Append { events, .. } => {
+                events.len() as u64 * EVENT_SIZE_ESTIMATE + FRAME_SIZE_ESTIMATE
+            }
+            ReplicaMsg::Ack { .. } => FRAME_SIZE_ESTIMATE,
+            ReplicaMsg::Resync { snapshot } => snapshot.size_bytes() as u64 + FRAME_SIZE_ESTIMATE,
+        }
+    }
+}
+
+/// One follower's live state: the same arbiter/session/frozen triple a shard
+/// holds, plus the durably-received-but-unapplied tail of the shipped log.
+/// Shared with the routing layer (reads) behind a mutex; the worker thread
+/// only locks it briefly while buffering a delivery — state-machine
+/// application happens in [`FollowerCore::catch_up`], on the reader's (or
+/// promoter's) dime.
+#[derive(Debug)]
+pub(crate) struct FollowerCore {
+    arbiter: FloorArbiter,
+    session: SessionStore,
+    frozen: BTreeSet<GlobalGroupId>,
+    /// Events applied to the state machine so far (next sequence it needs).
+    applied: u64,
+    /// Durably received, not yet applied segments covering
+    /// `applied..durable`. Segments are contiguous in arrival order; a
+    /// retransmitted segment may overlap its predecessor, which
+    /// [`FollowerCore::catch_up`] skips by sequence arithmetic.
+    pending: Vec<(u64, Arc<[ShardEvent]>)>,
+    /// Durable log position (next sequence this follower needs shipped).
+    durable: u64,
+}
+
+impl FollowerCore {
+    fn new() -> Self {
+        FollowerCore {
+            arbiter: FloorArbiter::with_defaults(),
+            session: SessionStore::new(),
+            frozen: BTreeSet::new(),
+            applied: 0,
+            pending: Vec::new(),
+            durable: 0,
+        }
+    }
+
+    /// Buffers a shipped log segment as durable. A segment entirely inside
+    /// already-held history is skipped (re-shipped suffixes after a lost ack
+    /// are idempotent); a gap — the segment starts past `durable`, meaning
+    /// an earlier `Append` was lost — is ignored entirely, and the leader's
+    /// retransmission heals it.
+    fn receive(&mut self, from_seq: u64, events: Arc<[ShardEvent]>) {
+        if from_seq > self.durable {
+            return;
+        }
+        let end = from_seq + events.len() as u64;
+        if end <= self.durable {
+            return;
+        }
+        self.pending.push((from_seq, events));
+        self.durable = end;
+    }
+
+    /// Replays the pending tail into the follower's state machine. Reads and
+    /// promotion call this first, so `applied` equals `durable` whenever the
+    /// state is actually observed.
+    fn catch_up(&mut self) -> Result<()> {
+        for (from_seq, events) in std::mem::take(&mut self.pending) {
+            let skip = (self.applied - from_seq) as usize;
+            for event in events.iter().skip(skip) {
+                replay_event(
+                    &mut self.arbiter,
+                    &mut self.session,
+                    &mut self.frozen,
+                    event,
+                )?;
+                self.applied += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-seeds the follower from a leader snapshot (compaction passed its
+    /// durable position). A stale resync (snapshot no newer than what the
+    /// follower already holds) is ignored.
+    fn install_resync(&mut self, snapshot: &ShardSnapshot) -> Result<()> {
+        if snapshot.applied_seq() <= self.durable() {
+            return Ok(());
+        }
+        self.arbiter = FloorArbiter::restore(&snapshot.arbiter)?;
+        self.session = dmps_wire::from_str::<SessionStore>(&snapshot.session).map_err(|e| {
+            crate::error::ClusterError::Floor(dmps_floor::FloorError::CorruptSnapshot(format!(
+                "session store: {e}"
+            )))
+        })?;
+        self.frozen = snapshot.frozen.iter().copied().collect();
+        self.applied = snapshot.applied_seq();
+        self.durable = self.applied;
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// The follower's durable log position (next sequence it needs shipped).
+    /// This is what the follower acks — durability, not application.
+    fn durable(&self) -> u64 {
+        self.durable
+    }
+
+    /// The follower's applied log position. The routing layer compares this
+    /// against a client's read-your-writes bound, after [`catch_up`]
+    /// (`Self::catch_up`) has drained the pending tail.
+    pub(crate) fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Drains the pending tail before a read is served from this follower.
+    /// Panics on a corrupt event, like the worker's own replay path.
+    pub(crate) fn catch_up_for_read(&mut self) {
+        self.catch_up().expect("replicated events replay cleanly");
+    }
+
+    /// Read access to the follower's arbiter (queue-position reads).
+    pub(crate) fn arbiter(&self) -> &FloorArbiter {
+        &self.arbiter
+    }
+
+    /// The follower's copy of a group's session content.
+    pub(crate) fn session_view(&self, group: GlobalGroupId) -> crate::session::GroupSession {
+        self.session.view(group)
+    }
+
+    /// A shard-shaped health view served from this follower. Leader-only
+    /// storage fields (log geometry, snapshot presence, dedup occupancy,
+    /// recovery count) are reported as zero/absent — the follower holds live
+    /// state, not the durable log; `log_retained` carries the follower's
+    /// applied position instead.
+    pub(crate) fn view(&self, id: ShardId) -> ShardView {
+        ShardView {
+            id,
+            state: ShardState::Active,
+            recoveries: 0,
+            log_base: 0,
+            log_retained: self.applied as usize,
+            has_snapshot: false,
+            dedup_entries: 0,
+            session_dedup_entries: 0,
+            session_groups: self.session.group_count(),
+            frozen_groups: self.frozen.len(),
+            stats: self.arbiter.stats(),
+        }
+    }
+}
+
+/// The leader-side handle to one shard's replica fleet: the simulated
+/// network, the per-follower send/ack cursors, and the quorum bookkeeping.
+/// Owned by the shard's worker thread; only the `FollowerCore`s inside are
+/// shared (with the read path).
+#[derive(Debug)]
+pub(crate) struct ReplicaSet {
+    net: Network<ReplicaMsg>,
+    leader: HostId,
+    /// Follower `i` lives on `hosts[i]` (= host index `i + 1`).
+    hosts: Vec<HostId>,
+    followers: Vec<Arc<Mutex<FollowerCore>>>,
+    /// Highest durable position follower `i` has acknowledged.
+    acked: Vec<u64>,
+    /// Position up to which follower `i` has been sent the log.
+    sent: Vec<u64>,
+    /// Highest position covered by a write quorum (leader + enough acks).
+    quorum_committed: u64,
+    /// Follower acks needed per position (quorum minus the leader itself).
+    quorum_acks: usize,
+    metrics: ReplicaMetrics,
+}
+
+impl ReplicaSet {
+    /// Builds the replica fleet for `shard` with `replicas` followers over
+    /// `link`. Zero replicas yields an inert set (every call is a no-op and
+    /// `quorum_committed` tracks nothing — the worker skips the pipeline).
+    pub(crate) fn new(
+        shard: ShardId,
+        replicas: usize,
+        link: Link,
+        metrics: ReplicaMetrics,
+    ) -> Self {
+        // One deterministic seed per (shard, fleet size): reproducible loss
+        // and jitter without any global RNG.
+        let seed = 0xD31A_5EED_u64 ^ ((shard.index() as u64) << 32) ^ replicas as u64;
+        let mut net = Network::new(seed);
+        let leader = net.add_host(format!("shard-{}-leader", shard.index()));
+        let mut hosts = Vec::with_capacity(replicas);
+        let mut followers = Vec::with_capacity(replicas);
+        for i in 0..replicas {
+            let host = net.add_host(format!("shard-{}-replica-{i}", shard.index()));
+            net.connect(leader, host, link)
+                .expect("connect replica link");
+            hosts.push(host);
+            followers.push(Arc::new(Mutex::new(FollowerCore::new())));
+        }
+        ReplicaSet {
+            net,
+            leader,
+            hosts,
+            followers,
+            acked: vec![0; replicas],
+            sent: vec![0; replicas],
+            quorum_committed: 0,
+            // Total quorum is (N+1)/2 + 1 copies counting the leader's own
+            // append, so (N+1)/2 follower acks — always ≥ 1 for N ≥ 1, which
+            // is what makes promotion lossless.
+            quorum_acks: replicas.div_ceil(2),
+            metrics,
+        }
+    }
+
+    /// Whether this shard runs unreplicated (the worker skips the pipeline).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.followers.is_empty()
+    }
+
+    /// The shared follower cores, for the routing layer's read path.
+    pub(crate) fn followers(&self) -> &[Arc<Mutex<FollowerCore>>] {
+        &self.followers
+    }
+
+    /// Highest log position covered by a write quorum. Replies for a batch
+    /// release only once this reaches the batch's end position.
+    pub(crate) fn quorum_committed(&self) -> u64 {
+        self.quorum_committed
+    }
+
+    /// Ships every follower the sealed log segments it has not been sent
+    /// yet. Called by the worker right after each group commit (which seals
+    /// the batch into a segment first); the acks arrive later (that is the
+    /// pipeline). The log, the wire and every follower share the same
+    /// reference-counted segment — no event is copied to replicate it.
+    pub(crate) fn replicate(&mut self, shard: &Shard) {
+        if self.followers.is_empty() {
+            return;
+        }
+        let log = shard.log();
+        for i in 0..self.hosts.len() {
+            if self.sent[i] < log.base() {
+                // Compaction passed this follower's cursor: the history it
+                // needs is gone, so re-seed it from the covering snapshot.
+                let snapshot = shard
+                    .latest_snapshot()
+                    .expect("log base > 0 implies a snapshot")
+                    .clone();
+                self.metrics.resyncs.incr();
+                self.send_to(
+                    i,
+                    ReplicaMsg::Resync {
+                        snapshot: Box::new(snapshot),
+                    },
+                );
+                self.sent[i] = log.base();
+            }
+            let (segments, sealed_end) = log.segments_from(self.sent[i]);
+            for (from_seq, events) in segments {
+                // A segment may straddle the cursor (retransmit after loss);
+                // the follower skips the duplicate prefix by arithmetic.
+                self.send_to(i, ReplicaMsg::Append { from_seq, events });
+            }
+            self.sent[i] = self.sent[i].max(sealed_end);
+        }
+    }
+
+    fn send_to(&mut self, follower: usize, msg: ReplicaMsg) {
+        let size = msg.size_bytes();
+        // A send can fail only if the host is down (crashed in a failover
+        // experiment); the retransmission path heals exactly like loss.
+        let _ = self.net.send(self.leader, self.hosts[follower], msg, size);
+    }
+
+    /// Drains the replication network: applies `Append`/`Resync` deliveries
+    /// to follower cores (each answers with an `Ack`) and folds `Ack`s into
+    /// the quorum bookkeeping. Cheap when nothing is in flight.
+    pub(crate) fn pump(&mut self) {
+        while let Some(delivery) = self.net.next_delivery() {
+            self.handle(delivery);
+        }
+        self.recompute_quorum();
+    }
+
+    fn handle(&mut self, delivery: Delivery<ReplicaMsg>) {
+        if delivery.to == self.leader {
+            if let ReplicaMsg::Ack { acked } = delivery.payload {
+                let i = delivery.from.index() - 1;
+                if acked > self.acked[i] {
+                    self.acked[i] = acked;
+                    self.metrics.acks.incr();
+                }
+            }
+            return;
+        }
+        let i = delivery.to.index() - 1;
+        let durable = {
+            let mut core = self.followers[i].lock().expect("follower core");
+            match delivery.payload {
+                ReplicaMsg::Append { from_seq, events } => core.receive(from_seq, events),
+                ReplicaMsg::Resync { snapshot } => core
+                    .install_resync(&snapshot)
+                    .expect("replicated snapshot restores cleanly"),
+                ReplicaMsg::Ack { .. } => {}
+            }
+            core.durable()
+        };
+        let ack = ReplicaMsg::Ack { acked: durable };
+        let size = ack.size_bytes();
+        let _ = self.net.send(self.hosts[i], self.leader, ack, size);
+    }
+
+    fn recompute_quorum(&mut self) {
+        if self.acked.is_empty() {
+            return;
+        }
+        // The quorum-committed position is the quorum_acks-th highest
+        // follower ack: that many followers (plus the leader) hold the
+        // prefix up to it.
+        let mut sorted = self.acked.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let covered = sorted[self.quorum_acks - 1];
+        if covered > self.quorum_committed {
+            self.quorum_committed = covered;
+        }
+    }
+
+    /// Drives the quorum to `target`, retransmitting lost suffixes until it
+    /// gets there. The worker calls this when its pipeline window fills,
+    /// before blocking on an empty queue, and at every control barrier.
+    pub(crate) fn force_quorum(&mut self, shard: &Shard, target: u64) {
+        if self.followers.is_empty() {
+            return;
+        }
+        loop {
+            self.pump();
+            if self.quorum_committed >= target {
+                return;
+            }
+            // Anything sent but unacked may have been lost: rewind the
+            // laggards' cursors to their acked positions and re-ship.
+            self.metrics.retransmits.incr();
+            for i in 0..self.sent.len() {
+                if self.acked[i] < target {
+                    self.sent[i] = self.acked[i];
+                }
+            }
+            self.replicate(shard);
+        }
+    }
+
+    /// Failover: promotes the most caught-up follower into the crashed
+    /// shard. Only the log tail past the follower's applied position is
+    /// replayed (tail-catch-up) — against full-log replay from the snapshot,
+    /// which is what [`Shard::recover`] does and what this falls back to
+    /// with no followers (or a follower stranded behind the log base).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ClusterError::Floor`] when a logged event fails to
+    /// re-apply (durable-state corruption).
+    pub(crate) fn promote(&mut self, shard: &mut Shard) -> Result<()> {
+        if self.followers.is_empty() {
+            return shard.recover();
+        }
+        // Let in-flight appends land first: promotion should start from the
+        // best state the fleet actually holds.
+        self.pump();
+        let best = (0..self.followers.len())
+            .max_by_key(|&i| self.followers[i].lock().expect("follower core").durable())
+            .expect("non-empty fleet");
+        let (mut arbiter, mut session, mut frozen, from_seq) = {
+            let mut core = self.followers[best].lock().expect("follower core");
+            core.catch_up()?;
+            (
+                core.arbiter.clone(),
+                core.session.clone(),
+                core.frozen.clone(),
+                core.applied(),
+            )
+        };
+        if from_seq < shard.log().base() {
+            // The whole fleet is stranded behind compaction (possible only
+            // when quorum was never forced, e.g. an idle shard): full replay.
+            return shard.recover();
+        }
+        let lag = shard.log().next_seq().saturating_sub(from_seq);
+        for event in shard.log().events_from(from_seq) {
+            replay_event(&mut arbiter, &mut session, &mut frozen, event)?;
+        }
+        shard.adopt(arbiter, session, frozen);
+        self.metrics.catch_up_lag.record(lag);
+        Ok(())
+    }
+}

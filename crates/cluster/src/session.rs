@@ -245,6 +245,13 @@ pub struct SessionDecision {
     /// Whether the decision was answered from the shard's session journal (a
     /// retry of an already-delivered operation).
     pub replayed: bool,
+    /// The shard that answered, or `None` when routing failed before a shard
+    /// was resolved.
+    pub shard: Option<crate::ring::ShardId>,
+    /// The shard log position this decision was (quorum-)committed at (the
+    /// read-your-writes bound; `0` = no durability information). See
+    /// [`Decision::commit`](crate::Decision::commit).
+    pub commit: u64,
 }
 
 /// The session state of one group: the server-side logs a `DmpsServer` keeps

@@ -150,22 +150,40 @@ pub enum ShardEvent {
     HandoffAbort(GlobalGroupId),
 }
 
+/// A sealed log segment: the sequence number of its first event plus the
+/// shared, immutable event slice (see [`EventLog::seal`]).
+pub type LogSegment<E> = (u64, Arc<[E]>);
+
 /// The append-only event log of one shard, with prefix compaction.
 ///
 /// Event `i` of the shard's history has sequence number `i`; after
 /// compaction the log keeps only events `base..`, the rest being covered by
-/// a snapshot.
+/// a snapshot. Storage is segmented: [`EventLog::seal`] converts the open
+/// tail into a shared [`LogSegment`] that replication ships (and followers
+/// retain) by reference count; an unreplicated shard never seals, keeping
+/// the whole log as a plain vector.
 #[derive(Debug, Clone)]
 pub struct EventLog<E = ShardEvent> {
     base: u64,
-    events: Vec<E>,
+    /// Sequence number of the next appended event.
+    next: u64,
+    /// Sealed segments in append order, each `(start_seq, events)`. Segments
+    /// are contiguous (each starts where the previous ended); the first may
+    /// straddle `base` after a mid-segment compaction. Each segment is one
+    /// shared immutable slice, so replication can ship it (and followers can
+    /// retain it) by reference count instead of copying events.
+    segments: VecDeque<(u64, Arc<[E]>)>,
+    /// Open tail: events appended since the last [`EventLog::seal`].
+    tail: Vec<E>,
 }
 
 impl<E> Default for EventLog<E> {
     fn default() -> Self {
         EventLog {
             base: 0,
-            events: Vec::new(),
+            next: 0,
+            segments: VecDeque::new(),
+            tail: Vec::new(),
         }
     }
 }
@@ -178,7 +196,7 @@ impl<E> EventLog<E> {
 
     /// Sequence number the next appended event receives.
     pub fn next_seq(&self) -> u64 {
-        self.base + self.events.len() as u64
+        self.next
     }
 
     /// Sequence number of the oldest retained event.
@@ -188,13 +206,19 @@ impl<E> EventLog<E> {
 
     /// Number of retained events.
     pub fn retained(&self) -> usize {
-        self.events.len()
+        (self.next - self.base) as usize
+    }
+
+    /// Sequence number of the first unsealed (open-tail) event.
+    fn tail_start(&self) -> u64 {
+        self.next - self.tail.len() as u64
     }
 
     /// Appends an event, returning its sequence number.
     pub fn append(&mut self, event: E) -> u64 {
-        let seq = self.next_seq();
-        self.events.push(event);
+        let seq = self.next;
+        self.tail.push(event);
+        self.next += 1;
         seq
     }
 
@@ -203,35 +227,93 @@ impl<E> EventLog<E> {
     /// pass per event. Returns the sequence number the *next* event would
     /// receive (`base + retained` after the append).
     pub fn append_batch(&mut self, events: impl IntoIterator<Item = E>) -> u64 {
-        self.events.extend(events);
-        self.next_seq()
+        let before = self.tail.len();
+        self.tail.extend(events);
+        self.next += (self.tail.len() - before) as u64;
+        self.next
     }
 
-    /// The retained events starting at `from_seq`.
+    /// Seals the open tail into a shared segment. Replicated shards seal
+    /// after every group commit so the batch can be shipped (and retained by
+    /// followers) as one reference-counted slice; unreplicated shards never
+    /// seal and keep the tail as a plain vector.
+    pub fn seal(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        let start = self.tail_start();
+        let segment: Arc<[E]> = std::mem::take(&mut self.tail).into();
+        self.segments.push_back((start, segment));
+    }
+
+    /// The retained events starting at `from_seq`, in sequence order.
     ///
     /// # Panics
     ///
     /// Panics when `from_seq` precedes the compaction base — those events no
     /// longer exist and the caller should have used a newer snapshot.
-    pub fn suffix(&self, from_seq: u64) -> &[E] {
+    pub fn events_from(&self, from_seq: u64) -> impl Iterator<Item = &E> {
         assert!(
             from_seq >= self.base,
             "log suffix from {} requested but events before {} were compacted",
             from_seq,
             self.base
         );
-        let start = (from_seq - self.base) as usize;
-        &self.events[start.min(self.events.len())..]
+        let from = from_seq.max(self.base);
+        let sealed = self.segments.iter().flat_map(move |(start, segment)| {
+            let skip = from.saturating_sub(*start).min(segment.len() as u64) as usize;
+            segment[skip..].iter()
+        });
+        let tail_skip = from
+            .saturating_sub(self.tail_start())
+            .min(self.tail.len() as u64) as usize;
+        sealed.chain(self.tail[tail_skip..].iter())
     }
 
-    /// Drops every event before `seq` (they are covered by a snapshot).
+    /// The sealed segments overlapping `from_seq..`, as shared slices, plus
+    /// the position sealed coverage ends at (`tail_start`): events past it
+    /// are still in the open tail and ship after the next [`EventLog::seal`].
+    /// `from_seq` must be at or past [`EventLog::base`] (callers below the
+    /// base re-seed from a snapshot instead).
+    pub fn segments_from(&self, from_seq: u64) -> (Vec<LogSegment<E>>, u64) {
+        // Binary search for the first segment whose end is past `from_seq`:
+        // segments are contiguous and sorted by start, and a replication
+        // cursor in the steady state sits at the second-to-last boundary, so
+        // this stays cheap however long the retained history grows.
+        let (mut lo, mut hi) = (0usize, self.segments.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let (start, segment) = &self.segments[mid];
+            if start + segment.len() as u64 <= from_seq {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let segments = self.segments.range(lo..).cloned().collect();
+        (segments, self.tail_start())
+    }
+
+    /// Drops every event before `seq` (they are covered by a snapshot). A
+    /// sealed segment straddling the new base is kept whole — readers skip
+    /// its compacted prefix by sequence arithmetic.
     pub fn compact_to(&mut self, seq: u64) {
+        let seq = seq.min(self.next);
         if seq <= self.base {
             return;
         }
-        let drop = ((seq - self.base) as usize).min(self.events.len());
-        self.events.drain(..drop);
-        self.base += drop as u64;
+        self.base = seq;
+        while let Some((start, segment)) = self.segments.front() {
+            if start + segment.len() as u64 <= seq {
+                self.segments.pop_front();
+            } else {
+                break;
+            }
+        }
+        let tail_start = self.tail_start();
+        if seq > tail_start {
+            self.tail.drain(..(seq - tail_start) as usize);
+        }
     }
 }
 
@@ -575,6 +657,13 @@ impl Shard {
     /// The event log.
     pub fn log(&self) -> &EventLog<ShardEvent> {
         &self.log
+    }
+
+    /// Seals the log's open tail into a shared segment so replication can
+    /// ship the freshly committed batch by reference. Only the replicated
+    /// worker path calls this; unreplicated shards keep a plain tail.
+    pub(crate) fn seal_log(&mut self) {
+        self.log.seal();
     }
 
     /// The latest snapshot, if one was taken.
@@ -1060,33 +1149,65 @@ impl Shard {
                 0,
             ),
         };
-        for event in self.log.suffix(from_seq) {
-            match event {
-                ShardEvent::Floor(e) => {
-                    arbiter.apply(e)?;
-                }
-                ShardEvent::Session(e) => session.apply(e),
-                ShardEvent::SessionPurge(g) => {
-                    session.remove(*g);
-                }
-                ShardEvent::SessionInstall { group, content } => {
-                    session.install(*group, content.clone());
-                }
-                ShardEvent::HandoffPrepare(g) => {
-                    frozen.insert(*g);
-                }
-                ShardEvent::HandoffCommit(g) | ShardEvent::HandoffAbort(g) => {
-                    frozen.remove(g);
-                }
-            }
+        for event in self.log.events_from(from_seq) {
+            replay_event(&mut arbiter, &mut session, &mut frozen, event)?;
         }
+        self.adopt(arbiter, session, frozen);
+        Ok(())
+    }
+
+    /// Installs an already-reconstructed live state (a promoted follower's
+    /// arbiter/session/frozen set, or the tail-replayed result of
+    /// [`Shard::recover`]) and resumes serving. The log, snapshot and dedup
+    /// windows are durable and stay as they are.
+    pub(crate) fn adopt(
+        &mut self,
+        arbiter: FloorArbiter,
+        session: SessionStore,
+        frozen: BTreeSet<GlobalGroupId>,
+    ) {
         self.arbiter = arbiter;
         self.session = session;
         self.frozen = frozen;
         self.state = ShardState::Active;
         self.recoveries += 1;
-        Ok(())
     }
+}
+
+/// Replays one logged event into a reconstructed live state. Shared by
+/// [`Shard::recover`] (standby replay) and the replication module (follower
+/// apply and promotion tail-catch-up), so all three paths have identical
+/// semantics by construction.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::Floor`] when a logged floor event fails to
+/// re-apply (durable-state corruption, not a recoverable condition).
+pub(crate) fn replay_event(
+    arbiter: &mut FloorArbiter,
+    session: &mut SessionStore,
+    frozen: &mut BTreeSet<GlobalGroupId>,
+    event: &ShardEvent,
+) -> Result<()> {
+    match event {
+        ShardEvent::Floor(e) => {
+            arbiter.apply(e)?;
+        }
+        ShardEvent::Session(e) => session.apply(e),
+        ShardEvent::SessionPurge(g) => {
+            session.remove(*g);
+        }
+        ShardEvent::SessionInstall { group, content } => {
+            session.install(*group, content.clone());
+        }
+        ShardEvent::HandoffPrepare(g) => {
+            frozen.insert(*g);
+        }
+        ShardEvent::HandoffCommit(g) | ShardEvent::HandoffAbort(g) => {
+            frozen.remove(g);
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1206,15 +1327,28 @@ mod tests {
             }));
         }
         assert_eq!(log.next_seq(), 6);
-        assert_eq!(log.suffix(4).len(), 2);
+        assert_eq!(log.events_from(4).count(), 2);
+        // Seal mid-stream: a straddling segment must still honor the
+        // compaction base via per-segment skip arithmetic.
+        log.seal();
         log.compact_to(4);
         assert_eq!(log.base(), 4);
         assert_eq!(log.retained(), 2);
-        assert_eq!(log.suffix(4).len(), 2);
-        assert_eq!(log.suffix(6).len(), 0);
+        assert_eq!(log.events_from(4).count(), 2);
+        assert_eq!(log.events_from(6).count(), 0);
         // Compacting backwards is a no-op.
         log.compact_to(2);
         assert_eq!(log.base(), 4);
+        // Sealed coverage ends where the open tail begins.
+        let (segments, sealed_end) = log.segments_from(4);
+        assert_eq!(segments.len(), 1);
+        assert_eq!(sealed_end, 6);
+        log.append(ShardEvent::Floor(ArbiterEvent::CreateGroup {
+            name: "tail".into(),
+            mode: FcmMode::FreeAccess,
+        }));
+        assert_eq!(log.segments_from(4).1, 6);
+        assert_eq!(log.events_from(4).count(), 3);
     }
 
     #[test]

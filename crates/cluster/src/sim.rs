@@ -24,6 +24,14 @@
 //! drops duplicate decisions by id — every submission yields exactly one
 //! recorded decision.
 //!
+//! [`ClusterSim::enable_timeout_retry`] models the client-side timer
+//! instead: every transmission arms a per-request deadline, and an id still
+//! unanswered when the deadline fires is re-sent under the same id — up to a
+//! bounded per-id retry budget — without waiting for any failure signal.
+//! That heals pure message loss on a lossy link (which failover-triggered
+//! retransmission never sees), with the same dedup windows keeping delivery
+//! exactly-once.
+//!
 //! Backpressure note: the simulated gateway applies each request with a
 //! synchronous per-message round-trip (`request_with_id`), so at most one
 //! command per shard is in a bounded ingest queue at any instant and the
@@ -126,6 +134,13 @@ pub enum ClusterMsg {
         /// applying the operation anew.
         replayed: bool,
     },
+    /// Gateway self-timer: check whether `seq` has been answered and re-send
+    /// it under the same id if not (see
+    /// [`ClusterSim::enable_timeout_retry`]).
+    RetryCheck {
+        /// The request id to check.
+        seq: u64,
+    },
 }
 
 impl ClusterMsg {
@@ -135,6 +150,8 @@ impl ClusterMsg {
             ClusterMsg::Decision { outcome, .. } => 64 + outcome.suspensions().len() as u64 * 16,
             ClusterMsg::Session { op, .. } => 16 + op.size_bytes(),
             ClusterMsg::SessionAck { .. } => 48,
+            // A pure gateway timer; never occupies link bandwidth.
+            ClusterMsg::RetryCheck { .. } => 0,
         }
     }
 }
@@ -188,6 +205,11 @@ pub struct ClusterSim {
     answered: BTreeSet<u64>,
     /// `Some(delay)` when gateway retransmission after failover is on.
     retransmission: Option<Duration>,
+    /// `Some((timeout, budget))` when per-request timeout retry is on.
+    timeout_retry: Option<(Duration, u32)>,
+    /// Timeout retries already spent per still-unanswered request id.
+    retry_budget: BTreeMap<u64, u32>,
+    timeout_retries: u64,
     retransmits: u64,
     latencies: Vec<Vec<Duration>>,
     decisions: Vec<(u64, GlobalGroupId, ArbitrationOutcome)>,
@@ -232,6 +254,9 @@ impl ClusterSim {
             outstanding_sessions: BTreeMap::new(),
             answered: BTreeSet::new(),
             retransmission: None,
+            timeout_retry: None,
+            retry_budget: BTreeMap::new(),
+            timeout_retries: 0,
             retransmits: 0,
             latencies: vec![Vec::new(); config.shards],
             decisions: Vec::new(),
@@ -301,6 +326,30 @@ impl ClusterSim {
     /// this makes request delivery exactly-once despite crashes.
     pub fn enable_retransmission(&mut self, delay: Duration) {
         self.retransmission = Some(delay);
+    }
+
+    /// Turns on timeout-driven gateway retry: every (re)transmission of a
+    /// request or session operation arms a check `timeout` later, and an id
+    /// still unanswered when its check fires is re-sent under the same id to
+    /// the host *currently* serving its group — up to `budget` retries per
+    /// id, after which the gateway gives up on it (traced as
+    /// `"retry-exhausted"`).
+    ///
+    /// Orthogonal to [`ClusterSim::enable_retransmission`], which re-sends
+    /// only when a *failover completes*: timeout retry needs no failure
+    /// signal, so it also heals pure message loss on a lossy link. The
+    /// shard dedup windows keep both paths exactly-once — a retry of an
+    /// already-applied id is answered from the decision journal, and the
+    /// gateway drops duplicate answers by id.
+    pub fn enable_timeout_retry(&mut self, timeout: Duration, budget: u32) {
+        self.timeout_retry = Some((timeout, budget));
+    }
+
+    /// Number of timeout-driven retries sent so far (distinct from
+    /// [`ClusterSim::retransmits`], which counts failover/handoff healing
+    /// passes).
+    pub fn timeout_retries(&self) -> u64 {
+        self.timeout_retries
     }
 
     /// Schedules a client floor request to be sent at global time `at`.
@@ -592,6 +641,7 @@ impl ClusterSim {
                     let msg = ClusterMsg::Request { seq, request };
                     let size = msg.size_bytes();
                     let _ = self.net.send(self.gateway, serving, msg, size);
+                    self.arm_retry_check(at, seq);
                 }
                 ClusterMsg::Decision {
                     seq,
@@ -606,6 +656,7 @@ impl ClusterSim {
                         return;
                     }
                     self.outstanding.remove(&seq);
+                    self.retry_budget.remove(&seq);
                     if let Some((sent, shard)) = self.sent_at.get(&seq).copied() {
                         self.latencies[shard.0].push(at.duration_since(sent));
                     }
@@ -636,6 +687,7 @@ impl ClusterSim {
                     let msg = ClusterMsg::Session { seq, op };
                     let size = msg.size_bytes();
                     let _ = self.net.send(self.gateway, serving, msg, size);
+                    self.arm_retry_check(at, seq);
                 }
                 ClusterMsg::SessionAck {
                     seq,
@@ -648,6 +700,7 @@ impl ClusterSim {
                         return;
                     }
                     self.outstanding_sessions.remove(&seq);
+                    self.retry_budget.remove(&seq);
                     self.trace.record(
                         at,
                         Some(from),
@@ -660,7 +713,13 @@ impl ClusterSim {
                     );
                     self.session_acks.push((seq, group, outcome));
                 }
-                ClusterMsg::Request { .. } | ClusterMsg::Session { .. } => {}
+                // A gateway timer: the retry deadline for `seq` passed.
+                ClusterMsg::RetryCheck { seq } if from == to => {
+                    self.timeout_retry_check(at, seq);
+                }
+                ClusterMsg::Request { .. }
+                | ClusterMsg::Session { .. }
+                | ClusterMsg::RetryCheck { .. } => {}
             }
         } else if self.shard_of_host(to).is_some() {
             match msg {
@@ -714,9 +773,73 @@ impl ClusterSim {
                     let size = reply.size_bytes();
                     let _ = self.net.send(to, self.gateway, reply, size);
                 }
-                ClusterMsg::Decision { .. } | ClusterMsg::SessionAck { .. } => {}
+                ClusterMsg::Decision { .. }
+                | ClusterMsg::SessionAck { .. }
+                | ClusterMsg::RetryCheck { .. } => {}
             }
         }
+    }
+
+    /// Arms a timeout-retry check for `seq`, `timeout` after the
+    /// transmission at `at` (no-op unless
+    /// [`ClusterSim::enable_timeout_retry`] is on).
+    fn arm_retry_check(&mut self, at: SimTime, seq: u64) {
+        if let Some((timeout, _)) = self.timeout_retry {
+            self.net
+                .schedule(self.gateway, at + timeout, ClusterMsg::RetryCheck { seq })
+                .expect("gateway timers are always schedulable");
+        }
+    }
+
+    /// A retry deadline fired: if `seq` is still unanswered and its budget
+    /// is not exhausted, re-send it under the same id to the host currently
+    /// serving its group and arm the next check.
+    fn timeout_retry_check(&mut self, at: SimTime, seq: u64) {
+        if self.answered.contains(&seq) {
+            return;
+        }
+        let Some((_, budget)) = self.timeout_retry else {
+            return;
+        };
+        let used = self.retry_budget.get(&seq).copied().unwrap_or(0);
+        if used >= budget {
+            self.trace.record(
+                at,
+                None,
+                "retry-exhausted",
+                format!("seq {seq} abandoned after {used} timeout retries"),
+            );
+            return;
+        }
+        // Re-send under the original id; the placement (and the serving
+        // host) is re-resolved so retries follow failovers and handoffs.
+        let msg = if let Some(request) = self.outstanding.get(&seq).copied() {
+            ClusterMsg::Request { seq, request }
+        } else if let Some(op) = self.outstanding_sessions.get(&seq).cloned() {
+            ClusterMsg::Session { seq, op }
+        } else {
+            return;
+        };
+        let group = match &msg {
+            ClusterMsg::Request { request, .. } => request.group,
+            ClusterMsg::Session { op, .. } => op.group,
+            _ => unreachable!("only submissions are retried"),
+        };
+        let Ok(placement) = self.cluster.placement(group) else {
+            return;
+        };
+        let serving = self.hosts[placement.shard.0].serving;
+        let size = msg.size_bytes();
+        let _ = self.net.send(self.gateway, serving, msg, size);
+        self.retry_budget.insert(seq, used + 1);
+        self.timeout_retries += 1;
+        self.trace.record(
+            at,
+            None,
+            "timeout-retry",
+            format!("seq {seq} re-sent (retry {} of {budget})", used + 1),
+        );
+        self.arm_retry_check(at, seq);
     }
 
     /// Request→decision latency samples observed for one shard, measured
@@ -1117,6 +1240,94 @@ mod tests {
             )
         };
         assert_eq!(run(91), run(91), "identical seeds reproduce exactly");
+    }
+
+    #[test]
+    fn timeout_retry_heals_message_loss_exactly_once() {
+        // A 20% lossy link with no crashes at all: failover-triggered
+        // retransmission would never fire, so only the per-request timer can
+        // heal the drops.
+        let link = Link {
+            loss_rate: 0.2,
+            ..Link::lan()
+        };
+        let mut sim = ClusterSim::new(ClusterConfig::with_shards(2), 23, link);
+        sim.enable_timeout_retry(Duration::from_millis(30), 10);
+        let g = sim
+            .cluster_mut()
+            .create_group("lecture", FcmMode::FreeAccess)
+            .unwrap();
+        let m = sim
+            .cluster_mut()
+            .register_member(Member::new("t", Role::Chair));
+        sim.cluster_mut().join_group(g, m).unwrap();
+        let mut seqs = Vec::new();
+        for i in 0..30u64 {
+            seqs.push(
+                sim.submit_at(SimTime::from_millis(40 * i), GlobalRequest::speak(g, m))
+                    .unwrap(),
+            );
+            seqs.push(
+                sim.submit_session_at(
+                    SimTime::from_millis(40 * i + 20),
+                    SessionOp::chat(g, m, format!("line {i}")),
+                )
+                .unwrap(),
+            );
+        }
+        sim.run_to_idle();
+        assert!(
+            sim.timeout_retries() > 0,
+            "a 20% lossy link must strand some submissions"
+        );
+        assert_eq!(sim.retransmits(), 0, "no failover passes ran");
+        // Exactly one answer per submission despite drops and retries.
+        let mut answered: Vec<u64> = sim
+            .decisions()
+            .iter()
+            .map(|(s, ..)| *s)
+            .chain(sim.session_acks().iter().map(|(s, ..)| *s))
+            .collect();
+        answered.sort_unstable();
+        seqs.sort_unstable();
+        assert_eq!(answered, seqs, "every submission answered exactly once");
+        // And exactly one recorded chat line per session op.
+        assert_eq!(sim.cluster().session_view(g).unwrap().chat.len(), 30);
+        assert!(sim.trace().of_category("timeout-retry").count() > 0);
+        sim.cluster().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn timeout_retry_budget_bounds_the_retries() {
+        // The shard link is fully lossy in both directions, so no request is
+        // ever answered: the gateway must give up after exactly `budget`
+        // retries per id instead of retrying forever.
+        let link = Link {
+            loss_rate: 1.0,
+            ..Link::lan()
+        };
+        let mut sim = ClusterSim::new(ClusterConfig::with_shards(1), 9, link);
+        sim.enable_timeout_retry(Duration::from_millis(30), 3);
+        let g = sim
+            .cluster_mut()
+            .create_group("lecture", FcmMode::FreeAccess)
+            .unwrap();
+        let m = sim
+            .cluster_mut()
+            .register_member(Member::new("t", Role::Chair));
+        sim.cluster_mut().join_group(g, m).unwrap();
+        for i in 0..4u64 {
+            sim.submit_at(SimTime::from_millis(10 * i), GlobalRequest::speak(g, m))
+                .unwrap();
+        }
+        sim.run_to_idle();
+        assert!(sim.decisions().is_empty(), "nothing survives a 100% loss");
+        assert_eq!(
+            sim.timeout_retries(),
+            4 * 3,
+            "exactly budget retries per request"
+        );
+        assert_eq!(sim.trace().of_category("retry-exhausted").count(), 4);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Persistent per-shard worker pipelines with batch-drained, group-committed
-//! ingest.
+//! ingest and a pipelined quorum-replication stage.
 //!
 //! Every shard's [`Shard`] state is owned by exactly one long-lived OS thread
 //! which drains a **bounded** command queue (see the `queue` module) — the
@@ -23,6 +23,20 @@
 //! 3. Replies are released only *after* the group commit (a decision is never
 //!    visible before its event is durable), coalesced per submitting gateway:
 //!    one channel send per gateway per batch instead of one per decision.
+//!
+//! With a nonzero [`ClusterConfig::replicas`](crate::ClusterConfig::replicas),
+//! step 3 additionally waits for a **write quorum**: after the local
+//! group commit the batch's log suffix is shipped to the shard's follower
+//! fleet (see the `replication` module) and its replies park in an in-flight
+//! window while the worker goes straight back to draining and arbitrating the
+//! *next* batch — one quorum round-trip per batch, pipelined. A parked
+//! batch's replies release as soon as enough follower acks cover its end
+//! position, so decisions still never outrun durability (now quorum
+//! durability); the pipeline depth is bounded by
+//! [`ClusterConfig::replica_pipeline`](crate::ClusterConfig::replica_pipeline),
+//! and an idle worker settles every in-flight batch (retransmitting into
+//! lossy links as needed) before it blocks, so no decision is ever held
+//! hostage by an ack that got lost.
 //!
 //! Three command shapes cover everything:
 //!
@@ -70,17 +84,20 @@
 //! assert!(decisions[0].outcome.as_ref().unwrap().is_granted());
 //! ```
 
+use std::collections::VecDeque;
 use std::sync::mpsc::Sender;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use dmps_floor::FloorRequest;
+use dmps_simnet::Link;
 use dmps_telemetry::{saturating_nanos, Stage, TraceSpan};
 
 use crate::cluster::Decision;
-use crate::instrument::WorkerTelemetry;
+use crate::instrument::{ReplicaMetrics, WorkerTelemetry};
 use crate::queue::{bounded, OverloadPolicy, PushError, QueueReceiver, QueueSender, QueueStats};
+use crate::replication::{FollowerCore, ReplicaSet};
 use crate::session::{SessionDecision, SessionEvent};
 use crate::shard::{GlobalGroupId, Shard};
 
@@ -240,39 +257,83 @@ pub(crate) enum ShardCommand {
         /// The pipeline trace span, present on sampled operations.
         span: Option<Box<TraceSpan>>,
     },
-    /// Run a closure with exclusive access to the shard (a batch barrier).
-    With(Box<dyn FnOnce(&mut Shard) + Send>),
+    /// Run a closure with exclusive access to the shard and its replica set
+    /// (a batch barrier; every in-flight batch is quorum-settled first).
+    With(BarrierFn),
 }
 
-/// Handle to one shard's persistent worker thread and its bounded queue.
+/// A boxed control-plane barrier closure (see [`ShardCommand::With`]).
+pub(crate) type BarrierFn = Box<dyn FnOnce(&mut Shard, &mut ReplicaSet) + Send>;
+
+/// Handle to one shard's persistent worker thread and its bounded queue,
+/// plus the read-path ends of the shard's replica fleet.
 #[derive(Debug)]
 pub(crate) struct ShardWorker {
     sender: Option<QueueSender<ShardCommand>>,
     thread: Option<JoinHandle<()>>,
+    /// The shard's follower cores, shared with the routing layer so
+    /// `session_view`-style reads can be served without entering the queue.
+    followers: Vec<Arc<Mutex<FollowerCore>>>,
+    /// The replication instruments (the read path increments the
+    /// follower/forwarded split without touching the registry).
+    replica_metrics: ReplicaMetrics,
 }
 
 impl ShardWorker {
     /// Spawns the worker thread that owns `shard`, draining a bounded queue
     /// of `queue_capacity` ingest commands in group-committed batches of up
-    /// to `ingest_batch`.
+    /// to `ingest_batch`, replicated to `replicas` followers over
+    /// `replica_link` with at most `replica_pipeline` batches awaiting
+    /// quorum.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn spawn(
         shard: Shard,
         registry: Arc<ReplyRegistry>,
         queue_capacity: usize,
         ingest_batch: usize,
         telemetry: WorkerTelemetry,
+        replicas: usize,
+        replica_link: Link,
+        replica_pipeline: usize,
+        replica_metrics: ReplicaMetrics,
     ) -> Self {
         let (sender, receiver) = bounded(queue_capacity);
         let name = format!("dmps-shard-{}", shard.id().index());
         let batch = ingest_batch.max(1);
+        let window = replica_pipeline.max(1);
+        let replica_set =
+            ReplicaSet::new(shard.id(), replicas, replica_link, replica_metrics.clone());
+        let followers = replica_set.followers().to_vec();
         let thread = std::thread::Builder::new()
             .name(name)
-            .spawn(move || run(shard, receiver, registry, batch, telemetry))
+            .spawn(move || {
+                run(
+                    shard,
+                    replica_set,
+                    receiver,
+                    registry,
+                    batch,
+                    window,
+                    telemetry,
+                )
+            })
             .expect("spawn shard worker thread");
         ShardWorker {
             sender: Some(sender),
             thread: Some(thread),
+            followers,
+            replica_metrics,
         }
+    }
+
+    /// The shard's follower cores (empty when unreplicated).
+    pub(crate) fn followers(&self) -> &[Arc<Mutex<FollowerCore>>] {
+        &self.followers
+    }
+
+    /// The shard's replication instruments.
+    pub(crate) fn replica_metrics(&self) -> &ReplicaMetrics {
+        &self.replica_metrics
     }
 
     fn sender(&self) -> &QueueSender<ShardCommand> {
@@ -406,12 +467,76 @@ fn flush_replies(
     }
 }
 
-/// The tail of every batch: group-commit, release the replies, and complete
-/// the batch's sampled spans. Commit latency is recorded only for batches
-/// that actually produced decisions (a `With`-only wakeup commits an empty
-/// batch, which would pollute the histogram with no-op commits).
+/// A group-committed batch whose replies are parked awaiting quorum: the
+/// log position its events run up to, and everything to release once enough
+/// follower acks cover that position.
+struct PendingBatch {
+    /// The shard log's `next_seq` right after this batch's group commit.
+    end_seq: u64,
+    floor: Vec<(ReplyTo<Decision>, Decision)>,
+    session: Vec<(ReplyTo<SessionDecision>, SessionDecision)>,
+    spans: Vec<(Box<TraceSpan>, bool)>,
+}
+
+/// Releases one quorum-covered batch: stamps every decision with the
+/// quorum-committed log position it rode to (the client's read-your-writes
+/// bound), flushes the replies, and completes the sampled spans.
+fn release(registry: &ReplyRegistry, telemetry: &WorkerTelemetry, mut batch: PendingBatch) {
+    for (_, d) in batch.floor.iter_mut() {
+        d.commit = batch.end_seq;
+    }
+    for (_, d) in batch.session.iter_mut() {
+        d.commit = batch.end_seq;
+    }
+    flush_replies(registry, &mut batch.floor, &mut batch.session);
+    for (span, is_session) in batch.spans.drain(..) {
+        telemetry.finish_span(*span, is_session);
+    }
+}
+
+/// Settles the whole pipeline: drives the quorum (retransmitting into lossy
+/// links as needed) up to the newest in-flight batch and releases everything.
+/// Runs before the worker blocks on an empty queue and at every `With`
+/// control barrier — a barrier closure must observe a fully quorum-committed
+/// shard.
+fn settle_all(
+    shard: &mut Shard,
+    replicas: &mut ReplicaSet,
+    inflight: &mut VecDeque<PendingBatch>,
+    registry: &ReplyRegistry,
+    telemetry: &WorkerTelemetry,
+) {
+    if !replicas.is_empty() {
+        // Decision-free appends (control-plane logs) may still sit in the
+        // log's open tail; seal so the retransmission loop can ship them —
+        // an unsealed target would never quorum-commit.
+        shard.seal_log();
+    }
+    if let Some(last) = inflight.back() {
+        replicas.force_quorum(shard, last.end_seq);
+    } else if !replicas.is_empty() {
+        // No parked replies, but decision-free appends may still be short of
+        // quorum; a barrier needs those durable too.
+        replicas.force_quorum(shard, shard.log().next_seq());
+    }
+    while let Some(batch) = inflight.pop_front() {
+        release(registry, telemetry, batch);
+    }
+}
+
+/// The tail of every batch: group-commit, then either release the replies
+/// immediately (unreplicated) or ship the batch's log suffix to the
+/// followers and park the replies in the in-flight window until quorum acks
+/// arrive — the worker returns to draining while they are in flight. Commit
+/// latency is recorded only for batches that actually produced decisions (a
+/// `With`-only wakeup commits an empty batch, which would pollute the
+/// histogram with no-op commits).
+#[allow(clippy::too_many_arguments)]
 fn commit_and_flush(
     shard: &mut Shard,
+    replicas: &mut ReplicaSet,
+    inflight: &mut VecDeque<PendingBatch>,
+    window: usize,
     registry: &ReplyRegistry,
     floor: &mut Vec<(ReplyTo<Decision>, Decision)>,
     session: &mut Vec<(ReplyTo<SessionDecision>, SessionDecision)>,
@@ -429,17 +554,61 @@ fn commit_and_flush(
     for (span, _) in spans.iter_mut() {
         span.stamp(Stage::Committed);
     }
-    flush_replies(registry, floor, session);
-    for (span, is_session) in spans.drain(..) {
-        telemetry.finish_span(*span, is_session);
+    let end_seq = shard.log().next_seq();
+    if replicas.is_empty() {
+        // Unreplicated: the local group commit is the durability point.
+        for (_, d) in floor.iter_mut() {
+            d.commit = end_seq;
+        }
+        for (_, d) in session.iter_mut() {
+            d.commit = end_seq;
+        }
+        flush_replies(registry, floor, session);
+        for (span, is_session) in spans.drain(..) {
+            telemetry.finish_span(*span, is_session);
+        }
+        return;
+    }
+    // The pipelined quorum write: seal the batch into a shared segment and
+    // ship it now, but do not wait for the acks — park the replies and keep
+    // draining. The log and every follower retain the same segment.
+    shard.seal_log();
+    replicas.replicate(shard);
+    if had_decisions || !spans.is_empty() {
+        inflight.push_back(PendingBatch {
+            end_seq,
+            floor: std::mem::take(floor),
+            session: std::mem::take(session),
+            spans: std::mem::take(spans),
+        });
+    }
+    // Opportunistically fold in whatever acks already landed and release
+    // the prefix of the window they cover.
+    replicas.pump();
+    while inflight
+        .front()
+        .is_some_and(|b| b.end_seq <= replicas.quorum_committed())
+    {
+        let batch = inflight.pop_front().expect("checked front");
+        release(registry, telemetry, batch);
+    }
+    // A full window is the pipeline's backpressure: block on the oldest
+    // batch's quorum (retransmitting if its acks were lost) before opening
+    // another.
+    while inflight.len() > window {
+        let batch = inflight.pop_front().expect("len checked");
+        replicas.force_quorum(shard, batch.end_seq);
+        release(registry, telemetry, batch);
     }
 }
 
 fn run(
     mut shard: Shard,
+    mut replicas: ReplicaSet,
     queue: QueueReceiver<ShardCommand>,
     registry: Arc<ReplyRegistry>,
     batch: usize,
+    window: usize,
     telemetry: WorkerTelemetry,
 ) {
     let mut commands: Vec<ShardCommand> = Vec::with_capacity(batch);
@@ -448,16 +617,41 @@ fn run(
     // Sampled spans of the open batch, each tagged session-or-floor so
     // completion feeds the right latency histogram.
     let mut spans: Vec<(Box<TraceSpan>, bool)> = Vec::new();
-    let shard_index = shard.id().index() as u32;
-    while let Some(first) = queue.recv() {
-        commands.push(first);
-        if batch > 1 {
-            queue.drain_into(&mut commands, batch - 1);
+    // Batches group-committed locally but awaiting quorum acks.
+    let mut inflight: VecDeque<PendingBatch> = VecDeque::new();
+    let shard_id = shard.id();
+    let shard_index = shard_id.index() as u32;
+    loop {
+        // Wakeup. With batches in flight the worker must not block — a
+        // parked reply could deadlock its submitter against an idle ack —
+        // so it probes non-blocking first and settles the pipeline before
+        // any blocking wait.
+        if commands.is_empty() {
+            queue.drain_into(&mut commands, batch);
         }
-        // Both are per-wakeup, not per-command, so the drain loop stays
-        // amortized: backlog left behind after this drain, and how many
-        // commands one wakeup took.
+        if commands.is_empty() {
+            settle_all(
+                &mut shard,
+                &mut replicas,
+                &mut inflight,
+                &registry,
+                &telemetry,
+            );
+            match queue.recv() {
+                Some(first) => commands.push(first),
+                None => break,
+            }
+            if batch > 1 {
+                queue.drain_into(&mut commands, batch - 1);
+            }
+        }
+        // All per-wakeup, not per-command, so the drain loop stays
+        // amortized: backlog left behind after this drain, its occupancy
+        // high-water mark, and how many commands one wakeup took.
         telemetry.queue_depth.observe(queue.depth() as u64);
+        telemetry
+            .queue_peak
+            .observe(queue.stats().peak_queued as u64);
         telemetry.drain_batch.record(commands.len() as u64);
         shard.begin_batch();
         for command in commands.drain(..) {
@@ -482,6 +676,8 @@ fn run(
                             group,
                             outcome,
                             replayed,
+                            shard: Some(shard_id),
+                            commit: 0,
                         },
                     ));
                 }
@@ -505,24 +701,37 @@ fn run(
                             group,
                             outcome,
                             replayed,
+                            shard: Some(shard_id),
+                            commit: 0,
                         },
                     ));
                 }
                 ShardCommand::With(f) => {
-                    // Control barrier: commit the open batch and release its
-                    // decisions so the closure observes a fully committed
-                    // shard (handoff exports, snapshots and crashes must
-                    // never see half a batch).
+                    // Control barrier: commit the open batch, then settle
+                    // every in-flight batch to quorum, so the closure
+                    // observes a fully (quorum-)committed shard — handoff
+                    // exports, snapshots, crashes and promotions must never
+                    // see half a batch or an unsettled pipeline.
                     commit_and_flush(
                         &mut shard,
+                        &mut replicas,
+                        &mut inflight,
+                        window,
                         &registry,
                         &mut floor_replies,
                         &mut session_replies,
                         &mut spans,
                         &telemetry,
                     );
+                    settle_all(
+                        &mut shard,
+                        &mut replicas,
+                        &mut inflight,
+                        &registry,
+                        &telemetry,
+                    );
                     let stall = Instant::now();
-                    f(&mut shard);
+                    f(&mut shard, &mut replicas);
                     telemetry
                         .with_stall
                         .record(saturating_nanos(stall.elapsed()));
@@ -531,9 +740,13 @@ fn run(
             }
         }
         // The group commit: one amortized log append + one snapshot-cadence
-        // check for the whole batch, then (and only then) the replies.
+        // check for the whole batch, then the replies — immediately when
+        // unreplicated, after quorum acks when replicated.
         commit_and_flush(
             &mut shard,
+            &mut replicas,
+            &mut inflight,
+            window,
             &registry,
             &mut floor_replies,
             &mut session_replies,
@@ -541,4 +754,13 @@ fn run(
             &telemetry,
         );
     }
+    // Queue closed (cluster teardown): nothing can be in flight — the loop
+    // settles before every blocking receive — but be explicit.
+    settle_all(
+        &mut shard,
+        &mut replicas,
+        &mut inflight,
+        &registry,
+        &telemetry,
+    );
 }

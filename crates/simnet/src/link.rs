@@ -62,6 +62,19 @@ impl Link {
         }
     }
 
+    /// An intra-datacenter replication link: 300 µs latency, 50 µs jitter,
+    /// 1 Gbps, no loss. The default append path between a shard leader and
+    /// its replicas.
+    pub fn replica() -> Self {
+        Link {
+            latency: Duration::from_micros(300),
+            jitter: Duration::from_micros(50),
+            bandwidth_kbps: 1_000_000,
+            loss_rate: 0.0,
+            up: true,
+        }
+    }
+
     /// Builder-style latency override.
     pub fn with_latency(mut self, latency: Duration) -> Self {
         self.latency = latency;
@@ -125,7 +138,13 @@ mod tests {
 
     #[test]
     fn presets_are_valid() {
-        for link in [Link::lan(), Link::dsl(), Link::wan(), Link::default()] {
+        for link in [
+            Link::lan(),
+            Link::dsl(),
+            Link::wan(),
+            Link::replica(),
+            Link::default(),
+        ] {
             assert!(link.validate().is_ok());
             assert!(link.up);
         }
