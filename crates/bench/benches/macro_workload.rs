@@ -1,0 +1,259 @@
+//! Bench: the million-group macro workload — a seeded, realistic population
+//! of presentation sessions replayed against a real sharded cluster, with
+//! machine-readable results written to `BENCH_macro.json`.
+//!
+//! Where `gateway_ingest` measures hot-path ingest under synthetic uniform
+//! load, this harness answers the capacity question at cluster scale: *what
+//! does a production-shaped population of sessions cost?* It expands a
+//! [`WorkloadSpec`] into a trace over four archetypes (lecture / seminar /
+//! panel / breakout, the last mass-spawning sub-sessions through the invite
+//! path), replays it through the batched gateway pipelines, and reports:
+//!
+//! * throughput and sampled submit→decision latency (overall, grant-path,
+//!   session, and per archetype);
+//! * memory per group, on two axes: deterministic per-shard state bytes
+//!   (log + sessions + dedup + snapshots, via `ShardView`) and RSS growth;
+//! * ingest-queue peaks and queue-depth time-series coverage.
+//!
+//! Every replay is also a correctness gate: each streamed decision is
+//! checked against the trace's stamped expectation, every group's end-state
+//! content counts are verified against the reference token model
+//! (exactly-once accounting), and the cluster invariant check must pass.
+//!
+//! Two scales run by default: the CI scale (~5k top-level groups) whose
+//! numbers are committed as the `ci_baseline` section, then the full scale
+//! (10⁵ top-level groups plus spawned breakouts). With `MACRO_CI=1` only the
+//! CI scale runs, nothing is rewritten, and the measured state-bytes-per-
+//! group is asserted against the committed baseline — a >20% regression
+//! fails the run. The deterministic byte axis (not RSS) carries the gate so
+//! host noise can't flake it.
+
+use std::time::Duration;
+
+use dmps_workload::{
+    generate, replay, Archetype, ReplayOptions, ReplayReport, Trace, WorkloadSpec,
+};
+
+const SEED: u64 = 8801;
+const SHARDS: usize = 8;
+const FLUSH_BATCH: usize = 256;
+/// CI fails when state bytes per group exceed the committed baseline by
+/// more than this factor.
+const MEMORY_REGRESSION_BAR: f64 = 1.2;
+/// The bench runs with CWD = crates/bench; the committed artifact lives at
+/// the repository root.
+const BENCH_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_macro.json");
+
+fn run_scale(label: &str, spec: &WorkloadSpec) -> (Trace, ReplayReport) {
+    let trace = generate(spec);
+    trace
+        .check_well_formed()
+        .expect("generated trace is well-formed");
+    let mut opts = ReplayOptions::new(SHARDS);
+    opts.flush_batch = FLUSH_BATCH;
+    let report = replay(&trace, &opts);
+    assert!(
+        report.is_clean(),
+        "{label}: mismatches {:?} / invariants {:?}",
+        report.mismatches,
+        report.invariants
+    );
+    assert_eq!(
+        report.streamed_ops as usize,
+        trace.streamed_ops(),
+        "{label}: exactly one decision per streamed op"
+    );
+    assert_eq!(
+        report.verified_groups,
+        trace.groups.len(),
+        "{label}: every group's end state verified"
+    );
+    let subs = trace.groups.iter().filter(|g| g.parent.is_some()).count();
+    println!(
+        "bench macro_workload/{label:<12} groups {:>7} (+{subs} spawned)  ops {:>8}  \
+         {:>9.0} ops/s  p50 {:?}  p99 {:?}  {:>6.0} state B/group",
+        trace.groups.len() - subs,
+        report.streamed_ops,
+        report.ops_per_sec(),
+        Duration::from_nanos(report.submit_latency.p50()),
+        Duration::from_nanos(report.submit_latency.p99()),
+        report.state_bytes_per_group(),
+    );
+    (trace, report)
+}
+
+fn opt_f64(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| format!("{x:.0}"))
+}
+
+fn section(trace: &Trace, report: &ReplayReport) -> String {
+    let subs = trace.groups.iter().filter(|g| g.parent.is_some()).count();
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "    \"top_groups\": {},\n    \"spawned_sub_groups\": {subs},\n",
+        trace.groups.len() - subs
+    ));
+    s.push_str(&format!(
+        "    \"groups_total\": {},\n    \"memberships\": {},\n",
+        trace.groups.len(),
+        report.memberships
+    ));
+    s.push_str(&format!(
+        "    \"streamed_ops\": {},\n    \"control_ops\": {},\n",
+        report.streamed_ops, report.control_ops
+    ));
+    s.push_str(&format!(
+        "    \"setup_secs\": {:.3},\n    \"replay_secs\": {:.3},\n    \"ops_per_sec\": {:.0},\n",
+        report.setup.as_secs_f64(),
+        report.replay.as_secs_f64(),
+        report.ops_per_sec()
+    ));
+    s.push_str(&format!(
+        "    \"p50_submit_ns\": {},\n    \"p99_submit_ns\": {},\n",
+        report.submit_latency.p50(),
+        report.submit_latency.p99()
+    ));
+    s.push_str(&format!(
+        "    \"p50_grant_ns\": {},\n    \"p99_grant_ns\": {},\n",
+        report.grant_latency.p50(),
+        report.grant_latency.p99()
+    ));
+    s.push_str(&format!(
+        "    \"p50_session_ns\": {},\n    \"p99_session_ns\": {},\n",
+        report.session_latency.p50(),
+        report.session_latency.p99()
+    ));
+    s.push_str(&format!(
+        "    \"state_bytes_per_group\": {:.1},\n",
+        report.state_bytes_per_group()
+    ));
+    s.push_str(&format!(
+        "    \"state_bytes\": {{\"log\": {}, \"session\": {}, \"dedup\": {}, \"snapshot\": {}}},\n",
+        report.state_bytes.log,
+        report.state_bytes.session,
+        report.state_bytes.dedup,
+        report.state_bytes.snapshot
+    ));
+    s.push_str(&format!(
+        "    \"rss_delta_per_group\": {},\n    \"rss_peak_bytes\": {},\n",
+        opt_f64(report.rss_delta_per_group()),
+        opt_f64(report.rss_peak.map(|b| b as f64))
+    ));
+    s.push_str(&format!(
+        "    \"queue_peak\": {},\n    \"queue_depth_samples\": {},\n",
+        report.queue_peak, report.queue_depth_samples
+    ));
+    s.push_str(&format!(
+        "    \"verified_groups\": {},\n    \"mismatches\": {},\n",
+        report.verified_groups, report.mismatch_count
+    ));
+    s.push_str("    \"per_archetype\": [\n");
+    for (i, arch) in Archetype::ALL.iter().enumerate() {
+        let a = &report.per_archetype[i];
+        s.push_str(&format!(
+            "      {{\"archetype\": \"{}\", \"ops\": {}, \"granted\": {}, \"queued\": {}, \
+             \"denied\": {}, \"delivered\": {}, \"rejected\": {}, \"p50_latency_ns\": {}, \
+             \"p99_latency_ns\": {}}}{}\n",
+            arch.label(),
+            a.ops,
+            a.granted,
+            a.queued,
+            a.denied,
+            a.delivered,
+            a.rejected,
+            a.latency.p50(),
+            a.latency.p99(),
+            if i + 1 == Archetype::ALL.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    s.push_str("    ]\n  }");
+    s
+}
+
+/// Pulls `ci_baseline.state_bytes_per_group` out of the committed
+/// `BENCH_macro.json` without a JSON parser: finds the `ci_baseline` key,
+/// then the first `state_bytes_per_group` after it.
+fn committed_ci_state_bytes_per_group() -> Option<f64> {
+    let body = std::fs::read_to_string(BENCH_PATH).ok()?;
+    let start = body.find("\"ci_baseline\"")?;
+    let field = "\"state_bytes_per_group\":";
+    let at = body[start..].find(field)? + start + field.len();
+    let rest = body[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn enforce_memory_gate(measured: f64) {
+    match committed_ci_state_bytes_per_group() {
+        Some(committed) => {
+            let ratio = measured / committed;
+            println!(
+                "bench macro_workload/memory-gate  measured {measured:.1} B/group vs committed \
+                 {committed:.1} (ratio {ratio:.3}, bar {MEMORY_REGRESSION_BAR:.2})"
+            );
+            assert!(
+                ratio <= MEMORY_REGRESSION_BAR,
+                "memory per group regressed: {measured:.1} B/group vs committed {committed:.1} \
+                 ({ratio:.2}x > {MEMORY_REGRESSION_BAR:.2}x bar)"
+            );
+        }
+        None => println!(
+            "bench macro_workload/memory-gate  no committed baseline at {BENCH_PATH}, skipping"
+        ),
+    }
+}
+
+fn write_json(ci: &(Trace, ReplayReport), full: &(Trace, ReplayReport)) {
+    let mut body = String::from("{\n");
+    body.push_str("  \"bench\": \"macro_workload\",\n");
+    body.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    ));
+    body.push_str(&format!(
+        "  \"seed\": {SEED},\n  \"shards\": {SHARDS},\n  \"flush_batch\": {FLUSH_BATCH},\n"
+    ));
+    body.push_str(&format!("  \"ci_baseline\": {},\n", section(&ci.0, &ci.1)));
+    body.push_str(&format!("  \"full\": {},\n", section(&full.0, &full.1)));
+    body.push_str("  \"acceptance\": {\n");
+    body.push_str(&format!(
+        "    \"groups_driven\": {},\n",
+        full.0.groups.len()
+    ));
+    body.push_str(&format!(
+        "    \"groups_driven_floor\": 100000,\n    \"mismatches\": {},\n",
+        ci.1.mismatch_count + full.1.mismatch_count
+    ));
+    body.push_str(&format!(
+        "    \"memory_regression_bar\": {MEMORY_REGRESSION_BAR:.2}\n"
+    ));
+    body.push_str("  }\n}\n");
+    std::fs::write(BENCH_PATH, &body).expect("write BENCH_macro.json");
+    println!("\nwrote {BENCH_PATH}");
+    print!("{body}");
+}
+
+fn main() {
+    let ci_only = std::env::var("MACRO_CI").is_ok_and(|v| v == "1");
+
+    let ci = run_scale("ci", &WorkloadSpec::ci(SEED));
+    enforce_memory_gate(ci.1.state_bytes_per_group());
+    if ci_only {
+        // CI mode: the bars above are the gate; the committed artifact is
+        // only rewritten by a full run.
+        return;
+    }
+
+    let full = run_scale("full", &WorkloadSpec::full(SEED));
+    assert!(
+        full.0.groups.len() >= 100_000,
+        "the full scale must drive at least 10^5 groups"
+    );
+    write_json(&ci, &full);
+}

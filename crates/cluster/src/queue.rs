@@ -409,6 +409,34 @@ mod tests {
     }
 
     #[test]
+    fn reset_peak_restarts_window_at_current_occupancy() {
+        let (tx, rx) = bounded::<u32>(4);
+        tx.push(1, OverloadPolicy::Shed).unwrap();
+        tx.push(2, OverloadPolicy::Shed).unwrap();
+        tx.push(3, OverloadPolicy::Shed).unwrap();
+        assert_eq!(tx.stats().peak_queued, 3);
+        assert_eq!(rx.recv(), Some(1));
+        // Two entries are still queued, so the new window's peak starts at
+        // the current occupancy, not zero — queued entries were necessarily
+        // observed inside the window.
+        tx.reset_peak();
+        let stats = tx.stats();
+        assert_eq!(stats.queued, 2);
+        assert_eq!(stats.peak_queued, 2);
+        // Both ends of the channel agree on the windowed peak.
+        assert_eq!(rx.stats().peak_queued, 2);
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(3));
+        // An idle queue restarts the window at zero, and the peak grows
+        // again from there.
+        tx.reset_peak();
+        assert_eq!(tx.stats().peak_queued, 0);
+        tx.push(4, OverloadPolicy::Shed).unwrap();
+        assert_eq!(tx.stats().peak_queued, 1);
+        assert_eq!(rx.recv(), Some(4));
+    }
+
+    #[test]
     fn block_waits_for_space_instead_of_failing() {
         let (tx, rx) = bounded::<u32>(1);
         tx.push(1, OverloadPolicy::Block).unwrap();

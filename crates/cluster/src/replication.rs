@@ -238,6 +238,10 @@ impl FollowerCore {
             session_dedup_entries: 0,
             session_groups: self.session.group_count(),
             frozen_groups: self.frozen.len(),
+            log_bytes: 0,
+            session_bytes: self.session.size_bytes(),
+            dedup_bytes: 0,
+            snapshot_bytes: 0,
             stats: self.arbiter.stats(),
         }
     }

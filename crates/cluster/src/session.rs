@@ -170,6 +170,14 @@ impl SessionOp {
     }
 }
 
+impl SessionEvent {
+    /// Owned heap payload in bytes (the string content the op carries) —
+    /// the variable part of the shard's per-event byte accounting.
+    pub fn heap_bytes(&self) -> u64 {
+        self.kind.payload_bytes()
+    }
+}
+
 /// A session operation translated to shard-local ids — what the owning
 /// shard's worker applies and logs.
 ///
@@ -286,6 +294,25 @@ impl GroupSession {
         self.annotations.extend(other.annotations);
         self.media.extend(other.media);
     }
+
+    /// Approximate in-memory footprint of the recorded content in bytes
+    /// (entry overheads plus string payloads) — the per-group unit of the
+    /// shard's session byte accounting.
+    pub fn size_bytes(&self) -> u64 {
+        let attributed = |v: &[(GlobalMemberId, String)]| -> u64 {
+            v.iter()
+                .map(|(_, s)| (std::mem::size_of::<(GlobalMemberId, String)>() + s.len()) as u64)
+                .sum()
+        };
+        attributed(&self.chat)
+            + attributed(&self.whiteboard)
+            + attributed(&self.annotations)
+            + self
+                .media
+                .iter()
+                .map(|(m, _)| (std::mem::size_of::<(String, SimTime)>() + m.len()) as u64)
+                .sum::<u64>()
+    }
 }
 
 impl Wire for GroupSession {
@@ -327,6 +354,16 @@ impl SessionStore {
     /// Number of groups with recorded session state.
     pub fn group_count(&self) -> usize {
         self.groups.len()
+    }
+
+    /// Approximate in-memory footprint of every group's recorded content,
+    /// in bytes. O(recorded entries) — a diagnostic-path accounting walk,
+    /// not a hot-path counter.
+    pub fn size_bytes(&self) -> u64 {
+        self.groups
+            .values()
+            .map(|g| std::mem::size_of::<GroupSession>() as u64 + g.size_bytes())
+            .sum()
     }
 
     /// Applies a (already floor-gated) delivered event to the group's

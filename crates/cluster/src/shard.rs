@@ -150,6 +150,30 @@ pub enum ShardEvent {
     HandoffAbort(GlobalGroupId),
 }
 
+impl ShardEvent {
+    /// Approximate in-memory footprint in bytes: the enum's inline size plus
+    /// the owned heap payload of the common variants. Rare bookkeeping
+    /// records (handoff markers, purges) and floor events with no sizeable
+    /// heap payload count only their inline size — this is a capacity
+    /// metric, not an allocator audit.
+    pub fn approx_bytes(&self) -> u64 {
+        let inline = std::mem::size_of::<ShardEvent>() as u64;
+        let heap = match self {
+            ShardEvent::Floor(e) => match e {
+                ArbiterEvent::CreateGroup { name, .. } => name.len() as u64,
+                ArbiterEvent::AddMember { member, .. } => {
+                    (member.name.len() + std::mem::size_of_val(member.channels.as_slice())) as u64
+                }
+                _ => 0,
+            },
+            ShardEvent::Session(e) => e.heap_bytes(),
+            ShardEvent::SessionInstall { content, .. } => content.size_bytes(),
+            _ => 0,
+        };
+        inline + heap
+    }
+}
+
 /// A sealed log segment: the sequence number of its first event plus the
 /// shared, immutable event slice (see [`EventLog::seal`]).
 pub type LogSegment<E> = (u64, Arc<[E]>);
@@ -434,6 +458,17 @@ impl<T> DedupWindow<T> {
         }
     }
 
+    /// Approximate in-memory footprint of the window in bytes: map-entry
+    /// overhead plus the inline size of each journaled outcome. O(1) — the
+    /// rare heap payloads inside outcomes (denial reason strings) are not
+    /// walked; this is a capacity metric, not an allocator audit.
+    pub fn approx_bytes(&self) -> u64 {
+        let per_entry = (std::mem::size_of::<u64>()
+            + std::mem::size_of::<(GlobalGroupId, Arc<T>)>()
+            + std::mem::size_of::<T>()) as u64;
+        self.outcomes.len() as u64 * per_entry
+    }
+
     /// Drops the entry for a request id, if present. Used to roll back
     /// journal entries whose events died in an uncommitted group-commit
     /// batch — the journal conceptually rides the log, so it must not
@@ -476,6 +511,18 @@ pub struct ShardView {
     pub session_groups: usize,
     /// Number of groups currently frozen by an in-flight live handoff.
     pub frozen_groups: usize,
+    /// Approximate bytes of the retained log suffix (including any open
+    /// group-commit batch). Zero on follower views — followers retain
+    /// segments by reference, so the leader already accounts for them.
+    pub log_bytes: u64,
+    /// Approximate bytes of recorded session content on this shard.
+    pub session_bytes: u64,
+    /// Approximate bytes held by the floor and session dedup windows
+    /// combined. Zero on follower views (the journal lives on the leader).
+    pub dedup_bytes: u64,
+    /// Encoded size of the latest snapshot in bytes (zero when none was
+    /// taken; zero on follower views).
+    pub snapshot_bytes: u64,
     /// Aggregate floor statistics of the shard's arbiter.
     pub stats: ArbiterStats,
 }
@@ -699,6 +746,15 @@ impl Shard {
             session_dedup_entries: self.session_dedup.len(),
             session_groups: self.session.group_count(),
             frozen_groups: self.frozen.len(),
+            log_bytes: self
+                .log
+                .events_from(self.log.base())
+                .chain(self.pending.iter())
+                .map(ShardEvent::approx_bytes)
+                .sum(),
+            session_bytes: self.session.size_bytes(),
+            dedup_bytes: self.dedup.approx_bytes() + self.session_dedup.approx_bytes(),
+            snapshot_bytes: self.snapshot.as_ref().map_or(0, |s| s.size_bytes() as u64),
             stats: self.arbiter.stats(),
         }
     }

@@ -190,3 +190,54 @@ fn reset_queue_peak_gives_windowed_peaks() {
     cluster.flush();
     assert!(cluster.queue_stats(shard).peak_queued >= 1);
 }
+
+#[test]
+fn queue_peak_series_keeps_history_across_window_resets() {
+    use dmps_cluster::telemetry::Metric;
+
+    let (mut cluster, group, member) = traced_cluster(0);
+    let shard = cluster.placement(group).unwrap().shard;
+    for _ in 0..8 {
+        cluster.submit(GlobalRequest::speak(group, member)).unwrap();
+        cluster
+            .submit(GlobalRequest::release_floor(group, member))
+            .unwrap();
+    }
+    cluster.flush();
+
+    let series = match cluster
+        .metrics()
+        .get(&format!("cluster.shard.{}.queue_peak", shard.0))
+    {
+        Some(Metric::TimeSeries(s)) => s,
+        other => panic!("queue_peak must be a time-series, got {other:?}"),
+    };
+    let observed_before = series.observations();
+    assert!(
+        observed_before > 0,
+        "worker sampled the peak while draining"
+    );
+
+    // Resetting the QueueStats window must not disturb the time-series: the
+    // retained samples (the historical windows) survive, only the live
+    // counter restarts.
+    cluster.reset_queue_peak(shard);
+    assert_eq!(cluster.queue_stats(shard).peak_queued, 0);
+    assert_eq!(series.observations(), observed_before);
+    assert!(!series.samples().is_empty());
+
+    // Traffic in the new window raises the windowed peak again and keeps
+    // appending to the same series.
+    for _ in 0..8 {
+        cluster.submit(GlobalRequest::speak(group, member)).unwrap();
+        cluster
+            .submit(GlobalRequest::release_floor(group, member))
+            .unwrap();
+    }
+    cluster.flush();
+    assert!(cluster.queue_stats(shard).peak_queued >= 1);
+    assert!(
+        series.observations() > observed_before,
+        "the new window's drains keep feeding the series"
+    );
+}

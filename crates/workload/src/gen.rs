@@ -1,0 +1,508 @@
+//! The trace generator: expands a [`WorkloadSpec`] into a deterministic
+//! [`Trace`].
+//!
+//! Each group gets its own seeded RNG stream (a pure function of the spec
+//! seed and the group index), so trace content is independent of generation
+//! order and two runs with equal specs produce byte-identical traces. Group
+//! scripts follow the archetype shapes from the paper's session taxonomy:
+//!
+//! * **Lecture** — the teacher takes the floor once and streams annotations,
+//!   chat and media schedules to a large audience; audience chat exercises
+//!   the floor-denied path; the rare "student question" scene queues a
+//!   request, passes the floor down and back.
+//! * **Seminar** — churny request / release / pass traffic with holder
+//!   content in between: the floor token changes hands constantly.
+//! * **Panel** — panelists queue behind the chair, who passes the floor
+//!   down the grant queue (chair-moderated moderation).
+//! * **Breakout** — a free-access plenary that mass-spawns private
+//!   two-member sub-sessions through cross-shard invitations.
+//!
+//! Arrival times are virtual (nanoseconds): each group's script starts
+//! uniformly inside the session window and advances by exponential
+//! inter-arrival gaps, occasionally compressed ~20× to model bursts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::GroupModel;
+use crate::spec::{Archetype, WorkloadSpec};
+use crate::trace::{Expect, OpKind, Trace, TraceGroup, TraceOp, MAX_PAYLOAD};
+
+use dmps_floor::FcmMode;
+
+/// A not-yet-stamped op, carrying its per-group sequence number so the
+/// global time sort can never reorder a group's script.
+struct PendingOp {
+    at: u64,
+    group: u32,
+    order: u32,
+    member: u32,
+    kind: OpKind,
+}
+
+/// One group's script under construction: a seeded RNG, a virtual clock and
+/// the op list. `push` advances the clock by an exponential gap.
+struct Script {
+    rng: StdRng,
+    at: u64,
+    mean_gap_ns: f64,
+    burstiness: f64,
+    payload: (u16, u16),
+    ops: Vec<(u64, u32, OpKind)>,
+}
+
+impl Script {
+    fn new(rng: StdRng, start: u64, mean_gap_ns: f64, spec: &WorkloadSpec) -> Self {
+        Script {
+            rng,
+            at: start,
+            mean_gap_ns: mean_gap_ns.max(1.0),
+            burstiness: spec.burstiness,
+            payload: spec.payload,
+            ops: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, member: u32, kind: OpKind) {
+        let mean = if self.rng.gen_bool(self.burstiness) {
+            self.mean_gap_ns / 20.0
+        } else {
+            self.mean_gap_ns
+        };
+        let u: f64 = self.rng.gen();
+        let gap = (-(1.0 - u).ln() * mean).max(1.0);
+        self.at = self.at.saturating_add(gap as u64);
+        self.ops.push((self.at, member, kind));
+    }
+
+    fn payload_len(&mut self) -> u16 {
+        let (lo, hi) = self.payload;
+        self.rng.gen_range(lo..=hi.max(lo)).min(MAX_PAYLOAD)
+    }
+}
+
+/// A spawn site recorded while scripting a breakout plenary; resolved into
+/// a concrete sub-group (and a patched `Spawn { sub }` op) afterwards.
+struct SpawnSite {
+    parent: u32,
+    op_index: usize,
+    inviter: u32,
+    invitee: u32,
+    at: u64,
+    seed: u64,
+}
+
+fn derive_seed(seed: u64, stream: u64) -> u64 {
+    // Golden-ratio stream split, the same shape splitmix64 uses.
+    seed ^ (stream.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn pick_archetype(rng: &mut StdRng, spec: &WorkloadSpec) -> Archetype {
+    let m = spec.mix;
+    let total = (m.lecture as u32 + m.seminar as u32 + m.panel as u32 + m.breakout as u32).max(1);
+    let roll = rng.gen_range(0..total);
+    if roll < m.lecture as u32 {
+        Archetype::Lecture
+    } else if roll < m.lecture as u32 + m.seminar as u32 {
+        Archetype::Seminar
+    } else if roll < m.lecture as u32 + m.seminar as u32 + m.panel as u32 {
+        Archetype::Panel
+    } else {
+        Archetype::Breakout
+    }
+}
+
+fn lecture(script: &mut Script, members: u32, ops_target: u32) {
+    // The teacher (member 0) takes the floor for the whole session.
+    script.push(0, OpKind::Speak);
+    let mut emitted = 1;
+    while emitted < ops_target {
+        let roll = script.rng.gen_range(0u32..100);
+        if roll < 40 {
+            let len = script.payload_len();
+            script.push(0, OpKind::Annotation { len });
+        } else if roll < 55 {
+            let len = script.payload_len();
+            script.push(0, OpKind::Chat { len });
+        } else if roll < 65 {
+            let len = script.payload_len();
+            script.push(0, OpKind::ScheduleMedia { len });
+        } else if roll < 85 {
+            // Audience chat without the floor: the Equal-Control denied path.
+            let aud = script.rng.gen_range(1..members);
+            let len = script.payload_len();
+            script.push(aud, OpKind::Chat { len });
+        } else if roll < 93 {
+            // Media schedules are membership-gated only, so the audience may.
+            let aud = script.rng.gen_range(1..members);
+            let len = script.payload_len();
+            script.push(aud, OpKind::ScheduleMedia { len });
+        } else {
+            // Student question: queue, get the floor passed, answer, return.
+            let aud = script.rng.gen_range(1..members);
+            script.push(aud, OpKind::Speak);
+            script.push(0, OpKind::Pass { to: aud });
+            let len = script.payload_len();
+            script.push(aud, OpKind::Chat { len });
+            script.push(aud, OpKind::Pass { to: 0 });
+            emitted += 3;
+        }
+        emitted += 1;
+    }
+}
+
+fn seminar(script: &mut Script, members: u32, ops_target: u32) {
+    let mut model = GroupModel::new(FcmMode::EqualControl);
+    while (script.ops.len() as u32) < ops_target {
+        let m = script.rng.gen_range(0..members);
+        let roll = script.rng.gen_range(0u32..100);
+        if roll < 45 {
+            script.push(m, OpKind::Speak);
+            if model.apply(m, &OpKind::Speak) == Expect::Granted {
+                if script.rng.gen_bool(0.6) {
+                    let len = script.payload_len();
+                    let kind = if script.rng.gen_bool(0.5) {
+                        OpKind::Chat { len }
+                    } else {
+                        OpKind::Whiteboard { len }
+                    };
+                    script.push(m, kind);
+                    model.apply(m, &kind);
+                }
+                if script.rng.gen_bool(0.7) || members < 2 {
+                    script.push(m, OpKind::Release);
+                    model.apply(m, &OpKind::Release);
+                } else {
+                    let mut to = script.rng.gen_range(0..members);
+                    if to == m {
+                        to = (to + 1) % members;
+                    }
+                    let kind = OpKind::Pass { to };
+                    script.push(m, kind);
+                    model.apply(m, &kind);
+                }
+            }
+        } else if roll < 65 {
+            // Drain: the current holder releases, promoting the queue front.
+            if let Some(h) = model.holder() {
+                script.push(h, OpKind::Release);
+                model.apply(h, &OpKind::Release);
+            } else {
+                script.push(m, OpKind::Speak);
+                model.apply(m, &OpKind::Speak);
+            }
+        } else if roll < 85 {
+            // Content from whoever; denied unless they hold the floor.
+            let len = script.payload_len();
+            let kind = if script.rng.gen_bool(0.6) {
+                OpKind::Chat { len }
+            } else {
+                OpKind::Annotation { len }
+            };
+            script.push(m, kind);
+            model.apply(m, &kind);
+        } else if roll < 93 {
+            // A release by a non-holder: the NotTokenHolder denial.
+            if model.holder() == Some(m) && members > 1 {
+                let other = (m + 1) % members;
+                script.push(other, OpKind::Release);
+                model.apply(other, &OpKind::Release);
+            } else {
+                script.push(m, OpKind::Release);
+                model.apply(m, &OpKind::Release);
+            }
+        } else {
+            let len = script.payload_len();
+            script.push(m, OpKind::ScheduleMedia { len });
+            model.apply(m, &OpKind::ScheduleMedia { len });
+        }
+    }
+}
+
+fn panel(script: &mut Script, members: u32, ops_target: u32) {
+    let mut model = GroupModel::new(FcmMode::EqualControl);
+    while (script.ops.len() as u32) < ops_target {
+        match model.holder() {
+            None => {
+                // The chair opens (or re-opens) the panel.
+                script.push(0, OpKind::Speak);
+                model.apply(0, &OpKind::Speak);
+            }
+            Some(h) => {
+                if model.queue().is_empty() && members > 1 && script.rng.gen_bool(0.6) {
+                    // Panelists line up behind the holder.
+                    let joins = script.rng.gen_range(1..members.min(4));
+                    for _ in 0..joins {
+                        let p = script.rng.gen_range(1..members);
+                        script.push(p, OpKind::Speak);
+                        model.apply(p, &OpKind::Speak);
+                    }
+                } else if !model.queue().is_empty() && script.rng.gen_bool(0.5) {
+                    // The moderated hand-off: holder passes to the queue front.
+                    let to = model.queue()[0];
+                    let kind = OpKind::Pass { to };
+                    script.push(h, kind);
+                    model.apply(h, &kind);
+                } else if script.rng.gen_bool(0.55) {
+                    let len = script.payload_len();
+                    let kind = if script.rng.gen_bool(0.7) {
+                        OpKind::Chat { len }
+                    } else {
+                        OpKind::Annotation { len }
+                    };
+                    script.push(h, kind);
+                    model.apply(h, &kind);
+                } else {
+                    script.push(h, OpKind::Release);
+                    model.apply(h, &OpKind::Release);
+                }
+            }
+        }
+    }
+}
+
+/// Scripts a breakout plenary and returns its spawn sites (op indexes into
+/// the script that must be patched to `Spawn { sub }` later).
+fn breakout(
+    script: &mut Script,
+    members: u32,
+    ops_target: u32,
+    spawns: u32,
+) -> Vec<(usize, u32, u32)> {
+    let mut sites = Vec::new();
+    let mut spawned = 0;
+    while (script.ops.len() as u32) < ops_target || spawned < spawns {
+        let m = script.rng.gen_range(0..members);
+        let remaining = (ops_target as usize)
+            .saturating_sub(script.ops.len())
+            .max(1);
+        let spawn_prob = ((spawns - spawned) as f64 / remaining as f64).min(1.0);
+        let spawn_now = spawned < spawns
+            && (script.rng.gen_bool(spawn_prob) || script.ops.len() as u32 >= ops_target);
+        if spawn_now && members > 1 {
+            let mut to = script.rng.gen_range(0..members);
+            if to == m {
+                to = (to + 1) % members;
+            }
+            // Placeholder `sub`; patched once the sub-group index is known.
+            script.push(m, OpKind::Spawn { sub: u32::MAX });
+            sites.push((script.ops.len() - 1, m, to));
+            spawned += 1;
+        } else {
+            let roll = script.rng.gen_range(0u32..100);
+            let len = script.payload_len();
+            let kind = if roll < 45 {
+                OpKind::Chat { len }
+            } else if roll < 70 {
+                OpKind::Whiteboard { len }
+            } else if roll < 85 {
+                OpKind::Speak
+            } else {
+                OpKind::ScheduleMedia { len }
+            };
+            script.push(m, kind);
+        }
+    }
+    sites
+}
+
+/// Scripts a spawned two-member private sub-session (Group Discussion: both
+/// sides deliver freely).
+fn sub_session(script: &mut Script, ops_target: u32) {
+    script.push(0, OpKind::Speak);
+    while (script.ops.len() as u32) < ops_target {
+        let m = script.rng.gen_range(0u32..2);
+        let roll = script.rng.gen_range(0u32..100);
+        let len = script.payload_len();
+        let kind = if roll < 50 {
+            OpKind::Chat { len }
+        } else if roll < 80 {
+            OpKind::Whiteboard { len }
+        } else if roll < 92 {
+            OpKind::Speak
+        } else {
+            OpKind::ScheduleMedia { len }
+        };
+        script.push(m, kind);
+    }
+}
+
+/// Expands a spec into its deterministic trace.
+pub fn generate(spec: &WorkloadSpec) -> Trace {
+    let mut groups: Vec<TraceGroup> = Vec::with_capacity(spec.top_groups as usize);
+    let mut ops: Vec<PendingOp> = Vec::new();
+    let mut spawn_sites: Vec<SpawnSite> = Vec::new();
+
+    for i in 0..spec.top_groups {
+        let mut rng = StdRng::seed_from_u64(derive_seed(spec.seed, i as u64));
+        let archetype = pick_archetype(&mut rng, spec);
+        let (size_lo, size_hi, mode) = match archetype {
+            Archetype::Lecture => (
+                spec.lecture_size.0,
+                spec.lecture_size.1,
+                FcmMode::EqualControl,
+            ),
+            Archetype::Seminar => (
+                spec.seminar_size.0,
+                spec.seminar_size.1,
+                FcmMode::EqualControl,
+            ),
+            Archetype::Panel => (spec.panel_size.0, spec.panel_size.1, FcmMode::EqualControl),
+            Archetype::Breakout => (
+                spec.breakout_size.0,
+                spec.breakout_size.1,
+                FcmMode::FreeAccess,
+            ),
+        };
+        let members = rng.gen_range(size_lo.max(2)..=size_hi.max(size_lo.max(2)));
+        let ops_target =
+            rng.gen_range((spec.ops_per_group / 2).max(1)..=(spec.ops_per_group * 3 / 2).max(2));
+        let start = rng.gen_range(0..(spec.virtual_window_ns * 3 / 4).max(1));
+        let mean_gap = (spec.virtual_window_ns as f64 / 4.0) / ops_target as f64;
+        let sub_seed = derive_seed(spec.seed, 0x4000_0000_0000_0000 | i as u64);
+        let mut script = Script::new(rng, start, mean_gap, spec);
+        let sites = match archetype {
+            Archetype::Lecture => {
+                lecture(&mut script, members, ops_target);
+                Vec::new()
+            }
+            Archetype::Seminar => {
+                seminar(&mut script, members, ops_target);
+                Vec::new()
+            }
+            Archetype::Panel => {
+                panel(&mut script, members, ops_target);
+                Vec::new()
+            }
+            Archetype::Breakout => {
+                let spawns = script.rng.gen_range(
+                    spec.breakout_spawns.0..=spec.breakout_spawns.1.max(spec.breakout_spawns.0),
+                );
+                breakout(&mut script, members, ops_target, spawns)
+            }
+        };
+        groups.push(TraceGroup {
+            archetype,
+            mode,
+            members,
+            parent: None,
+        });
+        let base = ops.len();
+        for (order, (at, member, kind)) in script.ops.into_iter().enumerate() {
+            ops.push(PendingOp {
+                at,
+                group: i,
+                order: order as u32,
+                member,
+                kind,
+            });
+        }
+        for (site_no, (op_index, inviter, invitee)) in sites.into_iter().enumerate() {
+            spawn_sites.push(SpawnSite {
+                parent: i,
+                op_index: base + op_index,
+                inviter,
+                invitee,
+                at: ops[base + op_index].at,
+                seed: derive_seed(sub_seed, site_no as u64),
+            });
+        }
+    }
+
+    // Resolve spawn sites into sub-groups, appended after every top-level
+    // group so a sub-group's index always exceeds its parent's (spawn-first
+    // ordering on time ties falls out of the (at, group, order) sort).
+    for site in &spawn_sites {
+        let sub_index = groups.len() as u32;
+        groups.push(TraceGroup {
+            archetype: Archetype::Breakout,
+            mode: FcmMode::GroupDiscussion,
+            members: 2,
+            parent: Some((site.parent, site.inviter, site.invitee)),
+        });
+        ops[site.op_index].kind = OpKind::Spawn { sub: sub_index };
+        let mut rng = StdRng::seed_from_u64(site.seed);
+        let ops_target = rng.gen_range(3..=spec.ops_per_group.max(4));
+        let mean_gap = (spec.virtual_window_ns as f64 / 16.0) / ops_target as f64;
+        let mut script = Script::new(rng, site.at.saturating_add(1), mean_gap, spec);
+        sub_session(&mut script, ops_target);
+        for (order, (at, member, kind)) in script.ops.into_iter().enumerate() {
+            ops.push(PendingOp {
+                at,
+                group: sub_index,
+                order: order as u32,
+                member,
+                kind,
+            });
+        }
+    }
+
+    ops.sort_by_key(|op| (op.at, op.group, op.order));
+
+    // Stamp every op with the outcome the cluster must produce, by running
+    // the reference model over the final global order.
+    let mut models: Vec<GroupModel> = groups.iter().map(|g| GroupModel::new(g.mode)).collect();
+    let stamped = ops
+        .into_iter()
+        .map(|op| {
+            let expect = models[op.group as usize].apply(op.member, &op.kind);
+            TraceOp {
+                at: op.at,
+                group: op.group,
+                member: op.member,
+                kind: op.kind,
+                expect,
+            }
+        })
+        .collect();
+
+    Trace {
+        seed: spec.seed,
+        groups,
+        ops: stamped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_traces_are_well_formed() {
+        for seed in [1u64, 7, 42] {
+            let trace = generate(&WorkloadSpec::small(seed));
+            trace.check_well_formed().unwrap_or_else(|e| {
+                panic!("seed {seed}: {e}");
+            });
+            assert!(trace.streamed_ops() > 0);
+        }
+    }
+
+    #[test]
+    fn equal_specs_generate_byte_identical_traces() {
+        let a = generate(&WorkloadSpec::small(99));
+        let b = generate(&WorkloadSpec::small(99));
+        assert_eq!(a.encode_wire(), b.encode_wire());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = generate(&WorkloadSpec::small(1));
+        let b = generate(&WorkloadSpec::small(2));
+        assert_ne!(a.encode_wire(), b.encode_wire());
+    }
+
+    #[test]
+    fn every_archetype_appears_at_default_mix() {
+        let trace = generate(&WorkloadSpec::small(5));
+        let per = trace.ops_per_archetype();
+        assert!(
+            per.iter().all(|&n| n > 0),
+            "mix covers all archetypes: {per:?}"
+        );
+        assert!(
+            trace.groups.iter().any(|g| g.parent.is_some()),
+            "breakouts spawned sub-sessions"
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! # dmps-workload
+//!
+//! A deterministic macro-workload harness for the sharded DMPS floor-control
+//! cluster: seeded, realistic session traces — replayed against the real
+//! batched gateway pipelines — with latency, throughput and memory-per-group
+//! axes, doubling as an end-to-end correctness rig.
+//!
+//! The micro-benches measure hot paths with synthetic uniform load; this
+//! crate answers the capacity question the paper's CWcollab deployment
+//! raises at cluster scale: *what does a production-shaped population of
+//! presentation sessions cost?* A [`WorkloadSpec`] expands (pure function of
+//! its seed) into a [`Trace`] over four session archetypes:
+//!
+//! * **lecture** — one speaker, a large audience, rare floor churn;
+//! * **seminar** — churny request / release / pass floor traffic;
+//! * **panel** — chair-moderated grant queues;
+//! * **breakout** — free-access plenaries mass-spawning private
+//!   sub-sessions through cross-shard invitations;
+//!
+//! with exponential / bursty virtual-time arrivals. Every trace op is
+//! stamped with the outcome the cluster must produce (derived from a
+//! reference [`GroupModel`] of the token semantics), so the replayer
+//! ([`replay()`]) verifies **every streamed decision** and the final
+//! per-group content counts — exactly-once accounting — while it measures:
+//!
+//! * throughput and sampled submit→decision latency histograms (overall,
+//!   grant-path and session, plus per archetype);
+//! * memory per group, from both RSS probes ([`rss`]) and the cluster's
+//!   deterministic per-shard state-byte accounting
+//!   ([`ShardView`](dmps_cluster::ShardView) byte fields);
+//! * ingest-queue peaks and depth time-series coverage.
+//!
+//! A [`CrashPlan`] turns a replay into a failover drill: a shard is killed
+//! and recovered mid-storm and every in-flight op must still resolve to
+//! exactly one decision with the stamped outcome.
+//!
+//! ```
+//! use dmps_workload::{generate, replay, ReplayOptions, WorkloadSpec};
+//!
+//! let trace = generate(&WorkloadSpec::small(42));
+//! trace.check_well_formed().unwrap();
+//! let report = replay(&trace, &ReplayOptions::new(2));
+//! assert!(report.is_clean());
+//! assert_eq!(report.streamed_ops as usize, trace.streamed_ops());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod model;
+pub mod replay;
+pub mod rss;
+pub mod spec;
+pub mod trace;
+
+pub use gen::generate;
+pub use model::GroupModel;
+pub use replay::{replay, ArchetypeReport, CrashPlan, ReplayOptions, ReplayReport, StateBytes};
+pub use spec::{Archetype, ArchetypeMix, WorkloadSpec};
+pub use trace::{payload_text, Expect, OpKind, Trace, TraceGroup, TraceOp};

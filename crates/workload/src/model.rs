@@ -1,0 +1,199 @@
+//! A reference model of one group's floor-control and session semantics.
+//!
+//! [`GroupModel`] mirrors exactly what the cluster's arbiter and session
+//! store do with a trace operation — token request/release/pass FIFO
+//! semantics, Equal-Control floor gating of content, membership-only gating
+//! of media schedules — so the generator can stamp every operation with its
+//! expected outcome and the replayer can verify each streamed decision plus
+//! the final per-group content counts (exactly-once accounting).
+
+use dmps_floor::FcmMode;
+
+use crate::trace::{Expect, OpKind};
+
+/// Dense indexes into per-group content-count arrays.
+pub const CONTENT_CHAT: usize = 0;
+/// Whiteboard strokes.
+pub const CONTENT_WHITEBOARD: usize = 1;
+/// Teacher annotations.
+pub const CONTENT_ANNOTATION: usize = 2;
+/// Synchronized media schedules.
+pub const CONTENT_MEDIA: usize = 3;
+
+/// The model of one group: who holds the floor token, who waits, and how
+/// many content items of each kind have been delivered.
+///
+/// Mirrors `dmps-floor`'s token semantics:
+/// * `Speak` in Equal Control grants when the token is free or already held
+///   by the requester (idempotent), otherwise FIFO-queues (idempotent when
+///   already queued). In the non-token modes `Speak` always grants.
+/// * `Release` grants only for the holder and promotes the queue front;
+///   anyone else is denied (`NotTokenHolder`). Tokens exist in every mode,
+///   so a release in a mode whose `Speak` never takes the token is denied.
+/// * `Pass` grants only for the holder, hands the token to the target and
+///   removes the target from the waiting queue.
+/// * Chat / whiteboard / annotation content is floor-gated in Equal Control
+///   (holder-only); media schedules are membership-gated only.
+#[derive(Debug, Clone)]
+pub struct GroupModel {
+    mode: FcmMode,
+    holder: Option<u32>,
+    queue: Vec<u32>,
+    /// Delivered content counts, indexed by the `CONTENT_*` constants.
+    pub content: [u64; 4],
+}
+
+impl GroupModel {
+    /// A fresh model for a group arbitrated under `mode`.
+    pub fn new(mode: FcmMode) -> Self {
+        GroupModel {
+            mode,
+            holder: None,
+            queue: Vec::new(),
+            content: [0; 4],
+        }
+    }
+
+    /// The member currently holding the floor token, if any.
+    pub fn holder(&self) -> Option<u32> {
+        self.holder
+    }
+
+    /// The members waiting for the token, front first.
+    pub fn queue(&self) -> &[u32] {
+        &self.queue
+    }
+
+    /// Whether `Speak` arbitrates the token in this group's mode.
+    fn token_mode(&self) -> bool {
+        self.mode == FcmMode::EqualControl
+    }
+
+    /// Whether `member` may deliver floor-gated content right now.
+    fn may_deliver(&self, member: u32) -> bool {
+        !self.token_mode() || self.holder == Some(member)
+    }
+
+    /// Applies one operation and returns the outcome the cluster must
+    /// produce for it.
+    pub fn apply(&mut self, member: u32, kind: &OpKind) -> Expect {
+        match *kind {
+            OpKind::Speak => {
+                if !self.token_mode() {
+                    return Expect::Granted;
+                }
+                match self.holder {
+                    None => {
+                        self.holder = Some(member);
+                        Expect::Granted
+                    }
+                    Some(h) if h == member => Expect::Granted,
+                    Some(_) => {
+                        if !self.queue.contains(&member) {
+                            self.queue.push(member);
+                        }
+                        Expect::Queued
+                    }
+                }
+            }
+            OpKind::Release => {
+                if self.holder == Some(member) {
+                    self.holder = if self.queue.is_empty() {
+                        None
+                    } else {
+                        Some(self.queue.remove(0))
+                    };
+                    Expect::Granted
+                } else {
+                    Expect::Denied
+                }
+            }
+            OpKind::Pass { to } => {
+                if self.holder == Some(member) {
+                    self.holder = Some(to);
+                    self.queue.retain(|&m| m != to);
+                    Expect::Granted
+                } else {
+                    Expect::Denied
+                }
+            }
+            OpKind::Chat { .. } => self.deliver(member, CONTENT_CHAT),
+            OpKind::Whiteboard { .. } => self.deliver(member, CONTENT_WHITEBOARD),
+            OpKind::Annotation { .. } => self.deliver(member, CONTENT_ANNOTATION),
+            OpKind::ScheduleMedia { .. } => {
+                // Media schedules are membership-gated, never floor-gated.
+                self.content[CONTENT_MEDIA] += 1;
+                Expect::Delivered
+            }
+            OpKind::Spawn { .. } => Expect::Control,
+        }
+    }
+
+    fn deliver(&mut self, member: u32, slot: usize) -> Expect {
+        if self.may_deliver(member) {
+            self.content[slot] += 1;
+            Expect::Delivered
+        } else {
+            Expect::RejectedFloor
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_control_token_fifo() {
+        let mut m = GroupModel::new(FcmMode::EqualControl);
+        assert_eq!(m.apply(0, &OpKind::Speak), Expect::Granted);
+        assert_eq!(m.apply(0, &OpKind::Speak), Expect::Granted, "idempotent");
+        assert_eq!(m.apply(1, &OpKind::Speak), Expect::Queued);
+        assert_eq!(m.apply(2, &OpKind::Speak), Expect::Queued);
+        assert_eq!(m.apply(1, &OpKind::Speak), Expect::Queued, "idempotent");
+        assert_eq!(m.queue(), &[1, 2]);
+        assert_eq!(m.apply(1, &OpKind::Release), Expect::Denied);
+        assert_eq!(m.apply(0, &OpKind::Release), Expect::Granted);
+        assert_eq!(m.holder(), Some(1), "queue front promoted");
+        assert_eq!(m.apply(1, &OpKind::Pass { to: 2 }), Expect::Granted);
+        assert_eq!(m.holder(), Some(2));
+        assert!(m.queue().is_empty(), "pass target left the queue");
+        assert_eq!(m.apply(2, &OpKind::Release), Expect::Granted);
+        assert_eq!(m.holder(), None);
+    }
+
+    #[test]
+    fn equal_control_gates_content_but_not_media() {
+        let mut m = GroupModel::new(FcmMode::EqualControl);
+        m.apply(0, &OpKind::Speak);
+        assert_eq!(m.apply(0, &OpKind::Chat { len: 4 }), Expect::Delivered);
+        assert_eq!(
+            m.apply(1, &OpKind::Chat { len: 4 }),
+            Expect::RejectedFloor,
+            "non-holder content is floor-denied"
+        );
+        assert_eq!(
+            m.apply(1, &OpKind::ScheduleMedia { len: 4 }),
+            Expect::Delivered,
+            "media schedules are not content"
+        );
+        assert_eq!(m.content, [1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn free_access_delivers_everything_but_denies_release() {
+        let mut m = GroupModel::new(FcmMode::FreeAccess);
+        assert_eq!(m.apply(3, &OpKind::Speak), Expect::Granted);
+        assert_eq!(m.apply(3, &OpKind::Chat { len: 1 }), Expect::Delivered);
+        assert_eq!(
+            m.apply(5, &OpKind::Whiteboard { len: 1 }),
+            Expect::Delivered
+        );
+        assert_eq!(
+            m.apply(3, &OpKind::Release),
+            Expect::Denied,
+            "free-access speak never takes the token, so release is denied"
+        );
+        assert_eq!(m.content, [1, 1, 0, 0]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Workload specification: everything the trace generator needs, in one
+//! seeded, value-type struct. Two specs with equal fields generate
+//! byte-identical traces.
+
+/// The four session archetypes the harness models, grounded in the
+/// CWcollab observation that different session types produce structurally
+/// different traffic shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Archetype {
+    /// One speaker, large audience, rare floor churn: the teacher holds the
+    /// token and streams annotations / chat / media schedules; audience
+    /// chat without the token exercises the floor-denied path.
+    Lecture,
+    /// Small group, churny request / release / pass traffic — the shape
+    /// back-to-back benches never produce.
+    Seminar,
+    /// Chair-moderated grant queues (the UMPIRE flow): panelists queue
+    /// behind the chair, who passes the floor down the queue.
+    Panel,
+    /// A free-access plenary that mass-spawns private sub-sessions through
+    /// cross-shard invitations.
+    Breakout,
+}
+
+impl Archetype {
+    /// All archetypes, in stable order (indexes match [`Archetype::index`]).
+    pub const ALL: [Archetype; 4] = [
+        Archetype::Lecture,
+        Archetype::Seminar,
+        Archetype::Panel,
+        Archetype::Breakout,
+    ];
+
+    /// Stable dense index (0..4) for per-archetype accounting arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Archetype::Lecture => 0,
+            Archetype::Seminar => 1,
+            Archetype::Panel => 2,
+            Archetype::Breakout => 3,
+        }
+    }
+
+    /// Stable lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Archetype::Lecture => "lecture",
+            Archetype::Seminar => "seminar",
+            Archetype::Panel => "panel",
+            Archetype::Breakout => "breakout",
+        }
+    }
+}
+
+/// Archetype mix in percent of top-level groups. Anything left after the
+/// named shares falls to seminar (the churniest shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchetypeMix {
+    /// Percent of lecture groups.
+    pub lecture: u8,
+    /// Percent of seminar groups.
+    pub seminar: u8,
+    /// Percent of panel groups.
+    pub panel: u8,
+    /// Percent of breakout plenaries (each additionally spawns sub-groups).
+    pub breakout: u8,
+}
+
+impl Default for ArchetypeMix {
+    fn default() -> Self {
+        ArchetypeMix {
+            lecture: 15,
+            seminar: 65,
+            panel: 12,
+            breakout: 8,
+        }
+    }
+}
+
+/// Everything the trace generator consumes. The struct is plain data: two
+/// equal specs generate byte-identical traces, which is what the proptest
+/// determinism property pins down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Root seed; every derived stream (per-group scripts, arrival times,
+    /// payload sizes) is a pure function of it.
+    pub seed: u64,
+    /// Number of top-level groups (breakout sub-groups come on top).
+    pub top_groups: u32,
+    /// Archetype mix over the top-level groups.
+    pub mix: ArchetypeMix,
+    /// Mean number of streamed operations per group script.
+    pub ops_per_group: u32,
+    /// Virtual session window the arrival process spreads group activity
+    /// over, in nanoseconds of virtual time.
+    pub virtual_window_ns: u64,
+    /// Probability that a script scene arrives as a burst (inter-arrival
+    /// gaps shrunk ~20×) instead of at the archetype's base cadence.
+    pub burstiness: f64,
+    /// Payload size range for session content, in bytes.
+    pub payload: (u16, u16),
+    /// Lecture audience size range (including the teacher).
+    pub lecture_size: (u32, u32),
+    /// Seminar roster size range.
+    pub seminar_size: (u32, u32),
+    /// Panel roster size range (member 0 is the chair).
+    pub panel_size: (u32, u32),
+    /// Breakout plenary roster size range.
+    pub breakout_size: (u32, u32),
+    /// Sub-groups each breakout plenary spawns (range).
+    pub breakout_spawns: (u32, u32),
+}
+
+impl WorkloadSpec {
+    /// A small spec for unit tests and doc examples (hundreds of ops).
+    pub fn small(seed: u64) -> Self {
+        WorkloadSpec {
+            seed,
+            top_groups: 24,
+            mix: ArchetypeMix::default(),
+            ops_per_group: 8,
+            virtual_window_ns: 60_000_000_000, // one virtual minute
+            burstiness: 0.25,
+            payload: (8, 96),
+            lecture_size: (6, 12),
+            seminar_size: (3, 6),
+            panel_size: (4, 7),
+            breakout_size: (5, 9),
+            breakout_spawns: (1, 3),
+        }
+    }
+
+    /// The CI / integration-test scale: ~5k groups, every archetype, small
+    /// rosters so setup stays fast on one core.
+    pub fn ci(seed: u64) -> Self {
+        WorkloadSpec {
+            top_groups: 5_000,
+            ..WorkloadSpec::small(seed)
+        }
+    }
+
+    /// The committed-benchmark scale: ≥10⁵ groups driven (top-level plus
+    /// spawned breakout sub-sessions).
+    pub fn full(seed: u64) -> Self {
+        WorkloadSpec {
+            seed,
+            top_groups: 100_000,
+            mix: ArchetypeMix::default(),
+            ops_per_group: 10,
+            virtual_window_ns: 3_600_000_000_000, // one virtual hour
+            burstiness: 0.25,
+            payload: (8, 160),
+            lecture_size: (16, 48),
+            seminar_size: (4, 10),
+            panel_size: (4, 9),
+            breakout_size: (6, 14),
+            breakout_spawns: (1, 4),
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! Trace representation: the fully-materialized, deterministic operation
+//! stream a workload spec expands into.
+//!
+//! A [`Trace`] is plain data — groups, rosters and a time-sorted operation
+//! list, each op stamped with the outcome the cluster must produce for it
+//! ([`Expect`]). [`Trace::encode_wire`] gives a canonical byte encoding
+//! (same spec ⇒ byte-identical trace, the property the workload proptests
+//! pin), and [`Trace::check_well_formed`] re-derives every stamped
+//! expectation from the reference model, so a malformed generator change
+//! cannot silently ship impossible traces.
+
+use dmps_floor::FcmMode;
+use dmps_wire::Writer;
+
+use crate::model::GroupModel;
+use crate::spec::Archetype;
+
+/// Longest payload any trace op may carry; payload text is sliced from one
+/// static pattern so the trace itself only stores lengths.
+pub const MAX_PAYLOAD: u16 = 256;
+
+const PAYLOAD_PATTERN: &str =
+    "lorem ipsum dolor sit amet consectetur adipiscing elit sed do eiusmod \
+     tempor incididunt ut labore et dolore magna aliqua ut enim ad minim \
+     veniam quis nostrud exercitation ullamco laboris nisi ut aliquip ex ea \
+     commodo consequat duis aute irure dolor!";
+
+/// The deterministic payload text for a trace op of length `len` (clamped
+/// to [`MAX_PAYLOAD`]).
+pub fn payload_text(len: u16) -> &'static str {
+    let len = (len as usize).min(PAYLOAD_PATTERN.len());
+    &PAYLOAD_PATTERN[..len]
+}
+
+/// One operation kind in a trace. Content kinds carry only the payload
+/// *length*; the bytes come from [`payload_text`] at replay time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Request the floor (token request in Equal Control).
+    Speak,
+    /// Release the floor token.
+    Release,
+    /// Pass the floor token to another roster member (local index).
+    Pass {
+        /// Local roster index of the recipient.
+        to: u32,
+    },
+    /// A message-window line.
+    Chat {
+        /// Payload length in bytes.
+        len: u16,
+    },
+    /// A whiteboard stroke.
+    Whiteboard {
+        /// Payload length in bytes.
+        len: u16,
+    },
+    /// A teacher annotation.
+    Annotation {
+        /// Payload length in bytes.
+        len: u16,
+    },
+    /// A synchronized media schedule (membership-gated, never floor-gated).
+    ScheduleMedia {
+        /// Media-name length in bytes.
+        len: u16,
+    },
+    /// Spawn a breakout sub-session: the acting member invites another
+    /// parent member into trace group `sub` (a control-plane op — invite +
+    /// acceptance — with no streamed decision).
+    Spawn {
+        /// Trace index of the spawned sub-group.
+        sub: u32,
+    },
+}
+
+impl OpKind {
+    /// Whether the op rides the floor-request pipeline (vs the session
+    /// pipeline or the control plane).
+    pub fn is_floor(&self) -> bool {
+        matches!(self, OpKind::Speak | OpKind::Release | OpKind::Pass { .. })
+    }
+
+    /// Whether the op rides the session pipeline.
+    pub fn is_session(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Chat { .. }
+                | OpKind::Whiteboard { .. }
+                | OpKind::Annotation { .. }
+                | OpKind::ScheduleMedia { .. }
+        )
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            OpKind::Speak => 0,
+            OpKind::Release => 1,
+            OpKind::Pass { .. } => 2,
+            OpKind::Chat { .. } => 3,
+            OpKind::Whiteboard { .. } => 4,
+            OpKind::Annotation { .. } => 5,
+            OpKind::ScheduleMedia { .. } => 6,
+            OpKind::Spawn { .. } => 7,
+        }
+    }
+}
+
+/// The outcome the cluster must produce for a trace op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expect {
+    /// Floor request granted.
+    Granted,
+    /// Floor request queued behind the current holder.
+    Queued,
+    /// Floor request denied (`NotTokenHolder` release/pass).
+    Denied,
+    /// Session content delivered.
+    Delivered,
+    /// Session content rejected by floor control (`FloorDenied`).
+    RejectedFloor,
+    /// Control-plane op (spawn); no streamed decision.
+    Control,
+}
+
+impl Expect {
+    fn tag(&self) -> u8 {
+        match self {
+            Expect::Granted => 0,
+            Expect::Queued => 1,
+            Expect::Denied => 2,
+            Expect::Delivered => 3,
+            Expect::RejectedFloor => 4,
+            Expect::Control => 5,
+        }
+    }
+}
+
+/// One group in a trace: archetype, mode, roster size and (for breakout
+/// sub-sessions) the spawning parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceGroup {
+    /// Which archetype script produced this group.
+    pub archetype: Archetype,
+    /// The floor-control mode the group is arbitrated under.
+    pub mode: FcmMode,
+    /// Roster size; members are local indexes `0..members` (member 0 is the
+    /// chair/teacher where the archetype has one).
+    pub members: u32,
+    /// `Some((parent, inviter, invitee))` for a spawned sub-session: trace
+    /// index of the parent group plus the parent-local roster indexes of the
+    /// inviting and invited members. The sub-group's roster is exactly those
+    /// two, as local members 0 and 1.
+    pub parent: Option<(u32, u32, u32)>,
+}
+
+fn mode_tag(mode: FcmMode) -> u8 {
+    match mode {
+        FcmMode::FreeAccess => 0,
+        FcmMode::EqualControl => 1,
+        FcmMode::GroupDiscussion => 2,
+        FcmMode::DirectContact => 3,
+    }
+}
+
+/// One operation: virtual arrival time, acting group/member, kind, and the
+/// stamped expected outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Virtual arrival time in nanoseconds since the window start.
+    pub at: u64,
+    /// Trace index of the acted-on group.
+    pub group: u32,
+    /// Local roster index of the acting member.
+    pub member: u32,
+    /// What the member does.
+    pub kind: OpKind,
+    /// What the cluster must answer.
+    pub expect: Expect,
+}
+
+/// A fully-expanded workload trace: the deterministic product of one
+/// [`WorkloadSpec`](crate::WorkloadSpec).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// The seed the trace was generated from.
+    pub seed: u64,
+    /// All groups; top-level groups first, spawned sub-groups after (so a
+    /// sub-group's index is always greater than its parent's).
+    pub groups: Vec<TraceGroup>,
+    /// All operations, sorted by `(at, group, per-group order)`.
+    pub ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// Number of operations that stream a decision (everything but spawns).
+    pub fn streamed_ops(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| op.expect != Expect::Control)
+            .count()
+    }
+
+    /// Total roster seats across all groups (sub-group seats reuse parent
+    /// members, so this counts memberships, not people).
+    pub fn memberships(&self) -> u64 {
+        self.groups.iter().map(|g| g.members as u64).sum()
+    }
+
+    /// Per-archetype streamed-op counts (spawn/control ops excluded),
+    /// indexed by [`Archetype::index`].
+    pub fn ops_per_archetype(&self) -> [u64; 4] {
+        let mut counts = [0u64; 4];
+        for op in &self.ops {
+            if op.expect != Expect::Control {
+                counts[self.groups[op.group as usize].archetype.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Canonical byte encoding of the whole trace (dmps-wire token stream).
+    /// Equal specs generate byte-identical encodings — the determinism
+    /// property the workload proptests assert.
+    pub fn encode_wire(&self) -> String {
+        let mut w = Writer::new();
+        w.u64(self.seed);
+        w.u64(self.groups.len() as u64);
+        for g in &self.groups {
+            w.u64(g.archetype.index() as u64);
+            w.u64(mode_tag(g.mode) as u64);
+            w.u64(g.members as u64);
+            match g.parent {
+                Some((p, from, to)) => {
+                    w.bool(true);
+                    w.u64(p as u64);
+                    w.u64(from as u64);
+                    w.u64(to as u64);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.u64(self.ops.len() as u64);
+        for op in &self.ops {
+            w.u64(op.at);
+            w.u64(op.group as u64);
+            w.u64(op.member as u64);
+            w.u64(op.kind.tag() as u64);
+            match op.kind {
+                OpKind::Pass { to } => w.u64(to as u64),
+                OpKind::Chat { len }
+                | OpKind::Whiteboard { len }
+                | OpKind::Annotation { len }
+                | OpKind::ScheduleMedia { len } => w.u64(len as u64),
+                OpKind::Spawn { sub } => w.u64(sub as u64),
+                OpKind::Speak | OpKind::Release => {}
+            }
+            w.u64(op.expect.tag() as u64);
+        }
+        w.finish()
+    }
+
+    /// The final delivered-content counts each group must show after a
+    /// faithful replay, indexed like `groups` (slots per the
+    /// `crate::model::CONTENT_*` constants).
+    pub fn expected_content(&self) -> Vec<[u64; 4]> {
+        let mut models: Vec<GroupModel> = self
+            .groups
+            .iter()
+            .map(|g| GroupModel::new(g.mode))
+            .collect();
+        for op in &self.ops {
+            models[op.group as usize].apply(op.member, &op.kind);
+        }
+        models.into_iter().map(|m| m.content).collect()
+    }
+
+    /// Structural validation: every stamped expectation is re-derived from
+    /// the reference model, membership/spawn references are sound, times are
+    /// sorted, and releases balance grants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn check_well_formed(&self) -> Result<(), String> {
+        // Group-level structure.
+        for (i, g) in self.groups.iter().enumerate() {
+            if g.members == 0 {
+                return Err(format!("group {i}: empty roster"));
+            }
+            if let Some((p, from, to)) = g.parent {
+                let parent = self
+                    .groups
+                    .get(p as usize)
+                    .ok_or_else(|| format!("group {i}: unknown parent {p}"))?;
+                if p as usize >= i {
+                    return Err(format!("group {i}: parent {p} not earlier in the trace"));
+                }
+                if parent.parent.is_some() {
+                    return Err(format!("group {i}: parent {p} is itself a sub-group"));
+                }
+                if from >= parent.members || to >= parent.members || from == to {
+                    return Err(format!("group {i}: bad inviter/invitee {from}/{to}"));
+                }
+                if g.members != 2 {
+                    return Err(format!("sub-group {i}: roster must be the invited pair"));
+                }
+            }
+        }
+
+        // Op-level structure + model re-derivation.
+        let mut models: Vec<GroupModel> = self
+            .groups
+            .iter()
+            .map(|g| GroupModel::new(g.mode))
+            .collect();
+        let mut spawned_at: Vec<Option<usize>> = vec![None; self.groups.len()];
+        let mut acquisitions = vec![0u64; self.groups.len()];
+        let mut releases = vec![0u64; self.groups.len()];
+        let mut last_at = 0u64;
+        for (idx, op) in self.ops.iter().enumerate() {
+            if op.at < last_at {
+                return Err(format!("op {idx}: time went backwards"));
+            }
+            last_at = op.at;
+            let g = self
+                .groups
+                .get(op.group as usize)
+                .ok_or_else(|| format!("op {idx}: unknown group {}", op.group))?;
+            if op.member >= g.members {
+                return Err(format!(
+                    "op {idx}: member {} outside roster of {}",
+                    op.member, g.members
+                ));
+            }
+            if g.parent.is_some() && spawned_at[op.group as usize].is_none() {
+                return Err(format!(
+                    "op {idx}: sub-group {} acted on before its spawn",
+                    op.group
+                ));
+            }
+            match op.kind {
+                OpKind::Pass { to } if to >= g.members => {
+                    return Err(format!("op {idx}: pass target {to} outside roster"));
+                }
+                OpKind::Chat { len }
+                | OpKind::Whiteboard { len }
+                | OpKind::Annotation { len }
+                | OpKind::ScheduleMedia { len }
+                    if len > MAX_PAYLOAD =>
+                {
+                    return Err(format!("op {idx}: payload length {len} over cap"));
+                }
+                OpKind::Spawn { sub } => {
+                    let child = self
+                        .groups
+                        .get(sub as usize)
+                        .ok_or_else(|| format!("op {idx}: unknown sub-group {sub}"))?;
+                    match child.parent {
+                        Some((p, from, _)) if p == op.group && from == op.member => {}
+                        _ => {
+                            return Err(format!(
+                                "op {idx}: spawn of {sub} does not match its parent link"
+                            ));
+                        }
+                    }
+                    if spawned_at[sub as usize].replace(idx).is_some() {
+                        return Err(format!("op {idx}: sub-group {sub} spawned twice"));
+                    }
+                }
+                _ => {}
+            }
+            let model = &mut models[op.group as usize];
+            let holder_before = model.holder();
+            let derived = model.apply(op.member, &op.kind);
+            if derived != op.expect {
+                return Err(format!(
+                    "op {idx}: stamped {:?} but model derives {:?} for {:?} by {} in group {}",
+                    op.expect, derived, op.kind, op.member, op.group
+                ));
+            }
+            match op.kind {
+                OpKind::Speak if derived == Expect::Granted && holder_before.is_none() => {
+                    acquisitions[op.group as usize] += 1;
+                }
+                // A release with a non-empty queue promotes the front instead
+                // of freeing the token, so only token-freeing releases count.
+                OpKind::Release if derived == Expect::Granted && model.holder().is_none() => {
+                    releases[op.group as usize] += 1;
+                }
+                _ => {}
+            }
+        }
+        for (i, g) in self.groups.iter().enumerate() {
+            if g.parent.is_some() && spawned_at[i].is_none() {
+                return Err(format!("sub-group {i} is never spawned"));
+            }
+            // A granted release needs a prior acquisition; passes move the
+            // token without freeing it, so releases never exceed the number
+            // of times the token was taken from free.
+            if releases[i] > acquisitions[i] {
+                return Err(format!(
+                    "group {i}: {} granted releases exceed {} token acquisitions",
+                    releases[i], acquisitions[i]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_text_is_clamped_and_stable() {
+        assert_eq!(payload_text(0), "");
+        assert_eq!(payload_text(5), "lorem");
+        assert_eq!(payload_text(u16::MAX).len(), PAYLOAD_PATTERN.len());
+    }
+
+    #[test]
+    fn well_formedness_rejects_unspawned_sub_group_ops() {
+        let trace = Trace {
+            seed: 1,
+            groups: vec![
+                TraceGroup {
+                    archetype: Archetype::Breakout,
+                    mode: FcmMode::FreeAccess,
+                    members: 4,
+                    parent: None,
+                },
+                TraceGroup {
+                    archetype: Archetype::Breakout,
+                    mode: FcmMode::GroupDiscussion,
+                    members: 2,
+                    parent: Some((0, 1, 2)),
+                },
+            ],
+            ops: vec![TraceOp {
+                at: 5,
+                group: 1,
+                member: 0,
+                kind: OpKind::Chat { len: 3 },
+                expect: Expect::Delivered,
+            }],
+        };
+        let err = trace.check_well_formed().unwrap_err();
+        assert!(err.contains("before its spawn"), "{err}");
+    }
+
+    #[test]
+    fn well_formedness_rejects_wrong_expectations() {
+        let trace = Trace {
+            seed: 1,
+            groups: vec![TraceGroup {
+                archetype: Archetype::Seminar,
+                mode: FcmMode::EqualControl,
+                members: 3,
+                parent: None,
+            }],
+            ops: vec![TraceOp {
+                at: 0,
+                group: 0,
+                member: 1,
+                kind: OpKind::Release,
+                expect: Expect::Granted, // model derives Denied
+            }],
+        };
+        let err = trace.check_well_formed().unwrap_err();
+        assert!(err.contains("model derives"), "{err}");
+    }
+}

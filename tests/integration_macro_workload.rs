@@ -1,0 +1,85 @@
+//! CI-scale macro-workload integration: a ~5k-group trace spanning all four
+//! session archetypes is replayed against a real sharded cluster, with every
+//! streamed decision checked against the trace's stamped expectation and the
+//! final per-group content counts verified exactly — then again with a
+//! seeded mid-run shard crash, proving the exactly-one-decision contract at
+//! macro scale (zero lost, zero duplicated decisions).
+
+use dmps_workload::{generate, replay, CrashPlan, ReplayOptions, Trace, WorkloadSpec};
+
+const SEED: u64 = 2001;
+const SHARDS: usize = 8;
+
+fn ci_trace() -> Trace {
+    let trace = generate(&WorkloadSpec::ci(SEED));
+    trace.check_well_formed().expect("ci trace is well-formed");
+    trace
+}
+
+#[test]
+fn ci_scale_trace_covers_every_archetype() {
+    let trace = ci_trace();
+    assert!(trace.groups.len() >= 5_000, "ci spec stands up ~5k groups");
+    let per_arch = trace.ops_per_archetype();
+    for (i, &count) in per_arch.iter().enumerate() {
+        assert!(count > 0, "archetype index {i} generated no streamed ops");
+    }
+    let subs = trace.groups.iter().filter(|g| g.parent.is_some()).count();
+    assert!(subs > 0, "breakout plenaries spawned sub-sessions");
+}
+
+#[test]
+fn ci_scale_replay_is_faithful_and_exactly_once() {
+    let trace = ci_trace();
+    let mut opts = ReplayOptions::new(SHARDS);
+    opts.flush_batch = 256; // stay well inside the 1024-entry dedup window
+    let report = replay(&trace, &opts);
+
+    assert!(
+        report.is_clean(),
+        "mismatches: {:?} / invariants: {:?}",
+        report.mismatches,
+        report.invariants
+    );
+    // Exactly one decision per streamed op — none lost, none duplicated.
+    assert_eq!(report.streamed_ops as usize, trace.streamed_ops());
+    assert_eq!(report.mismatch_count, 0);
+    // Every group's end-state content counts matched the reference model.
+    assert_eq!(report.verified_groups, trace.groups.len());
+    assert!(report.invariants.is_ok());
+    // All four archetypes actually streamed traffic through the cluster.
+    for arch in &report.per_archetype {
+        assert!(arch.ops > 0);
+    }
+    // The memory axes are live: deterministic byte accounting plus (on
+    // Linux) RSS probes.
+    assert!(report.state_bytes.total() > 0);
+    assert!(report.state_bytes_per_group() > 0.0);
+}
+
+#[test]
+fn ci_scale_replay_survives_mid_run_crash_exactly_once() {
+    let trace = ci_trace();
+    let mut opts = ReplayOptions::new(SHARDS);
+    opts.flush_batch = 128;
+    opts.crash = Some(CrashPlan {
+        at_op: trace.ops.len() / 2,
+        shard: 3,
+    });
+    let report = replay(&trace, &opts);
+
+    assert!(
+        report.is_clean(),
+        "mismatches: {:?} / invariants: {:?}",
+        report.mismatches,
+        report.invariants
+    );
+    // The crash forced the retry path: in-flight ops on the dead shard came
+    // back as errors and were resubmitted under their original ids.
+    assert!(report.resubmits > 0, "crash produced no resubmits");
+    // Still exactly one decision per streamed op, and the end state is
+    // byte-for-byte what the reference model predicts — nothing was lost in
+    // the crash and the dedup window absorbed every replayed commit.
+    assert_eq!(report.streamed_ops as usize, trace.streamed_ops());
+    assert_eq!(report.verified_groups, trace.groups.len());
+}
