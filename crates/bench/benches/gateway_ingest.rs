@@ -77,6 +77,7 @@ fn campus(
         // saturation axis turns the journal on because its shed/resubmit
         // loop depends on exactly-once replay.
         snapshot_every: 0,
+        snapshot_every_bytes: 0,
         dedup_window,
         queue_capacity,
         overload,

@@ -13,6 +13,9 @@
 //!   session, and per archetype);
 //! * memory per group, on two axes: deterministic per-shard state bytes
 //!   (log + sessions + dedup + snapshots, via `ShardView`) and RSS growth;
+//! * checkpoint cost, on two axes: ingest-stall pause (`snapshot_pause_us`,
+//!   max + p99 — the number the incremental-checkpoint work exists to
+//!   shrink) and deterministic differential-checkpoint bytes per group;
 //! * ingest-queue peaks and queue-depth time-series coverage.
 //!
 //! Every replay is also a correctness gate: each streamed decision is
@@ -24,14 +27,20 @@
 //! numbers are committed as the `ci_baseline` section, then the full scale
 //! (10⁵ top-level groups plus spawned breakouts). With `MACRO_CI=1` only the
 //! CI scale runs, nothing is rewritten, and the measured state-bytes-per-
-//! group is asserted against the committed baseline — a >20% regression
-//! fails the run. The deterministic byte axis (not RSS) carries the gate so
-//! host noise can't flake it.
+//! group and delta-bytes-per-group are asserted against the committed
+//! baselines — a regression past the bar fails the run. The deterministic
+//! byte axes (not RSS, not pause timings) carry the gates so host noise
+//! can't flake them.
+//!
+//! Both modes also run the crash soak: the [`WorkloadSpec::soak`] trace
+//! replayed with 2 followers per shard and a rolling seeded crash schedule
+//! that kills every shard mid-traffic — zero mismatches and bounded
+//! promotion catch-up are asserted, not just reported.
 
 use std::time::Duration;
 
 use dmps_workload::{
-    generate, replay, Archetype, ReplayOptions, ReplayReport, Trace, WorkloadSpec,
+    generate, replay, Archetype, CrashPlan, ReplayOptions, ReplayReport, Trace, WorkloadSpec,
 };
 
 const SEED: u64 = 8801;
@@ -40,6 +49,14 @@ const FLUSH_BATCH: usize = 256;
 /// CI fails when state bytes per group exceed the committed baseline by
 /// more than this factor.
 const MEMORY_REGRESSION_BAR: f64 = 1.2;
+/// CI fails when differential-checkpoint bytes per group exceed the
+/// committed baseline by more than this factor. Slightly looser than the
+/// state-bytes bar: delta volume tracks dirty-set churn, which shifts more
+/// under benign workload-generator changes than resident state does.
+const DELTA_REGRESSION_BAR: f64 = 1.35;
+/// The crash soak fails if a follower promotion ever has to replay a
+/// committed tail longer than this many events.
+const SOAK_LAG_CEILING: u64 = 8_192;
 /// The bench runs with CWD = crates/bench; the committed artifact lives at
 /// the repository root.
 const BENCH_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_macro.json");
@@ -71,13 +88,15 @@ fn run_scale(label: &str, spec: &WorkloadSpec) -> (Trace, ReplayReport) {
     let subs = trace.groups.iter().filter(|g| g.parent.is_some()).count();
     println!(
         "bench macro_workload/{label:<12} groups {:>7} (+{subs} spawned)  ops {:>8}  \
-         {:>9.0} ops/s  p50 {:?}  p99 {:?}  {:>6.0} state B/group",
+         {:>9.0} ops/s  p50 {:?}  p99 {:?}  {:>6.0} state B/group  pause p99 {}us max {}us",
         trace.groups.len() - subs,
         report.streamed_ops,
         report.ops_per_sec(),
         Duration::from_nanos(report.submit_latency.p50()),
         Duration::from_nanos(report.submit_latency.p99()),
         report.state_bytes_per_group(),
+        report.snapshot_pause_us.p99(),
+        report.snapshot_pause_us.max(),
     );
     (trace, report)
 }
@@ -135,6 +154,17 @@ fn section(trace: &Trace, report: &ReplayReport) -> String {
         report.state_bytes.snapshot
     ));
     s.push_str(&format!(
+        "    \"snapshot_pause_us\": {{\"count\": {}, \"max\": {}, \"p99\": {}}},\n",
+        report.snapshot_pause_us.count(),
+        report.snapshot_pause_us.max(),
+        report.snapshot_pause_us.p99()
+    ));
+    s.push_str(&format!(
+        "    \"snapshot_deltas\": {},\n    \"snapshot_delta_bytes_per_group\": {:.1},\n",
+        report.snapshot_deltas,
+        delta_bytes_per_group(trace, report)
+    ));
+    s.push_str(&format!(
         "    \"rss_delta_per_group\": {},\n    \"rss_peak_bytes\": {},\n",
         opt_f64(report.rss_delta_per_group()),
         opt_f64(report.rss_peak.map(|b| b as f64))
@@ -174,14 +204,21 @@ fn section(trace: &Trace, report: &ReplayReport) -> String {
     s
 }
 
-/// Pulls `ci_baseline.state_bytes_per_group` out of the committed
-/// `BENCH_macro.json` without a JSON parser: finds the `ci_baseline` key,
-/// then the first `state_bytes_per_group` after it.
-fn committed_ci_state_bytes_per_group() -> Option<f64> {
+/// Differential-checkpoint bytes normalized per driven group — the
+/// deterministic axis the CI gate rides (byte volume, not pause timing, so
+/// host noise can't flake it).
+fn delta_bytes_per_group(trace: &Trace, report: &ReplayReport) -> f64 {
+    report.snapshot_delta_bytes as f64 / trace.groups.len().max(1) as f64
+}
+
+/// Pulls `ci_baseline.<axis>` out of the committed `BENCH_macro.json`
+/// without a JSON parser: finds the `ci_baseline` key, then the first
+/// occurrence of the axis after it.
+fn committed_ci_axis(axis: &str) -> Option<f64> {
     let body = std::fs::read_to_string(BENCH_PATH).ok()?;
     let start = body.find("\"ci_baseline\"")?;
-    let field = "\"state_bytes_per_group\":";
-    let at = body[start..].find(field)? + start + field.len();
+    let field = format!("\"{axis}\":");
+    let at = body[start..].find(&field)? + start + field.len();
     let rest = body[at..].trim_start();
     let end = rest
         .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
@@ -189,24 +226,74 @@ fn committed_ci_state_bytes_per_group() -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-fn enforce_memory_gate(measured: f64) {
-    match committed_ci_state_bytes_per_group() {
-        Some(committed) => {
+/// Asserts `measured / committed <= bar` for one deterministic CI axis,
+/// skipping (with a note) when the committed artifact predates the axis.
+fn enforce_ci_gate(label: &str, axis: &str, measured: f64, bar: f64) {
+    match committed_ci_axis(axis) {
+        Some(committed) if committed > 0.0 => {
             let ratio = measured / committed;
             println!(
-                "bench macro_workload/memory-gate  measured {measured:.1} B/group vs committed \
-                 {committed:.1} (ratio {ratio:.3}, bar {MEMORY_REGRESSION_BAR:.2})"
+                "bench macro_workload/{label}-gate  measured {measured:.1} B/group vs committed \
+                 {committed:.1} (ratio {ratio:.3}, bar {bar:.2})"
             );
             assert!(
-                ratio <= MEMORY_REGRESSION_BAR,
-                "memory per group regressed: {measured:.1} B/group vs committed {committed:.1} \
-                 ({ratio:.2}x > {MEMORY_REGRESSION_BAR:.2}x bar)"
+                ratio <= bar,
+                "{label} per group regressed: {measured:.1} B/group vs committed {committed:.1} \
+                 ({ratio:.2}x > {bar:.2}x bar)"
             );
         }
-        None => println!(
-            "bench macro_workload/memory-gate  no committed baseline at {BENCH_PATH}, skipping"
+        _ => println!(
+            "bench macro_workload/{label}-gate  no committed \"{axis}\" baseline at \
+             {BENCH_PATH}, skipping"
         ),
     }
+}
+
+/// The crash soak: the long-script [`WorkloadSpec::soak`] trace replayed
+/// with follower replication and a rolling seeded crash schedule that kills
+/// every shard (round-robin) while the trace is in flight. Every crash goes
+/// through follower promotion; the assertions are exactly-once delivery
+/// (zero mismatches, every streamed op decided exactly once) and bounded
+/// promotion catch-up.
+fn run_soak() {
+    const SOAK_SHARDS: usize = 4;
+    const SOAK_CRASHES: usize = 8;
+    let spec = WorkloadSpec::soak(SEED);
+    let trace = generate(&spec);
+    trace
+        .check_well_formed()
+        .expect("soak trace is well-formed");
+    let mut opts = ReplayOptions::new(SOAK_SHARDS);
+    opts.replicas = 2;
+    opts.flush_batch = 64;
+    opts.crashes = CrashPlan::rolling(SOAK_CRASHES, trace.ops.len(), SOAK_SHARDS);
+    let report = replay(&trace, &opts);
+    assert!(
+        report.is_clean(),
+        "soak: mismatches {:?} / invariants {:?}",
+        report.mismatches,
+        report.invariants
+    );
+    assert_eq!(
+        report.streamed_ops as usize,
+        trace.streamed_ops(),
+        "soak: exactly one decision per streamed op across {SOAK_CRASHES} crashes"
+    );
+    assert!(
+        report.catch_up_lag_max <= SOAK_LAG_CEILING,
+        "soak: promotion catch-up unbounded: {} events > {SOAK_LAG_CEILING}",
+        report.catch_up_lag_max
+    );
+    println!(
+        "bench macro_workload/soak         groups {:>7}  ops {:>8}  crashes {SOAK_CRASHES}  \
+         resubmits {}  catch-up lag max {}  pause p99 {}us max {}us",
+        trace.groups.len(),
+        report.streamed_ops,
+        report.resubmits,
+        report.catch_up_lag_max,
+        report.snapshot_pause_us.p99(),
+        report.snapshot_pause_us.max(),
+    );
 }
 
 fn write_json(ci: &(Trace, ReplayReport), full: &(Trace, ReplayReport)) {
@@ -231,7 +318,14 @@ fn write_json(ci: &(Trace, ReplayReport), full: &(Trace, ReplayReport)) {
         ci.1.mismatch_count + full.1.mismatch_count
     ));
     body.push_str(&format!(
-        "    \"memory_regression_bar\": {MEMORY_REGRESSION_BAR:.2}\n"
+        "    \"full_p99_submit_ns\": {},\n    \"full_p99_submit_target_ns\": 40000000,\n",
+        full.1.submit_latency.p99()
+    ));
+    body.push_str(&format!(
+        "    \"memory_regression_bar\": {MEMORY_REGRESSION_BAR:.2},\n"
+    ));
+    body.push_str(&format!(
+        "    \"delta_bytes_regression_bar\": {DELTA_REGRESSION_BAR:.2}\n"
     ));
     body.push_str("  }\n}\n");
     std::fs::write(BENCH_PATH, &body).expect("write BENCH_macro.json");
@@ -243,7 +337,19 @@ fn main() {
     let ci_only = std::env::var("MACRO_CI").is_ok_and(|v| v == "1");
 
     let ci = run_scale("ci", &WorkloadSpec::ci(SEED));
-    enforce_memory_gate(ci.1.state_bytes_per_group());
+    enforce_ci_gate(
+        "memory",
+        "state_bytes_per_group",
+        ci.1.state_bytes_per_group(),
+        MEMORY_REGRESSION_BAR,
+    );
+    enforce_ci_gate(
+        "delta-bytes",
+        "snapshot_delta_bytes_per_group",
+        delta_bytes_per_group(&ci.0, &ci.1),
+        DELTA_REGRESSION_BAR,
+    );
+    run_soak();
     if ci_only {
         // CI mode: the bars above are the gate; the committed artifact is
         // only rewritten by a full run.

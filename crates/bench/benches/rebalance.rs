@@ -35,6 +35,7 @@ const MEMBERS: usize = 3;
 fn busy_campus() -> (Cluster, Vec<(GlobalGroupId, Vec<GlobalMemberId>)>) {
     let mut cluster = Cluster::new(ClusterConfig {
         snapshot_every: 0,
+        snapshot_every_bytes: 0,
         dedup_window: 256,
         ..ClusterConfig::with_shards(SHARDS)
     });

@@ -49,6 +49,7 @@ fn campus(replicas: usize) -> (Cluster, Lectures) {
         // Durability knobs match the gateway_ingest throughput axes so the
         // unreplicated comparator is the same machine measured there.
         snapshot_every: 0,
+        snapshot_every_bytes: 0,
         dedup_window: 0,
         ingest_batch: 512,
         ..ClusterConfig::with_shards(SHARDS)

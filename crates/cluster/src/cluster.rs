@@ -49,7 +49,23 @@ pub struct ClusterConfig {
     /// Virtual nodes per shard on the consistent-hash ring.
     pub vnodes: usize,
     /// Snapshot cadence per shard (events between snapshots; 0 disables).
+    /// Used as the fallback cadence when [`ClusterConfig::snapshot_every_bytes`]
+    /// is 0.
     pub snapshot_every: u64,
+    /// Byte-driven checkpoint cadence: a shard checkpoints once the events
+    /// committed since its last checkpoint exceed this many (approximate)
+    /// bytes. 0 falls back to the event-count cadence of
+    /// [`ClusterConfig::snapshot_every`]. Byte cadence tracks durability
+    /// *work* rather than op count, so payload-heavy and payload-light
+    /// workloads checkpoint at comparable cost.
+    pub snapshot_every_bytes: u64,
+    /// Maximum differential checkpoints chained on one full snapshot base
+    /// before the next checkpoint is forced full. 0 makes every checkpoint a
+    /// full snapshot (the legacy stop-the-world behavior). Longer chains
+    /// shrink the steady-state checkpoint pause (each delta ships only state
+    /// touched since the last checkpoint) at the cost of a longer base+chain
+    /// fold at recovery.
+    pub snapshot_chain: u64,
     /// Per-shard dedup window: how many recent decisions a shard remembers
     /// to answer gateway retries idempotently (0 disables dedup).
     pub dedup_window: usize,
@@ -104,6 +120,8 @@ impl ClusterConfig {
             shards,
             vnodes: 64,
             snapshot_every: 256,
+            snapshot_every_bytes: 256 * 1024,
+            snapshot_chain: 24,
             dedup_window: 1024,
             queue_capacity: 4096,
             overload: OverloadPolicy::Block,
@@ -419,6 +437,7 @@ impl Core {
         let workers = (0..config.shards)
             .map(|i| {
                 let mut shard = Shard::new(ShardId(i), config.snapshot_every, config.dedup_window);
+                shard.set_snapshot_policy(config.snapshot_every_bytes, config.snapshot_chain);
                 shard.set_metrics(telemetry.shard(i));
                 ShardWorker::spawn(
                     shard,
@@ -1371,6 +1390,7 @@ impl Core {
         let id = self.directory.grow_ring();
         debug_assert_eq!(id.0, workers.len());
         let mut shard = Shard::new(id, self.config.snapshot_every, self.config.dedup_window);
+        shard.set_snapshot_policy(self.config.snapshot_every_bytes, self.config.snapshot_chain);
         shard.set_metrics(self.telemetry.shard(id.0));
         workers.push(ShardWorker::spawn(
             shard,

@@ -10,6 +10,10 @@
 //!   `queue_peak` time-series, `drain_batch` sizes, `commit_latency_ns`,
 //!   `append_latency_ns`, `snapshot_pause_ns`, `with_stall_ns`,
 //!   `dedup_hits`, `session_dedup_hits`).
+//! * `cluster.shard.N.snapshot.*` — checkpoint instruments (`pause_us`
+//!   ingest-stall histogram covering full and differential checkpoints,
+//!   `delta_bytes` shipped by differential checkpoints, `chain_len` observed
+//!   at each checkpoint).
 //! * `cluster.shard.N.replica.*` — replication instruments (`acks` received
 //!   from followers, `retransmits` of lost append segments, `resyncs` of
 //!   compaction-lagged followers, the `catch_up_lag` replayed at promotion,
@@ -139,6 +143,15 @@ impl ClusterTelemetry {
             snapshot_pause: self
                 .registry
                 .histogram(&format!("cluster.shard.{index}.snapshot_pause_ns")),
+            snapshot_pause_us: self
+                .registry
+                .histogram(&format!("cluster.shard.{index}.snapshot.pause_us")),
+            delta_bytes: self
+                .registry
+                .counter(&format!("cluster.shard.{index}.snapshot.delta_bytes")),
+            chain_len: self
+                .registry
+                .histogram(&format!("cluster.shard.{index}.snapshot.chain_len")),
             dedup_hits: self
                 .registry
                 .counter(&format!("cluster.shard.{index}.dedup_hits")),
@@ -240,6 +253,14 @@ pub(crate) struct ShardMetrics {
     pub(crate) append_latency: Arc<Histogram>,
     /// Full snapshot-capture pause duration.
     pub(crate) snapshot_pause: Arc<Histogram>,
+    /// Checkpoint pause duration in microseconds — both full snapshots and
+    /// differential checkpoints, so its max/p99 is the ingest stall the
+    /// checkpoint subsystem as a whole inflicts.
+    pub(crate) snapshot_pause_us: Arc<Histogram>,
+    /// Total bytes shipped in differential checkpoints since start.
+    pub(crate) delta_bytes: Arc<Counter>,
+    /// Chain length observed at each checkpoint (0 = a fresh full base).
+    pub(crate) chain_len: Arc<Histogram>,
     /// Floor requests answered from the dedup window (replays).
     pub(crate) dedup_hits: Arc<Counter>,
     /// Session operations answered from the dedup window (replays).

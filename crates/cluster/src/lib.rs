@@ -197,6 +197,6 @@ pub use session::{
 };
 pub use shard::{
     DedupWindow, EventLog, GlobalGroupId, GlobalMemberId, HandoffExport, Shard, ShardEvent,
-    ShardSnapshot, ShardState, ShardView,
+    ShardSnapshot, ShardState, ShardView, SnapshotDelta,
 };
 pub use sim::{ClusterMsg, ClusterSim};

@@ -57,6 +57,7 @@ use crate::ring::ShardId;
 use crate::session::SessionStore;
 use crate::shard::{
     replay_event, GlobalGroupId, Shard, ShardEvent, ShardSnapshot, ShardState, ShardView,
+    SnapshotDelta,
 };
 
 /// Estimated wire size of one logged event, for the simulated link's
@@ -82,11 +83,17 @@ pub(crate) enum ReplicaMsg {
         /// The follower's durable position (next sequence it needs shipped).
         acked: u64,
     },
-    /// Leader → follower: full state re-seed for a follower that fell behind
-    /// the leader's compaction base.
+    /// Leader → follower: state re-seed for a follower that fell behind the
+    /// leader's compaction base. Ships only the checkpoint suffix the
+    /// follower is missing: the full base is included only when the
+    /// follower's acked position predates it; otherwise just the
+    /// differential checkpoints past that position.
     Resync {
-        /// The leader's current snapshot.
-        snapshot: Box<ShardSnapshot>,
+        /// The leader's full snapshot base, when the follower needs it.
+        base: Option<Box<ShardSnapshot>>,
+        /// The differential checkpoints the follower is missing, oldest
+        /// first (a contiguous suffix of the leader's chain).
+        deltas: Vec<SnapshotDelta>,
     },
 }
 
@@ -97,7 +104,11 @@ impl ReplicaMsg {
                 events.len() as u64 * EVENT_SIZE_ESTIMATE + FRAME_SIZE_ESTIMATE
             }
             ReplicaMsg::Ack { .. } => FRAME_SIZE_ESTIMATE,
-            ReplicaMsg::Resync { snapshot } => snapshot.size_bytes() as u64 + FRAME_SIZE_ESTIMATE,
+            ReplicaMsg::Resync { base, deltas } => {
+                base.as_ref().map_or(0, |s| s.size_bytes() as u64)
+                    + deltas.iter().map(|d| d.size_bytes() as u64).sum::<u64>()
+                    + FRAME_SIZE_ESTIMATE
+            }
         }
     }
 }
@@ -172,21 +183,56 @@ impl FollowerCore {
         Ok(())
     }
 
-    /// Re-seeds the follower from a leader snapshot (compaction passed its
-    /// durable position). A stale resync (snapshot no newer than what the
-    /// follower already holds) is ignored.
-    fn install_resync(&mut self, snapshot: &ShardSnapshot) -> Result<()> {
-        if snapshot.applied_seq() <= self.durable() {
+    /// Re-seeds the follower from a leader checkpoint chain (compaction
+    /// passed its durable position). The follower first drains whatever it
+    /// already holds, then folds only the chain suffix past its own applied
+    /// position: the base if it is newer, then each newer delta. A delta's
+    /// window-soundness (it folds correctly onto any state inside
+    /// `[base_seq, applied_seq]`) covers the case where the follower sits
+    /// mid-window. A wholly stale resync is ignored.
+    fn install_resync(
+        &mut self,
+        base: Option<&ShardSnapshot>,
+        deltas: &[SnapshotDelta],
+    ) -> Result<()> {
+        // Apply what is already buffered first — it may cover part of the
+        // chain and is cheaper than re-restoring state we hold.
+        self.catch_up()?;
+        let tip = deltas
+            .last()
+            .map(SnapshotDelta::applied_seq)
+            .or_else(|| base.map(ShardSnapshot::applied_seq))
+            .unwrap_or(0);
+        if tip <= self.durable {
             return Ok(());
         }
-        self.arbiter = FloorArbiter::restore(&snapshot.arbiter)?;
-        self.session = dmps_wire::from_str::<SessionStore>(&snapshot.session).map_err(|e| {
-            crate::error::ClusterError::Floor(dmps_floor::FloorError::CorruptSnapshot(format!(
-                "session store: {e}"
-            )))
-        })?;
-        self.frozen = snapshot.frozen.iter().copied().collect();
-        self.applied = snapshot.applied_seq();
+        if let Some(snapshot) = base {
+            if snapshot.applied_seq() > self.applied {
+                self.arbiter = FloorArbiter::restore(&snapshot.arbiter)?;
+                self.session =
+                    dmps_wire::from_str::<SessionStore>(&snapshot.session).map_err(|e| {
+                        crate::error::ClusterError::Floor(dmps_floor::FloorError::CorruptSnapshot(
+                            format!("session store: {e}"),
+                        ))
+                    })?;
+                self.frozen = snapshot.frozen.iter().copied().collect();
+                self.applied = snapshot.applied_seq();
+            }
+        }
+        for delta in deltas {
+            if delta.applied_seq() <= self.applied {
+                continue;
+            }
+            self.arbiter.apply_delta(&delta.arbiter)?;
+            for (group, content) in &delta.sessions {
+                self.session.replace(*group, content.clone());
+            }
+            for group in &delta.purged {
+                self.session.remove(*group);
+            }
+            self.frozen = delta.frozen.iter().copied().collect();
+            self.applied = delta.applied_seq();
+        }
         self.durable = self.applied;
         self.pending.clear();
         Ok(())
@@ -242,6 +288,7 @@ impl FollowerCore {
             session_bytes: self.session.size_bytes(),
             dedup_bytes: 0,
             snapshot_bytes: 0,
+            snapshot_deltas: 0,
             stats: self.arbiter.stats(),
         }
     }
@@ -338,18 +385,33 @@ impl ReplicaSet {
         for i in 0..self.hosts.len() {
             if self.sent[i] < log.base() {
                 // Compaction passed this follower's cursor: the history it
-                // needs is gone, so re-seed it from the covering snapshot.
+                // needs is gone, so re-seed it from the checkpoint chain —
+                // but ship only the suffix past the follower's acked
+                // position. Chain contiguity (each delta's window starts at
+                // the previous checkpoint's tip) guarantees the first
+                // shipped delta's window contains that position.
                 let snapshot = shard
                     .latest_snapshot()
-                    .expect("log base > 0 implies a snapshot")
-                    .clone();
+                    .expect("log base > 0 implies a snapshot");
+                let acked = self.acked[i];
+                let (base, deltas) = if acked >= snapshot.applied_seq() {
+                    (
+                        None,
+                        shard
+                            .snapshot_deltas()
+                            .iter()
+                            .filter(|d| d.applied_seq() > acked)
+                            .cloned()
+                            .collect(),
+                    )
+                } else {
+                    (
+                        Some(Box::new(snapshot.clone())),
+                        shard.snapshot_deltas().to_vec(),
+                    )
+                };
                 self.metrics.resyncs.incr();
-                self.send_to(
-                    i,
-                    ReplicaMsg::Resync {
-                        snapshot: Box::new(snapshot),
-                    },
-                );
+                self.send_to(i, ReplicaMsg::Resync { base, deltas });
                 self.sent[i] = log.base();
             }
             let (segments, sealed_end) = log.segments_from(self.sent[i]);
@@ -395,8 +457,8 @@ impl ReplicaSet {
             let mut core = self.followers[i].lock().expect("follower core");
             match delivery.payload {
                 ReplicaMsg::Append { from_seq, events } => core.receive(from_seq, events),
-                ReplicaMsg::Resync { snapshot } => core
-                    .install_resync(&snapshot)
+                ReplicaMsg::Resync { base, deltas } => core
+                    .install_resync(base.as_deref(), &deltas)
                     .expect("replicated snapshot restores cleanly"),
                 ReplicaMsg::Ack { .. } => {}
             }

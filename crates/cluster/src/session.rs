@@ -400,6 +400,20 @@ impl SessionStore {
     pub fn install(&mut self, group: GlobalGroupId, content: GroupSession) {
         self.groups.entry(group).or_default().merge(content);
     }
+
+    /// Whether the store holds an entry for `group` (distinct from the entry
+    /// being empty — snapshot deltas must reproduce the map exactly).
+    pub fn contains(&self, group: GlobalGroupId) -> bool {
+        self.groups.contains_key(&group)
+    }
+
+    /// Replaces a group's session state outright — the snapshot-delta fold
+    /// path, where the delta carries the group's *complete* content at delta
+    /// time (unlike [`SessionStore::install`], which merges a migrated slice
+    /// on top of whatever is present).
+    pub fn replace(&mut self, group: GlobalGroupId, content: GroupSession) {
+        self.groups.insert(group, content);
+    }
 }
 
 impl Wire for SessionStore {

@@ -65,7 +65,8 @@ use crate::instrument::ShardMetrics;
 use dmps_floor::arbiter::ArbiterStats;
 use dmps_floor::snapshot::EventOutcome;
 use dmps_floor::{
-    ArbiterEvent, ArbiterSnapshot, ArbitrationOutcome, FloorArbiter, FloorError, FloorRequest,
+    ArbiterDelta, ArbiterDirty, ArbiterEvent, ArbiterSnapshot, ArbitrationOutcome, FloorArbiter,
+    FloorError, FloorRequest,
 };
 use dmps_wire::Wire;
 
@@ -520,9 +521,13 @@ pub struct ShardView {
     /// Approximate bytes held by the floor and session dedup windows
     /// combined. Zero on follower views (the journal lives on the leader).
     pub dedup_bytes: u64,
-    /// Encoded size of the latest snapshot in bytes (zero when none was
-    /// taken; zero on follower views).
+    /// Encoded size of the durable checkpoint state in bytes: the latest
+    /// full snapshot base **plus** every delta chained on it (zero when no
+    /// checkpoint was taken; zero on follower views).
     pub snapshot_bytes: u64,
+    /// Number of differential checkpoints currently chained on the snapshot
+    /// base (zero right after a full snapshot; zero on follower views).
+    pub snapshot_deltas: usize,
     /// Aggregate floor statistics of the shard's arbiter.
     pub stats: ArbiterStats,
 }
@@ -581,6 +586,74 @@ impl Wire for ShardSnapshot {
     }
 }
 
+/// A differential checkpoint: only the state dirtied since the previous
+/// checkpoint, chained onto a periodic full [`ShardSnapshot`] base. Restoring
+/// folds the base, then each delta in chain order, then replays the log tail
+/// — see [`Shard::recover`].
+///
+/// The delta's window is `(base_seq, applied_seq]`. Because each entry
+/// carries its *complete* value at delta time (and the tiny globals ship
+/// wholesale), the delta folds correctly onto a restorer positioned anywhere
+/// inside the window — the property follower resync relies on when its ack
+/// knowledge lags the leader's chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotDelta {
+    /// The floor-control half: dirty arbiter entries plus globals.
+    pub arbiter: ArbiterDelta,
+    /// Complete session content of every group whose session log changed in
+    /// the window.
+    pub sessions: Vec<(GlobalGroupId, GroupSession)>,
+    /// Tombstones: groups whose session content was purged (migrated away)
+    /// in the window.
+    pub purged: Vec<GlobalGroupId>,
+    /// The complete frozen set at delta time (tiny; shipped wholesale, like
+    /// the snapshot's).
+    pub frozen: Vec<GlobalGroupId>,
+    /// The previous checkpoint's applied position — the start of this
+    /// delta's window.
+    pub base_seq: u64,
+}
+
+impl SnapshotDelta {
+    /// Number of log events folded into the state this delta brings a
+    /// restorer up to.
+    pub fn applied_seq(&self) -> u64 {
+        self.arbiter.applied_seq
+    }
+
+    /// Approximate encoded size in bytes — what a delta checkpoint
+    /// serializes instead of the whole shard.
+    pub fn size_bytes(&self) -> usize {
+        self.arbiter.size_bytes()
+            + self
+                .sessions
+                .iter()
+                .map(|(_, s)| s.size_bytes() as usize)
+                .sum::<usize>()
+            + (self.purged.len() + self.frozen.len()) * std::mem::size_of::<GlobalGroupId>()
+    }
+}
+
+impl Wire for SnapshotDelta {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.arbiter.encode(w);
+        self.sessions.encode(w);
+        self.purged.encode(w);
+        self.frozen.encode(w);
+        self.base_seq.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(SnapshotDelta {
+            arbiter: ArbiterDelta::decode(r)?,
+            sessions: Vec::<(GlobalGroupId, GroupSession)>::decode(r)?,
+            purged: Vec::<GlobalGroupId>::decode(r)?,
+            frozen: Vec::<GlobalGroupId>::decode(r)?,
+            base_seq: u64::decode(r)?,
+        })
+    }
+}
+
 /// Everything phase 1 of a live handoff exports from the source shard, all
 /// captured at one pinned log position: the group's live floor state (roster,
 /// mode, chair, token with holder + queue), its session content, and its
@@ -616,7 +689,30 @@ pub struct Shard {
     session: SessionStore,
     log: EventLog<ShardEvent>,
     snapshot: Option<ShardSnapshot>,
+    /// Differential checkpoints chained on `snapshot`, oldest first. Durable
+    /// like the snapshot; cleared when a new full base is taken.
+    deltas: Vec<SnapshotDelta>,
     snapshot_every: u64,
+    /// Byte-driven checkpoint cadence: checkpoint when this many event bytes
+    /// committed since the last one (0 = fall back to the `snapshot_every`
+    /// event count).
+    snapshot_every_bytes: u64,
+    /// Maximum deltas chained on one base before the next checkpoint is a
+    /// full snapshot again (0 = every checkpoint is full).
+    snapshot_chain: u64,
+    /// Event bytes committed since the last checkpoint.
+    bytes_since_checkpoint: u64,
+    /// Arbiter ids dirtied since the last checkpoint.
+    dirty_floor: ArbiterDirty,
+    /// Groups whose session content changed since the last checkpoint.
+    dirty_sessions: BTreeSet<GlobalGroupId>,
+    /// Groups whose session content was purged since the last checkpoint
+    /// (delta tombstones).
+    purged_sessions: BTreeSet<GlobalGroupId>,
+    /// Forces the next checkpoint to be a full base. Set by
+    /// [`Shard::adopt`]: a recovered/promoted state was rebuilt by replay,
+    /// so the dirty window since the last checkpoint is unknown.
+    need_full: bool,
     dedup: DedupWindow<ArbitrationOutcome>,
     session_dedup: DedupWindow<SessionOutcome>,
     /// Groups frozen by an in-flight live handoff. Volatile like the arbiter
@@ -656,7 +752,15 @@ impl Shard {
             session: SessionStore::new(),
             log: EventLog::new(),
             snapshot: None,
+            deltas: Vec::new(),
             snapshot_every,
+            snapshot_every_bytes: 0,
+            snapshot_chain: 0,
+            bytes_since_checkpoint: 0,
+            dirty_floor: ArbiterDirty::default(),
+            dirty_sessions: BTreeSet::new(),
+            purged_sessions: BTreeSet::new(),
+            need_full: false,
             dedup: DedupWindow::new(dedup_window),
             session_dedup: DedupWindow::new(dedup_window),
             frozen: BTreeSet::new(),
@@ -718,6 +822,22 @@ impl Shard {
         self.snapshot.as_ref()
     }
 
+    /// The differential checkpoints chained on the latest snapshot, oldest
+    /// first (empty right after a full snapshot).
+    pub fn snapshot_deltas(&self) -> &[SnapshotDelta] {
+        &self.deltas
+    }
+
+    /// Switches the shard to incremental checkpoints: checkpoint whenever
+    /// `every_bytes` of events committed since the last one (0 keeps the
+    /// event-count cadence of [`Shard::new`]), and chain up to `chain`
+    /// differential checkpoints on one full base before taking a fresh base
+    /// (0 keeps every checkpoint full — the legacy behavior).
+    pub fn set_snapshot_policy(&mut self, every_bytes: u64, chain: u64) {
+        self.snapshot_every_bytes = every_bytes;
+        self.snapshot_chain = chain;
+    }
+
     /// How many times a standby recovered this shard.
     pub fn recoveries(&self) -> u64 {
         self.recoveries
@@ -754,7 +874,13 @@ impl Shard {
                 .sum(),
             session_bytes: self.session.size_bytes(),
             dedup_bytes: self.dedup.approx_bytes() + self.session_dedup.approx_bytes(),
-            snapshot_bytes: self.snapshot.as_ref().map_or(0, |s| s.size_bytes() as u64),
+            snapshot_bytes: self.snapshot.as_ref().map_or(0, |s| s.size_bytes() as u64)
+                + self
+                    .deltas
+                    .iter()
+                    .map(|d| d.size_bytes() as u64)
+                    .sum::<u64>(),
+            snapshot_deltas: self.deltas.len(),
             stats: self.arbiter.stats(),
         }
     }
@@ -769,13 +895,15 @@ impl Shard {
     /// ([`Shard::begin_batch`]) the append is deferred so the whole batch
     /// pays for one log append and one cadence check.
     fn commit(&mut self, event: ShardEvent) {
+        self.note_dirty(&event);
+        self.bytes_since_checkpoint += event.approx_bytes();
         if self.batching {
             self.pending.push(event);
             return;
         }
         let seq = self.log.append(event) + 1;
-        if self.snapshot_every > 0 && seq.is_multiple_of(self.snapshot_every) {
-            self.take_snapshot();
+        if self.cadence_crossed(seq - 1, seq) {
+            self.checkpoint();
         }
     }
 
@@ -809,8 +937,56 @@ impl Shard {
                 .append_latency
                 .record(saturating_nanos(append.elapsed()));
         }
-        if self.snapshot_every > 0 && after / self.snapshot_every > before / self.snapshot_every {
+        if self.cadence_crossed(before, after) {
+            self.checkpoint();
+        }
+    }
+
+    /// Records which state an event touched, so the next differential
+    /// checkpoint ships exactly the groups/sessions mutated since the last
+    /// one. Floor events are marked in [`Shard::apply`] (the arbiter knows
+    /// the touched ids); this covers the session-side events.
+    fn note_dirty(&mut self, event: &ShardEvent) {
+        match event {
+            ShardEvent::Session(e) => {
+                self.dirty_sessions.insert(e.group);
+            }
+            ShardEvent::SessionPurge(group) => {
+                self.dirty_sessions.remove(group);
+                self.purged_sessions.insert(*group);
+            }
+            ShardEvent::SessionInstall { group, .. } => {
+                self.dirty_sessions.insert(*group);
+                self.purged_sessions.remove(group);
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether committing the events that moved the log from `before` to
+    /// `after` sequences crossed a checkpoint-cadence boundary. Byte-driven
+    /// when a byte budget is configured ([`Shard::set_snapshot_policy`]),
+    /// otherwise the legacy every-N-events rule.
+    fn cadence_crossed(&self, before: u64, after: u64) -> bool {
+        if self.snapshot_every_bytes > 0 {
+            return self.bytes_since_checkpoint >= self.snapshot_every_bytes;
+        }
+        self.snapshot_every > 0 && after / self.snapshot_every > before / self.snapshot_every
+    }
+
+    /// Takes the next checkpoint the policy calls for: a full snapshot when
+    /// there is no base yet (or chaining is off, or the chain is at its
+    /// configured cap, or the state was just adopted wholesale), otherwise a
+    /// differential checkpoint chained on the current base.
+    fn checkpoint(&mut self) {
+        let full = self.need_full
+            || self.snapshot.is_none()
+            || self.snapshot_chain == 0
+            || self.deltas.len() as u64 >= self.snapshot_chain;
+        if full {
             self.take_snapshot();
+        } else {
+            self.take_delta();
         }
     }
 
@@ -831,6 +1007,8 @@ impl Shard {
             return Err(ClusterError::ShardDown(self.id));
         }
         let outcome = self.arbiter.apply(&event)?;
+        self.arbiter
+            .mark_touched(&event, &outcome, &mut self.dirty_floor);
         self.commit(ShardEvent::Floor(event));
         Ok(outcome)
     }
@@ -1146,12 +1324,74 @@ impl Shard {
         };
         self.log.compact_to(snap.applied_seq());
         self.snapshot = Some(snap);
+        // A fresh full base obsoletes the delta chain and the dirty tracking
+        // that fed it: everything is inside the base now.
+        self.deltas.clear();
+        self.dirty_floor.clear();
+        self.dirty_sessions.clear();
+        self.purged_sessions.clear();
+        self.bytes_since_checkpoint = 0;
+        self.need_full = false;
         if let (Some(metrics), Some(pause)) = (&self.metrics, pause) {
+            let elapsed = pause.elapsed();
+            metrics.snapshot_pause.record(saturating_nanos(elapsed));
             metrics
-                .snapshot_pause
-                .record(saturating_nanos(pause.elapsed()));
+                .snapshot_pause_us
+                .record(saturating_nanos(elapsed) / 1_000);
+            metrics.chain_len.record(0);
         }
         self.snapshot.as_ref().expect("just stored")
+    }
+
+    /// Takes a differential checkpoint: only the arbiter groups and session
+    /// logs touched since the last checkpoint (plus purge tombstones and the
+    /// frozen set, which ships wholesale — it is tiny), chained on the
+    /// current full base. The log compacts up to it exactly as it does for a
+    /// full snapshot, so durability cost stays O(dirty), not O(shard).
+    pub fn take_delta(&mut self) -> &SnapshotDelta {
+        let pause = self.metrics.is_some().then(Instant::now);
+        // Same flush rule as a full snapshot: the checkpoint must cover every
+        // event already applied to the live state.
+        if !self.pending.is_empty() {
+            self.log.append_batch(self.pending.drain(..));
+            self.pending_dedup.clear();
+            self.pending_session_dedup.clear();
+        }
+        let applied = self.log.next_seq();
+        let base_seq = self
+            .deltas
+            .last()
+            .map(SnapshotDelta::applied_seq)
+            .or_else(|| self.snapshot.as_ref().map(ShardSnapshot::applied_seq))
+            .unwrap_or(0);
+        let delta = SnapshotDelta {
+            arbiter: self.arbiter.export_delta(applied, &self.dirty_floor),
+            sessions: self
+                .dirty_sessions
+                .iter()
+                .filter(|g| self.session.contains(**g))
+                .map(|g| (*g, self.session.view(*g)))
+                .collect(),
+            purged: self.purged_sessions.iter().copied().collect(),
+            frozen: self.frozen.iter().copied().collect(),
+            base_seq,
+        };
+        self.log.compact_to(applied);
+        self.dirty_floor.clear();
+        self.dirty_sessions.clear();
+        self.purged_sessions.clear();
+        self.bytes_since_checkpoint = 0;
+        if let (Some(metrics), Some(pause)) = (&self.metrics, pause) {
+            let elapsed = pause.elapsed();
+            metrics.snapshot_pause.record(saturating_nanos(elapsed));
+            metrics
+                .snapshot_pause_us
+                .record(saturating_nanos(elapsed) / 1_000);
+            metrics.delta_bytes.add(delta.size_bytes() as u64);
+            metrics.chain_len.record(self.deltas.len() as u64 + 1);
+        }
+        self.deltas.push(delta);
+        self.deltas.last().expect("just stored")
     }
 
     /// Crashes the primary: volatile arbiter and session state is lost; log,
@@ -1189,7 +1429,7 @@ impl Shard {
     /// logged event fails to re-apply (either indicates durable-state
     /// corruption, not a recoverable condition).
     pub fn recover(&mut self) -> Result<()> {
-        let (mut arbiter, mut session, mut frozen, from_seq) = match &self.snapshot {
+        let (mut arbiter, mut session, mut frozen, mut from_seq) = match &self.snapshot {
             Some(snap) => (
                 FloorArbiter::restore(&snap.arbiter)?,
                 dmps_wire::from_str::<SessionStore>(&snap.session).map_err(|e| {
@@ -1205,6 +1445,20 @@ impl Shard {
                 0,
             ),
         };
+        // Fold the differential chain onto the base, oldest first: each delta
+        // replaces exactly the groups it shipped, removes its tombstones, and
+        // carries the full frozen set as of its cut.
+        for delta in &self.deltas {
+            arbiter.apply_delta(&delta.arbiter)?;
+            for (group, content) in &delta.sessions {
+                session.replace(*group, content.clone());
+            }
+            for group in &delta.purged {
+                session.remove(*group);
+            }
+            frozen = delta.frozen.iter().copied().collect();
+            from_seq = delta.applied_seq();
+        }
         for event in self.log.events_from(from_seq) {
             replay_event(&mut arbiter, &mut session, &mut frozen, event)?;
         }
@@ -1225,6 +1479,13 @@ impl Shard {
         self.arbiter = arbiter;
         self.session = session;
         self.frozen = frozen;
+        // The dirty sets tracked what the *previous* incarnation touched; an
+        // adopted state invalidates them, so the next checkpoint must be a
+        // full base before differential chaining can resume.
+        self.dirty_floor.clear();
+        self.dirty_sessions.clear();
+        self.purged_sessions.clear();
+        self.need_full = true;
         self.state = ShardState::Active;
         self.recoveries += 1;
     }
@@ -1853,5 +2114,205 @@ mod tests {
         let back: ShardSnapshot = dmps_wire::from_str(&encoded).unwrap();
         assert_eq!(back, snap);
         assert_eq!(back.applied_seq(), snap.applied_seq());
+    }
+
+    #[test]
+    fn snapshot_delta_round_trips_through_the_wire_codec() {
+        let mut shard = Shard::new(ShardId(0), 0, 64);
+        shard.set_snapshot_policy(0, 8);
+        scripted(&mut shard, 3);
+        shard.take_snapshot();
+        scripted_more(&mut shard, 4);
+        let delta = shard.take_delta().clone();
+        assert!(delta.size_bytes() > 0);
+        assert!(delta.applied_seq() > delta.base_seq);
+        let encoded = dmps_wire::to_string(&delta);
+        let back: SnapshotDelta = dmps_wire::from_str(&encoded).unwrap();
+        assert_eq!(back, delta);
+    }
+
+    /// More traffic against the group `scripted` set up, touching both the
+    /// floor (arbitrations) and the session store (chat), so differential
+    /// checkpoints have both halves to carry.
+    fn scripted_more(shard: &mut Shard, requests: usize) {
+        for i in 0..requests {
+            shard
+                .apply(ArbiterEvent::Arbitrate {
+                    request: FloorRequest::speak(GroupId(0), MemberId(i % 4)),
+                })
+                .unwrap();
+            shard
+                .apply_session(session_event(
+                    i % 4,
+                    SessionOpKind::Chat {
+                        text: format!("msg {i}"),
+                    },
+                ))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn delta_chain_recovery_matches_the_live_state_exactly() {
+        // Event-count cadence 4 with a chain of 3: checkpoints at 4, 8, 12…
+        // alternate one full base and three deltas.
+        let mut shard = Shard::new(ShardId(0), 4, 64);
+        shard.set_snapshot_policy(0, 3);
+        scripted(&mut shard, 2);
+        scripted_more(&mut shard, 20);
+        assert!(
+            !shard.snapshot_deltas().is_empty(),
+            "differential checkpoints were taken"
+        );
+        let arbiter = shard.arbiter().clone();
+        let session = shard.session().clone();
+        shard.crash();
+        shard.recover().unwrap();
+        assert_eq!(shard.arbiter(), &arbiter);
+        assert_eq!(shard.session(), &session);
+        // Byte-identical through the same codec the wire uses.
+        assert_eq!(
+            dmps_wire::to_string(shard.arbiter()),
+            dmps_wire::to_string(&arbiter)
+        );
+        shard.arbiter().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn delta_chain_caps_at_the_configured_length() {
+        let mut shard = Shard::new(ShardId(0), 4, 64);
+        shard.set_snapshot_policy(0, 2);
+        scripted(&mut shard, 2);
+        let mut longest = 0;
+        for _ in 0..10 {
+            scripted_more(&mut shard, 4);
+            longest = longest.max(shard.snapshot_deltas().len());
+            assert!(
+                shard.snapshot_deltas().len() <= 2,
+                "chain never exceeds the cap"
+            );
+        }
+        assert_eq!(longest, 2, "the chain does fill before a base renews it");
+        // The log always compacts to the latest checkpoint, full or delta.
+        let tip = shard
+            .snapshot_deltas()
+            .last()
+            .map(SnapshotDelta::applied_seq)
+            .unwrap_or_else(|| shard.latest_snapshot().unwrap().applied_seq());
+        assert_eq!(shard.log().base(), tip);
+    }
+
+    #[test]
+    fn byte_cadence_drives_checkpoints_when_configured() {
+        // Event-count cadence off; one byte of budget means every commit
+        // crosses the cadence.
+        let mut shard = Shard::new(ShardId(0), 0, 64);
+        shard.set_snapshot_policy(1, 4);
+        scripted(&mut shard, 2);
+        assert!(
+            shard.latest_snapshot().is_some(),
+            "byte cadence took checkpoints with the event-count cadence disabled"
+        );
+        let reference = shard.arbiter().clone();
+        shard.crash();
+        shard.recover().unwrap();
+        assert_eq!(shard.arbiter(), &reference);
+    }
+
+    #[test]
+    fn crash_mid_chain_loses_only_the_open_batch() {
+        let mut shard = Shard::new(ShardId(0), 0, 64);
+        shard.set_snapshot_policy(0, 4);
+        scripted(&mut shard, 2);
+        shard.take_snapshot();
+        scripted_more(&mut shard, 3);
+        shard.take_delta();
+        // A batch opens after the delta checkpoint and dies with the crash:
+        // its decision was never released, so the retry path re-applies it.
+        shard.begin_batch();
+        let speak = FloorRequest::speak(GroupId(0), MemberId(3));
+        let (outcome, _) = shard.arbitrate_dedup(77, GlobalGroupId(0), speak.clone());
+        assert!(outcome.is_ok());
+        shard.crash();
+        shard.recover().unwrap();
+        let (retry, replayed) = shard.arbitrate_dedup(77, GlobalGroupId(0), speak);
+        assert!(!replayed, "the uncommitted journal entry rolled back");
+        assert!(retry.is_ok());
+        shard.arbiter().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn handoff_landing_between_base_and_delta_recovers_cleanly() {
+        let mut shard = Shard::new(ShardId(0), 0, 64);
+        shard.set_snapshot_policy(0, 4);
+        scripted(&mut shard, 2);
+        shard
+            .apply_session(session_event(
+                0,
+                SessionOpKind::Chat {
+                    text: "keep".into(),
+                },
+            ))
+            .unwrap();
+        shard.take_snapshot();
+        // The whole two-phase handoff lands inside one delta window: the
+        // delta must carry the purge tombstone and the lifted freeze.
+        shard.handoff_prepare(GlobalGroupId(0), GroupId(0)).unwrap();
+        let content = shard.extract_session(GlobalGroupId(0)).unwrap();
+        assert!(content.is_some(), "the chat line migrated out");
+        shard.handoff_commit_source(GlobalGroupId(0)).unwrap();
+        shard.take_delta();
+        let arbiter = shard.arbiter().clone();
+        let session = shard.session().clone();
+        shard.crash();
+        shard.recover().unwrap();
+        assert_eq!(shard.arbiter(), &arbiter);
+        assert_eq!(shard.session(), &session);
+        assert!(!shard.is_frozen(GlobalGroupId(0)));
+        assert!(shard.session().view(GlobalGroupId(0)).is_empty());
+        shard.arbiter().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn view_reports_base_plus_chain_checkpoint_bytes() {
+        let mut shard = Shard::new(ShardId(0), 0, 64);
+        shard.set_snapshot_policy(0, 4);
+        scripted(&mut shard, 2);
+        shard.take_snapshot();
+        let base_only = shard.view().snapshot_bytes;
+        assert!(base_only > 0);
+        scripted_more(&mut shard, 2);
+        shard.take_delta();
+        let with_chain = shard.view();
+        assert_eq!(with_chain.snapshot_deltas, 1);
+        assert!(
+            with_chain.snapshot_bytes > base_only,
+            "the chained delta's bytes are part of the checkpoint footprint"
+        );
+    }
+
+    #[test]
+    fn adoption_forces_the_next_checkpoint_full() {
+        let mut shard = Shard::new(ShardId(0), 0, 64);
+        shard.set_snapshot_policy(0, 4);
+        scripted(&mut shard, 2);
+        shard.take_snapshot();
+        scripted_more(&mut shard, 2);
+        shard.take_delta();
+        assert_eq!(shard.snapshot_deltas().len(), 1);
+        // Recovery adopts a reconstructed state; the dirty sets tracked the
+        // dead incarnation, so the next checkpoint may not be differential.
+        shard.crash();
+        shard.recover().unwrap();
+        scripted_more(&mut shard, 1);
+        shard.checkpoint();
+        assert!(
+            shard.snapshot_deltas().is_empty(),
+            "the first checkpoint after adoption is a full base"
+        );
+        assert_eq!(
+            shard.latest_snapshot().unwrap().applied_seq(),
+            shard.log().next_seq()
+        );
     }
 }

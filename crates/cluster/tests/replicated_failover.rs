@@ -254,6 +254,8 @@ fn replication_survives_snapshot_compaction_via_resync() {
     // follower whose cursor falls behind the base is re-seeded by Resync.
     let config = ClusterConfig {
         snapshot_every: 8,
+        snapshot_every_bytes: 0,
+        snapshot_chain: 0,
         replica_link: Link {
             loss_rate: 0.3,
             ..Link::replica()
@@ -283,6 +285,70 @@ fn replication_survives_snapshot_compaction_via_resync() {
         .unwrap()
         .holder()
         .is_some());
+}
+
+#[test]
+fn follower_resync_from_a_partially_compacted_delta_chain() {
+    // Differential checkpoints with a tiny byte budget: the log compacts to
+    // the chain tip constantly, so lossy followers fall behind the base and
+    // are re-seeded from a chain that is part base, part deltas — the
+    // partially-compacted shape. Promotion afterwards must still restore
+    // exact state.
+    let config = ClusterConfig {
+        snapshot_every: 0,
+        snapshot_every_bytes: 512,
+        snapshot_chain: 4,
+        replica_link: Link {
+            loss_rate: 0.3,
+            ..Link::replica()
+        },
+        ..ClusterConfig::with_shards(1).with_replicas(2)
+    };
+    let (mut cluster, group, roster) = replicated_cluster(config, 3);
+    for round in 0..40 {
+        for &m in &roster {
+            cluster.submit(GlobalRequest::speak(group, m)).unwrap();
+        }
+        cluster
+            .submit(GlobalRequest::release_floor(group, roster[round % 3]))
+            .unwrap();
+        cluster
+            .session(SessionOp::chat(
+                group,
+                roster[round % 3],
+                format!("r{round}"),
+            ))
+            .unwrap();
+    }
+    let decisions = cluster.flush();
+    assert!(decisions.iter().all(|d| d.commit > 0));
+    cluster.check_invariants().unwrap();
+    let metrics = cluster.metrics();
+    assert!(
+        metrics
+            .counter("cluster.shard.0.snapshot.delta_bytes")
+            .get()
+            > 0,
+        "differential checkpoints were taken"
+    );
+    assert!(
+        metrics.counter("cluster.shard.0.replica.resyncs").get() > 0,
+        "loss must have forced at least one chain resync"
+    );
+    // Crash + promote: the promoted follower's state was built from resync
+    // chains plus shipped segments, and must match the leader's exactly.
+    let chat_before = cluster.session_view(group).unwrap().chat.len();
+    cluster.crash_shard(dmps_cluster::ShardId(0));
+    cluster.recover_shard(dmps_cluster::ShardId(0)).unwrap();
+    cluster.check_invariants().unwrap();
+    let placement = cluster.placement(group).unwrap();
+    assert!(cluster
+        .arbiter(placement.shard)
+        .token(placement.local)
+        .unwrap()
+        .holder()
+        .is_some());
+    assert_eq!(cluster.session_view(group).unwrap().chat.len(), chat_before);
 }
 
 #[test]

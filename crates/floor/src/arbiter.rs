@@ -592,6 +592,11 @@ impl FloorArbiter {
             .ok_or(FloorError::UnknownInvitation(id))
     }
 
+    /// Number of invitations ever issued (answered ones are kept).
+    pub fn invitation_count(&self) -> usize {
+        self.invitations.len()
+    }
+
     // ----- arbitration ------------------------------------------------------
 
     /// Runs `FCM-Arbitrate` for one request.
@@ -943,6 +948,210 @@ impl dmps_wire::Wire for ArbiterStats {
             aborted: u64::decode(r)?,
             suspensions: u64::decode(r)?,
         })
+    }
+}
+
+/// The wire payload of an [`ArbiterDelta`](crate::snapshot::ArbiterDelta):
+/// full replacement values for every dirty entry (ascending id order) plus
+/// the small global fields shipped wholesale.
+struct DeltaPayload {
+    members: Vec<(MemberId, Member)>,
+    groups: Vec<(GroupId, Group, FloorToken)>,
+    invitations: Vec<(InvitationId, Invitation)>,
+    resource: Resource,
+    thresholds: ResourceThresholds,
+    suspension_order: SuspensionOrder,
+    suspended: BTreeSet<MemberId>,
+    stats: ArbiterStats,
+}
+
+impl dmps_wire::Wire for DeltaPayload {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.members.encode(w);
+        self.groups.encode(w);
+        self.invitations.encode(w);
+        self.resource.encode(w);
+        self.thresholds.encode(w);
+        self.suspension_order.encode(w);
+        self.suspended.encode(w);
+        self.stats.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(DeltaPayload {
+            members: Vec::<(MemberId, Member)>::decode(r)?,
+            groups: Vec::<(GroupId, Group, FloorToken)>::decode(r)?,
+            invitations: Vec::<(InvitationId, Invitation)>::decode(r)?,
+            resource: Resource::decode(r)?,
+            thresholds: ResourceThresholds::decode(r)?,
+            suspension_order: SuspensionOrder::decode(r)?,
+            suspended: BTreeSet::<MemberId>::decode(r)?,
+            stats: ArbiterStats::decode(r)?,
+        })
+    }
+}
+
+impl FloorArbiter {
+    /// Records which identifiers a successfully applied event dirtied. The
+    /// owning shard calls this right after [`FloorArbiter::apply`] and feeds
+    /// the accumulated set to [`FloorArbiter::export_delta`] at the next
+    /// checkpoint.
+    ///
+    /// Global fields (resource, thresholds, suspension order, the suspended
+    /// set, stats) need no marking: every delta ships them wholesale, they
+    /// are a few dozen bytes.
+    pub fn mark_touched(
+        &self,
+        event: &crate::snapshot::ArbiterEvent,
+        outcome: &crate::snapshot::EventOutcome,
+        dirty: &mut crate::snapshot::ArbiterDirty,
+    ) {
+        use crate::snapshot::{ArbiterEvent, EventOutcome};
+        match event {
+            ArbiterEvent::CreateGroup { .. } => {
+                if let EventOutcome::GroupCreated(g) = outcome {
+                    dirty.groups.insert(*g);
+                }
+            }
+            ArbiterEvent::AddMember { group, .. } => {
+                if let EventOutcome::MemberAdded(m) = outcome {
+                    dirty.members.insert(*m);
+                }
+                dirty.groups.insert(*group);
+            }
+            ArbiterEvent::JoinGroup { group, .. }
+            | ArbiterEvent::LeaveGroup { group, .. }
+            | ArbiterEvent::SetMode { group, .. }
+            | ArbiterEvent::RestoreToken { group, .. }
+            | ArbiterEvent::RestoreChair { group, .. } => {
+                dirty.groups.insert(*group);
+            }
+            // Arbitration mutates the request group's token (and possibly
+            // the global suspended set / stats, which ship wholesale).
+            ArbiterEvent::Arbitrate { request } => {
+                dirty.groups.insert(request.group);
+            }
+            // Pure-global mutations: nothing to mark.
+            ArbiterEvent::SetResource { .. } | ArbiterEvent::SetSuspensionOrder { .. } => {}
+            // Invite creates the sub-group + invitation; the parent group is
+            // validated but never mutated.
+            ArbiterEvent::Invite { .. } => {
+                if let EventOutcome::SubgroupCreated(sub, inv) = outcome {
+                    dirty.groups.insert(*sub);
+                    dirty.invitations.insert(*inv);
+                }
+            }
+            // Answering flips the invitation status and (on accept) joins
+            // the responder to the sub-group.
+            ArbiterEvent::RespondInvitation { invitation, .. } => {
+                dirty.invitations.insert(*invitation);
+                if let Ok(inv) = self.invitation(*invitation) {
+                    dirty.groups.insert(inv.subgroup);
+                }
+            }
+        }
+    }
+
+    /// Serializes a differential snapshot: the current values of every dirty
+    /// entry plus the global fields. `applied_seq` is the log position this
+    /// delta brings a restorer up to.
+    pub fn export_delta(
+        &self,
+        applied_seq: u64,
+        dirty: &crate::snapshot::ArbiterDirty,
+    ) -> crate::snapshot::ArbiterDelta {
+        let payload = DeltaPayload {
+            members: dirty
+                .members
+                .iter()
+                .map(|&id| (id, self.members[id.0].clone()))
+                .collect(),
+            groups: dirty
+                .groups
+                .iter()
+                .map(|&id| {
+                    let token = self
+                        .tokens
+                        .get(&id)
+                        .expect("every group has a token")
+                        .clone();
+                    (id, self.groups[id.0].clone(), token)
+                })
+                .collect(),
+            invitations: dirty
+                .invitations
+                .iter()
+                .map(|&id| (id, self.invitations[id.0].clone()))
+                .collect(),
+            resource: self.resource,
+            thresholds: self.thresholds,
+            suspension_order: self.suspension_order,
+            suspended: self.suspended.clone(),
+            stats: self.stats,
+        };
+        crate::snapshot::ArbiterDelta {
+            applied_seq,
+            data: dmps_wire::to_string(&payload),
+        }
+    }
+
+    /// Folds one differential snapshot into this arbiter: dirty entries
+    /// replace their slot (or extend the dense vector by exactly one — ids
+    /// are allocated densely in order, so a delta's new entries always land
+    /// at the end), and the global fields are replaced outright.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorError::CorruptSnapshot`] when the payload does not
+    /// decode or an entry id skips past the end of its vector (the delta was
+    /// applied out of chain order).
+    pub fn apply_delta(&mut self, delta: &crate::snapshot::ArbiterDelta) -> Result<()> {
+        use std::cmp::Ordering;
+        let payload: DeltaPayload = dmps_wire::from_str(&delta.data)
+            .map_err(|e| FloorError::CorruptSnapshot(e.to_string()))?;
+        for (id, member) in payload.members {
+            match id.0.cmp(&self.members.len()) {
+                Ordering::Less => self.members[id.0] = member,
+                Ordering::Equal => self.members.push(member),
+                Ordering::Greater => {
+                    return Err(FloorError::CorruptSnapshot(format!(
+                        "delta member {id} skips past {} present",
+                        self.members.len()
+                    )))
+                }
+            }
+        }
+        for (id, group, token) in payload.groups {
+            match id.0.cmp(&self.groups.len()) {
+                Ordering::Less => self.groups[id.0] = group,
+                Ordering::Equal => self.groups.push(group),
+                Ordering::Greater => {
+                    return Err(FloorError::CorruptSnapshot(format!(
+                        "delta group {id} skips past {} present",
+                        self.groups.len()
+                    )))
+                }
+            }
+            self.tokens.insert(id, token);
+        }
+        for (id, invitation) in payload.invitations {
+            match id.0.cmp(&self.invitations.len()) {
+                Ordering::Less => self.invitations[id.0] = invitation,
+                Ordering::Equal => self.invitations.push(invitation),
+                Ordering::Greater => {
+                    return Err(FloorError::CorruptSnapshot(format!(
+                        "delta invitation {id} skips past {} present",
+                        self.invitations.len()
+                    )))
+                }
+            }
+        }
+        self.resource = payload.resource;
+        self.thresholds = payload.thresholds;
+        self.suspension_order = payload.suspension_order;
+        self.suspended = payload.suspended;
+        self.stats = payload.stats;
+        Ok(())
     }
 }
 

@@ -57,6 +57,6 @@ pub use invite::{Invitation, InvitationId, InvitationStatus};
 pub use member::{Member, MemberId, Role};
 pub use mode::{FcmMode, PolicyFactor};
 pub use resource::{Resource, ResourceThresholds};
-pub use snapshot::{ArbiterEvent, ArbiterSnapshot, EventOutcome};
+pub use snapshot::{ArbiterDelta, ArbiterDirty, ArbiterEvent, ArbiterSnapshot, EventOutcome};
 pub use suspend::{plan_suspensions, Suspension};
 pub use token::FloorToken;

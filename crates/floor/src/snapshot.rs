@@ -71,6 +71,80 @@ impl Wire for ArbiterSnapshot {
     }
 }
 
+/// The identifiers an arbiter touched since the last checkpoint — the input
+/// to [`FloorArbiter::export_delta`]. The owning shard accumulates ids here
+/// (via [`FloorArbiter::mark_touched`]) as events apply, and clears the set
+/// at every checkpoint.
+///
+/// The sets hold ids, not values: a delta exports the *current* value of
+/// every dirty entry, so marking the same id many times costs one set slot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArbiterDirty {
+    /// Groups whose record or floor token changed (creation counts).
+    pub groups: std::collections::BTreeSet<GroupId>,
+    /// Members added since the checkpoint (members are never mutated after
+    /// registration, so only additions dirty this set).
+    pub members: std::collections::BTreeSet<MemberId>,
+    /// Invitations issued or answered.
+    pub invitations: std::collections::BTreeSet<InvitationId>,
+}
+
+impl ArbiterDirty {
+    /// Forgets everything — called at each checkpoint after the delta is
+    /// exported.
+    pub fn clear(&mut self) {
+        self.groups.clear();
+        self.members.clear();
+        self.invitations.clear();
+    }
+
+    /// Whether nothing was touched since the last checkpoint.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty() && self.members.is_empty() && self.invitations.is_empty()
+    }
+}
+
+/// A differential snapshot: the full replacement values of every entry dirtied
+/// since the previous checkpoint, plus the (small) arbiter-global fields
+/// shipped wholesale. Produced by [`FloorArbiter::export_delta`], folded in
+/// by [`FloorArbiter::apply_delta`].
+///
+/// A delta whose window is `(base_seq, applied_seq]` applies correctly to an
+/// arbiter at **any** log position inside `[base_seq, applied_seq]`: entries
+/// that changed anywhere in the window carry their final values, entries
+/// outside the dirty set are identical at both ends, and the global fields
+/// are replaced outright.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArbiterDelta {
+    /// Number of log events folded into the state this delta brings a
+    /// restorer up to.
+    pub applied_seq: u64,
+    /// The wire-encoded dirty entries + globals.
+    pub data: String,
+}
+
+impl ArbiterDelta {
+    /// The encoded size in bytes — the pause-cost currency of incremental
+    /// checkpoints.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len()
+    }
+}
+
+impl Wire for ArbiterDelta {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.applied_seq.encode(w);
+        self.data.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(ArbiterDelta {
+            applied_seq: u64::decode(r)?,
+            data: String::decode(r)?,
+        })
+    }
+}
+
 /// Every state-mutating operation of the arbiter, reified so shards can keep
 /// an append-only log and replay it deterministically after a crash.
 #[derive(Debug, Clone, PartialEq)]
@@ -550,6 +624,114 @@ mod tests {
             let back: ArbiterEvent = dmps_wire::from_str(&encoded).unwrap();
             assert_eq!(back, event);
         }
+    }
+
+    /// Replays `log`, accumulating dirty ids exactly the way a shard does.
+    fn replay_marking(log: &[ArbiterEvent]) -> (FloorArbiter, crate::snapshot::ArbiterDirty) {
+        let mut arbiter = FloorArbiter::with_defaults();
+        let mut dirty = crate::snapshot::ArbiterDirty::default();
+        for event in log {
+            let outcome = arbiter.apply(event).unwrap();
+            arbiter.mark_touched(event, &outcome, &mut dirty);
+        }
+        (arbiter, dirty)
+    }
+
+    #[test]
+    fn delta_over_full_history_restores_byte_identical_state() {
+        let log = scripted_log();
+        let (arbiter, dirty) = replay_marking(&log);
+        // Everything since genesis is dirty, so the delta over an empty
+        // arbiter is a complete restore.
+        let delta = arbiter.export_delta(log.len() as u64, &dirty);
+        assert_eq!(delta.applied_seq, log.len() as u64);
+        let mut restored = FloorArbiter::with_defaults();
+        restored.apply_delta(&delta).unwrap();
+        assert_eq!(restored, arbiter);
+        assert_eq!(
+            dmps_wire::to_string(&restored),
+            dmps_wire::to_string(&arbiter),
+            "delta restore must be wire-byte-identical"
+        );
+        restored.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn chained_deltas_from_every_cut_match_the_live_arbiter() {
+        let log = scripted_log();
+        let (live, _) = replay_marking(&log);
+        // For every cut: full snapshot at the cut, then one delta covering
+        // the tail; base + delta must equal the live arbiter exactly.
+        for cut in 0..log.len() {
+            let (base_arbiter, _) = replay_marking(&log[..cut]);
+            let snap = base_arbiter.snapshot(cut as u64);
+            let mut tail_arbiter = base_arbiter.clone();
+            let mut dirty = crate::snapshot::ArbiterDirty::default();
+            for event in &log[cut..] {
+                let outcome = tail_arbiter.apply(event).unwrap();
+                tail_arbiter.mark_touched(event, &outcome, &mut dirty);
+            }
+            let delta = tail_arbiter.export_delta(log.len() as u64, &dirty);
+            let mut restored = FloorArbiter::restore(&snap).unwrap();
+            restored.apply_delta(&delta).unwrap();
+            assert_eq!(restored, live, "cut at {cut}");
+            assert_eq!(
+                dmps_wire::to_string(&restored),
+                dmps_wire::to_string(&live),
+                "cut at {cut}: delta fold must be wire-byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_applies_anywhere_inside_its_window() {
+        // A delta over window (b, a] must fold correctly onto any state at
+        // position p with b <= p <= a — the property follower resync leans
+        // on when its ack knowledge lags the leader's chain.
+        let log = scripted_log();
+        let base = 4usize;
+        let (mut tail_arbiter, _) = replay_marking(&log[..base]);
+        let mut dirty = crate::snapshot::ArbiterDirty::default();
+        for event in &log[base..] {
+            let outcome = tail_arbiter.apply(event).unwrap();
+            tail_arbiter.mark_touched(event, &outcome, &mut dirty);
+        }
+        let delta = tail_arbiter.export_delta(log.len() as u64, &dirty);
+        for p in base..=log.len() {
+            let (mut mid, _) = replay_marking(&log[..p]);
+            mid.apply_delta(&delta).unwrap();
+            assert_eq!(mid, tail_arbiter, "applied at position {p}");
+        }
+    }
+
+    #[test]
+    fn delta_roundtrips_through_wire_and_rejects_gaps() {
+        let log = scripted_log();
+        let (arbiter, dirty) = replay_marking(&log);
+        let delta = arbiter.export_delta(log.len() as u64, &dirty);
+        let encoded = dmps_wire::to_string(&delta);
+        let back: crate::snapshot::ArbiterDelta = dmps_wire::from_str(&encoded).unwrap();
+        assert_eq!(back, delta);
+        assert!(delta.size_bytes() > 0);
+        // Applying a delta whose entries skip past the dense end (out of
+        // chain order) must fail, not silently corrupt.
+        let mut short = FloorArbiter::with_defaults();
+        let mut skewed_dirty = crate::snapshot::ArbiterDirty::default();
+        skewed_dirty.groups.insert(GroupId(1));
+        let skewed = arbiter.export_delta(log.len() as u64, &skewed_dirty);
+        assert!(matches!(
+            short.apply_delta(&skewed),
+            Err(FloorError::CorruptSnapshot(_))
+        ));
+        // Garbage payloads are rejected too.
+        let corrupt = crate::snapshot::ArbiterDelta {
+            applied_seq: 1,
+            data: "not a delta".into(),
+        };
+        assert!(matches!(
+            short.apply_delta(&corrupt),
+            Err(FloorError::CorruptSnapshot(_))
+        ));
     }
 
     #[test]

@@ -49,20 +49,43 @@ pub struct CrashPlan {
     pub shard: usize,
 }
 
+impl CrashPlan {
+    /// A rolling crash schedule: `count` crashes evenly spaced over
+    /// `total_ops`, rotating round-robin across `shards` shards — the soak
+    /// shape where every shard dies and recovers repeatedly while the trace
+    /// is in flight.
+    pub fn rolling(count: usize, total_ops: usize, shards: usize) -> Vec<CrashPlan> {
+        assert!(shards > 0);
+        let stride = total_ops / (count + 1).max(1);
+        (0..count)
+            .map(|i| CrashPlan {
+                at_op: stride * (i + 1),
+                shard: i % shards,
+            })
+            .collect()
+    }
+}
+
 /// How to replay a trace.
 #[derive(Debug, Clone)]
 pub struct ReplayOptions {
     /// Shard count for the cluster.
     pub shards: usize,
+    /// Followers per shard (0 = unreplicated). With replicas, crash
+    /// recovery goes through follower promotion instead of snapshot+log
+    /// replay.
+    pub replicas: usize,
     /// Concurrent driver threads, each with its own gateway (groups are
-    /// partitioned by top-level ancestor). Must be 1 when `crash` is set.
+    /// partitioned by top-level ancestor). Must be 1 when `crashes` is
+    /// non-empty.
     pub gateways: usize,
     /// Ops buffered per kind before a vectored submit.
     pub flush_batch: usize,
     /// Sample one in this many ops for end-to-end latency (0 = never).
     pub latency_sample_every: usize,
-    /// Optional mid-replay crash/recovery.
-    pub crash: Option<CrashPlan>,
+    /// Mid-replay crash/recovery schedule ([`CrashPlan::rolling`] builds the
+    /// soak shape; one entry is the single-crash drill).
+    pub crashes: Vec<CrashPlan>,
     /// How many groups to verify end-state content counts for (0 = all),
     /// stride-sampled across the group list.
     pub verify_groups: usize,
@@ -70,14 +93,15 @@ pub struct ReplayOptions {
 
 impl ReplayOptions {
     /// Sensible defaults over `shards` shards: one driver, 512-op batches,
-    /// 1-in-64 latency sampling, full end-state verification.
+    /// 1-in-64 latency sampling, no crashes, full end-state verification.
     pub fn new(shards: usize) -> Self {
         ReplayOptions {
             shards,
+            replicas: 0,
             gateways: 1,
             flush_batch: 512,
             latency_sample_every: 64,
-            crash: None,
+            crashes: Vec::new(),
             verify_groups: 0,
         }
     }
@@ -162,6 +186,16 @@ pub struct ReplayReport {
     pub rss_peak: Option<u64>,
     /// Durable per-shard state bytes after replay.
     pub state_bytes: StateBytes,
+    /// Checkpoint ingest-stall pauses across all shards, in microseconds
+    /// (full snapshots and differential checkpoints together).
+    pub snapshot_pause_us: Histogram,
+    /// Total bytes shipped by differential checkpoints across all shards.
+    pub snapshot_delta_bytes: u64,
+    /// Differential checkpoints chained across shards at end of replay.
+    pub snapshot_deltas: u64,
+    /// Largest promotion tail-catch-up observed (events), across shards —
+    /// the soak's boundedness axis. 0 when unreplicated or never promoted.
+    pub catch_up_lag_max: u64,
     /// Cluster invariant check result.
     pub invariants: Result<(), String>,
     /// Groups whose end-state content counts were verified exactly.
@@ -648,19 +682,20 @@ fn ancestor(trace: &Trace, group: u32) -> u32 {
 ///
 /// # Panics
 ///
-/// Panics when `opts.crash` is set with more than one gateway (the crash
-/// choreography needs the single-threaded driver), and on control-plane
-/// setup failures (they indicate a broken environment, not a workload
-/// outcome).
+/// Panics when `opts.crashes` is non-empty with more than one gateway (the
+/// crash choreography needs the single-threaded driver), and on
+/// control-plane setup failures (they indicate a broken environment, not a
+/// workload outcome).
 pub fn replay(trace: &Trace, opts: &ReplayOptions) -> ReplayReport {
     assert!(
-        opts.crash.is_none() || opts.gateways == 1,
+        opts.crashes.is_empty() || opts.gateways == 1,
         "crash replay requires a single gateway"
     );
     assert!(opts.shards > 0 && opts.gateways > 0);
 
     let rss_before = rss::current_rss_bytes();
-    let mut cluster = Cluster::new(ClusterConfig::with_shards(opts.shards));
+    let mut cluster =
+        Cluster::new(ClusterConfig::with_shards(opts.shards).with_replicas(opts.replicas));
 
     // ----- setup: groups and rosters (control plane, measured separately) --
     let setup_start = Instant::now();
@@ -705,24 +740,30 @@ pub fn replay(trace: &Trace, opts: &ReplayOptions) -> ReplayReport {
     // ----- replay ----------------------------------------------------------
     let replay_start = Instant::now();
     let (mut stats, sub_ids) = if opts.gateways == 1 {
+        // Crashes indexed by op position; several shards may die at once.
+        let mut crash_at: HashMap<usize, Vec<usize>> = HashMap::new();
+        for plan in &opts.crashes {
+            crash_at.entry(plan.at_op).or_default().push(plan.shard);
+        }
         let gw = cluster.gateway();
         let mut driver = Driver::new(trace, &gw, &top_ids, &members, opts);
         for idx in 0..trace.ops.len() {
-            if let Some(plan) = opts.crash {
-                if idx == plan.at_op {
+            if let Some(shards) = crash_at.get(&idx) {
+                for &shard in shards {
                     // Kill the shard *first*, then flush what's buffered:
                     // every op bound for the dead shard comes back as a
                     // ShardDown decision and is recorded for retry. Once the
-                    // standby has replayed snapshot + log, drain_all
-                    // resubmits the errored ops under their original ids —
-                    // the dedup window replays anything that had already
-                    // committed — and settles every outstanding op before
-                    // the storm continues.
-                    cluster.crash_shard(ShardId(plan.shard));
+                    // standby has replayed the checkpoint chain + log (or a
+                    // follower was promoted), drain_all resubmits the
+                    // errored ops under their original ids — the dedup
+                    // window replays anything that had already committed —
+                    // and settles every outstanding op before the storm
+                    // continues.
+                    cluster.crash_shard(ShardId(shard));
                     driver.flush_floor();
                     driver.flush_session();
                     cluster
-                        .recover_shard(ShardId(plan.shard))
+                        .recover_shard(ShardId(shard))
                         .expect("shard recovery");
                     driver.drain_all();
                 }
@@ -813,15 +854,20 @@ pub fn replay(trace: &Trace, opts: &ReplayOptions) -> ReplayReport {
     // ----- memory + queue axes ---------------------------------------------
     let mut state = StateBytes::default();
     let mut queue_peak = 0u64;
+    let mut snapshot_deltas = 0u64;
     for s in 0..opts.shards {
         let view = cluster.shard_view(ShardId(s));
         state.log += view.log_bytes;
         state.session += view.session_bytes;
         state.dedup += view.dedup_bytes;
         state.snapshot += view.snapshot_bytes;
+        snapshot_deltas += view.snapshot_deltas as u64;
         queue_peak = queue_peak.max(cluster.queue_stats(ShardId(s)).peak_queued as u64);
     }
     let mut queue_depth_samples = 0u64;
+    let snapshot_pause_us = Histogram::new();
+    let mut snapshot_delta_bytes = 0u64;
+    let mut catch_up_lag_max = 0u64;
     let registry = cluster.metrics();
     for s in 0..opts.shards {
         if let Some(dmps_cluster::telemetry::Metric::TimeSeries(ts)) =
@@ -829,6 +875,16 @@ pub fn replay(trace: &Trace, opts: &ReplayOptions) -> ReplayReport {
         {
             queue_depth_samples += ts.samples().len() as u64;
         }
+        snapshot_pause_us
+            .merge(&registry.histogram(&format!("cluster.shard.{s}.snapshot.pause_us")));
+        snapshot_delta_bytes += registry
+            .counter(&format!("cluster.shard.{s}.snapshot.delta_bytes"))
+            .get();
+        catch_up_lag_max = catch_up_lag_max.max(
+            registry
+                .histogram(&format!("cluster.shard.{s}.replica.catch_up_lag"))
+                .max(),
+        );
     }
 
     ReplayReport {
@@ -851,6 +907,10 @@ pub fn replay(trace: &Trace, opts: &ReplayOptions) -> ReplayReport {
         rss_after: rss::current_rss_bytes(),
         rss_peak: rss::peak_rss_bytes(),
         state_bytes: state,
+        snapshot_pause_us,
+        snapshot_delta_bytes,
+        snapshot_deltas,
+        catch_up_lag_max,
         invariants,
         verified_groups: verified,
     }
@@ -882,10 +942,10 @@ mod tests {
         let trace = generate(&WorkloadSpec::small(13));
         let mut opts = ReplayOptions::new(4);
         opts.flush_batch = 16;
-        opts.crash = Some(CrashPlan {
+        opts.crashes = vec![CrashPlan {
             at_op: trace.ops.len() / 2,
             shard: 1,
-        });
+        }];
         let report = replay(&trace, &opts);
         assert!(
             report.is_clean(),
@@ -894,6 +954,33 @@ mod tests {
             report.invariants
         );
         assert_eq!(report.streamed_ops as usize, trace.streamed_ops());
+    }
+
+    #[test]
+    fn rolling_crashes_across_every_shard_stay_exactly_once() {
+        // The soak shape in miniature: every shard dies and recovers at
+        // least once mid-storm, with replicas so recovery goes through
+        // follower promotion — and the replay still verifies exactly-once.
+        let trace = generate(&WorkloadSpec::small(19));
+        let mut opts = ReplayOptions::new(3);
+        opts.replicas = 2;
+        opts.flush_batch = 16;
+        opts.crashes = CrashPlan::rolling(6, trace.ops.len(), 3);
+        let report = replay(&trace, &opts);
+        assert!(
+            report.is_clean(),
+            "mismatches: {:?} / invariants: {:?}",
+            report.mismatches,
+            report.invariants
+        );
+        assert_eq!(report.streamed_ops as usize, trace.streamed_ops());
+        // The soak axis: promotion tail-catch-up stays bounded (a follower
+        // that was fully caught up records 0).
+        assert!(
+            report.catch_up_lag_max <= 8192,
+            "catch-up lag unbounded: {}",
+            report.catch_up_lag_max
+        );
     }
 
     #[test]

@@ -139,6 +139,21 @@ impl WorkloadSpec {
         }
     }
 
+    /// The crash-soak shape: moderate group count, long scripts spread over
+    /// hours of virtual time — built to be replayed with rolling seeded
+    /// crashes ([`crate::CrashPlan::rolling`]) so every shard fails and
+    /// recovers repeatedly while the trace is in flight. Scaled so the soak
+    /// runs in minutes of wall clock despite its virtual-time span.
+    pub fn soak(seed: u64) -> Self {
+        WorkloadSpec {
+            top_groups: 1_500,
+            ops_per_group: 24,
+            virtual_window_ns: 14_400_000_000_000, // four virtual hours
+            burstiness: 0.35,
+            ..WorkloadSpec::small(seed)
+        }
+    }
+
     /// The committed-benchmark scale: ≥10⁵ groups driven (top-level plus
     /// spawned breakout sub-sessions).
     pub fn full(seed: u64) -> Self {

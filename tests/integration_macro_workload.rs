@@ -62,10 +62,10 @@ fn ci_scale_replay_survives_mid_run_crash_exactly_once() {
     let trace = ci_trace();
     let mut opts = ReplayOptions::new(SHARDS);
     opts.flush_batch = 128;
-    opts.crash = Some(CrashPlan {
+    opts.crashes = vec![CrashPlan {
         at_op: trace.ops.len() / 2,
         shard: 3,
-    });
+    }];
     let report = replay(&trace, &opts);
 
     assert!(

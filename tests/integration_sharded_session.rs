@@ -17,6 +17,10 @@ fn lecture(seed: u64) -> ClusterSession {
     // replay.
     let mut cluster = ClusterConfig::with_shards(4);
     cluster.snapshot_every = 8;
+    // Pin the event cadence: the default byte cadence would never fire on
+    // a session this small, and the test needs a checkpoint before the
+    // crash.
+    cluster.snapshot_every_bytes = 0;
     ClusterSession::new(
         ClusterSessionConfig::new(seed, FcmMode::EqualControl).with_cluster(cluster),
     )
