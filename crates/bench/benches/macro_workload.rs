@@ -32,15 +32,19 @@
 //! byte axes (not RSS, not pause timings) carry the gates so host noise
 //! can't flake them.
 //!
-//! Both modes also run the crash soak: the [`WorkloadSpec::soak`] trace
-//! replayed with 2 followers per shard and a rolling seeded crash schedule
-//! that kills every shard mid-traffic — zero mismatches and bounded
-//! promotion catch-up are asserted, not just reported.
+//! Both modes also run the chaos soak: the [`WorkloadSpec::soak`] trace
+//! replayed with 2 followers per shard, a rolling seeded crash schedule
+//! that kills every shard mid-traffic, and a rolling fault plan (leader
+//! partitions plus silent corruption of sealed segments, snapshot bases and
+//! deltas) — zero mismatches, bounded promotion catch-up, and every
+//! injected corruption detected and repaired from the replica quorum are
+//! asserted, not just reported.
 
 use std::time::Duration;
 
 use dmps_workload::{
-    generate, replay, Archetype, CrashPlan, ReplayOptions, ReplayReport, Trace, WorkloadSpec,
+    generate, replay, Archetype, CrashPlan, FaultPlan, ReplayOptions, ReplayReport, Trace,
+    WorkloadSpec,
 };
 
 const SEED: u64 = 8801;
@@ -249,15 +253,20 @@ fn enforce_ci_gate(label: &str, axis: &str, measured: f64, bar: f64) {
     }
 }
 
-/// The crash soak: the long-script [`WorkloadSpec::soak`] trace replayed
-/// with follower replication and a rolling seeded crash schedule that kills
-/// every shard (round-robin) while the trace is in flight. Every crash goes
-/// through follower promotion; the assertions are exactly-once delivery
-/// (zero mismatches, every streamed op decided exactly once) and bounded
-/// promotion catch-up.
+/// The chaos soak: the long-script [`WorkloadSpec::soak`] trace replayed
+/// with follower replication, a rolling seeded crash schedule that kills
+/// every shard (round-robin) while the trace is in flight, and a rolling
+/// fault plan that partitions leaders mid-quorum-write and silently
+/// corrupts every checksummed artifact class (sealed segments, snapshot
+/// bases, snapshot deltas). Every crash and demotion goes through
+/// epoch-bumping follower promotion; the assertions are exactly-once
+/// delivery (zero mismatches, every streamed op decided exactly once),
+/// bounded promotion catch-up, and that every injected corruption was
+/// detected by its checksum and repaired from the replica quorum.
 fn run_soak() {
     const SOAK_SHARDS: usize = 4;
     const SOAK_CRASHES: usize = 8;
+    const SOAK_FAULTS: usize = 12;
     let spec = WorkloadSpec::soak(SEED);
     let trace = generate(&spec);
     trace
@@ -267,6 +276,7 @@ fn run_soak() {
     opts.replicas = 2;
     opts.flush_batch = 64;
     opts.crashes = CrashPlan::rolling(SOAK_CRASHES, trace.ops.len(), SOAK_SHARDS);
+    opts.faults = FaultPlan::rolling(SOAK_FAULTS, trace.ops.len(), SOAK_SHARDS);
     let report = replay(&trace, &opts);
     assert!(
         report.is_clean(),
@@ -277,18 +287,35 @@ fn run_soak() {
     assert_eq!(
         report.streamed_ops as usize,
         trace.streamed_ops(),
-        "soak: exactly one decision per streamed op across {SOAK_CRASHES} crashes"
+        "soak: exactly one decision per streamed op across {SOAK_CRASHES} crashes and \
+         {SOAK_FAULTS} faults"
     );
     assert!(
         report.catch_up_lag_max <= SOAK_LAG_CEILING,
         "soak: promotion catch-up unbounded: {} events > {SOAK_LAG_CEILING}",
         report.catch_up_lag_max
     );
+    assert!(
+        report.fault_partitions > 0,
+        "soak: the fault plan must have partitioned at least one leader"
+    );
+    assert!(
+        report.fault_checksum_failures > 0,
+        "soak: every injected corruption must be *detected*, not slip through"
+    );
+    assert!(
+        report.fault_repairs > 0,
+        "soak: detected corruption must be repaired from the replica quorum"
+    );
     println!(
         "bench macro_workload/soak         groups {:>7}  ops {:>8}  crashes {SOAK_CRASHES}  \
-         resubmits {}  catch-up lag max {}  pause p99 {}us max {}us",
+         partitions {}  checksum fails {}  repairs {}  resubmits {}  catch-up lag max {}  \
+         pause p99 {}us max {}us",
         trace.groups.len(),
         report.streamed_ops,
+        report.fault_partitions,
+        report.fault_checksum_failures,
+        report.fault_repairs,
         report.resubmits,
         report.catch_up_lag_max,
         report.snapshot_pause_us.p99(),

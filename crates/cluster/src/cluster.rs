@@ -36,7 +36,7 @@ use crate::queue::{OverloadPolicy, QueueStats};
 
 use crate::ring::{HashRing, ShardId};
 use crate::session::{GroupSession, SessionDecision, SessionEvent, SessionOp, SessionOutcome};
-use crate::shard::{GlobalGroupId, GlobalMemberId, Shard, ShardView};
+use crate::shard::{CorruptionTarget, GlobalGroupId, GlobalMemberId, Shard, ShardView};
 use crate::worker::{ReplyRegistry, ReplyTo, ShardCommand, ShardWorker};
 use dmps_telemetry::Stage as TraceStage;
 use dmps_telemetry::{MetricsRegistry, TraceSpan};
@@ -249,6 +249,11 @@ pub struct Decision {
     /// this shard once its applied position reaches this. `0` means the
     /// decision carries no durability information (a routing error or shed).
     pub commit: u64,
+    /// The leader epoch under which this decision quorum-committed. `0`
+    /// means the decision carries no fencing information — an unreplicated
+    /// shard, a routing error, or a shed. Two successful decisions for the
+    /// same shard with different epochs straddle a failover.
+    pub epoch: u64,
 }
 
 /// What a rebalancing pass ([`Cluster::rebalance_idle`] /
@@ -580,6 +585,29 @@ impl Core {
         rx.recv().expect("shard worker answers")
     }
 
+    /// Like [`Core::with_shard_replicas`], but through the **non-barrier**
+    /// [`ShardCommand::Fault`] path: the closure runs with the pipeline left
+    /// exactly as it is — batches still parked mid-quorum-write — which is
+    /// what lets an injected partition or corruption land *inside* a quorum
+    /// write instead of between two fully settled batches.
+    pub(crate) fn with_shard_fault<R: Send + 'static>(
+        &self,
+        shard: ShardId,
+        f: impl FnOnce(&mut Shard, &mut crate::replication::ReplicaSet) -> R + Send + 'static,
+    ) -> R {
+        let (tx, rx) = channel();
+        {
+            let workers = self.workers.read().expect("workers lock");
+            let worker = workers
+                .get(shard.0)
+                .unwrap_or_else(|| panic!("shard {shard} out of range"));
+            worker.send_control(ShardCommand::Fault(Box::new(move |s, r| {
+                let _ = tx.send(f(s, r));
+            })));
+        }
+        rx.recv().expect("shard worker answers")
+    }
+
     /// Translates a global request to the owning shard's local ids.
     fn translate(&self, request: &GlobalRequest) -> Result<(GroupPlacement, FloorRequest)> {
         let placement = self.directory.placement(request.group)?;
@@ -680,6 +708,7 @@ impl Core {
                                 replayed: false,
                                 shard: Some(placement.shard),
                                 commit: 0,
+                                epoch: 0,
                             },
                         );
                     }
@@ -786,6 +815,7 @@ impl Core {
                                 replayed: false,
                                 shard: Some(placement.shard),
                                 commit: 0,
+                                epoch: 0,
                             },
                         );
                     }
@@ -995,6 +1025,7 @@ impl Core {
                             replayed: false,
                             shard: None,
                             commit: 0,
+                            epoch: 0,
                         },
                     ),
                 }
@@ -1020,6 +1051,7 @@ impl Core {
                             replayed: false,
                             shard: Some(shard),
                             commit: 0,
+                            epoch: 0,
                         },
                     );
                 }
@@ -1036,6 +1068,7 @@ impl Core {
                         replayed: false,
                         shard: None,
                         commit: 0,
+                        epoch: 0,
                     },
                 );
             }
@@ -1098,6 +1131,7 @@ impl Core {
                             replayed: false,
                             shard: None,
                             commit: 0,
+                            epoch: 0,
                         },
                     ),
                 }
@@ -1121,6 +1155,7 @@ impl Core {
                             replayed: false,
                             shard: Some(shard),
                             commit: 0,
+                            epoch: 0,
                         },
                     );
                 }
@@ -1138,6 +1173,7 @@ impl Core {
                         replayed: false,
                         shard: None,
                         commit: 0,
+                        epoch: 0,
                     },
                 );
             }
@@ -1371,6 +1407,22 @@ impl Core {
         self.with_shard(shard, |s| s.is_active())
     }
 
+    pub(crate) fn isolate_shard_leader(&self, shard: ShardId) {
+        self.with_shard_fault(shard, |_, r| r.partition_leader());
+    }
+
+    pub(crate) fn heal_shard_partition(&self, shard: ShardId) {
+        self.with_shard_fault(shard, |_, r| r.heal_partition());
+    }
+
+    pub(crate) fn inject_corruption(&self, shard: ShardId, target: CorruptionTarget) -> bool {
+        self.with_shard_fault(shard, move |s, _| s.inject_corruption(target))
+    }
+
+    pub(crate) fn inject_follower_corruption(&self, shard: ShardId, follower: usize) -> bool {
+        self.with_shard_fault(shard, move |_, r| r.inject_follower_corruption(follower))
+    }
+
     pub(crate) fn arbiter(&self, shard: ShardId) -> FloorArbiter {
         self.with_shard(shard, |s| s.arbiter().clone())
     }
@@ -1564,6 +1616,7 @@ impl Core {
                                     replayed: false,
                                     shard: Some(placement.shard),
                                     commit: 0,
+                                    epoch: 0,
                                 },
                             );
                         }
@@ -1577,6 +1630,7 @@ impl Core {
                             replayed: false,
                             shard: None,
                             commit: 0,
+                            epoch: 0,
                         },
                     ),
                 },
@@ -1602,6 +1656,7 @@ impl Core {
                                     replayed: false,
                                     shard: Some(placement.shard),
                                     commit: 0,
+                                    epoch: 0,
                                 },
                             );
                         }
@@ -1615,6 +1670,7 @@ impl Core {
                             replayed: false,
                             shard: None,
                             commit: 0,
+                            epoch: 0,
                         },
                     ),
                 },
@@ -2352,11 +2408,18 @@ impl Cluster {
         self.core.crash_shard(shard);
     }
 
-    /// A standby recovers the shard from its snapshot + log.
+    /// A standby recovers the shard from its snapshot + log. With followers
+    /// configured this promotes the most caught-up replica, bumping the
+    /// shard's leader epoch so a partitioned-away old leader is fenced; a
+    /// checksum-corrupt leader copy is repaired from the quorum instead of
+    /// aborting.
     ///
     /// # Errors
     ///
-    /// Propagates durable-state corruption as [`ClusterError::Floor`].
+    /// Propagates durable-state damage replication could not repair —
+    /// checksum mismatches as [`ClusterError::Corrupt`], replay divergence
+    /// as [`ClusterError::Floor`]. The shard stays quarantined (down, not
+    /// serving) in that case.
     pub fn recover_shard(&mut self, shard: ShardId) -> Result<()> {
         self.core.recover_shard(shard)
     }
@@ -2364,6 +2427,42 @@ impl Cluster {
     /// Whether a shard is serving.
     pub fn is_shard_active(&self, shard: ShardId) -> bool {
         self.core.is_shard_active(shard)
+    }
+
+    /// Fault injection: partitions `shard`'s leader away from its whole
+    /// follower fleet, *without* settling the pipeline first — batches
+    /// already shipped stay parked mid-quorum-write, which is exactly the
+    /// window a real partition hits. The leader's next forced quorum runs
+    /// out its stall budget, answers every parked decision
+    /// [`ClusterError::ShardDown`], and demotes itself; promote with
+    /// [`Cluster::recover_shard`] (after [`Cluster::heal_shard_partition`])
+    /// to fail over. A no-op on an unreplicated shard.
+    pub fn isolate_shard_leader(&mut self, shard: ShardId) {
+        self.core.isolate_shard_leader(shard);
+    }
+
+    /// Heals every partition on `shard`'s replication network (the inverse
+    /// of [`Cluster::isolate_shard_leader`]).
+    pub fn heal_shard_partition(&mut self, shard: ShardId) {
+        self.core.heal_shard_partition(shard);
+    }
+
+    /// Fault injection: silently corrupts one class of `shard`'s durable
+    /// state (see [`CorruptionTarget`]) so its stored checksum no longer
+    /// matches — detection happens at the next recovery or resync, which
+    /// repairs from the replica quorum (or quarantines the shard with
+    /// [`ClusterError::Corrupt`] when unreplicated). Returns `false` when
+    /// the target does not currently exist (e.g. no snapshot yet).
+    pub fn inject_corruption(&mut self, shard: ShardId, target: CorruptionTarget) -> bool {
+        self.core.inject_corruption(shard, target)
+    }
+
+    /// Fault injection: corrupts one **follower's** pending copy of `shard`'s
+    /// newest replicated segment. The follower's next catch-up detects the
+    /// mismatch, quarantines its copy and is re-shipped the segment by the
+    /// leader. Returns `false` when that follower holds nothing to corrupt.
+    pub fn inject_follower_corruption(&mut self, shard: ShardId, follower: usize) -> bool {
+        self.core.inject_follower_corruption(shard, follower)
     }
 
     // ----- scale-out --------------------------------------------------------
@@ -2643,6 +2742,7 @@ mod tests {
             ds.iter()
                 .map(|d| Decision {
                     commit: 0,
+                    epoch: 0,
                     ..d.clone()
                 })
                 .collect()

@@ -53,6 +53,16 @@ pub enum ClusterError {
     /// The shard worker pipelines are gone (the cluster was torn down while
     /// a decision was still awaited).
     Disconnected,
+    /// Durable state failed its integrity check: a checksum mismatch or an
+    /// unparseable artifact. The shard is quarantined (stays down) instead
+    /// of the process aborting; with replicas the damage is repaired from
+    /// the quorum during promotion instead of surfacing at all.
+    Corrupt {
+        /// The shard whose durable artifact failed verification.
+        shard: ShardId,
+        /// The artifact that failed (e.g. `snapshot base`, `log segment 42`).
+        what: String,
+    },
     /// An error surfaced from the underlying floor arbiter.
     Floor(FloorError),
 }
@@ -83,6 +93,9 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::Disconnected => {
                 write!(f, "the shard worker pipelines have shut down")
+            }
+            ClusterError::Corrupt { shard, what } => {
+                write!(f, "shard {shard} durable state is corrupt: {what}")
             }
             ClusterError::Floor(e) => write!(f, "floor control error: {e}"),
         }
@@ -126,6 +139,10 @@ mod tests {
             ClusterError::HandoffUnnecessary(GlobalGroupId(10)),
             ClusterError::Overloaded(ShardId(1)),
             ClusterError::Disconnected,
+            ClusterError::Corrupt {
+                shard: ShardId(2),
+                what: "snapshot base".into(),
+            },
             ClusterError::Floor(FloorError::MissingDestination),
         ];
         for e in errors {

@@ -19,6 +19,10 @@
 //!   compaction-lagged followers, the `catch_up_lag` replayed at promotion,
 //!   and the `follower_reads` / `forwarded_reads` split of the scale-out
 //!   read path).
+//! * `cluster.shard.N.fault.*` — fault-plane instruments (`partitions`
+//!   engaged on the replica network, `fenced_appends` rejected by epoch
+//!   fencing, `checksum_failures` detected on durable artifacts, and
+//!   `repairs` performed from the quorum).
 //! * `gateway.G.*` — per-gateway instruments (`submit_batch_size`,
 //!   `retries`, and per-op-kind `submit_latency_ns.KIND` histograms fed by
 //!   sampled spans).
@@ -158,6 +162,9 @@ impl ClusterTelemetry {
             session_dedup_hits: self
                 .registry
                 .counter(&format!("cluster.shard.{index}.session_dedup_hits")),
+            checksum_failures: self
+                .registry
+                .counter(&format!("cluster.shard.{index}.fault.checksum_failures")),
         }
     }
 
@@ -182,6 +189,18 @@ impl ClusterTelemetry {
             forwarded_reads: self
                 .registry
                 .counter(&format!("cluster.shard.{index}.replica.forwarded_reads")),
+            partitions: self
+                .registry
+                .counter(&format!("cluster.shard.{index}.fault.partitions")),
+            fenced_appends: self
+                .registry
+                .counter(&format!("cluster.shard.{index}.fault.fenced_appends")),
+            checksum_failures: self
+                .registry
+                .counter(&format!("cluster.shard.{index}.fault.checksum_failures")),
+            repairs: self
+                .registry
+                .counter(&format!("cluster.shard.{index}.fault.repairs")),
         }
     }
 
@@ -265,6 +284,11 @@ pub(crate) struct ShardMetrics {
     pub(crate) dedup_hits: Arc<Counter>,
     /// Session operations answered from the dedup window (replays).
     pub(crate) session_dedup_hits: Arc<Counter>,
+    /// Durable artifacts (snapshot base, deltas, sealed segments) that
+    /// failed checksum verification. Shares its name — and therefore its
+    /// underlying counter — with the replica set's fault bundle, so leader-
+    /// side and follower-side detections aggregate per shard.
+    pub(crate) checksum_failures: Arc<Counter>,
 }
 
 /// Replication instruments of one shard's replica set, recorded by the
@@ -288,6 +312,17 @@ pub(crate) struct ReplicaMetrics {
     /// Reads forwarded to the leader because the chosen follower had not
     /// applied up to the caller's bound.
     pub(crate) forwarded_reads: Arc<Counter>,
+    /// Partitions engaged on the replica network (leader isolations).
+    pub(crate) partitions: Arc<Counter>,
+    /// Appends and resyncs rejected by a follower because they carried a
+    /// stale leader epoch (the fencing that prevents split-brain).
+    pub(crate) fenced_appends: Arc<Counter>,
+    /// Checksum mismatches detected on replicated segments or durable
+    /// artifacts (same counter as the shard-side detections).
+    pub(crate) checksum_failures: Arc<Counter>,
+    /// Repairs performed from the quorum: follower re-ships after
+    /// quarantine and leader state rebuilds from the best follower.
+    pub(crate) repairs: Arc<Counter>,
 }
 
 /// Submit-side instruments owned by one [`crate::Gateway`].

@@ -196,7 +196,7 @@ pub use session::{
     SessionRejection, SessionStore,
 };
 pub use shard::{
-    DedupWindow, EventLog, GlobalGroupId, GlobalMemberId, HandoffExport, Shard, ShardEvent,
-    ShardSnapshot, ShardState, ShardView, SnapshotDelta,
+    CorruptionTarget, DedupWindow, EventLog, GlobalGroupId, GlobalMemberId, HandoffExport, Shard,
+    ShardEvent, ShardSnapshot, ShardState, ShardView, SnapshotDelta,
 };
 pub use sim::{ClusterMsg, ClusterSim};

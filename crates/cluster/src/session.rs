@@ -260,6 +260,9 @@ pub struct SessionDecision {
     /// read-your-writes bound; `0` = no durability information). See
     /// [`Decision::commit`](crate::Decision::commit).
     pub commit: u64,
+    /// The leader epoch under which this decision quorum-committed (`0` = no
+    /// fencing information). See [`Decision::epoch`](crate::Decision::epoch).
+    pub epoch: u64,
 }
 
 /// The session state of one group: the server-side logs a `DmpsServer` keeps
@@ -312,6 +315,75 @@ impl GroupSession {
                 .iter()
                 .map(|(m, _)| (std::mem::size_of::<(String, SimTime)>() + m.len()) as u64)
                 .sum::<u64>()
+    }
+}
+
+impl Wire for SessionOpKind {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        match self {
+            SessionOpKind::Chat { text } => {
+                0u8.encode(w);
+                text.encode(w);
+            }
+            SessionOpKind::Whiteboard { stroke } => {
+                1u8.encode(w);
+                stroke.encode(w);
+            }
+            SessionOpKind::Annotation { text } => {
+                2u8.encode(w);
+                text.encode(w);
+            }
+            SessionOpKind::ScheduleMedia { media, start } => {
+                3u8.encode(w);
+                media.encode(w);
+                start.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        let tag = u8::decode(r)?;
+        Ok(match tag {
+            0 => SessionOpKind::Chat {
+                text: String::decode(r)?,
+            },
+            1 => SessionOpKind::Whiteboard {
+                stroke: String::decode(r)?,
+            },
+            2 => SessionOpKind::Annotation {
+                text: String::decode(r)?,
+            },
+            3 => SessionOpKind::ScheduleMedia {
+                media: String::decode(r)?,
+                start: SimTime::decode(r)?,
+            },
+            other => {
+                return Err(dmps_wire::WireError::BadToken {
+                    expected: "SessionOpKind tag",
+                    token: other.to_string(),
+                })
+            }
+        })
+    }
+}
+
+impl Wire for SessionEvent {
+    fn encode(&self, w: &mut dmps_wire::Writer) {
+        self.group.encode(w);
+        self.local_group.encode(w);
+        self.from.encode(w);
+        self.local_from.encode(w);
+        self.kind.encode(w);
+    }
+
+    fn decode(r: &mut dmps_wire::Reader<'_>) -> dmps_wire::Result<Self> {
+        Ok(SessionEvent {
+            group: GlobalGroupId::decode(r)?,
+            local_group: GroupId::decode(r)?,
+            from: GlobalMemberId::decode(r)?,
+            local_from: MemberId::decode(r)?,
+            kind: SessionOpKind::decode(r)?,
+        })
     }
 }
 

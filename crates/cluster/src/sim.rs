@@ -89,7 +89,7 @@ use crate::cluster::{Cluster, ClusterConfig, GlobalRequest, HandoffTicket};
 use crate::error::{ClusterError, Result};
 use crate::ring::ShardId;
 use crate::session::{SessionOp, SessionOutcome, SessionRejection};
-use crate::shard::GlobalGroupId;
+use crate::shard::{CorruptionTarget, GlobalGroupId};
 
 /// Messages on the cluster's simulated control network.
 #[derive(Debug, Clone, PartialEq)]
@@ -168,6 +168,17 @@ enum FailureAction {
     /// died in the gap — the point of scheduling the phases separately is
     /// that a crash entry can land *between* them).
     HandoffCommit(GlobalGroupId),
+    /// Partition a replicated shard's leader away from its follower fleet,
+    /// through the non-barrier fault path — batches already shipped stay
+    /// parked mid-quorum-write under the partition.
+    PartitionLeader(ShardId),
+    /// Heal the shard's replication partition; if the leader demoted itself
+    /// under it (stall budget exhausted, pipeline failed), promote a
+    /// follower and run the retransmission pass like a failover.
+    HealPartition(ShardId),
+    /// Silently corrupt one durable artifact of the shard; detection (and
+    /// quorum repair) happens at the next recovery or resync.
+    Corrupt(ShardId, CorruptionTarget),
 }
 
 /// What a gateway retransmission pass re-sends.
@@ -397,6 +408,35 @@ impl ClusterSim {
         self.plan.sort_by_key(|&(t, _)| t);
     }
 
+    /// Schedules a replication partition isolating `shard`'s leader from its
+    /// whole follower fleet at `at`, healed `heal_after` later. The
+    /// partition is injected through the worker's non-barrier fault path, so
+    /// quorum writes already in flight stay parked *under* it — the leader
+    /// burns its retransmission stall budget, answers every parked decision
+    /// `ShardDown`, and demotes itself. The heal entry then promotes a
+    /// follower (epoch bump — the old leader is fenced) and, with
+    /// [`ClusterSim::enable_retransmission`] on, re-drives the stranded
+    /// requests exactly-once through the reconciled dedup journals. A no-op
+    /// on an unreplicated shard (quorum of one: nothing ever stalls).
+    pub fn schedule_partition(&mut self, at: SimTime, shard: ShardId, heal_after: Duration) {
+        self.plan.push((at, FailureAction::PartitionLeader(shard)));
+        self.plan
+            .push((at + heal_after, FailureAction::HealPartition(shard)));
+        self.plan.sort_by_key(|&(t, _)| t);
+    }
+
+    /// Schedules silent corruption of one of `shard`'s durable artifacts at
+    /// `at` (see [`CorruptionTarget`]). Nothing fails immediately — the
+    /// damage sits in the checksummed store until the next recovery or
+    /// resync reads it, which is the point: pair it with a later
+    /// [`ClusterSim::schedule_crash`] to force that read and watch the
+    /// quorum repair (or, unreplicated, the `Corrupt` quarantine) in the
+    /// [`ClusterSim::trace`].
+    pub fn schedule_corruption(&mut self, at: SimTime, shard: ShardId, target: CorruptionTarget) {
+        self.plan.push((at, FailureAction::Corrupt(shard, target)));
+        self.plan.sort_by_key(|&(t, _)| t);
+    }
+
     /// Grows the cluster by one shard mid-simulation: the ring is enlarged
     /// and a fresh primary + standby host pair joins the network over
     /// `link`. Existing groups stay put until a scheduled handoff (or an
@@ -464,9 +504,19 @@ impl ClusterSim {
                 } else {
                     hosts.primary
                 };
-                self.cluster
-                    .recover_shard(shard)
-                    .expect("durable snapshot+log must recover");
+                // Promotion repairs checksum-corrupt copies from the replica
+                // quorum; damage it cannot repair (unreplicated corruption)
+                // quarantines the shard instead of serving from bad state —
+                // traced, shard left down, traffic keeps failing ShardDown.
+                if let Err(e) = self.cluster.recover_shard(shard) {
+                    self.trace.record(
+                        at,
+                        Some(standby),
+                        "quarantine",
+                        format!("shard {} recovery refused: {e}", shard.0),
+                    );
+                    return;
+                }
                 // The crashed station may later be repaired and become the
                 // new standby.
                 let _ = self.net.set_host_up(hosts.serving, true);
@@ -530,6 +580,67 @@ impl ClusterSim {
                 if let Some(delay) = self.retransmission {
                     self.retransmit_unanswered(at, at + delay, RetransmitScope::Group(group));
                 }
+            }
+            FailureAction::PartitionLeader(shard) => {
+                self.cluster.isolate_shard_leader(shard);
+                self.trace.record(
+                    at,
+                    Some(self.hosts[shard.0].serving),
+                    "partition",
+                    format!("shard {} leader isolated from its followers", shard.0),
+                );
+            }
+            FailureAction::HealPartition(shard) => {
+                self.cluster.heal_shard_partition(shard);
+                self.trace.record(
+                    at,
+                    Some(self.hosts[shard.0].serving),
+                    "heal",
+                    format!("shard {} replication partition healed", shard.0),
+                );
+                // A leader that tried to quorum-commit under the partition
+                // demoted itself; promote a follower (epoch bump fences the
+                // old leader) and heal the stranded traffic like a failover.
+                // A leader that stayed quiet is still serving — nothing to
+                // promote.
+                if !self.cluster.is_shard_active(shard) {
+                    if let Err(e) = self.cluster.recover_shard(shard) {
+                        self.trace.record(
+                            at,
+                            None,
+                            "quarantine",
+                            format!("shard {} recovery refused: {e}", shard.0),
+                        );
+                        return;
+                    }
+                    self.failovers += 1;
+                    self.trace.record(
+                        at,
+                        None,
+                        "recover",
+                        format!("shard {} promoted a follower (epoch bump)", shard.0),
+                    );
+                    if let Some(delay) = self.retransmission {
+                        self.retransmit_unanswered(at, at + delay, RetransmitScope::Shard(shard));
+                    }
+                }
+            }
+            FailureAction::Corrupt(shard, target) => {
+                let hit = self.cluster.inject_corruption(shard, target);
+                self.trace.record(
+                    at,
+                    Some(self.hosts[shard.0].serving),
+                    "corrupt",
+                    format!(
+                        "shard {} {target:?} {}",
+                        shard.0,
+                        if hit {
+                            "silently corrupted"
+                        } else {
+                            "not present (nothing corrupted)"
+                        }
+                    ),
+                );
             }
         }
     }
@@ -1328,6 +1439,160 @@ mod tests {
             "exactly budget retries per request"
         );
         assert_eq!(sim.trace().of_category("retry-exhausted").count(), 4);
+    }
+
+    /// A replicated 2-shard cluster with one busy Equal Control group:
+    /// the scenario every fault-plan test below perturbs.
+    fn replicated_scenario(
+        seed: u64,
+    ) -> (ClusterSim, GlobalGroupId, Vec<u64>, crate::ring::ShardId) {
+        let mut sim = ClusterSim::new(
+            ClusterConfig::with_shards(2).with_replicas(2),
+            seed,
+            Link::lan(),
+        );
+        sim.enable_retransmission(Duration::from_millis(40));
+        let g = sim
+            .cluster_mut()
+            .create_group("lecture", FcmMode::EqualControl)
+            .unwrap();
+        let shard = sim.cluster().placement(g).unwrap().shard;
+        let speakers: Vec<_> = (0..3)
+            .map(|i| {
+                let m = sim
+                    .cluster_mut()
+                    .register_member(Member::new(format!("m{i}"), Role::Participant));
+                sim.cluster_mut().join_group(g, m).unwrap();
+                m
+            })
+            .collect();
+        let mut seqs = Vec::new();
+        for i in 0..40u64 {
+            seqs.push(
+                sim.submit_at(
+                    SimTime::from_millis(50 * i),
+                    GlobalRequest::speak(g, speakers[(i % 3) as usize]),
+                )
+                .unwrap(),
+            );
+        }
+        (sim, g, seqs, shard)
+    }
+
+    #[test]
+    fn partition_isolating_leader_fails_over_exactly_once() {
+        let (mut sim, g, seqs, shard) = replicated_scenario(5);
+        // The leader is cut off from its whole fleet mid-traffic: its next
+        // quorum write burns the stall budget, the pipeline fails (ShardDown
+        // answers), and the shard self-demotes. The heal entry promotes a
+        // follower under a bumped epoch and re-drives the stranded ids.
+        sim.schedule_partition(SimTime::from_millis(900), shard, Duration::from_millis(300));
+        sim.run_to_idle();
+        assert_eq!(sim.failovers(), 1, "demotion under partition must promote");
+        assert!(
+            sim.retransmits() > 0,
+            "the partition must strand some requests"
+        );
+        assert_eq!(sim.trace().of_category("partition").count(), 1);
+        assert_eq!(sim.trace().of_category("heal").count(), 1);
+        // Exactly-once despite the demote/promote cycle: the reconciled
+        // dedup journal answers retries of quorum-surviving ids as replays
+        // and re-arbitrates the rest.
+        let mut answered: Vec<u64> = sim.decisions().iter().map(|(s, ..)| *s).collect();
+        answered.sort_unstable();
+        assert_eq!(answered, seqs, "every request answered exactly once");
+        sim.cluster().check_invariants().unwrap();
+        let placement = sim.cluster().placement(g).unwrap();
+        let arbiter = sim.cluster().arbiter(placement.shard);
+        assert!(arbiter.token(placement.local).unwrap().holder().is_some());
+    }
+
+    #[test]
+    fn same_seed_same_partition_same_state() {
+        let run = |seed: u64| {
+            let (mut sim, g, _, shard) = replicated_scenario(seed);
+            sim.schedule_partition(SimTime::from_millis(900), shard, Duration::from_millis(300));
+            sim.run_to_idle();
+            let placement = sim.cluster().placement(g).unwrap();
+            (
+                dmps_wire::to_string(&sim.cluster().arbiter(placement.shard)),
+                sim.decisions().len(),
+                sim.retransmits(),
+                sim.failovers(),
+            )
+        };
+        assert_eq!(run(41), run(41), "identical seeds reproduce exactly");
+    }
+
+    #[test]
+    fn corrupt_leader_segment_is_repaired_from_quorum_at_failover() {
+        let (mut sim, g, seqs, shard) = replicated_scenario(5);
+        // Silent bit-rot on the leader's newest sealed segment, then a crash:
+        // promotion's checksum verification catches it and repairs the new
+        // leader from the replica quorum instead of serving from bad state.
+        sim.schedule_corruption(
+            SimTime::from_millis(850),
+            shard,
+            CorruptionTarget::SealedSegment,
+        );
+        sim.schedule_crash(SimTime::from_millis(900), shard, Duration::from_millis(300));
+        sim.run_to_idle();
+        assert_eq!(sim.failovers(), 1, "repair must let the failover complete");
+        assert_eq!(sim.trace().of_category("corrupt").count(), 1);
+        assert_eq!(sim.trace().of_category("quarantine").count(), 0);
+        let mut answered: Vec<u64> = sim.decisions().iter().map(|(s, ..)| *s).collect();
+        answered.sort_unstable();
+        assert_eq!(answered, seqs, "every request answered exactly once");
+        sim.cluster().check_invariants().unwrap();
+        let placement = sim.cluster().placement(g).unwrap();
+        let arbiter = sim.cluster().arbiter(placement.shard);
+        assert!(arbiter.token(placement.local).unwrap().holder().is_some());
+    }
+
+    #[test]
+    fn unreplicated_corruption_quarantines_instead_of_aborting() {
+        // No replicas: there is no quorum to repair from, so recovery must
+        // refuse (ClusterError::Corrupt) and quarantine the shard — never
+        // abort the process, never serve from corrupt state. A tight
+        // event-count checkpoint cadence guarantees a snapshot base exists
+        // to rot.
+        let mut config = ClusterConfig::with_shards(2);
+        config.snapshot_every = 8;
+        config.snapshot_every_bytes = 0;
+        let mut sim = ClusterSim::new(config, 5, Link::lan());
+        let g = sim
+            .cluster_mut()
+            .create_group("lecture", FcmMode::FreeAccess)
+            .unwrap();
+        let shard = sim.cluster().placement(g).unwrap().shard;
+        let m = sim
+            .cluster_mut()
+            .register_member(Member::new("t", Role::Chair));
+        sim.cluster_mut().join_group(g, m).unwrap();
+        for i in 0..20u64 {
+            sim.submit_at(SimTime::from_millis(10 * i), GlobalRequest::speak(g, m))
+                .unwrap();
+        }
+        sim.schedule_corruption(
+            SimTime::from_millis(500),
+            shard,
+            CorruptionTarget::SnapshotBase,
+        );
+        sim.schedule_crash(SimTime::from_millis(600), shard, Duration::from_millis(200));
+        sim.run_to_idle();
+        let corrupt = sim
+            .trace()
+            .of_category("corrupt")
+            .next()
+            .expect("corruption traced");
+        assert!(
+            corrupt.detail.contains("silently corrupted"),
+            "the snapshot base must exist to corrupt: {}",
+            corrupt.detail
+        );
+        assert_eq!(sim.failovers(), 0, "a corrupt standby must not serve");
+        assert_eq!(sim.trace().of_category("quarantine").count(), 1);
+        assert!(!sim.cluster().is_shard_active(shard));
     }
 
     #[test]

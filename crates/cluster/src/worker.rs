@@ -95,6 +95,7 @@ use dmps_simnet::Link;
 use dmps_telemetry::{saturating_nanos, Stage, TraceSpan};
 
 use crate::cluster::Decision;
+use crate::error::ClusterError;
 use crate::instrument::{ReplicaMetrics, WorkerTelemetry};
 use crate::queue::{bounded, OverloadPolicy, PushError, QueueReceiver, QueueSender, QueueStats};
 use crate::replication::{FollowerCore, ReplicaSet};
@@ -260,6 +261,13 @@ pub(crate) enum ShardCommand {
     /// Run a closure with exclusive access to the shard and its replica set
     /// (a batch barrier; every in-flight batch is quorum-settled first).
     With(BarrierFn),
+    /// Run a fault-injection closure with exclusive access to the shard and
+    /// its replica set **without** the settle barrier: the pipeline is left
+    /// exactly as it is, batches still parked mid-quorum-write. This is the
+    /// point of the fault plane — a partition injected through `With` would
+    /// first settle every in-flight batch and never catch a write in
+    /// flight.
+    Fault(BarrierFn),
 }
 
 /// A boxed control-plane barrier closure (see [`ShardCommand::With`]).
@@ -480,18 +488,67 @@ struct PendingBatch {
 
 /// Releases one quorum-covered batch: stamps every decision with the
 /// quorum-committed log position it rode to (the client's read-your-writes
-/// bound), flushes the replies, and completes the sampled spans.
-fn release(registry: &ReplyRegistry, telemetry: &WorkerTelemetry, mut batch: PendingBatch) {
+/// bound) and the leader epoch that committed it, flushes the replies, and
+/// completes the sampled spans.
+fn release(
+    registry: &ReplyRegistry,
+    telemetry: &WorkerTelemetry,
+    mut batch: PendingBatch,
+    epoch: u64,
+) {
     for (_, d) in batch.floor.iter_mut() {
         d.commit = batch.end_seq;
+        d.epoch = epoch;
     }
     for (_, d) in batch.session.iter_mut() {
         d.commit = batch.end_seq;
+        d.epoch = epoch;
     }
     flush_replies(registry, &mut batch.floor, &mut batch.session);
     for (span, is_session) in batch.spans.drain(..) {
         telemetry.finish_span(*span, is_session);
     }
+}
+
+/// The self-demotion half of epoch fencing: the quorum is unreachable —
+/// this leader is fenced by a newer epoch, or partitioned away from its
+/// whole fleet — so no parked reply may ever release. Every parked decision
+/// is answered [`ClusterError::ShardDown`] (its submitter retries after
+/// failover; the dedup journal, reconciled against whatever state the
+/// failover adopts, keeps the retry exactly-once — that is what the orphan
+/// notes are for) and the shard demotes itself: serving resumes only
+/// through a promotion, which bumps the epoch.
+fn fail_pipeline(
+    shard: &mut Shard,
+    inflight: &mut VecDeque<PendingBatch>,
+    registry: &ReplyRegistry,
+    telemetry: &WorkerTelemetry,
+) {
+    while let Some(mut batch) = inflight.pop_front() {
+        for (_, d) in batch.floor.iter_mut() {
+            if !d.replayed && d.outcome.is_ok() {
+                shard.note_orphan(d.seq, batch.end_seq, false);
+            }
+            d.outcome = Err(ClusterError::ShardDown(shard.id()));
+            d.replayed = false;
+            d.commit = 0;
+            d.epoch = 0;
+        }
+        for (_, d) in batch.session.iter_mut() {
+            if !d.replayed && d.outcome.is_ok() {
+                shard.note_orphan(d.seq, batch.end_seq, true);
+            }
+            d.outcome = Err(ClusterError::ShardDown(shard.id()));
+            d.replayed = false;
+            d.commit = 0;
+            d.epoch = 0;
+        }
+        flush_replies(registry, &mut batch.floor, &mut batch.session);
+        for (span, is_session) in batch.spans.drain(..) {
+            telemetry.finish_span(*span, is_session);
+        }
+    }
+    shard.crash();
 }
 
 /// Settles the whole pipeline: drives the quorum (retransmitting into lossy
@@ -506,21 +563,24 @@ fn settle_all(
     registry: &ReplyRegistry,
     telemetry: &WorkerTelemetry,
 ) {
-    if !replicas.is_empty() {
+    if !replicas.is_empty() && shard.is_active() {
         // Decision-free appends (control-plane logs) may still sit in the
         // log's open tail; seal so the retransmission loop can ship them —
-        // an unsealed target would never quorum-commit.
+        // an unsealed target would never quorum-commit. The quorum target
+        // is the newest parked batch, or the log tip when no replies are
+        // parked (a barrier needs decision-free appends durable too).
         shard.seal_log();
+        let target = inflight
+            .back()
+            .map_or_else(|| shard.log().next_seq(), |b| b.end_seq);
+        if !replicas.force_quorum(shard, target) {
+            fail_pipeline(shard, inflight, registry, telemetry);
+            return;
+        }
     }
-    if let Some(last) = inflight.back() {
-        replicas.force_quorum(shard, last.end_seq);
-    } else if !replicas.is_empty() {
-        // No parked replies, but decision-free appends may still be short of
-        // quorum; a barrier needs those durable too.
-        replicas.force_quorum(shard, shard.log().next_seq());
-    }
+    let epoch = replicas.epoch();
     while let Some(batch) = inflight.pop_front() {
-        release(registry, telemetry, batch);
+        release(registry, telemetry, batch, epoch);
     }
 }
 
@@ -555,13 +615,18 @@ fn commit_and_flush(
         span.stamp(Stage::Committed);
     }
     let end_seq = shard.log().next_seq();
-    if replicas.is_empty() {
-        // Unreplicated: the local group commit is the durability point.
+    if replicas.is_empty() || !shard.is_active() {
+        // Unreplicated (the local group commit is the durability point) —
+        // or demoted, in which case every answer is an error and needs no
+        // quorum.
+        let epoch = replicas.epoch();
         for (_, d) in floor.iter_mut() {
             d.commit = end_seq;
+            d.epoch = epoch;
         }
         for (_, d) in session.iter_mut() {
             d.commit = end_seq;
+            d.epoch = epoch;
         }
         flush_replies(registry, floor, session);
         for (span, is_session) in spans.drain(..) {
@@ -590,15 +655,21 @@ fn commit_and_flush(
         .is_some_and(|b| b.end_seq <= replicas.quorum_committed())
     {
         let batch = inflight.pop_front().expect("checked front");
-        release(registry, telemetry, batch);
+        release(registry, telemetry, batch, replicas.epoch());
     }
     // A full window is the pipeline's backpressure: block on the oldest
     // batch's quorum (retransmitting if its acks were lost) before opening
-    // another.
+    // another. A quorum that cannot be reached — fenced or partitioned —
+    // fails the whole pipeline instead of blocking forever.
     while inflight.len() > window {
         let batch = inflight.pop_front().expect("len checked");
-        replicas.force_quorum(shard, batch.end_seq);
-        release(registry, telemetry, batch);
+        if replicas.force_quorum(shard, batch.end_seq) {
+            release(registry, telemetry, batch, replicas.epoch());
+        } else {
+            inflight.push_front(batch);
+            fail_pipeline(shard, inflight, registry, telemetry);
+            return;
+        }
     }
 }
 
@@ -678,6 +749,7 @@ fn run(
                             replayed,
                             shard: Some(shard_id),
                             commit: 0,
+                            epoch: 0,
                         },
                     ));
                 }
@@ -703,6 +775,7 @@ fn run(
                             replayed,
                             shard: Some(shard_id),
                             commit: 0,
+                            epoch: 0,
                         },
                     ));
                 }
@@ -736,6 +809,13 @@ fn run(
                         .with_stall
                         .record(saturating_nanos(stall.elapsed()));
                     shard.begin_batch();
+                }
+                ShardCommand::Fault(f) => {
+                    // Deliberately NOT a barrier: the closure runs with the
+                    // open batch uncommitted and earlier batches still parked
+                    // mid-quorum-write, so an injected partition or
+                    // corruption lands exactly where the schedule placed it.
+                    f(&mut shard, &mut replicas);
                 }
             }
         }

@@ -170,6 +170,55 @@ fn metrics_report_names_every_pipeline_layer() {
 }
 
 #[test]
+fn fault_counters_surface_in_the_stable_metrics_namespace() {
+    // The fault plane reports under `cluster.shard.N.fault.*` — the names
+    // dashboards and the chaos soak key on. A replicated shard registers
+    // the whole family up front (zeros included), and a partition-driven
+    // failover moves the partition counter.
+    let config = ClusterConfig::with_shards(1).with_replicas(2);
+    let mut cluster = Cluster::new(config);
+    let group = cluster
+        .create_group("lecture", FcmMode::FreeAccess)
+        .unwrap();
+    let member = cluster.register_member(Member::new("t", Role::Chair));
+    cluster.join_group(group, member).unwrap();
+    let shard = cluster.placement(group).unwrap().shard;
+
+    cluster.submit(GlobalRequest::speak(group, member)).unwrap();
+    cluster.flush();
+    cluster.isolate_shard_leader(shard);
+    cluster
+        .submit(GlobalRequest::release_floor(group, member))
+        .unwrap();
+    cluster.flush();
+    cluster.heal_shard_partition(shard);
+    cluster.recover_shard(shard).unwrap();
+
+    let report = cluster.metrics_report();
+    let json = cluster.metrics_json();
+    for name in [
+        "cluster.shard.0.fault.partitions",
+        "cluster.shard.0.fault.fenced_appends",
+        "cluster.shard.0.fault.checksum_failures",
+        "cluster.shard.0.fault.repairs",
+    ] {
+        assert!(report.contains(name), "report must name {name}:\n{report}");
+        assert!(
+            json.contains(&format!("\"{name}\"")),
+            "json must name {name}"
+        );
+    }
+    assert_eq!(
+        cluster
+            .metrics()
+            .counter("cluster.shard.0.fault.partitions")
+            .get(),
+        1,
+        "the injected partition was counted"
+    );
+}
+
+#[test]
 fn reset_queue_peak_gives_windowed_peaks() {
     let (mut cluster, group, member) = traced_cluster(0);
     let shard = cluster.placement(group).unwrap().shard;

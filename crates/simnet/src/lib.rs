@@ -53,6 +53,6 @@ pub use clock::LocalClock;
 pub use error::{Result, SimError};
 pub use globalclock::{AdmissionDecision, ClockSyncClient, ClockSyncServer};
 pub use link::Link;
-pub use network::{Delivery, DropReason, Dropped, HostId, Network};
+pub use network::{DelayRamp, Delivery, DropReason, Dropped, HostId, Network};
 pub use time::SimTime;
 pub use trace::{Trace, TraceEvent};

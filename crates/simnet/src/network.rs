@@ -1,8 +1,9 @@
 //! The discrete-event network: hosts, links, message delivery and drops.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::fmt;
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -54,6 +55,77 @@ pub enum DropReason {
     LinkDown,
     /// The sending or receiving host was down (crashed).
     HostDown,
+    /// A network partition blocked the directed edge between the hosts.
+    Partitioned,
+}
+
+/// A linearly interpolated extra-delay ramp injected on one *directed* link
+/// edge — the "gray failure" primitive: a link that is not down, just slowly
+/// getting worse (or better).
+///
+/// Before `start` the ramp is inert. At `start` it adds `from_extra` to every
+/// message's one-way delay, interpolating linearly to `to_extra` over
+/// `duration` and holding `to_extra` afterwards until cleared. `jitter` is an
+/// additional uniformly-random delay bound that scales with the same ramp
+/// progress, so a degrading link also gets noisier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DelayRamp {
+    /// Global time the ramp switches on.
+    pub start: SimTime,
+    /// Time taken to interpolate from `from_extra` to `to_extra`. Zero means
+    /// a step change at `start`.
+    pub duration: Duration,
+    /// Extra one-way delay at `start`.
+    pub from_extra: Duration,
+    /// Extra one-way delay once the ramp completes (held until cleared).
+    pub to_extra: Duration,
+    /// Upper bound of the extra uniform jitter at full ramp progress.
+    pub jitter: Duration,
+}
+
+impl DelayRamp {
+    /// A constant extra delay switching on at `start` (no slope, no jitter).
+    pub fn step(start: SimTime, extra: Duration) -> Self {
+        DelayRamp {
+            start,
+            duration: Duration::ZERO,
+            from_extra: extra,
+            to_extra: extra,
+            jitter: Duration::ZERO,
+        }
+    }
+
+    /// Ramp progress in `[0, 1]` at global time `now`.
+    fn progress(&self, now: SimTime) -> f64 {
+        if now < self.start {
+            return 0.0;
+        }
+        if self.duration.is_zero() {
+            return 1.0;
+        }
+        let elapsed = (now - self.start).as_nanos() as f64;
+        (elapsed / self.duration.as_nanos() as f64).min(1.0)
+    }
+
+    /// The deterministic extra delay injected at global time `now` (zero
+    /// before `start`).
+    pub fn extra_delay_at(&self, now: SimTime) -> Duration {
+        if now < self.start {
+            return Duration::ZERO;
+        }
+        let p = self.progress(now);
+        let from = self.from_extra.as_nanos() as f64;
+        let to = self.to_extra.as_nanos() as f64;
+        Duration::from_nanos((from + (to - from) * p).max(0.0) as u64)
+    }
+
+    /// The extra jitter bound at global time `now` (zero before `start`).
+    pub fn jitter_bound_at(&self, now: SimTime) -> Duration {
+        if now < self.start {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.jitter.as_nanos() as f64 * self.progress(now)) as u64)
+    }
 }
 
 impl dmps_wire::Wire for HostId {
@@ -131,6 +203,12 @@ pub struct Network<M> {
     now: SimTime,
     hosts: Vec<Host>,
     links: HashMap<(HostId, HostId), LinkState>,
+    /// Directed edges currently severed by a partition. Blocking is checked
+    /// at send time only: messages already in flight when the partition
+    /// starts still arrive, like packets already on the wire.
+    blocked: HashSet<(HostId, HostId)>,
+    /// Injected gray-failure delay ramps, keyed by directed edge.
+    ramps: HashMap<(HostId, HostId), DelayRamp>,
     queue: BinaryHeap<Queued<M>>,
     rng: StdRng,
     seq: u64,
@@ -145,6 +223,8 @@ impl<M> Network<M> {
             now: SimTime::ZERO,
             hosts: Vec::new(),
             links: HashMap::new(),
+            blocked: HashSet::new(),
+            ramps: HashMap::new(),
             queue: BinaryHeap::new(),
             rng: StdRng::seed_from_u64(seed),
             seq: 0,
@@ -276,10 +356,107 @@ impl<M> Network<M> {
         Ok(())
     }
 
-    /// Whether two hosts are connected, the link is up, and both hosts are
-    /// up.
+    /// Severs the network between two host sets: every message from a host
+    /// in `side_a` to a host in `side_b` is dropped at send time with
+    /// [`DropReason::Partitioned`] — and vice versa, unless `asymmetric` is
+    /// set, in which case `side_b → side_a` traffic still flows (the
+    /// one-way-visibility gray failure). Messages already in flight are not
+    /// purged: packets on the wire when the cable is cut still arrive.
+    ///
+    /// Sets may be arbitrary (they need not cover all hosts, and repeated
+    /// calls accumulate edges); a host appearing on both sides never blocks
+    /// itself. [`Network::heal`] removes every blocked edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownHost`] when either set names an unknown
+    /// host (no edges are blocked in that case).
+    pub fn partition(
+        &mut self,
+        side_a: &[HostId],
+        side_b: &[HostId],
+        asymmetric: bool,
+    ) -> Result<()> {
+        for &h in side_a.iter().chain(side_b) {
+            if h.0 >= self.hosts.len() {
+                return Err(SimError::UnknownHost(h));
+            }
+        }
+        for &a in side_a {
+            for &b in side_b {
+                if a == b {
+                    continue;
+                }
+                self.blocked.insert((a, b));
+                if !asymmetric {
+                    self.blocked.insert((b, a));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Heals every partition: all blocked edges are removed. Injected delay
+    /// ramps are independent — clear those with
+    /// [`Network::clear_delay_ramps`].
+    pub fn heal(&mut self) {
+        self.blocked.clear();
+    }
+
+    /// Whether a partition currently blocks the directed edge `from → to`.
+    pub fn is_partitioned(&self, from: HostId, to: HostId) -> bool {
+        self.blocked.contains(&(from, to))
+    }
+
+    /// Number of directed edges currently blocked by partitions.
+    pub fn partitioned_edge_count(&self) -> usize {
+        self.blocked.len()
+    }
+
+    /// Injects (or replaces) a gray-failure delay ramp on the directed edge
+    /// `from → to`. The ramp's extra delay and jitter are added on top of
+    /// the link's own latency for messages sent while the ramp is active.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownHost`] for unknown ids and
+    /// [`SimError::NotConnected`] when the hosts have no link.
+    pub fn inject_delay_ramp(&mut self, from: HostId, to: HostId, ramp: DelayRamp) -> Result<()> {
+        if from.0 >= self.hosts.len() {
+            return Err(SimError::UnknownHost(from));
+        }
+        if to.0 >= self.hosts.len() {
+            return Err(SimError::UnknownHost(to));
+        }
+        if !self.links.contains_key(&Self::key(from, to)) {
+            return Err(SimError::NotConnected { from, to });
+        }
+        self.ramps.insert((from, to), ramp);
+        Ok(())
+    }
+
+    /// Removes the delay ramp on the directed edge `from → to`, if any.
+    pub fn clear_delay_ramp(&mut self, from: HostId, to: HostId) {
+        self.ramps.remove(&(from, to));
+    }
+
+    /// Removes every injected delay ramp.
+    pub fn clear_delay_ramps(&mut self) {
+        self.ramps.clear();
+    }
+
+    /// The delay ramp injected on the directed edge `from → to`, if any.
+    pub fn delay_ramp(&self, from: HostId, to: HostId) -> Option<&DelayRamp> {
+        self.ramps.get(&(from, to))
+    }
+
+    /// Whether two hosts are connected, the link is up, both hosts are up,
+    /// and no partition blocks the directed edge `a → b`.
     pub fn is_reachable(&self, a: HostId, b: HostId) -> bool {
-        self.link(a, b).map(|l| l.up).unwrap_or(false) && self.is_host_up(a) && self.is_host_up(b)
+        self.link(a, b).map(|l| l.up).unwrap_or(false)
+            && self.is_host_up(a)
+            && self.is_host_up(b)
+            && !self.blocked.contains(&(a, b))
     }
 
     /// Whether a host is up (unknown hosts count as down).
@@ -387,6 +564,16 @@ impl<M> Network<M> {
             });
             return Ok(seq);
         }
+        if self.blocked.contains(&(from, to)) {
+            self.dropped.push(Dropped {
+                at: self.now,
+                from,
+                to,
+                payload,
+                reason: DropReason::Partitioned,
+            });
+            return Ok(seq);
+        }
         if state.link.loss_rate > 0.0 && self.rng.gen::<f64>() < state.link.loss_rate {
             self.dropped.push(Dropped {
                 at: self.now,
@@ -406,8 +593,16 @@ impl<M> Network<M> {
         } else {
             self.rng.gen_range(0..=state.link.jitter.as_nanos() as u64)
         };
-        let arrival =
+        let mut arrival =
             serialized_at + state.link.latency + std::time::Duration::from_nanos(jitter_nanos);
+        if let Some(ramp) = self.ramps.get(&(from, to)) {
+            arrival += ramp.extra_delay_at(self.now);
+            let bound = ramp.jitter_bound_at(self.now);
+            if !bound.is_zero() {
+                let extra_jitter = self.rng.gen_range(0..=bound.as_nanos() as u64);
+                arrival += std::time::Duration::from_nanos(extra_jitter);
+            }
+        }
         self.queue.push(Queued {
             at: arrival,
             seq,
@@ -733,6 +928,171 @@ mod tests {
         assert!(net.is_reachable(a, b));
         net.send(a, b, 3, 10).unwrap();
         assert_eq!(net.run_until_idle().len(), 1);
+    }
+
+    #[test]
+    fn partition_blocks_new_sends_but_not_in_flight_traffic() {
+        let mut net: Network<u32> = Network::new(11);
+        let a = net.add_host("a");
+        let b = net.add_host("b");
+        let c = net.add_host("c");
+        net.connect(a, b, Link::lan()).unwrap();
+        net.connect(a, c, Link::lan()).unwrap();
+        net.connect(b, c, Link::lan()).unwrap();
+        // A message already on the wire when the cable is cut still arrives.
+        net.send(a, b, 1, 10).unwrap();
+        net.partition(&[a], &[b], false).unwrap();
+        assert!(net.is_partitioned(a, b));
+        assert!(net.is_partitioned(b, a));
+        assert!(!net.is_reachable(a, b));
+        assert_eq!(net.partitioned_edge_count(), 2);
+        net.send(a, b, 2, 10).unwrap();
+        net.send(b, a, 3, 10).unwrap();
+        // Edges outside the partition are untouched.
+        net.send(a, c, 4, 10).unwrap();
+        net.send(c, b, 5, 10).unwrap();
+        let delivered: Vec<u32> = net.run_until_idle().iter().map(|d| d.payload).collect();
+        assert_eq!(delivered.len(), 3);
+        assert!(delivered.contains(&1), "in-flight message survives the cut");
+        assert!(delivered.contains(&4));
+        assert!(delivered.contains(&5));
+        assert_eq!(net.dropped().len(), 2);
+        assert!(net
+            .dropped()
+            .iter()
+            .all(|d| d.reason == DropReason::Partitioned));
+        net.heal();
+        assert_eq!(net.partitioned_edge_count(), 0);
+        assert!(net.is_reachable(a, b));
+        net.send(a, b, 6, 10).unwrap();
+        assert_eq!(net.run_until_idle().len(), 1);
+    }
+
+    #[test]
+    fn asymmetric_partition_blocks_one_direction_only() {
+        let (mut net, a, b) = two_host_net(Link::lan());
+        net.partition(&[a], &[b], true).unwrap();
+        assert!(net.is_partitioned(a, b));
+        assert!(!net.is_partitioned(b, a));
+        assert!(!net.is_reachable(a, b));
+        assert!(net.is_reachable(b, a));
+        net.send(a, b, 1, 10).unwrap();
+        net.send(b, a, 2, 10).unwrap();
+        let delivered = net.run_until_idle();
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].payload, 2, "reverse direction still flows");
+        assert_eq!(net.dropped().len(), 1);
+        assert_eq!(net.dropped()[0].reason, DropReason::Partitioned);
+    }
+
+    #[test]
+    fn partition_validates_hosts_and_ignores_self_edges() {
+        let (mut net, a, b) = two_host_net(Link::lan());
+        assert_eq!(
+            net.partition(&[a], &[HostId(9)], false).unwrap_err(),
+            SimError::UnknownHost(HostId(9))
+        );
+        assert_eq!(
+            net.partitioned_edge_count(),
+            0,
+            "failed call blocks nothing"
+        );
+        // A host on both sides never blocks itself.
+        net.partition(&[a, b], &[a, b], false).unwrap();
+        assert!(!net.is_partitioned(a, a));
+        assert_eq!(net.partitioned_edge_count(), 2);
+    }
+
+    #[test]
+    fn delay_ramp_interpolates_extra_latency() {
+        let link = Link {
+            latency: Duration::from_millis(10),
+            jitter: Duration::ZERO,
+            bandwidth_kbps: 8_000_000, // transmission delay negligible
+            loss_rate: 0.0,
+            up: true,
+        };
+        let (mut net, a, b) = two_host_net(link);
+        let ramp = DelayRamp {
+            start: SimTime::from_secs(10),
+            duration: Duration::from_secs(10),
+            from_extra: Duration::ZERO,
+            to_extra: Duration::from_millis(100),
+            jitter: Duration::ZERO,
+        };
+        net.inject_delay_ramp(a, b, ramp).unwrap();
+        // Before the ramp starts: base latency only.
+        net.send(a, b, 1, 8).unwrap();
+        let d = net.next_delivery().unwrap();
+        assert!(d.at < SimTime::from_millis(11));
+        // Halfway up the ramp: +50 ms.
+        net.advance_to(SimTime::from_secs(15)).unwrap();
+        net.send(a, b, 2, 8).unwrap();
+        let d = net.next_delivery().unwrap();
+        let extra = d.at - SimTime::from_secs(15);
+        assert!(
+            extra >= Duration::from_millis(60) && extra < Duration::from_millis(61),
+            "expected ~10ms base + 50ms ramp, got {extra:?}"
+        );
+        // Past the end: the full extra delay holds.
+        net.advance_to(SimTime::from_secs(30)).unwrap();
+        net.send(a, b, 3, 8).unwrap();
+        let d = net.next_delivery().unwrap();
+        let extra = d.at - SimTime::from_secs(30);
+        assert!(
+            extra >= Duration::from_millis(110) && extra < Duration::from_millis(111),
+            "expected ~10ms base + 100ms ramp, got {extra:?}"
+        );
+        // Clearing the ramp restores the base latency.
+        net.clear_delay_ramp(a, b);
+        assert!(net.delay_ramp(a, b).is_none());
+        let sent_at = net.now();
+        net.send(a, b, 4, 8).unwrap();
+        let d = net.next_delivery().unwrap();
+        assert!(d.at - sent_at < Duration::from_millis(11));
+    }
+
+    #[test]
+    fn delay_ramp_jitter_scales_with_progress_and_stays_deterministic() {
+        let run = |seed: u64| -> Vec<u64> {
+            let mut net: Network<u32> = Network::new(seed);
+            let a = net.add_host("a");
+            let b = net.add_host("b");
+            net.connect(a, b, Link::lan()).unwrap();
+            let ramp = DelayRamp {
+                start: SimTime::ZERO,
+                duration: Duration::ZERO,
+                from_extra: Duration::from_millis(1),
+                to_extra: Duration::from_millis(1),
+                jitter: Duration::from_millis(5),
+            };
+            net.inject_delay_ramp(a, b, ramp).unwrap();
+            for i in 0..50u32 {
+                net.send(a, b, i, 10).unwrap();
+            }
+            net.run_until_idle()
+                .into_iter()
+                .map(|d| d.at.as_nanos())
+                .collect()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "ramp jitter draws from the seeded RNG");
+        // The step ramp is errors-only on an unknown edge.
+        let mut net: Network<u32> = Network::new(1);
+        let a = net.add_host("a");
+        let b = net.add_host("b");
+        assert_eq!(
+            net.inject_delay_ramp(
+                a,
+                b,
+                DelayRamp::step(SimTime::ZERO, Duration::from_millis(1))
+            )
+            .unwrap_err(),
+            SimError::NotConnected { from: a, to: b }
+        );
+        assert!(net
+            .inject_delay_ramp(a, HostId(7), DelayRamp::step(SimTime::ZERO, Duration::ZERO))
+            .is_err());
     }
 
     #[test]

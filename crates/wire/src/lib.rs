@@ -45,6 +45,14 @@ pub enum WireError {
     },
     /// Trailing bytes remained after the top-level value was decoded.
     TrailingInput,
+    /// A checksummed frame's CRC did not match its payload (bit rot, a torn
+    /// write, or truncation of the durable bytes).
+    Checksum {
+        /// The CRC the frame claimed.
+        expected: u32,
+        /// The CRC the payload actually hashes to.
+        actual: u32,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -55,6 +63,12 @@ impl fmt::Display for WireError {
                 write!(f, "expected {expected}, got `{token}`")
             }
             WireError::TrailingInput => write!(f, "trailing input after value"),
+            WireError::Checksum { expected, actual } => {
+                write!(
+                    f,
+                    "checksum mismatch: frame says {expected:08x}, payload hashes to {actual:08x}"
+                )
+            }
         }
     }
 }
@@ -217,15 +231,100 @@ impl<'a> Reader<'a> {
             token: rest[..colon].chars().take(32).collect(),
         })?;
         let start = colon + 1;
-        if rest.len() < start + len {
+        // Checked: a corrupt length prefix can claim usize::MAX bytes, and
+        // `start + len` must not overflow on it.
+        let end = start.checked_add(len).ok_or(WireError::UnexpectedEnd)?;
+        if rest.len() < end {
             return Err(WireError::UnexpectedEnd);
         }
-        let s = rest
-            .get(start..start + len)
-            .ok_or(WireError::UnexpectedEnd)?;
-        self.pos += start + len;
+        let s = rest.get(start..end).ok_or(WireError::UnexpectedEnd)?;
+        self.pos += end;
         Ok(s.to_string())
     }
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected) — the checksum under every durable frame.
+// Hand-rolled because the workspace is dependency-free; the table is built at
+// compile time.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// Folds `bytes` into a running CRC32 state. Start from
+/// [`CRC32_INIT`] and finish with [`crc32_finish`]; or use [`crc32`] for a
+/// one-shot hash.
+pub fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        state = (state >> 8) ^ CRC32_TABLE[((state ^ b as u32) & 0xFF) as usize];
+    }
+    state
+}
+
+/// The initial CRC32 state.
+pub const CRC32_INIT: u32 = 0xFFFF_FFFF;
+
+/// Finalizes a running CRC32 state.
+pub fn crc32_finish(state: u32) -> u32 {
+    !state
+}
+
+/// One-shot CRC32 (IEEE) of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_finish(crc32_update(CRC32_INIT, bytes))
+}
+
+/// Encodes a value with a CRC32 frame: the first token is the checksum of
+/// the encoded payload that follows. [`from_str_checksummed`] refuses the
+/// frame when the payload no longer hashes to it — the detection layer under
+/// self-healing durability.
+pub fn to_string_checksummed<T: Wire>(value: &T) -> String {
+    let payload = to_string(value);
+    let mut framed = String::with_capacity(payload.len() + 11);
+    framed.push_str(&crc32(payload.as_bytes()).to_string());
+    framed.push(' ');
+    framed.push_str(&payload);
+    framed
+}
+
+/// Decodes a CRC32-framed value, verifying the checksum first.
+///
+/// # Errors
+///
+/// [`WireError::Checksum`] when the payload does not hash to the frame's
+/// CRC; any decode error the payload itself raises.
+pub fn from_str_checksummed<T: Wire>(s: &str) -> Result<T> {
+    let mut r = Reader::new(s);
+    let expected = r.u64()?;
+    let expected = u32::try_from(expected).map_err(|_| WireError::BadToken {
+        expected: "crc32",
+        token: expected.to_string(),
+    })?;
+    let payload = s.get(r.pos..).unwrap_or("").strip_prefix(' ').unwrap_or("");
+    let actual = crc32(payload.as_bytes());
+    if actual != expected {
+        return Err(WireError::Checksum { expected, actual });
+    }
+    from_str(payload)
 }
 
 /// Types encodable to / decodable from the wire format.
@@ -526,5 +625,55 @@ mod tests {
         );
         assert!(from_str::<u8>("300").is_err(), "u8 range check");
         assert!(!WireError::UnexpectedEnd.to_string().is_empty());
+    }
+
+    #[test]
+    fn huge_string_length_prefix_is_an_error_not_a_panic() {
+        // A corrupt length prefix may claim usize::MAX bytes; the checked
+        // arithmetic must turn that into UnexpectedEnd.
+        let huge = format!("{}:abc", usize::MAX);
+        assert_eq!(
+            from_str::<String>(&huge).unwrap_err(),
+            WireError::UnexpectedEnd
+        );
+        let near = format!("{}:x", usize::MAX - 1);
+        assert!(from_str::<String>(&near).is_err());
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // IEEE 802.3 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+        // Streaming equals one-shot.
+        let state = crc32_update(CRC32_INIT, b"1234");
+        let state = crc32_update(state, b"56789");
+        assert_eq!(crc32_finish(state), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn checksummed_frames_roundtrip_and_detect_corruption() {
+        let value: (u64, String, Vec<bool>) = (9, "floor token".into(), vec![true, false]);
+        let framed = to_string_checksummed(&value);
+        let back: (u64, String, Vec<bool>) = from_str_checksummed(&framed).unwrap();
+        assert_eq!(back, value);
+
+        // A single flipped payload byte fails the checksum, not the decoder.
+        let mut bytes = framed.clone().into_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let tampered = String::from_utf8(bytes).unwrap();
+        assert!(matches!(
+            from_str_checksummed::<(u64, String, Vec<bool>)>(&tampered).unwrap_err(),
+            WireError::Checksum { .. }
+        ));
+
+        // A torn write (truncated frame) is caught the same way.
+        let torn = &framed[..framed.len() - 3];
+        assert!(from_str_checksummed::<(u64, String, Vec<bool>)>(torn).is_err());
     }
 }

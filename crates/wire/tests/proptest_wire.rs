@@ -1,0 +1,151 @@
+//! Robustness properties of the wire codec: decoding is total. No input —
+//! truncated, bit-flipped, or arbitrary garbage — may panic the decoder;
+//! every outcome is `Ok` or a `WireError`. This is the contract the
+//! fault-injection plane leans on: corrupt durable bytes must surface as
+//! detectable errors, never a process abort.
+
+use std::collections::BTreeMap;
+
+use dmps_wire::{from_str, from_str_checksummed, to_string, to_string_checksummed};
+use proptest::prelude::*;
+
+/// A value exercising every shape the codec has to parse: nested
+/// collections, strings with separators and length-prefix look-alikes,
+/// options, maps and tuples.
+type Deep = (
+    u64,
+    String,
+    Vec<(Option<String>, Vec<u64>)>,
+    BTreeMap<String, (i64, bool)>,
+);
+
+/// Strings biased toward the codec's own metacharacters (spaces, colons,
+/// digits) plus some multi-byte codepoints, so mutations land on parser
+/// edges, not just payload bytes.
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..16, 0..10).prop_map(|picks| {
+        const ALPHABET: [char; 16] = [
+            ' ', ':', '0', '9', '1', 'x', 'a', '-', '%', 'é', '→', '🦀', 'z', '5', ':', ' ',
+        ];
+        picks.into_iter().map(|i| ALPHABET[i]).collect()
+    })
+}
+
+fn arb_option_string() -> impl Strategy<Value = Option<String>> {
+    (proptest::bool::ANY, arb_string()).prop_map(|(some, s)| some.then_some(s))
+}
+
+fn arb_deep() -> impl Strategy<Value = Deep> {
+    (
+        0u64..u64::MAX,
+        arb_string(),
+        proptest::collection::vec(
+            (
+                arb_option_string(),
+                proptest::collection::vec(0u64..u64::MAX, 0..4),
+            ),
+            0..4,
+        ),
+        proptest::collection::vec(
+            (arb_string(), (i64::MIN..i64::MAX, proptest::bool::ANY)),
+            0..4,
+        )
+        .prop_map(|pairs| pairs.into_iter().collect::<BTreeMap<_, _>>()),
+    )
+}
+
+/// Flips one bit of one byte, keeping the buffer valid UTF-8 by retrying on
+/// a different bit of the same byte when the flip lands mid-codepoint.
+fn flip_bit(encoded: &str, byte_idx: usize, bit: u8) -> Option<String> {
+    if encoded.is_empty() {
+        return None;
+    }
+    let bytes = encoded.as_bytes();
+    let i = byte_idx % bytes.len();
+    for b in 0..8u8 {
+        let mut mutated = bytes.to_vec();
+        mutated[i] ^= 1 << ((bit + b) % 8);
+        if let Ok(s) = String::from_utf8(mutated) {
+            return Some(s);
+        }
+    }
+    let mut fallback = bytes.to_vec();
+    fallback[i] = b'?';
+    String::from_utf8(fallback).ok()
+}
+
+proptest! {
+    /// Decoding any prefix of a valid encoding returns Ok or an error —
+    /// never a panic (a panic fails the test).
+    #[test]
+    fn truncated_encodings_never_panic(value in arb_deep(), cut in 0usize..4096) {
+        let encoded = to_string(&value);
+        let mut end = cut % (encoded.len() + 1);
+        // Truncation may land mid-codepoint; clamp to a char boundary.
+        while !encoded.is_char_boundary(end) {
+            end -= 1;
+        }
+        let _ = from_str::<Deep>(&encoded[..end]);
+    }
+
+    /// Decoding a bit-flipped valid encoding returns Ok or an error — never
+    /// a panic, even when the flip corrupts a length prefix.
+    #[test]
+    fn bit_flipped_encodings_never_panic(
+        value in arb_deep(),
+        byte_idx in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let encoded = to_string(&value);
+        if let Some(mutated) = flip_bit(&encoded, byte_idx, bit) {
+            let _ = from_str::<Deep>(&mutated);
+        }
+    }
+
+    /// Arbitrary garbage (never derived from a valid encoding) does not
+    /// panic the decoder either.
+    #[test]
+    fn arbitrary_input_never_panics(tokens in proptest::collection::vec(arb_string(), 0..8)) {
+        let input = tokens.join(" ");
+        let _ = from_str::<Deep>(&input);
+        let _ = from_str::<String>(&input);
+        let _ = from_str::<Vec<u64>>(&input);
+        let _ = from_str_checksummed::<Deep>(&input);
+    }
+
+    /// A checksummed frame either round-trips exactly or reports an error on
+    /// any single-bit payload corruption; the only silent path is the
+    /// unmodified frame.
+    #[test]
+    fn checksummed_frames_catch_every_bit_flip(
+        value in arb_deep(),
+        byte_idx in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let framed = to_string_checksummed(&value);
+        prop_assert_eq!(from_str_checksummed::<Deep>(&framed).unwrap(), value);
+        if let Some(mutated) = flip_bit(&framed, byte_idx, bit) {
+            if mutated != framed {
+                prop_assert!(from_str_checksummed::<Deep>(&mutated).is_err());
+            }
+        }
+    }
+}
+
+/// Exhaustive single-byte truncation of one tricky value — cheaper than the
+/// proptest sweep and certain to cover every boundary.
+#[test]
+fn every_truncation_point_is_total() {
+    let value: Deep = (
+        u64::MAX,
+        "a b:2 x%  ".into(),
+        vec![(Some(":".into()), vec![1, u64::MAX]), (None, vec![])],
+        [("k v".into(), (i64::MIN, true))].into_iter().collect(),
+    );
+    let encoded = to_string(&value);
+    for end in 0..=encoded.len() {
+        if encoded.is_char_boundary(end) {
+            let _ = from_str::<Deep>(&encoded[..end]);
+        }
+    }
+}

@@ -56,6 +56,9 @@ pub mod trace;
 
 pub use gen::generate;
 pub use model::GroupModel;
-pub use replay::{replay, ArchetypeReport, CrashPlan, ReplayOptions, ReplayReport, StateBytes};
+pub use replay::{
+    replay, ArchetypeReport, CrashPlan, FaultAction, FaultPlan, ReplayOptions, ReplayReport,
+    StateBytes,
+};
 pub use spec::{Archetype, ArchetypeMix, WorkloadSpec};
 pub use trace::{payload_text, Expect, OpKind, Trace, TraceGroup, TraceOp};

@@ -29,8 +29,9 @@ use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 use dmps_cluster::{
-    Cluster, ClusterConfig, ClusterError, Decision, Gateway, GlobalGroupId, GlobalMemberId,
-    GlobalRequest, SessionDecision, SessionOp, SessionOutcome, SessionRejection, ShardId,
+    Cluster, ClusterConfig, ClusterError, CorruptionTarget, Decision, Gateway, GlobalGroupId,
+    GlobalMemberId, GlobalRequest, SessionDecision, SessionOp, SessionOutcome, SessionRejection,
+    ShardId,
 };
 use dmps_floor::{ArbitrationOutcome, FcmMode, Member, Role};
 use dmps_simnet::SimTime;
@@ -66,6 +67,61 @@ impl CrashPlan {
     }
 }
 
+/// What a scheduled fault-plane event does to its shard (see [`FaultPlan`]).
+#[derive(Debug, Clone, Copy)]
+pub enum FaultAction {
+    /// Partition the shard's leader away from its whole follower fleet
+    /// through the worker's non-barrier fault path — writes already shipped
+    /// stay parked mid-quorum-write under the partition. The choreography
+    /// then forces the leader to settle (it burns its stall budget, answers
+    /// every parked decision `ShardDown` and demotes itself), heals the
+    /// partition, and promotes a follower under a bumped epoch; the errored
+    /// ops resubmit exactly-once through the reconciled dedup journals.
+    IsolateLeader,
+    /// Silently corrupt one durable artifact of the shard, then crash and
+    /// recover it so the damage is actually read: promotion's checksum
+    /// verification detects the rot and repairs the new leader from the
+    /// replica quorum.
+    Corrupt(CorruptionTarget),
+}
+
+/// One scheduled fault-plane event in a replay (single-gateway mode, like
+/// [`CrashPlan`]). Requires a replicated cluster (`replicas` ≥ 2): both
+/// actions lean on the follower quorum to fail over or repair.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Index into `trace.ops` at which to inject.
+    pub at_op: usize,
+    /// The shard to target.
+    pub shard: usize,
+    /// What to do to it.
+    pub action: FaultAction,
+}
+
+impl FaultPlan {
+    /// A rolling chaos schedule: `count` faults evenly spaced over
+    /// `total_ops`, rotating round-robin across `shards` shards and cycling
+    /// through leader partitions and corruption of every checksummed
+    /// artifact class — the chaos-soak shape, designed to ride alongside
+    /// [`CrashPlan::rolling`] on the same replay.
+    pub fn rolling(count: usize, total_ops: usize, shards: usize) -> Vec<FaultPlan> {
+        assert!(shards > 0);
+        let stride = total_ops / (count + 1).max(1);
+        (0..count)
+            .map(|i| FaultPlan {
+                at_op: stride * (i + 1),
+                shard: i % shards,
+                action: match i % 4 {
+                    0 => FaultAction::IsolateLeader,
+                    1 => FaultAction::Corrupt(CorruptionTarget::SealedSegment),
+                    2 => FaultAction::Corrupt(CorruptionTarget::SnapshotBase),
+                    _ => FaultAction::Corrupt(CorruptionTarget::SnapshotDelta),
+                },
+            })
+            .collect()
+    }
+}
+
 /// How to replay a trace.
 #[derive(Debug, Clone)]
 pub struct ReplayOptions {
@@ -86,6 +142,10 @@ pub struct ReplayOptions {
     /// Mid-replay crash/recovery schedule ([`CrashPlan::rolling`] builds the
     /// soak shape; one entry is the single-crash drill).
     pub crashes: Vec<CrashPlan>,
+    /// Mid-replay fault-plane schedule: leader partitions and silent
+    /// corruption ([`FaultPlan::rolling`] builds the chaos-soak shape).
+    /// Single-gateway mode only, and needs `replicas` ≥ 2.
+    pub faults: Vec<FaultPlan>,
     /// How many groups to verify end-state content counts for (0 = all),
     /// stride-sampled across the group list.
     pub verify_groups: usize,
@@ -102,6 +162,7 @@ impl ReplayOptions {
             flush_batch: 512,
             latency_sample_every: 64,
             crashes: Vec::new(),
+            faults: Vec::new(),
             verify_groups: 0,
         }
     }
@@ -196,6 +257,19 @@ pub struct ReplayReport {
     /// Largest promotion tail-catch-up observed (events), across shards —
     /// the soak's boundedness axis. 0 when unreplicated or never promoted.
     pub catch_up_lag_max: u64,
+    /// Leader partitions injected across shards
+    /// (`cluster.shard.*.fault.partitions`).
+    pub fault_partitions: u64,
+    /// Stale-epoch appends/resyncs rejected by fencing across shards
+    /// (`cluster.shard.*.fault.fenced_appends`).
+    pub fault_fenced_appends: u64,
+    /// Checksum verifications that failed across shards — every injected
+    /// corruption that was actually read must show up here
+    /// (`cluster.shard.*.fault.checksum_failures`).
+    pub fault_checksum_failures: u64,
+    /// Quorum repairs of corrupt copies across shards
+    /// (`cluster.shard.*.fault.repairs`).
+    pub fault_repairs: u64,
     /// Cluster invariant check result.
     pub invariants: Result<(), String>,
     /// Groups whose end-state content counts were verified exactly.
@@ -688,8 +762,12 @@ fn ancestor(trace: &Trace, group: u32) -> u32 {
 /// workload outcome).
 pub fn replay(trace: &Trace, opts: &ReplayOptions) -> ReplayReport {
     assert!(
-        opts.crashes.is_empty() || opts.gateways == 1,
-        "crash replay requires a single gateway"
+        (opts.crashes.is_empty() && opts.faults.is_empty()) || opts.gateways == 1,
+        "crash/fault replay requires a single gateway"
+    );
+    assert!(
+        opts.faults.is_empty() || opts.replicas >= 2,
+        "fault-plane replay needs a follower quorum to fail over / repair from"
     );
     assert!(opts.shards > 0 && opts.gateways > 0);
 
@@ -740,10 +818,18 @@ pub fn replay(trace: &Trace, opts: &ReplayOptions) -> ReplayReport {
     // ----- replay ----------------------------------------------------------
     let replay_start = Instant::now();
     let (mut stats, sub_ids) = if opts.gateways == 1 {
-        // Crashes indexed by op position; several shards may die at once.
+        // Crashes and fault-plane events indexed by op position; several
+        // shards may be hit at once.
         let mut crash_at: HashMap<usize, Vec<usize>> = HashMap::new();
         for plan in &opts.crashes {
             crash_at.entry(plan.at_op).or_default().push(plan.shard);
+        }
+        let mut fault_at: HashMap<usize, Vec<(usize, FaultAction)>> = HashMap::new();
+        for plan in &opts.faults {
+            fault_at
+                .entry(plan.at_op)
+                .or_default()
+                .push((plan.shard, plan.action));
         }
         let gw = cluster.gateway();
         let mut driver = Driver::new(trace, &gw, &top_ids, &members, opts);
@@ -766,6 +852,52 @@ pub fn replay(trace: &Trace, opts: &ReplayOptions) -> ReplayReport {
                         .recover_shard(ShardId(shard))
                         .expect("shard recovery");
                     driver.drain_all();
+                }
+            }
+            if let Some(faults) = fault_at.get(&idx) {
+                for &(shard, action) in faults {
+                    let sid = ShardId(shard);
+                    match action {
+                        FaultAction::IsolateLeader => {
+                            // Partition first (non-barrier: parked batches
+                            // stay parked under it), then flush so buffered
+                            // writes ship *into* the partition. The
+                            // `is_shard_active` barrier behind them forces
+                            // the leader to settle: its quorum cannot make
+                            // progress, the stall budget burns out, parked
+                            // decisions come back `ShardDown` and it demotes
+                            // itself. A leader with nothing to settle stays
+                            // active — then there is nothing to promote.
+                            cluster.isolate_shard_leader(sid);
+                            driver.flush_floor();
+                            driver.flush_session();
+                            let demoted = !cluster.is_shard_active(sid);
+                            cluster.heal_shard_partition(sid);
+                            if demoted {
+                                cluster
+                                    .recover_shard(sid)
+                                    .expect("promotion after healed partition");
+                            }
+                            driver.drain_all();
+                        }
+                        FaultAction::Corrupt(target) => {
+                            // Silent rot, then a crash so the next recovery
+                            // actually reads the damaged artifact: promotion
+                            // verifies every checksum, detects the mismatch
+                            // and repairs the new leader from the follower
+                            // quorum. Injection is a no-op when the targeted
+                            // artifact does not exist yet — then this is
+                            // just a plain crash/failover.
+                            cluster.inject_corruption(sid, target);
+                            cluster.crash_shard(sid);
+                            driver.flush_floor();
+                            driver.flush_session();
+                            cluster
+                                .recover_shard(sid)
+                                .expect("repair from replica quorum");
+                            driver.drain_all();
+                        }
+                    }
                 }
             }
             driver.step(idx);
@@ -868,6 +1000,10 @@ pub fn replay(trace: &Trace, opts: &ReplayOptions) -> ReplayReport {
     let snapshot_pause_us = Histogram::new();
     let mut snapshot_delta_bytes = 0u64;
     let mut catch_up_lag_max = 0u64;
+    let mut fault_partitions = 0u64;
+    let mut fault_fenced_appends = 0u64;
+    let mut fault_checksum_failures = 0u64;
+    let mut fault_repairs = 0u64;
     let registry = cluster.metrics();
     for s in 0..opts.shards {
         if let Some(dmps_cluster::telemetry::Metric::TimeSeries(ts)) =
@@ -885,6 +1021,18 @@ pub fn replay(trace: &Trace, opts: &ReplayOptions) -> ReplayReport {
                 .histogram(&format!("cluster.shard.{s}.replica.catch_up_lag"))
                 .max(),
         );
+        fault_partitions += registry
+            .counter(&format!("cluster.shard.{s}.fault.partitions"))
+            .get();
+        fault_fenced_appends += registry
+            .counter(&format!("cluster.shard.{s}.fault.fenced_appends"))
+            .get();
+        fault_checksum_failures += registry
+            .counter(&format!("cluster.shard.{s}.fault.checksum_failures"))
+            .get();
+        fault_repairs += registry
+            .counter(&format!("cluster.shard.{s}.fault.repairs"))
+            .get();
     }
 
     ReplayReport {
@@ -911,6 +1059,10 @@ pub fn replay(trace: &Trace, opts: &ReplayOptions) -> ReplayReport {
         snapshot_delta_bytes,
         snapshot_deltas,
         catch_up_lag_max,
+        fault_partitions,
+        fault_fenced_appends,
+        fault_checksum_failures,
+        fault_repairs,
         invariants,
         verified_groups: verified,
     }
@@ -980,6 +1132,43 @@ mod tests {
             report.catch_up_lag_max <= 8192,
             "catch-up lag unbounded: {}",
             report.catch_up_lag_max
+        );
+    }
+
+    #[test]
+    fn chaos_soak_with_partitions_corruption_and_crashes_stays_exactly_once() {
+        // The full chaos plane in miniature: rolling crashes AND a rolling
+        // fault schedule (leader partitions + corruption of every
+        // checksummed artifact class) over a replicated cluster — and the
+        // replay still verifies every decision against its stamped
+        // expectation with zero mismatches and exact end-state content
+        // counts.
+        let trace = generate(&WorkloadSpec::small(23));
+        let mut opts = ReplayOptions::new(3);
+        opts.replicas = 2;
+        opts.flush_batch = 16;
+        opts.crashes = CrashPlan::rolling(3, trace.ops.len(), 3);
+        opts.faults = FaultPlan::rolling(8, trace.ops.len(), 3);
+        let report = replay(&trace, &opts);
+        assert!(
+            report.is_clean(),
+            "mismatches: {:?} / invariants: {:?}",
+            report.mismatches,
+            report.invariants
+        );
+        assert_eq!(report.streamed_ops as usize, trace.streamed_ops());
+        // The fault plane actually fired and was survived, not skipped:
+        // partitions were injected, at least one injected corruption was
+        // detected by a checksum, and every detected corruption was
+        // repaired from the quorum rather than served or aborted on.
+        assert!(report.fault_partitions > 0, "no partition was injected");
+        assert!(
+            report.fault_checksum_failures > 0,
+            "no injected corruption was ever detected"
+        );
+        assert!(
+            report.fault_repairs > 0,
+            "detected corruption was never repaired from the quorum"
         );
     }
 

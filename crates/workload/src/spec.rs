@@ -139,11 +139,14 @@ impl WorkloadSpec {
         }
     }
 
-    /// The crash-soak shape: moderate group count, long scripts spread over
-    /// hours of virtual time — built to be replayed with rolling seeded
-    /// crashes ([`crate::CrashPlan::rolling`]) so every shard fails and
-    /// recovers repeatedly while the trace is in flight. Scaled so the soak
-    /// runs in minutes of wall clock despite its virtual-time span.
+    /// The crash/chaos-soak shape: moderate group count, long scripts spread
+    /// over hours of virtual time — built to be replayed with rolling seeded
+    /// crashes ([`crate::CrashPlan::rolling`]) and, for the chaos soak, a
+    /// rolling fault plan ([`crate::FaultPlan::rolling`]: leader partitions
+    /// and silent corruption of every checksummed artifact class) so every
+    /// shard fails, is fenced, repairs and recovers repeatedly while the
+    /// trace is in flight. Scaled so the soak runs in minutes of wall clock
+    /// despite its virtual-time span.
     pub fn soak(seed: u64) -> Self {
         WorkloadSpec {
             top_groups: 1_500,
